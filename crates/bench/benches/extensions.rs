@@ -1,0 +1,51 @@
+//! Criterion benchmarks for the §VII extension tools: the warning→failure
+//! predictor and the FOT context miner.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use dcf_bench::{medium_trace, small_trace};
+use dcf_core::FailureStudy;
+
+fn bench_predictor(c: &mut Criterion) {
+    let study = FailureStudy::new(medium_trace());
+    c.bench_function("prediction_evaluate_7d", |b| {
+        b.iter(|| black_box(study.prediction().evaluate(7, None)))
+    });
+    c.bench_function("prediction_sweep_5_horizons", |b| {
+        b.iter(|| black_box(study.prediction().sweep(&[1, 3, 7, 14, 30], None)))
+    });
+}
+
+fn bench_miner(c: &mut Criterion) {
+    let study = FailureStudy::new(small_trace());
+    c.bench_function("miner_build_index", |b| b.iter(|| black_box(study.miner())));
+    let miner = study.miner();
+    let some_fot = study.trace().failures().next().expect("non-empty").id;
+    c.bench_function("miner_single_context", |b| {
+        b.iter(|| black_box(miner.context(some_fot)))
+    });
+}
+
+fn bench_backlog(c: &mut Criterion) {
+    let study = FailureStudy::new(medium_trace());
+    c.bench_function("backlog_summary", |b| {
+        b.iter(|| black_box(study.backlog().summary()))
+    });
+}
+
+fn bench_trace_restrict(c: &mut Criterion) {
+    let trace = medium_trace();
+    let mid = dcf_trace::SimTime::from_days(trace.info().start.day_index() + 365);
+    let end = dcf_trace::SimTime::from_days(trace.info().start.day_index() + 730);
+    c.bench_function("trace_restrict_one_year", |b| {
+        b.iter(|| black_box(trace.restrict(mid, end).unwrap()))
+    });
+}
+
+criterion_group! {
+    name = extensions;
+    config = Criterion::default().sample_size(15);
+    targets = bench_predictor, bench_miner, bench_backlog, bench_trace_restrict
+}
+criterion_main!(extensions);

@@ -1,0 +1,120 @@
+//! Criterion benchmarks: one group per paper *figure*.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use dcf_bench::medium_trace;
+use dcf_core::FailureStudy;
+use dcf_trace::{ComponentClass, FotCategory};
+
+fn bench_fig2(c: &mut Criterion) {
+    let study = FailureStudy::new(medium_trace());
+    c.bench_function("fig2_type_breakdown", |b| {
+        b.iter(|| {
+            for class in [
+                ComponentClass::Hdd,
+                ComponentClass::RaidCard,
+                ComponentClass::FlashCard,
+                ComponentClass::Memory,
+            ] {
+                black_box(study.overview().type_breakdown(class));
+            }
+        })
+    });
+}
+
+fn bench_fig3(c: &mut Criterion) {
+    let study = FailureStudy::new(medium_trace());
+    c.bench_function("fig3_day_of_week", |b| {
+        b.iter(|| black_box(study.temporal().day_of_week(None).unwrap()))
+    });
+}
+
+fn bench_fig4(c: &mut Criterion) {
+    let study = FailureStudy::new(medium_trace());
+    c.bench_function("fig4_hour_of_day", |b| {
+        b.iter(|| {
+            black_box(
+                study
+                    .temporal()
+                    .hour_of_day(Some(ComponentClass::Hdd))
+                    .unwrap(),
+            )
+        })
+    });
+}
+
+fn bench_fig5(c: &mut Criterion) {
+    let study = FailureStudy::new(medium_trace());
+    c.bench_function("fig5_tbf_fits", |b| {
+        b.iter(|| black_box(study.temporal().tbf_all().unwrap()))
+    });
+}
+
+fn bench_fig6(c: &mut Criterion) {
+    let study = FailureStudy::new(medium_trace());
+    c.bench_function("fig6_lifecycle_rates", |b| {
+        b.iter(|| black_box(study.lifecycle().all()))
+    });
+}
+
+fn bench_fig7(c: &mut Criterion) {
+    let study = FailureStudy::new(medium_trace());
+    c.bench_function("fig7_concentration_and_repeats", |b| {
+        b.iter(|| {
+            let skew = study.skew();
+            black_box((skew.concentration(), skew.repeats()))
+        })
+    });
+}
+
+fn bench_fig8(c: &mut Criterion) {
+    let study = FailureStudy::new(medium_trace());
+    c.bench_function("fig8_position_profiles", |b| {
+        b.iter(|| black_box(study.spatial().by_data_center(200)))
+    });
+}
+
+fn bench_fig9(c: &mut Criterion) {
+    let study = FailureStudy::new(medium_trace());
+    c.bench_function("fig9_rt_cdf", |b| {
+        b.iter(|| {
+            black_box((
+                study
+                    .response()
+                    .rt_of_category(FotCategory::Fixing)
+                    .unwrap(),
+                study
+                    .response()
+                    .rt_of_category(FotCategory::FalseAlarm)
+                    .ok(),
+            ))
+        })
+    });
+}
+
+fn bench_fig10(c: &mut Criterion) {
+    let study = FailureStudy::new(medium_trace());
+    c.bench_function("fig10_rt_by_class", |b| {
+        b.iter(|| black_box(study.response().rt_by_class(20)))
+    });
+}
+
+fn bench_fig11(c: &mut Criterion) {
+    let study = FailureStudy::new(medium_trace());
+    c.bench_function("fig11_rt_by_product_line", |b| {
+        b.iter(|| {
+            let resp = study.response();
+            let points = resp.rt_by_product_line_hdd(5);
+            black_box(resp.line_rt_summary(&points, 100))
+        })
+    });
+}
+
+criterion_group! {
+    name = figures;
+    config = Criterion::default().sample_size(20);
+    targets = bench_fig2, bench_fig3, bench_fig4, bench_fig5, bench_fig6,
+              bench_fig7, bench_fig8, bench_fig9, bench_fig10, bench_fig11
+}
+criterion_main!(figures);

@@ -1,0 +1,65 @@
+//! End-to-end pipeline benchmarks: trace generation at several scales,
+//! (de)serialization, and the full study report.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use dcf_bench::{medium_trace, small_trace};
+use dcf_core::FailureStudy;
+use dcf_sim::Scenario;
+use dcf_trace::io;
+
+fn bench_simulation_small(c: &mut Criterion) {
+    c.bench_function("simulate_small_2k_servers", |b| {
+        b.iter(|| black_box(Scenario::small().seed(1).run().unwrap()))
+    });
+}
+
+fn bench_simulation_medium(c: &mut Criterion) {
+    let mut group = c.benchmark_group("simulate");
+    group.sample_size(10);
+    group.bench_function("medium_20k_servers", |b| {
+        b.iter(|| black_box(Scenario::medium().seed(1).run().unwrap()))
+    });
+    group.finish();
+}
+
+fn bench_full_report(c: &mut Criterion) {
+    let trace = medium_trace();
+    let mut group = c.benchmark_group("analysis");
+    group.sample_size(10);
+    group.bench_function("full_study_report_medium", |b| {
+        b.iter(|| black_box(FailureStudy::new(trace).report()))
+    });
+    group.finish();
+}
+
+fn bench_io(c: &mut Criterion) {
+    let trace = small_trace();
+    c.bench_function("io_write_fots_csv", |b| {
+        b.iter(|| {
+            let mut buf = Vec::with_capacity(1 << 20);
+            io::write_fots_csv(trace.fots(), &mut buf).unwrap();
+            black_box(buf)
+        })
+    });
+    let mut csv = Vec::new();
+    io::write_fots_csv(trace.fots(), &mut csv).unwrap();
+    c.bench_function("io_read_fots_csv", |b| {
+        b.iter(|| black_box(io::read_fots_csv(&csv[..]).unwrap()))
+    });
+    c.bench_function("io_trace_json_round_trip", |b| {
+        b.iter(|| {
+            let mut buf = Vec::with_capacity(1 << 20);
+            io::write_trace_json(trace, &mut buf).unwrap();
+            black_box(io::read_trace_json(&buf[..]).unwrap())
+        })
+    });
+}
+
+criterion_group! {
+    name = pipeline;
+    config = Criterion::default().sample_size(20);
+    targets = bench_simulation_small, bench_simulation_medium, bench_full_report, bench_io
+}
+criterion_main!(pipeline);

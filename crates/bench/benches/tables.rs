@@ -1,0 +1,80 @@
+//! Criterion benchmarks: one group per paper *table*, each measuring the
+//! analysis that regenerates it over the cached medium-scale trace.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use dcf_bench::medium_trace;
+use dcf_core::FailureStudy;
+
+fn bench_table1(c: &mut Criterion) {
+    let study = FailureStudy::new(medium_trace());
+    c.bench_function("table1_category_breakdown", |b| {
+        b.iter(|| black_box(study.overview().category_breakdown()))
+    });
+}
+
+fn bench_table2(c: &mut Criterion) {
+    let study = FailureStudy::new(medium_trace());
+    c.bench_function("table2_component_breakdown", |b| {
+        b.iter(|| black_box(study.overview().component_breakdown()))
+    });
+}
+
+fn bench_table4(c: &mut Criterion) {
+    let study = FailureStudy::new(medium_trace());
+    c.bench_function("table4_spatial_chi_square", |b| {
+        b.iter(|| {
+            let spatial = study.spatial();
+            let results = spatial.by_data_center(200);
+            black_box(spatial.table_iv(&results))
+        })
+    });
+}
+
+fn bench_table5(c: &mut Criterion) {
+    let study = FailureStudy::new(medium_trace());
+    c.bench_function("table5_batch_frequency", |b| {
+        b.iter(|| {
+            let batch = study.batch();
+            let thresholds = batch.scaled_thresholds();
+            black_box(batch.r_n(&thresholds))
+        })
+    });
+}
+
+fn bench_table6(c: &mut Criterion) {
+    let study = FailureStudy::new(medium_trace());
+    c.bench_function("table6_correlated_pairs", |b| {
+        b.iter(|| black_box(study.correlation().component_pairs()))
+    });
+}
+
+fn bench_table7(c: &mut Criterion) {
+    let study = FailureStudy::new(medium_trace());
+    c.bench_function("table7_causal_examples", |b| {
+        b.iter(|| {
+            black_box(study.correlation().causal_examples(
+                dcf_trace::ComponentClass::Power,
+                dcf_trace::ComponentClass::Fan,
+                300,
+                5,
+            ))
+        })
+    });
+}
+
+fn bench_table8(c: &mut Criterion) {
+    let study = FailureStudy::new(medium_trace());
+    c.bench_function("table8_synchronous_groups", |b| {
+        b.iter(|| black_box(study.correlation().synchronous_groups(60, 3, 6)))
+    });
+}
+
+criterion_group! {
+    name = tables;
+    config = Criterion::default().sample_size(20);
+    targets = bench_table1, bench_table2, bench_table4, bench_table5,
+              bench_table6, bench_table7, bench_table8
+}
+criterion_main!(tables);

@@ -1,0 +1,327 @@
+//! Regenerates every table and figure of the paper from a simulated trace.
+//!
+//! ```text
+//! reproduce [--scenario paper|medium|small] [--seed N] [--experiment ID] [--markdown]
+//! ```
+//!
+//! `ID` is one of: `table1 table2 table3 table4 table5 table6 table7 table8
+//! fig2 fig3 fig4 fig5 fig6 fig7 fig8 fig9 fig10 fig11 prediction backlog all`
+//! (default `all`).
+//! `--markdown` emits the EXPERIMENTS.md-style summary instead of the full
+//! figure dumps.
+
+use std::process::ExitCode;
+
+use dcf_core::{paper, FailureStudy};
+use dcf_report::{experiments, pct, TextTable};
+use dcf_sim::Scenario;
+
+struct Args {
+    scenario: String,
+    seed: u64,
+    experiment: String,
+    markdown: bool,
+    markdown_full: bool,
+    score: bool,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        scenario: "paper".into(),
+        seed: 1,
+        experiment: "all".into(),
+        markdown: false,
+        markdown_full: false,
+        score: false,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        match flag.as_str() {
+            "--scenario" => {
+                args.scenario = it.next().ok_or("--scenario needs a value")?;
+            }
+            "--seed" => {
+                args.seed = it
+                    .next()
+                    .ok_or("--seed needs a value")?
+                    .parse()
+                    .map_err(|e| format!("bad seed: {e}"))?;
+            }
+            "--experiment" => {
+                args.experiment = it.next().ok_or("--experiment needs a value")?;
+            }
+            "--markdown" => args.markdown = true,
+            "--markdown-full" => args.markdown_full = true,
+            "--score" => args.score = true,
+            "--help" | "-h" => {
+                return Err("usage: reproduce [--scenario paper|medium|small] [--seed N] [--experiment ID] [--markdown]".into());
+            }
+            other => return Err(format!("unknown flag {other}")),
+        }
+    }
+    Ok(args)
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(msg) => {
+            eprintln!("{msg}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let scenario = match args.scenario.as_str() {
+        "paper" => Scenario::paper(),
+        "medium" => Scenario::medium(),
+        "small" => Scenario::small(),
+        other => {
+            eprintln!("unknown scenario {other} (expected paper|medium|small)");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    eprintln!(
+        "running scenario '{}' (seed {}) — {} servers, {}-day window…",
+        scenario.name, args.seed, scenario.config.fleet.servers, scenario.config.fleet.window_days
+    );
+    let t0 = std::time::Instant::now();
+    let trace = match scenario.seed(args.seed).run() {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("simulation failed: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    eprintln!(
+        "generated {} FOTs in {:?}; running analyses…\n",
+        trace.len(),
+        t0.elapsed()
+    );
+    let study = FailureStudy::new(&trace);
+
+    if args.markdown {
+        println!("{}", markdown_summary(&study));
+        return ExitCode::SUCCESS;
+    }
+    if args.markdown_full {
+        println!("{}", dcf_report::markdown_report(&study));
+        return ExitCode::SUCCESS;
+    }
+    if args.score {
+        use dcf_core::comparison;
+        let mut rows = comparison::compare_to_paper(&trace);
+        rows.extend(comparison::compare_batch_frequencies(&trace));
+        let mut t = TextTable::new(vec!["Experiment", "Metric", "Paper", "Measured", "Verdict"]);
+        for r in &rows {
+            t.row(vec![
+                r.experiment.into(),
+                r.metric.into(),
+                format!("{:.4}", r.paper),
+                format!("{:.4}", r.measured),
+                format!("{:?}", r.agreement),
+            ]);
+        }
+        println!("{}", t.render());
+        println!(
+            "reproduction agreement: {:.0} % of {} metrics match or are close",
+            100.0 * comparison::agreement_score(&rows),
+            rows.len()
+        );
+        return ExitCode::SUCCESS;
+    }
+
+    let text = match args.experiment.as_str() {
+        "all" => experiments::render_all(&study),
+        "table1" => experiments::render_table1(&study),
+        "table2" => experiments::render_table2(&study),
+        "table3" => experiments::render_table3(),
+        "table4" | "fig8" => experiments::render_table4_fig8(&study),
+        "table5" => experiments::render_table5(&study),
+        "table6" => experiments::render_table6(&study),
+        "table7" => experiments::render_table7(&study),
+        "table8" => experiments::render_table8(&study),
+        "fig2" => experiments::render_fig2(&study),
+        "fig3" => experiments::render_fig3(&study),
+        "fig4" => experiments::render_fig4(&study),
+        "fig5" => experiments::render_fig5(&study),
+        "fig6" => experiments::render_fig6(&study),
+        "fig7" => experiments::render_fig7(&study),
+        "fig9" => experiments::render_fig9(&study),
+        "fig10" => experiments::render_fig10(&study),
+        "fig11" => experiments::render_fig11(&study),
+        "prediction" => experiments::render_prediction(&study),
+        "backlog" => experiments::render_backlog(&study),
+        other => {
+            eprintln!("unknown experiment {other}");
+            return ExitCode::FAILURE;
+        }
+    };
+    println!("{text}");
+    ExitCode::SUCCESS
+}
+
+/// The EXPERIMENTS.md-style paper-vs-measured summary.
+fn markdown_summary(study: &FailureStudy<'_>) -> String {
+    let report = study.report();
+    let mut out = String::new();
+    out.push_str("## Headline paper-vs-measured summary\n\n");
+    let mut t = TextTable::new(vec!["Experiment", "Metric", "Paper", "Measured"]);
+    t.row(vec![
+        "overall".into(),
+        "total FOTs".into(),
+        format!("~{}", paper::TOTAL_FOTS),
+        report.total_fots.to_string(),
+    ]);
+    t.row(vec![
+        "Table I".into(),
+        "D_fixing share".into(),
+        pct(0.703),
+        pct(report.fixing_share),
+    ]);
+    t.row(vec![
+        "Table I".into(),
+        "D_error share".into(),
+        pct(0.280),
+        pct(report.error_share),
+    ]);
+    t.row(vec![
+        "Table I".into(),
+        "D_falsealarm share".into(),
+        pct(0.017),
+        pct(report.false_alarm_share),
+    ]);
+    for (class, share) in &report.component_shares {
+        let paper_share = paper::COMPONENT_SHARES
+            .iter()
+            .find(|(c, _)| c == class)
+            .map(|(_, s)| *s)
+            .unwrap_or(0.0);
+        t.row(vec![
+            "Table II".into(),
+            format!("{} share", class.name()),
+            pct(paper_share),
+            pct(*share),
+        ]);
+    }
+    if let Some(m) = report.mtbf_minutes {
+        t.row(vec![
+            "Fig. 5".into(),
+            "fleet MTBF (min)".into(),
+            format!("{:.1}", paper::MTBF_MINUTES),
+            format!("{m:.1}"),
+        ]);
+    }
+    t.row(vec![
+        "Fig. 5".into(),
+        "all 4 TBF families rejected @0.05".into(),
+        "yes".into(),
+        report
+            .tbf_all_families_rejected
+            .map(|b| if b { "yes" } else { "no" })
+            .unwrap_or("n/a")
+            .into(),
+    ]);
+    t.row(vec![
+        "Fig. 3".into(),
+        "H1 rejected @0.01".into(),
+        "yes".into(),
+        report
+            .day_of_week_rejected_001
+            .map(|b| if b { "yes" } else { "no" })
+            .unwrap_or("n/a")
+            .into(),
+    ]);
+    t.row(vec![
+        "Fig. 4".into(),
+        "H2 rejected @0.01".into(),
+        "yes".into(),
+        report
+            .hour_of_day_rejected_001
+            .map(|b| if b { "yes" } else { "no" })
+            .unwrap_or("n/a")
+            .into(),
+    ]);
+    t.row(vec![
+        "Fig. 7".into(),
+        "never-repeat share of fixed comps".into(),
+        format!("> {}", pct(paper::repeats::NEVER_REPEAT_SHARE)),
+        pct(report.never_repeat_share),
+    ]);
+    t.row(vec![
+        "Fig. 7".into(),
+        "repeat share of ever-failed servers".into(),
+        pct(paper::repeats::REPEAT_SERVER_SHARE),
+        pct(report.repeat_server_share),
+    ]);
+    t.row(vec![
+        "Fig. 7".into(),
+        "max FOTs on one server".into(),
+        format!("> {}", paper::repeats::MAX_FOTS_ONE_SERVER),
+        report.max_fots_one_server.to_string(),
+    ]);
+    t.row(vec![
+        "Table IV".into(),
+        "DCs p<0.01 / 0.01..0.05 / >=0.05".into(),
+        format!(
+            "{}/{}/{}",
+            paper::table_iv::REJECTED_001,
+            paper::table_iv::BORDERLINE,
+            paper::table_iv::ACCEPTED
+        ),
+        format!(
+            "{}/{}/{} (+{} skipped)",
+            report.table_iv.rejected_001,
+            report.table_iv.borderline,
+            report.table_iv.accepted,
+            report.table_iv.skipped
+        ),
+    ]);
+    t.row(vec![
+        "Table VI".into(),
+        "servers with correlated pairs".into(),
+        pct(paper::correlation::PAIR_SERVER_SHARE),
+        pct(report.pair_server_share),
+    ]);
+    t.row(vec![
+        "Table VI".into(),
+        "incidents involving misc".into(),
+        pct(paper::correlation::MISC_INVOLVED_SHARE),
+        pct(report.misc_involved_share),
+    ]);
+    if let Some(rt) = &report.rt_fixing {
+        t.row(vec![
+            "Fig. 9".into(),
+            "D_fixing MTTR / median (days)".into(),
+            format!(
+                "{:.1} / {:.1}",
+                paper::response::FIXING_MEAN_DAYS,
+                paper::response::FIXING_MEDIAN_DAYS
+            ),
+            format!("{:.1} / {:.1}", rt.mean_days, rt.median_days),
+        ]);
+        t.row(vec![
+            "Fig. 9".into(),
+            "RT > 140 d / > 200 d".into(),
+            format!(
+                "{} / {}",
+                pct(paper::response::OVER_140_DAYS),
+                pct(paper::response::OVER_200_DAYS)
+            ),
+            format!("{} / {}", pct(rt.over_140d), pct(rt.over_200d)),
+        ]);
+    }
+    if let Some(rt) = &report.rt_false_alarm {
+        t.row(vec![
+            "Fig. 9".into(),
+            "D_falsealarm MTTR / median (days)".into(),
+            format!(
+                "{:.1} / {:.1}",
+                paper::response::FALSE_ALARM_MEAN_DAYS,
+                paper::response::FALSE_ALARM_MEDIAN_DAYS
+            ),
+            format!("{:.1} / {:.1}", rt.mean_days, rt.median_days),
+        ]);
+    }
+    out.push_str(&t.render_markdown());
+    out
+}

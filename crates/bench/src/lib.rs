@@ -1,0 +1,58 @@
+//! # dcf-bench
+//!
+//! Benchmark and reproduction harness for the `dcfail` study.
+//!
+//! * `src/bin/reproduce.rs` — regenerates every paper table and figure
+//!   from a simulated trace and prints paper-vs-measured.
+//! * `benches/tables.rs`, `benches/figures.rs` — criterion benchmarks of
+//!   each analysis, one group per paper artifact.
+//! * `benches/pipeline.rs` — end-to-end simulation/IO benchmarks.
+//! * `benches/ablations.rs` — the DESIGN.md ablation experiments
+//!   (no-batch, active probing, effective repairs, modern cooling,
+//!   partial monitoring).
+//! * `benches/extensions.rs` — the §VII extension tools (predictor, FOT
+//!   miner, backlog, trace slicing).
+
+#![warn(missing_docs)]
+
+use std::sync::OnceLock;
+
+use dcf_sim::Scenario;
+use dcf_trace::Trace;
+
+/// A cached medium-scale trace (20k servers, full 1,411-day window) shared
+/// by the criterion benches so generation cost is paid once.
+pub fn medium_trace() -> &'static Trace {
+    static T: OnceLock<Trace> = OnceLock::new();
+    T.get_or_init(|| {
+        Scenario::medium()
+            .seed(0xBE7C)
+            .run()
+            .expect("medium scenario runs")
+    })
+}
+
+/// A cached small trace for the cheapest benches.
+pub fn small_trace() -> &'static Trace {
+    static T: OnceLock<Trace> = OnceLock::new();
+    T.get_or_init(|| {
+        Scenario::small()
+            .seed(0xBE7C)
+            .run()
+            .expect("small scenario runs")
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cached_traces_are_nonempty_and_stable() {
+        let a = medium_trace();
+        assert!(!a.is_empty());
+        let b = medium_trace();
+        assert!(std::ptr::eq(a, b));
+        assert!(!small_trace().is_empty());
+    }
+}

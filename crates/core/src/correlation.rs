@@ -1,0 +1,319 @@
+//! §V-B/§V-C correlated-failure mining: same-server multi-component
+//! failures (Table VI), causal examples (Table VII), and synchronously
+//! repeating server groups (Table VIII).
+//!
+//! # Examples
+//!
+//! ```
+//! use dcf_core::correlation::Correlation;
+//!
+//! let trace = dcf_sim::Scenario::small().seed(1).run().unwrap();
+//! let corr = Correlation::new(&trace).component_pairs();
+//! // Correlated multi-component days are rare (paper: 0.49% of servers).
+//! assert!(corr.pair_server_share < 0.05);
+//! ```
+
+use std::collections::HashMap;
+
+use serde::{Deserialize, Serialize};
+
+use dcf_trace::{ComponentClass, Fot, ServerId, SimTime, Trace};
+
+/// An unordered component-class pair with a count (a Table VI cell).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PairCount {
+    /// First class (lower Table II index).
+    pub a: ComponentClass,
+    /// Second class.
+    pub b: ComponentClass,
+    /// Number of correlated incidents.
+    pub count: usize,
+}
+
+/// Table VI plus the §V-B summary statistics.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CorrelatedComponents {
+    /// Pair counts, largest first.
+    pub pairs: Vec<PairCount>,
+    /// Servers that experienced at least one correlated incident.
+    pub servers_with_pairs: usize,
+    /// Share of ever-failed servers with correlated incidents
+    /// (paper: 0.49%).
+    pub pair_server_share: f64,
+    /// Share of correlated incidents involving a miscellaneous report
+    /// (paper: 71.5%).
+    pub misc_involved_share: f64,
+}
+
+/// A Table VII-style causal example: two same-server failures minutes
+/// apart.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CausalExample {
+    /// The server.
+    pub server: ServerId,
+    /// `(class, device path, error time)` of the earlier failure.
+    pub first: (ComponentClass, String, SimTime),
+    /// Same for the later failure.
+    pub second: (ComponentClass, String, SimTime),
+}
+
+/// A Table VIII-style synchronous group: servers repeatedly failing within
+/// seconds of each other.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SynchronousGroup {
+    /// The servers involved.
+    pub servers: Vec<ServerId>,
+    /// The shared occurrence times (first server's timestamps).
+    pub occurrences: Vec<SimTime>,
+}
+
+/// §V-B/C analysis over one trace.
+#[derive(Debug, Clone)]
+pub struct Correlation<'a> {
+    trace: &'a Trace,
+}
+
+impl<'a> Correlation<'a> {
+    /// Creates the analysis.
+    pub fn new(trace: &'a Trace) -> Self {
+        Self { trace }
+    }
+
+    /// Table VI: failures of different component classes on the same server
+    /// within one calendar day.
+    pub fn component_pairs(&self) -> CorrelatedComponents {
+        // (server, day) → set of classes (bitmask over the 11 classes).
+        let mut day_classes: HashMap<(ServerId, u64), u16> = HashMap::new();
+        let mut ever_failed: HashMap<ServerId, ()> = HashMap::new();
+        for fot in self.trace.failures() {
+            ever_failed.insert(fot.server, ());
+            let key = (fot.server, fot.error_time.day_index());
+            *day_classes.entry(key).or_insert(0) |= 1 << fot.device.index();
+        }
+
+        let mut pair_counts: HashMap<(usize, usize), usize> = HashMap::new();
+        let mut incidents_with_misc = 0usize;
+        let mut incidents = 0usize;
+        let mut servers_with_pairs: HashMap<ServerId, ()> = HashMap::new();
+        let misc_bit = 1u16 << ComponentClass::Miscellaneous.index();
+        for (&(server, _day), &mask) in &day_classes {
+            if mask.count_ones() < 2 {
+                continue;
+            }
+            incidents += 1;
+            servers_with_pairs.insert(server, ());
+            if mask & misc_bit != 0 {
+                incidents_with_misc += 1;
+            }
+            let classes: Vec<usize> = (0..11).filter(|i| mask & (1 << i) != 0).collect();
+            for (i, &a) in classes.iter().enumerate() {
+                for &b in &classes[i + 1..] {
+                    *pair_counts.entry((a, b)).or_insert(0) += 1;
+                }
+            }
+        }
+
+        let mut pairs: Vec<PairCount> = pair_counts
+            .into_iter()
+            .map(|((a, b), count)| PairCount {
+                a: ComponentClass::ALL[a],
+                b: ComponentClass::ALL[b],
+                count,
+            })
+            .collect();
+        pairs.sort_by_key(|p| std::cmp::Reverse(p.count));
+
+        CorrelatedComponents {
+            pairs,
+            servers_with_pairs: servers_with_pairs.len(),
+            pair_server_share: servers_with_pairs.len() as f64 / ever_failed.len().max(1) as f64,
+            misc_involved_share: incidents_with_misc as f64 / incidents.max(1) as f64,
+        }
+    }
+
+    /// Table VII-style examples: same-server `(first_class, second_class)`
+    /// failures within `max_gap_secs`, up to `limit` examples.
+    pub fn causal_examples(
+        &self,
+        first_class: ComponentClass,
+        second_class: ComponentClass,
+        max_gap_secs: u64,
+        limit: usize,
+    ) -> Vec<CausalExample> {
+        let mut out = Vec::new();
+        for server in self.trace.servers() {
+            let fots: Vec<&Fot> = self
+                .trace
+                .fots_of_server(server.id)
+                .filter(|f| f.is_failure())
+                .collect();
+            for (i, f1) in fots.iter().enumerate() {
+                for f2 in fots.iter().skip(i + 1) {
+                    let gap = f2.error_time.since(f1.error_time).as_secs();
+                    if gap > max_gap_secs {
+                        break;
+                    }
+                    let matches = (f1.device == first_class && f2.device == second_class)
+                        || (f1.device == second_class && f2.device == first_class);
+                    if matches {
+                        out.push(CausalExample {
+                            server: server.id,
+                            first: (f1.device, f1.device_path(), f1.error_time),
+                            second: (f2.device, f2.device_path(), f2.error_time),
+                        });
+                        if out.len() >= limit {
+                            return out;
+                        }
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    /// Table VIII: groups of servers repeatedly failing within
+    /// `skew_secs` of one another at least `min_occurrences` times.
+    ///
+    /// Buckets failures by `(class, time / skew_secs)`; buckets bigger than
+    /// `max_bucket` servers are ignored as batch events rather than
+    /// synchronous pairs.
+    pub fn synchronous_groups(
+        &self,
+        skew_secs: u64,
+        min_occurrences: usize,
+        max_bucket: usize,
+    ) -> Vec<SynchronousGroup> {
+        assert!(skew_secs > 0, "skew must be positive");
+        // Two bucketing phases (offset 0 and skew/2) so co-occurrences that
+        // straddle one phase's bucket boundary land together in the other.
+        // (phase, class, coarse time bucket) → servers seen.
+        let mut buckets: HashMap<(u8, u8, u64), Vec<(ServerId, SimTime)>> = HashMap::new();
+        for fot in self.trace.failures() {
+            let secs = fot.error_time.as_secs();
+            for phase in 0..2u8 {
+                let key = (
+                    phase,
+                    fot.device.index() as u8,
+                    (secs + phase as u64 * skew_secs / 2) / skew_secs,
+                );
+                buckets
+                    .entry(key)
+                    .or_default()
+                    .push((fot.server, fot.error_time));
+            }
+        }
+
+        // Pair → co-occurrence times.
+        let mut pair_times: HashMap<(ServerId, ServerId), Vec<SimTime>> = HashMap::new();
+        for ((_, _, _), members) in buckets {
+            if members.len() < 2 || members.len() > max_bucket {
+                continue;
+            }
+            for (i, &(s1, t1)) in members.iter().enumerate() {
+                for &(s2, _) in members.iter().skip(i + 1) {
+                    if s1 == s2 {
+                        continue;
+                    }
+                    let key = if s1 < s2 { (s1, s2) } else { (s2, s1) };
+                    pair_times.entry(key).or_default().push(t1);
+                }
+            }
+        }
+
+        let mut groups: Vec<SynchronousGroup> = pair_times
+            .into_iter()
+            .map(|((s1, s2), mut times)| {
+                times.sort_unstable();
+                // Merge co-occurrences closer than the skew (the two phases
+                // may both record the same incident).
+                times.dedup_by(|b, a| b.since(*a).as_secs() < skew_secs);
+                SynchronousGroup {
+                    servers: vec![s1, s2],
+                    occurrences: times,
+                }
+            })
+            .filter(|g| g.occurrences.len() >= min_occurrences)
+            .collect();
+        groups.sort_by(|a, b| {
+            b.occurrences
+                .len()
+                .cmp(&a.occurrences.len())
+                .then(a.servers.cmp(&b.servers))
+        });
+        groups
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::test_support::{medium_trace, synthetic_trace};
+
+    #[test]
+    fn pairs_are_rare_and_misc_dominates() {
+        let trace = medium_trace();
+        let c = Correlation::new(&trace).component_pairs();
+        assert!(!c.pairs.is_empty());
+        // Paper: 0.49% of ever-failed servers; allow a loose band.
+        assert!(
+            c.pair_server_share < 0.05,
+            "pair server share {}",
+            c.pair_server_share
+        );
+        // Paper: 71.5% of incidents involve a misc report.
+        assert!(
+            c.misc_involved_share > 0.4,
+            "misc share {}",
+            c.misc_involved_share
+        );
+        // The dominant pair involves HDD (349 HDD–misc pairs in Table VI).
+        let top = &c.pairs[0];
+        assert!(
+            top.a == ComponentClass::Hdd || top.b == ComponentClass::Hdd,
+            "top pair {top:?}"
+        );
+    }
+
+    #[test]
+    fn power_fan_examples_exist_at_scale() {
+        let trace = medium_trace();
+        let examples = Correlation::new(&trace).causal_examples(
+            ComponentClass::Power,
+            ComponentClass::Fan,
+            300,
+            5,
+        );
+        // Power→fan propagation is injected with small probability; at 20k
+        // servers it may or may not fire, but the search must be well formed.
+        for e in &examples {
+            let gap = e.second.2.since(e.first.2).as_secs();
+            assert!(gap <= 300);
+            assert!(e.first.0 != e.second.0);
+        }
+    }
+
+    #[test]
+    fn synchronous_groups_are_detected() {
+        let trace = synthetic_trace();
+        let groups = Correlation::new(&trace).synchronous_groups(60, 3, 6);
+        // The small scenario schedules at least one sync group.
+        assert!(
+            !groups.is_empty(),
+            "expected at least one synchronous group"
+        );
+        let g = &groups[0];
+        assert_eq!(g.servers.len(), 2);
+        assert!(g.occurrences.len() >= 3);
+        // Servers are co-located by construction (same rack).
+        let s1 = trace.server(g.servers[0]);
+        let s2 = trace.server(g.servers[1]);
+        assert_eq!(s1.data_center, s2.data_center);
+    }
+
+    #[test]
+    #[should_panic(expected = "skew must be positive")]
+    fn synchronous_groups_validate_skew() {
+        let trace = synthetic_trace();
+        Correlation::new(&trace).synchronous_groups(0, 3, 6);
+    }
+}

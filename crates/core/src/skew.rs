@@ -1,0 +1,230 @@
+//! §III-D: failure concentration across servers (Figure 7) and repeating
+//! failures / repair effectiveness.
+//!
+//! # Examples
+//!
+//! ```
+//! use dcf_core::skew::Skew;
+//!
+//! let trace = dcf_sim::Scenario::small().seed(1).run().unwrap();
+//! let c = Skew::new(&trace).concentration();
+//! assert!(c.top_share(0.5) >= 0.5); // top half holds at least half
+//! ```
+
+use std::collections::HashMap;
+
+use serde::{Deserialize, Serialize};
+
+use dcf_trace::{FotCategory, ServerId, Trace};
+
+/// Figure 7: how concentrated failures are across ever-failed servers.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ConcentrationResult {
+    /// Number of servers with at least one failure.
+    pub servers_ever_failed: usize,
+    /// Share of all servers that ever failed.
+    pub ever_failed_share: f64,
+    /// Total failures.
+    pub total_failures: usize,
+    /// Per-server failure counts, descending.
+    pub counts_desc: Vec<u32>,
+    /// Most failures observed on a single server (the paper's pathological
+    /// BBU server logged 400+).
+    pub max_on_one_server: u32,
+}
+
+impl ConcentrationResult {
+    /// Cumulative failure share contributed by the top `fraction` of
+    /// ever-failed servers (Figure 7's curve evaluated at one x).
+    pub fn top_share(&self, fraction: f64) -> f64 {
+        assert!((0.0..=1.0).contains(&fraction), "fraction must be in [0,1]");
+        if self.total_failures == 0 {
+            return 0.0;
+        }
+        let k = ((self.counts_desc.len() as f64 * fraction).ceil() as usize)
+            .min(self.counts_desc.len());
+        let top: u64 = self.counts_desc[..k].iter().map(|&c| c as u64).sum();
+        top as f64 / self.total_failures as f64
+    }
+
+    /// The full concentration curve, `(server fraction, failure share)`,
+    /// downsampled to at most `points` entries.
+    pub fn curve(&self, points: usize) -> Vec<(f64, f64)> {
+        let n = self.counts_desc.len();
+        if n == 0 {
+            return Vec::new();
+        }
+        let points = points.clamp(2, n.max(2));
+        let mut cum = 0u64;
+        let mut prefix: Vec<u64> = Vec::with_capacity(n);
+        for &c in &self.counts_desc {
+            cum += c as u64;
+            prefix.push(cum);
+        }
+        (1..=points)
+            .map(|i| {
+                let idx = (i * n).div_ceil(points).clamp(1, n);
+                (
+                    idx as f64 / n as f64,
+                    prefix[idx - 1] as f64 / self.total_failures.max(1) as f64,
+                )
+            })
+            .collect()
+    }
+}
+
+/// Repeating-failure statistics (§III-D).
+///
+/// A *component* is identified by `(server, class, slot, failure type)`;
+/// it repeats if the same problem recurs after being handled.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct RepeatStats {
+    /// Components with at least one `D_fixing` (repaired) failure.
+    pub fixed_components: usize,
+    /// Of those, components whose problem recurred.
+    pub repeating_components: usize,
+    /// Share of fixed components that never repeat (paper: > 85%).
+    pub never_repeat_share: f64,
+    /// Servers with at least one repeating component.
+    pub servers_with_repeats: usize,
+    /// Share of ever-failed servers with repeats (paper: ~4.5%).
+    pub repeat_server_share: f64,
+}
+
+/// §III-D analysis over one trace.
+#[derive(Debug, Clone)]
+pub struct Skew<'a> {
+    trace: &'a Trace,
+}
+
+impl<'a> Skew<'a> {
+    /// Creates the analysis.
+    pub fn new(trace: &'a Trace) -> Self {
+        Self { trace }
+    }
+
+    /// Figure 7's concentration data.
+    pub fn concentration(&self) -> ConcentrationResult {
+        let mut per_server: HashMap<ServerId, u32> = HashMap::new();
+        let mut total = 0usize;
+        for fot in self.trace.failures() {
+            *per_server.entry(fot.server).or_insert(0) += 1;
+            total += 1;
+        }
+        let mut counts_desc: Vec<u32> = per_server.values().copied().collect();
+        counts_desc.sort_unstable_by(|a, b| b.cmp(a));
+        ConcentrationResult {
+            servers_ever_failed: per_server.len(),
+            ever_failed_share: per_server.len() as f64 / self.trace.servers().len().max(1) as f64,
+            total_failures: total,
+            max_on_one_server: counts_desc.first().copied().unwrap_or(0),
+            counts_desc,
+        }
+    }
+
+    /// Repeating-failure statistics.
+    pub fn repeats(&self) -> RepeatStats {
+        // component key → (failure occurrences, had a D_fixing ticket)
+        let mut components: HashMap<(ServerId, u8, u8, u8), (u32, bool)> = HashMap::new();
+        let mut failed_servers: HashMap<ServerId, bool> = HashMap::new();
+        for fot in self.trace.failures() {
+            let key = (
+                fot.server,
+                fot.device.index() as u8,
+                fot.device_slot,
+                type_tag(fot.failure_type),
+            );
+            let entry = components.entry(key).or_insert((0, false));
+            entry.0 += 1;
+            entry.1 |= fot.category == FotCategory::Fixing;
+            failed_servers.entry(fot.server).or_insert(false);
+        }
+        let mut fixed = 0usize;
+        let mut repeating = 0usize;
+        for ((server, _, _, _), (occurrences, was_fixed)) in &components {
+            if !was_fixed {
+                continue;
+            }
+            fixed += 1;
+            if *occurrences >= 2 {
+                repeating += 1;
+                failed_servers.insert(*server, true);
+            }
+        }
+        let servers_with_repeats = failed_servers.values().filter(|&&v| v).count();
+        RepeatStats {
+            fixed_components: fixed,
+            repeating_components: repeating,
+            never_repeat_share: 1.0 - repeating as f64 / fixed.max(1) as f64,
+            servers_with_repeats,
+            repeat_server_share: servers_with_repeats as f64 / failed_servers.len().max(1) as f64,
+        }
+    }
+}
+
+/// Stable small integer tag for a failure type (for compact hashing).
+pub(crate) fn type_tag(t: dcf_trace::FailureType) -> u8 {
+    dcf_trace::FailureType::ALL
+        .iter()
+        .position(|&x| x == t)
+        .expect("ALL is complete") as u8
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::test_support::synthetic_trace;
+
+    #[test]
+    fn concentration_is_heavily_skewed() {
+        let trace = synthetic_trace();
+        let c = Skew::new(&trace).concentration();
+        assert!(c.servers_ever_failed > 0);
+        assert_eq!(
+            c.total_failures,
+            c.counts_desc.iter().map(|&x| x as usize).sum::<usize>()
+        );
+        // The top 10% of ever-failed servers carry well over 10% of failures.
+        let top10 = c.top_share(0.10);
+        assert!(top10 > 0.2, "top-10% share {top10}");
+        // Shares are monotone in the fraction.
+        assert!(c.top_share(0.5) >= top10);
+        assert!((c.top_share(1.0) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn curve_is_monotone_and_ends_at_one() {
+        let trace = synthetic_trace();
+        let c = Skew::new(&trace).concentration();
+        let curve = c.curve(50);
+        assert!(!curve.is_empty());
+        for w in curve.windows(2) {
+            assert!(w[0].0 <= w[1].0 && w[0].1 <= w[1].1 + 1e-12);
+        }
+        let (fx, fy) = *curve.last().unwrap();
+        assert!((fx - 1.0).abs() < 1e-12 && (fy - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn most_fixed_components_never_repeat() {
+        let trace = synthetic_trace();
+        let r = Skew::new(&trace).repeats();
+        assert!(r.fixed_components > 0);
+        // Paper: over 85% of fixed components never repeat.
+        assert!(
+            r.never_repeat_share > 0.80,
+            "never-repeat share {}",
+            r.never_repeat_share
+        );
+        // But repeats do exist, on a small share of servers.
+        assert!(r.repeating_components > 0);
+        assert!(r.repeat_server_share < 0.25);
+    }
+
+    #[test]
+    #[should_panic(expected = "fraction must be in [0,1]")]
+    fn top_share_validates() {
+        let trace = synthetic_trace();
+        Skew::new(&trace).concentration().top_share(1.5);
+    }
+}

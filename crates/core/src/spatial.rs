@@ -1,0 +1,258 @@
+//! §IV spatial analysis: failure rate vs rack position (Hypothesis 5,
+//! Table IV, Figure 8).
+//!
+//! Following the paper's method: repeating failures are filtered out, a
+//! server failure is counted when any of its components fail, counts are
+//! normalized by the number of servers at each position, and a chi-squared
+//! test (expected ∝ per-position population) decides Hypothesis 5 per data
+//! center. Positions outside μ±2σ of the per-position failure ratio are
+//! flagged as anomalies.
+
+use std::collections::HashSet;
+
+use serde::{Deserialize, Serialize};
+
+use dcf_stats::anomaly::sigma_outliers;
+use dcf_stats::chi_square::{against_expected, ChiSquareOutcome};
+use dcf_trace::{DataCenterId, Trace};
+
+/// Per-position statistics inside one data center (Figure 8's bars).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PositionStat {
+    /// Rack slot position.
+    pub position: u8,
+    /// Servers installed at this position across the DC.
+    pub servers: usize,
+    /// (Deduplicated) server failures observed at this position.
+    pub failures: usize,
+    /// Failures per server (the "failure ratio" the paper plots).
+    pub ratio: f64,
+}
+
+/// Hypothesis 5 result for one data center.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DcSpatialResult {
+    /// The data center.
+    pub dc: DataCenterId,
+    /// Whether it was built after 2014 (modern cooling cohort).
+    pub built_after_2014: bool,
+    /// Per-position stats, for positions hosting at least one server.
+    pub positions: Vec<PositionStat>,
+    /// Chi-squared test of Hypothesis 5 (`None` if too few failures).
+    pub test: Option<ChiSquareOutcome>,
+    /// Positions whose failure ratio lies outside μ ± 2σ.
+    pub anomalous_positions: Vec<u8>,
+}
+
+/// Table IV: the rejected/borderline/accepted split across data centers.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TableIv {
+    /// Data centers with p < 0.01 (paper: 10 of 24).
+    pub rejected_001: usize,
+    /// Data centers with 0.01 ≤ p < 0.05 (paper: 4 of 24).
+    pub borderline: usize,
+    /// Data centers with p ≥ 0.05 (paper: 10 of 24).
+    pub accepted: usize,
+    /// Data centers skipped for lack of data.
+    pub skipped: usize,
+}
+
+/// §IV analysis over one trace.
+#[derive(Debug, Clone)]
+pub struct Spatial<'a> {
+    trace: &'a Trace,
+}
+
+impl<'a> Spatial<'a> {
+    /// Creates the analysis.
+    pub fn new(trace: &'a Trace) -> Self {
+        Self { trace }
+    }
+
+    /// Hypothesis 5 per data center.
+    ///
+    /// `min_failures` guards the chi-squared test: DCs with fewer
+    /// (deduplicated) failures get `test: None`.
+    pub fn by_data_center(&self, min_failures: usize) -> Vec<DcSpatialResult> {
+        let n_dcs = self.trace.data_centers().len();
+        let max_pos = self
+            .trace
+            .data_centers()
+            .iter()
+            .map(|d| d.rack_positions as usize)
+            .max()
+            .unwrap_or(0);
+
+        // Per-position server populations.
+        let mut servers = vec![vec![0usize; max_pos]; n_dcs];
+        for s in self.trace.servers() {
+            servers[s.data_center.index()][s.position.index()] += 1;
+        }
+
+        // Deduplicated failures: filter out repeats of the same problem on
+        // the same component, as the paper does.
+        let mut failures = vec![vec![0usize; max_pos]; n_dcs];
+        let mut seen: HashSet<(u32, u8, u8, u8)> = HashSet::new();
+        for fot in self.trace.failures() {
+            let key = (
+                fot.server.raw(),
+                fot.device.index() as u8,
+                fot.device_slot,
+                crate::skew_type_tag(fot.failure_type),
+            );
+            if !seen.insert(key) {
+                continue;
+            }
+            failures[fot.data_center.index()][fot.rack_position.index()] += 1;
+        }
+
+        self.trace
+            .data_centers()
+            .iter()
+            .map(|dc| {
+                let i = dc.id.index();
+                let positions: Vec<PositionStat> = (0..dc.rack_positions as usize)
+                    .filter(|&p| servers[i][p] > 0)
+                    .map(|p| PositionStat {
+                        position: p as u8,
+                        servers: servers[i][p],
+                        failures: failures[i][p],
+                        ratio: failures[i][p] as f64 / servers[i][p] as f64,
+                    })
+                    .collect();
+                let total_failures: usize = positions.iter().map(|p| p.failures).sum();
+                let total_servers: usize = positions.iter().map(|p| p.servers).sum();
+
+                let test = if total_failures >= min_failures && positions.len() >= 3 {
+                    let observed: Vec<f64> = positions.iter().map(|p| p.failures as f64).collect();
+                    let expected: Vec<f64> = positions
+                        .iter()
+                        .map(|p| total_failures as f64 * p.servers as f64 / total_servers as f64)
+                        .collect();
+                    against_expected(&observed, &expected).ok()
+                } else {
+                    None
+                };
+
+                let ratios: Vec<f64> = positions.iter().map(|p| p.ratio).collect();
+                let anomalous_positions = sigma_outliers(&ratios, 2.0)
+                    .map(|hits| {
+                        let mut v: Vec<u8> =
+                            hits.iter().map(|a| positions[a.index].position).collect();
+                        v.sort_unstable();
+                        v
+                    })
+                    .unwrap_or_default();
+
+                DcSpatialResult {
+                    dc: dc.id,
+                    built_after_2014: dc.built_after_2014(),
+                    positions,
+                    test,
+                    anomalous_positions,
+                }
+            })
+            .collect()
+    }
+
+    /// Table IV's bucket counts at the 0.01 / 0.05 thresholds.
+    pub fn table_iv(&self, results: &[DcSpatialResult]) -> TableIv {
+        let mut t = TableIv {
+            rejected_001: 0,
+            borderline: 0,
+            accepted: 0,
+            skipped: 0,
+        };
+        for r in results {
+            match &r.test {
+                None => t.skipped += 1,
+                Some(out) if out.p_value < 0.01 => t.rejected_001 += 1,
+                Some(out) if out.p_value < 0.05 => t.borderline += 1,
+                Some(_) => t.accepted += 1,
+            }
+        }
+        t
+    }
+
+    /// Among data centers built after 2014 (with a valid test), the share
+    /// where Hypothesis 5 can NOT be rejected at `alpha` — the paper finds
+    /// ~90% at 0.02.
+    pub fn modern_acceptance_share(&self, results: &[DcSpatialResult], alpha: f64) -> f64 {
+        let modern: Vec<&DcSpatialResult> = results
+            .iter()
+            .filter(|r| r.built_after_2014 && r.test.is_some())
+            .collect();
+        if modern.is_empty() {
+            return f64::NAN;
+        }
+        let accepted = modern
+            .iter()
+            .filter(|r| !r.test.as_ref().expect("filtered Some").rejects_at(alpha))
+            .count();
+        accepted as f64 / modern.len() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::test_support::medium_trace;
+
+    #[test]
+    fn positions_and_populations_are_consistent() {
+        let trace = medium_trace();
+        let results = Spatial::new(&trace).by_data_center(200);
+        assert_eq!(results.len(), trace.data_centers().len());
+        for r in &results {
+            let servers: usize = r.positions.iter().map(|p| p.servers).sum();
+            assert!(servers > 0);
+            for p in &r.positions {
+                assert!(p.servers > 0); // zero-population positions excluded
+                assert!((p.ratio - p.failures as f64 / p.servers as f64).abs() < 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn old_gradient_dcs_reject_modern_ones_accept() {
+        let trace = medium_trace();
+        let spatial = Spatial::new(&trace);
+        let results = spatial.by_data_center(200);
+        // DC 1 ("data center B") has the strong gradient: rejected at 0.01.
+        let dc_b = &results[1];
+        if let Some(test) = &dc_b.test {
+            assert!(test.rejects_at(0.01), "DC B: {test}");
+        }
+        // Modern DCs mostly cannot reject.
+        let share = spatial.modern_acceptance_share(&results, 0.02);
+        assert!(share.is_nan() || share > 0.5, "modern acceptance {share}");
+    }
+
+    #[test]
+    fn dc_a_flags_its_hot_positions() {
+        let trace = medium_trace();
+        let results = Spatial::new(&trace).by_data_center(200);
+        let dc_a = &results[0];
+        // The builder gives DC 0 hot spots at positions 22 and 35.
+        assert!(
+            dc_a.anomalous_positions.contains(&22) || dc_a.anomalous_positions.contains(&35),
+            "DC A anomalies: {:?}",
+            dc_a.anomalous_positions
+        );
+    }
+
+    #[test]
+    fn table_iv_buckets_partition_the_dcs() {
+        let trace = medium_trace();
+        let spatial = Spatial::new(&trace);
+        let results = spatial.by_data_center(200);
+        let t = spatial.table_iv(&results);
+        assert_eq!(
+            t.rejected_001 + t.borderline + t.accepted + t.skipped,
+            results.len()
+        );
+        // Both rejection and acceptance occur in a mixed-cooling fleet.
+        assert!(t.rejected_001 > 0, "{t:?}");
+        assert!(t.accepted > 0, "{t:?}");
+    }
+}

@@ -1,0 +1,234 @@
+//! The [`FailureStudy`] facade: one entry point running every §II–§VI
+//! analysis, plus a serializable [`StudyReport`] with the headline metrics.
+
+use serde::{Deserialize, Serialize};
+
+use dcf_trace::{ComponentClass, FotCategory, Trace};
+
+use crate::batch::Batch;
+use crate::correlation::Correlation;
+use crate::lifecycle::Lifecycle;
+use crate::overview::Overview;
+use crate::response::{Response, RtStats};
+use crate::skew::Skew;
+use crate::spatial::{Spatial, TableIv};
+use crate::temporal::Temporal;
+
+/// One study over one trace; hands out the section analyses.
+///
+/// # Examples
+///
+/// ```
+/// use dcf_core::FailureStudy;
+/// use dcf_sim::Scenario;
+///
+/// let trace = Scenario::small().seed(1).run().unwrap();
+/// let study = FailureStudy::new(&trace);
+/// let breakdown = study.overview().category_breakdown();
+/// assert!(breakdown.fixing_share > 0.5);
+/// let tbf = study.temporal().tbf_all().unwrap();
+/// assert_eq!(tbf.fits.len(), 4); // exp / Weibull / gamma / lognormal
+/// ```
+#[derive(Debug, Clone)]
+pub struct FailureStudy<'a> {
+    trace: &'a Trace,
+}
+
+impl<'a> FailureStudy<'a> {
+    /// Creates a study over a trace.
+    pub fn new(trace: &'a Trace) -> Self {
+        Self { trace }
+    }
+
+    /// The underlying trace.
+    pub fn trace(&self) -> &'a Trace {
+        self.trace
+    }
+
+    /// §II overview (Tables I–III, Figure 2).
+    pub fn overview(&self) -> Overview<'a> {
+        Overview::new(self.trace)
+    }
+
+    /// §III-A/B temporal analyses (Figures 3–5, Hypotheses 1–4).
+    pub fn temporal(&self) -> Temporal<'a> {
+        Temporal::new(self.trace)
+    }
+
+    /// §III-C lifecycle analysis (Figure 6).
+    pub fn lifecycle(&self) -> Lifecycle<'a> {
+        Lifecycle::new(self.trace)
+    }
+
+    /// §III-D skew and repeats (Figure 7).
+    pub fn skew(&self) -> Skew<'a> {
+        Skew::new(self.trace)
+    }
+
+    /// §IV spatial analysis (Table IV, Figure 8, Hypothesis 5).
+    pub fn spatial(&self) -> Spatial<'a> {
+        Spatial::new(self.trace)
+    }
+
+    /// §V-A batch analysis (Table V).
+    pub fn batch(&self) -> Batch<'a> {
+        Batch::new(self.trace)
+    }
+
+    /// §V-B/C correlation mining (Tables VI–VIII).
+    pub fn correlation(&self) -> Correlation<'a> {
+        Correlation::new(self.trace)
+    }
+
+    /// §VI operator-response analysis (Figures 9–11).
+    pub fn response(&self) -> Response<'a> {
+        Response::new(self.trace)
+    }
+
+    /// §VII-A warning→failure prediction evaluation.
+    pub fn prediction(&self) -> crate::prediction::Prediction<'a> {
+        crate::prediction::Prediction::new(self.trace)
+    }
+
+    /// §VII-B FOT context miner (builds a per-day index; keep and reuse).
+    pub fn miner(&self) -> crate::mining::FotMiner<'a> {
+        crate::mining::FotMiner::new(self.trace)
+    }
+
+    /// §VII-A open-ticket backlog / degraded-capacity accounting.
+    pub fn backlog(&self) -> crate::backlog::Backlog<'a> {
+        crate::backlog::Backlog::new(self.trace)
+    }
+
+    /// Runs everything and collects the headline metrics.
+    pub fn report(&self) -> StudyReport {
+        let overview = self.overview();
+        let categories = overview.category_breakdown();
+        let components = overview.component_breakdown();
+        let temporal = self.temporal();
+        let tbf = temporal.tbf_all().ok();
+        let dow = temporal.day_of_week(None).ok();
+        let hod = temporal.hour_of_day(None).ok();
+        let skew = self.skew();
+        let concentration = skew.concentration();
+        let repeats = skew.repeats();
+        let spatial = self.spatial();
+        let spatial_results = spatial.by_data_center(200);
+        let table_iv = spatial.table_iv(&spatial_results);
+        let correlation = self.correlation().component_pairs();
+        let response = self.response();
+        let rt_fixing = response.rt_of_category(FotCategory::Fixing).ok();
+        let rt_false_alarm = response.rt_of_category(FotCategory::FalseAlarm).ok();
+
+        StudyReport {
+            total_fots: self.trace.len(),
+            total_failures: self.trace.failures().count(),
+            fixing_share: categories.fixing_share,
+            error_share: categories.error_share,
+            false_alarm_share: categories.false_alarm_share,
+            component_shares: components.iter().map(|c| (c.class, c.share)).collect(),
+            hdd_share: components
+                .iter()
+                .find(|c| c.class == ComponentClass::Hdd)
+                .map(|c| c.share)
+                .unwrap_or(0.0),
+            mtbf_minutes: tbf.as_ref().map(|t| t.mtbf_minutes),
+            tbf_all_families_rejected: tbf.as_ref().map(|t| t.all_rejected_at_005),
+            day_of_week_rejected_001: dow.map(|d| d.uniformity.rejects_at(0.01)),
+            hour_of_day_rejected_001: hod.map(|h| h.uniformity.rejects_at(0.01)),
+            servers_ever_failed: concentration.servers_ever_failed,
+            max_fots_one_server: concentration.max_on_one_server,
+            top_2pct_failure_share: concentration.top_share(0.02),
+            never_repeat_share: repeats.never_repeat_share,
+            repeat_server_share: repeats.repeat_server_share,
+            table_iv,
+            pair_server_share: correlation.pair_server_share,
+            misc_involved_share: correlation.misc_involved_share,
+            rt_fixing,
+            rt_false_alarm,
+        }
+    }
+}
+
+/// Headline metrics of a full study — serializable, and the backbone of
+/// EXPERIMENTS.md.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct StudyReport {
+    /// Total tickets.
+    pub total_fots: usize,
+    /// Total failures (`D_fixing` + `D_error`).
+    pub total_failures: usize,
+    /// Table I shares.
+    pub fixing_share: f64,
+    /// Table I shares.
+    pub error_share: f64,
+    /// Table I shares.
+    pub false_alarm_share: f64,
+    /// Table II shares, largest class first.
+    pub component_shares: Vec<(ComponentClass, f64)>,
+    /// HDD share of failures.
+    pub hdd_share: f64,
+    /// Fleet MTBF in minutes (`None` if too few failures).
+    pub mtbf_minutes: Option<f64>,
+    /// Hypothesis 3 outcome: all four TBF families rejected at 0.05.
+    pub tbf_all_families_rejected: Option<bool>,
+    /// Hypothesis 1 outcome at 0.01.
+    pub day_of_week_rejected_001: Option<bool>,
+    /// Hypothesis 2 outcome at 0.01.
+    pub hour_of_day_rejected_001: Option<bool>,
+    /// Servers with ≥ 1 failure.
+    pub servers_ever_failed: usize,
+    /// Max FOTs on one server.
+    pub max_fots_one_server: u32,
+    /// Failure share of the top 2% of ever-failed servers (Figure 7).
+    pub top_2pct_failure_share: f64,
+    /// Share of fixed components that never repeat.
+    pub never_repeat_share: f64,
+    /// Share of ever-failed servers with repeats.
+    pub repeat_server_share: f64,
+    /// Table IV buckets.
+    pub table_iv: TableIv,
+    /// Share of ever-failed servers with correlated multi-component days.
+    pub pair_server_share: f64,
+    /// Share of correlated incidents involving misc.
+    pub misc_involved_share: f64,
+    /// Figure 9 stats for `D_fixing`.
+    pub rt_fixing: Option<RtStats>,
+    /// Figure 9 stats for `D_falsealarm`.
+    pub rt_false_alarm: Option<RtStats>,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::test_support::synthetic_trace;
+
+    #[test]
+    fn report_runs_end_to_end_on_small_trace() {
+        let trace = synthetic_trace();
+        let report = FailureStudy::new(&trace).report();
+        assert_eq!(report.total_fots, trace.len());
+        assert!(report.total_failures <= report.total_fots);
+        assert!(report.hdd_share > 0.5);
+        assert_eq!(report.component_shares.len(), 11);
+        assert!(report.mtbf_minutes.unwrap() > 0.0);
+        // Hypothesis outcomes are computed (rejection itself needs the
+        // medium/paper scale's power; see tests/calibration.rs).
+        assert!(report.tbf_all_families_rejected.is_some());
+        assert!(report.day_of_week_rejected_001.is_some());
+        assert!(report.hour_of_day_rejected_001.is_some());
+        assert!(report.servers_ever_failed > 0);
+        assert!(report.rt_fixing.is_some());
+    }
+
+    #[test]
+    fn report_serializes() {
+        let trace = synthetic_trace();
+        let report = FailureStudy::new(&trace).report();
+        let json = serde_json::to_string(&report).unwrap();
+        let back: StudyReport = serde_json::from_str(&json).unwrap();
+        // Exact f64 round-trips rely on serde_json's `float_roundtrip`
+        // feature (enabled workspace-wide).
+        assert_eq!(back, report);
+    }
+}

@@ -1,0 +1,34 @@
+//! Shared test fixtures: a small simulated trace, generated once per test
+//! binary and cloned into each test.
+
+use std::sync::OnceLock;
+
+use dcf_trace::Trace;
+
+static SMALL: OnceLock<Trace> = OnceLock::new();
+static MEDIUM: OnceLock<Trace> = OnceLock::new();
+
+/// A small (2k-server, 360-day) calibrated trace, deterministic across runs.
+pub(crate) fn synthetic_trace() -> Trace {
+    SMALL
+        .get_or_init(|| {
+            dcf_sim::Scenario::small()
+                .seed(0xDCF)
+                .run()
+                .expect("small scenario runs")
+        })
+        .clone()
+}
+
+/// A medium (20k-server) trace for analyses that need more volume
+/// (spatial chi-squared, lifecycle curves).
+pub(crate) fn medium_trace() -> Trace {
+    MEDIUM
+        .get_or_init(|| {
+            dcf_sim::Scenario::medium()
+                .seed(0xDCF)
+                .run()
+                .expect("medium scenario runs")
+        })
+        .clone()
+}

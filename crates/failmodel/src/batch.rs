@@ -1,0 +1,429 @@
+//! Batch-failure events (§V-A): large groups of servers reporting the same
+//! failure within a short window.
+//!
+//! The paper's case studies drive the event taxonomy:
+//!
+//! * **Case 1** — thousands of same-model HDDs SMART-failing overnight
+//!   (firmware/homogeneity): `FirmwareBug` events target a
+//!   (product line, generation) cluster inside one data center.
+//! * **Case 2** — ~50 motherboards in two one-hour windows, root-caused to
+//!   faulty SAS cards: `SasCardBatch`.
+//! * **Case 3** — ~100 servers losing power over 12 hours via a single
+//!   PDU: `PduOutage`.
+//! * Operator/provider mistakes (the August 2016 PDU misoperation):
+//!   `OperatorMistake`, surfacing as bursts of miscellaneous tickets.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+use dcf_fleet::Fleet;
+use dcf_stats::{poisson_count, ContinuousDistribution, LogNormal};
+
+use crate::types::sample_type;
+use dcf_trace::{ComponentClass, DataCenterId, FailureType, ProductLineId, SimDuration, SimTime};
+
+/// Root cause of a batch event.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum BatchCause {
+    /// Shared design/firmware flaw in a homogeneous component population.
+    FirmwareBug,
+    /// Single power distribution unit failing.
+    PduOutage,
+    /// Faulty SAS cards surfacing as motherboard failures.
+    SasCardBatch,
+    /// Human mistake (operator or electricity provider).
+    OperatorMistake,
+}
+
+/// One batch event to be applied by the simulator.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct BatchEvent {
+    /// Root cause.
+    pub cause: BatchCause,
+    /// Component class of the resulting FOTs.
+    pub class: ComponentClass,
+    /// Failure type of the resulting FOTs (homogeneous within the batch).
+    pub failure_type: FailureType,
+    /// When the event begins.
+    pub start: SimTime,
+    /// Window over which affected servers report.
+    pub window: SimDuration,
+    /// Target number of affected servers (capped at the cluster size by the
+    /// simulator; `None` means "fraction of the cluster" below applies).
+    pub target_size: usize,
+    /// For mega events: fraction of the target cluster affected instead of
+    /// an absolute size (the paper's Case 1 hit 32% of a product line).
+    pub cluster_fraction: Option<f64>,
+    /// Data center hit.
+    pub dc: DataCenterId,
+    /// Product-line cluster (firmware-style events).
+    pub line: Option<ProductLineId>,
+    /// Hardware generation of the affected model (firmware-style events).
+    pub generation: Option<u8>,
+    /// PDU group (power events).
+    pub pdu: Option<u32>,
+    /// Minimum component age in days for a server to be affected — wear-out
+    /// related firmware issues (e.g. flash) only hit aged populations.
+    pub min_age_days: u64,
+}
+
+/// Yearly event rates and size distributions for the batch generator.
+///
+/// Rates are events/year at paper scale and scale linearly with fleet size;
+/// the `small`/`medium` fleets keep realistic *relative* batch pressure.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct BatchModel {
+    /// Small same-model HDD batches per year (tens of drives).
+    pub hdd_small_per_year: f64,
+    /// Medium HDD batches per year (low hundreds).
+    pub hdd_medium_per_year: f64,
+    /// Mega HDD batches per year (Case 1 scale, a large slice of a line).
+    pub hdd_mega_per_year: f64,
+    /// Memory firmware batches per year.
+    pub memory_per_year: f64,
+    /// RAID-card firmware batches per year.
+    pub raid_per_year: f64,
+    /// Flash-card firmware batches per year.
+    pub flash_per_year: f64,
+    /// Fan batches per year.
+    pub fan_per_year: f64,
+    /// PDU outages per year.
+    pub pdu_per_year: f64,
+    /// SAS-card (motherboard) batches per year.
+    pub sas_per_year: f64,
+    /// Operator-mistake misc bursts per year.
+    pub misc_per_year: f64,
+}
+
+impl Default for BatchModel {
+    fn default() -> Self {
+        Self {
+            hdd_small_per_year: 70.0,
+            hdd_medium_per_year: 140.0,
+            hdd_mega_per_year: 3.0,
+            memory_per_year: 3.5,
+            raid_per_year: 2.2,
+            flash_per_year: 1.2,
+            fan_per_year: 0.6,
+            pdu_per_year: 3.0,
+            sas_per_year: 1.0,
+            misc_per_year: 20.0,
+        }
+    }
+}
+
+impl BatchModel {
+    /// A model with every batch channel disabled — the `ablation_no_batch`
+    /// scenario, under which the paper expects TBF to become well behaved.
+    pub fn disabled() -> Self {
+        Self {
+            hdd_small_per_year: 0.0,
+            hdd_medium_per_year: 0.0,
+            hdd_mega_per_year: 0.0,
+            memory_per_year: 0.0,
+            raid_per_year: 0.0,
+            flash_per_year: 0.0,
+            fan_per_year: 0.0,
+            pdu_per_year: 0.0,
+            sas_per_year: 0.0,
+            misc_per_year: 0.0,
+        }
+    }
+
+    /// Generates all batch events for a fleet over `[start, end)`.
+    ///
+    /// Deterministic in `(self, fleet, seed)`. Event rates scale with
+    /// fleet size relative to paper scale (160k servers).
+    pub fn generate(
+        &self,
+        fleet: &Fleet,
+        start: SimTime,
+        end: SimTime,
+        seed: u64,
+    ) -> Vec<BatchEvent> {
+        let mut rng = StdRng::seed_from_u64(seed ^ 0xba7c_04ee_7000);
+        let scale = fleet.servers().len() as f64 / 160_000.0;
+        let mut events = Vec::new();
+
+        let spawn = |rng: &mut StdRng,
+                     events: &mut Vec<BatchEvent>,
+                     per_year: f64,
+                     f: &mut dyn FnMut(&mut StdRng, SimTime) -> BatchEvent| {
+            let days = end.since(start).as_days_f64();
+            let expected = per_year * scale * days / 365.25;
+            let count = poisson_count(rng, expected);
+            for _ in 0..count {
+                let at =
+                    start + SimDuration::from_secs((rng.random::<f64>() * days * 86_400.0) as u64);
+                events.push(f(rng, at));
+            }
+        };
+
+        let pick_line_cluster = |rng: &mut StdRng, fleet: &Fleet| {
+            // Weighted by line size so big lines attract big batches.
+            let total = fleet.servers().len();
+            let target = rng.random_range(0..total);
+            let mut acc = 0usize;
+            for line in fleet.product_lines() {
+                acc += fleet.servers_of_line(line.id()).len();
+                if target < acc {
+                    let servers = fleet.servers_of_line(line.id());
+                    let s = &fleet.server(servers[rng.random_range(0..servers.len())]);
+                    return (line.id(), s.data_center, s.generation);
+                }
+            }
+            let line = fleet.product_lines().last().expect("non-empty fleet");
+            (line.id(), fleet.data_centers()[0].id(), 0)
+        };
+
+        // HDD firmware batches, three size tiers.
+        let tiers: [(f64, f64, f64, Option<f64>); 3] = [
+            (self.hdd_small_per_year, 45.0, 0.9, None),
+            (self.hdd_medium_per_year, 360.0, 0.45, None),
+            (self.hdd_mega_per_year, 0.0, 0.0, Some(0.32)),
+        ];
+        for (rate, median, sigma, fraction) in tiers {
+            spawn(&mut rng, &mut events, rate, &mut |rng, at| {
+                let (line, dc, generation) = pick_line_cluster(rng, fleet);
+                let size = if fraction.is_some() {
+                    0
+                } else {
+                    sample_size(rng, median, sigma)
+                };
+                BatchEvent {
+                    cause: BatchCause::FirmwareBug,
+                    class: ComponentClass::Hdd,
+                    // Each firmware flaw trips its own detector signature.
+                    failure_type: sample_type(rng, ComponentClass::Hdd),
+                    start: at,
+                    window: SimDuration::from_hours(rng.random_range(2..=8)),
+                    target_size: size,
+                    cluster_fraction: fraction,
+                    dc,
+                    line: Some(line),
+                    // Mega events span all hardware generations of the line
+                    // (the paper's Case 1 product line mixed five).
+                    generation: if fraction.is_some() {
+                        None
+                    } else {
+                        Some(generation)
+                    },
+                    pdu: None,
+                    min_age_days: 0,
+                }
+            });
+        }
+
+        // Other firmware-style component batches.
+        let component_batches: [(f64, ComponentClass, FailureType, f64, f64); 4] = [
+            (
+                self.memory_per_year,
+                ComponentClass::Memory,
+                FailureType::DimmCe,
+                170.0,
+                0.5,
+            ),
+            (
+                self.raid_per_year,
+                ComponentClass::RaidCard,
+                FailureType::BbtFail,
+                150.0,
+                0.5,
+            ),
+            (
+                self.flash_per_year,
+                ComponentClass::FlashCard,
+                FailureType::FlashBbtFail,
+                110.0,
+                0.5,
+            ),
+            (
+                self.fan_per_year,
+                ComponentClass::Fan,
+                FailureType::FanSpeedLow,
+                80.0,
+                0.4,
+            ),
+        ];
+        for (rate, class, _ftype, median, sigma) in component_batches {
+            let min_age_days = if class == ComponentClass::FlashCard {
+                360
+            } else {
+                0
+            };
+            spawn(&mut rng, &mut events, rate, &mut |rng, at| {
+                let (line, dc, generation) = pick_line_cluster(rng, fleet);
+                BatchEvent {
+                    cause: BatchCause::FirmwareBug,
+                    class,
+                    failure_type: sample_type(rng, class),
+                    start: at,
+                    window: SimDuration::from_hours(rng.random_range(2..=10)),
+                    target_size: sample_size(rng, median, sigma),
+                    cluster_fraction: None,
+                    dc,
+                    line: Some(line),
+                    generation: Some(generation),
+                    pdu: None,
+                    min_age_days,
+                }
+            });
+        }
+
+        // PDU outages (power class, ~100 servers over up to 12 hours).
+        spawn(&mut rng, &mut events, self.pdu_per_year, &mut |rng, at| {
+            let dc = &fleet.data_centers()[rng.random_range(0..fleet.data_centers().len())];
+            let pdu = rng.random_range(0..dc.pdu_count().max(1));
+            BatchEvent {
+                cause: BatchCause::PduOutage,
+                class: ComponentClass::Power,
+                failure_type: FailureType::PsuVoltageFail,
+                start: at,
+                window: SimDuration::from_hours(12),
+                target_size: usize::MAX, // everyone on the PDU (capped later)
+                cluster_fraction: Some(rng.random_range(0.4..0.9)),
+                dc: dc.id(),
+                line: None,
+                generation: None,
+                pdu: Some(pdu),
+                min_age_days: 0,
+            }
+        });
+
+        // SAS-card batches (motherboard class, Case 2).
+        spawn(&mut rng, &mut events, self.sas_per_year, &mut |rng, at| {
+            let (line, dc, generation) = pick_line_cluster(rng, fleet);
+            BatchEvent {
+                cause: BatchCause::SasCardBatch,
+                class: ComponentClass::Motherboard,
+                failure_type: FailureType::SasCardFail,
+                start: at,
+                window: SimDuration::from_hours(2),
+                target_size: sample_size(rng, 50.0, 0.3),
+                cluster_fraction: None,
+                dc,
+                line: Some(line),
+                generation: Some(generation),
+                pdu: None,
+                min_age_days: 0,
+            }
+        });
+
+        // Operator-mistake bursts (miscellaneous tickets).
+        spawn(&mut rng, &mut events, self.misc_per_year, &mut |rng, at| {
+            let (line, dc, _) = pick_line_cluster(rng, fleet);
+            BatchEvent {
+                cause: BatchCause::OperatorMistake,
+                class: ComponentClass::Miscellaneous,
+                failure_type: FailureType::ManualServerCrash,
+                start: at,
+                window: SimDuration::from_hours(rng.random_range(3..=12)),
+                target_size: sample_size(rng, 130.0, 0.8),
+                cluster_fraction: None,
+                dc,
+                line: Some(line),
+                generation: None,
+                pdu: None,
+                min_age_days: 0,
+            }
+        });
+
+        events.sort_by_key(|e| e.start);
+        events
+    }
+}
+
+fn sample_size(rng: &mut StdRng, median: f64, sigma: f64) -> usize {
+    let d = LogNormal::from_median(median, sigma).expect("valid size distribution");
+    (d.sample(rng).round() as usize).max(5)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dcf_fleet::{FleetBuilder, FleetConfig};
+
+    fn fleet() -> Fleet {
+        FleetBuilder::new(FleetConfig::small())
+            .seed(1)
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let f = fleet();
+        let m = BatchModel::default();
+        let a = m.generate(&f, SimTime::ORIGIN, SimTime::from_days(360), 9);
+        let b = m.generate(&f, SimTime::ORIGIN, SimTime::from_days(360), 9);
+        assert_eq!(a, b);
+        let c = m.generate(&f, SimTime::ORIGIN, SimTime::from_days(360), 10);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn disabled_model_generates_nothing() {
+        let f = fleet();
+        let events =
+            BatchModel::disabled().generate(&f, SimTime::ORIGIN, SimTime::from_days(360), 1);
+        assert!(events.is_empty());
+    }
+
+    #[test]
+    fn events_are_sorted_and_in_window() {
+        let f = fleet();
+        let start = SimTime::from_days(100);
+        let end = SimTime::from_days(400);
+        // Boost rates so the small fleet still gets events.
+        let mut m = BatchModel::default();
+        m.hdd_small_per_year *= 100.0;
+        let events = m.generate(&f, start, end, 2);
+        assert!(!events.is_empty());
+        for w in events.windows(2) {
+            assert!(w[0].start <= w[1].start);
+        }
+        for e in &events {
+            assert!(e.start >= start && e.start < end);
+        }
+    }
+
+    #[test]
+    fn rates_scale_with_fleet_size() {
+        let f = fleet(); // 2k servers = 1/80 of paper scale
+        let mut m = BatchModel::disabled();
+        m.hdd_small_per_year = 80.0 * 365.25; // → ~1/day expected at this scale
+        let events = m.generate(&f, SimTime::ORIGIN, SimTime::from_days(1000), 3);
+        let per_day = events.len() as f64 / 1000.0;
+        assert!((per_day - 1.0).abs() < 0.15, "got {per_day}/day");
+    }
+
+    #[test]
+    fn pdu_events_carry_pdu_and_power_class() {
+        let f = fleet();
+        let mut m = BatchModel::disabled();
+        m.pdu_per_year = 80.0 * 20.0;
+        let events = m.generate(&f, SimTime::ORIGIN, SimTime::from_days(365), 4);
+        assert!(!events.is_empty());
+        for e in &events {
+            assert_eq!(e.cause, BatchCause::PduOutage);
+            assert_eq!(e.class, ComponentClass::Power);
+            assert!(e.pdu.is_some());
+            assert!(e.line.is_none());
+        }
+    }
+
+    #[test]
+    fn mega_events_use_cluster_fraction() {
+        let f = fleet();
+        let mut m = BatchModel::disabled();
+        m.hdd_mega_per_year = 80.0 * 50.0;
+        let events = m.generate(&f, SimTime::ORIGIN, SimTime::from_days(365), 5);
+        assert!(!events.is_empty());
+        for e in &events {
+            assert_eq!(e.cluster_fraction, Some(0.32));
+            // Mega events target a whole line across generations (Case 1).
+            assert!(e.line.is_some() && e.generation.is_none());
+        }
+    }
+}

@@ -1,0 +1,240 @@
+//! Correlated component failures (§V-B, Tables VI–VII).
+//!
+//! Two mechanisms:
+//!
+//! * **Misc companions** — 71.5% of two-component same-day failures involve
+//!   a miscellaneous report: the FMS detects a component failure and an
+//!   operator *also* notices and immediately files a manual ticket.
+//! * **Causal pairs** — one failure physically causes another, e.g. the
+//!   paper's Table VII power-supply failures dragging down fans within a
+//!   minute or two.
+
+use rand::{Rng, RngCore};
+use serde::{Deserialize, Serialize};
+
+use dcf_trace::{ComponentClass, SimDuration};
+
+/// A causal propagation rule: a failure of `primary` triggers a failure of
+/// `secondary` on the same server with probability `prob`, within
+/// `max_delay`.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CausalPair {
+    /// The causing class.
+    pub primary: ComponentClass,
+    /// The caused class.
+    pub secondary: ComponentClass,
+    /// Trigger probability per primary failure.
+    pub prob: f64,
+    /// Maximum propagation delay.
+    pub max_delay: SimDuration,
+}
+
+/// The correlated-failure model.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CorrelationModel {
+    /// Per-class probability that an auto-detected failure gets a same-day
+    /// manual miscellaneous companion ticket.
+    misc_companion: [f64; 11],
+    /// Physical causation rules.
+    pub causal_pairs: Vec<CausalPair>,
+    /// Delay of the companion misc ticket (uniform up to this bound).
+    pub misc_companion_delay: SimDuration,
+}
+
+impl Default for CorrelationModel {
+    fn default() -> Self {
+        let mut misc_companion = [0.0; 11];
+        // Tuned against Table VI: HDD–misc pairs dominate (349 of ~550
+        // correlated pairs), rarer classes have higher per-failure rates
+        // because a flash/motherboard failure is more alarming.
+        misc_companion[ComponentClass::Hdd.index()] = 1.15e-3;
+        misc_companion[ComponentClass::Memory.index()] = 4.0e-3;
+        misc_companion[ComponentClass::Power.index()] = 4.4e-3;
+        misc_companion[ComponentClass::RaidCard.index()] = 4.3e-3;
+        misc_companion[ComponentClass::FlashCard.index()] = 1.2e-2;
+        misc_companion[ComponentClass::Motherboard.index()] = 1.0e-2;
+        misc_companion[ComponentClass::Ssd.index()] = 7.0e-3;
+        misc_companion[ComponentClass::Fan.index()] = 6.0e-3;
+        misc_companion[ComponentClass::HddBackboard.index()] = 8.0e-3;
+        misc_companion[ComponentClass::Cpu.index()] = 2.0e-2;
+        Self {
+            misc_companion,
+            causal_pairs: vec![
+                // Table VII: PSU failure takes fans down within ~2 minutes.
+                CausalPair {
+                    primary: ComponentClass::Power,
+                    secondary: ComponentClass::Fan,
+                    prob: 4.0e-3,
+                    max_delay: SimDuration::from_minutes(2),
+                },
+                // A failing backboard surfaces as disk errors shortly after.
+                CausalPair {
+                    primary: ComponentClass::HddBackboard,
+                    secondary: ComponentClass::Hdd,
+                    prob: 9.0e-2,
+                    max_delay: SimDuration::from_hours(1),
+                },
+                // Board trouble corrupts memory channels.
+                CausalPair {
+                    primary: ComponentClass::Motherboard,
+                    secondary: ComponentClass::Memory,
+                    prob: 3.0e-2,
+                    max_delay: SimDuration::from_hours(1),
+                },
+            ],
+            misc_companion_delay: SimDuration::from_hours(10),
+        }
+    }
+}
+
+impl CorrelationModel {
+    /// A model with all correlation channels off.
+    pub fn disabled() -> Self {
+        Self {
+            misc_companion: [0.0; 11],
+            causal_pairs: Vec::new(),
+            misc_companion_delay: SimDuration::from_hours(10),
+        }
+    }
+
+    /// The misc-companion probability for a class.
+    pub fn misc_companion_prob(&self, class: ComponentClass) -> f64 {
+        self.misc_companion[class.index()]
+    }
+
+    /// Sets the misc-companion probability for a class.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `prob` is a probability.
+    pub fn set_misc_companion_prob(&mut self, class: ComponentClass, prob: f64) {
+        assert!(
+            (0.0..=1.0).contains(&prob),
+            "prob must be in [0,1], got {prob}"
+        );
+        self.misc_companion[class.index()] = prob;
+    }
+
+    /// Rolls whether a failure of `class` gets a companion misc ticket, and
+    /// if so, the delay until the operator files it.
+    pub fn roll_misc_companion(
+        &self,
+        rng: &mut dyn RngCore,
+        class: ComponentClass,
+    ) -> Option<SimDuration> {
+        if class == ComponentClass::Miscellaneous {
+            return None;
+        }
+        let p = self.misc_companion_prob(class);
+        (p > 0.0 && rng.random::<f64>() < p).then(|| {
+            SimDuration::from_secs(
+                (rng.random::<f64>() * self.misc_companion_delay.as_secs() as f64) as u64,
+            )
+        })
+    }
+
+    /// Rolls causal propagations for a failure of `class`, returning the
+    /// `(secondary class, delay)` of each triggered failure.
+    pub fn roll_causal(
+        &self,
+        rng: &mut dyn RngCore,
+        class: ComponentClass,
+    ) -> Vec<(ComponentClass, SimDuration)> {
+        let mut out = Vec::new();
+        for p in self.causal_pairs.iter().filter(|p| p.primary == class) {
+            if rng.random::<f64>() < p.prob {
+                let delay = SimDuration::from_secs(
+                    (rng.random::<f64>() * p.max_delay.as_secs() as f64) as u64 + 1,
+                );
+                out.push((p.secondary, delay));
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn misc_never_gets_a_misc_companion() {
+        let m = CorrelationModel::default();
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..1_000 {
+            assert!(m
+                .roll_misc_companion(&mut rng, ComponentClass::Miscellaneous)
+                .is_none());
+        }
+    }
+
+    #[test]
+    fn companion_rate_tracks_probability() {
+        let m = CorrelationModel::default();
+        let mut rng = StdRng::seed_from_u64(2);
+        let n = 400_000;
+        let hits = (0..n)
+            .filter(|_| {
+                m.roll_misc_companion(&mut rng, ComponentClass::Hdd)
+                    .is_some()
+            })
+            .count();
+        let rate = hits as f64 / n as f64;
+        assert!((rate - 1.15e-3).abs() < 3e-4, "rate {rate}");
+    }
+
+    #[test]
+    fn companion_delay_is_bounded() {
+        let mut m = CorrelationModel::default();
+        m.set_misc_companion_prob(ComponentClass::Cpu, 1.0);
+        let mut rng = StdRng::seed_from_u64(3);
+        for _ in 0..1_000 {
+            let d = m
+                .roll_misc_companion(&mut rng, ComponentClass::Cpu)
+                .unwrap();
+            assert!(d <= m.misc_companion_delay);
+        }
+    }
+
+    #[test]
+    fn power_failures_can_take_fans_down_quickly() {
+        let mut m = CorrelationModel::default();
+        m.causal_pairs[0].prob = 1.0;
+        let mut rng = StdRng::seed_from_u64(4);
+        let hits = m.roll_causal(&mut rng, ComponentClass::Power);
+        assert_eq!(hits.len(), 1);
+        let (class, delay) = hits[0];
+        assert_eq!(class, ComponentClass::Fan);
+        assert!(delay <= SimDuration::from_minutes(2));
+        assert!(delay.as_secs() >= 1);
+    }
+
+    #[test]
+    fn unrelated_classes_trigger_nothing() {
+        let m = CorrelationModel::default();
+        let mut rng = StdRng::seed_from_u64(5);
+        for _ in 0..1_000 {
+            assert!(m.roll_causal(&mut rng, ComponentClass::Cpu).is_empty());
+        }
+    }
+
+    #[test]
+    fn disabled_model_is_silent() {
+        let m = CorrelationModel::disabled();
+        let mut rng = StdRng::seed_from_u64(6);
+        for class in ComponentClass::ALL {
+            for _ in 0..100 {
+                assert!(m.roll_misc_companion(&mut rng, class).is_none());
+                assert!(m.roll_causal(&mut rng, class).is_empty());
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "prob must be in [0,1]")]
+    fn set_prob_validates() {
+        CorrelationModel::default().set_misc_companion_prob(ComponentClass::Hdd, 1.5);
+    }
+}

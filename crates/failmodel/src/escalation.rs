@@ -1,0 +1,127 @@
+//! Warning → fatal escalation.
+//!
+//! §II-A/§VII-A: warning-severity tickets (SMART alerts, correctable-error
+//! floods) "may be early warnings of fatal failures". If the component is
+//! not repaired in time — and §VI shows operators usually are not in time —
+//! the same component can fail for real days later. This is the signal the
+//! FMS team's prediction tool exploits.
+
+use rand::{Rng, RngCore};
+use serde::{Deserialize, Serialize};
+
+use dcf_stats::{ContinuousDistribution, LogNormal};
+use dcf_trace::{SimDuration, SimTime};
+
+/// Parameters of the warning→fatal escalation process.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct EscalationModel {
+    /// Probability that a warning-severity fault escalates to a fatal
+    /// failure of the same component (before anyone replaces it).
+    pub prob: f64,
+    /// Median days from warning to the fatal failure.
+    pub delay_median_days: f64,
+    /// Lognormal sigma of the escalation delay.
+    pub delay_sigma: f64,
+}
+
+impl Default for EscalationModel {
+    fn default() -> Self {
+        Self {
+            prob: 0.15,
+            delay_median_days: 4.0,
+            delay_sigma: 0.9,
+        }
+    }
+}
+
+impl EscalationModel {
+    /// A model with escalation disabled.
+    pub fn disabled() -> Self {
+        Self {
+            prob: 0.0,
+            ..Self::default()
+        }
+    }
+
+    /// Rolls whether a warning detected at `warning_time` escalates, and
+    /// when; `None` if it does not (or would escalate past `horizon`).
+    pub fn roll(
+        &self,
+        rng: &mut dyn RngCore,
+        warning_time: SimTime,
+        horizon: SimTime,
+    ) -> Option<SimTime> {
+        if self.prob <= 0.0 || rng.random::<f64>() >= self.prob {
+            return None;
+        }
+        let d = LogNormal::from_median(self.delay_median_days, self.delay_sigma)
+            .expect("valid delay distribution");
+        let days = d.sample(rng).clamp(0.05, 60.0);
+        let at = warning_time + SimDuration::from_secs((days * 86_400.0) as u64);
+        (at < horizon).then_some(at)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn escalation_rate_matches_probability() {
+        let m = EscalationModel::default();
+        let mut rng = StdRng::seed_from_u64(1);
+        let horizon = SimTime::from_days(10_000);
+        let n = 100_000;
+        let hits = (0..n)
+            .filter(|_| m.roll(&mut rng, SimTime::ORIGIN, horizon).is_some())
+            .count();
+        let rate = hits as f64 / n as f64;
+        assert!((rate - 0.15).abs() < 0.01, "rate {rate}");
+    }
+
+    #[test]
+    fn escalations_come_days_later_not_months() {
+        let m = EscalationModel {
+            prob: 1.0,
+            ..EscalationModel::default()
+        };
+        let mut rng = StdRng::seed_from_u64(2);
+        let start = SimTime::from_days(100);
+        let horizon = SimTime::from_days(1_000);
+        let mut delays: Vec<f64> = (0..5_000)
+            .filter_map(|_| m.roll(&mut rng, start, horizon))
+            .map(|t| t.since(start).as_days_f64())
+            .collect();
+        delays.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let median = delays[delays.len() / 2];
+        assert!((median - 4.0).abs() < 0.5, "median delay {median}");
+        assert!(delays.iter().all(|&d| d <= 60.0));
+    }
+
+    #[test]
+    fn horizon_censors_escalations() {
+        let m = EscalationModel {
+            prob: 1.0,
+            ..EscalationModel::default()
+        };
+        let mut rng = StdRng::seed_from_u64(3);
+        let start = SimTime::from_days(100);
+        let horizon = start + SimDuration::from_hours(1);
+        // Nearly every escalation lands beyond a 1-hour horizon.
+        let hits = (0..1_000)
+            .filter(|_| m.roll(&mut rng, start, horizon).is_some())
+            .count();
+        assert!(hits < 20, "censoring failed: {hits}");
+    }
+
+    #[test]
+    fn disabled_never_escalates() {
+        let m = EscalationModel::disabled();
+        let mut rng = StdRng::seed_from_u64(4);
+        assert!((0..1_000).all(|_| m
+            .roll(&mut rng, SimTime::ORIGIN, SimTime::from_days(999))
+            .is_none()));
+    }
+}

@@ -1,0 +1,238 @@
+//! Piecewise-constant lifecycle hazards and Poisson arrival sampling.
+//!
+//! Figure 6 of the paper plots *monthly* failure rates over component age;
+//! we therefore model each class's hazard as a piecewise-constant function
+//! of age with 30-day resolution. Failure times are drawn by exact
+//! piecewise-exponential inversion — no per-day loops.
+
+use rand::{Rng, RngCore};
+use serde::{Deserialize, Serialize};
+
+use dcf_stats::StatsError;
+
+/// Days per hazard segment (the Figure 6 "month").
+pub const DAYS_PER_SEGMENT: f64 = 30.0;
+
+/// A piecewise-constant hazard over component age.
+///
+/// `monthly[m]` is the expected number of failures per component during its
+/// `m`-th 30-day month of service; ages beyond the last segment reuse the
+/// final value.
+///
+/// # Examples
+///
+/// ```
+/// use dcf_failmodel::PiecewiseHazard;
+///
+/// // Classic infant mortality: hot first month, then settling.
+/// let h = PiecewiseHazard::new(vec![0.05, 0.01, 0.01]).unwrap();
+/// assert!(h.rate_per_day(10.0) > h.rate_per_day(40.0));
+/// assert_eq!(h.rate_per_day(500.0), h.rate_per_day(70.0)); // extends last
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PiecewiseHazard {
+    monthly: Vec<f64>,
+}
+
+impl PiecewiseHazard {
+    /// Creates a hazard from per-month failure expectations.
+    ///
+    /// # Errors
+    ///
+    /// Rejects empty input and negative or non-finite rates.
+    pub fn new(monthly: Vec<f64>) -> Result<Self, StatsError> {
+        if monthly.is_empty() {
+            return Err(StatsError::EmptySample);
+        }
+        for &r in &monthly {
+            if !r.is_finite() || r < 0.0 {
+                return Err(StatsError::InvalidParameter {
+                    what: "hazard segment rate",
+                    value: r,
+                });
+            }
+        }
+        Ok(Self { monthly })
+    }
+
+    /// A constant hazard of `per_month` failures per component-month.
+    ///
+    /// # Errors
+    ///
+    /// Rejects negative or non-finite rates.
+    pub fn flat(per_month: f64) -> Result<Self, StatsError> {
+        Self::new(vec![per_month])
+    }
+
+    /// The per-month rates.
+    pub fn monthly(&self) -> &[f64] {
+        &self.monthly
+    }
+
+    /// Rate during age-month `m` (clamped to the last segment).
+    pub fn rate_at_month(&self, m: usize) -> f64 {
+        self.monthly[m.min(self.monthly.len() - 1)]
+    }
+
+    /// Instantaneous hazard in failures/day at `age_days`.
+    pub fn rate_per_day(&self, age_days: f64) -> f64 {
+        if age_days < 0.0 {
+            return 0.0;
+        }
+        self.rate_at_month((age_days / DAYS_PER_SEGMENT) as usize) / DAYS_PER_SEGMENT
+    }
+
+    /// Returns this hazard with every segment multiplied by `k`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k` is negative or non-finite.
+    pub fn scaled(&self, k: f64) -> Self {
+        assert!(
+            k.is_finite() && k >= 0.0,
+            "scale must be finite and >= 0, got {k}"
+        );
+        Self {
+            monthly: self.monthly.iter().map(|r| r * k).collect(),
+        }
+    }
+
+    /// Expected failures of one component between ages `from_day` and
+    /// `to_day` with an extra rate multiplier `mult`.
+    pub fn expected_count(&self, from_day: f64, to_day: f64, mult: f64) -> f64 {
+        if to_day <= from_day {
+            return 0.0;
+        }
+        let mut acc = 0.0;
+        let mut d = from_day.max(0.0);
+        while d < to_day {
+            let m = (d / DAYS_PER_SEGMENT) as usize;
+            let seg_end = ((m + 1) as f64 * DAYS_PER_SEGMENT).min(to_day);
+            acc += self.rate_at_month(m) / DAYS_PER_SEGMENT * (seg_end - d);
+            d = seg_end;
+        }
+        acc * mult
+    }
+
+    /// Samples arrival ages (days) of a Poisson process with intensity
+    /// `self × mult` over `[from_day, to_day)`, appending to `out`.
+    ///
+    /// Exact piecewise-exponential inversion: cost is O(arrivals + months).
+    pub fn sample_arrivals(
+        &self,
+        rng: &mut dyn RngCore,
+        from_day: f64,
+        to_day: f64,
+        mult: f64,
+        out: &mut Vec<f64>,
+    ) {
+        if mult <= 0.0 || to_day <= from_day {
+            return;
+        }
+        let mut d = from_day.max(0.0);
+        while d < to_day {
+            let m = (d / DAYS_PER_SEGMENT) as usize;
+            let seg_end = ((m + 1) as f64 * DAYS_PER_SEGMENT).min(to_day);
+            let rate = self.rate_at_month(m) / DAYS_PER_SEGMENT * mult; // per day
+            if rate <= 0.0 {
+                d = seg_end;
+                continue;
+            }
+            let u: f64 = rng.random::<f64>().max(1e-300);
+            let gap = -u.ln() / rate;
+            if d + gap < seg_end {
+                d += gap;
+                out.push(d);
+            } else {
+                d = seg_end;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn rejects_bad_segments() {
+        assert!(PiecewiseHazard::new(vec![]).is_err());
+        assert!(PiecewiseHazard::new(vec![0.1, -0.2]).is_err());
+        assert!(PiecewiseHazard::new(vec![f64::NAN]).is_err());
+    }
+
+    #[test]
+    fn rate_lookup_clamps_to_last_segment() {
+        let h = PiecewiseHazard::new(vec![0.3, 0.1, 0.2]).unwrap();
+        assert_eq!(h.rate_at_month(0), 0.3);
+        assert_eq!(h.rate_at_month(2), 0.2);
+        assert_eq!(h.rate_at_month(99), 0.2);
+        assert!((h.rate_per_day(15.0) - 0.01).abs() < 1e-12);
+    }
+
+    #[test]
+    fn expected_count_integrates_segments() {
+        let h = PiecewiseHazard::new(vec![0.3, 0.6]).unwrap();
+        // Full first month + half of second: 0.3 + 0.3 = 0.6.
+        assert!((h.expected_count(0.0, 45.0, 1.0) - 0.6).abs() < 1e-12);
+        // Multiplier scales linearly.
+        assert!((h.expected_count(0.0, 45.0, 2.0) - 1.2).abs() < 1e-12);
+        assert_eq!(h.expected_count(50.0, 40.0, 1.0), 0.0);
+    }
+
+    #[test]
+    fn sampling_matches_expectation() {
+        let h = PiecewiseHazard::new(vec![0.2, 0.05, 0.4]).unwrap();
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut arrivals = Vec::new();
+        let trials = 20_000;
+        for _ in 0..trials {
+            h.sample_arrivals(&mut rng, 0.0, 90.0, 1.0, &mut arrivals);
+        }
+        let mean = arrivals.len() as f64 / trials as f64;
+        let expect = h.expected_count(0.0, 90.0, 1.0);
+        assert!(
+            (mean - expect).abs() / expect < 0.03,
+            "mean {mean} vs expected {expect}"
+        );
+        // Arrivals land in the right segments proportionally.
+        let in_m1 = arrivals
+            .iter()
+            .filter(|&&a| (30.0..60.0).contains(&a))
+            .count();
+        let frac_m1 = in_m1 as f64 / arrivals.len() as f64;
+        assert!(
+            (frac_m1 - 0.05 / 0.65).abs() < 0.02,
+            "month-1 share {frac_m1}"
+        );
+    }
+
+    #[test]
+    fn sampling_respects_window() {
+        let h = PiecewiseHazard::flat(5.0).unwrap();
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut arrivals = Vec::new();
+        for _ in 0..100 {
+            h.sample_arrivals(&mut rng, 12.0, 17.0, 1.0, &mut arrivals);
+        }
+        assert!(arrivals.iter().all(|&a| (12.0..17.0).contains(&a)));
+        assert!(!arrivals.is_empty()); // ~83 expected over 100 trials
+    }
+
+    #[test]
+    fn zero_mult_yields_nothing() {
+        let h = PiecewiseHazard::flat(10.0).unwrap();
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut arrivals = Vec::new();
+        h.sample_arrivals(&mut rng, 0.0, 1000.0, 0.0, &mut arrivals);
+        assert!(arrivals.is_empty());
+    }
+
+    #[test]
+    fn scaled_multiplies_rates() {
+        let h = PiecewiseHazard::new(vec![0.1, 0.2]).unwrap().scaled(3.0);
+        assert_eq!(h.monthly(), &[0.30000000000000004, 0.6000000000000001]);
+    }
+}

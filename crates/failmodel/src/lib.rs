@@ -1,0 +1,42 @@
+//! # dcf-failmodel
+//!
+//! Generative hardware-failure models for the `dcfail` reproduction of the
+//! DSN'17 data-center failure study. Everything the paper *measures* about
+//! how failures arise is modeled here as a generator:
+//!
+//! * [`PiecewiseHazard`] + [`lifecycle_shape`] — per-class monthly hazards
+//!   with the Figure 6 lifecycle shapes (RAID infant mortality, motherboard
+//!   late wear-out, flash cliff, HDD non-bathtub, misc deployment spike).
+//! * [`FailureRates`] — calibrated absolute base rates (Table II volumes).
+//! * [`DetectionModel`] — latent fault → detection time through syslog
+//!   (workload-coupled), polling, or manual channels (Figures 3–4).
+//! * [`BatchModel`] — firmware/PDU/SAS/operator batch events (§V-A,
+//!   Table V).
+//! * [`RepeatModel`] / [`SyncRepeatModel`] — repeating and synchronously
+//!   repeating failures (§III-D, §V-C, Table VIII).
+//! * [`CorrelationModel`] — same-server correlated component failures
+//!   (§V-B, Tables VI–VII).
+//! * [`EscalationModel`] — warning→fatal escalation on the same component,
+//!   the signal behind the §VII-A failure predictor.
+//! * [`type_mixture`] — per-class failure-type mixes (Figure 2, Table III).
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+mod batch;
+mod correlated;
+mod detection;
+mod escalation;
+mod hazard;
+mod lifecycle;
+mod repeat;
+pub mod types;
+
+pub use batch::{BatchCause, BatchEvent, BatchModel};
+pub use correlated::{CausalPair, CorrelationModel};
+pub use detection::{DetectionChannel, DetectionModel};
+pub use escalation::EscalationModel;
+pub use hazard::{PiecewiseHazard, DAYS_PER_SEGMENT};
+pub use lifecycle::{lifecycle_shape, FailureRates, SHAPE_MONTHS};
+pub use repeat::{RepeatModel, SyncRepeatModel};
+pub use types::{detail_for, sample_type, type_mixture};

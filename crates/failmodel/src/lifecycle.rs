@@ -1,0 +1,219 @@
+//! Per-class lifecycle hazard shapes (Figure 6) and calibrated base rates.
+//!
+//! Each component class gets a 48-month relative shape capturing the
+//! paper's findings:
+//!
+//! * **HDD** — mild infant mortality (first 3 months ~20% above months
+//!   4–9), rates rising from month ~6 onward (§III-C), *not* a bathtub.
+//! * **RAID card** — strong infant mortality: 47.4% of failures within the
+//!   first six months of service.
+//! * **Motherboard** — rare early, 72.1% of failures after year 3.
+//! * **Flash card** — only 1.4% of failures in the first 12 months, steep
+//!   correlated wear-out afterwards.
+//! * **Memory** — stable first year, rising between years 2 and 4.
+//! * **Fan / power** — mechanical wear: low first year, gradual increase.
+//! * **Miscellaneous** — extreme first-month spike (manual debugging at
+//!   deployment), then stable.
+
+use dcf_trace::ComponentClass;
+use serde::{Deserialize, Serialize};
+
+use crate::hazard::PiecewiseHazard;
+
+/// Number of age months the shapes cover (the Figure 6 horizon).
+pub const SHAPE_MONTHS: usize = 48;
+
+/// The relative (dimensionless) lifecycle shape for a component class.
+///
+/// Multiply by a base rate (failures per component-month) via
+/// [`PiecewiseHazard::scaled`] to get an absolute hazard; see
+/// [`FailureRates::hazard_for`].
+pub fn lifecycle_shape(class: ComponentClass) -> PiecewiseHazard {
+    let f: Box<dyn Fn(usize) -> f64> = match class {
+        ComponentClass::Hdd => Box::new(|m| match m {
+            0..=2 => 1.08,
+            3..=9 => 0.90,
+            m => 0.90 + (m - 9) as f64 * (1.40 / 38.0),
+        }),
+        ComponentClass::RaidCard => Box::new(|m| match m {
+            0..=5 => 2.15,
+            6..=11 => 0.60,
+            _ => 0.45,
+        }),
+        ComponentClass::Motherboard => Box::new(|m| match m {
+            0..=23 => 0.08,
+            24..=35 => 0.32,
+            m => 4.20 + (m - 36) as f64 * 0.20,
+        }),
+        ComponentClass::FlashCard => Box::new(|m| match m {
+            0..=11 => 0.06,
+            m => 0.40 + (m - 12) as f64 * 0.125,
+        }),
+        ComponentClass::Memory => Box::new(|m| match m {
+            0..=11 => 0.85,
+            12..=23 => 1.00,
+            m => 1.00 + (m - 23) as f64 * 0.04,
+        }),
+        ComponentClass::Fan => Box::new(|m| 0.35 + m as f64 * 0.035),
+        ComponentClass::Power => Box::new(|m| 0.40 + m as f64 * 0.030),
+        ComponentClass::Ssd => Box::new(|m| 0.70 + m as f64 * 0.015),
+        ComponentClass::Cpu => Box::new(|_| 1.0),
+        ComponentClass::HddBackboard => Box::new(|_| 1.0),
+        ComponentClass::Miscellaneous => Box::new(|m| if m == 0 { 10.0 } else { 0.90 }),
+    };
+    let monthly: Vec<f64> = (0..SHAPE_MONTHS).map(f).collect();
+    PiecewiseHazard::new(monthly).expect("shapes are finite and non-negative")
+}
+
+/// Base failure rates per component-month for each class, calibrated so the
+/// full-scale simulation reproduces Table II's failure breakdown and the
+/// paper's overall volume (~290k FOTs / fleet MTBF ≈ 6.8 min).
+///
+/// Note these cover only the *background* (independent) failure process;
+/// batch events (§V-A) add on top, which matters most for HDD.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FailureRates {
+    base: [f64; 11],
+}
+
+impl FailureRates {
+    /// The calibrated preset used by the paper scenario.
+    pub fn calibrated() -> Self {
+        let mut base = [0.0; 11];
+        base[ComponentClass::Hdd.index()] = 2.02e-3;
+        base[ComponentClass::Miscellaneous.index()] = 3.58e-3; // per server
+        base[ComponentClass::Memory.index()] = 0.92e-4;
+        base[ComponentClass::Power.index()] = 3.40e-4;
+        base[ComponentClass::RaidCard.index()] = 8.6e-4;
+        base[ComponentClass::FlashCard.index()] = 1.50e-3;
+        base[ComponentClass::Motherboard.index()] = 2.7e-4;
+        base[ComponentClass::Ssd.index()] = 1.17e-4;
+        base[ComponentClass::Fan.index()] = 1.85e-5;
+        base[ComponentClass::HddBackboard.index()] = 7.6e-5;
+        base[ComponentClass::Cpu.index()] = 1.4e-5;
+        Self { base }
+    }
+
+    /// Base rate (failures per component-month averaged over the shape's
+    /// unit level) for a class.
+    pub fn base_rate(&self, class: ComponentClass) -> f64 {
+        self.base[class.index()]
+    }
+
+    /// Overrides one class's base rate (used by ablations and calibration).
+    ///
+    /// # Panics
+    ///
+    /// Panics on negative or non-finite rates.
+    pub fn set_base_rate(&mut self, class: ComponentClass, rate: f64) {
+        assert!(
+            rate.is_finite() && rate >= 0.0,
+            "rate must be >= 0, got {rate}"
+        );
+        self.base[class.index()] = rate;
+    }
+
+    /// Scales every class rate by `k` (used to match fleet sizes).
+    ///
+    /// # Panics
+    ///
+    /// Panics on negative or non-finite factors.
+    pub fn scaled(&self, k: f64) -> Self {
+        assert!(k.is_finite() && k >= 0.0, "factor must be >= 0, got {k}");
+        let mut base = self.base;
+        for b in &mut base {
+            *b *= k;
+        }
+        Self { base }
+    }
+
+    /// The absolute lifecycle hazard for a class
+    /// (`lifecycle_shape(class) × base_rate`).
+    pub fn hazard_for(&self, class: ComponentClass) -> PiecewiseHazard {
+        lifecycle_shape(class).scaled(self.base_rate(class))
+    }
+}
+
+impl Default for FailureRates {
+    fn default() -> Self {
+        Self::calibrated()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shapes_cover_48_months() {
+        for class in ComponentClass::ALL {
+            assert_eq!(lifecycle_shape(class).monthly().len(), SHAPE_MONTHS);
+        }
+    }
+
+    #[test]
+    fn hdd_has_mild_infant_mortality_then_wearout() {
+        let h = lifecycle_shape(ComponentClass::Hdd);
+        let infant = h.rate_at_month(1);
+        let trough = h.rate_at_month(6);
+        // ~20% above months 4–9 (§III-C).
+        assert!((infant / trough - 1.2).abs() < 0.01);
+        // Wear-out dominates by year 4.
+        assert!(h.rate_at_month(47) > 2.0 * trough);
+    }
+
+    #[test]
+    fn raid_infant_mortality_dominates() {
+        let h = lifecycle_shape(ComponentClass::RaidCard);
+        let first6: f64 = (0..6).map(|m| h.rate_at_month(m)).sum();
+        let total: f64 = (0..SHAPE_MONTHS).map(|m| h.rate_at_month(m)).sum();
+        // Exposure weighting (young fleets dominate) lifts the observed
+        // share to the paper's 47.4%; the raw shape carries ~2/5.
+        assert!(first6 / total > 0.35, "got {}", first6 / total);
+    }
+
+    #[test]
+    fn motherboard_fails_late() {
+        let h = lifecycle_shape(ComponentClass::Motherboard);
+        let after36: f64 = (36..SHAPE_MONTHS).map(|m| h.rate_at_month(m)).sum();
+        let total: f64 = (0..SHAPE_MONTHS).map(|m| h.rate_at_month(m)).sum();
+        assert!(after36 / total > 0.65, "got {}", after36 / total);
+    }
+
+    #[test]
+    fn flash_is_quiet_then_wears_out_fast() {
+        let h = lifecycle_shape(ComponentClass::FlashCard);
+        let first12: f64 = (0..12).map(|m| h.rate_at_month(m)).sum();
+        let total: f64 = (0..SHAPE_MONTHS).map(|m| h.rate_at_month(m)).sum();
+        assert!(first12 / total < 0.02, "got {}", first12 / total);
+        assert!(h.rate_at_month(47) > 10.0 * h.rate_at_month(5));
+    }
+
+    #[test]
+    fn misc_spikes_in_month_zero() {
+        let h = lifecycle_shape(ComponentClass::Miscellaneous);
+        assert!(h.rate_at_month(0) > 8.0 * h.rate_at_month(1));
+        assert_eq!(h.rate_at_month(5), h.rate_at_month(40));
+    }
+
+    #[test]
+    fn mechanical_classes_wear() {
+        for class in [ComponentClass::Fan, ComponentClass::Power] {
+            let h = lifecycle_shape(class);
+            assert!(h.rate_at_month(40) > 2.0 * h.rate_at_month(2), "{class}");
+        }
+    }
+
+    #[test]
+    fn rates_api() {
+        let mut rates = FailureRates::calibrated();
+        let hdd = rates.base_rate(ComponentClass::Hdd);
+        assert!(hdd > rates.base_rate(ComponentClass::Cpu) * 100.0);
+        rates.set_base_rate(ComponentClass::Cpu, 1.0);
+        assert_eq!(rates.base_rate(ComponentClass::Cpu), 1.0);
+        let doubled = rates.scaled(2.0);
+        assert_eq!(doubled.base_rate(ComponentClass::Cpu), 2.0);
+        let h = rates.hazard_for(ComponentClass::Hdd);
+        assert!((h.rate_at_month(1) - 1.08 * hdd).abs() < 1e-12);
+    }
+}

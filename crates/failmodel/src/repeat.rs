@@ -1,0 +1,271 @@
+//! Repeating failures (§III-D) and synchronously repeating groups (§V-C).
+//!
+//! Repairs are replacements and mostly effective — over 85% of fixed
+//! components never repeat — but a minority flap: the paper's extreme case
+//! is a single server with 400+ FOTs over a year caused by a failing RAID
+//! BBU that an automatic reboot kept "solving". Separately, small groups of
+//! near-identical servers repeat failures *synchronously* (Table VIII).
+
+use rand::{Rng, RngCore};
+use serde::{Deserialize, Serialize};
+
+use dcf_stats::{ContinuousDistribution, LogNormal};
+use dcf_trace::{SimDuration, SimTime};
+
+/// Parameters of the repeat process attached to a failed component.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RepeatModel {
+    /// Probability that a repaired component repeats its failure at all
+    /// (the paper: < 15% of fixed components repeat).
+    pub repeat_prob: f64,
+    /// Mean number of extra occurrences for an ordinary repeater
+    /// (geometric).
+    pub mean_repeats: f64,
+    /// Median gap between repeats in days (lognormal).
+    pub gap_median_days: f64,
+    /// Lognormal sigma of the gaps.
+    pub gap_sigma: f64,
+    /// Probability that a failed component is an extreme *flapper*
+    /// (the BBU case: hundreds of automatic "fix"/fail cycles).
+    pub flap_prob: f64,
+    /// Flapper occurrence count range.
+    pub flap_count: (u32, u32),
+    /// Flapper gap range in days (log-uniform).
+    pub flap_gap_days: (f64, f64),
+}
+
+impl Default for RepeatModel {
+    fn default() -> Self {
+        Self {
+            repeat_prob: 0.025,
+            mean_repeats: 2.5,
+            gap_median_days: 6.0,
+            gap_sigma: 1.0,
+            flap_prob: 3.0e-5,
+            flap_count: (460, 560),
+            flap_gap_days: (0.12, 1.8),
+        }
+    }
+}
+
+impl RepeatModel {
+    /// A model with no repeats at all — the `ablation_instant_ops`
+    /// counterfactual where every repair is fully effective.
+    pub fn disabled() -> Self {
+        Self {
+            repeat_prob: 0.0,
+            flap_prob: 0.0,
+            ..Self::default()
+        }
+    }
+
+    /// Decides, for a component that just failed for the first time at
+    /// `first`, the times of its *repeat* occurrences (empty for the ~90%
+    /// of components whose repair sticks). Times beyond `horizon` are
+    /// dropped.
+    pub fn sample_repeats(
+        &self,
+        rng: &mut dyn RngCore,
+        first: SimTime,
+        horizon: SimTime,
+    ) -> Vec<SimTime> {
+        let is_flapper = rng.random::<f64>() < self.flap_prob;
+        if is_flapper {
+            return self.sample_flaps(rng, first, horizon);
+        }
+        if rng.random::<f64>() >= self.repeat_prob {
+            return Vec::new();
+        }
+        // Geometric count with the configured mean.
+        let p = 1.0 / (1.0 + self.mean_repeats);
+        let mut count = 0u32;
+        while rng.random::<f64>() > p && count < 50 {
+            count += 1;
+        }
+        if count == 0 {
+            count = 1;
+        }
+        let gap_dist = LogNormal::from_median(self.gap_median_days, self.gap_sigma)
+            .expect("valid gap distribution");
+        let mut out = Vec::with_capacity(count as usize);
+        let mut t = first;
+        for _ in 0..count {
+            let gap_days = gap_dist.sample(rng).clamp(0.01, 200.0);
+            t += SimDuration::from_secs((gap_days * 86_400.0) as u64);
+            if t >= horizon {
+                break;
+            }
+            out.push(t);
+        }
+        out
+    }
+
+    fn sample_flaps(
+        &self,
+        rng: &mut dyn RngCore,
+        first: SimTime,
+        horizon: SimTime,
+    ) -> Vec<SimTime> {
+        let (lo, hi) = self.flap_count;
+        let count = rng.random_range(lo..=hi.max(lo));
+        let (glo, ghi) = self.flap_gap_days;
+        let mut out = Vec::with_capacity(count as usize);
+        let mut t = first;
+        for _ in 0..count {
+            let u: f64 = rng.random();
+            let gap_days = (glo.ln() + u * (ghi.ln() - glo.ln())).exp();
+            t += SimDuration::from_secs((gap_days * 86_400.0) as u64);
+            if t >= horizon {
+                break;
+            }
+            out.push(t);
+        }
+        out
+    }
+}
+
+/// Synchronous repeat groups (§V-C, Table VIII): pairs of near-identical
+/// servers whose disks repeat failures within seconds of each other.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SyncRepeatModel {
+    /// Number of synchronized groups per paper-scale trace (scaled by fleet
+    /// size by the simulator).
+    pub groups_per_trace: f64,
+    /// Servers per group.
+    pub group_size: u32,
+    /// Occurrences per group.
+    pub occurrences: (u32, u32),
+    /// Gap between occurrences in days (log-uniform range).
+    pub gap_days: (f64, f64),
+    /// Maximum skew between group members at each occurrence, in seconds.
+    pub skew_secs: u64,
+}
+
+impl Default for SyncRepeatModel {
+    fn default() -> Self {
+        Self {
+            groups_per_trace: 6.0,
+            group_size: 2,
+            occurrences: (4, 8),
+            gap_days: (1.0, 15.0),
+            skew_secs: 30,
+        }
+    }
+}
+
+impl SyncRepeatModel {
+    /// Samples the shared occurrence schedule for one group starting at
+    /// `first`, and per-member jitter offsets. Returns
+    /// `(occurrence_times, member_offsets_secs)`.
+    pub fn sample_group_schedule(
+        &self,
+        rng: &mut dyn RngCore,
+        first: SimTime,
+        horizon: SimTime,
+    ) -> (Vec<SimTime>, Vec<u64>) {
+        let (lo, hi) = self.occurrences;
+        let count = rng.random_range(lo..=hi.max(lo));
+        let mut times = Vec::with_capacity(count as usize);
+        let mut t = first;
+        times.push(t);
+        for _ in 1..count {
+            let u: f64 = rng.random();
+            let (glo, ghi) = self.gap_days;
+            let gap_days = (glo.ln() + u * (ghi.ln() - glo.ln())).exp();
+            t += SimDuration::from_secs((gap_days * 86_400.0) as u64);
+            if t >= horizon {
+                break;
+            }
+            times.push(t);
+        }
+        let offsets = (0..self.group_size)
+            .map(|_| rng.random_range(0..=self.skew_secs))
+            .collect();
+        (times, offsets)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn most_components_never_repeat() {
+        let m = RepeatModel::default();
+        let mut rng = StdRng::seed_from_u64(1);
+        let horizon = SimTime::from_days(10_000);
+        let n = 50_000;
+        let repeaters = (0..n)
+            .filter(|_| {
+                !m.sample_repeats(&mut rng, SimTime::ORIGIN, horizon)
+                    .is_empty()
+            })
+            .count();
+        let frac = repeaters as f64 / n as f64;
+        // Paper: over 85% of fixed components never repeat.
+        assert!(frac < 0.15, "repeat fraction {frac}");
+        assert!(frac > 0.015, "repeats should exist: {frac}");
+    }
+
+    #[test]
+    fn disabled_model_never_repeats() {
+        let m = RepeatModel::disabled();
+        let mut rng = StdRng::seed_from_u64(2);
+        for _ in 0..1_000 {
+            assert!(m
+                .sample_repeats(&mut rng, SimTime::ORIGIN, SimTime::from_days(9999))
+                .is_empty());
+        }
+    }
+
+    #[test]
+    fn repeats_are_increasing_and_bounded_by_horizon() {
+        let m = RepeatModel {
+            repeat_prob: 1.0,
+            ..RepeatModel::default()
+        };
+        let mut rng = StdRng::seed_from_u64(3);
+        let first = SimTime::from_days(100);
+        let horizon = SimTime::from_days(130);
+        for _ in 0..500 {
+            let reps = m.sample_repeats(&mut rng, first, horizon);
+            let mut prev = first;
+            for &r in &reps {
+                assert!(r > prev && r < horizon);
+                prev = r;
+            }
+        }
+    }
+
+    #[test]
+    fn flappers_produce_hundreds_of_occurrences() {
+        let m = RepeatModel {
+            flap_prob: 1.0,
+            ..RepeatModel::default()
+        };
+        let mut rng = StdRng::seed_from_u64(4);
+        let reps = m.sample_repeats(&mut rng, SimTime::ORIGIN, SimTime::from_days(100_000));
+        assert!(reps.len() >= 300, "flapper count {}", reps.len());
+        // Gaps are short — the whole episode spans roughly a year.
+        let span_days = reps.last().unwrap().since(reps[0]).as_days_f64();
+        assert!(span_days < 3.0 * 450.0);
+    }
+
+    #[test]
+    fn sync_groups_share_schedule_with_small_skew() {
+        let m = SyncRepeatModel::default();
+        let mut rng = StdRng::seed_from_u64(5);
+        let (times, offsets) =
+            m.sample_group_schedule(&mut rng, SimTime::from_days(10), SimTime::from_days(400));
+        assert!(times.len() >= 2);
+        assert_eq!(offsets.len(), 2);
+        for &o in &offsets {
+            assert!(o <= m.skew_secs);
+        }
+        for w in times.windows(2) {
+            assert!(w[1] > w[0]);
+        }
+    }
+}

@@ -1,0 +1,148 @@
+//! Failure-type mixtures per component class (Figure 2).
+//!
+//! The paper's Figure 2 gives per-class failure-type shares for HDD, RAID
+//! card, flash card and memory; the miscellaneous split (44% no
+//! description / ~25% suspected HDD / ~25% "server crash") comes from
+//! §II-A. Remaining classes use representative mixes.
+
+use rand::{Rng, RngCore};
+
+use dcf_trace::{ComponentClass, FailureType};
+
+/// `(type, weight)` mixture for a component class; weights sum to 1.
+pub fn type_mixture(class: ComponentClass) -> &'static [(FailureType, f64)] {
+    use FailureType::*;
+    match class {
+        ComponentClass::Hdd => &[
+            (SmartFail, 0.40),
+            (RaidPdPreErr, 0.15),
+            (NotReady, 0.12),
+            (TooMany, 0.09),
+            (Missing, 0.08),
+            (PendingLba, 0.08),
+            (DStatus, 0.05),
+            (SixthFixing, 0.03),
+        ],
+        ComponentClass::RaidCard => &[
+            (BbtFail, 0.50),
+            (HighMaxBbRate, 0.30),
+            (RaidVdNoBbuCacheErr, 0.20),
+        ],
+        ComponentClass::FlashCard => &[
+            (FlashBbtFail, 0.45),
+            (FlashHighBbRate, 0.35),
+            (FlashMissing, 0.20),
+        ],
+        ComponentClass::Memory => &[(DimmCe, 0.70), (DimmUe, 0.30)],
+        ComponentClass::Ssd => &[
+            (SsdSmartFail, 0.50),
+            (SsdWearOut, 0.30),
+            (SsdNotReady, 0.20),
+        ],
+        ComponentClass::Power => &[
+            (PsuVoltageFail, 0.50),
+            (PsuFanFail, 0.30),
+            (PsuMissing, 0.20),
+        ],
+        ComponentClass::Fan => &[(FanSpeedLow, 0.70), (FanStall, 0.30)],
+        ComponentClass::Motherboard => &[
+            (MbSensorFail, 0.50),
+            (MbPostFail, 0.40),
+            (SasCardFail, 0.10),
+        ],
+        ComponentClass::HddBackboard => &[(BackboardErr, 1.0)],
+        ComponentClass::Cpu => &[(CpuMce, 0.60), (CpuCacheErr, 0.40)],
+        ComponentClass::Miscellaneous => &[
+            (ManualNoDescription, 0.44),
+            (ManualSuspectHdd, 0.25),
+            (ManualServerCrash, 0.25),
+            (ManualOther, 0.06),
+        ],
+    }
+}
+
+/// Samples a failure type for `class` according to its mixture.
+pub fn sample_type(rng: &mut dyn RngCore, class: ComponentClass) -> FailureType {
+    let mixture = type_mixture(class);
+    let mut pick: f64 = rng.random();
+    for &(t, w) in mixture {
+        if pick < w {
+            return t;
+        }
+        pick -= w;
+    }
+    mixture.last().expect("mixtures are non-empty").0
+}
+
+/// A short `error_detail` string for a sampled failure.
+pub fn detail_for(t: FailureType) -> String {
+    use FailureType::*;
+    match t {
+        SmartFail => "SMART value exceeds predefined threshold".into(),
+        RaidPdPreErr => "prediction error count exceeds threshold".into(),
+        Missing => "device file could not be detected".into(),
+        NotReady => "device file could not be accessed".into(),
+        PendingLba => "failures detected on unaccessed sectors".into(),
+        TooMany => "large number of failed sectors detected".into(),
+        DStatus => "IO requests stuck in D status".into(),
+        SixthFixing => "repeated fix attempt on same device".into(),
+        BbtFail => "bad block table could not be accessed".into(),
+        HighMaxBbRate => "max bad block rate exceeds threshold".into(),
+        RaidVdNoBbuCacheErr => "abnormal cache setting due to BBU".into(),
+        DimmCe => "large number of correctable errors".into(),
+        DimmUe => "uncorrectable memory errors detected".into(),
+        ManualNoDescription => String::new(), // 44% carry no description
+        ManualSuspectHdd => "suspect hard drive problem".into(),
+        ManualServerCrash => "server crashes, reason unclear".into(),
+        other => format!("{other} detected by FMS agent"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn mixtures_sum_to_one_and_match_class() {
+        for class in ComponentClass::ALL {
+            let mix = type_mixture(class);
+            let total: f64 = mix.iter().map(|(_, w)| w).sum();
+            assert!((total - 1.0).abs() < 1e-9, "{class} weights sum to {total}");
+            for (t, w) in mix {
+                assert_eq!(t.class(), class, "{t} listed under {class}");
+                assert!(*w > 0.0);
+            }
+        }
+    }
+
+    #[test]
+    fn sampling_tracks_weights() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let n = 100_000;
+        let smart = (0..n)
+            .filter(|_| sample_type(&mut rng, ComponentClass::Hdd) == FailureType::SmartFail)
+            .count();
+        let frac = smart as f64 / n as f64;
+        assert!((frac - 0.40).abs() < 0.01, "SMARTFail share {frac}");
+    }
+
+    #[test]
+    fn misc_split_matches_paper() {
+        let mix = type_mixture(ComponentClass::Miscellaneous);
+        let no_desc = mix
+            .iter()
+            .find(|(t, _)| *t == FailureType::ManualNoDescription)
+            .unwrap()
+            .1;
+        assert!((no_desc - 0.44).abs() < 1e-12);
+    }
+
+    #[test]
+    fn details_are_stable() {
+        assert!(detail_for(FailureType::SmartFail).contains("SMART"));
+        assert!(detail_for(FailureType::ManualNoDescription).is_empty());
+        assert!(detail_for(FailureType::FanStall).contains("FanStall"));
+    }
+}

@@ -1,0 +1,174 @@
+//! Fleet generation configuration and scale presets.
+
+use serde::{Deserialize, Serialize};
+
+/// Configuration for building a fleet.
+///
+/// The defaults mirror the paper's environment: dozens of data centers,
+/// hundreds of thousands of servers, hundreds of product lines, five server
+/// generations deployed incrementally, with part of the fleet predating the
+/// observation window.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FleetConfig {
+    /// Number of data centers (the paper studies 24 in §IV).
+    pub data_centers: usize,
+    /// Total server count across all data centers.
+    pub servers: usize,
+    /// Number of product lines ("hundreds" in the paper).
+    pub product_lines: usize,
+    /// Rack slot positions per rack.
+    pub rack_positions: u8,
+    /// Servers installed per rack (≤ `rack_positions`; the paper notes
+    /// operators often leave top/bottom slots empty).
+    pub servers_per_rack: u8,
+    /// Days of fleet deployment *before* the observation window opens,
+    /// so the window sees servers up to this old on day one.
+    pub pre_window_days: u64,
+    /// Length of the observation window in days.
+    pub window_days: u64,
+    /// Deployment keeps adding servers until this day of the window
+    /// (incremental roll-out, §V-A: "incrementally deployed during the
+    /// past three to four years").
+    pub deploy_until_day: u64,
+    /// Warranty length in days (out-of-warranty failures become `D_error`).
+    pub warranty_days: u64,
+    /// Number of hardware generations.
+    pub generations: u8,
+    /// Fraction of data centers built after 2014 with modern, spatially
+    /// uniform cooling (~10/24 in Table IV's "cannot reject" bucket).
+    pub modern_cooling_fraction: f64,
+    /// Racks sharing one power distribution unit (PDU) — the batch-failure
+    /// blast radius for power events (§V-A Case 3).
+    pub racks_per_pdu: u8,
+}
+
+impl FleetConfig {
+    /// Full paper-scale fleet: 24 DCs, 160k servers, 280 product lines,
+    /// 1,411-day window with two years of pre-window deployment.
+    pub fn paper() -> Self {
+        Self {
+            data_centers: 24,
+            servers: 160_000,
+            product_lines: 280,
+            rack_positions: 40,
+            servers_per_rack: 36,
+            pre_window_days: 730,
+            window_days: dcf_trace::TRACE_DAYS,
+            deploy_until_day: 1_300,
+            warranty_days: 985,
+            generations: 5,
+            modern_cooling_fraction: 10.0 / 24.0,
+            racks_per_pdu: 8,
+        }
+    }
+
+    /// Small fleet for fast tests: 4 DCs, 2,000 servers, a 360-day window.
+    pub fn small() -> Self {
+        Self {
+            data_centers: 4,
+            servers: 2_000,
+            product_lines: 24,
+            rack_positions: 40,
+            servers_per_rack: 36,
+            pre_window_days: 360,
+            window_days: 360,
+            deploy_until_day: 300,
+            warranty_days: 430,
+            generations: 3,
+            modern_cooling_fraction: 0.5,
+            racks_per_pdu: 4,
+        }
+    }
+
+    /// Medium fleet (~20k servers) for benches that need realistic shape
+    /// without paper-scale runtime.
+    pub fn medium() -> Self {
+        Self {
+            data_centers: 12,
+            servers: 20_000,
+            product_lines: 80,
+            ..Self::paper()
+        }
+    }
+
+    /// Validates internal consistency.
+    ///
+    /// # Errors
+    ///
+    /// Returns a human-readable description of the first violated constraint.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.data_centers == 0 {
+            return Err("data_centers must be positive".into());
+        }
+        if self.servers < self.data_centers {
+            return Err(format!(
+                "need at least one server per data center ({} servers, {} DCs)",
+                self.servers, self.data_centers
+            ));
+        }
+        if self.product_lines == 0 {
+            return Err("product_lines must be positive".into());
+        }
+        if self.servers_per_rack == 0 || self.servers_per_rack > self.rack_positions {
+            return Err(format!(
+                "servers_per_rack ({}) must be in 1..={}",
+                self.servers_per_rack, self.rack_positions
+            ));
+        }
+        if self.window_days == 0 {
+            return Err("window_days must be positive".into());
+        }
+        if !(0.0..=1.0).contains(&self.modern_cooling_fraction) {
+            return Err("modern_cooling_fraction must be in [0, 1]".into());
+        }
+        if self.generations == 0 {
+            return Err("generations must be positive".into());
+        }
+        if self.racks_per_pdu == 0 {
+            return Err("racks_per_pdu must be positive".into());
+        }
+        Ok(())
+    }
+}
+
+impl Default for FleetConfig {
+    fn default() -> Self {
+        Self::small()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn presets_validate() {
+        FleetConfig::paper().validate().unwrap();
+        FleetConfig::small().validate().unwrap();
+        FleetConfig::medium().validate().unwrap();
+    }
+
+    #[test]
+    fn paper_scale_matches_study() {
+        let c = FleetConfig::paper();
+        assert_eq!(c.data_centers, 24);
+        assert_eq!(c.window_days, 1_411);
+        assert!(c.servers >= 100_000);
+    }
+
+    #[test]
+    fn validation_catches_nonsense() {
+        let mut c = FleetConfig::small();
+        c.servers_per_rack = 0;
+        assert!(c.validate().is_err());
+        let mut c = FleetConfig::small();
+        c.servers_per_rack = c.rack_positions + 1;
+        assert!(c.validate().is_err());
+        let mut c = FleetConfig::small();
+        c.modern_cooling_fraction = 1.5;
+        assert!(c.validate().is_err());
+        let mut c = FleetConfig::small();
+        c.data_centers = 0;
+        assert!(c.validate().is_err());
+    }
+}

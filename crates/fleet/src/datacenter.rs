@@ -1,0 +1,181 @@
+//! Data center physical model: racks, slot positions, cooling-driven
+//! per-position failure multipliers, and PDU blast-radius groups.
+//!
+//! §IV of the paper: in older under-floor-cooled data centers the top rack
+//! slots (last reached by cooling air) and slots adjacent to rack-level
+//! power modules run several degrees hotter and fail more; post-2014
+//! designs are spatially uniform.
+
+use serde::{Deserialize, Serialize};
+
+use dcf_trace::{DataCenterId, DataCenterMeta, RackId};
+
+/// How a data center's cooling affects per-position failure rates.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum CoolingDesign {
+    /// Modern (post-2014) design: spatially uniform.
+    Modern,
+    /// Under-floor cooling with a thermal gradient toward the rack top,
+    /// scaled by `gradient` (0 = flat, 0.5 = top slots +50%).
+    UnderFloor {
+        /// Relative failure-rate increase at the topmost slot.
+        gradient: f64,
+    },
+}
+
+/// A data center: metadata plus the spatial failure-rate profile.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DataCenter {
+    /// Snapshot metadata (id, name, build year, …).
+    pub meta: DataCenterMeta,
+    /// Cooling design.
+    pub cooling: CoolingDesign,
+    /// Per-position failure-rate multipliers (length = `meta.rack_positions`).
+    /// 1.0 everywhere for modern designs; includes gradient and hot spots
+    /// for under-floor designs.
+    position_multiplier: Vec<f64>,
+    /// Slot positions designated as hot spots (e.g. next to the rack power
+    /// module), beyond the smooth gradient.
+    pub hot_positions: Vec<u8>,
+    /// Number of racks in this data center.
+    pub racks: u32,
+    /// Racks per power distribution unit.
+    pub racks_per_pdu: u8,
+}
+
+impl DataCenter {
+    /// Builds a data center's spatial profile.
+    ///
+    /// `hot_positions` get an extra `hot_boost` multiplier on top of any
+    /// cooling gradient (ignored for [`CoolingDesign::Modern`]).
+    pub fn new(
+        meta: DataCenterMeta,
+        cooling: CoolingDesign,
+        hot_positions: Vec<u8>,
+        hot_boost: f64,
+        racks: u32,
+        racks_per_pdu: u8,
+    ) -> Self {
+        let n = meta.rack_positions as usize;
+        let mut position_multiplier = vec![1.0; n];
+        if let CoolingDesign::UnderFloor { gradient } = cooling {
+            for (i, m) in position_multiplier.iter_mut().enumerate() {
+                // Linear thermal gradient from bottom (cool) to top (hot).
+                *m = 1.0 + gradient * i as f64 / (n.max(2) - 1) as f64;
+            }
+            for &p in &hot_positions {
+                if let Some(m) = position_multiplier.get_mut(p as usize) {
+                    *m *= hot_boost;
+                }
+            }
+        }
+        Self {
+            meta,
+            cooling,
+            position_multiplier,
+            hot_positions,
+            racks,
+            racks_per_pdu,
+        }
+    }
+
+    /// The data center id.
+    pub fn id(&self) -> DataCenterId {
+        self.meta.id
+    }
+
+    /// Failure-rate multiplier at a rack position.
+    ///
+    /// # Panics
+    ///
+    /// Panics for positions outside the rack design.
+    pub fn position_multiplier(&self, position: u8) -> f64 {
+        self.position_multiplier[position as usize]
+    }
+
+    /// All position multipliers, bottom slot first.
+    pub fn position_multipliers(&self) -> &[f64] {
+        &self.position_multiplier
+    }
+
+    /// Which PDU feeds a rack — failures of that PDU take out every rack in
+    /// the group (§V-A Case 3).
+    pub fn pdu_of_rack(&self, rack: RackId) -> u32 {
+        rack.raw() / self.racks_per_pdu as u32
+    }
+
+    /// Number of PDUs in the data center.
+    pub fn pdu_count(&self) -> u32 {
+        self.racks.div_ceil(self.racks_per_pdu as u32)
+    }
+
+    /// Racks belonging to PDU group `pdu` (dense rack ids).
+    pub fn racks_of_pdu(&self, pdu: u32) -> impl Iterator<Item = RackId> {
+        let per = self.racks_per_pdu as u32;
+        let start = pdu * per;
+        let end = ((pdu + 1) * per).min(self.racks);
+        (start..end).map(RackId::new)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn meta(positions: u8) -> DataCenterMeta {
+        DataCenterMeta {
+            id: DataCenterId::new(0),
+            name: "DC-00".into(),
+            built_year: 2012,
+            modern_cooling: false,
+            rack_positions: positions,
+        }
+    }
+
+    #[test]
+    fn modern_design_is_flat() {
+        let dc = DataCenter::new(meta(40), CoolingDesign::Modern, vec![22], 2.0, 100, 8);
+        assert!(dc.position_multipliers().iter().all(|&m| m == 1.0));
+    }
+
+    #[test]
+    fn underfloor_gradient_rises_toward_top() {
+        let dc = DataCenter::new(
+            meta(40),
+            CoolingDesign::UnderFloor { gradient: 0.4 },
+            vec![],
+            1.0,
+            100,
+            8,
+        );
+        assert!((dc.position_multiplier(0) - 1.0).abs() < 1e-12);
+        assert!((dc.position_multiplier(39) - 1.4).abs() < 1e-12);
+        assert!(dc.position_multiplier(20) > dc.position_multiplier(10));
+    }
+
+    #[test]
+    fn hot_spots_stack_on_gradient() {
+        let dc = DataCenter::new(
+            meta(40),
+            CoolingDesign::UnderFloor { gradient: 0.0 },
+            vec![22, 35],
+            1.5,
+            100,
+            8,
+        );
+        assert!((dc.position_multiplier(22) - 1.5).abs() < 1e-12);
+        assert!((dc.position_multiplier(35) - 1.5).abs() < 1e-12);
+        assert!((dc.position_multiplier(10) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn pdu_grouping() {
+        let dc = DataCenter::new(meta(40), CoolingDesign::Modern, vec![], 1.0, 20, 8);
+        assert_eq!(dc.pdu_of_rack(RackId::new(0)), 0);
+        assert_eq!(dc.pdu_of_rack(RackId::new(7)), 0);
+        assert_eq!(dc.pdu_of_rack(RackId::new(8)), 1);
+        assert_eq!(dc.pdu_count(), 3);
+        let racks: Vec<u32> = dc.racks_of_pdu(2).map(|r| r.raw()).collect();
+        assert_eq!(racks, vec![16, 17, 18, 19]); // last group truncated at 20
+    }
+}

@@ -1,0 +1,175 @@
+//! Server hardware profiles.
+//!
+//! The paper's fleet mixes storage-heavy batch machines (many HDDs, RAID
+//! cards, some flash cards) with SSD-equipped online-service machines
+//! ("only crucial and user-facing online service product lines afford
+//! SSDs", §VI-B). Profiles determine per-server component inventories.
+
+use serde::{Deserialize, Serialize};
+
+use dcf_trace::WorkloadKind;
+
+/// A server hardware profile: the component inventory stamped onto servers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct HardwareProfile {
+    /// Spinning disks.
+    pub hdd_count: u8,
+    /// SSDs.
+    pub ssd_count: u8,
+    /// CPU sockets.
+    pub cpu_count: u8,
+    /// DIMMs.
+    pub dimm_count: u8,
+    /// Chassis fans.
+    pub fan_count: u8,
+    /// Power supplies.
+    pub psu_count: u8,
+    /// RAID controller present.
+    pub has_raid_card: bool,
+    /// PCIe flash card present.
+    pub has_flash_card: bool,
+}
+
+impl HardwareProfile {
+    /// Dense-storage batch machine: 12 HDDs behind a RAID card.
+    pub fn storage_batch() -> Self {
+        Self {
+            hdd_count: 12,
+            ssd_count: 0,
+            cpu_count: 2,
+            dimm_count: 8,
+            fan_count: 4,
+            psu_count: 2,
+            has_raid_card: true,
+            has_flash_card: false,
+        }
+    }
+
+    /// Batch compute machine with a flash-card accelerator.
+    pub fn compute_flash() -> Self {
+        Self {
+            hdd_count: 4,
+            ssd_count: 0,
+            cpu_count: 2,
+            dimm_count: 12,
+            fan_count: 4,
+            psu_count: 2,
+            has_raid_card: true,
+            has_flash_card: true,
+        }
+    }
+
+    /// Online-service machine: SSDs, more memory, no RAID card.
+    pub fn online_ssd() -> Self {
+        Self {
+            hdd_count: 2,
+            ssd_count: 4,
+            cpu_count: 2,
+            dimm_count: 16,
+            fan_count: 5,
+            psu_count: 2,
+            has_raid_card: false,
+            has_flash_card: false,
+        }
+    }
+
+    /// Storage-service machine: many disks plus a couple of SSDs for journals.
+    pub fn storage_service() -> Self {
+        Self {
+            hdd_count: 12,
+            ssd_count: 2,
+            cpu_count: 2,
+            dimm_count: 8,
+            fan_count: 4,
+            psu_count: 2,
+            has_raid_card: true,
+            has_flash_card: false,
+        }
+    }
+
+    /// The typical profile for a workload kind. `variant` (0-based, e.g. the
+    /// hardware generation) nudges counts so generations differ slightly.
+    pub fn for_workload(workload: WorkloadKind, variant: u8) -> Self {
+        let mut p = match workload {
+            WorkloadKind::BatchProcessing => {
+                if variant % 3 == 2 {
+                    Self::compute_flash()
+                } else {
+                    Self::storage_batch()
+                }
+            }
+            WorkloadKind::OnlineService => Self::online_ssd(),
+            WorkloadKind::Storage => Self::storage_service(),
+            WorkloadKind::Mixed => {
+                if variant.is_multiple_of(2) {
+                    Self::storage_batch()
+                } else {
+                    Self::online_ssd()
+                }
+            }
+        };
+        // Newer generations pack slightly more memory.
+        p.dimm_count = p.dimm_count.saturating_add(2 * (variant % 3));
+        p
+    }
+
+    /// Total number of individually failing modules on the server
+    /// (used for sanity checks and capacity estimates).
+    pub fn module_count(&self) -> u32 {
+        self.hdd_count as u32
+            + self.ssd_count as u32
+            + self.cpu_count as u32
+            + self.dimm_count as u32
+            + self.fan_count as u32
+            + self.psu_count as u32
+            + self.has_raid_card as u32
+            + self.has_flash_card as u32
+            + 2 // motherboard + backboard
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn online_machines_have_ssds_and_no_raid() {
+        let p = HardwareProfile::online_ssd();
+        assert!(p.ssd_count > 0);
+        assert!(!p.has_raid_card);
+    }
+
+    #[test]
+    fn batch_machines_are_hdd_heavy() {
+        let p = HardwareProfile::storage_batch();
+        assert_eq!(p.hdd_count, 12);
+        assert!(p.has_raid_card);
+        assert_eq!(p.ssd_count, 0);
+    }
+
+    #[test]
+    fn workload_mapping_is_deterministic() {
+        let a = HardwareProfile::for_workload(WorkloadKind::BatchProcessing, 1);
+        let b = HardwareProfile::for_workload(WorkloadKind::BatchProcessing, 1);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn generations_vary_memory() {
+        let g0 = HardwareProfile::for_workload(WorkloadKind::OnlineService, 0);
+        let g1 = HardwareProfile::for_workload(WorkloadKind::OnlineService, 1);
+        assert!(g1.dimm_count > g0.dimm_count);
+    }
+
+    #[test]
+    fn module_count_adds_up() {
+        let p = HardwareProfile::storage_batch();
+        assert_eq!(p.module_count(), 12 + 2 + 8 + 4 + 2 + 1 + 2);
+    }
+
+    #[test]
+    fn some_batch_variant_has_flash() {
+        let p = HardwareProfile::for_workload(WorkloadKind::BatchProcessing, 2);
+        assert!(p.has_flash_card);
+    }
+}

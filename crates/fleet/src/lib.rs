@@ -1,0 +1,39 @@
+//! # dcf-fleet
+//!
+//! Data center fleet substrate for the `dcfail` reproduction of the DSN'17
+//! hardware-failure study.
+//!
+//! Builds the physical environment the paper's dataset comes from: dozens
+//! of data centers (old under-floor-cooled ones with hot rack positions and
+//! modern uniform ones, §IV), racks with partially occupied slot positions,
+//! PDU power groups (§V-A Case 3), hundreds of Zipf-sized product lines
+//! with distinct workload rhythms (§VI-C), five server generations deployed
+//! incrementally over years, and per-workload hardware inventories.
+//!
+//! ```
+//! use dcf_fleet::{FleetBuilder, FleetConfig};
+//!
+//! let fleet = FleetBuilder::new(FleetConfig::small()).seed(1).build().unwrap();
+//! // DC 0 reproduces the paper's "data center A": two hot rack positions.
+//! assert_eq!(fleet.data_centers()[0].hot_positions, vec![22, 35]);
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+mod builder;
+mod config;
+mod datacenter;
+mod fleet;
+mod hardware;
+mod product_line;
+pub mod temperature;
+pub mod workload;
+
+pub use builder::FleetBuilder;
+pub use config::FleetConfig;
+pub use datacenter::{CoolingDesign, DataCenter};
+pub use fleet::Fleet;
+pub use hardware::HardwareProfile;
+pub use product_line::{fault_tolerance_for, workload_for_rank, zipf_shares, ProductLine};
+pub use workload::{working_hours_weight, UtilizationProfile};

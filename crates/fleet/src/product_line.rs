@@ -1,0 +1,144 @@
+//! Product lines: the organizational unit owning servers.
+//!
+//! The company partitions hundreds of thousands of servers into hundreds of
+//! product lines, each with its own workload, software fault-tolerance
+//! level and operator team (§VI-C). Line size is heavily skewed — the
+//! §V-A case study is a single line with tens of thousands of servers.
+
+use serde::{Deserialize, Serialize};
+
+use dcf_trace::{FaultTolerance, ProductLineId, ProductLineMeta, WorkloadKind};
+
+use crate::workload::UtilizationProfile;
+
+/// A product line and everything the simulator needs to know about it.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ProductLine {
+    /// Snapshot metadata (id, name, workload, fault tolerance).
+    pub meta: ProductLineMeta,
+    /// Utilization rhythm of the line's workload.
+    pub utilization: UtilizationProfile,
+    /// Target share of the fleet's servers (Zipf-skewed, sums to ~1).
+    pub target_share: f64,
+}
+
+impl ProductLine {
+    /// Builds a line with the utilization profile implied by its workload.
+    pub fn new(meta: ProductLineMeta, target_share: f64) -> Self {
+        let utilization = UtilizationProfile::for_workload(meta.workload);
+        Self {
+            meta,
+            utilization,
+            target_share,
+        }
+    }
+
+    /// The line id.
+    pub fn id(&self) -> ProductLineId {
+        self.meta.id
+    }
+}
+
+/// Deterministically picks a workload kind for line `rank` (0 = largest).
+///
+/// The mix matches the paper's description: batch processing dominates
+/// (most servers run Hadoop-style jobs), online services are fewer but
+/// operationally strict. Rank 0 — the dominant line of the §V-A case
+/// study — is always batch processing.
+pub fn workload_for_rank(rank: usize) -> WorkloadKind {
+    if rank == 0 {
+        return WorkloadKind::BatchProcessing;
+    }
+    match rank % 10 {
+        0..=4 => WorkloadKind::BatchProcessing,
+        5 | 6 => WorkloadKind::OnlineService,
+        7 | 8 => WorkloadKind::Storage,
+        _ => WorkloadKind::Mixed,
+    }
+}
+
+/// Fault tolerance implied by a workload: batch/Hadoop lines are highly
+/// fault tolerant, online services much less so (§VI).
+pub fn fault_tolerance_for(workload: WorkloadKind, rank: usize) -> FaultTolerance {
+    match workload {
+        WorkloadKind::BatchProcessing => FaultTolerance::High,
+        WorkloadKind::Storage => FaultTolerance::High,
+        WorkloadKind::OnlineService => {
+            if rank.is_multiple_of(2) {
+                FaultTolerance::Low
+            } else {
+                FaultTolerance::Medium
+            }
+        }
+        WorkloadKind::Mixed => FaultTolerance::Medium,
+    }
+}
+
+/// Zipf-like size shares for `n` lines with exponent `s`, normalized to 1.
+///
+/// # Panics
+///
+/// Panics if `n == 0`.
+pub fn zipf_shares(n: usize, s: f64) -> Vec<f64> {
+    assert!(n > 0, "need at least one product line");
+    let weights: Vec<f64> = (1..=n).map(|r| 1.0 / (r as f64).powf(s)).collect();
+    let total: f64 = weights.iter().sum();
+    weights.into_iter().map(|w| w / total).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zipf_shares_sum_to_one_and_decrease() {
+        let shares = zipf_shares(50, 0.9);
+        let total: f64 = shares.iter().sum();
+        assert!((total - 1.0).abs() < 1e-12);
+        for w in shares.windows(2) {
+            assert!(w[0] > w[1]);
+        }
+        // The head line dominates.
+        assert!(shares[0] > 5.0 * shares[49]);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one")]
+    fn zipf_rejects_zero() {
+        zipf_shares(0, 1.0);
+    }
+
+    #[test]
+    fn rank_zero_is_big_batch_line() {
+        assert_eq!(workload_for_rank(0), WorkloadKind::BatchProcessing);
+        assert_eq!(
+            fault_tolerance_for(WorkloadKind::BatchProcessing, 0),
+            FaultTolerance::High
+        );
+    }
+
+    #[test]
+    fn workload_mix_has_all_kinds() {
+        let kinds: std::collections::HashSet<_> = (0..40).map(workload_for_rank).collect();
+        assert_eq!(kinds.len(), 4);
+    }
+
+    #[test]
+    fn online_lines_have_low_tolerance() {
+        let ft = fault_tolerance_for(WorkloadKind::OnlineService, 6);
+        assert!(ft < FaultTolerance::High);
+    }
+
+    #[test]
+    fn line_construction_wires_profile() {
+        let meta = ProductLineMeta {
+            id: ProductLineId::new(1),
+            name: "pl-x".into(),
+            workload: WorkloadKind::OnlineService,
+            fault_tolerance: FaultTolerance::Low,
+        };
+        let line = ProductLine::new(meta, 0.1);
+        assert_eq!(line.id(), ProductLineId::new(1));
+        assert!(line.utilization.floor < 0.5); // online profile
+    }
+}

@@ -1,0 +1,132 @@
+//! Position temperature estimates.
+//!
+//! §IV: "Our motherboard temperature readings at these places are indeed
+//! several degrees higher than the average motherboard temperature in each
+//! rack. This higher temperature might result in higher failure rate…"
+//!
+//! The fleet's spatial failure multipliers abstract that thermal effect;
+//! this module maps multipliers back to estimated inlet temperatures using
+//! the common rule of thumb that component failure rates roughly double
+//! per 10–15 °C (an Arrhenius-style sensitivity), so operators can read
+//! the profile in °C rather than in multipliers.
+
+use crate::datacenter::DataCenter;
+
+/// Baseline cold-aisle inlet temperature, °C (typical ASHRAE-ish setpoint).
+pub const BASELINE_INLET_C: f64 = 24.0;
+
+/// Degrees of extra temperature per doubling of the failure rate —
+/// the Arrhenius-style sensitivity used for the inverse mapping.
+pub const DEGREES_PER_DOUBLING: f64 = 12.0;
+
+/// Estimated inlet temperature at a rack position, from the data center's
+/// failure multiplier profile: `T = T0 + k · log2(multiplier)`.
+///
+/// # Examples
+///
+/// ```
+/// use dcf_fleet::{temperature, CoolingDesign, DataCenter};
+/// use dcf_trace::{DataCenterId, DataCenterMeta};
+///
+/// let meta = DataCenterMeta {
+///     id: DataCenterId::new(0),
+///     name: "DC-00".into(),
+///     built_year: 2012,
+///     modern_cooling: false,
+///     rack_positions: 40,
+/// };
+/// let dc = DataCenter::new(meta, CoolingDesign::UnderFloor { gradient: 0.0 },
+///                          vec![22], 2.0, 10, 4);
+/// // A 2x failure multiplier reads as one doubling: +12 °C.
+/// let t = temperature::estimated_inlet_c(&dc, 22);
+/// assert!((t - 36.0).abs() < 1e-9);
+/// assert!((temperature::estimated_inlet_c(&dc, 10) - 24.0).abs() < 1e-9);
+/// ```
+pub fn estimated_inlet_c(dc: &DataCenter, position: u8) -> f64 {
+    let mult = dc.position_multiplier(position);
+    BASELINE_INLET_C + DEGREES_PER_DOUBLING * mult.max(1e-6).log2()
+}
+
+/// The full temperature profile of a data center, bottom slot first.
+pub fn profile_c(dc: &DataCenter) -> Vec<f64> {
+    (0..dc.meta.rack_positions)
+        .map(|p| estimated_inlet_c(dc, p))
+        .collect()
+}
+
+/// Positions estimated at least `delta_c` hotter than the data center's
+/// median position — the "bad spots" §VII-3 says to avoid.
+pub fn hot_spots(dc: &DataCenter, delta_c: f64) -> Vec<(u8, f64)> {
+    let profile = profile_c(dc);
+    let mut sorted = profile.clone();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite temperatures"));
+    let median = sorted[sorted.len() / 2];
+    profile
+        .into_iter()
+        .enumerate()
+        .filter(|(_, t)| *t >= median + delta_c)
+        .map(|(p, t)| (p as u8, t))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::datacenter::CoolingDesign;
+    use dcf_trace::{DataCenterId, DataCenterMeta};
+
+    fn dc(cooling: CoolingDesign, hot: Vec<u8>, boost: f64) -> DataCenter {
+        DataCenter::new(
+            DataCenterMeta {
+                id: DataCenterId::new(0),
+                name: "DC-00".into(),
+                built_year: 2012,
+                modern_cooling: matches!(cooling, CoolingDesign::Modern),
+                rack_positions: 40,
+            },
+            cooling,
+            hot,
+            boost,
+            10,
+            4,
+        )
+    }
+
+    #[test]
+    fn modern_dc_is_isothermal() {
+        let d = dc(CoolingDesign::Modern, vec![], 1.0);
+        let profile = profile_c(&d);
+        assert!(profile.iter().all(|&t| (t - BASELINE_INLET_C).abs() < 1e-9));
+        assert!(hot_spots(&d, 1.0).is_empty());
+    }
+
+    #[test]
+    fn gradient_translates_to_degrees() {
+        let d = dc(CoolingDesign::UnderFloor { gradient: 1.0 }, vec![], 1.0);
+        // Top slot: multiplier 2.0 → one doubling → +12 °C over baseline.
+        let top = estimated_inlet_c(&d, 39);
+        assert!((top - (BASELINE_INLET_C + DEGREES_PER_DOUBLING)).abs() < 1e-9);
+        // Monotone toward the top.
+        let profile = profile_c(&d);
+        for w in profile.windows(2) {
+            assert!(w[1] >= w[0]);
+        }
+    }
+
+    #[test]
+    fn hot_spots_find_the_paper_positions() {
+        let d = dc(
+            CoolingDesign::UnderFloor { gradient: 0.02 },
+            vec![22, 35],
+            1.4,
+        );
+        let spots = hot_spots(&d, 3.0);
+        let positions: Vec<u8> = spots.iter().map(|(p, _)| *p).collect();
+        assert!(positions.contains(&22), "{positions:?}");
+        assert!(positions.contains(&35), "{positions:?}");
+        // "Several degrees higher", as the paper reads its sensors.
+        for (_, t) in spots {
+            assert!(t > BASELINE_INLET_C + 3.0 && t < BASELINE_INLET_C + 10.0);
+        }
+    }
+}

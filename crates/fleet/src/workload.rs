@@ -1,0 +1,165 @@
+//! Workload (utilization) rhythms.
+//!
+//! §III-A: hard-drive, memory and miscellaneous failure *detections*
+//! correlate with workload, because log-based detection only notices a
+//! fault once the component is exercised, and manual reports follow working
+//! hours. This module models per-workload utilization as a function of
+//! simulated time; the FMS detection model samples against it.
+
+use serde::{Deserialize, Serialize};
+
+use dcf_trace::{SimTime, Weekday, WorkloadKind};
+
+/// A diurnal/weekly utilization profile in `[floor, 1]`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct UtilizationProfile {
+    /// Minimum relative utilization (trough of the curves).
+    pub floor: f64,
+    /// Relative utilization per hour of day (24 entries, peak = 1.0 scale).
+    hourly: [f64; 24],
+    /// Relative utilization per weekday (Monday first, 7 entries).
+    weekly: [f64; 7],
+}
+
+impl UtilizationProfile {
+    /// The profile for a workload kind.
+    ///
+    /// * Batch processing: high and steady, modest night dip (jobs queue
+    ///   around the clock), weekends nearly full.
+    /// * Online service: strong diurnal swing following users, weekday-peaked.
+    /// * Storage: between the two.
+    /// * Mixed: average shape.
+    pub fn for_workload(kind: WorkloadKind) -> Self {
+        match kind {
+            WorkloadKind::BatchProcessing => Self::shaped(0.72, 0.18, 0.18),
+            WorkloadKind::OnlineService => Self::shaped(0.35, 0.55, 0.35),
+            WorkloadKind::Storage => Self::shaped(0.55, 0.30, 0.25),
+            WorkloadKind::Mixed => Self::shaped(0.50, 0.35, 0.25),
+        }
+    }
+
+    /// Builds a sinusoid-shaped profile: `base` floor, `diurnal` swing
+    /// peaking mid-afternoon, `weekend_dip` reduction on Sat/Sun.
+    fn shaped(base: f64, diurnal: f64, weekend_dip: f64) -> Self {
+        let mut hourly = [0.0; 24];
+        for (h, slot) in hourly.iter_mut().enumerate() {
+            // Peak near 15:00, trough near 03:00.
+            let phase = (h as f64 - 15.0) / 24.0 * std::f64::consts::TAU;
+            *slot = base + diurnal * (0.5 + 0.5 * phase.cos());
+        }
+        let mut weekly = [1.0; 7];
+        weekly[Weekday::Saturday.index()] = 1.0 - weekend_dip;
+        weekly[Weekday::Sunday.index()] = 1.0 - weekend_dip;
+        let floor = base;
+        Self {
+            floor,
+            hourly,
+            weekly,
+        }
+    }
+
+    /// Relative utilization in `(0, 1]` at time `t`.
+    pub fn utilization(&self, t: SimTime) -> f64 {
+        let h = self.hourly[t.hour_of_day() as usize];
+        let w = self.weekly[t.weekday().index()];
+        (h * w).clamp(1e-3, 1.0)
+    }
+
+    /// Fraction of hours `t` with utilization above `threshold` over one
+    /// week, a convenience for calibration tests.
+    pub fn busy_fraction(&self, threshold: f64) -> f64 {
+        let mut busy = 0usize;
+        for d in 0..7u64 {
+            for h in 0..24u64 {
+                let t = SimTime::from_days(d) + dcf_trace::SimDuration::from_hours(h);
+                if self.utilization(t) > threshold {
+                    busy += 1;
+                }
+            }
+        }
+        busy as f64 / (7.0 * 24.0)
+    }
+}
+
+/// Working-hours weight for *manual* reporting: operators file miscellaneous
+/// tickets mostly on weekdays during office hours (§III-A reason 2).
+pub fn working_hours_weight(t: SimTime) -> f64 {
+    let wd = t.weekday();
+    let h = t.hour_of_day();
+    let day_factor = if wd.is_weekend() { 0.25 } else { 1.0 };
+    let hour_factor = match h {
+        9..=11 | 14..=17 => 1.0,
+        12 | 13 => 0.7, // lunch dip
+        8 | 18 | 19 => 0.5,
+        20..=22 => 0.25,
+        _ => 0.08, // on-call only at night
+    };
+    day_factor * hour_factor
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dcf_trace::SimDuration;
+
+    fn at(day: u64, hour: u64) -> SimTime {
+        SimTime::from_days(day) + SimDuration::from_hours(hour)
+    }
+
+    #[test]
+    fn online_swings_more_than_batch() {
+        let online = UtilizationProfile::for_workload(WorkloadKind::OnlineService);
+        let batch = UtilizationProfile::for_workload(WorkloadKind::BatchProcessing);
+        let swing = |p: &UtilizationProfile| {
+            let peak = p.utilization(at(0, 15));
+            let trough = p.utilization(at(0, 3));
+            peak - trough
+        };
+        assert!(swing(&online) > 2.0 * swing(&batch));
+    }
+
+    #[test]
+    fn peak_is_afternoon_trough_is_night() {
+        let p = UtilizationProfile::for_workload(WorkloadKind::OnlineService);
+        assert!(p.utilization(at(0, 15)) > p.utilization(at(0, 3)));
+        assert!(p.utilization(at(0, 15)) > p.utilization(at(0, 23)));
+    }
+
+    #[test]
+    fn weekends_dip() {
+        let p = UtilizationProfile::for_workload(WorkloadKind::OnlineService);
+        // Day 0 is Tuesday; day 4 is Saturday.
+        assert!(p.utilization(at(4, 15)) < p.utilization(at(0, 15)));
+    }
+
+    #[test]
+    fn utilization_is_bounded() {
+        for kind in [
+            WorkloadKind::BatchProcessing,
+            WorkloadKind::OnlineService,
+            WorkloadKind::Storage,
+            WorkloadKind::Mixed,
+        ] {
+            let p = UtilizationProfile::for_workload(kind);
+            for d in 0..7 {
+                for h in 0..24 {
+                    let u = p.utilization(at(d, h));
+                    assert!((0.0..=1.0).contains(&u), "{kind:?} d{d} h{h}: {u}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn batch_stays_busy() {
+        let p = UtilizationProfile::for_workload(WorkloadKind::BatchProcessing);
+        assert!(p.busy_fraction(0.5) > 0.9);
+    }
+
+    #[test]
+    fn manual_reporting_follows_office_hours() {
+        // Tuesday 10:00 vs Tuesday 03:00 vs Saturday 10:00.
+        assert!(working_hours_weight(at(0, 10)) > 5.0 * working_hours_weight(at(0, 3)));
+        assert!(working_hours_weight(at(0, 10)) > 2.0 * working_hours_weight(at(4, 10)));
+    }
+}

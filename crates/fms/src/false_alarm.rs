@@ -1,0 +1,64 @@
+//! False alarms (§II-A, Table I): 1.7% of FOTs are detector glitches the
+//! operators dismiss — the paper highlights this *low* rate as evidence of
+//! high detection precision.
+
+use rand::{Rng, RngCore};
+use serde::{Deserialize, Serialize};
+
+/// Governs the rate of false-alarm tickets relative to real failures.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct FalseAlarmModel {
+    /// Expected false alarms per real failure. Table I: 1.7% of tickets
+    /// are false alarms, so per failure the ratio is 0.017 / 0.983.
+    pub per_failure_ratio: f64,
+}
+
+impl Default for FalseAlarmModel {
+    fn default() -> Self {
+        Self {
+            per_failure_ratio: 0.017 / 0.983,
+        }
+    }
+}
+
+impl FalseAlarmModel {
+    /// A model producing no false alarms.
+    pub fn disabled() -> Self {
+        Self {
+            per_failure_ratio: 0.0,
+        }
+    }
+
+    /// Rolls whether a detected failure spawns an (independent) false-alarm
+    /// ticket somewhere in the fleet.
+    pub fn roll(&self, rng: &mut dyn RngCore) -> bool {
+        self.per_failure_ratio > 0.0 && rng.random::<f64>() < self.per_failure_ratio
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn ratio_yields_about_1_7_percent_of_tickets() {
+        let m = FalseAlarmModel::default();
+        let mut rng = StdRng::seed_from_u64(1);
+        let failures = 500_000;
+        let alarms = (0..failures).filter(|_| m.roll(&mut rng)).count();
+        let ticket_share = alarms as f64 / (failures + alarms) as f64;
+        assert!(
+            (ticket_share - 0.017).abs() < 0.002,
+            "false-alarm share {ticket_share}"
+        );
+    }
+
+    #[test]
+    fn disabled_never_fires() {
+        let m = FalseAlarmModel::disabled();
+        let mut rng = StdRng::seed_from_u64(2);
+        assert!((0..10_000).all(|_| !m.roll(&mut rng)));
+    }
+}

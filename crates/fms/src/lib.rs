@@ -1,0 +1,27 @@
+//! # dcf-fms
+//!
+//! The failure management system (FMS) of the DSN'17 study: the central
+//! service (Figure 1) that turns agent detections and manual reports into
+//! failure operation tickets, plus the human-operator behavior model that
+//! closes them.
+//!
+//! * [`TicketFactory`] — the central ticket writer (id sequence, schema
+//!   stamping).
+//! * [`OperatorModel`] — per-product-line response-time profiles, warranty
+//!   handling, decommission decisions (§VI).
+//! * [`FalseAlarmModel`] — the 1.7% false-alarm stream (Table I).
+//! * [`MonitoringModel`] — the §VIII FMS roll-out artifact (agent coverage
+//!   growing over the window).
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+mod false_alarm;
+mod monitoring;
+mod operator;
+mod ticketing;
+
+pub use false_alarm::FalseAlarmModel;
+pub use monitoring::MonitoringModel;
+pub use operator::{class_rt_multiplier, OperatorModel, ResponseProfile, DEPLOYMENT_PHASE_DAYS};
+pub use ticketing::{Detection, TicketFactory};

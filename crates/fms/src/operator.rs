@@ -1,0 +1,406 @@
+//! The operator-response model (§VI).
+//!
+//! The paper's central §VI findings, all encoded here:
+//!
+//! * RT is very long in general — MTTR 42.2 days vs a 6.1-day median, with
+//!   10% of tickets open beyond 140 days (Figure 9): responses are heavy
+//!   tailed because operators of fault-tolerant products batch up failures
+//!   and feel little urgency.
+//! * Per-class differences (Figure 10): SSD and (deployment-phase)
+//!   miscellaneous tickets close within hours; HDD, fan and memory take
+//!   7–18 days.
+//! * Per-line differences (Figure 11): the top-1% biggest lines (large
+//!   Hadoop deployments) have ~47-day median RT, while among lines with
+//!   fewer than 100 failures about a fifth have >100-day medians
+//!   (rarely-visited queues).
+
+use rand::rngs::StdRng;
+use rand::{Rng, RngCore, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+use dcf_stats::{ContinuousDistribution, LogNormal};
+use dcf_trace::{
+    ComponentClass, FaultTolerance, FotCategory, OperatorAction, OperatorId, OperatorResponse,
+    ProductLineId, ProductLineMeta, SimDuration, SimTime,
+};
+
+/// Age below which a server counts as "in deployment": manual tickets get
+/// streamlined same-day handling (§VI-B).
+pub const DEPLOYMENT_PHASE_DAYS: u64 = 60;
+
+/// Response-time distribution of one product line's operator team:
+/// lognormal with the given median (days) and log-sigma.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ResponseProfile {
+    /// Median response time in days for a nominal (multiplier 1) class.
+    pub median_days: f64,
+    /// Lognormal sigma; bigger = heavier tail (periodic batch review).
+    pub sigma: f64,
+}
+
+impl ResponseProfile {
+    fn sample_days(&self, rng: &mut dyn RngCore, class_multiplier: f64) -> f64 {
+        let d = LogNormal::from_median(self.median_days * class_multiplier, self.sigma)
+            .expect("profile medians are positive");
+        let mut days = d.sample(rng);
+        // Beyond ~4 months the queue eventually gets swept — operators never
+        // abandon tickets outright (§VI-A), so the extreme tail compresses.
+        if days > 170.0 {
+            days = 170.0 + (days - 170.0) * 0.13;
+        }
+        days.clamp(0.003, 500.0) // ≥ ~4 minutes, ≤ the paper's extremes
+    }
+}
+
+/// Relative response speed per component class (multiplies the line median).
+///
+/// SSDs are urgent (costly, little redundancy, online products);
+/// HDD/fan/memory are the classic "the software tolerates it" classes.
+pub fn class_rt_multiplier(class: ComponentClass) -> f64 {
+    match class {
+        ComponentClass::Ssd => 0.04,
+        ComponentClass::Miscellaneous => 0.25,
+        ComponentClass::FlashCard => 0.55,
+        ComponentClass::Cpu => 0.6,
+        ComponentClass::RaidCard => 0.7,
+        ComponentClass::Motherboard => 0.8,
+        ComponentClass::Power => 0.85,
+        ComponentClass::HddBackboard => 0.85,
+        ComponentClass::Memory => 1.1,
+        ComponentClass::Hdd => 1.3,
+        ComponentClass::Fan => 1.35,
+    }
+}
+
+/// The full operator model: per-line response profiles plus the operator
+/// roster assigned to each line.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct OperatorModel {
+    profiles: Vec<ResponseProfile>,
+    operators: Vec<Vec<OperatorId>>,
+    false_alarm: ResponseProfile,
+    /// Probability that a *fatal* out-of-warranty failure leads to server
+    /// decommissioning (vs being left, partially failed, in production).
+    pub decommission_prob: f64,
+}
+
+impl OperatorModel {
+    /// Builds per-line profiles deterministically from `seed`.
+    ///
+    /// Line ranks follow ids (the fleet builder orders lines largest
+    /// first), which drives the Figure 11 structure:
+    ///
+    /// * top 1% of lines — slow batch-review teams (median ≈ 47 d);
+    /// * other lines — medians by fault tolerance (high → slow);
+    /// * a quarter of the small-line tail — neglected queues with >100-day
+    ///   medians.
+    pub fn new(seed: u64, lines: &[ProductLineMeta]) -> Self {
+        let mut rng = StdRng::seed_from_u64(seed ^ 0x0be7_a7ed_0f17_ce5e);
+        let n = lines.len();
+        let top_cut = (n / 100).max(3);
+        let tail_start = n * 3 / 5;
+        let mut profiles = Vec::with_capacity(n);
+        let mut operators = Vec::with_capacity(n);
+        let mut next_op: u16 = 0;
+        for (rank, line) in lines.iter().enumerate() {
+            let jitter = |rng: &mut StdRng, sigma: f64| -> f64 {
+                let u1: f64 = rng.random::<f64>().max(1e-300);
+                let u2: f64 = rng.random();
+                let z = (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos();
+                (sigma * z).exp()
+            };
+            let profile = if rank < top_cut {
+                ResponseProfile {
+                    median_days: 47.0 * jitter(&mut rng, 0.15),
+                    sigma: 1.70,
+                }
+            } else if rank >= tail_start && rng.random::<f64>() < 0.32 {
+                // Neglected small-line queue.
+                ResponseProfile {
+                    median_days: 135.0 * jitter(&mut rng, 0.30),
+                    sigma: 0.8,
+                }
+            } else {
+                match line.fault_tolerance {
+                    FaultTolerance::High => ResponseProfile {
+                        median_days: 6.5 * jitter(&mut rng, 0.7),
+                        sigma: 1.65,
+                    },
+                    FaultTolerance::Medium => ResponseProfile {
+                        median_days: 1.9 * jitter(&mut rng, 0.6),
+                        sigma: 1.05,
+                    },
+                    FaultTolerance::Low => ResponseProfile {
+                        median_days: 0.7 * jitter(&mut rng, 0.5),
+                        sigma: 0.85,
+                    },
+                }
+            };
+            profiles.push(profile);
+            let team_size = rng.random_range(2..=5u16);
+            let team: Vec<OperatorId> = (0..team_size)
+                .map(|_| {
+                    let id = OperatorId::new(next_op);
+                    next_op = next_op.wrapping_add(1);
+                    id
+                })
+                .collect();
+            operators.push(team);
+        }
+        Self {
+            profiles,
+            operators,
+            // Paper Figure 9: false alarms close a bit faster (median 4.9 d)
+            // but still heavy-tailed (mean 19.1 d ⇒ σ ≈ 1.65).
+            false_alarm: ResponseProfile {
+                median_days: 4.9,
+                sigma: 1.65,
+            },
+            decommission_prob: 0.3,
+        }
+    }
+
+    /// The response profile of a product line.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a line id the model was not built with.
+    pub fn profile(&self, line: ProductLineId) -> &ResponseProfile {
+        &self.profiles[line.index()]
+    }
+
+    /// Samples the operator response for a ticket, or `None` for `D_error`
+    /// tickets (out-of-warranty: nobody responds).
+    ///
+    /// `server_age` is the server's age at failure time, used for the
+    /// deployment-phase fast path of miscellaneous tickets.
+    pub fn sample_response(
+        &self,
+        rng: &mut dyn RngCore,
+        line: ProductLineId,
+        class: ComponentClass,
+        category: FotCategory,
+        error_time: SimTime,
+        server_age: SimDuration,
+    ) -> Option<OperatorResponse> {
+        if !category.has_response() {
+            return None;
+        }
+        let (profile, action) = match category {
+            FotCategory::FalseAlarm => (&self.false_alarm, OperatorAction::MarkFalseAlarm),
+            _ => (self.profile(line), OperatorAction::IssueRepairOrder),
+        };
+        let mult = if class == ComponentClass::Miscellaneous
+            && server_age < SimDuration::from_days(DEPLOYMENT_PHASE_DAYS)
+        {
+            // Streamlined install/test/debug workflow: hours, not days.
+            0.012
+        } else {
+            class_rt_multiplier(class)
+        };
+        let days = profile.sample_days(rng, mult);
+        let team = &self.operators[line.index()];
+        let operator = team[rng.random_range(0..team.len())];
+        Some(OperatorResponse {
+            operator,
+            op_time: error_time + SimDuration::from_secs((days * 86_400.0) as u64),
+            action,
+        })
+    }
+
+    /// Whether an out-of-warranty fatal failure leads to decommissioning
+    /// the server (it stops producing tickets afterwards).
+    pub fn roll_decommission(&self, rng: &mut dyn RngCore, fatal: bool) -> bool {
+        let p = if fatal {
+            self.decommission_prob
+        } else {
+            self.decommission_prob * 0.1
+        };
+        rng.random::<f64>() < p
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dcf_trace::WorkloadKind;
+
+    fn lines(n: usize) -> Vec<ProductLineMeta> {
+        (0..n)
+            .map(|i| ProductLineMeta {
+                id: ProductLineId::new(i as u16),
+                name: format!("pl-{i}"),
+                workload: if i % 3 == 0 {
+                    WorkloadKind::BatchProcessing
+                } else {
+                    WorkloadKind::OnlineService
+                },
+                fault_tolerance: if i % 3 == 0 {
+                    FaultTolerance::High
+                } else if i % 3 == 1 {
+                    FaultTolerance::Low
+                } else {
+                    FaultTolerance::Medium
+                },
+            })
+            .collect()
+    }
+
+    #[test]
+    fn construction_is_deterministic() {
+        let ls = lines(50);
+        let a = OperatorModel::new(7, &ls);
+        let b = OperatorModel::new(7, &ls);
+        assert_eq!(a, b);
+        assert_ne!(a, OperatorModel::new(8, &ls));
+    }
+
+    #[test]
+    fn top_line_is_slow() {
+        let m = OperatorModel::new(1, &lines(200));
+        let top = m.profile(ProductLineId::new(0));
+        assert!(top.median_days > 30.0, "top median {}", top.median_days);
+        // Low-FT lines in the middle are much faster.
+        let low_ft = m.profile(ProductLineId::new(10)); // 10 % 3 == 1 → Low
+        assert!(
+            low_ft.median_days < 5.0,
+            "low-FT median {}",
+            low_ft.median_days
+        );
+    }
+
+    #[test]
+    fn some_small_lines_are_neglected() {
+        let m = OperatorModel::new(2, &lines(300));
+        let neglected = (180..300)
+            .filter(|&i| m.profile(ProductLineId::new(i as u16)).median_days > 100.0)
+            .count();
+        let frac = neglected as f64 / 120.0;
+        assert!((0.1..0.45).contains(&frac), "neglected fraction {frac}");
+    }
+
+    #[test]
+    fn error_category_gets_no_response() {
+        let m = OperatorModel::new(3, &lines(10));
+        let mut rng = StdRng::seed_from_u64(1);
+        assert!(m
+            .sample_response(
+                &mut rng,
+                ProductLineId::new(0),
+                ComponentClass::Hdd,
+                FotCategory::Error,
+                SimTime::from_days(10),
+                SimDuration::from_days(400),
+            )
+            .is_none());
+    }
+
+    #[test]
+    fn response_never_precedes_error_and_action_matches_category() {
+        let m = OperatorModel::new(4, &lines(10));
+        let mut rng = StdRng::seed_from_u64(2);
+        let t = SimTime::from_days(100);
+        for _ in 0..200 {
+            let r = m
+                .sample_response(
+                    &mut rng,
+                    ProductLineId::new(3),
+                    ComponentClass::Memory,
+                    FotCategory::Fixing,
+                    t,
+                    SimDuration::from_days(200),
+                )
+                .unwrap();
+            assert!(r.op_time >= t);
+            assert_eq!(r.action, OperatorAction::IssueRepairOrder);
+        }
+        let fa = m
+            .sample_response(
+                &mut rng,
+                ProductLineId::new(3),
+                ComponentClass::Hdd,
+                FotCategory::FalseAlarm,
+                t,
+                SimDuration::from_days(200),
+            )
+            .unwrap();
+        assert_eq!(fa.action, OperatorAction::MarkFalseAlarm);
+    }
+
+    #[test]
+    fn ssd_is_much_faster_than_hdd() {
+        let m = OperatorModel::new(5, &lines(10));
+        let mut rng = StdRng::seed_from_u64(3);
+        let t = SimTime::from_days(100);
+        let median_of = |class: ComponentClass, rng: &mut StdRng| {
+            let mut days: Vec<f64> = (0..2_001)
+                .map(|_| {
+                    m.sample_response(
+                        rng,
+                        ProductLineId::new(0),
+                        class,
+                        FotCategory::Fixing,
+                        t,
+                        SimDuration::from_days(200),
+                    )
+                    .unwrap()
+                    .op_time
+                    .since(t)
+                    .as_days_f64()
+                })
+                .collect();
+            days.sort_by(|a, b| a.partial_cmp(b).unwrap());
+            days[1_000]
+        };
+        let ssd = median_of(ComponentClass::Ssd, &mut rng);
+        let hdd = median_of(ComponentClass::Hdd, &mut rng);
+        assert!(
+            hdd > 10.0 * ssd,
+            "hdd median {hdd} should dwarf ssd median {ssd}"
+        );
+    }
+
+    #[test]
+    fn deployment_phase_misc_closes_within_hours() {
+        let m = OperatorModel::new(6, &lines(10));
+        let mut rng = StdRng::seed_from_u64(4);
+        let t = SimTime::from_days(100);
+        let mut days: Vec<f64> = (0..2_001)
+            .map(|_| {
+                m.sample_response(
+                    &mut rng,
+                    ProductLineId::new(0),
+                    ComponentClass::Miscellaneous,
+                    FotCategory::Fixing,
+                    t,
+                    SimDuration::from_days(10), // brand new server
+                )
+                .unwrap()
+                .op_time
+                .since(t)
+                .as_days_f64()
+            })
+            .collect();
+        days.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        assert!(
+            days[1_000] < 1.5,
+            "deployment misc median {} days",
+            days[1_000]
+        );
+    }
+
+    #[test]
+    fn decommission_tracks_severity() {
+        let m = OperatorModel::new(7, &lines(5));
+        let mut rng = StdRng::seed_from_u64(5);
+        let n = 100_000;
+        let fatal = (0..n)
+            .filter(|_| m.roll_decommission(&mut rng, true))
+            .count();
+        let warn = (0..n)
+            .filter(|_| m.roll_decommission(&mut rng, false))
+            .count();
+        assert!((fatal as f64 / n as f64 - 0.3).abs() < 0.01);
+        assert!(warn * 5 < fatal);
+    }
+}

@@ -1,0 +1,142 @@
+//! ASCII bar charts and line plots: the terminal rendition of the paper's
+//! figures.
+
+/// Renders a horizontal bar chart: one row per `(label, value)`, bars
+/// scaled so the max spans `width` characters.
+///
+/// # Examples
+///
+/// ```
+/// let s = dcf_report::bar_chart(&[("Mon".into(), 4.0), ("Tue".into(), 2.0)], 10);
+/// assert!(s.contains("##########")); // Mon at full width
+/// assert!(s.contains("#####"));      // Tue at half
+/// ```
+pub fn bar_chart(data: &[(String, f64)], width: usize) -> String {
+    let width = width.max(1);
+    let max = data.iter().map(|(_, v)| *v).fold(0.0f64, f64::max);
+    let label_w = data
+        .iter()
+        .map(|(l, _)| l.chars().count())
+        .max()
+        .unwrap_or(0);
+    let mut out = String::new();
+    for (label, value) in data {
+        let bar_len = if max > 0.0 {
+            ((value / max) * width as f64).round() as usize
+        } else {
+            0
+        };
+        out.push_str(&format!(
+            "{label:<label_w$} |{} {value:.4}\n",
+            "#".repeat(bar_len)
+        ));
+    }
+    out
+}
+
+/// Renders `(x, y)` series as a fixed-size ASCII scatter/line plot with
+/// optional log-scaled x axis. `y` is assumed to be in `[0, 1]` (CDFs).
+pub fn cdf_plot(series: &[(&str, &[(f64, f64)])], cols: usize, rows: usize, log_x: bool) -> String {
+    let cols = cols.max(10);
+    let rows = rows.max(5);
+    let all_x: Vec<f64> = series
+        .iter()
+        .flat_map(|(_, pts)| pts.iter().map(|(x, _)| *x))
+        .filter(|x| !log_x || *x > 0.0)
+        .collect();
+    if all_x.is_empty() {
+        return String::from("(no data)\n");
+    }
+    let tx = |x: f64| if log_x { x.ln() } else { x };
+    let x_min = all_x.iter().copied().map(tx).fold(f64::INFINITY, f64::min);
+    let x_max = all_x
+        .iter()
+        .copied()
+        .map(tx)
+        .fold(f64::NEG_INFINITY, f64::max);
+    let span = (x_max - x_min).max(1e-12);
+
+    let mut grid = vec![vec![' '; cols]; rows];
+    let marks = ['*', '+', 'o', 'x', '.', '~'];
+    for (si, (_, pts)) in series.iter().enumerate() {
+        let mark = marks[si % marks.len()];
+        for &(x, y) in *pts {
+            if log_x && x <= 0.0 {
+                continue;
+            }
+            let cx = (((tx(x) - x_min) / span) * (cols - 1) as f64).round() as usize;
+            let cy = ((1.0 - y.clamp(0.0, 1.0)) * (rows - 1) as f64).round() as usize;
+            grid[cy.min(rows - 1)][cx.min(cols - 1)] = mark;
+        }
+    }
+
+    let mut out = String::new();
+    for (r, row) in grid.iter().enumerate() {
+        let y_label = 1.0 - r as f64 / (rows - 1) as f64;
+        out.push_str(&format!("{y_label:4.2} |"));
+        out.extend(row.iter());
+        out.push('\n');
+    }
+    out.push_str("     +");
+    out.push_str(&"-".repeat(cols));
+    out.push('\n');
+    let x_lo = if log_x { x_min.exp() } else { x_min };
+    let x_hi = if log_x { x_max.exp() } else { x_max };
+    out.push_str(&format!(
+        "      x: {x_lo:.3} .. {x_hi:.3}{}\n",
+        if log_x { " (log scale)" } else { "" }
+    ));
+    for (si, (name, _)) in series.iter().enumerate() {
+        out.push_str(&format!("      {} {name}\n", marks[si % marks.len()]));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bars_scale_to_max() {
+        let s = bar_chart(
+            &[("a".into(), 10.0), ("bb".into(), 5.0), ("c".into(), 0.0)],
+            20,
+        );
+        let lines: Vec<&str> = s.lines().collect();
+        assert_eq!(lines.len(), 3);
+        assert!(lines[0].contains(&"#".repeat(20)));
+        assert!(lines[1].contains(&"#".repeat(10)));
+        assert!(!lines[2].contains('#'));
+        // Labels padded to equal width.
+        assert!(lines[0].starts_with("a  |"));
+        assert!(lines[1].starts_with("bb |"));
+    }
+
+    #[test]
+    fn empty_bar_chart_is_empty() {
+        assert_eq!(bar_chart(&[], 10), "");
+    }
+
+    #[test]
+    fn cdf_plot_renders_grid_and_legend() {
+        let pts: Vec<(f64, f64)> = (1..=100).map(|i| (i as f64, i as f64 / 100.0)).collect();
+        let s = cdf_plot(&[("data", &pts)], 40, 10, false);
+        assert!(s.contains("* data"));
+        assert!(s.contains("1.00 |"));
+        assert!(s.contains("0.00 |"));
+        assert!(s.lines().count() >= 13);
+    }
+
+    #[test]
+    fn log_scale_skips_nonpositive_x() {
+        let pts = [(0.0, 0.1), (1.0, 0.5), (100.0, 1.0)];
+        let s = cdf_plot(&[("d", &pts)], 30, 6, true);
+        assert!(s.contains("log scale"));
+    }
+
+    #[test]
+    fn no_data_message() {
+        let s = cdf_plot(&[("d", &[][..])], 30, 6, false);
+        assert!(s.contains("no data"));
+    }
+}

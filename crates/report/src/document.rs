@@ -1,0 +1,275 @@
+//! Whole-study markdown document generation: every experiment as a
+//! markdown section with paper-vs-measured tables — the machine-written
+//! counterpart of EXPERIMENTS.md.
+
+use dcf_core::paper;
+use dcf_core::FailureStudy;
+use dcf_trace::{ComponentClass, FotCategory};
+
+use crate::table::TextTable;
+
+fn md_pct(x: f64) -> String {
+    format!("{:.2} %", 100.0 * x)
+}
+
+/// Renders the complete study as a markdown document.
+///
+/// Sections: provenance, Table I/II, hypotheses H1–H5, TBF, lifecycle,
+/// repeats/concentration, spatial, batch `r_N`, correlations, response
+/// times, the §VII extensions (prediction + backlog).
+pub fn markdown_report(study: &FailureStudy<'_>) -> String {
+    let trace = study.trace();
+    let mut out = String::new();
+    out.push_str("# Failure study report\n\n");
+    out.push_str(&format!(
+        "Trace: `{}` — seed {}, {} servers, {} data centers, {} product lines, {}-day window, {} tickets.\n\n",
+        trace.info().description,
+        trace.info().seed,
+        trace.servers().len(),
+        trace.data_centers().len(),
+        trace.product_lines().len(),
+        trace.info().days,
+        trace.len(),
+    ));
+
+    // Table I.
+    let b = study.overview().category_breakdown();
+    out.push_str("## Ticket categories (Table I)\n\n");
+    let mut t = TextTable::new(vec!["Category", "Paper", "Measured"]);
+    for ((name, p), m) in
+        paper::CATEGORY_SHARES
+            .iter()
+            .zip([b.fixing_share, b.error_share, b.false_alarm_share])
+    {
+        t.row(vec![(*name).into(), md_pct(*p), md_pct(m)]);
+    }
+    out.push_str(&t.render_markdown());
+    out.push('\n');
+
+    // Table II.
+    out.push_str("## Component breakdown (Table II)\n\n");
+    let mut t = TextTable::new(vec!["Device", "Count", "Paper", "Measured"]);
+    for r in study.overview().component_breakdown() {
+        let p = paper::COMPONENT_SHARES
+            .iter()
+            .find(|(c, _)| *c == r.class)
+            .map(|(_, s)| *s)
+            .unwrap_or(0.0);
+        t.row(vec![
+            r.class.name().into(),
+            r.count.to_string(),
+            md_pct(p),
+            md_pct(r.share),
+        ]);
+    }
+    out.push_str(&t.render_markdown());
+    out.push('\n');
+
+    // Hypotheses.
+    out.push_str("## Hypotheses (H1–H5)\n\n");
+    let mut t = TextTable::new(vec!["Hypothesis", "Result", "Paper"]);
+    let temporal = study.temporal();
+    if let Ok(dow) = temporal.day_of_week(None) {
+        t.row(vec![
+            "H1 day-of-week uniform".into(),
+            dow.uniformity.to_string(),
+            "rejected @0.01".into(),
+        ]);
+    }
+    if let Ok(hod) = temporal.hour_of_day(None) {
+        t.row(vec![
+            "H2 hour-of-day uniform".into(),
+            hod.uniformity.to_string(),
+            "rejected @0.01".into(),
+        ]);
+    }
+    if let Ok(tbf) = temporal.tbf_all() {
+        t.row(vec![
+            "H3 TBF fits a family".into(),
+            format!(
+                "all 4 rejected: {} (MTBF {:.1} min)",
+                tbf.all_rejected_at_005, tbf.mtbf_minutes
+            ),
+            format!("rejected @0.05; MTBF {:.1} min", paper::MTBF_MINUTES),
+        ]);
+    }
+    if let Ok(hdd) = temporal.tbf_of_class(ComponentClass::Hdd) {
+        t.row(vec![
+            "H4 per-class TBF (HDD)".into(),
+            format!("all 4 rejected: {}", hdd.all_rejected_at_005),
+            "rejected @0.05".into(),
+        ]);
+    }
+    let spatial = study.spatial();
+    let results = spatial.by_data_center(200);
+    let t4 = spatial.table_iv(&results);
+    t.row(vec![
+        "H5 rack position irrelevant".into(),
+        format!(
+            "{} reject @0.01 / {} borderline / {} accept",
+            t4.rejected_001, t4.borderline, t4.accepted
+        ),
+        format!(
+            "{} / {} / {}",
+            paper::table_iv::REJECTED_001,
+            paper::table_iv::BORDERLINE,
+            paper::table_iv::ACCEPTED
+        ),
+    ]);
+    out.push_str(&t.render_markdown());
+    out.push('\n');
+
+    // Lifecycle.
+    out.push_str("## Lifecycle (Figure 6)\n\n");
+    let all = study.lifecycle().all();
+    let mut t = TextTable::new(vec!["Claim", "Paper", "Measured"]);
+    let raid = &all[ComponentClass::RaidCard.index()];
+    t.row(vec![
+        "RAID failures in first 6 months".into(),
+        md_pct(paper::lifecycle::RAID_FIRST_6_MONTHS),
+        md_pct(raid.failure_fraction(0..6)),
+    ]);
+    let mb = &all[ComponentClass::Motherboard.index()];
+    t.row(vec![
+        "Motherboard failures after year 3".into(),
+        md_pct(paper::lifecycle::MOTHERBOARD_AFTER_36_MONTHS),
+        md_pct(mb.failure_fraction(36..48)),
+    ]);
+    let flash = &all[ComponentClass::FlashCard.index()];
+    t.row(vec![
+        "Flash failures in first 12 months".into(),
+        md_pct(paper::lifecycle::FLASH_FIRST_12_MONTHS),
+        md_pct(flash.failure_fraction(0..12)),
+    ]);
+    out.push_str(&t.render_markdown());
+    out.push('\n');
+
+    // Repeats and concentration.
+    let skew = study.skew();
+    let conc = skew.concentration();
+    let reps = skew.repeats();
+    out.push_str("## Repeats and concentration (Figure 7)\n\n");
+    out.push_str(&format!(
+        "- servers ever failed: {} ({} of the fleet)\n- never-repeat share of fixed components: {} (paper: > {})\n- max tickets on one server: {} (paper: > {})\n- top 10 % of ever-failed servers hold {} of failures\n\n",
+        conc.servers_ever_failed,
+        md_pct(conc.ever_failed_share),
+        md_pct(reps.never_repeat_share),
+        md_pct(paper::repeats::NEVER_REPEAT_SHARE),
+        conc.max_on_one_server,
+        paper::repeats::MAX_FOTS_ONE_SERVER,
+        md_pct(conc.top_share(0.10)),
+    ));
+
+    // Batch rN.
+    out.push_str("## Batch frequency r_N (Table V)\n\n");
+    let batch = study.batch();
+    let thresholds = batch.scaled_thresholds();
+    let mut t = TextTable::new(vec!["Device", "r_N1", "r_N2", "r_N3"]);
+    for row in batch.r_n(&thresholds) {
+        t.row(vec![
+            row.class.name().into(),
+            md_pct(row.r[0].1),
+            md_pct(row.r[1].1),
+            md_pct(row.r[2].1),
+        ]);
+    }
+    out.push_str(&t.render_markdown());
+    out.push('\n');
+
+    // Correlations.
+    let corr = study.correlation().component_pairs();
+    out.push_str("## Correlated component failures (Table VI)\n\n");
+    out.push_str(&format!(
+        "- servers with same-day multi-component failures: {} (paper: {})\n- incidents involving misc: {} (paper: {})\n\n",
+        md_pct(corr.pair_server_share),
+        md_pct(paper::correlation::PAIR_SERVER_SHARE),
+        md_pct(corr.misc_involved_share),
+        md_pct(paper::correlation::MISC_INVOLVED_SHARE),
+    ));
+
+    // Response times.
+    out.push_str("## Operator response (Figures 9–11)\n\n");
+    let mut t = TextTable::new(vec!["Metric", "Paper", "Measured"]);
+    if let Ok(rt) = study.response().rt_of_category(FotCategory::Fixing) {
+        t.row(vec![
+            "D_fixing MTTR / median (days)".into(),
+            format!(
+                "{:.1} / {:.1}",
+                paper::response::FIXING_MEAN_DAYS,
+                paper::response::FIXING_MEDIAN_DAYS
+            ),
+            format!("{:.1} / {:.1}", rt.mean_days, rt.median_days),
+        ]);
+        t.row(vec![
+            "RT > 140 d".into(),
+            md_pct(paper::response::OVER_140_DAYS),
+            md_pct(rt.over_140d),
+        ]);
+    }
+    out.push_str(&t.render_markdown());
+    out.push('\n');
+
+    // Extensions.
+    out.push_str("## Extensions (paper §VII)\n\n");
+    let eval = study.prediction().evaluate(7, None);
+    out.push_str(&format!(
+        "- warning→failure predictor @7-day horizon: precision {}, recall {}, median lead {}\n",
+        md_pct(eval.precision),
+        md_pct(eval.recall),
+        eval.median_lead_days
+            .map(|d| format!("{d:.1} d"))
+            .unwrap_or_else(|| "-".into()),
+    ));
+    let backlog = study.backlog().summary();
+    out.push_str(&format!(
+        "- mean open repair tickets: {:.0} (peak {}); degraded fleet at window end: {}\n",
+        backlog.mean_open,
+        backlog.peak_open,
+        md_pct(backlog.degraded_share_at_end),
+    ));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::OnceLock;
+
+    fn trace() -> &'static dcf_trace::Trace {
+        static T: OnceLock<dcf_trace::Trace> = OnceLock::new();
+        T.get_or_init(|| dcf_sim::Scenario::small().seed(0xD0C).run().unwrap())
+    }
+
+    #[test]
+    fn report_contains_every_section() {
+        let study = FailureStudy::new(trace());
+        let md = markdown_report(&study);
+        for section in [
+            "# Failure study report",
+            "## Ticket categories",
+            "## Component breakdown",
+            "## Hypotheses",
+            "## Lifecycle",
+            "## Repeats and concentration",
+            "## Batch frequency",
+            "## Correlated component failures",
+            "## Operator response",
+            "## Extensions",
+        ] {
+            assert!(md.contains(section), "missing {section}");
+        }
+    }
+
+    #[test]
+    fn report_is_valid_markdown_tables() {
+        let study = FailureStudy::new(trace());
+        let md = markdown_report(&study);
+        // Every table header row is followed by a separator row.
+        for (i, line) in md.lines().enumerate() {
+            if line.starts_with("| ") && line.contains("Paper") {
+                let next = md.lines().nth(i + 1).unwrap_or("");
+                assert!(next.starts_with("|---"), "no separator after {line}");
+            }
+        }
+    }
+}

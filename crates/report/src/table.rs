@@ -1,0 +1,162 @@
+//! Aligned plain-text tables for terminal reports.
+
+/// A simple column-aligned text table builder.
+///
+/// # Examples
+///
+/// ```
+/// use dcf_report::TextTable;
+///
+/// let mut t = TextTable::new(vec!["Device", "Share"]);
+/// t.row(vec!["HDD".into(), "81.84 %".into()]);
+/// t.row(vec!["Memory".into(), "3.06 %".into()]);
+/// let s = t.render();
+/// assert!(s.contains("HDD"));
+/// assert!(s.lines().count() >= 4); // header + rule + 2 rows
+/// ```
+#[derive(Debug, Clone)]
+pub struct TextTable {
+    headers: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl TextTable {
+    /// Creates a table with the given column headers.
+    pub fn new<S: Into<String>>(headers: Vec<S>) -> Self {
+        Self {
+            headers: headers.into_iter().map(Into::into).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends one row. Rows shorter than the header are padded with
+    /// empty cells; longer rows are truncated.
+    pub fn row(&mut self, cells: Vec<String>) -> &mut Self {
+        let mut cells = cells;
+        cells.resize(self.headers.len(), String::new());
+        self.rows.push(cells);
+        self
+    }
+
+    /// Number of data rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Whether the table has no data rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Renders the table: header, rule, then rows, columns padded to the
+    /// widest cell. First column is left-aligned, the rest right-aligned.
+    pub fn render(&self) -> String {
+        let cols = self.headers.len();
+        let mut widths: Vec<usize> = self.headers.iter().map(|h| h.chars().count()).collect();
+        for row in &self.rows {
+            for (i, cell) in row.iter().enumerate().take(cols) {
+                widths[i] = widths[i].max(cell.chars().count());
+            }
+        }
+        let mut out = String::new();
+        let fmt_row = |cells: &[String]| -> String {
+            let mut line = String::new();
+            for (i, cell) in cells.iter().enumerate().take(cols) {
+                if i > 0 {
+                    line.push_str("  ");
+                }
+                let pad = widths[i].saturating_sub(cell.chars().count());
+                if i == 0 {
+                    line.push_str(cell);
+                    line.push_str(&" ".repeat(pad));
+                } else {
+                    line.push_str(&" ".repeat(pad));
+                    line.push_str(cell);
+                }
+            }
+            line.trim_end().to_string()
+        };
+        out.push_str(&fmt_row(&self.headers));
+        out.push('\n');
+        out.push_str(&"-".repeat(widths.iter().sum::<usize>() + 2 * (cols - 1)));
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&fmt_row(row));
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Renders as a GitHub-flavored markdown table.
+    pub fn render_markdown(&self) -> String {
+        let mut out = String::new();
+        out.push_str("| ");
+        out.push_str(&self.headers.join(" | "));
+        out.push_str(" |\n|");
+        for _ in &self.headers {
+            out.push_str("---|");
+        }
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str("| ");
+            out.push_str(&row.join(" | "));
+            out.push_str(" |\n");
+        }
+        out
+    }
+}
+
+/// Formats a fraction as a percent with two decimals (`0.8184` → `81.84 %`).
+pub fn pct(x: f64) -> String {
+    format!("{:.2} %", 100.0 * x)
+}
+
+/// Formats a day count with one decimal (`6.13` → `6.1 d`).
+pub fn days(x: f64) -> String {
+    format!("{x:.1} d")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_aligned_columns() {
+        let mut t = TextTable::new(vec!["a", "value"]);
+        t.row(vec!["x".into(), "1".into()]);
+        t.row(vec!["longer".into(), "22".into()]);
+        let s = t.render();
+        let lines: Vec<&str> = s.lines().collect();
+        assert_eq!(lines.len(), 4);
+        // Right-aligned numeric column: both rows end at the same offset.
+        assert_eq!(lines[2].len(), lines[2].trim_end().len());
+        assert!(lines[3].starts_with("longer"));
+    }
+
+    #[test]
+    fn pads_and_truncates_rows() {
+        let mut t = TextTable::new(vec!["a", "b"]);
+        t.row(vec!["only-one".into()]);
+        t.row(vec!["1".into(), "2".into(), "extra".into()]);
+        let s = t.render();
+        assert!(!s.contains("extra"));
+        assert_eq!(t.len(), 2);
+        assert!(!t.is_empty());
+    }
+
+    #[test]
+    fn markdown_has_separator() {
+        let mut t = TextTable::new(vec!["h1", "h2"]);
+        t.row(vec!["a".into(), "b".into()]);
+        let md = t.render_markdown();
+        assert!(md.contains("| h1 | h2 |"));
+        assert!(md.contains("|---|---|"));
+        assert!(md.contains("| a | b |"));
+    }
+
+    #[test]
+    fn formatters() {
+        assert_eq!(pct(0.8184), "81.84 %");
+        assert_eq!(days(6.13), "6.1 d");
+    }
+}

@@ -1,0 +1,41 @@
+use dcf_trace::ComponentClass;
+
+fn main() {
+    let t0 = std::time::Instant::now();
+    let t = dcf_sim::Scenario::paper().seed(1).run().unwrap();
+    let build = t0.elapsed();
+    let total = t.len();
+    let failures = t.failures().count();
+    println!(
+        "total={total} failures={failures} cats={:?} in {build:?}",
+        t.category_counts()
+    );
+    for class in ComponentClass::ALL {
+        let n = t.failures_of(class).count();
+        println!(
+            "{:15} {:7} {:.2}%",
+            class.name(),
+            n,
+            100.0 * n as f64 / failures as f64
+        );
+    }
+    // daily HDD counts for r_N feel
+    let mut per_day = std::collections::HashMap::new();
+    for f in t.failures_of(ComponentClass::Hdd) {
+        *per_day.entry(f.error_time.day_index()).or_insert(0usize) += 1;
+    }
+    let days = t.info().days as f64;
+    let over = |n: usize| per_day.values().filter(|&&c| c >= n).count() as f64 / days * 100.0;
+    println!(
+        "HDD rN: r100={:.1}% r200={:.1}% r500={:.1}%",
+        over(100),
+        over(200),
+        over(500)
+    );
+    // MTBF minutes
+    let mut times: Vec<u64> = t.failures().map(|f| f.error_time.as_secs()).collect();
+    times.sort();
+    let gaps = times.len() - 1;
+    let span = (times[times.len() - 1] - times[0]) as f64 / 60.0;
+    println!("MTBF={:.1} min", span / gaps as f64);
+}

@@ -1,0 +1,27 @@
+use dcf_fleet::{CoolingDesign, FleetBuilder, FleetConfig};
+fn main() {
+    let t = dcf_sim::Scenario::paper().seed(1).run().unwrap();
+    let fleet = FleetBuilder::new(FleetConfig::paper())
+        .seed(1)
+        .build()
+        .unwrap();
+    let study = dcf_core::FailureStudy::new(&t);
+    let results = study.spatial().by_data_center(200);
+    for r in &results {
+        let dc = &fleet.data_centers()[r.dc.index()];
+        let grad = match dc.cooling {
+            CoolingDesign::Modern => -1.0,
+            CoolingDesign::UnderFloor { gradient } => gradient,
+        };
+        let fails: usize = r.positions.iter().map(|p| p.failures).sum();
+        println!(
+            "{} grad={:5.2} hot={:?} fails={:6} p={:.4} anom={:?}",
+            r.dc,
+            grad,
+            dc.hot_positions,
+            fails,
+            r.test.as_ref().map(|t| t.p_value).unwrap_or(-1.0),
+            r.anomalous_positions
+        );
+    }
+}

@@ -1,0 +1,572 @@
+//! The discrete-event engine: turns a [`SimConfig`] into a validated
+//! [`Trace`].
+//!
+//! # Pipeline
+//!
+//! 1. Build the fleet (deterministic in the seed).
+//! 2. **Global phase** (one RNG stream): generate batch events and assign
+//!    affected servers and report times; schedule synchronous-repeat
+//!    groups.
+//! 3. **Per-server phase** (one RNG stream per server, so the result is
+//!    independent of thread count): sample background faults from the
+//!    lifecycle hazards, expand repeats, run detection, roll correlated
+//!    companions/causal propagations and false alarms, apply warranty
+//!    categorization and decommissioning, and sample operator responses.
+//! 4. Assemble: merge, time-sort, assign ticket ids, validate into a
+//!    [`Trace`].
+//!
+//! The per-server phase is parallelized with crossbeam scoped threads.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use dcf_failmodel::sample_type;
+use dcf_fleet::{Fleet, FleetBuilder, UtilizationProfile};
+use dcf_fms::{Detection, OperatorModel, TicketFactory};
+use dcf_trace::{
+    ComponentClass, FailureType, FotCategory, OperatorResponse, ServerId, Severity, SimDuration,
+    SimTime, Trace, TraceInfo,
+};
+
+use crate::config::SimConfig;
+use crate::error::SimError;
+
+/// Samples a fatal-severity failure type of `class` (None if the class has
+/// no fatal types, which does not happen for hardware classes).
+fn fatal_type_for(rng: &mut StdRng, class: ComponentClass) -> Option<FailureType> {
+    let fatal: Vec<FailureType> = FailureType::types_of(class)
+        .into_iter()
+        .filter(|t| t.severity() == Severity::Fatal)
+        .collect();
+    if fatal.is_empty() {
+        None
+    } else {
+        Some(fatal[rng.random_range(0..fatal.len())])
+    }
+}
+
+/// SplitMix64 — used to derive independent per-server RNG seeds from the
+/// master seed so the per-server phase parallelizes deterministically.
+fn mix_seed(seed: u64, stream: u64) -> u64 {
+    let mut z = seed ^ stream.wrapping_mul(0x9e37_79b9_7f4a_7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// A ticket before id assignment.
+#[derive(Debug, Clone)]
+struct TicketSpec {
+    server: ServerId,
+    class: ComponentClass,
+    slot: u8,
+    ftype: FailureType,
+    error_time: SimTime,
+    category: FotCategory,
+    response: Option<OperatorResponse>,
+}
+
+/// A failure occurrence on one server, before categorization.
+#[derive(Debug, Clone, Copy)]
+struct Occurrence {
+    class: ComponentClass,
+    slot: u8,
+    ftype: FailureType,
+    /// Ticket `error_time`; for latent faults this is filled by detection.
+    error_time: SimTime,
+    /// Whether repeats may be expanded from this occurrence.
+    expand_repeats: bool,
+}
+
+/// Runs the simulation.
+///
+/// # Errors
+///
+/// Returns [`SimError::Config`] for invalid configurations and
+/// [`SimError::Trace`] if assembly invariants fail (a bug, not a user
+/// error — surfaced rather than panicking).
+pub fn run(config: &SimConfig) -> Result<Trace, SimError> {
+    let fleet = FleetBuilder::new(config.fleet.clone())
+        .seed(config.seed)
+        .build()
+        .map_err(SimError::Config)?;
+    run_on_fleet(config, &fleet)
+}
+
+/// Runs the simulation on an already-built fleet (lets callers reuse one
+/// fleet across scenario variants).
+pub fn run_on_fleet(config: &SimConfig, fleet: &Fleet) -> Result<Trace, SimError> {
+    let start = SimTime::from_days(config.fleet.pre_window_days);
+    let end = start + SimDuration::from_days(config.fleet.window_days);
+
+    // -------- Global phase --------
+    let mut global_rng = StdRng::seed_from_u64(mix_seed(config.seed, 0x61_0b_a1));
+    let mut direct: Vec<Vec<Occurrence>> = vec![Vec::new(); fleet.servers().len()];
+
+    apply_batch_events(config, fleet, start, end, &mut global_rng, &mut direct);
+    apply_sync_groups(config, fleet, start, end, &mut global_rng, &mut direct);
+
+    let operator = OperatorModel::new(config.seed, &fleet.snapshot().2);
+
+    // -------- Per-server phase (parallel) --------
+    let n_threads = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(4)
+        .min(16);
+    let chunk = fleet.servers().len().div_ceil(n_threads).max(1);
+    let direct_ref = &direct;
+    let operator_ref = &operator;
+    let mut spec_chunks: Vec<Vec<TicketSpec>> = Vec::new();
+
+    crossbeam::thread::scope(|scope| {
+        let handles: Vec<_> = fleet
+            .servers()
+            .chunks(chunk)
+            .map(|servers| {
+                scope.spawn(move |_| {
+                    let mut specs = Vec::new();
+                    for server in servers {
+                        simulate_server(
+                            config,
+                            fleet,
+                            operator_ref,
+                            server.id,
+                            &direct_ref[server.id.index()],
+                            start,
+                            end,
+                            &mut specs,
+                        );
+                    }
+                    specs
+                })
+            })
+            .collect();
+        for h in handles {
+            spec_chunks.push(h.join().expect("simulation worker panicked"));
+        }
+    })
+    .expect("crossbeam scope failed");
+
+    // -------- Assembly --------
+    let mut specs: Vec<TicketSpec> = spec_chunks.into_iter().flatten().collect();
+    specs.sort_by_key(|s| (s.error_time, s.server.raw(), s.class.index(), s.slot));
+
+    let mut factory = TicketFactory::new();
+    let fots = specs
+        .into_iter()
+        .map(|s| {
+            factory.make_fot(
+                Detection {
+                    server: s.server.raw(),
+                    class: s.class,
+                    slot: s.slot,
+                    failure_type: s.ftype,
+                    time: s.error_time,
+                },
+                fleet.server(s.server),
+                s.category,
+                s.response,
+            )
+        })
+        .collect();
+
+    let (servers, dcs, lines) = fleet.snapshot();
+    let info = TraceInfo {
+        start,
+        days: config.fleet.window_days,
+        seed: config.seed,
+        description: config.description.clone(),
+    };
+    Trace::new(info, servers, dcs, lines, fots).map_err(SimError::Trace)
+}
+
+/// Expected number of *background* failures (lifecycle hazards only — no
+/// batches, repeats, escalations or correlations) for a fleet over the
+/// observation window. A calibration aid: compare with a run where those
+/// channels are disabled.
+pub fn expected_background_failures(config: &SimConfig, fleet: &Fleet) -> f64 {
+    let start = SimTime::from_days(config.fleet.pre_window_days);
+    let end = start + SimDuration::from_days(config.fleet.window_days);
+    let mut total = 0.0;
+    for server in fleet.servers() {
+        let age_from = start.since(server.deploy_time).as_days_f64();
+        let age_to = end.since(server.deploy_time).as_days_f64();
+        if age_to <= 0.0 {
+            continue;
+        }
+        let spatial = fleet.spatial_multiplier(server.id);
+        for class in ComponentClass::ALL {
+            let count = server.component_count(class);
+            if count == 0 {
+                continue;
+            }
+            let mult = if class == ComponentClass::Miscellaneous {
+                count as f64
+            } else {
+                count as f64 * spatial
+            };
+            total += config
+                .rates
+                .hazard_for(class)
+                .expected_count(age_from.max(0.0), age_to, mult);
+        }
+    }
+    total
+}
+
+/// Expands batch events into per-server direct occurrences.
+fn apply_batch_events(
+    config: &SimConfig,
+    fleet: &Fleet,
+    start: SimTime,
+    end: SimTime,
+    rng: &mut StdRng,
+    direct: &mut [Vec<Occurrence>],
+) {
+    let events = config.batch.generate(fleet, start, end, config.seed);
+    for event in &events {
+        // Candidate servers for this event.
+        let candidates: Vec<ServerId> = match (event.line, event.pdu) {
+            (Some(line), _) => fleet
+                .servers_of_line(line)
+                .iter()
+                .copied()
+                .filter(|&sid| {
+                    let s = fleet.server(sid);
+                    s.data_center == event.dc
+                        && event.generation.is_none_or(|g| s.generation == g)
+                        && s.deploy_time + SimDuration::from_days(event.min_age_days) <= event.start
+                        && s.component_count(event.class) > 0
+                })
+                .collect(),
+            (None, Some(pdu)) => fleet
+                .servers_of_pdu(event.dc, pdu)
+                .into_iter()
+                .filter(|&sid| {
+                    let s = fleet.server(sid);
+                    s.deploy_time + SimDuration::from_days(event.min_age_days) <= event.start
+                        && s.component_count(event.class) > 0
+                })
+                .collect(),
+            (None, None) => Vec::new(),
+        };
+        if candidates.is_empty() {
+            continue;
+        }
+        let target = match event.cluster_fraction {
+            Some(f) => ((candidates.len() as f64 * f) as usize).max(1),
+            None => event.target_size.min(candidates.len()),
+        };
+        // Partial Fisher–Yates to sample `target` servers without replacement.
+        let mut pool = candidates;
+        let target = target.min(pool.len());
+        for i in 0..target {
+            let j = rng.random_range(i..pool.len());
+            pool.swap(i, j);
+            let sid = pool[i];
+            let server = fleet.server(sid);
+            let offset = SimDuration::from_secs(
+                (rng.random::<f64>() * event.window.as_secs() as f64) as u64,
+            );
+            let t = event.start + offset;
+            if t >= end {
+                continue;
+            }
+            let slots = server.component_count(event.class).max(1) as u8;
+            direct[sid.index()].push(Occurrence {
+                class: event.class,
+                slot: rng.random_range(0..slots),
+                ftype: event.failure_type,
+                error_time: t,
+                expand_repeats: false,
+            });
+        }
+    }
+}
+
+/// Schedules synchronous-repeat groups (§V-C / Table VIII): pairs of
+/// same-rack servers whose disks report the same failure type within
+/// seconds, repeatedly.
+fn apply_sync_groups(
+    config: &SimConfig,
+    fleet: &Fleet,
+    start: SimTime,
+    end: SimTime,
+    rng: &mut StdRng,
+    direct: &mut [Vec<Occurrence>],
+) {
+    let scale = (fleet.servers().len() as f64 / 160_000.0).max(1.0 / 160.0);
+    let groups = (config.sync_repeat.groups_per_trace * scale).round() as usize;
+    let groups = if config.sync_repeat.groups_per_trace > 0.0 {
+        groups.max(1)
+    } else {
+        0
+    };
+    let window_days = end.since(start).as_days_f64() as u64;
+    for _ in 0..groups {
+        // Find a rack with at least group_size HDD-bearing servers.
+        let mut found = None;
+        for _ in 0..200 {
+            let dc_idx = rng.random_range(0..fleet.racks().len());
+            if fleet.racks()[dc_idx].is_empty() {
+                continue;
+            }
+            let rack_idx = rng.random_range(0..fleet.racks()[dc_idx].len());
+            let rack = &fleet.racks()[dc_idx][rack_idx];
+            // Prefer servers whose warranty outlives the window: the paper's
+            // Table VIII servers kept being "fixed" (D_fixing) each time, so
+            // they must not be decommissioned mid-episode.
+            let eligible: Vec<ServerId> = rack
+                .iter()
+                .copied()
+                .filter(|&sid| {
+                    let s = fleet.server(sid);
+                    s.hdd_count > 0 && s.warranty_end() > end
+                })
+                .collect();
+            if eligible.len() >= config.sync_repeat.group_size as usize {
+                found = Some(eligible);
+                break;
+            }
+        }
+        let Some(eligible) = found else { continue };
+        let members = &eligible[..config.sync_repeat.group_size as usize];
+        let first = start
+            + SimDuration::from_days(rng.random_range(0..window_days.saturating_sub(60).max(1)));
+        let (times, offsets) = config.sync_repeat.sample_group_schedule(rng, first, end);
+        for (member_idx, &sid) in members.iter().enumerate() {
+            let server = fleet.server(sid);
+            let slot = rng.random_range(0..server.hdd_count.max(1));
+            for &t in &times {
+                let jittered = t + SimDuration::from_secs(offsets[member_idx]);
+                if jittered >= end {
+                    continue;
+                }
+                direct[sid.index()].push(Occurrence {
+                    class: ComponentClass::Hdd,
+                    slot,
+                    ftype: FailureType::SixthFixing,
+                    error_time: jittered,
+                    expand_repeats: false,
+                });
+            }
+        }
+    }
+}
+
+/// Simulates one server end to end. Deterministic in
+/// `(config.seed, server id)`.
+#[allow(clippy::too_many_arguments)]
+fn simulate_server(
+    config: &SimConfig,
+    fleet: &Fleet,
+    operator: &OperatorModel,
+    sid: ServerId,
+    direct: &[Occurrence],
+    start: SimTime,
+    end: SimTime,
+    out: &mut Vec<TicketSpec>,
+) {
+    let mut rng = StdRng::seed_from_u64(mix_seed(config.seed, sid.raw() as u64 + 1));
+    let server = fleet.server(sid);
+    let profile: &UtilizationProfile = &fleet.product_line(server.product_line).utilization;
+    let spatial = fleet.spatial_multiplier(sid);
+    // FMS agent coverage (§VIII): before `monitored_from`, only manual
+    // (miscellaneous) tickets exist for this server; `None` = never covered.
+    let monitored_from = config
+        .monitoring
+        .sample_monitored_from(&mut rng, start, end);
+
+    // --- background faults from the lifecycle hazards ---
+    let mut occurrences: Vec<Occurrence> = Vec::new();
+    let deploy = server.deploy_time;
+    let age_from = start.since(deploy).as_days_f64();
+    let age_to = end.since(deploy).as_days_f64();
+    if age_to > 0.0 {
+        let mut arrivals: Vec<f64> = Vec::new();
+        for class in ComponentClass::ALL {
+            let count = server.component_count(class);
+            if count == 0 {
+                continue;
+            }
+            // Temperature/spatial effects apply to hardware, not to the
+            // manual miscellaneous stream.
+            let mult = if class == ComponentClass::Miscellaneous {
+                count as f64
+            } else {
+                count as f64 * spatial
+            };
+            arrivals.clear();
+            config.rates.hazard_for(class).sample_arrivals(
+                &mut rng,
+                age_from.max(0.0),
+                age_to,
+                mult,
+                &mut arrivals,
+            );
+            for &age_days in &arrivals {
+                let latent = deploy + SimDuration::from_secs((age_days * 86_400.0) as u64);
+                let slots = count as u8;
+                occurrences.push(Occurrence {
+                    class,
+                    slot: rng.random_range(0..slots),
+                    ftype: sample_type(&mut rng, class),
+                    error_time: latent, // detection applied below
+                    expand_repeats: true,
+                });
+            }
+        }
+    }
+
+    // --- detection for background faults ---
+    for occ in &mut occurrences {
+        let channel = config.detection.sample_channel(&mut rng, occ.class);
+        occ.error_time =
+            config
+                .detection
+                .detection_time(&mut rng, channel, occ.error_time, profile);
+    }
+
+    // --- warning → fatal escalation on the same component (§VII-A) ---
+    let mut escalations: Vec<Occurrence> = Vec::new();
+    for occ in &occurrences {
+        if occ.ftype.severity() != Severity::Warning || occ.class == ComponentClass::Miscellaneous {
+            continue;
+        }
+        if let Some(at) = config.escalation.roll(&mut rng, occ.error_time, end) {
+            // The escalated failure is a fatal type of the same class,
+            // on the same physical component.
+            let fatal = fatal_type_for(&mut rng, occ.class).unwrap_or(occ.ftype);
+            escalations.push(Occurrence {
+                ftype: fatal,
+                error_time: at,
+                expand_repeats: false,
+                ..*occ
+            });
+        }
+    }
+    occurrences.extend(escalations);
+
+    // --- repeats: the same component failing again after a "fix" ---
+    let mut repeats: Vec<Occurrence> = Vec::new();
+    for occ in &occurrences {
+        if !occ.expand_repeats {
+            continue;
+        }
+        for t in config.repeat.sample_repeats(&mut rng, occ.error_time, end) {
+            repeats.push(Occurrence {
+                error_time: t,
+                expand_repeats: false,
+                ..*occ
+            });
+        }
+    }
+    occurrences.extend(repeats);
+    occurrences.extend_from_slice(direct);
+
+    // --- correlated companions and causal propagation (§V-B) ---
+    let mut extra: Vec<Occurrence> = Vec::new();
+    for occ in &occurrences {
+        if occ.class == ComponentClass::Miscellaneous {
+            continue;
+        }
+        if let Some(delay) = config.correlation.roll_misc_companion(&mut rng, occ.class) {
+            extra.push(Occurrence {
+                class: ComponentClass::Miscellaneous,
+                slot: 0,
+                ftype: sample_type(&mut rng, ComponentClass::Miscellaneous),
+                error_time: occ.error_time + delay,
+                expand_repeats: false,
+            });
+        }
+        for (secondary, delay) in config.correlation.roll_causal(&mut rng, occ.class) {
+            if server.component_count(secondary) == 0 {
+                continue;
+            }
+            let slots = server.component_count(secondary) as u8;
+            extra.push(Occurrence {
+                class: secondary,
+                slot: rng.random_range(0..slots),
+                ftype: sample_type(&mut rng, secondary),
+                error_time: occ.error_time + delay,
+                expand_repeats: false,
+            });
+        }
+    }
+    occurrences.extend(extra);
+
+    // --- categorize in time order, applying decommissioning ---
+    occurrences.retain(|o| {
+        if o.class != ComponentClass::Miscellaneous {
+            match monitored_from {
+                Some(from) if o.error_time >= from => {}
+                _ => return false, // no agent yet: failure goes unrecorded
+            }
+        }
+        o.error_time >= start && o.error_time < end
+    });
+    occurrences.sort_by_key(|o| o.error_time);
+    let mut decommissioned_at: Option<SimTime> = None;
+    for occ in &occurrences {
+        if let Some(d) = decommissioned_at {
+            if occ.error_time >= d {
+                continue;
+            }
+        }
+        let category = if server.out_of_warranty_at(occ.error_time) {
+            FotCategory::Error
+        } else {
+            FotCategory::Fixing
+        };
+        let response = operator.sample_response(
+            &mut rng,
+            server.product_line,
+            occ.class,
+            category,
+            occ.error_time,
+            occ.error_time.since(server.deploy_time),
+        );
+        out.push(TicketSpec {
+            server: sid,
+            class: occ.class,
+            slot: occ.slot,
+            ftype: occ.ftype,
+            error_time: occ.error_time,
+            category,
+            response,
+        });
+
+        if category == FotCategory::Error
+            && occ.ftype.severity() == Severity::Fatal
+            && operator.roll_decommission(&mut rng, true)
+        {
+            decommissioned_at = Some(occ.error_time);
+        }
+
+        // --- false alarms (Table I: 1.7% of tickets) ---
+        if config.false_alarm.roll(&mut rng) {
+            let fa_time = occ.error_time + SimDuration::from_secs(rng.random_range(0..30 * 86_400));
+            if fa_time < end {
+                let fa_class = occ.class;
+                let slots = server.component_count(fa_class).max(1) as u8;
+                let fa_response = operator.sample_response(
+                    &mut rng,
+                    server.product_line,
+                    fa_class,
+                    FotCategory::FalseAlarm,
+                    fa_time,
+                    fa_time.since(server.deploy_time),
+                );
+                out.push(TicketSpec {
+                    server: sid,
+                    class: fa_class,
+                    slot: rng.random_range(0..slots),
+                    ftype: sample_type(&mut rng, fa_class),
+                    error_time: fa_time,
+                    category: FotCategory::FalseAlarm,
+                    response: fa_response,
+                });
+            }
+        }
+    }
+}

@@ -1,0 +1,44 @@
+//! Error type for simulation runs.
+
+use dcf_trace::TraceError;
+
+/// Errors from running a simulation.
+#[derive(Debug)]
+#[non_exhaustive]
+pub enum SimError {
+    /// The configuration failed validation.
+    Config(String),
+    /// Trace assembly rejected the generated tickets (an engine bug,
+    /// surfaced instead of panicking).
+    Trace(TraceError),
+}
+
+impl std::fmt::Display for SimError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SimError::Config(msg) => write!(f, "invalid simulation config: {msg}"),
+            SimError::Trace(e) => write!(f, "trace assembly failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for SimError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            SimError::Trace(e) => Some(e),
+            SimError::Config(_) => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_source() {
+        let e = SimError::Config("bad".into());
+        assert!(e.to_string().contains("bad"));
+        assert!(std::error::Error::source(&e).is_none());
+    }
+}

@@ -1,0 +1,147 @@
+//! # dcf-sim
+//!
+//! The discrete-event simulation engine of the `dcfail` reproduction:
+//! drives the fleet, failure, detection and operator models to emit a
+//! calibrated FOT trace with the statistical structure of the DSN'17
+//! dataset (~290k tickets at full scale).
+//!
+//! Runs are pure functions of `(SimConfig, seed)`; per-server RNG streams
+//! make the parallel per-server phase independent of thread count.
+//!
+//! ```
+//! use dcf_sim::Scenario;
+//!
+//! let a = Scenario::small().seed(5).run().unwrap();
+//! let b = Scenario::small().seed(5).run().unwrap();
+//! assert_eq!(a.fots(), b.fots()); // bit-for-bit deterministic
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+mod config;
+mod engine;
+mod error;
+mod scenario;
+
+pub use config::SimConfig;
+pub use engine::{expected_background_failures, run, run_on_fleet};
+pub use error::SimError;
+pub use scenario::Scenario;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dcf_trace::{ComponentClass, FotCategory};
+
+    fn small_trace() -> dcf_trace::Trace {
+        Scenario::small().seed(42).run().unwrap()
+    }
+
+    #[test]
+    fn small_run_produces_plausible_volume() {
+        let trace = small_trace();
+        // 2k servers over a 360-day window: expect hundreds to thousands of
+        // tickets once batches and repeats are included.
+        assert!(trace.len() > 200, "got {}", trace.len());
+        assert!(trace.len() < 200_000, "got {}", trace.len());
+    }
+
+    #[test]
+    fn every_ticket_is_inside_the_window() {
+        let trace = small_trace();
+        let start = trace.info().start;
+        let end = trace.end_time();
+        for fot in trace.fots() {
+            assert!(fot.error_time >= start && fot.error_time < end);
+        }
+    }
+
+    #[test]
+    fn hdd_dominates_and_all_major_classes_appear() {
+        let trace = small_trace();
+        let hdd = trace.failures_of(ComponentClass::Hdd).count();
+        let total = trace.failures().count();
+        let share = hdd as f64 / total as f64;
+        assert!(share > 0.6, "HDD share {share}");
+        assert!(trace.failures_of(ComponentClass::Miscellaneous).count() > 0);
+        assert!(trace.failures_of(ComponentClass::Memory).count() > 0);
+    }
+
+    #[test]
+    fn categories_are_all_present() {
+        let trace = small_trace();
+        let [fixing, error, fa] = trace.category_counts();
+        assert!(fixing > 0 && error > 0 && fa > 0);
+        // False alarms are rare.
+        assert!((fa as f64) < 0.05 * trace.len() as f64);
+    }
+
+    #[test]
+    fn runs_are_deterministic_across_invocations() {
+        let a = Scenario::small().seed(7).run().unwrap();
+        let b = Scenario::small().seed(7).run().unwrap();
+        assert_eq!(a.fots(), b.fots());
+        let c = Scenario::small().seed(8).run().unwrap();
+        assert_ne!(a.fots(), c.fots());
+    }
+
+    #[test]
+    fn background_volume_matches_analytic_expectation() {
+        // Disable every non-background channel and every detection-window
+        // censoring effect we can, then compare the sampled count with the
+        // analytic expectation.
+        let mut config =
+            crate::SimConfig::with_fleet(dcf_fleet::FleetConfig::small(), "expectation-check");
+        config.batch = dcf_failmodel::BatchModel::disabled();
+        config.repeat = dcf_failmodel::RepeatModel::disabled();
+        config.escalation = dcf_failmodel::EscalationModel::disabled();
+        config.correlation = dcf_failmodel::CorrelationModel::disabled();
+        config.sync_repeat = dcf_failmodel::SyncRepeatModel {
+            groups_per_trace: 0.0,
+            ..dcf_failmodel::SyncRepeatModel::default()
+        };
+        config.false_alarm = dcf_fms::FalseAlarmModel::disabled();
+        config.rates = config.rates.scaled(5.0); // enough volume for a tight CLT band
+        let fleet = dcf_fleet::FleetBuilder::new(config.fleet.clone())
+            .seed(config.seed)
+            .build()
+            .unwrap();
+        let expected = crate::expected_background_failures(&config, &fleet);
+        let trace = crate::run_on_fleet(&config, &fleet).unwrap();
+        let got = trace.failures().count() as f64;
+        // Detection delays push a small share of late faults past the
+        // window end, so the sample sits slightly below the expectation.
+        assert!(
+            got <= expected * 1.03 && got >= expected * 0.85,
+            "got {got}, expected {expected}"
+        );
+    }
+
+    #[test]
+    fn no_batch_ablation_reduces_daily_spikes() {
+        let base = Scenario::small().seed(3).run().unwrap();
+        let ablated = Scenario::small().without_batches().seed(3).run().unwrap();
+        let max_daily = |t: &dcf_trace::Trace| {
+            let mut per_day = std::collections::HashMap::new();
+            for f in t.failures() {
+                *per_day.entry(f.error_time.day_index()).or_insert(0usize) += 1;
+            }
+            per_day.values().copied().max().unwrap_or(0)
+        };
+        assert!(max_daily(&base) >= max_daily(&ablated));
+    }
+
+    #[test]
+    fn error_tickets_come_from_out_of_warranty_servers() {
+        let trace = small_trace();
+        for fot in trace.in_category(FotCategory::Error) {
+            let server = trace.server(fot.server);
+            assert!(server.out_of_warranty_at(fot.error_time));
+            assert!(fot.response.is_none());
+        }
+        for fot in trace.in_category(FotCategory::Fixing) {
+            assert!(fot.response.is_some());
+        }
+    }
+}

@@ -1,0 +1,123 @@
+//! The paper's μ ± kσ anomaly detection (§IV): "we estimate the expectation
+//! μ and the variation σ² of the FR at each rack position and discover that
+//! the FRs of rack positions 22 and 35 … lie out of the range (μ−2σ, μ+2σ)."
+
+use serde::{Deserialize, Serialize};
+
+use crate::error::StatsError;
+
+/// An index flagged as anomalous, with its value and z-score.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Anomaly {
+    /// Index of the flagged entry in the input slice.
+    pub index: usize,
+    /// The flagged value.
+    pub value: f64,
+    /// Signed number of standard deviations from the mean.
+    pub z_score: f64,
+}
+
+/// Flags entries of `values` lying outside `mean ± k_sigma · std`.
+///
+/// The mean/σ are estimated over the full slice (as the paper does) with the
+/// population (1/n) variance. Entries are returned most-extreme first.
+///
+/// # Errors
+///
+/// * [`StatsError::EmptySample`] on fewer than 3 values (σ is meaningless).
+/// * [`StatsError::DegenerateSample`] if σ = 0.
+/// * [`StatsError::NonFiniteSample`] on NaN/∞ inputs.
+///
+/// # Examples
+///
+/// ```
+/// // Mostly-flat failure rates with two hot positions.
+/// let mut fr = vec![1.0; 40];
+/// fr[22] = 3.0;
+/// fr[35] = 2.8;
+/// let hits = dcf_stats::anomaly::sigma_outliers(&fr, 2.0).unwrap();
+/// let idx: Vec<usize> = hits.iter().map(|a| a.index).collect();
+/// assert_eq!(idx, vec![22, 35]);
+/// ```
+pub fn sigma_outliers(values: &[f64], k_sigma: f64) -> Result<Vec<Anomaly>, StatsError> {
+    if values.len() < 3 {
+        return Err(StatsError::EmptySample);
+    }
+    for &v in values {
+        if !v.is_finite() {
+            return Err(StatsError::NonFiniteSample { value: v });
+        }
+    }
+    let n = values.len() as f64;
+    let mean = values.iter().sum::<f64>() / n;
+    let var = values.iter().map(|v| (v - mean).powi(2)).sum::<f64>() / n;
+    if var <= 0.0 {
+        return Err(StatsError::DegenerateSample);
+    }
+    let std = var.sqrt();
+    let mut out: Vec<Anomaly> = values
+        .iter()
+        .enumerate()
+        .filter_map(|(index, &value)| {
+            let z_score = (value - mean) / std;
+            (z_score.abs() > k_sigma).then_some(Anomaly {
+                index,
+                value,
+                z_score,
+            })
+        })
+        .collect();
+    out.sort_by(|a, b| {
+        b.z_score
+            .abs()
+            .partial_cmp(&a.z_score.abs())
+            .expect("finite z-scores")
+    });
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn flat_input_is_degenerate() {
+        assert!(matches!(
+            sigma_outliers(&[1.0, 1.0, 1.0, 1.0], 2.0),
+            Err(StatsError::DegenerateSample)
+        ));
+    }
+
+    #[test]
+    fn short_input_rejected() {
+        assert!(sigma_outliers(&[1.0, 2.0], 2.0).is_err());
+    }
+
+    #[test]
+    fn no_outliers_in_mild_noise() {
+        let values = [1.0, 1.1, 0.9, 1.05, 0.95, 1.02, 0.98];
+        let hits = sigma_outliers(&values, 2.0).unwrap();
+        assert!(hits.len() <= 1, "at most one borderline hit, got {hits:?}");
+    }
+
+    #[test]
+    fn ordering_is_by_extremity() {
+        let mut values = vec![1.0; 30];
+        values[5] = 10.0; // most extreme
+        values[9] = 6.0;
+        let hits = sigma_outliers(&values, 2.0).unwrap();
+        assert_eq!(hits[0].index, 5);
+        assert_eq!(hits[1].index, 9);
+        assert!(hits[0].z_score > hits[1].z_score);
+    }
+
+    #[test]
+    fn detects_low_side_outliers_too() {
+        let mut values = vec![10.0; 30];
+        values[3] = 0.0;
+        let hits = sigma_outliers(&values, 2.0).unwrap();
+        assert_eq!(hits.len(), 1);
+        assert_eq!(hits[0].index, 3);
+        assert!(hits[0].z_score < 0.0);
+    }
+}

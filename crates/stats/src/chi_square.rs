@@ -1,0 +1,359 @@
+//! Pearson's chi-squared tests — the hypothesis-testing workhorse of the
+//! paper (§II-B, Hypotheses 1–5).
+//!
+//! Two flavors are provided:
+//!
+//! * [`goodness_of_fit`] — does a continuous sample follow a fitted
+//!   distribution? Uses equal-probability binning derived from the fitted
+//!   quantiles, with a degrees-of-freedom correction for estimated
+//!   parameters (used for Hypotheses 3–4 on TBF data).
+//! * [`uniformity`] / [`against_expected`] — do categorical counts match a
+//!   uniform (or arbitrary expected) profile? (used for Hypotheses 1, 2, 5).
+
+use serde::{Deserialize, Serialize};
+
+use crate::distribution::ContinuousDistribution;
+use crate::error::StatsError;
+use crate::special::reg_upper_gamma;
+
+/// Minimum expected count per bin for the chi-squared approximation to hold.
+/// Bins below this are merged with their neighbor (standard practice).
+const MIN_EXPECTED_PER_BIN: f64 = 5.0;
+
+/// CDF of the chi-squared distribution with `dof` degrees of freedom.
+///
+/// # Examples
+///
+/// ```
+/// // χ²(1) at its 95th percentile 3.841…
+/// let p = dcf_stats::chi_square::chi_square_cdf(3.841_458_820_694_124, 1.0);
+/// assert!((p - 0.95).abs() < 1e-9);
+/// ```
+pub fn chi_square_cdf(x: f64, dof: f64) -> f64 {
+    assert!(dof > 0.0, "dof must be positive, got {dof}");
+    if x <= 0.0 {
+        return 0.0;
+    }
+    1.0 - reg_upper_gamma(dof / 2.0, x / 2.0)
+}
+
+/// Outcome of a chi-squared test.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ChiSquareOutcome {
+    /// The χ² statistic.
+    pub statistic: f64,
+    /// Degrees of freedom after binning and parameter corrections.
+    pub dof: usize,
+    /// Right-tail p-value.
+    pub p_value: f64,
+}
+
+impl ChiSquareOutcome {
+    /// Whether the null hypothesis is rejected at significance level `alpha`.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use dcf_stats::chi_square::ChiSquareOutcome;
+    /// let out = ChiSquareOutcome { statistic: 20.0, dof: 6, p_value: 0.003 };
+    /// assert!(out.rejects_at(0.01));
+    /// assert!(out.rejects_at(0.05));
+    /// assert!(!out.rejects_at(0.001));
+    /// ```
+    pub fn rejects_at(&self, alpha: f64) -> bool {
+        self.p_value < alpha
+    }
+}
+
+impl std::fmt::Display for ChiSquareOutcome {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "chi2={:.3}, dof={}, p={:.4}",
+            self.statistic, self.dof, self.p_value
+        )
+    }
+}
+
+/// Chi-squared goodness-of-fit test of `data` against a fitted continuous
+/// distribution, with `estimated_params` subtracted from the degrees of
+/// freedom (the standard correction when parameters were estimated from the
+/// same sample).
+///
+/// Bins are equal-probability intervals of the *fitted* distribution
+/// (`bins` of them before low-count merging), so every bin has the same
+/// expected count `n / bins`.
+///
+/// # Errors
+///
+/// * [`StatsError::EmptySample`] on empty data.
+/// * [`StatsError::NotEnoughBins`] if, after merging, fewer than 3 usable
+///   bins remain or the dof would be non-positive.
+///
+/// # Examples
+///
+/// ```
+/// use dcf_stats::{chi_square, fit, Exponential, ContinuousDistribution};
+/// use rand::{rngs::StdRng, SeedableRng};
+///
+/// let truth = Exponential::new(1.0).unwrap();
+/// let mut rng = StdRng::seed_from_u64(0);
+/// let data: Vec<f64> = (0..5000).map(|_| truth.sample(&mut rng)).collect();
+/// let fitted = fit::fit_exponential(&data).unwrap();
+/// let out = chi_square::goodness_of_fit(&data, &fitted, 30, 1).unwrap();
+/// assert!(!out.rejects_at(0.01)); // data genuinely is exponential
+/// ```
+pub fn goodness_of_fit<D: ContinuousDistribution + ?Sized>(
+    data: &[f64],
+    dist: &D,
+    bins: usize,
+    estimated_params: usize,
+) -> Result<ChiSquareOutcome, StatsError> {
+    if data.is_empty() {
+        return Err(StatsError::EmptySample);
+    }
+    let bins = bins.max(4);
+    let n = data.len() as f64;
+
+    // Cap bin count so expected counts stay above the merge threshold.
+    let max_bins = ((n / MIN_EXPECTED_PER_BIN).floor() as usize).max(4);
+    let bins = bins.min(max_bins);
+
+    // Equal-probability bin edges from the fitted quantiles.
+    let mut edges = Vec::with_capacity(bins + 1);
+    edges.push(f64::NEG_INFINITY);
+    for i in 1..bins {
+        edges.push(dist.quantile(i as f64 / bins as f64));
+    }
+    edges.push(f64::INFINITY);
+
+    // Observed counts per bin (binary search per observation).
+    let mut observed = vec![0.0f64; bins];
+    for &x in data {
+        if !x.is_finite() {
+            return Err(StatsError::NonFiniteSample { value: x });
+        }
+        // First edge > x, minus one, is the bin.
+        let idx = match edges[1..bins].binary_search_by(|e| {
+            e.partial_cmp(&x)
+                .expect("edges and data are finite or +-inf")
+        }) {
+            Ok(i) => i + 1, // on an edge: right-closed convention
+            Err(i) => i,
+        };
+        observed[idx.min(bins - 1)] += 1.0;
+    }
+    let expected = vec![n / bins as f64; bins];
+    against_expected_with_correction(&observed, &expected, estimated_params)
+}
+
+/// Chi-squared test that categorical `counts` are uniform across categories.
+///
+/// Used for Hypothesis 1 (day-of-week), Hypothesis 2 (hour-of-day) and
+/// Hypothesis 5 (rack positions with equal populations).
+///
+/// # Errors
+///
+/// Fails on empty input or if fewer than 2 categories survive merging.
+pub fn uniformity(counts: &[f64]) -> Result<ChiSquareOutcome, StatsError> {
+    if counts.is_empty() {
+        return Err(StatsError::EmptySample);
+    }
+    let total: f64 = counts.iter().sum();
+    let expected = vec![total / counts.len() as f64; counts.len()];
+    against_expected(counts, &expected)
+}
+
+/// Chi-squared test of `observed` counts against arbitrary `expected` counts
+/// (already on the same total scale).
+///
+/// This is the weighted form needed for Hypothesis 5 when rack positions
+/// host different numbers of servers: pass expected counts proportional to
+/// the per-position server population.
+///
+/// # Errors
+///
+/// Fails if the slices differ in length, are empty, or if fewer than 2
+/// categories have positive expected counts after merging.
+pub fn against_expected(
+    observed: &[f64],
+    expected: &[f64],
+) -> Result<ChiSquareOutcome, StatsError> {
+    against_expected_with_correction(observed, expected, 0)
+}
+
+/// [`against_expected`] with a degrees-of-freedom correction for
+/// `estimated_params` parameters estimated from the same data.
+pub fn against_expected_with_correction(
+    observed: &[f64],
+    expected: &[f64],
+    estimated_params: usize,
+) -> Result<ChiSquareOutcome, StatsError> {
+    if observed.is_empty() || expected.is_empty() {
+        return Err(StatsError::EmptySample);
+    }
+    assert_eq!(
+        observed.len(),
+        expected.len(),
+        "observed ({}) and expected ({}) must have the same length",
+        observed.len(),
+        expected.len()
+    );
+
+    // Merge adjacent low-expectation bins so the χ² approximation is valid.
+    let mut merged: Vec<(f64, f64)> = Vec::with_capacity(observed.len());
+    let mut acc_o = 0.0;
+    let mut acc_e = 0.0;
+    for (&o, &e) in observed.iter().zip(expected) {
+        if !o.is_finite() || o < 0.0 {
+            return Err(StatsError::NonFiniteSample { value: o });
+        }
+        if !e.is_finite() || e < 0.0 {
+            return Err(StatsError::NonFiniteSample { value: e });
+        }
+        acc_o += o;
+        acc_e += e;
+        if acc_e >= MIN_EXPECTED_PER_BIN {
+            merged.push((acc_o, acc_e));
+            acc_o = 0.0;
+            acc_e = 0.0;
+        }
+    }
+    if acc_e > 0.0 || acc_o > 0.0 {
+        if let Some(last) = merged.last_mut() {
+            last.0 += acc_o;
+            last.1 += acc_e;
+        } else {
+            merged.push((acc_o, acc_e));
+        }
+    }
+
+    let k = merged.len();
+    if k < 2 || k <= estimated_params + 1 {
+        return Err(StatsError::NotEnoughBins {
+            found: k,
+            required: estimated_params + 2,
+        });
+    }
+
+    let statistic: f64 = merged
+        .iter()
+        .filter(|(_, e)| *e > 0.0)
+        .map(|(o, e)| (o - e).powi(2) / e)
+        .sum();
+    let dof = k - 1 - estimated_params;
+    let p_value = 1.0 - chi_square_cdf(statistic, dof as f64);
+    Ok(ChiSquareOutcome {
+        statistic,
+        dof,
+        p_value,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::distribution::{sample_n, ContinuousDistribution};
+    use crate::{fit, Exponential, LogNormal, Weibull};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn chi_square_cdf_reference_values() {
+        // scipy.stats.chi2.cdf
+        assert!((chi_square_cdf(3.841_458_820_694_124, 1.0) - 0.95).abs() < 1e-9);
+        assert!((chi_square_cdf(18.307_038_053_275_143, 10.0) - 0.95).abs() < 1e-9);
+        assert!((chi_square_cdf(23.0, 23.0) - 0.539_229_109_447_707_5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn uniform_counts_accepted() {
+        let counts = vec![100.0, 102.0, 97.0, 101.0, 99.0, 103.0, 98.0];
+        let out = uniformity(&counts).unwrap();
+        assert!(!out.rejects_at(0.05), "{out}");
+        assert_eq!(out.dof, 6);
+    }
+
+    #[test]
+    fn skewed_counts_rejected() {
+        // A strongly weekday-skewed profile like the paper's Figure 3.
+        let counts = vec![160.0, 170.0, 165.0, 162.0, 158.0, 90.0, 95.0];
+        let out = uniformity(&counts).unwrap();
+        assert!(out.rejects_at(0.01), "{out}");
+    }
+
+    #[test]
+    fn expected_weights_absorb_population_differences() {
+        // Observed doubles where population doubles: no signal.
+        let observed = [200.0, 100.0, 100.0, 200.0];
+        let expected = [200.0, 100.0, 100.0, 200.0];
+        let out = against_expected(&observed, &expected).unwrap();
+        assert!(out.statistic.abs() < 1e-12);
+        assert!(!out.rejects_at(0.05));
+    }
+
+    #[test]
+    fn gof_accepts_true_model() {
+        let truth = Weibull::new(1.4, 3.0).unwrap();
+        let mut rng = StdRng::seed_from_u64(10);
+        let data = sample_n(&truth, &mut rng, 20_000);
+        let fitted = fit::fit_weibull(&data).unwrap();
+        let out = goodness_of_fit(&data, &fitted, 40, 2).unwrap();
+        assert!(!out.rejects_at(0.01), "{out}");
+    }
+
+    #[test]
+    fn gof_rejects_wrong_model() {
+        // Heavy-tailed lognormal data vs fitted exponential: must reject.
+        let truth = LogNormal::new(0.0, 1.5).unwrap();
+        let mut rng = StdRng::seed_from_u64(11);
+        let data = sample_n(&truth, &mut rng, 20_000);
+        let fitted = fit::fit_exponential(&data).unwrap();
+        let out = goodness_of_fit(&data, &fitted, 40, 1).unwrap();
+        assert!(out.rejects_at(0.001), "{out}");
+    }
+
+    #[test]
+    fn gof_rejects_batch_contaminated_exponential() {
+        // The paper's H3 story: mostly exponential TBFs plus a burst of tiny
+        // values from batch failures makes every smooth family reject.
+        let truth = Exponential::new(1.0 / 400.0).unwrap();
+        let mut rng = StdRng::seed_from_u64(12);
+        let mut data = sample_n(&truth, &mut rng, 15_000);
+        data.extend(std::iter::repeat_n(0.01, 4_000));
+        for fitted in fit::fit_tbf_families(&data) {
+            let out = goodness_of_fit(&data, &fitted, 40, fitted.parameter_count()).unwrap();
+            assert!(
+                out.rejects_at(0.05),
+                "{} should reject: {out}",
+                fitted.name()
+            );
+        }
+    }
+
+    #[test]
+    fn low_count_bins_are_merged() {
+        // 20 categories, tiny counts: merging must kick in rather than erroring.
+        let counts = vec![2.0; 20];
+        let out = uniformity(&counts).unwrap();
+        assert!(out.dof < 19);
+        assert!(!out.rejects_at(0.05));
+    }
+
+    #[test]
+    fn empty_and_mismatched_inputs_error() {
+        assert!(uniformity(&[]).is_err());
+        // Tiny expected counts collapse to a single merged bin → NotEnoughBins.
+        assert!(matches!(
+            against_expected(&[1.0, 2.0], &[1.0, 2.0]),
+            Err(StatsError::NotEnoughBins { .. })
+        ));
+        assert!(against_expected(&[10.0, 20.0], &[15.0, 15.0]).is_ok());
+    }
+
+    #[test]
+    #[should_panic(expected = "same length")]
+    fn mismatched_lengths_panic() {
+        let _ = against_expected(&[1.0], &[1.0, 2.0]);
+    }
+}

@@ -1,0 +1,183 @@
+//! The [`ContinuousDistribution`] trait and the [`Fitted`] distribution enum.
+//!
+//! The paper (§II-B) fits exponential, Weibull, gamma and lognormal
+//! distributions to observed time-between-failure data via maximum-likelihood
+//! estimation and then runs Pearson's chi-squared test against each fit.
+//! This module provides the common interface those steps program against.
+
+use rand::RngCore;
+use serde::{Deserialize, Serialize};
+
+use crate::{Exponential, Gamma, LogNormal, Normal, Uniform, Weibull};
+
+/// A univariate continuous probability distribution.
+///
+/// The trait is object safe so tests and reports can treat heterogeneous
+/// fits uniformly (`&dyn ContinuousDistribution`).
+pub trait ContinuousDistribution {
+    /// Probability density function at `x`.
+    fn pdf(&self, x: f64) -> f64 {
+        self.ln_pdf(x).exp()
+    }
+
+    /// Natural log of the density at `x` (`-inf` where the density is zero).
+    fn ln_pdf(&self, x: f64) -> f64;
+
+    /// Cumulative distribution function `P(X <= x)`.
+    fn cdf(&self, x: f64) -> f64;
+
+    /// Quantile function (inverse CDF) for `p` in `(0, 1)`.
+    ///
+    /// # Panics
+    ///
+    /// Implementations panic when `p` is outside `(0, 1)`.
+    fn quantile(&self, p: f64) -> f64;
+
+    /// Distribution mean.
+    fn mean(&self) -> f64;
+
+    /// Distribution variance.
+    fn variance(&self) -> f64;
+
+    /// Draw one sample.
+    fn sample(&self, rng: &mut dyn RngCore) -> f64;
+
+    /// Short human-readable name used in reports (e.g. `"Weibull"`).
+    fn name(&self) -> &'static str;
+}
+
+/// Draw `n` samples from any distribution into a vector.
+pub fn sample_n<D: ContinuousDistribution + ?Sized>(
+    dist: &D,
+    rng: &mut dyn RngCore,
+    n: usize,
+) -> Vec<f64> {
+    (0..n).map(|_| dist.sample(rng)).collect()
+}
+
+/// One of the four distribution families the paper fits to TBF data,
+/// plus normal/uniform for the spatial analyses.
+///
+/// This enum is what the MLE fitters in [`crate::fit`] return; it keeps
+/// fitted results `Copy` and easily serializable into reports.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum Fitted {
+    /// Exponential with rate λ.
+    Exponential(Exponential),
+    /// Weibull with shape k and scale λ.
+    Weibull(Weibull),
+    /// Gamma with shape k and scale θ.
+    Gamma(Gamma),
+    /// Lognormal with log-mean μ and log-std σ.
+    LogNormal(LogNormal),
+    /// Normal with mean μ and standard deviation σ.
+    Normal(Normal),
+    /// Continuous uniform on `[a, b]`.
+    Uniform(Uniform),
+}
+
+impl Fitted {
+    /// Number of parameters estimated from data, used as the degrees-of-freedom
+    /// correction in chi-squared goodness-of-fit tests.
+    pub fn parameter_count(&self) -> usize {
+        match self {
+            Fitted::Exponential(_) => 1,
+            Fitted::Weibull(_) | Fitted::Gamma(_) | Fitted::LogNormal(_) => 2,
+            Fitted::Normal(_) | Fitted::Uniform(_) => 2,
+        }
+    }
+
+    /// The wrapped distribution as a trait object.
+    pub fn as_dyn(&self) -> &dyn ContinuousDistribution {
+        match self {
+            Fitted::Exponential(d) => d,
+            Fitted::Weibull(d) => d,
+            Fitted::Gamma(d) => d,
+            Fitted::LogNormal(d) => d,
+            Fitted::Normal(d) => d,
+            Fitted::Uniform(d) => d,
+        }
+    }
+}
+
+impl ContinuousDistribution for Fitted {
+    fn ln_pdf(&self, x: f64) -> f64 {
+        self.as_dyn().ln_pdf(x)
+    }
+    fn cdf(&self, x: f64) -> f64 {
+        self.as_dyn().cdf(x)
+    }
+    fn quantile(&self, p: f64) -> f64 {
+        self.as_dyn().quantile(p)
+    }
+    fn mean(&self) -> f64 {
+        self.as_dyn().mean()
+    }
+    fn variance(&self) -> f64 {
+        self.as_dyn().variance()
+    }
+    fn sample(&self, rng: &mut dyn RngCore) -> f64 {
+        self.as_dyn().sample(rng)
+    }
+    fn name(&self) -> &'static str {
+        self.as_dyn().name()
+    }
+}
+
+impl std::fmt::Display for Fitted {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Fitted::Exponential(d) => write!(f, "Exponential(rate={:.6})", d.rate()),
+            Fitted::Weibull(d) => {
+                write!(f, "Weibull(shape={:.4}, scale={:.4})", d.shape(), d.scale())
+            }
+            Fitted::Gamma(d) => write!(f, "Gamma(shape={:.4}, scale={:.4})", d.shape(), d.scale()),
+            Fitted::LogNormal(d) => {
+                write!(
+                    f,
+                    "LogNormal(mu={:.4}, sigma={:.4})",
+                    d.location(),
+                    d.shape()
+                )
+            }
+            Fitted::Normal(d) => write!(f, "Normal(mean={:.4}, std={:.4})", d.mean(), d.std_dev()),
+            Fitted::Uniform(d) => write!(f, "Uniform(min={:.4}, max={:.4})", d.min(), d.max()),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn fitted_dispatches_to_inner() {
+        let e = Fitted::Exponential(Exponential::new(2.0).unwrap());
+        assert!((e.mean() - 0.5).abs() < 1e-12);
+        assert_eq!(e.parameter_count(), 1);
+        assert_eq!(e.name(), "Exponential");
+
+        let w = Fitted::Weibull(Weibull::new(1.0, 3.0).unwrap());
+        assert_eq!(w.parameter_count(), 2);
+        // Weibull with shape 1 is Exponential(1/scale).
+        assert!((w.cdf(3.0) - (1.0 - (-1.0f64).exp())).abs() < 1e-12);
+    }
+
+    #[test]
+    fn display_is_informative() {
+        let g = Fitted::Gamma(Gamma::new(2.0, 3.0).unwrap());
+        let s = g.to_string();
+        assert!(s.contains("Gamma") && s.contains("2.0000") && s.contains("3.0000"));
+    }
+
+    #[test]
+    fn sample_n_draws_requested_count() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let d = Exponential::new(1.0).unwrap();
+        let xs = sample_n(&d, &mut rng, 100);
+        assert_eq!(xs.len(), 100);
+        assert!(xs.iter().all(|&x| x >= 0.0));
+    }
+}

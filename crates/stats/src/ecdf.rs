@@ -1,0 +1,197 @@
+//! Empirical cumulative distribution functions — every CDF figure in the
+//! paper (Figures 5, 7, 9, 10) is an ECDF of some derived quantity.
+
+use serde::{Deserialize, Serialize};
+
+use crate::error::StatsError;
+
+/// An empirical CDF over a finite sample.
+///
+/// Construction sorts the sample once; evaluation and quantiles are then
+/// `O(log n)` / `O(1)`.
+///
+/// # Examples
+///
+/// ```
+/// use dcf_stats::Ecdf;
+///
+/// let e = Ecdf::new(vec![1.0, 2.0, 3.0, 4.0]).unwrap();
+/// assert!((e.eval(2.0) - 0.5).abs() < 1e-12);
+/// assert!((e.quantile(0.5) - 2.0).abs() < 1e-12);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Ecdf {
+    sorted: Vec<f64>,
+}
+
+impl Ecdf {
+    /// Builds an ECDF from a sample (takes ownership and sorts it).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StatsError::EmptySample`] on an empty sample and
+    /// [`StatsError::NonFiniteSample`] if any observation is NaN/±∞.
+    pub fn new(mut sample: Vec<f64>) -> Result<Self, StatsError> {
+        if sample.is_empty() {
+            return Err(StatsError::EmptySample);
+        }
+        for &x in &sample {
+            if !x.is_finite() {
+                return Err(StatsError::NonFiniteSample { value: x });
+            }
+        }
+        sample.sort_by(|a, b| a.partial_cmp(b).expect("all finite"));
+        Ok(Self { sorted: sample })
+    }
+
+    /// Number of observations.
+    pub fn len(&self) -> usize {
+        self.sorted.len()
+    }
+
+    /// Whether the ECDF is empty (never true for a constructed value).
+    pub fn is_empty(&self) -> bool {
+        self.sorted.is_empty()
+    }
+
+    /// Fraction of observations `<= x`.
+    pub fn eval(&self, x: f64) -> f64 {
+        let idx = self.sorted.partition_point(|&v| v <= x);
+        idx as f64 / self.sorted.len() as f64
+    }
+
+    /// The `p`-quantile (nearest-rank definition) for `p ∈ [0, 1]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is outside `[0, 1]`.
+    pub fn quantile(&self, p: f64) -> f64 {
+        assert!(
+            (0.0..=1.0).contains(&p),
+            "quantile requires 0 <= p <= 1, got {p}"
+        );
+        if p <= 0.0 {
+            return self.sorted[0];
+        }
+        let n = self.sorted.len();
+        let rank = ((p * n as f64).ceil() as usize).clamp(1, n);
+        self.sorted[rank - 1]
+    }
+
+    /// The sample median (`quantile(0.5)`).
+    pub fn median(&self) -> f64 {
+        self.quantile(0.5)
+    }
+
+    /// The sample mean.
+    pub fn mean(&self) -> f64 {
+        self.sorted.iter().sum::<f64>() / self.sorted.len() as f64
+    }
+
+    /// Smallest observation.
+    pub fn min(&self) -> f64 {
+        self.sorted[0]
+    }
+
+    /// Largest observation.
+    pub fn max(&self) -> f64 {
+        *self.sorted.last().expect("non-empty")
+    }
+
+    /// Fraction of observations strictly greater than `x` — the paper's
+    /// "10% of FOTs have RT longer than 140 days" style of statement.
+    pub fn tail_fraction(&self, x: f64) -> f64 {
+        1.0 - self.eval(x)
+    }
+
+    /// The sorted observations.
+    pub fn values(&self) -> &[f64] {
+        &self.sorted
+    }
+
+    /// `(x, F(x))` pairs at each observation — the staircase the figures plot.
+    pub fn points(&self) -> impl Iterator<Item = (f64, f64)> + '_ {
+        let n = self.sorted.len() as f64;
+        self.sorted
+            .iter()
+            .enumerate()
+            .map(move |(i, &x)| (x, (i + 1) as f64 / n))
+    }
+
+    /// Downsamples the staircase to at most `max_points` evenly spaced points,
+    /// for plotting large ECDFs.
+    pub fn sampled_points(&self, max_points: usize) -> Vec<(f64, f64)> {
+        let max_points = max_points.max(2);
+        let n = self.sorted.len();
+        if n <= max_points {
+            return self.points().collect();
+        }
+        (0..max_points)
+            .map(|i| {
+                let idx = i * (n - 1) / (max_points - 1);
+                (self.sorted[idx], (idx + 1) as f64 / n as f64)
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rejects_empty_and_nan() {
+        assert!(Ecdf::new(vec![]).is_err());
+        assert!(Ecdf::new(vec![1.0, f64::NAN]).is_err());
+    }
+
+    #[test]
+    fn eval_is_a_step_function() {
+        let e = Ecdf::new(vec![3.0, 1.0, 2.0]).unwrap();
+        assert_eq!(e.eval(0.5), 0.0);
+        assert!((e.eval(1.0) - 1.0 / 3.0).abs() < 1e-12);
+        assert!((e.eval(1.5) - 1.0 / 3.0).abs() < 1e-12);
+        assert!((e.eval(2.0) - 2.0 / 3.0).abs() < 1e-12);
+        assert_eq!(e.eval(3.0), 1.0);
+        assert_eq!(e.eval(99.0), 1.0);
+    }
+
+    #[test]
+    fn quantiles_and_extremes() {
+        let e = Ecdf::new((1..=100).map(f64::from).collect()).unwrap();
+        assert_eq!(e.quantile(0.0), 1.0);
+        assert_eq!(e.quantile(1.0), 100.0);
+        assert_eq!(e.quantile(0.5), 50.0);
+        assert_eq!(e.quantile(0.9), 90.0);
+        assert_eq!(e.median(), 50.0);
+        assert_eq!(e.min(), 1.0);
+        assert_eq!(e.max(), 100.0);
+    }
+
+    #[test]
+    fn tail_fraction_matches_paper_style_claims() {
+        let e = Ecdf::new((1..=100).map(f64::from).collect()).unwrap();
+        // 10 of 100 observations exceed 90.
+        assert!((e.tail_fraction(90.0) - 0.10).abs() < 1e-12);
+    }
+
+    #[test]
+    fn points_are_monotone() {
+        let e = Ecdf::new(vec![5.0, 1.0, 4.0, 4.0, 2.0]).unwrap();
+        let pts: Vec<_> = e.points().collect();
+        assert_eq!(pts.len(), 5);
+        for w in pts.windows(2) {
+            assert!(w[0].0 <= w[1].0 && w[0].1 < w[1].1);
+        }
+        assert!((pts.last().unwrap().1 - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn sampled_points_bounds_count_and_keeps_ends() {
+        let e = Ecdf::new((0..10_000).map(f64::from).collect()).unwrap();
+        let pts = e.sampled_points(100);
+        assert_eq!(pts.len(), 100);
+        assert_eq!(pts[0].0, 0.0);
+        assert_eq!(pts.last().unwrap().0, 9999.0);
+    }
+}

@@ -1,0 +1,95 @@
+//! Error types for the statistics crate.
+
+/// Errors produced by distribution construction, fitting, and hypothesis tests.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum StatsError {
+    /// A distribution parameter was out of range (non-finite, non-positive, …).
+    InvalidParameter {
+        /// Which parameter was rejected (e.g. `"weibull shape"`).
+        what: &'static str,
+        /// The offending value.
+        value: f64,
+    },
+    /// A fit or test was asked to run on an empty sample.
+    EmptySample,
+    /// A fit requires strictly positive observations but found one that is not.
+    NonPositiveSample {
+        /// The offending observation.
+        value: f64,
+    },
+    /// All observations are (numerically) identical, so a scale/shape cannot
+    /// be estimated.
+    DegenerateSample,
+    /// An iterative MLE solver failed to converge.
+    NoConvergence {
+        /// Which fit failed (e.g. `"weibull shape"`).
+        what: &'static str,
+        /// Number of iterations attempted.
+        iterations: usize,
+    },
+    /// A hypothesis test had too few usable bins / categories.
+    NotEnoughBins {
+        /// Number of usable bins found.
+        found: usize,
+        /// Minimum required.
+        required: usize,
+    },
+    /// A sample contained a NaN or infinite observation.
+    NonFiniteSample {
+        /// The offending observation.
+        value: f64,
+    },
+}
+
+impl std::fmt::Display for StatsError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            StatsError::InvalidParameter { what, value } => {
+                write!(f, "invalid {what}: {value}")
+            }
+            StatsError::EmptySample => write!(f, "sample is empty"),
+            StatsError::NonPositiveSample { value } => {
+                write!(f, "sample must be strictly positive, found {value}")
+            }
+            StatsError::DegenerateSample => {
+                write!(f, "sample is degenerate (all observations identical)")
+            }
+            StatsError::NoConvergence { what, iterations } => {
+                write!(
+                    f,
+                    "{what} estimation did not converge after {iterations} iterations"
+                )
+            }
+            StatsError::NotEnoughBins { found, required } => {
+                write!(f, "test needs at least {required} bins, found {found}")
+            }
+            StatsError::NonFiniteSample { value } => {
+                write!(f, "sample contains a non-finite observation: {value}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for StatsError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_mentions_parameter_name() {
+        let e = StatsError::InvalidParameter {
+            what: "weibull shape",
+            value: -1.0,
+        };
+        assert!(e.to_string().contains("weibull shape"));
+        assert!(e.to_string().contains("-1"));
+    }
+
+    #[test]
+    fn error_is_std_error() {
+        fn takes_err(_: &dyn std::error::Error) {}
+        takes_err(&StatsError::EmptySample);
+    }
+}

@@ -1,0 +1,162 @@
+//! Exponential distribution — the null model for time between failures
+//! that the paper's Hypotheses 3 and 4 reject.
+
+use rand::{Rng, RngCore};
+use serde::{Deserialize, Serialize};
+
+use crate::distribution::ContinuousDistribution;
+use crate::error::StatsError;
+
+/// Exponential distribution with rate `λ > 0` (mean `1/λ`).
+///
+/// # Examples
+///
+/// ```
+/// use dcf_stats::{ContinuousDistribution, Exponential};
+///
+/// let d = Exponential::new(0.5).unwrap();
+/// assert!((d.mean() - 2.0).abs() < 1e-12);
+/// assert!((d.cdf(2.0) - (1.0 - (-1.0f64).exp())).abs() < 1e-12);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Exponential {
+    rate: f64,
+}
+
+impl Exponential {
+    /// Creates an exponential distribution with the given rate.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StatsError::InvalidParameter`] if `rate` is not finite and positive.
+    pub fn new(rate: f64) -> Result<Self, StatsError> {
+        if !rate.is_finite() || rate <= 0.0 {
+            return Err(StatsError::InvalidParameter {
+                what: "exponential rate",
+                value: rate,
+            });
+        }
+        Ok(Self { rate })
+    }
+
+    /// Creates the distribution from its mean (`mean = 1/rate`).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StatsError::InvalidParameter`] if `mean` is not finite and positive.
+    pub fn from_mean(mean: f64) -> Result<Self, StatsError> {
+        if !mean.is_finite() || mean <= 0.0 {
+            return Err(StatsError::InvalidParameter {
+                what: "exponential mean",
+                value: mean,
+            });
+        }
+        Self::new(1.0 / mean)
+    }
+
+    /// The rate parameter λ.
+    pub fn rate(&self) -> f64 {
+        self.rate
+    }
+}
+
+impl ContinuousDistribution for Exponential {
+    fn ln_pdf(&self, x: f64) -> f64 {
+        if x < 0.0 {
+            f64::NEG_INFINITY
+        } else {
+            self.rate.ln() - self.rate * x
+        }
+    }
+
+    fn cdf(&self, x: f64) -> f64 {
+        if x <= 0.0 {
+            0.0
+        } else {
+            -(-self.rate * x).exp_m1()
+        }
+    }
+
+    fn quantile(&self, p: f64) -> f64 {
+        assert!(p > 0.0 && p < 1.0, "quantile requires 0 < p < 1, got {p}");
+        -(-p).ln_1p() / self.rate
+    }
+
+    fn mean(&self) -> f64 {
+        1.0 / self.rate
+    }
+
+    fn variance(&self) -> f64 {
+        1.0 / (self.rate * self.rate)
+    }
+
+    fn sample(&self, rng: &mut dyn RngCore) -> f64 {
+        // Inverse transform; guard the u = 0 endpoint.
+        let u: f64 = rng.random();
+        -(-u).ln_1p() / self.rate
+    }
+
+    fn name(&self) -> &'static str {
+        "Exponential"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn rejects_bad_rate() {
+        assert!(Exponential::new(0.0).is_err());
+        assert!(Exponential::new(-1.0).is_err());
+        assert!(Exponential::new(f64::NAN).is_err());
+        assert!(Exponential::new(f64::INFINITY).is_err());
+    }
+
+    #[test]
+    fn from_mean_inverts_rate() {
+        let d = Exponential::from_mean(4.0).unwrap();
+        assert!((d.rate() - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn pdf_integrates_to_cdf() {
+        let d = Exponential::new(1.3).unwrap();
+        // Trapezoidal integration of the pdf should approximate the cdf.
+        let steps = 20_000;
+        let dx = 2.0 / steps as f64;
+        let acc: f64 = (0..steps)
+            .map(|i| {
+                let x = i as f64 * dx;
+                0.5 * (d.pdf(x) + d.pdf(x + dx)) * dx
+            })
+            .sum();
+        assert!((acc - d.cdf(2.0)).abs() < 1e-6);
+    }
+
+    #[test]
+    fn quantile_inverts_cdf() {
+        let d = Exponential::new(0.7).unwrap();
+        for &p in &[0.01, 0.1, 0.5, 0.9, 0.999] {
+            assert!((d.cdf(d.quantile(p)) - p).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn sample_mean_converges() {
+        let d = Exponential::new(2.0).unwrap();
+        let mut rng = StdRng::seed_from_u64(42);
+        let n = 200_000;
+        let mean: f64 = (0..n).map(|_| d.sample(&mut rng)).sum::<f64>() / n as f64;
+        assert!((mean - 0.5).abs() < 0.01, "sample mean {mean}");
+    }
+
+    #[test]
+    fn density_zero_for_negative_x() {
+        let d = Exponential::new(1.0).unwrap();
+        assert_eq!(d.pdf(-1.0), 0.0);
+        assert_eq!(d.cdf(-1.0), 0.0);
+    }
+}

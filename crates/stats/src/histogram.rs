@@ -1,0 +1,279 @@
+//! Fixed-width and logarithmic histograms used for the PDF-style figures.
+
+use serde::{Deserialize, Serialize};
+
+use crate::error::StatsError;
+
+/// A histogram with uniformly spaced bins over `[min, max)`.
+///
+/// # Examples
+///
+/// ```
+/// use dcf_stats::Histogram;
+///
+/// let mut h = Histogram::new(0.0, 10.0, 5).unwrap();
+/// h.add(1.0);
+/// h.add(9.5);
+/// h.add(-3.0); // below range → counted as underflow
+/// assert_eq!(h.counts(), &[1, 0, 0, 0, 1]);
+/// assert_eq!(h.underflow(), 1);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Histogram {
+    min: f64,
+    max: f64,
+    counts: Vec<u64>,
+    underflow: u64,
+    overflow: u64,
+}
+
+impl Histogram {
+    /// Creates a histogram with `bins` uniform bins over `[min, max)`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StatsError::InvalidParameter`] for non-finite bounds,
+    /// `min >= max`, or zero bins.
+    pub fn new(min: f64, max: f64, bins: usize) -> Result<Self, StatsError> {
+        if !min.is_finite() {
+            return Err(StatsError::InvalidParameter {
+                what: "histogram min",
+                value: min,
+            });
+        }
+        if !max.is_finite() || min >= max {
+            return Err(StatsError::InvalidParameter {
+                what: "histogram max",
+                value: max,
+            });
+        }
+        if bins == 0 {
+            return Err(StatsError::InvalidParameter {
+                what: "histogram bins",
+                value: 0.0,
+            });
+        }
+        Ok(Self {
+            min,
+            max,
+            counts: vec![0; bins],
+            underflow: 0,
+            overflow: 0,
+        })
+    }
+
+    /// Adds one observation.
+    pub fn add(&mut self, x: f64) {
+        if x < self.min {
+            self.underflow += 1;
+            return;
+        }
+        if x >= self.max {
+            self.overflow += 1;
+            return;
+        }
+        let w = (self.max - self.min) / self.counts.len() as f64;
+        let idx = (((x - self.min) / w) as usize).min(self.counts.len() - 1);
+        self.counts[idx] += 1;
+    }
+
+    /// Adds every observation in `data`.
+    pub fn extend(&mut self, data: &[f64]) {
+        for &x in data {
+            self.add(x);
+        }
+    }
+
+    /// Per-bin counts.
+    pub fn counts(&self) -> &[u64] {
+        &self.counts
+    }
+
+    /// Observations below `min`.
+    pub fn underflow(&self) -> u64 {
+        self.underflow
+    }
+
+    /// Observations at or above `max`.
+    pub fn overflow(&self) -> u64 {
+        self.overflow
+    }
+
+    /// Total observations including under/overflow.
+    pub fn total(&self) -> u64 {
+        self.counts.iter().sum::<u64>() + self.underflow + self.overflow
+    }
+
+    /// The center of bin `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `i` is out of range.
+    pub fn bin_center(&self, i: usize) -> f64 {
+        assert!(i < self.counts.len(), "bin index {i} out of range");
+        let w = (self.max - self.min) / self.counts.len() as f64;
+        self.min + (i as f64 + 0.5) * w
+    }
+
+    /// In-range counts normalized to fractions of the in-range total
+    /// (an empirical PDF on the bins). Returns all-zero when empty.
+    pub fn fractions(&self) -> Vec<f64> {
+        let total: u64 = self.counts.iter().sum();
+        if total == 0 {
+            return vec![0.0; self.counts.len()];
+        }
+        self.counts
+            .iter()
+            .map(|&c| c as f64 / total as f64)
+            .collect()
+    }
+}
+
+/// A histogram with logarithmically spaced bins, for heavy-tailed data such
+/// as TBF (Figure 5 uses a log-scaled axis).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct LogHistogram {
+    log_min: f64,
+    log_max: f64,
+    counts: Vec<u64>,
+    underflow: u64,
+    overflow: u64,
+}
+
+impl LogHistogram {
+    /// Creates a histogram with `bins` log-uniform bins over `[min, max)`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StatsError::InvalidParameter`] unless `0 < min < max` and
+    /// `bins > 0`.
+    pub fn new(min: f64, max: f64, bins: usize) -> Result<Self, StatsError> {
+        if !min.is_finite() || min <= 0.0 {
+            return Err(StatsError::InvalidParameter {
+                what: "log histogram min",
+                value: min,
+            });
+        }
+        if !max.is_finite() || max <= min {
+            return Err(StatsError::InvalidParameter {
+                what: "log histogram max",
+                value: max,
+            });
+        }
+        if bins == 0 {
+            return Err(StatsError::InvalidParameter {
+                what: "log histogram bins",
+                value: 0.0,
+            });
+        }
+        Ok(Self {
+            log_min: min.ln(),
+            log_max: max.ln(),
+            counts: vec![0; bins],
+            underflow: 0,
+            overflow: 0,
+        })
+    }
+
+    /// Adds one observation (non-positive values count as underflow).
+    pub fn add(&mut self, x: f64) {
+        if x <= 0.0 || x.ln() < self.log_min {
+            self.underflow += 1;
+            return;
+        }
+        let lx = x.ln();
+        if lx >= self.log_max {
+            self.overflow += 1;
+            return;
+        }
+        let w = (self.log_max - self.log_min) / self.counts.len() as f64;
+        let idx = (((lx - self.log_min) / w) as usize).min(self.counts.len() - 1);
+        self.counts[idx] += 1;
+    }
+
+    /// Per-bin counts.
+    pub fn counts(&self) -> &[u64] {
+        &self.counts
+    }
+
+    /// Observations below range (or non-positive).
+    pub fn underflow(&self) -> u64 {
+        self.underflow
+    }
+
+    /// Observations above range.
+    pub fn overflow(&self) -> u64 {
+        self.overflow
+    }
+
+    /// Geometric center of bin `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `i` is out of range.
+    pub fn bin_center(&self, i: usize) -> f64 {
+        assert!(i < self.counts.len(), "bin index {i} out of range");
+        let w = (self.log_max - self.log_min) / self.counts.len() as f64;
+        (self.log_min + (i as f64 + 0.5) * w).exp()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction_validation() {
+        assert!(Histogram::new(0.0, 0.0, 3).is_err());
+        assert!(Histogram::new(0.0, 1.0, 0).is_err());
+        assert!(LogHistogram::new(0.0, 1.0, 3).is_err());
+        assert!(LogHistogram::new(1.0, 1.0, 3).is_err());
+    }
+
+    #[test]
+    fn binning_and_overflow() {
+        let mut h = Histogram::new(0.0, 10.0, 10).unwrap();
+        h.extend(&[0.0, 0.5, 5.0, 9.99, 10.0, 11.0, -1.0]);
+        assert_eq!(h.counts()[0], 2); // 0.0, 0.5
+        assert_eq!(h.counts()[5], 1);
+        assert_eq!(h.counts()[9], 1);
+        assert_eq!(h.overflow(), 2);
+        assert_eq!(h.underflow(), 1);
+        assert_eq!(h.total(), 7);
+    }
+
+    #[test]
+    fn fractions_sum_to_one() {
+        let mut h = Histogram::new(0.0, 1.0, 4).unwrap();
+        h.extend(&[0.1, 0.3, 0.6, 0.9, 0.95]);
+        let total: f64 = h.fractions().iter().sum();
+        assert!((total - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn bin_centers() {
+        let h = Histogram::new(0.0, 10.0, 5).unwrap();
+        assert!((h.bin_center(0) - 1.0).abs() < 1e-12);
+        assert!((h.bin_center(4) - 9.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn log_binning_spans_decades() {
+        let mut h = LogHistogram::new(1.0, 10_000.0, 4).unwrap();
+        // Geometric centers of the 4 bins land in each decade.
+        h.add(2.0);
+        h.add(30.0);
+        h.add(300.0);
+        h.add(3000.0);
+        assert_eq!(h.counts(), &[1, 1, 1, 1]);
+        assert_eq!(h.underflow(), 0);
+        h.add(0.5);
+        h.add(-1.0);
+        h.add(1e6);
+        assert_eq!(h.underflow(), 2);
+        assert_eq!(h.overflow(), 1);
+        let c1 = h.bin_center(0);
+        let c2 = h.bin_center(1);
+        assert!((c2 / c1 - 10.0).abs() < 1e-9, "log bins are geometric");
+    }
+}

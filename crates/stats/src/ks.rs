@@ -1,0 +1,148 @@
+//! One-sample Kolmogorov–Smirnov test. The paper uses Pearson's chi-squared
+//! as its primary test; KS is provided as a cross-check (several of the
+//! related studies the paper cites, e.g. Schroeder & Gibson, use it).
+
+use serde::{Deserialize, Serialize};
+
+use crate::distribution::ContinuousDistribution;
+use crate::error::StatsError;
+
+/// Outcome of a one-sample KS test.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct KsOutcome {
+    /// The KS statistic `D = sup |F_n(x) − F(x)|`.
+    pub statistic: f64,
+    /// Asymptotic right-tail p-value (Kolmogorov distribution).
+    pub p_value: f64,
+    /// Sample size.
+    pub n: usize,
+}
+
+impl KsOutcome {
+    /// Whether the null hypothesis is rejected at significance level `alpha`.
+    pub fn rejects_at(&self, alpha: f64) -> bool {
+        self.p_value < alpha
+    }
+}
+
+/// One-sample KS test of `data` against a reference distribution.
+///
+/// Uses the asymptotic Kolmogorov p-value with the standard
+/// `(√n + 0.12 + 0.11/√n)` small-sample correction.
+///
+/// # Errors
+///
+/// Fails on empty or non-finite samples.
+///
+/// # Examples
+///
+/// ```
+/// use dcf_stats::{ks, Exponential, ContinuousDistribution};
+/// use rand::{rngs::StdRng, SeedableRng};
+///
+/// let d = Exponential::new(1.0).unwrap();
+/// let mut rng = StdRng::seed_from_u64(1);
+/// let data: Vec<f64> = (0..2000).map(|_| d.sample(&mut rng)).collect();
+/// let out = ks::ks_test(&data, &d).unwrap();
+/// assert!(!out.rejects_at(0.01));
+/// ```
+pub fn ks_test<D: ContinuousDistribution + ?Sized>(
+    data: &[f64],
+    dist: &D,
+) -> Result<KsOutcome, StatsError> {
+    if data.is_empty() {
+        return Err(StatsError::EmptySample);
+    }
+    let mut sorted = Vec::with_capacity(data.len());
+    for &x in data {
+        if !x.is_finite() {
+            return Err(StatsError::NonFiniteSample { value: x });
+        }
+        sorted.push(x);
+    }
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("all finite"));
+
+    let n = sorted.len();
+    let nf = n as f64;
+    let mut d_stat = 0.0f64;
+    for (i, &x) in sorted.iter().enumerate() {
+        let f = dist.cdf(x);
+        let d_plus = (i + 1) as f64 / nf - f;
+        let d_minus = f - i as f64 / nf;
+        d_stat = d_stat.max(d_plus).max(d_minus);
+    }
+
+    let sqrt_n = nf.sqrt();
+    let lambda = (sqrt_n + 0.12 + 0.11 / sqrt_n) * d_stat;
+    Ok(KsOutcome {
+        statistic: d_stat,
+        p_value: kolmogorov_sf(lambda),
+        n,
+    })
+}
+
+/// Survival function of the Kolmogorov distribution,
+/// `Q(λ) = 2 Σ_{j≥1} (−1)^{j−1} e^{−2 j² λ²}`.
+fn kolmogorov_sf(lambda: f64) -> f64 {
+    if lambda <= 0.0 {
+        return 1.0;
+    }
+    let mut sum = 0.0;
+    let mut sign = 1.0;
+    for j in 1..=100 {
+        let term = (-2.0 * (j as f64).powi(2) * lambda * lambda).exp();
+        sum += sign * term;
+        sign = -sign;
+        if term < 1e-12 {
+            break;
+        }
+    }
+    (2.0 * sum).clamp(0.0, 1.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::distribution::sample_n;
+    use crate::{Exponential, LogNormal};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn accepts_true_model() {
+        let d = Exponential::new(0.2).unwrap();
+        let mut rng = StdRng::seed_from_u64(2);
+        let data = sample_n(&d, &mut rng, 5_000);
+        let out = ks_test(&data, &d).unwrap();
+        assert!(
+            !out.rejects_at(0.01),
+            "D={} p={}",
+            out.statistic,
+            out.p_value
+        );
+    }
+
+    #[test]
+    fn rejects_wrong_model() {
+        let truth = LogNormal::new(0.0, 1.5).unwrap();
+        let wrong = Exponential::new(1.0).unwrap();
+        let mut rng = StdRng::seed_from_u64(3);
+        let data = sample_n(&truth, &mut rng, 5_000);
+        let out = ks_test(&data, &wrong).unwrap();
+        assert!(out.rejects_at(0.001));
+    }
+
+    #[test]
+    fn kolmogorov_sf_reference() {
+        // Q(1.36) ≈ 0.0489 (the classic 5% critical value λ ≈ 1.358).
+        assert!((kolmogorov_sf(1.358) - 0.05).abs() < 0.002);
+        assert_eq!(kolmogorov_sf(0.0), 1.0);
+        assert!(kolmogorov_sf(3.0) < 1e-6);
+    }
+
+    #[test]
+    fn empty_sample_errors() {
+        let d = Exponential::new(1.0).unwrap();
+        assert!(ks_test(&[], &d).is_err());
+    }
+}

@@ -1,0 +1,172 @@
+//! Lognormal distribution — the fourth TBF null model (§II-B), and the
+//! family we use to model operator response-time bodies (§VI).
+
+use rand::{Rng, RngCore};
+use serde::{Deserialize, Serialize};
+
+use crate::distribution::ContinuousDistribution;
+use crate::error::StatsError;
+use crate::special::{erfc, inverse_normal_cdf};
+
+/// Lognormal distribution: `ln X ~ Normal(μ, σ²)`.
+///
+/// # Examples
+///
+/// ```
+/// use dcf_stats::{ContinuousDistribution, LogNormal};
+///
+/// let d = LogNormal::new(0.0, 1.0).unwrap();
+/// assert!((d.cdf(1.0) - 0.5).abs() < 1e-12); // median = e^μ = 1
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct LogNormal {
+    mu: f64,
+    sigma: f64,
+}
+
+impl LogNormal {
+    /// Creates a lognormal distribution with log-location `mu` and log-scale `sigma`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StatsError::InvalidParameter`] unless `mu` is finite and
+    /// `sigma` is finite and positive.
+    pub fn new(mu: f64, sigma: f64) -> Result<Self, StatsError> {
+        if !mu.is_finite() {
+            return Err(StatsError::InvalidParameter {
+                what: "lognormal mu",
+                value: mu,
+            });
+        }
+        if !sigma.is_finite() || sigma <= 0.0 {
+            return Err(StatsError::InvalidParameter {
+                what: "lognormal sigma",
+                value: sigma,
+            });
+        }
+        Ok(Self { mu, sigma })
+    }
+
+    /// Creates the lognormal with a given median and `sigma` (log-scale).
+    ///
+    /// Handy for calibration: the median is `e^μ`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StatsError::InvalidParameter`] on a non-positive median or sigma.
+    pub fn from_median(median: f64, sigma: f64) -> Result<Self, StatsError> {
+        if !median.is_finite() || median <= 0.0 {
+            return Err(StatsError::InvalidParameter {
+                what: "lognormal median",
+                value: median,
+            });
+        }
+        Self::new(median.ln(), sigma)
+    }
+
+    /// The log-location parameter μ.
+    pub fn location(&self) -> f64 {
+        self.mu
+    }
+
+    /// The log-scale parameter σ.
+    pub fn shape(&self) -> f64 {
+        self.sigma
+    }
+
+    /// The distribution median, `e^μ`.
+    pub fn median(&self) -> f64 {
+        self.mu.exp()
+    }
+}
+
+impl ContinuousDistribution for LogNormal {
+    fn ln_pdf(&self, x: f64) -> f64 {
+        if x <= 0.0 {
+            return f64::NEG_INFINITY;
+        }
+        let z = (x.ln() - self.mu) / self.sigma;
+        -0.5 * z * z - x.ln() - self.sigma.ln() - 0.5 * (2.0 * std::f64::consts::PI).ln()
+    }
+
+    fn cdf(&self, x: f64) -> f64 {
+        if x <= 0.0 {
+            return 0.0;
+        }
+        let z = (x.ln() - self.mu) / self.sigma;
+        0.5 * erfc(-z / std::f64::consts::SQRT_2)
+    }
+
+    fn quantile(&self, p: f64) -> f64 {
+        assert!(p > 0.0 && p < 1.0, "quantile requires 0 < p < 1, got {p}");
+        (self.mu + self.sigma * inverse_normal_cdf(p)).exp()
+    }
+
+    fn mean(&self) -> f64 {
+        (self.mu + 0.5 * self.sigma * self.sigma).exp()
+    }
+
+    fn variance(&self) -> f64 {
+        let s2 = self.sigma * self.sigma;
+        (s2.exp() - 1.0) * (2.0 * self.mu + s2).exp()
+    }
+
+    fn sample(&self, rng: &mut dyn RngCore) -> f64 {
+        let u1: f64 = rng.random::<f64>().max(1e-300);
+        let u2: f64 = rng.random();
+        let z = (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos();
+        (self.mu + self.sigma * z).exp()
+    }
+
+    fn name(&self) -> &'static str {
+        "LogNormal"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn rejects_bad_parameters() {
+        assert!(LogNormal::new(f64::NAN, 1.0).is_err());
+        assert!(LogNormal::new(0.0, 0.0).is_err());
+        assert!(LogNormal::from_median(-1.0, 1.0).is_err());
+    }
+
+    #[test]
+    fn median_is_exp_mu() {
+        let d = LogNormal::new(1.0, 0.5).unwrap();
+        assert!((d.cdf(d.median()) - 0.5).abs() < 1e-12);
+        let e = LogNormal::from_median(10.0, 0.5).unwrap();
+        assert!((e.median() - 10.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn quantile_inverts_cdf() {
+        let d = LogNormal::new(-0.3, 1.7).unwrap();
+        for &p in &[0.01, 0.2, 0.5, 0.8, 0.99] {
+            assert!((d.cdf(d.quantile(p)) - p).abs() < 1e-10);
+        }
+    }
+
+    #[test]
+    fn mean_and_variance_formulas() {
+        let d = LogNormal::new(0.5, 0.8).unwrap();
+        let mut rng = StdRng::seed_from_u64(5);
+        let n = 300_000;
+        let xs: Vec<f64> = (0..n).map(|_| d.sample(&mut rng)).collect();
+        let mean = xs.iter().sum::<f64>() / n as f64;
+        assert!((mean - d.mean()).abs() / d.mean() < 0.02);
+    }
+
+    #[test]
+    fn density_zero_for_nonpositive() {
+        let d = LogNormal::new(0.0, 1.0).unwrap();
+        assert_eq!(d.pdf(0.0), 0.0);
+        assert_eq!(d.pdf(-3.0), 0.0);
+        assert_eq!(d.cdf(0.0), 0.0);
+    }
+}

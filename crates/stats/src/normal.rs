@@ -1,0 +1,127 @@
+//! Normal distribution — used by the paper's μ ± 2σ rack-position anomaly
+//! detection (§IV) and as a general-purpose building block.
+
+use rand::{Rng, RngCore};
+use serde::{Deserialize, Serialize};
+
+use crate::distribution::ContinuousDistribution;
+use crate::error::StatsError;
+use crate::special::{erfc, inverse_normal_cdf};
+
+/// Normal (Gaussian) distribution with mean μ and standard deviation σ.
+///
+/// # Examples
+///
+/// ```
+/// use dcf_stats::{ContinuousDistribution, Normal};
+///
+/// let d = Normal::new(0.0, 1.0).unwrap();
+/// assert!((d.cdf(0.0) - 0.5).abs() < 1e-12);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Normal {
+    mean: f64,
+    std_dev: f64,
+}
+
+impl Normal {
+    /// Creates a normal distribution.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StatsError::InvalidParameter`] unless `mean` is finite and
+    /// `std_dev` is finite and positive.
+    pub fn new(mean: f64, std_dev: f64) -> Result<Self, StatsError> {
+        if !mean.is_finite() {
+            return Err(StatsError::InvalidParameter {
+                what: "normal mean",
+                value: mean,
+            });
+        }
+        if !std_dev.is_finite() || std_dev <= 0.0 {
+            return Err(StatsError::InvalidParameter {
+                what: "normal std_dev",
+                value: std_dev,
+            });
+        }
+        Ok(Self { mean, std_dev })
+    }
+
+    /// The standard deviation σ.
+    pub fn std_dev(&self) -> f64 {
+        self.std_dev
+    }
+}
+
+impl ContinuousDistribution for Normal {
+    fn ln_pdf(&self, x: f64) -> f64 {
+        let z = (x - self.mean) / self.std_dev;
+        -0.5 * z * z - self.std_dev.ln() - 0.5 * (2.0 * std::f64::consts::PI).ln()
+    }
+
+    fn cdf(&self, x: f64) -> f64 {
+        let z = (x - self.mean) / self.std_dev;
+        0.5 * erfc(-z / std::f64::consts::SQRT_2)
+    }
+
+    fn quantile(&self, p: f64) -> f64 {
+        assert!(p > 0.0 && p < 1.0, "quantile requires 0 < p < 1, got {p}");
+        self.mean + self.std_dev * inverse_normal_cdf(p)
+    }
+
+    fn mean(&self) -> f64 {
+        self.mean
+    }
+
+    fn variance(&self) -> f64 {
+        self.std_dev * self.std_dev
+    }
+
+    fn sample(&self, rng: &mut dyn RngCore) -> f64 {
+        let u1: f64 = rng.random::<f64>().max(1e-300);
+        let u2: f64 = rng.random();
+        let z = (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos();
+        self.mean + self.std_dev * z
+    }
+
+    fn name(&self) -> &'static str {
+        "Normal"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn rejects_bad_parameters() {
+        assert!(Normal::new(f64::NAN, 1.0).is_err());
+        assert!(Normal::new(0.0, -1.0).is_err());
+    }
+
+    #[test]
+    fn standard_normal_reference_values() {
+        let d = Normal::new(0.0, 1.0).unwrap();
+        assert!((d.cdf(1.959_963_984_540_054) - 0.975).abs() < 1e-10);
+        assert!((d.quantile(0.975) - 1.959_963_984_540_054).abs() < 1e-8);
+        assert!((d.pdf(0.0) - 1.0 / (2.0 * std::f64::consts::PI).sqrt()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn two_sigma_covers_95_percent() {
+        let d = Normal::new(10.0, 2.0).unwrap();
+        let inside = d.cdf(14.0) - d.cdf(6.0);
+        assert!((inside - 0.954_499_736_103_642).abs() < 1e-9);
+    }
+
+    #[test]
+    fn sample_mean_converges() {
+        let d = Normal::new(-3.0, 0.5).unwrap();
+        let mut rng = StdRng::seed_from_u64(11);
+        let n = 200_000;
+        let mean = (0..n).map(|_| d.sample(&mut rng)).sum::<f64>() / n as f64;
+        assert!((mean + 3.0).abs() < 0.01);
+    }
+}

@@ -1,0 +1,143 @@
+//! Poisson distribution — event counts per interval; the natural null model
+//! for "failures per day" and the engine behind batch-event scheduling.
+
+use rand::{Rng, RngCore};
+use serde::{Deserialize, Serialize};
+
+use crate::error::StatsError;
+use crate::special::{ln_gamma, reg_upper_gamma};
+
+/// Poisson distribution with mean `λ > 0`.
+///
+/// # Examples
+///
+/// ```
+/// use dcf_stats::Poisson;
+///
+/// let d = Poisson::new(3.0).unwrap();
+/// assert!((d.pmf(0) - (-3.0f64).exp()).abs() < 1e-12);
+/// assert!((d.cdf(2) + d.sf(2) - 1.0).abs() < 1e-12);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Poisson {
+    mean: f64,
+}
+
+impl Poisson {
+    /// Creates a Poisson distribution with the given mean.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StatsError::InvalidParameter`] unless `mean` is finite and
+    /// positive.
+    pub fn new(mean: f64) -> Result<Self, StatsError> {
+        if !mean.is_finite() || mean <= 0.0 {
+            return Err(StatsError::InvalidParameter {
+                what: "poisson mean",
+                value: mean,
+            });
+        }
+        Ok(Self { mean })
+    }
+
+    /// The mean λ.
+    pub fn mean(&self) -> f64 {
+        self.mean
+    }
+
+    /// Probability mass `P(X = k)`.
+    pub fn pmf(&self, k: u64) -> f64 {
+        (k as f64 * self.mean.ln() - self.mean - ln_gamma(k as f64 + 1.0)).exp()
+    }
+
+    /// Cumulative probability `P(X <= k)` via the incomplete-gamma identity.
+    pub fn cdf(&self, k: u64) -> f64 {
+        reg_upper_gamma(k as f64 + 1.0, self.mean)
+    }
+
+    /// Survival `P(X > k)`.
+    pub fn sf(&self, k: u64) -> f64 {
+        1.0 - self.cdf(k)
+    }
+
+    /// Draws one sample: Knuth inversion for small means, normal
+    /// approximation (rounded, floored at 0) above λ = 30.
+    pub fn sample(&self, rng: &mut dyn RngCore) -> u64 {
+        if self.mean > 30.0 {
+            let u1: f64 = rng.random::<f64>().max(1e-300);
+            let u2: f64 = rng.random();
+            let z = (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos();
+            return (self.mean + self.mean.sqrt() * z).round().max(0.0) as u64;
+        }
+        let l = (-self.mean).exp();
+        let mut k = 0u64;
+        let mut p = 1.0;
+        loop {
+            p *= rng.random::<f64>();
+            if p <= l || k > 10_000 {
+                return k;
+            }
+            k += 1;
+        }
+    }
+}
+
+/// Convenience: one Poisson draw with mean `mean` (0 for non-positive
+/// means) — the form generators use for event counts.
+pub fn poisson_count(rng: &mut dyn RngCore, mean: f64) -> u64 {
+    if mean <= 0.0 {
+        return 0;
+    }
+    Poisson::new(mean).expect("positive mean").sample(rng)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn rejects_bad_mean() {
+        assert!(Poisson::new(0.0).is_err());
+        assert!(Poisson::new(-1.0).is_err());
+        assert!(Poisson::new(f64::NAN).is_err());
+    }
+
+    #[test]
+    fn pmf_sums_to_one() {
+        let d = Poisson::new(4.2).unwrap();
+        let total: f64 = (0..100).map(|k| d.pmf(k)).sum();
+        assert!((total - 1.0).abs() < 1e-10);
+    }
+
+    #[test]
+    fn cdf_matches_pmf_partial_sums() {
+        let d = Poisson::new(2.5).unwrap();
+        let mut acc = 0.0;
+        for k in 0..20 {
+            acc += d.pmf(k);
+            assert!((d.cdf(k) - acc).abs() < 1e-10, "k={k}");
+        }
+    }
+
+    #[test]
+    fn sample_mean_converges_small_and_large() {
+        let mut rng = StdRng::seed_from_u64(1);
+        for &mean in &[0.7, 8.0, 120.0] {
+            let d = Poisson::new(mean).unwrap();
+            let n = 50_000;
+            let total: u64 = (0..n).map(|_| d.sample(&mut rng)).sum();
+            let got = total as f64 / n as f64;
+            assert!((got - mean).abs() / mean < 0.03, "mean {mean} got {got}");
+        }
+    }
+
+    #[test]
+    fn poisson_count_handles_nonpositive() {
+        let mut rng = StdRng::seed_from_u64(2);
+        assert_eq!(poisson_count(&mut rng, 0.0), 0);
+        assert_eq!(poisson_count(&mut rng, -3.0), 0);
+        assert!(poisson_count(&mut rng, 5.0) < 100);
+    }
+}

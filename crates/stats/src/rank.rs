@@ -1,0 +1,128 @@
+//! Rank statistics: Spearman correlation.
+//!
+//! §III-A of the paper claims failure *detections* are "positively
+//! correlated with the workload"; Spearman's ρ is the standard
+//! scale-free way to quantify that claim (hour-of-day detection counts vs
+//! the utilization profile).
+
+use crate::error::StatsError;
+
+/// Assigns average ranks (1-based) to `xs`, ties sharing their mean rank.
+fn average_ranks(xs: &[f64]) -> Vec<f64> {
+    let n = xs.len();
+    let mut idx: Vec<usize> = (0..n).collect();
+    idx.sort_by(|&a, &b| xs[a].partial_cmp(&xs[b]).expect("finite values"));
+    let mut ranks = vec![0.0; n];
+    let mut i = 0;
+    while i < n {
+        let mut j = i;
+        while j + 1 < n && xs[idx[j + 1]] == xs[idx[i]] {
+            j += 1;
+        }
+        let avg = (i + j) as f64 / 2.0 + 1.0;
+        for &k in &idx[i..=j] {
+            ranks[k] = avg;
+        }
+        i = j + 1;
+    }
+    ranks
+}
+
+/// Spearman rank correlation ρ between two equal-length samples.
+///
+/// Computed as the Pearson correlation of average ranks, so ties are
+/// handled correctly.
+///
+/// # Errors
+///
+/// * [`StatsError::EmptySample`] when fewer than 3 pairs.
+/// * [`StatsError::NonFiniteSample`] on NaN/∞ inputs.
+/// * [`StatsError::DegenerateSample`] when either side is constant.
+///
+/// # Examples
+///
+/// ```
+/// let x = [1.0, 2.0, 3.0, 4.0, 5.0];
+/// let up = [2.0, 4.0, 5.0, 8.0, 9.0];
+/// let down = [9.0, 8.0, 5.0, 4.0, 2.0];
+/// assert!((dcf_stats::rank::spearman(&x, &up).unwrap() - 1.0).abs() < 1e-12);
+/// assert!((dcf_stats::rank::spearman(&x, &down).unwrap() + 1.0).abs() < 1e-12);
+/// ```
+pub fn spearman(xs: &[f64], ys: &[f64]) -> Result<f64, StatsError> {
+    assert_eq!(xs.len(), ys.len(), "samples must have equal length");
+    if xs.len() < 3 {
+        return Err(StatsError::EmptySample);
+    }
+    for &v in xs.iter().chain(ys) {
+        if !v.is_finite() {
+            return Err(StatsError::NonFiniteSample { value: v });
+        }
+    }
+    let rx = average_ranks(xs);
+    let ry = average_ranks(ys);
+    let n = rx.len() as f64;
+    let mx = rx.iter().sum::<f64>() / n;
+    let my = ry.iter().sum::<f64>() / n;
+    let mut cov = 0.0;
+    let mut vx = 0.0;
+    let mut vy = 0.0;
+    for (a, b) in rx.iter().zip(&ry) {
+        cov += (a - mx) * (b - my);
+        vx += (a - mx).powi(2);
+        vy += (b - my).powi(2);
+    }
+    if vx <= 0.0 || vy <= 0.0 {
+        return Err(StatsError::DegenerateSample);
+    }
+    Ok(cov / (vx * vy).sqrt())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn perfect_monotone_relations() {
+        let x: Vec<f64> = (1..=20).map(f64::from).collect();
+        let y: Vec<f64> = x.iter().map(|v| v.exp()).collect(); // nonlinear but monotone
+        assert!((spearman(&x, &y).unwrap() - 1.0).abs() < 1e-12);
+        let z: Vec<f64> = x.iter().map(|v| -v).collect();
+        assert!((spearman(&x, &z).unwrap() + 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn independent_data_is_near_zero() {
+        // A deterministic "shuffled" sequence with no monotone trend.
+        let x: Vec<f64> = (0..101).map(f64::from).collect();
+        let y: Vec<f64> = (0..101).map(|i| ((i * 37) % 101) as f64).collect();
+        let rho = spearman(&x, &y).unwrap();
+        assert!(rho.abs() < 0.2, "rho {rho}");
+    }
+
+    #[test]
+    fn ties_share_average_ranks() {
+        let ranks = average_ranks(&[10.0, 20.0, 20.0, 30.0]);
+        assert_eq!(ranks, vec![1.0, 2.5, 2.5, 4.0]);
+        // Correlation still well-defined with ties.
+        let x = [1.0, 1.0, 2.0, 2.0, 3.0, 3.0];
+        let y = [1.0, 2.0, 3.0, 4.0, 5.0, 6.0];
+        let rho = spearman(&x, &y).unwrap();
+        assert!(rho > 0.9);
+    }
+
+    #[test]
+    fn rejects_bad_inputs() {
+        assert!(spearman(&[1.0, 2.0], &[1.0, 2.0]).is_err());
+        assert!(spearman(&[1.0, 2.0, f64::NAN], &[1.0, 2.0, 3.0]).is_err());
+        assert!(matches!(
+            spearman(&[5.0, 5.0, 5.0], &[1.0, 2.0, 3.0]),
+            Err(StatsError::DegenerateSample)
+        ));
+    }
+
+    #[test]
+    #[should_panic(expected = "equal length")]
+    fn length_mismatch_panics() {
+        let _ = spearman(&[1.0, 2.0, 3.0], &[1.0, 2.0]);
+    }
+}

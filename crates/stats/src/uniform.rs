@@ -1,0 +1,132 @@
+//! Continuous uniform distribution — the null model behind Hypotheses 1, 2
+//! and 5 ("failures are uniformly random over days / hours / rack positions").
+
+use rand::{Rng, RngCore};
+use serde::{Deserialize, Serialize};
+
+use crate::distribution::ContinuousDistribution;
+use crate::error::StatsError;
+
+/// Continuous uniform distribution on `[min, max]`.
+///
+/// # Examples
+///
+/// ```
+/// use dcf_stats::{ContinuousDistribution, Uniform};
+///
+/// let d = Uniform::new(2.0, 6.0).unwrap();
+/// assert!((d.cdf(4.0) - 0.5).abs() < 1e-12);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Uniform {
+    min: f64,
+    max: f64,
+}
+
+impl Uniform {
+    /// Creates a uniform distribution on `[min, max]`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StatsError::InvalidParameter`] if the bounds are not finite
+    /// or `min >= max`.
+    pub fn new(min: f64, max: f64) -> Result<Self, StatsError> {
+        if !min.is_finite() {
+            return Err(StatsError::InvalidParameter {
+                what: "uniform min",
+                value: min,
+            });
+        }
+        if !max.is_finite() || min >= max {
+            return Err(StatsError::InvalidParameter {
+                what: "uniform max",
+                value: max,
+            });
+        }
+        Ok(Self { min, max })
+    }
+
+    /// The lower bound.
+    pub fn min(&self) -> f64 {
+        self.min
+    }
+
+    /// The upper bound.
+    pub fn max(&self) -> f64 {
+        self.max
+    }
+}
+
+impl ContinuousDistribution for Uniform {
+    fn ln_pdf(&self, x: f64) -> f64 {
+        if x < self.min || x > self.max {
+            f64::NEG_INFINITY
+        } else {
+            -(self.max - self.min).ln()
+        }
+    }
+
+    fn cdf(&self, x: f64) -> f64 {
+        ((x - self.min) / (self.max - self.min)).clamp(0.0, 1.0)
+    }
+
+    fn quantile(&self, p: f64) -> f64 {
+        assert!(p > 0.0 && p < 1.0, "quantile requires 0 < p < 1, got {p}");
+        self.min + p * (self.max - self.min)
+    }
+
+    fn mean(&self) -> f64 {
+        0.5 * (self.min + self.max)
+    }
+
+    fn variance(&self) -> f64 {
+        (self.max - self.min).powi(2) / 12.0
+    }
+
+    fn sample(&self, rng: &mut dyn RngCore) -> f64 {
+        self.min + rng.random::<f64>() * (self.max - self.min)
+    }
+
+    fn name(&self) -> &'static str {
+        "Uniform"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn rejects_degenerate_bounds() {
+        assert!(Uniform::new(1.0, 1.0).is_err());
+        assert!(Uniform::new(2.0, 1.0).is_err());
+        assert!(Uniform::new(f64::NAN, 1.0).is_err());
+    }
+
+    #[test]
+    fn cdf_clamps_outside_support() {
+        let d = Uniform::new(0.0, 10.0).unwrap();
+        assert_eq!(d.cdf(-5.0), 0.0);
+        assert_eq!(d.cdf(20.0), 1.0);
+        assert_eq!(d.pdf(-1.0), 0.0);
+    }
+
+    #[test]
+    fn samples_stay_in_bounds() {
+        let d = Uniform::new(-2.0, 3.0).unwrap();
+        let mut rng = StdRng::seed_from_u64(3);
+        for _ in 0..10_000 {
+            let x = d.sample(&mut rng);
+            assert!((-2.0..=3.0).contains(&x));
+        }
+    }
+
+    #[test]
+    fn moments() {
+        let d = Uniform::new(2.0, 8.0).unwrap();
+        assert!((d.mean() - 5.0).abs() < 1e-12);
+        assert!((d.variance() - 3.0).abs() < 1e-12);
+    }
+}

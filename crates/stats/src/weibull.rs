@@ -1,0 +1,191 @@
+//! Weibull distribution — used both as a TBF null model (Hypothesis 3/4)
+//! and as the lifecycle hazard family behind the paper's Figure 6 curves.
+
+use rand::{Rng, RngCore};
+use serde::{Deserialize, Serialize};
+
+use crate::distribution::ContinuousDistribution;
+use crate::error::StatsError;
+use crate::special::ln_gamma;
+
+/// Weibull distribution with shape `k > 0` and scale `λ > 0`.
+///
+/// Shape `< 1` gives a decreasing hazard (infant mortality), shape `> 1`
+/// an increasing hazard (wear-out), shape `= 1` reduces to the exponential.
+///
+/// # Examples
+///
+/// ```
+/// use dcf_stats::{ContinuousDistribution, Weibull};
+///
+/// let wear_out = Weibull::new(2.0, 10.0).unwrap();
+/// assert!(wear_out.hazard(9.0) > wear_out.hazard(1.0));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Weibull {
+    shape: f64,
+    scale: f64,
+}
+
+impl Weibull {
+    /// Creates a Weibull distribution.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StatsError::InvalidParameter`] unless both parameters are
+    /// finite and positive.
+    pub fn new(shape: f64, scale: f64) -> Result<Self, StatsError> {
+        if !shape.is_finite() || shape <= 0.0 {
+            return Err(StatsError::InvalidParameter {
+                what: "weibull shape",
+                value: shape,
+            });
+        }
+        if !scale.is_finite() || scale <= 0.0 {
+            return Err(StatsError::InvalidParameter {
+                what: "weibull scale",
+                value: scale,
+            });
+        }
+        Ok(Self { shape, scale })
+    }
+
+    /// The shape parameter k.
+    pub fn shape(&self) -> f64 {
+        self.shape
+    }
+
+    /// The scale parameter λ.
+    pub fn scale(&self) -> f64 {
+        self.scale
+    }
+
+    /// Instantaneous hazard rate `h(x) = (k/λ)(x/λ)^{k−1}` for `x >= 0`.
+    pub fn hazard(&self, x: f64) -> f64 {
+        if x < 0.0 {
+            return 0.0;
+        }
+        if x == 0.0 {
+            // Limit at zero: infinite for shape < 1, 1/scale for shape == 1, 0 above.
+            return match self.shape.partial_cmp(&1.0).expect("shape is finite") {
+                std::cmp::Ordering::Less => f64::INFINITY,
+                std::cmp::Ordering::Equal => 1.0 / self.scale,
+                std::cmp::Ordering::Greater => 0.0,
+            };
+        }
+        (self.shape / self.scale) * (x / self.scale).powf(self.shape - 1.0)
+    }
+}
+
+impl ContinuousDistribution for Weibull {
+    fn ln_pdf(&self, x: f64) -> f64 {
+        if x < 0.0 {
+            return f64::NEG_INFINITY;
+        }
+        if x == 0.0 {
+            return if self.shape == 1.0 {
+                -self.scale.ln()
+            } else if self.shape < 1.0 {
+                f64::INFINITY
+            } else {
+                f64::NEG_INFINITY
+            };
+        }
+        let z = x / self.scale;
+        self.shape.ln() - self.scale.ln() + (self.shape - 1.0) * z.ln() - z.powf(self.shape)
+    }
+
+    fn cdf(&self, x: f64) -> f64 {
+        if x <= 0.0 {
+            0.0
+        } else {
+            -(-(x / self.scale).powf(self.shape)).exp_m1()
+        }
+    }
+
+    fn quantile(&self, p: f64) -> f64 {
+        assert!(p > 0.0 && p < 1.0, "quantile requires 0 < p < 1, got {p}");
+        self.scale * (-(-p).ln_1p()).powf(1.0 / self.shape)
+    }
+
+    fn mean(&self) -> f64 {
+        self.scale * (ln_gamma(1.0 + 1.0 / self.shape)).exp()
+    }
+
+    fn variance(&self) -> f64 {
+        let g1 = ln_gamma(1.0 + 1.0 / self.shape).exp();
+        let g2 = ln_gamma(1.0 + 2.0 / self.shape).exp();
+        self.scale * self.scale * (g2 - g1 * g1)
+    }
+
+    fn sample(&self, rng: &mut dyn RngCore) -> f64 {
+        let u: f64 = rng.random();
+        self.scale * (-(-u).ln_1p()).powf(1.0 / self.shape)
+    }
+
+    fn name(&self) -> &'static str {
+        "Weibull"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn rejects_bad_parameters() {
+        assert!(Weibull::new(0.0, 1.0).is_err());
+        assert!(Weibull::new(1.0, 0.0).is_err());
+        assert!(Weibull::new(f64::NAN, 1.0).is_err());
+        assert!(Weibull::new(1.0, f64::NEG_INFINITY).is_err());
+    }
+
+    #[test]
+    fn shape_one_is_exponential() {
+        let w = Weibull::new(1.0, 2.0).unwrap();
+        let e = crate::Exponential::new(0.5).unwrap();
+        for &x in &[0.1, 1.0, 3.0, 10.0] {
+            assert!((w.cdf(x) - e.cdf(x)).abs() < 1e-12);
+            assert!((w.pdf(x) - e.pdf(x)).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn mean_matches_gamma_formula() {
+        // Weibull(2, 1) mean = Γ(1.5) = √π/2.
+        let w = Weibull::new(2.0, 1.0).unwrap();
+        assert!((w.mean() - std::f64::consts::PI.sqrt() / 2.0).abs() < 1e-10);
+    }
+
+    #[test]
+    fn quantile_inverts_cdf() {
+        let w = Weibull::new(0.7, 5.0).unwrap();
+        for &p in &[0.01, 0.25, 0.5, 0.75, 0.99] {
+            assert!((w.cdf(w.quantile(p)) - p).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn hazard_shapes() {
+        let infant = Weibull::new(0.5, 1.0).unwrap();
+        assert!(infant.hazard(0.1) > infant.hazard(1.0));
+        let wear = Weibull::new(3.0, 1.0).unwrap();
+        assert!(wear.hazard(1.0) > wear.hazard(0.1));
+        let flat = Weibull::new(1.0, 2.0).unwrap();
+        assert!((flat.hazard(0.5) - flat.hazard(5.0)).abs() < 1e-12);
+        assert_eq!(infant.hazard(0.0), f64::INFINITY);
+        assert_eq!(wear.hazard(0.0), 0.0);
+    }
+
+    #[test]
+    fn sample_median_converges() {
+        let w = Weibull::new(1.5, 3.0).unwrap();
+        let mut rng = StdRng::seed_from_u64(9);
+        let mut xs: Vec<f64> = (0..100_001).map(|_| w.sample(&mut rng)).collect();
+        xs.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let median = xs[50_000];
+        assert!((median - w.quantile(0.5)).abs() / w.quantile(0.5) < 0.02);
+    }
+}

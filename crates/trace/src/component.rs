@@ -1,0 +1,144 @@
+//! The nine hardware component classes plus `Miscellaneous` (§II-A).
+
+use serde::{Deserialize, Serialize};
+
+/// A hardware component class as tracked by the FMS.
+///
+/// The paper's Table II breaks all FOTs down over exactly these classes;
+/// `Miscellaneous` covers manually entered tickets without a confirmed
+/// component root cause.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum ComponentClass {
+    /// Spinning hard disk drive — 81.84% of failures in the paper.
+    Hdd,
+    /// Manually entered ticket without a confirmed component (10.20%).
+    Miscellaneous,
+    /// DRAM DIMM (3.06%).
+    Memory,
+    /// Power supply unit (1.74%).
+    Power,
+    /// RAID controller card (1.23%).
+    RaidCard,
+    /// PCIe flash card (0.67%).
+    FlashCard,
+    /// Motherboard (0.57%).
+    Motherboard,
+    /// Solid-state drive (0.31%).
+    Ssd,
+    /// Chassis fan (0.19%).
+    Fan,
+    /// HDD backboard / backplane (0.14%).
+    HddBackboard,
+    /// CPU (0.04%).
+    Cpu,
+}
+
+impl ComponentClass {
+    /// All classes, in the paper's Table II order (most failures first).
+    pub const ALL: [ComponentClass; 11] = [
+        ComponentClass::Hdd,
+        ComponentClass::Miscellaneous,
+        ComponentClass::Memory,
+        ComponentClass::Power,
+        ComponentClass::RaidCard,
+        ComponentClass::FlashCard,
+        ComponentClass::Motherboard,
+        ComponentClass::Ssd,
+        ComponentClass::Fan,
+        ComponentClass::HddBackboard,
+        ComponentClass::Cpu,
+    ];
+
+    /// Dense index in [`ComponentClass::ALL`] order.
+    pub fn index(self) -> usize {
+        match self {
+            ComponentClass::Hdd => 0,
+            ComponentClass::Miscellaneous => 1,
+            ComponentClass::Memory => 2,
+            ComponentClass::Power => 3,
+            ComponentClass::RaidCard => 4,
+            ComponentClass::FlashCard => 5,
+            ComponentClass::Motherboard => 6,
+            ComponentClass::Ssd => 7,
+            ComponentClass::Fan => 8,
+            ComponentClass::HddBackboard => 9,
+            ComponentClass::Cpu => 10,
+        }
+    }
+
+    /// Display name matching the paper's tables.
+    pub fn name(self) -> &'static str {
+        match self {
+            ComponentClass::Hdd => "HDD",
+            ComponentClass::Miscellaneous => "Miscellaneous",
+            ComponentClass::Memory => "Memory",
+            ComponentClass::Power => "Power",
+            ComponentClass::RaidCard => "RAID card",
+            ComponentClass::FlashCard => "Flash card",
+            ComponentClass::Motherboard => "Motherboard",
+            ComponentClass::Ssd => "SSD",
+            ComponentClass::Fan => "Fan",
+            ComponentClass::HddBackboard => "HDD backboard",
+            ComponentClass::Cpu => "CPU",
+        }
+    }
+
+    /// Whether the component contains moving parts — the paper notes that
+    /// mechanical classes (HDD, fan, PSU with fans) show the clearest
+    /// wear-and-tear lifecycle pattern (§III-C).
+    pub fn is_mechanical(self) -> bool {
+        matches!(
+            self,
+            ComponentClass::Hdd | ComponentClass::Fan | ComponentClass::Power
+        )
+    }
+
+    /// Whether tickets of this class are detected by FMS agents (true) or
+    /// entered manually by operators (false — `Miscellaneous` only).
+    pub fn is_auto_detected(self) -> bool {
+        !matches!(self, ComponentClass::Miscellaneous)
+    }
+}
+
+impl std::fmt::Display for ComponentClass {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_is_dense_and_ordered() {
+        for (i, c) in ComponentClass::ALL.iter().enumerate() {
+            assert_eq!(c.index(), i);
+        }
+        assert_eq!(ComponentClass::ALL.len(), 11);
+    }
+
+    #[test]
+    fn names_match_paper() {
+        assert_eq!(ComponentClass::Hdd.name(), "HDD");
+        assert_eq!(ComponentClass::RaidCard.to_string(), "RAID card");
+    }
+
+    #[test]
+    fn classification_flags() {
+        assert!(ComponentClass::Hdd.is_mechanical());
+        assert!(!ComponentClass::Memory.is_mechanical());
+        assert!(ComponentClass::Fan.is_mechanical());
+        assert!(!ComponentClass::Miscellaneous.is_auto_detected());
+        assert!(ComponentClass::Ssd.is_auto_detected());
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        for c in ComponentClass::ALL {
+            let json = serde_json::to_string(&c).unwrap();
+            let back: ComponentClass = serde_json::from_str(&json).unwrap();
+            assert_eq!(back, c);
+        }
+    }
+}

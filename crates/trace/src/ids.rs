@@ -1,0 +1,134 @@
+//! Newtyped identifiers for all entities in the trace.
+//!
+//! Each id wraps a dense `u32`/`u64` index assigned by the fleet builder or
+//! the FMS; newtypes keep server/rack/product-line indices from being mixed
+//! up across the crates.
+
+use serde::{Deserialize, Serialize};
+
+macro_rules! id_type {
+    ($(#[$doc:meta])* $name:ident, $inner:ty, $prefix:literal) => {
+        $(#[$doc])*
+        #[derive(
+            Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
+        )]
+        #[serde(transparent)]
+        pub struct $name($inner);
+
+        impl $name {
+            /// Wraps a raw index.
+            pub fn new(raw: $inner) -> Self {
+                Self(raw)
+            }
+
+            /// The raw index.
+            pub fn raw(self) -> $inner {
+                self.0
+            }
+
+            /// The raw index as a `usize`, for direct slice indexing.
+            pub fn index(self) -> usize {
+                self.0 as usize
+            }
+        }
+
+        impl std::fmt::Display for $name {
+            fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+                write!(f, concat!($prefix, "{}"), self.0)
+            }
+        }
+
+        impl From<$inner> for $name {
+            fn from(raw: $inner) -> Self {
+                Self(raw)
+            }
+        }
+    };
+}
+
+id_type!(
+    /// A failure operation ticket id, unique within a trace.
+    FotId, u64, "fot-"
+);
+id_type!(
+    /// A server (host) id, dense within a fleet.
+    ServerId, u32, "host-"
+);
+id_type!(
+    /// A data center id (`host_idc` in the paper's schema).
+    DataCenterId, u16, "idc-"
+);
+id_type!(
+    /// A product line id; the company partitions servers into hundreds of these.
+    ProductLineId, u16, "pl-"
+);
+id_type!(
+    /// A human operator id.
+    OperatorId, u16, "op-"
+);
+id_type!(
+    /// A rack id, dense within a data center.
+    RackId, u32, "rack-"
+);
+
+/// A server's slot position within its rack (the paper's `error_position`).
+///
+/// Positions are small integers; the paper's example racks have ~40 slots
+/// with anomalies at positions 22 and 35.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[serde(transparent)]
+pub struct RackPosition(u8);
+
+impl RackPosition {
+    /// Wraps a raw slot number.
+    pub fn new(slot: u8) -> Self {
+        Self(slot)
+    }
+
+    /// The raw slot number.
+    pub fn raw(self) -> u8 {
+        self.0
+    }
+
+    /// The slot number as a `usize` for slice indexing.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl std::fmt::Display for RackPosition {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "u{}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ids_round_trip_and_display() {
+        let s = ServerId::new(42);
+        assert_eq!(s.raw(), 42);
+        assert_eq!(s.index(), 42);
+        assert_eq!(s.to_string(), "host-42");
+        assert_eq!(ServerId::from(42), s);
+        assert_eq!(DataCenterId::new(3).to_string(), "idc-3");
+        assert_eq!(FotId::new(7).to_string(), "fot-7");
+        assert_eq!(RackPosition::new(22).to_string(), "u22");
+    }
+
+    #[test]
+    fn ids_are_ordered_by_raw_value() {
+        assert!(ServerId::new(1) < ServerId::new(2));
+        assert!(RackPosition::new(22) < RackPosition::new(35));
+    }
+
+    #[test]
+    fn serde_is_transparent() {
+        let json = serde_json::to_string(&ServerId::new(9)).unwrap();
+        assert_eq!(json, "9");
+        let back: ServerId = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, ServerId::new(9));
+    }
+}

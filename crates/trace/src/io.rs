@@ -1,0 +1,333 @@
+//! Trace (de)serialization: whole-trace JSON, ticket JSONL streams, and a
+//! CSV export/import of the ticket table (the form failure datasets are
+//! usually shared in).
+
+use std::io::{BufRead, BufReader, Read, Write};
+
+use crate::{
+    ComponentClass, DataCenterId, FailureType, Fot, FotCategory, FotId, OperatorAction, OperatorId,
+    OperatorResponse, ProductLineId, RackPosition, ServerId, SimTime, Trace, TraceError,
+};
+
+/// Writes a whole trace (tickets + fleet snapshot) as JSON.
+///
+/// # Errors
+///
+/// Propagates IO and serialization failures.
+pub fn write_trace_json<W: Write>(trace: &Trace, writer: W) -> Result<(), TraceError> {
+    serde_json::to_writer(writer, trace)?;
+    Ok(())
+}
+
+/// Reads a whole trace from JSON and rebuilds its internal indices.
+///
+/// # Errors
+///
+/// Propagates IO and deserialization failures.
+pub fn read_trace_json<R: Read>(reader: R) -> Result<Trace, TraceError> {
+    let mut trace: Trace = serde_json::from_reader(reader)?;
+    trace.rebuild_index();
+    Ok(trace)
+}
+
+/// Writes tickets as JSON Lines (one ticket per line).
+///
+/// # Errors
+///
+/// Propagates IO and serialization failures.
+pub fn write_fots_jsonl<W: Write>(fots: &[Fot], mut writer: W) -> Result<(), TraceError> {
+    for fot in fots {
+        serde_json::to_writer(&mut writer, fot)?;
+        writer.write_all(b"\n")?;
+    }
+    Ok(())
+}
+
+/// Reads tickets from JSON Lines.
+///
+/// # Errors
+///
+/// Propagates IO and deserialization failures.
+pub fn read_fots_jsonl<R: Read>(reader: R) -> Result<Vec<Fot>, TraceError> {
+    let mut out = Vec::new();
+    for line in BufReader::new(reader).lines() {
+        let line = line?;
+        if line.trim().is_empty() {
+            continue;
+        }
+        out.push(serde_json::from_str(&line)?);
+    }
+    Ok(out)
+}
+
+/// The CSV header for the ticket table, mirroring the paper's field list.
+pub const CSV_HEADER: &str = "id,host_id,host_idc,product_line,error_device,device_slot,error_type,error_time,error_position,category,op_time,operator,action,error_detail";
+
+fn csv_escape(s: &str) -> String {
+    if s.contains([',', '"', '\n']) {
+        format!("\"{}\"", s.replace('"', "\"\""))
+    } else {
+        s.to_string()
+    }
+}
+
+/// Writes the ticket table as CSV (with header).
+///
+/// # Errors
+///
+/// Propagates IO failures.
+pub fn write_fots_csv<W: Write>(fots: &[Fot], mut writer: W) -> Result<(), TraceError> {
+    writeln!(writer, "{CSV_HEADER}")?;
+    for f in fots {
+        let (op_time, operator, action) = match f.response {
+            Some(r) => (
+                r.op_time.as_secs().to_string(),
+                r.operator.raw().to_string(),
+                match r.action {
+                    OperatorAction::IssueRepairOrder => "RO",
+                    OperatorAction::MarkFalseAlarm => "FA",
+                }
+                .to_string(),
+            ),
+            None => (String::new(), String::new(), String::new()),
+        };
+        writeln!(
+            writer,
+            "{},{},{},{},{},{},{},{},{},{},{},{},{},{}",
+            f.id.raw(),
+            f.server.raw(),
+            f.data_center.raw(),
+            f.product_line.raw(),
+            f.device.index(),
+            f.device_slot,
+            f.failure_type.name(),
+            f.error_time.as_secs(),
+            f.rack_position.raw(),
+            f.category.name(),
+            op_time,
+            operator,
+            action,
+            csv_escape(&f.detail),
+        )?;
+    }
+    Ok(())
+}
+
+/// Splits one CSV record, honoring double-quote escaping.
+fn split_csv_line(line: &str) -> Vec<String> {
+    let mut fields = Vec::new();
+    let mut cur = String::new();
+    let mut in_quotes = false;
+    let mut chars = line.chars().peekable();
+    while let Some(c) = chars.next() {
+        match c {
+            '"' if in_quotes => {
+                if chars.peek() == Some(&'"') {
+                    chars.next();
+                    cur.push('"');
+                } else {
+                    in_quotes = false;
+                }
+            }
+            '"' => in_quotes = true,
+            ',' if !in_quotes => {
+                fields.push(std::mem::take(&mut cur));
+            }
+            other => cur.push(other),
+        }
+    }
+    fields.push(cur);
+    fields
+}
+
+/// Reads a ticket table from CSV written by [`write_fots_csv`].
+///
+/// # Errors
+///
+/// Returns [`TraceError::Csv`] with the offending line number on any
+/// malformed field.
+pub fn read_fots_csv<R: Read>(reader: R) -> Result<Vec<Fot>, TraceError> {
+    let mut out = Vec::new();
+    for (lineno, line) in BufReader::new(reader).lines().enumerate() {
+        let line = line?;
+        if lineno == 0 {
+            if line != CSV_HEADER {
+                return Err(TraceError::Csv {
+                    line: 1,
+                    message: format!("unexpected header: {line}"),
+                });
+            }
+            continue;
+        }
+        if line.trim().is_empty() {
+            continue;
+        }
+        let fields = split_csv_line(&line);
+        let err = |message: String| TraceError::Csv {
+            line: lineno + 1,
+            message,
+        };
+        if fields.len() != 14 {
+            return Err(err(format!("expected 14 fields, found {}", fields.len())));
+        }
+        let parse_u64 = |s: &str, what: &str| {
+            s.parse::<u64>()
+                .map_err(|_| err(format!("bad {what}: {s:?}")))
+        };
+        let device_idx = parse_u64(&fields[4], "error_device")? as usize;
+        let device = *ComponentClass::ALL
+            .get(device_idx)
+            .ok_or_else(|| err(format!("bad component index {device_idx}")))?;
+        let failure_type = FailureType::ALL
+            .iter()
+            .copied()
+            .find(|t| t.name() == fields[6])
+            .ok_or_else(|| err(format!("unknown error_type {:?}", fields[6])))?;
+        let category = match fields[9].as_str() {
+            "D_fixing" => FotCategory::Fixing,
+            "D_error" => FotCategory::Error,
+            "D_falsealarm" => FotCategory::FalseAlarm,
+            other => return Err(err(format!("unknown category {other:?}"))),
+        };
+        let response = if fields[10].is_empty() {
+            None
+        } else {
+            let action = match fields[12].as_str() {
+                "RO" => OperatorAction::IssueRepairOrder,
+                "FA" => OperatorAction::MarkFalseAlarm,
+                other => return Err(err(format!("unknown action {other:?}"))),
+            };
+            Some(OperatorResponse {
+                op_time: SimTime::from_secs(parse_u64(&fields[10], "op_time")?),
+                operator: OperatorId::new(parse_u64(&fields[11], "operator")? as u16),
+                action,
+            })
+        };
+        out.push(Fot {
+            id: FotId::new(parse_u64(&fields[0], "id")?),
+            server: ServerId::new(parse_u64(&fields[1], "host_id")? as u32),
+            data_center: DataCenterId::new(parse_u64(&fields[2], "host_idc")? as u16),
+            product_line: ProductLineId::new(parse_u64(&fields[3], "product_line")? as u16),
+            device,
+            device_slot: parse_u64(&fields[5], "device_slot")? as u8,
+            failure_type,
+            error_time: SimTime::from_secs(parse_u64(&fields[7], "error_time")?),
+            rack_position: RackPosition::new(parse_u64(&fields[8], "error_position")? as u8),
+            category,
+            response,
+            detail: fields[13].clone(),
+        });
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_fots() -> Vec<Fot> {
+        vec![
+            Fot {
+                id: FotId::new(0),
+                server: ServerId::new(4),
+                data_center: DataCenterId::new(1),
+                product_line: ProductLineId::new(2),
+                device: ComponentClass::Hdd,
+                device_slot: 3,
+                failure_type: FailureType::SmartFail,
+                error_time: SimTime::from_days(5),
+                rack_position: RackPosition::new(22),
+                detail: "smart, with a comma and \"quotes\"".into(),
+                category: FotCategory::Fixing,
+                response: Some(OperatorResponse {
+                    operator: OperatorId::new(7),
+                    op_time: SimTime::from_days(9),
+                    action: OperatorAction::IssueRepairOrder,
+                }),
+            },
+            Fot {
+                id: FotId::new(1),
+                server: ServerId::new(5),
+                data_center: DataCenterId::new(1),
+                product_line: ProductLineId::new(2),
+                device: ComponentClass::Memory,
+                device_slot: 1,
+                failure_type: FailureType::DimmUe,
+                error_time: SimTime::from_days(6),
+                rack_position: RackPosition::new(10),
+                detail: String::new(),
+                category: FotCategory::Error,
+                response: None,
+            },
+        ]
+    }
+
+    #[test]
+    fn jsonl_round_trip() {
+        let fots = sample_fots();
+        let mut buf = Vec::new();
+        write_fots_jsonl(&fots, &mut buf).unwrap();
+        let back = read_fots_jsonl(&buf[..]).unwrap();
+        assert_eq!(back, fots);
+    }
+
+    #[test]
+    fn csv_round_trip_preserves_everything() {
+        let fots = sample_fots();
+        let mut buf = Vec::new();
+        write_fots_csv(&fots, &mut buf).unwrap();
+        let back = read_fots_csv(&buf[..]).unwrap();
+        assert_eq!(back, fots);
+    }
+
+    #[test]
+    fn csv_rejects_bad_header_and_fields() {
+        let bad = "nope\n";
+        assert!(matches!(
+            read_fots_csv(bad.as_bytes()),
+            Err(TraceError::Csv { line: 1, .. })
+        ));
+        let bad2 = format!("{CSV_HEADER}\n1,2,3\n");
+        assert!(matches!(
+            read_fots_csv(bad2.as_bytes()),
+            Err(TraceError::Csv { line: 2, .. })
+        ));
+        let bad3 = format!("{CSV_HEADER}\n0,4,1,2,0,3,NotAType,432000,22,D_fixing,777600,7,RO,x\n");
+        let e = read_fots_csv(bad3.as_bytes()).unwrap_err();
+        assert!(e.to_string().contains("NotAType"));
+    }
+
+    #[test]
+    fn csv_escaping_handles_embedded_quotes() {
+        assert_eq!(csv_escape("plain"), "plain");
+        assert_eq!(csv_escape("a,b"), "\"a,b\"");
+        assert_eq!(csv_escape("say \"hi\""), "\"say \"\"hi\"\"\"");
+        let parsed = split_csv_line("\"say \"\"hi\"\"\",2");
+        assert_eq!(parsed, vec!["say \"hi\"".to_string(), "2".to_string()]);
+    }
+
+    #[test]
+    fn whole_trace_json_round_trip() {
+        use crate::store::tests::{fot, tiny_fleet};
+        let (s, d, p) = tiny_fleet();
+        let fots = vec![fot(0, 0, 1, FotCategory::Fixing)];
+        let trace = Trace::new(
+            crate::TraceInfo {
+                start: SimTime::ORIGIN,
+                days: 10,
+                seed: 3,
+                description: "t".into(),
+            },
+            s,
+            d,
+            p,
+            fots,
+        )
+        .unwrap();
+        let mut buf = Vec::new();
+        write_trace_json(&trace, &mut buf).unwrap();
+        let back = read_trace_json(&buf[..]).unwrap();
+        assert_eq!(back.len(), 1);
+        assert_eq!(back.fots_of_server(ServerId::new(0)).count(), 1);
+    }
+}

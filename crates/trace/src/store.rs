@@ -1,0 +1,494 @@
+//! The [`Trace`] container: a validated, time-sorted FOT dataset plus the
+//! fleet snapshot the analyses need.
+
+use std::collections::HashSet;
+
+use serde::{Deserialize, Serialize};
+
+use crate::{
+    ComponentClass, DataCenterMeta, Fot, FotCategory, ProductLineMeta, ServerId, ServerMeta,
+    SimTime, TraceError,
+};
+
+/// Descriptive information about a trace.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TraceInfo {
+    /// Start of the observation window. Servers may deploy *before* this
+    /// (the paper's fleet predates its four-year window), so the window
+    /// does not necessarily begin at the simulation origin.
+    pub start: SimTime,
+    /// Length of the observation window in days (the paper's is 1,411).
+    pub days: u64,
+    /// RNG seed the trace was generated with (0 for imported data).
+    pub seed: u64,
+    /// Free-text description of the generating scenario.
+    pub description: String,
+}
+
+impl TraceInfo {
+    /// End of the observation window (`start + days`).
+    pub fn end(&self) -> SimTime {
+        self.start + crate::SimDuration::from_days(self.days)
+    }
+}
+
+/// A complete failure dataset: tickets sorted by `error_time`, plus
+/// server / data center / product line snapshots.
+///
+/// Construction validates referential integrity and the category/response
+/// invariants, then builds a per-server ticket index used by the
+/// correlation and repeat analyses.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Trace {
+    info: TraceInfo,
+    servers: Vec<ServerMeta>,
+    data_centers: Vec<DataCenterMeta>,
+    product_lines: Vec<ProductLineMeta>,
+    fots: Vec<Fot>,
+    /// fots indices per server, each list time-sorted. Rebuilt on load.
+    #[serde(skip)]
+    by_server: Vec<Vec<u32>>,
+}
+
+impl Trace {
+    /// Builds a trace, sorting tickets by `error_time` and validating:
+    ///
+    /// * server ids are dense and every ticket references a known server;
+    /// * ticket ids are unique;
+    /// * `D_fixing`/`D_falsealarm` tickets have a response, `D_error` do not;
+    /// * no response predates its ticket.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first violated invariant as a [`TraceError`].
+    pub fn new(
+        info: TraceInfo,
+        servers: Vec<ServerMeta>,
+        data_centers: Vec<DataCenterMeta>,
+        product_lines: Vec<ProductLineMeta>,
+        mut fots: Vec<Fot>,
+    ) -> Result<Self, TraceError> {
+        for (i, s) in servers.iter().enumerate() {
+            if s.id.index() != i {
+                return Err(TraceError::NonDenseServerIds);
+            }
+        }
+        let mut seen = HashSet::with_capacity(fots.len());
+        for fot in &fots {
+            if fot.server.index() >= servers.len() {
+                return Err(TraceError::UnknownServer {
+                    fot: fot.id,
+                    server: fot.server,
+                });
+            }
+            if !seen.insert(fot.id) {
+                return Err(TraceError::DuplicateFotId { fot: fot.id });
+            }
+            if fot.category.has_response() != fot.response.is_some() {
+                return Err(TraceError::ResponseMismatch { fot: fot.id });
+            }
+            if let Some(r) = fot.response {
+                if r.op_time < fot.error_time {
+                    return Err(TraceError::NegativeResponseTime { fot: fot.id });
+                }
+            }
+        }
+        fots.sort_by_key(|f| (f.error_time, f.id));
+        let by_server = Self::build_index(&servers, &fots);
+        Ok(Self {
+            info,
+            servers,
+            data_centers,
+            product_lines,
+            fots,
+            by_server,
+        })
+    }
+
+    fn build_index(servers: &[ServerMeta], fots: &[Fot]) -> Vec<Vec<u32>> {
+        let mut by_server = vec![Vec::new(); servers.len()];
+        for (i, fot) in fots.iter().enumerate() {
+            by_server[fot.server.index()].push(i as u32);
+        }
+        by_server
+    }
+
+    /// Rebuilds the per-server index after deserialization.
+    /// (Serde skips the index; call this once after loading.)
+    pub fn rebuild_index(&mut self) {
+        self.by_server = Self::build_index(&self.servers, &self.fots);
+    }
+
+    /// Trace description.
+    pub fn info(&self) -> &TraceInfo {
+        &self.info
+    }
+
+    /// End of the observation window.
+    pub fn end_time(&self) -> SimTime {
+        self.info.end()
+    }
+
+    /// All tickets, sorted by `error_time`.
+    pub fn fots(&self) -> &[Fot] {
+        &self.fots
+    }
+
+    /// Tickets that count as failures (`D_fixing` + `D_error`), the
+    /// population every temporal/spatial analysis runs on.
+    pub fn failures(&self) -> impl Iterator<Item = &Fot> {
+        self.fots.iter().filter(|f| f.is_failure())
+    }
+
+    /// Failures of one component class.
+    pub fn failures_of(&self, class: ComponentClass) -> impl Iterator<Item = &Fot> {
+        self.failures().filter(move |f| f.device == class)
+    }
+
+    /// Tickets in one category.
+    pub fn in_category(&self, category: FotCategory) -> impl Iterator<Item = &Fot> {
+        self.fots.iter().filter(move |f| f.category == category)
+    }
+
+    /// All server snapshots, indexed by `ServerId`.
+    pub fn servers(&self) -> &[ServerMeta] {
+        &self.servers
+    }
+
+    /// One server's snapshot.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an id not in this trace (construction guarantees tickets
+    /// only reference known servers).
+    pub fn server(&self, id: ServerId) -> &ServerMeta {
+        &self.servers[id.index()]
+    }
+
+    /// All data center snapshots.
+    pub fn data_centers(&self) -> &[DataCenterMeta] {
+        &self.data_centers
+    }
+
+    /// All product line snapshots.
+    pub fn product_lines(&self) -> &[ProductLineMeta] {
+        &self.product_lines
+    }
+
+    /// Tickets of one server, time-sorted.
+    pub fn fots_of_server(&self, id: ServerId) -> impl Iterator<Item = &Fot> {
+        self.by_server
+            .get(id.index())
+            .into_iter()
+            .flatten()
+            .map(move |&i| &self.fots[i as usize])
+    }
+
+    /// Number of tickets.
+    pub fn len(&self) -> usize {
+        self.fots.len()
+    }
+
+    /// Whether the trace has no tickets.
+    pub fn is_empty(&self) -> bool {
+        self.fots.is_empty()
+    }
+
+    /// Restricts the trace to tickets whose `error_time` falls in
+    /// `[from, to)` (clamped to the original window). The fleet snapshot is
+    /// kept whole — populations and exposure still need it.
+    ///
+    /// Used for windowed analyses like the paper's Figure 11, which looks
+    /// at one 12-month slice of the four-year trace.
+    ///
+    /// # Errors
+    ///
+    /// Never fails for a trace that was valid to begin with; the `Result`
+    /// mirrors [`Trace::new`].
+    pub fn restrict(&self, from: SimTime, to: SimTime) -> Result<Trace, TraceError> {
+        let from = from.max(self.info.start);
+        let to = to.min(self.end_time());
+        let fots: Vec<Fot> = self
+            .fots
+            .iter()
+            .filter(|f| f.error_time >= from && f.error_time < to)
+            .cloned()
+            .collect();
+        let days = to.since(from).as_secs() / crate::SECS_PER_DAY;
+        let info = TraceInfo {
+            start: from,
+            days,
+            seed: self.info.seed,
+            description: format!(
+                "{} [restricted d{}..d{}]",
+                self.info.description,
+                from.day_index(),
+                to.day_index()
+            ),
+        };
+        Trace::new(
+            info,
+            self.servers.clone(),
+            self.data_centers.clone(),
+            self.product_lines.clone(),
+            fots,
+        )
+    }
+
+    /// Restricts the trace to one data center's tickets (fleet snapshot
+    /// kept whole, as in [`Trace::restrict`]).
+    ///
+    /// # Errors
+    ///
+    /// Never fails for a valid source trace.
+    pub fn restrict_dc(&self, dc: crate::DataCenterId) -> Result<Trace, TraceError> {
+        let fots: Vec<Fot> = self
+            .fots
+            .iter()
+            .filter(|f| f.data_center == dc)
+            .cloned()
+            .collect();
+        let mut info = self.info.clone();
+        info.description = format!("{} [{dc}]", self.info.description);
+        Trace::new(
+            info,
+            self.servers.clone(),
+            self.data_centers.clone(),
+            self.product_lines.clone(),
+            fots,
+        )
+    }
+
+    /// Count of tickets per category, in [`FotCategory::ALL`] order.
+    pub fn category_counts(&self) -> [usize; 3] {
+        let mut counts = [0usize; 3];
+        for fot in &self.fots {
+            let idx = match fot.category {
+                FotCategory::Fixing => 0,
+                FotCategory::Error => 1,
+                FotCategory::FalseAlarm => 2,
+            };
+            counts[idx] += 1;
+        }
+        counts
+    }
+}
+
+#[cfg(test)]
+pub(crate) mod tests {
+    use super::*;
+    use crate::{
+        DataCenterId, FailureType, FotId, OperatorAction, OperatorId, OperatorResponse,
+        ProductLineId, RackId, RackPosition, SimDuration,
+    };
+
+    pub(crate) fn tiny_fleet() -> (Vec<ServerMeta>, Vec<DataCenterMeta>, Vec<ProductLineMeta>) {
+        let servers = (0..3)
+            .map(|i| ServerMeta {
+                id: ServerId::new(i),
+                hostname: format!("dc01-r0001-u{:02}-s{:06}", i + 1, i),
+                data_center: DataCenterId::new(0),
+                product_line: ProductLineId::new(0),
+                rack: RackId::new(0),
+                position: RackPosition::new(i as u8 + 1),
+                generation: 1,
+                deploy_time: SimTime::ORIGIN,
+                warranty: SimDuration::from_days(1095),
+                hdd_count: 12,
+                ssd_count: 0,
+                cpu_count: 2,
+                dimm_count: 8,
+                fan_count: 4,
+                psu_count: 2,
+                has_raid_card: true,
+                has_flash_card: false,
+            })
+            .collect();
+        let dcs = vec![DataCenterMeta {
+            id: DataCenterId::new(0),
+            name: "DC-00".into(),
+            built_year: 2013,
+            modern_cooling: false,
+            rack_positions: 40,
+        }];
+        let pls = vec![ProductLineMeta {
+            id: ProductLineId::new(0),
+            name: "pl-test".into(),
+            workload: crate::WorkloadKind::BatchProcessing,
+            fault_tolerance: crate::FaultTolerance::High,
+        }];
+        (servers, dcs, pls)
+    }
+
+    pub(crate) fn fot(id: u64, server: u32, day: u64, category: FotCategory) -> Fot {
+        let response = category.has_response().then_some(OperatorResponse {
+            operator: OperatorId::new(0),
+            op_time: SimTime::from_days(day + 2),
+            action: if category == FotCategory::FalseAlarm {
+                OperatorAction::MarkFalseAlarm
+            } else {
+                OperatorAction::IssueRepairOrder
+            },
+        });
+        Fot {
+            id: FotId::new(id),
+            server: ServerId::new(server),
+            data_center: DataCenterId::new(0),
+            product_line: ProductLineId::new(0),
+            device: ComponentClass::Hdd,
+            device_slot: 0,
+            failure_type: FailureType::SmartFail,
+            error_time: SimTime::from_days(day),
+            rack_position: RackPosition::new(server as u8 + 1),
+            detail: String::new(),
+            category,
+            response,
+        }
+    }
+
+    fn info() -> TraceInfo {
+        TraceInfo {
+            start: SimTime::ORIGIN,
+            days: 100,
+            seed: 1,
+            description: "test".into(),
+        }
+    }
+
+    #[test]
+    fn construction_sorts_by_time() {
+        let (s, d, p) = tiny_fleet();
+        let fots = vec![
+            fot(0, 0, 50, FotCategory::Fixing),
+            fot(1, 1, 10, FotCategory::Error),
+            fot(2, 2, 30, FotCategory::FalseAlarm),
+        ];
+        let trace = Trace::new(info(), s, d, p, fots).unwrap();
+        let days: Vec<u64> = trace
+            .fots()
+            .iter()
+            .map(|f| f.error_time.day_index())
+            .collect();
+        assert_eq!(days, vec![10, 30, 50]);
+    }
+
+    #[test]
+    fn rejects_unknown_server() {
+        let (s, d, p) = tiny_fleet();
+        let fots = vec![fot(0, 99, 1, FotCategory::Fixing)];
+        assert!(matches!(
+            Trace::new(info(), s, d, p, fots),
+            Err(TraceError::UnknownServer { .. })
+        ));
+    }
+
+    #[test]
+    fn rejects_duplicate_ids() {
+        let (s, d, p) = tiny_fleet();
+        let fots = vec![
+            fot(0, 0, 1, FotCategory::Fixing),
+            fot(0, 1, 2, FotCategory::Fixing),
+        ];
+        assert!(matches!(
+            Trace::new(info(), s, d, p, fots),
+            Err(TraceError::DuplicateFotId { .. })
+        ));
+    }
+
+    #[test]
+    fn rejects_response_mismatch() {
+        let (s, d, p) = tiny_fleet();
+        let mut bad = fot(0, 0, 1, FotCategory::Fixing);
+        bad.response = None; // Fixing requires a response
+        assert!(matches!(
+            Trace::new(info(), s.clone(), d.clone(), p.clone(), vec![bad]),
+            Err(TraceError::ResponseMismatch { .. })
+        ));
+        let mut bad2 = fot(1, 0, 1, FotCategory::Error);
+        bad2.response = Some(OperatorResponse {
+            operator: OperatorId::new(0),
+            op_time: SimTime::from_days(2),
+            action: OperatorAction::IssueRepairOrder,
+        });
+        assert!(matches!(
+            Trace::new(info(), s, d, p, vec![bad2]),
+            Err(TraceError::ResponseMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn rejects_negative_response_time() {
+        let (s, d, p) = tiny_fleet();
+        let mut bad = fot(0, 0, 10, FotCategory::Fixing);
+        bad.response.as_mut().unwrap().op_time = SimTime::from_days(5);
+        assert!(matches!(
+            Trace::new(info(), s, d, p, vec![bad]),
+            Err(TraceError::NegativeResponseTime { .. })
+        ));
+    }
+
+    #[test]
+    fn failures_exclude_false_alarms() {
+        let (s, d, p) = tiny_fleet();
+        let fots = vec![
+            fot(0, 0, 1, FotCategory::Fixing),
+            fot(1, 1, 2, FotCategory::Error),
+            fot(2, 2, 3, FotCategory::FalseAlarm),
+        ];
+        let trace = Trace::new(info(), s, d, p, fots).unwrap();
+        assert_eq!(trace.failures().count(), 2);
+        assert_eq!(trace.len(), 3);
+        assert_eq!(trace.category_counts(), [1, 1, 1]);
+    }
+
+    #[test]
+    fn restrict_keeps_only_window_tickets() {
+        let (s, d, p) = tiny_fleet();
+        let fots = vec![
+            fot(0, 0, 10, FotCategory::Fixing),
+            fot(1, 1, 50, FotCategory::Fixing),
+            fot(2, 2, 90, FotCategory::Fixing),
+        ];
+        let trace = Trace::new(info(), s, d, p, fots).unwrap();
+        let sliced = trace
+            .restrict(SimTime::from_days(20), SimTime::from_days(80))
+            .unwrap();
+        assert_eq!(sliced.len(), 1);
+        assert_eq!(sliced.fots()[0].error_time.day_index(), 50);
+        assert_eq!(sliced.info().days, 60);
+        assert_eq!(sliced.servers().len(), trace.servers().len());
+        // Clamping to the original window.
+        let clamped = trace
+            .restrict(SimTime::ORIGIN, SimTime::from_days(10_000))
+            .unwrap();
+        assert_eq!(clamped.len(), trace.len());
+    }
+
+    #[test]
+    fn restrict_dc_filters_tickets() {
+        let (s, d, p) = tiny_fleet();
+        let fots = vec![fot(0, 0, 10, FotCategory::Fixing)];
+        let trace = Trace::new(info(), s, d, p, fots).unwrap();
+        let same_dc = trace.restrict_dc(DataCenterId::new(0)).unwrap();
+        assert_eq!(same_dc.len(), 1);
+        let other_dc = trace.restrict_dc(DataCenterId::new(9)).unwrap();
+        assert!(other_dc.is_empty());
+    }
+
+    #[test]
+    fn per_server_index_works() {
+        let (s, d, p) = tiny_fleet();
+        let fots = vec![
+            fot(0, 1, 5, FotCategory::Fixing),
+            fot(1, 1, 2, FotCategory::Fixing),
+            fot(2, 0, 3, FotCategory::Fixing),
+        ];
+        let trace = Trace::new(info(), s, d, p, fots).unwrap();
+        let of_1: Vec<u64> = trace
+            .fots_of_server(ServerId::new(1))
+            .map(|f| f.error_time.day_index())
+            .collect();
+        assert_eq!(of_1, vec![2, 5]); // time-sorted
+        assert_eq!(trace.fots_of_server(ServerId::new(2)).count(), 0);
+    }
+}

@@ -1,0 +1,352 @@
+//! Simulated-time model.
+//!
+//! The trace spans 1,411 days like the paper's dataset. Time is seconds
+//! since the trace origin, which we fix to **2013-01-01 00:00:00**, a
+//! Tuesday — so day-of-week and hour-of-day decompositions (Figures 3–4)
+//! are well defined without an external calendar crate.
+//!
+//! Lifecycle analyses (Figure 6) use 30-day "months", matching the paper's
+//! coarse month granularity.
+
+use serde::{Deserialize, Serialize};
+
+/// Seconds in a minute.
+pub const SECS_PER_MINUTE: u64 = 60;
+/// Seconds in an hour.
+pub const SECS_PER_HOUR: u64 = 3_600;
+/// Seconds in a day.
+pub const SECS_PER_DAY: u64 = 86_400;
+/// Seconds in a 30-day analysis month.
+pub const SECS_PER_MONTH: u64 = 30 * SECS_PER_DAY;
+/// The day-of-week of the trace origin (2013-01-01): Tuesday.
+pub const ORIGIN_WEEKDAY: Weekday = Weekday::Tuesday;
+/// Length of the paper's observation window, in days.
+pub const TRACE_DAYS: u64 = 1_411;
+
+/// A day of the week.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum Weekday {
+    /// Monday.
+    Monday,
+    /// Tuesday.
+    Tuesday,
+    /// Wednesday.
+    Wednesday,
+    /// Thursday.
+    Thursday,
+    /// Friday.
+    Friday,
+    /// Saturday.
+    Saturday,
+    /// Sunday.
+    Sunday,
+}
+
+impl Weekday {
+    /// All weekdays Monday..Sunday in order.
+    pub const ALL: [Weekday; 7] = [
+        Weekday::Monday,
+        Weekday::Tuesday,
+        Weekday::Wednesday,
+        Weekday::Thursday,
+        Weekday::Friday,
+        Weekday::Saturday,
+        Weekday::Sunday,
+    ];
+
+    /// Index with Monday = 0 … Sunday = 6.
+    pub fn index(self) -> usize {
+        match self {
+            Weekday::Monday => 0,
+            Weekday::Tuesday => 1,
+            Weekday::Wednesday => 2,
+            Weekday::Thursday => 3,
+            Weekday::Friday => 4,
+            Weekday::Saturday => 5,
+            Weekday::Sunday => 6,
+        }
+    }
+
+    /// Inverse of [`Weekday::index`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= 7`.
+    pub fn from_index(i: usize) -> Weekday {
+        Self::ALL[i]
+    }
+
+    /// Whether this is Saturday or Sunday.
+    pub fn is_weekend(self) -> bool {
+        matches!(self, Weekday::Saturday | Weekday::Sunday)
+    }
+
+    /// Three-letter abbreviation (`"Mon"`, …).
+    pub fn abbrev(self) -> &'static str {
+        match self {
+            Weekday::Monday => "Mon",
+            Weekday::Tuesday => "Tue",
+            Weekday::Wednesday => "Wed",
+            Weekday::Thursday => "Thu",
+            Weekday::Friday => "Fri",
+            Weekday::Saturday => "Sat",
+            Weekday::Sunday => "Sun",
+        }
+    }
+}
+
+/// An instant in simulated time: seconds since the trace origin.
+///
+/// # Examples
+///
+/// ```
+/// use dcf_trace::{SimTime, Weekday};
+///
+/// let t = SimTime::from_days(1) + SimTime::from_hours(9).as_duration();
+/// assert_eq!(t.weekday(), Weekday::Wednesday); // origin is a Tuesday
+/// assert_eq!(t.hour_of_day(), 9);
+/// ```
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
+pub struct SimTime(u64);
+
+impl SimTime {
+    /// The trace origin (t = 0).
+    pub const ORIGIN: SimTime = SimTime(0);
+
+    /// Creates a time from raw seconds since origin.
+    pub fn from_secs(secs: u64) -> SimTime {
+        SimTime(secs)
+    }
+
+    /// Creates a time `minutes` after origin.
+    pub fn from_minutes(minutes: u64) -> SimTime {
+        SimTime(minutes * SECS_PER_MINUTE)
+    }
+
+    /// Creates a time `hours` after origin.
+    pub fn from_hours(hours: u64) -> SimTime {
+        SimTime(hours * SECS_PER_HOUR)
+    }
+
+    /// Creates a time `days` after origin.
+    pub fn from_days(days: u64) -> SimTime {
+        SimTime(days * SECS_PER_DAY)
+    }
+
+    /// Seconds since origin.
+    pub fn as_secs(self) -> u64 {
+        self.0
+    }
+
+    /// Whole days since origin.
+    pub fn day_index(self) -> u64 {
+        self.0 / SECS_PER_DAY
+    }
+
+    /// Hour of day, `0..24`.
+    pub fn hour_of_day(self) -> u32 {
+        ((self.0 % SECS_PER_DAY) / SECS_PER_HOUR) as u32
+    }
+
+    /// Day of week.
+    pub fn weekday(self) -> Weekday {
+        Weekday::from_index(((ORIGIN_WEEKDAY.index() as u64 + self.day_index()) % 7) as usize)
+    }
+
+    /// Seconds elapsed since `earlier`; saturates to zero if `earlier` is later.
+    pub fn since(self, earlier: SimTime) -> SimDuration {
+        SimDuration(self.0.saturating_sub(earlier.0))
+    }
+
+    /// This instant as a duration since origin.
+    pub fn as_duration(self) -> SimDuration {
+        SimDuration(self.0)
+    }
+
+    /// Checked subtraction of a duration.
+    pub fn checked_sub(self, d: SimDuration) -> Option<SimTime> {
+        self.0.checked_sub(d.0).map(SimTime)
+    }
+}
+
+impl std::ops::Add<SimDuration> for SimTime {
+    type Output = SimTime;
+    fn add(self, rhs: SimDuration) -> SimTime {
+        SimTime(self.0 + rhs.0)
+    }
+}
+
+impl std::ops::AddAssign<SimDuration> for SimTime {
+    fn add_assign(&mut self, rhs: SimDuration) {
+        self.0 += rhs.0;
+    }
+}
+
+impl std::fmt::Display for SimTime {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let d = self.day_index();
+        let rem = self.0 % SECS_PER_DAY;
+        write!(
+            f,
+            "d{:04} {:02}:{:02}:{:02}",
+            d,
+            rem / SECS_PER_HOUR,
+            (rem % SECS_PER_HOUR) / SECS_PER_MINUTE,
+            rem % SECS_PER_MINUTE
+        )
+    }
+}
+
+/// A span of simulated time, in seconds.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
+pub struct SimDuration(u64);
+
+impl SimDuration {
+    /// Zero-length duration.
+    pub const ZERO: SimDuration = SimDuration(0);
+
+    /// Duration from raw seconds.
+    pub fn from_secs(secs: u64) -> SimDuration {
+        SimDuration(secs)
+    }
+
+    /// Duration from minutes.
+    pub fn from_minutes(minutes: u64) -> SimDuration {
+        SimDuration(minutes * SECS_PER_MINUTE)
+    }
+
+    /// Duration from hours.
+    pub fn from_hours(hours: u64) -> SimDuration {
+        SimDuration(hours * SECS_PER_HOUR)
+    }
+
+    /// Duration from days.
+    pub fn from_days(days: u64) -> SimDuration {
+        SimDuration(days * SECS_PER_DAY)
+    }
+
+    /// Duration from 30-day months.
+    pub fn from_months(months: u64) -> SimDuration {
+        SimDuration(months * SECS_PER_MONTH)
+    }
+
+    /// Total seconds.
+    pub fn as_secs(self) -> u64 {
+        self.0
+    }
+
+    /// Duration in (fractional) minutes.
+    pub fn as_minutes_f64(self) -> f64 {
+        self.0 as f64 / SECS_PER_MINUTE as f64
+    }
+
+    /// Duration in (fractional) days.
+    pub fn as_days_f64(self) -> f64 {
+        self.0 as f64 / SECS_PER_DAY as f64
+    }
+
+    /// Whole 30-day months (rounded down) — the Figure 6 age bucket.
+    pub fn as_months(self) -> u64 {
+        self.0 / SECS_PER_MONTH
+    }
+}
+
+impl std::ops::Add for SimDuration {
+    type Output = SimDuration;
+    fn add(self, rhs: SimDuration) -> SimDuration {
+        SimDuration(self.0 + rhs.0)
+    }
+}
+
+impl std::ops::Mul<u64> for SimDuration {
+    type Output = SimDuration;
+    fn mul(self, rhs: u64) -> SimDuration {
+        SimDuration(self.0 * rhs)
+    }
+}
+
+impl std::fmt::Display for SimDuration {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        if self.0 < SECS_PER_MINUTE {
+            write!(f, "{}s", self.0)
+        } else if self.0 < SECS_PER_HOUR {
+            write!(f, "{:.1}min", self.0 as f64 / SECS_PER_MINUTE as f64)
+        } else if self.0 < SECS_PER_DAY {
+            write!(f, "{:.1}h", self.0 as f64 / SECS_PER_HOUR as f64)
+        } else {
+            write!(f, "{:.1}d", self.as_days_f64())
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn origin_is_tuesday() {
+        assert_eq!(SimTime::ORIGIN.weekday(), Weekday::Tuesday);
+    }
+
+    #[test]
+    fn weekday_cycles() {
+        // Six days after a Tuesday is a Monday.
+        assert_eq!(SimTime::from_days(6).weekday(), Weekday::Monday);
+        assert_eq!(SimTime::from_days(7).weekday(), Weekday::Tuesday);
+        assert_eq!(SimTime::from_days(4).weekday(), Weekday::Saturday);
+        assert!(SimTime::from_days(4).weekday().is_weekend());
+    }
+
+    #[test]
+    fn weekday_index_round_trips() {
+        for wd in Weekday::ALL {
+            assert_eq!(Weekday::from_index(wd.index()), wd);
+        }
+    }
+
+    #[test]
+    fn hour_of_day_extraction() {
+        let t = SimTime::from_days(3) + SimDuration::from_hours(23);
+        assert_eq!(t.hour_of_day(), 23);
+        assert_eq!((t + SimDuration::from_hours(1)).hour_of_day(), 0);
+        assert_eq!((t + SimDuration::from_hours(1)).day_index(), 4);
+    }
+
+    #[test]
+    fn since_saturates() {
+        let a = SimTime::from_secs(100);
+        let b = SimTime::from_secs(40);
+        assert_eq!(a.since(b).as_secs(), 60);
+        assert_eq!(b.since(a).as_secs(), 0);
+    }
+
+    #[test]
+    fn duration_conversions() {
+        let d = SimDuration::from_days(45);
+        assert_eq!(d.as_months(), 1);
+        assert_eq!(SimDuration::from_months(2).as_days_f64(), 60.0);
+        assert!((SimDuration::from_minutes(90).as_minutes_f64() - 90.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(SimDuration::from_secs(30).to_string(), "30s");
+        assert_eq!(SimDuration::from_minutes(90).to_string(), "1.5h");
+        assert_eq!(SimDuration::from_days(3).to_string(), "3.0d");
+        assert_eq!(SimTime::from_days(12).to_string(), "d0012 00:00:00");
+    }
+
+    #[test]
+    fn checked_sub() {
+        let t = SimTime::from_secs(50);
+        assert_eq!(
+            t.checked_sub(SimDuration::from_secs(20)),
+            Some(SimTime::from_secs(30))
+        );
+        assert_eq!(t.checked_sub(SimDuration::from_secs(60)), None);
+    }
+}

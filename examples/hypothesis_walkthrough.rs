@@ -1,0 +1,96 @@
+//! Hypothesis walkthrough: the paper's five formal hypotheses, tested one
+//! by one exactly as §II-B describes (MLE fits + Pearson chi-squared),
+//! with the verdicts printed next to the paper's.
+//!
+//! ```text
+//! cargo run --release --example hypothesis_walkthrough
+//! ```
+
+use dcfail::core::FailureStudy;
+use dcfail::report::TextTable;
+use dcfail::sim::Scenario;
+use dcfail::trace::ComponentClass;
+
+fn verdict(rejected: bool) -> &'static str {
+    if rejected {
+        "REJECTED"
+    } else {
+        "not rejected"
+    }
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // Medium scale carries enough statistical power for every test.
+    let trace = Scenario::medium().seed(5).run()?;
+    let study = FailureStudy::new(&trace);
+    let temporal = study.temporal();
+
+    let mut t = TextTable::new(vec!["Hypothesis", "Test", "Verdict", "Paper"]);
+
+    // H1 — "failures are uniformly random over days of the week".
+    let dow = temporal.day_of_week(None)?;
+    t.row(vec![
+        "H1: uniform over weekdays".into(),
+        dow.uniformity.to_string(),
+        verdict(dow.uniformity.rejects_at(0.01)).into(),
+        "rejected @0.01".into(),
+    ]);
+    t.row(vec![
+        "H1b: …even excluding weekends".into(),
+        dow.weekdays_only.to_string(),
+        verdict(dow.weekdays_only.rejects_at(0.02)).into(),
+        "rejected @0.02".into(),
+    ]);
+
+    // H2 — "failures are uniformly random over hours of the day".
+    let hod = temporal.hour_of_day(None)?;
+    t.row(vec![
+        "H2: uniform over hours".into(),
+        hod.uniformity.to_string(),
+        verdict(hod.uniformity.rejects_at(0.01)).into(),
+        "rejected @0.01".into(),
+    ]);
+
+    // H3 — "TBF of all components is exponential" (and the other families).
+    let tbf = temporal.tbf_all()?;
+    for fit in &tbf.fits {
+        t.row(vec![
+            format!("H3: TBF ~ {}", fit.fitted),
+            fit.test.to_string(),
+            verdict(fit.test.rejects_at(0.05)).into(),
+            "rejected @0.05".into(),
+        ]);
+    }
+
+    // H4 — per-class TBF (HDD shown; the paper reports "all similar").
+    let hdd = temporal.tbf_of_class(ComponentClass::Hdd)?;
+    t.row(vec![
+        "H4: HDD TBF fits any family".into(),
+        format!("all four families, n={}", hdd.n),
+        verdict(hdd.all_rejected_at_005).into(),
+        "rejected @0.05".into(),
+    ]);
+
+    // H5 — "failure rate is independent of rack position", per data center.
+    let spatial = study.spatial();
+    let results = spatial.by_data_center(200);
+    let t4 = spatial.table_iv(&results);
+    t.row(vec![
+        "H5: rack position irrelevant".into(),
+        format!(
+            "{} DCs reject @0.01, {} borderline, {} accept",
+            t4.rejected_001, t4.borderline, t4.accepted
+        ),
+        "mixed".into(),
+        "10 / 4 / 10 of 24".into(),
+    ]);
+
+    println!("The paper's five hypotheses, re-tested on a simulated trace:\n");
+    println!("{}", t.render());
+
+    println!("Interpretation (paper §III–§IV):");
+    println!("  H1/H2 fail because detection follows workload and office hours;");
+    println!("  H3/H4 fail because batch failures put far too much mass at tiny TBFs;");
+    println!("  H5 fails only in older data centers with uneven cooling.");
+    Ok(())
+}

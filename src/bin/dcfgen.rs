@@ -1,0 +1,150 @@
+//! `dcfgen` — generate calibrated FOT traces and export them.
+//!
+//! The workload-generator half of the reproduction: anyone who wants the
+//! *dataset* (rather than our analyses) can synthesize one and take it to
+//! their own tooling as CSV or JSON.
+//!
+//! ```text
+//! dcfgen [--scenario paper|medium|small] [--seed N]
+//!        [--format csv|jsonl|json] [--out PATH]
+//!        [--from-day D --to-day D] [--dc IDX] [--stats]
+//! ```
+//!
+//! `csv`/`jsonl` export the ticket table; `json` exports the whole trace
+//! including the fleet snapshot (reloadable with
+//! `dcfail::trace::io::read_trace_json`). `--stats` prints a summary
+//! instead of exporting.
+
+use std::fs::File;
+use std::io::{BufWriter, Write};
+use std::process::ExitCode;
+
+use dcfail::sim::Scenario;
+use dcfail::trace::{io, DataCenterId, SimTime};
+
+struct Args {
+    scenario: String,
+    seed: u64,
+    format: String,
+    out: Option<String>,
+    from_day: Option<u64>,
+    to_day: Option<u64>,
+    dc: Option<u16>,
+    stats: bool,
+}
+
+fn parse() -> Result<Args, String> {
+    let mut a = Args {
+        scenario: "small".into(),
+        seed: 0,
+        format: "csv".into(),
+        out: None,
+        from_day: None,
+        to_day: None,
+        dc: None,
+        stats: false,
+    };
+    let mut it = std::env::args().skip(1);
+    let next = |it: &mut dyn Iterator<Item = String>, flag: &str| {
+        it.next().ok_or(format!("{flag} needs a value"))
+    };
+    while let Some(flag) = it.next() {
+        match flag.as_str() {
+            "--scenario" => a.scenario = next(&mut it, "--scenario")?,
+            "--seed" => {
+                a.seed = next(&mut it, "--seed")?
+                    .parse()
+                    .map_err(|e| format!("bad seed: {e}"))?
+            }
+            "--format" => a.format = next(&mut it, "--format")?,
+            "--out" => a.out = Some(next(&mut it, "--out")?),
+            "--from-day" => {
+                a.from_day = Some(
+                    next(&mut it, "--from-day")?
+                        .parse()
+                        .map_err(|e| format!("{e}"))?,
+                )
+            }
+            "--to-day" => {
+                a.to_day = Some(
+                    next(&mut it, "--to-day")?
+                        .parse()
+                        .map_err(|e| format!("{e}"))?,
+                )
+            }
+            "--dc" => a.dc = Some(next(&mut it, "--dc")?.parse().map_err(|e| format!("{e}"))?),
+            "--stats" => a.stats = true,
+            "--help" | "-h" => {
+                return Err("see module docs: dcfgen --scenario … --format … --out …".into())
+            }
+            other => return Err(format!("unknown flag {other}")),
+        }
+    }
+    Ok(a)
+}
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(msg) => {
+            eprintln!("dcfgen: {msg}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn run() -> Result<(), String> {
+    let args = parse()?;
+    let scenario = match args.scenario.as_str() {
+        "paper" => Scenario::paper(),
+        "medium" => Scenario::medium(),
+        "small" => Scenario::small(),
+        other => return Err(format!("unknown scenario {other}")),
+    };
+    let mut trace = scenario.seed(args.seed).run().map_err(|e| e.to_string())?;
+
+    if args.from_day.is_some() || args.to_day.is_some() {
+        let from = SimTime::from_days(args.from_day.unwrap_or(0));
+        let to = SimTime::from_days(args.to_day.unwrap_or(u64::MAX / 86_400));
+        trace = trace.restrict(from, to).map_err(|e| e.to_string())?;
+    }
+    if let Some(dc) = args.dc {
+        trace = trace
+            .restrict_dc(DataCenterId::new(dc))
+            .map_err(|e| e.to_string())?;
+    }
+
+    if args.stats {
+        let [fixing, error, fa] = trace.category_counts();
+        println!(
+            "scenario={} seed={} tickets={} (fixing={fixing}, error={error}, false_alarm={fa})",
+            args.scenario,
+            args.seed,
+            trace.len()
+        );
+        println!(
+            "servers={} data_centers={} product_lines={} window={}d",
+            trace.servers().len(),
+            trace.data_centers().len(),
+            trace.product_lines().len(),
+            trace.info().days
+        );
+        return Ok(());
+    }
+
+    let mut sink: BufWriter<Box<dyn Write>> = BufWriter::new(match &args.out {
+        Some(path) => Box::new(File::create(path).map_err(|e| e.to_string())?),
+        None => Box::new(std::io::stdout().lock()),
+    });
+    match args.format.as_str() {
+        "csv" => io::write_fots_csv(trace.fots(), &mut sink).map_err(|e| e.to_string())?,
+        "jsonl" => io::write_fots_jsonl(trace.fots(), &mut sink).map_err(|e| e.to_string())?,
+        "json" => io::write_trace_json(&trace, &mut sink).map_err(|e| e.to_string())?,
+        other => return Err(format!("unknown format {other} (csv|jsonl|json)")),
+    }
+    sink.flush().map_err(|e| e.to_string())?;
+    if let Some(path) = &args.out {
+        eprintln!("wrote {} tickets to {path}", trace.len());
+    }
+    Ok(())
+}

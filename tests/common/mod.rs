@@ -1,0 +1,31 @@
+//! Shared fixtures for the integration tests: simulated traces generated
+//! once per test binary.
+
+use std::sync::OnceLock;
+
+use dcfail::sim::Scenario;
+use dcfail::trace::Trace;
+
+/// The shared medium-scale trace (20k servers, 1,411 days, ~33k FOTs).
+#[allow(dead_code)]
+pub fn medium() -> &'static Trace {
+    static T: OnceLock<Trace> = OnceLock::new();
+    T.get_or_init(|| {
+        Scenario::medium()
+            .seed(0x1DC)
+            .run()
+            .expect("medium scenario runs")
+    })
+}
+
+/// The shared small trace (2k servers, 360 days).
+#[allow(dead_code)]
+pub fn small() -> &'static Trace {
+    static T: OnceLock<Trace> = OnceLock::new();
+    T.get_or_init(|| {
+        Scenario::small()
+            .seed(0x1DC)
+            .run()
+            .expect("small scenario runs")
+    })
+}

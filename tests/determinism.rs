@@ -1,0 +1,75 @@
+//! Determinism and serialization integrity across the whole pipeline.
+
+mod common;
+
+use dcfail::core::FailureStudy;
+use dcfail::sim::Scenario;
+use dcfail::trace::io;
+
+#[test]
+fn identical_seeds_give_identical_traces() {
+    let a = Scenario::small().seed(5).run().unwrap();
+    let b = Scenario::small().seed(5).run().unwrap();
+    assert_eq!(a.fots(), b.fots());
+    assert_eq!(a.servers(), b.servers());
+    assert_eq!(a.data_centers(), b.data_centers());
+}
+
+#[test]
+fn different_seeds_differ() {
+    let a = Scenario::small().seed(5).run().unwrap();
+    let b = Scenario::small().seed(6).run().unwrap();
+    assert_ne!(a.fots(), b.fots());
+}
+
+#[test]
+fn study_report_is_deterministic() {
+    let a = FailureStudy::new(common::small()).report();
+    let b = FailureStudy::new(common::small()).report();
+    assert_eq!(a, b);
+}
+
+#[test]
+fn csv_round_trip_preserves_every_ticket() {
+    let trace = common::small();
+    let mut buf = Vec::new();
+    io::write_fots_csv(trace.fots(), &mut buf).unwrap();
+    let back = io::read_fots_csv(&buf[..]).unwrap();
+    assert_eq!(back, trace.fots());
+}
+
+#[test]
+fn json_round_trip_preserves_analysis_results() {
+    let trace = common::small();
+    let mut buf = Vec::new();
+    io::write_trace_json(trace, &mut buf).unwrap();
+    let reloaded = io::read_trace_json(&buf[..]).unwrap();
+
+    let before = FailureStudy::new(trace).report();
+    let after = FailureStudy::new(&reloaded).report();
+    assert_eq!(before, after);
+}
+
+#[test]
+fn jsonl_round_trip_preserves_tickets() {
+    let trace = common::small();
+    let mut buf = Vec::new();
+    io::write_fots_jsonl(trace.fots(), &mut buf).unwrap();
+    let back = io::read_fots_jsonl(&buf[..]).unwrap();
+    assert_eq!(back, trace.fots());
+}
+
+#[test]
+fn fots_are_time_sorted_with_dense_unique_ids() {
+    let trace = common::medium();
+    let mut seen = std::collections::HashSet::new();
+    let mut prev = None;
+    for fot in trace.fots() {
+        assert!(seen.insert(fot.id), "duplicate {}", fot.id);
+        if let Some(p) = prev {
+            assert!(fot.error_time >= p, "unsorted at {}", fot.id);
+        }
+        prev = Some(fot.error_time);
+    }
+    assert_eq!(seen.len(), trace.len());
+}

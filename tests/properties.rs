@@ -1,0 +1,199 @@
+//! Property-based tests over the whole stack: arbitrary small fleet
+//! configurations and seeds must always yield schema-valid traces, and the
+//! statistics substrate must uphold its invariants on arbitrary inputs.
+
+use proptest::prelude::*;
+
+use dcfail::core::FailureStudy;
+use dcfail::fleet::FleetConfig;
+use dcfail::sim::{run, SimConfig};
+use dcfail::stats::{fit, ContinuousDistribution, Ecdf};
+use dcfail::trace::io;
+
+/// A strategy for small-but-varied fleet configurations.
+fn small_configs() -> impl Strategy<Value = FleetConfig> {
+    (
+        2usize..5,     // data centers
+        300usize..900, // servers
+        4usize..16,    // product lines
+        60u64..240,    // window days
+        1u8..4,        // generations
+        0.0f64..1.0,   // modern cooling fraction
+    )
+        .prop_map(|(dcs, servers, lines, days, gens, modern)| FleetConfig {
+            data_centers: dcs,
+            servers,
+            product_lines: lines,
+            rack_positions: 40,
+            servers_per_rack: 36,
+            pre_window_days: 120,
+            window_days: days,
+            deploy_until_day: days / 2,
+            warranty_days: 200,
+            generations: gens,
+            modern_cooling_fraction: modern,
+            racks_per_pdu: 4,
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    #[test]
+    fn any_small_config_yields_a_valid_trace(cfg in small_configs(), seed in 0u64..1_000) {
+        let mut sim = SimConfig::with_fleet(cfg, "prop");
+        sim.seed = seed;
+        // Trace::new re-validates every schema invariant; run() must succeed.
+        let trace = run(&sim).expect("valid config simulates");
+        let start = trace.info().start;
+        let end = trace.end_time();
+        for fot in trace.fots() {
+            prop_assert!(fot.error_time >= start && fot.error_time < end);
+            prop_assert_eq!(fot.category.has_response(), fot.response.is_some());
+        }
+        // The report never panics, whatever the volume.
+        let report = FailureStudy::new(&trace).report();
+        prop_assert_eq!(report.total_fots, trace.len());
+        prop_assert!(report.fixing_share >= 0.0 && report.fixing_share <= 1.0);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn ecdf_is_a_cdf(mut xs in proptest::collection::vec(-1e6f64..1e6, 1..200)) {
+        let e = Ecdf::new(xs.clone()).unwrap();
+        // Bounds.
+        prop_assert!(e.eval(f64::MIN) >= 0.0);
+        prop_assert!((e.eval(e.max()) - 1.0).abs() < 1e-12);
+        // Monotonicity on sample points.
+        xs.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let mut prev = 0.0;
+        for &x in &xs {
+            let v = e.eval(x);
+            prop_assert!(v >= prev - 1e-12);
+            prev = v;
+        }
+        // Quantile inverts eval within a rank.
+        for &p in &[0.1, 0.5, 0.9] {
+            let q = e.quantile(p);
+            prop_assert!(e.eval(q) + 1e-12 >= p);
+        }
+    }
+
+    #[test]
+    fn exponential_fit_matches_sample_mean(rate in 0.01f64..100.0, n in 50usize..500, seed in 0u64..1000) {
+        use rand::SeedableRng;
+        let d = dcfail::stats::Exponential::new(rate).unwrap();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let xs: Vec<f64> = (0..n).map(|_| d.sample(&mut rng)).collect();
+        let fitted = fit::fit_exponential(&xs).unwrap();
+        let mean = xs.iter().sum::<f64>() / n as f64;
+        prop_assert!((fitted.rate() - 1.0 / mean).abs() < 1e-9 * fitted.rate());
+    }
+
+    #[test]
+    fn weibull_cdf_quantile_inverse(shape in 0.2f64..5.0, scale in 0.01f64..1e4, p in 0.001f64..0.999) {
+        let d = dcfail::stats::Weibull::new(shape, scale).unwrap();
+        let x = d.quantile(p);
+        prop_assert!((d.cdf(x) - p).abs() < 1e-9);
+    }
+
+    #[test]
+    fn gamma_cdf_is_monotone(shape in 0.2f64..10.0, scale in 0.1f64..100.0, a in 0.0f64..50.0, b in 0.0f64..50.0) {
+        let d = dcfail::stats::Gamma::new(shape, scale).unwrap();
+        let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
+        prop_assert!(d.cdf(lo * scale) <= d.cdf(hi * scale) + 1e-12);
+    }
+
+    #[test]
+    fn chi_square_uniformity_accepts_its_own_expectation(k in 3usize..20, n in 200usize..5_000) {
+        // Exactly uniform counts must never reject.
+        let counts = vec![(n / k) as f64; k];
+        let out = dcfail::stats::chi_square::uniformity(&counts).unwrap();
+        prop_assert!(out.statistic.abs() < 1e-9);
+        prop_assert!(!out.rejects_at(0.05));
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    #[test]
+    fn hazard_sampling_stays_in_window(
+        rates in proptest::collection::vec(0.0f64..0.5, 1..48),
+        from in 0.0f64..500.0,
+        span in 1.0f64..500.0,
+        seed in 0u64..100,
+    ) {
+        use rand::SeedableRng;
+        let h = dcfail::failmodel::PiecewiseHazard::new(rates).unwrap();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let mut out = Vec::new();
+        h.sample_arrivals(&mut rng, from, from + span, 1.0, &mut out);
+        for &a in &out {
+            prop_assert!(a >= from && a < from + span);
+        }
+        // Sorted by construction.
+        for w in out.windows(2) {
+            prop_assert!(w[0] <= w[1]);
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// The CSV reader must reject (never panic on) arbitrarily corrupted
+    /// input — single-character mutations of a valid export either still
+    /// parse or produce a structured `TraceError::Csv`.
+    #[test]
+    fn csv_reader_survives_corruption(pos in 0usize..5_000, byte in 0u8..=255) {
+        use std::sync::OnceLock;
+        static CSV: OnceLock<Vec<u8>> = OnceLock::new();
+        let csv = CSV.get_or_init(|| {
+            let trace = dcfail::sim::Scenario::small().seed(9).run().unwrap();
+            let mut buf = Vec::new();
+            io::write_fots_csv(&trace.fots()[..50.min(trace.len())], &mut buf).unwrap();
+            buf
+        });
+        let mut mutated = csv.clone();
+        let idx = pos % mutated.len();
+        mutated[idx] = byte;
+        // Must return, not panic; both Ok and Err are acceptable outcomes.
+        let _ = io::read_fots_csv(&mutated[..]);
+    }
+
+    /// Restricting a trace to any window keeps every schema invariant.
+    #[test]
+    fn restrict_preserves_invariants(from in 0u64..500, span in 1u64..500) {
+        use std::sync::OnceLock;
+        use dcfail::trace::{SimTime, Trace};
+        static TRACE: OnceLock<Trace> = OnceLock::new();
+        let trace = TRACE.get_or_init(|| {
+            dcfail::sim::Scenario::small().seed(10).run().unwrap()
+        });
+        let a = SimTime::from_days(from);
+        let b = SimTime::from_days(from + span);
+        let sliced = trace.restrict(a, b).expect("restriction is always valid");
+        for fot in sliced.fots() {
+            prop_assert!(fot.error_time >= sliced.info().start);
+            prop_assert!(fot.error_time < sliced.end_time());
+        }
+        prop_assert!(sliced.len() <= trace.len());
+        // Slicing twice with the same window is idempotent.
+        let again = sliced.restrict(a, b).unwrap();
+        prop_assert_eq!(again.fots(), sliced.fots());
+    }
+
+    /// Poisson CDF/SF are complementary and monotone for arbitrary means.
+    #[test]
+    fn poisson_cdf_properties(mean in 0.01f64..200.0, k in 0u64..400) {
+        let d = dcfail::stats::Poisson::new(mean).unwrap();
+        let c = d.cdf(k);
+        prop_assert!((0.0..=1.0 + 1e-12).contains(&c));
+        prop_assert!((c + d.sf(k) - 1.0).abs() < 1e-9);
+        prop_assert!(d.cdf(k + 1) + 1e-12 >= c);
+    }
+}
