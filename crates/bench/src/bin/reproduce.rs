@@ -1,7 +1,8 @@
 //! Regenerates every table and figure of the paper from a simulated trace.
 //!
 //! ```text
-//! reproduce [--scenario paper|medium|small] [--seed N] [--experiment ID] [--markdown]
+//! reproduce [--scenario paper|medium|small] [--seed N] [--experiment ID]
+//!           [--markdown] [--metrics PATH]
 //! ```
 //!
 //! `ID` is one of: `table1 table2 table3 table4 table5 table6 table7 table8
@@ -9,10 +10,15 @@
 //! (default `all`).
 //! `--markdown` emits the EXPERIMENTS.md-style summary instead of the full
 //! figure dumps.
+//! `--metrics PATH` enables the `dcf-obs` instrumentation layer: the run's
+//! phase timings and event counters are written to `PATH` as a JSON
+//! `RunReport` and summarized on stderr. Counter values are deterministic
+//! in the seed.
 
 use std::process::ExitCode;
 
-use dcf_core::{paper, FailureStudy};
+use dcf_core::{paper, FailureStudy, StudyReport};
+use dcf_obs::MetricsRegistry;
 use dcf_report::{experiments, pct, TextTable};
 use dcf_sim::Scenario;
 
@@ -23,6 +29,7 @@ struct Args {
     markdown: bool,
     markdown_full: bool,
     score: bool,
+    metrics: Option<String>,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -33,6 +40,7 @@ fn parse_args() -> Result<Args, String> {
         markdown: false,
         markdown_full: false,
         score: false,
+        metrics: None,
     };
     let mut it = std::env::args().skip(1);
     while let Some(flag) = it.next() {
@@ -53,13 +61,33 @@ fn parse_args() -> Result<Args, String> {
             "--markdown" => args.markdown = true,
             "--markdown-full" => args.markdown_full = true,
             "--score" => args.score = true,
+            "--metrics" => {
+                args.metrics = Some(it.next().ok_or("--metrics needs a value")?);
+            }
             "--help" | "-h" => {
-                return Err("usage: reproduce [--scenario paper|medium|small] [--seed N] [--experiment ID] [--markdown]".into());
+                return Err("usage: reproduce [--scenario paper|medium|small] [--seed N] [--experiment ID] [--markdown] [--metrics PATH]".into());
             }
             other => return Err(format!("unknown flag {other}")),
         }
     }
     Ok(args)
+}
+
+/// Writes the JSON `RunReport` to `args.metrics` (no-op when the flag is
+/// absent) and echoes the markdown rendering to stderr.
+fn write_metrics(args: &Args, registry: &MetricsRegistry) -> Result<(), String> {
+    let Some(path) = &args.metrics else {
+        return Ok(());
+    };
+    let label = format!(
+        "reproduce --scenario {} --seed {}",
+        args.scenario, args.seed
+    );
+    let report = registry.report(&label);
+    std::fs::write(path, report.to_json()).map_err(|e| format!("cannot write {path}: {e}"))?;
+    eprintln!("{}", dcf_report::run_report_markdown(&report));
+    eprintln!("metrics written to {path}");
+    Ok(())
 }
 
 fn main() -> ExitCode {
@@ -80,12 +108,18 @@ fn main() -> ExitCode {
         }
     };
 
+    let registry = if args.metrics.is_some() {
+        MetricsRegistry::new()
+    } else {
+        MetricsRegistry::disabled()
+    };
+
     eprintln!(
         "running scenario '{}' (seed {}) — {} servers, {}-day window…",
         scenario.name, args.seed, scenario.config.fleet.servers, scenario.config.fleet.window_days
     );
     let t0 = std::time::Instant::now();
-    let trace = match scenario.seed(args.seed).run() {
+    let trace = match scenario.seed(args.seed).run_with_metrics(&registry) {
         Ok(t) => t,
         Err(e) => {
             eprintln!("simulation failed: {e}");
@@ -97,15 +131,22 @@ fn main() -> ExitCode {
         trace.len(),
         t0.elapsed()
     );
+    registry.set_gauge("trace.fots", trace.len() as f64);
     let study = FailureStudy::new(&trace);
+    let analysis_span = registry.phase("analysis");
 
     if args.markdown {
-        println!("{}", markdown_summary(&study));
-        return ExitCode::SUCCESS;
+        println!(
+            "{}",
+            markdown_summary(&study.report_with_metrics(&registry))
+        );
+        drop(analysis_span);
+        return finish(&args, &registry);
     }
     if args.markdown_full {
         println!("{}", dcf_report::markdown_report(&study));
-        return ExitCode::SUCCESS;
+        drop(analysis_span);
+        return finish(&args, &registry);
     }
     if args.score {
         use dcf_core::comparison;
@@ -127,7 +168,8 @@ fn main() -> ExitCode {
             100.0 * comparison::agreement_score(&rows),
             rows.len()
         );
-        return ExitCode::SUCCESS;
+        drop(analysis_span);
+        return finish(&args, &registry);
     }
 
     let text = match args.experiment.as_str() {
@@ -157,12 +199,24 @@ fn main() -> ExitCode {
         }
     };
     println!("{text}");
-    ExitCode::SUCCESS
+    drop(analysis_span);
+    finish(&args, &registry)
+}
+
+/// Flushes the optional metrics file; failures to write it are fatal so
+/// scripted runs notice.
+fn finish(args: &Args, registry: &MetricsRegistry) -> ExitCode {
+    match write_metrics(args, registry) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(msg) => {
+            eprintln!("{msg}");
+            ExitCode::FAILURE
+        }
+    }
 }
 
 /// The EXPERIMENTS.md-style paper-vs-measured summary.
-fn markdown_summary(study: &FailureStudy<'_>) -> String {
-    let report = study.report();
+fn markdown_summary(report: &StudyReport) -> String {
     let mut out = String::new();
     out.push_str("## Headline paper-vs-measured summary\n\n");
     let mut t = TextTable::new(vec!["Experiment", "Metric", "Paper", "Measured"]);

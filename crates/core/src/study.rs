@@ -1,6 +1,7 @@
 //! The [`FailureStudy`] facade: one entry point running every §II–§VI
 //! analysis, plus a serializable [`StudyReport`] with the headline metrics.
 
+use dcf_obs::MetricsRegistry;
 use serde::{Deserialize, Serialize};
 
 use dcf_trace::{ComponentClass, FotCategory, Trace};
@@ -102,23 +103,43 @@ impl<'a> FailureStudy<'a> {
 
     /// Runs everything and collects the headline metrics.
     pub fn report(&self) -> StudyReport {
+        self.report_with_metrics(&MetricsRegistry::disabled())
+    }
+
+    /// [`FailureStudy::report`] with instrumentation: each analysis section
+    /// gets a `study.*` phase span in `metrics`, and `study.fots.analyzed`
+    /// counts the tickets fed in. The report itself is unaffected.
+    pub fn report_with_metrics(&self, metrics: &MetricsRegistry) -> StudyReport {
+        metrics.add("study.fots.analyzed", self.trace.len() as u64);
+        let span = metrics.phase("study.overview");
         let overview = self.overview();
         let categories = overview.category_breakdown();
         let components = overview.component_breakdown();
+        drop(span);
+        let span = metrics.phase("study.temporal");
         let temporal = self.temporal();
         let tbf = temporal.tbf_all().ok();
         let dow = temporal.day_of_week(None).ok();
         let hod = temporal.hour_of_day(None).ok();
+        drop(span);
+        let span = metrics.phase("study.skew");
         let skew = self.skew();
         let concentration = skew.concentration();
         let repeats = skew.repeats();
+        drop(span);
+        let span = metrics.phase("study.spatial");
         let spatial = self.spatial();
         let spatial_results = spatial.by_data_center(200);
         let table_iv = spatial.table_iv(&spatial_results);
+        drop(span);
+        let span = metrics.phase("study.correlation");
         let correlation = self.correlation().component_pairs();
+        drop(span);
+        let span = metrics.phase("study.response");
         let response = self.response();
         let rt_fixing = response.rt_of_category(FotCategory::Fixing).ok();
         let rt_false_alarm = response.rt_of_category(FotCategory::FalseAlarm).ok();
+        drop(span);
 
         StudyReport {
             total_fots: self.trace.len(),
@@ -219,6 +240,22 @@ mod tests {
         assert!(report.hour_of_day_rejected_001.is_some());
         assert!(report.servers_ever_failed > 0);
         assert!(report.rt_fixing.is_some());
+    }
+
+    #[test]
+    fn instrumented_report_matches_plain_report() {
+        let trace = synthetic_trace();
+        let study = FailureStudy::new(&trace);
+        let registry = MetricsRegistry::new();
+        assert_eq!(study.report(), study.report_with_metrics(&registry));
+        assert_eq!(
+            registry.counter_value("study.fots.analyzed"),
+            Some(trace.len() as u64)
+        );
+        let report = registry.report("study");
+        for phase in ["study.overview", "study.temporal", "study.response"] {
+            assert!(report.phase_ms(phase).is_some(), "missing span {phase}");
+        }
     }
 
     #[test]

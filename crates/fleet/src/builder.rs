@@ -1,5 +1,6 @@
 //! Deterministic fleet construction from a [`FleetConfig`] and a seed.
 
+use dcf_obs::MetricsRegistry;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
@@ -31,17 +32,31 @@ use crate::FleetConfig;
 pub struct FleetBuilder {
     config: FleetConfig,
     seed: u64,
+    metrics: MetricsRegistry,
 }
 
 impl FleetBuilder {
     /// Starts a builder with the given configuration.
     pub fn new(config: FleetConfig) -> Self {
-        Self { config, seed: 0 }
+        Self {
+            config,
+            seed: 0,
+            metrics: MetricsRegistry::disabled(),
+        }
     }
 
     /// Sets the RNG seed (default 0).
     pub fn seed(mut self, seed: u64) -> Self {
         self.seed = seed;
+        self
+    }
+
+    /// Attaches a metrics registry: `build` records a `fleet.build` phase
+    /// span (with a nested `fleet.place_servers` span) and `fleet.*`
+    /// counters. Metrics never consume RNG draws, so the built fleet is
+    /// identical with or without them.
+    pub fn metrics(mut self, metrics: MetricsRegistry) -> Self {
+        self.metrics = metrics;
         self
     }
 
@@ -52,20 +67,33 @@ impl FleetBuilder {
     /// Returns the configuration-validation message if the config is invalid.
     pub fn build(self) -> Result<Fleet, String> {
         self.config.validate()?;
+        let metrics = self.metrics;
+        let build_span = metrics.phase("fleet.build");
         let cfg = self.config;
         let mut rng = StdRng::seed_from_u64(self.seed ^ 0x5eed_f1ee_7000_0001);
 
         let data_centers = build_data_centers(&cfg, &mut rng);
         let product_lines = build_product_lines(&cfg);
         let line_dcs = assign_lines_to_dcs(&cfg, &product_lines, &mut rng);
+        let place_span = metrics.phase("fleet.place_servers");
         let (servers, racks) =
             place_servers(&cfg, &data_centers, &product_lines, &line_dcs, &mut rng);
+        drop(place_span);
 
         // Patch actual rack counts into the DataCenter records.
         let mut data_centers = data_centers;
         for (dc, dc_racks) in data_centers.iter_mut().zip(&racks) {
             dc.racks = dc_racks.len() as u32;
         }
+
+        metrics.add("fleet.data_centers.built", data_centers.len() as u64);
+        metrics.add("fleet.product_lines.built", product_lines.len() as u64);
+        metrics.add("fleet.servers.built", servers.len() as u64);
+        metrics.add(
+            "fleet.racks.built",
+            racks.iter().map(|dc| dc.len() as u64).sum(),
+        );
+        drop(build_span);
 
         Ok(Fleet::from_parts(
             cfg,

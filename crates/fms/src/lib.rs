@@ -12,6 +12,9 @@
 //! * [`FalseAlarmModel`] — the 1.7% false-alarm stream (Table I).
 //! * [`MonitoringModel`] — the §VIII FMS roll-out artifact (agent coverage
 //!   growing over the window).
+//! * [`FmsMetrics`] — `dcf-obs` counter handles for the detection /
+//!   operator / false-alarm paths, threaded through the engine's hot
+//!   loops.
 
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
@@ -19,9 +22,11 @@
 mod false_alarm;
 mod monitoring;
 mod operator;
+mod telemetry;
 mod ticketing;
 
 pub use false_alarm::FalseAlarmModel;
 pub use monitoring::MonitoringModel;
 pub use operator::{class_rt_multiplier, OperatorModel, ResponseProfile, DEPLOYMENT_PHASE_DAYS};
+pub use telemetry::FmsMetrics;
 pub use ticketing::{Detection, TicketFactory};

@@ -1,0 +1,123 @@
+//! Wall-clock timing: [`Stopwatch`] for flat measurements and
+//! [`PhaseSpan`]/[`PhaseGuard`] for the hierarchical phase log kept by a
+//! [`crate::MetricsRegistry`].
+
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use crate::metrics::Inner;
+
+/// A simple wall-clock stopwatch.
+///
+/// ```
+/// use dcf_obs::Stopwatch;
+///
+/// let sw = Stopwatch::start();
+/// let elapsed = sw.elapsed_ms();
+/// assert!(elapsed >= 0.0);
+/// ```
+#[derive(Debug, Clone, Copy)]
+pub struct Stopwatch {
+    start: Instant,
+}
+
+impl Stopwatch {
+    /// Starts a stopwatch now.
+    pub fn start() -> Self {
+        Self {
+            start: Instant::now(),
+        }
+    }
+
+    /// Elapsed time since start.
+    pub fn elapsed(&self) -> Duration {
+        self.start.elapsed()
+    }
+
+    /// Elapsed milliseconds since start, fractional.
+    pub fn elapsed_ms(&self) -> f64 {
+        self.elapsed().as_secs_f64() * 1e3
+    }
+}
+
+impl Default for Stopwatch {
+    fn default() -> Self {
+        Self::start()
+    }
+}
+
+/// One recorded phase: a named wall-clock span with its nesting depth.
+///
+/// Spans appear in the log in *opening* order (pre-order of the phase
+/// tree); `depth` says how many enclosing phases were open when this one
+/// started.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PhaseSpan {
+    /// Phase name, e.g. `engine.per_server`.
+    pub name: String,
+    /// Nesting depth (0 = top level).
+    pub depth: u32,
+    /// Start offset from registry creation, in microseconds.
+    pub start_us: u64,
+    /// Wall-clock duration in microseconds (0 while the phase is open).
+    pub duration_us: u64,
+}
+
+impl PhaseSpan {
+    /// Duration in fractional milliseconds.
+    pub fn duration_ms(&self) -> f64 {
+        self.duration_us as f64 / 1e3
+    }
+}
+
+/// Guard returned by [`crate::MetricsRegistry::phase`]; records the span's
+/// duration into the registry when dropped.
+///
+/// Open and close phases from one coordinating thread (worker threads
+/// report through counters instead) — the nesting depth is tracked as a
+/// single stack.
+#[must_use = "a phase span is recorded when the guard is dropped"]
+#[derive(Debug)]
+pub struct PhaseGuard {
+    /// `None` for a disabled registry (pure no-op).
+    state: Option<(Arc<Inner>, usize, Instant)>,
+}
+
+impl PhaseGuard {
+    pub(crate) fn noop() -> Self {
+        Self { state: None }
+    }
+
+    pub(crate) fn open(inner: Arc<Inner>, name: &str) -> Self {
+        let started = Instant::now();
+        let start_us = started.duration_since(inner.epoch).as_micros() as u64;
+        let index = {
+            let mut log = inner.spans.lock().expect("span log poisoned");
+            let depth = log.depth as u32;
+            log.depth += 1;
+            log.spans.push(PhaseSpan {
+                name: name.to_string(),
+                depth,
+                start_us,
+                duration_us: 0,
+            });
+            log.spans.len() - 1
+        };
+        Self {
+            state: Some((inner, index, started)),
+        }
+    }
+}
+
+impl Drop for PhaseGuard {
+    fn drop(&mut self) {
+        if let Some((inner, index, started)) = self.state.take() {
+            let duration_us = started.elapsed().as_micros() as u64;
+            let mut log = inner.spans.lock().expect("span log poisoned");
+            log.depth = log.depth.saturating_sub(1);
+            if let Some(span) = log.spans.get_mut(index) {
+                span.duration_us = duration_us;
+            }
+        }
+    }
+}

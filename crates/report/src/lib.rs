@@ -10,8 +10,10 @@
 mod chart;
 mod document;
 pub mod experiments;
+mod runreport;
 mod table;
 
 pub use chart::{bar_chart, cdf_plot};
 pub use document::markdown_report;
+pub use runreport::run_report_markdown;
 pub use table::{days, pct, TextTable};

@@ -22,7 +22,8 @@ use rand::{Rng, SeedableRng};
 
 use dcf_failmodel::sample_type;
 use dcf_fleet::{Fleet, FleetBuilder, UtilizationProfile};
-use dcf_fms::{Detection, OperatorModel, TicketFactory};
+use dcf_fms::{Detection, FmsMetrics, OperatorModel, TicketFactory};
+use dcf_obs::MetricsRegistry;
 use dcf_trace::{
     ComponentClass, FailureType, FotCategory, OperatorResponse, ServerId, Severity, SimDuration,
     SimTime, Trace, TraceInfo,
@@ -34,10 +35,7 @@ use crate::error::SimError;
 /// Samples a fatal-severity failure type of `class` (None if the class has
 /// no fatal types, which does not happen for hardware classes).
 fn fatal_type_for(rng: &mut StdRng, class: ComponentClass) -> Option<FailureType> {
-    let fatal: Vec<FailureType> = FailureType::types_of(class)
-        .into_iter()
-        .filter(|t| t.severity() == Severity::Fatal)
-        .collect();
+    let fatal = FailureType::fatal_types_of(class);
     if fatal.is_empty() {
         None
     } else {
@@ -78,7 +76,59 @@ struct Occurrence {
     expand_repeats: bool,
 }
 
+/// Per-thread event tallies for the per-server phase.
+///
+/// Worker threads count into plain integers and the main thread merges the
+/// chunks and publishes each total with one [`dcf_obs::Counter::add`], so
+/// the hot loops stay atomic-free and the totals are independent of thread
+/// count and chunk boundaries.
+#[derive(Debug, Clone, Copy, Default)]
+struct ServerCounts {
+    background: u64,
+    latent_resolved: u64,
+    escalated: u64,
+    repeats: u64,
+    correlated: u64,
+    dropped_unmonitored: u64,
+    dropped_outside_window: u64,
+    skipped_decommissioned: u64,
+    decommissioned: u64,
+    responses: u64,
+    tickets_fixing: u64,
+    tickets_error: u64,
+    tickets_false_alarm: u64,
+}
+
+impl ServerCounts {
+    fn merge(&mut self, other: &ServerCounts) {
+        self.background += other.background;
+        self.latent_resolved += other.latent_resolved;
+        self.escalated += other.escalated;
+        self.repeats += other.repeats;
+        self.correlated += other.correlated;
+        self.dropped_unmonitored += other.dropped_unmonitored;
+        self.dropped_outside_window += other.dropped_outside_window;
+        self.skipped_decommissioned += other.skipped_decommissioned;
+        self.decommissioned += other.decommissioned;
+        self.responses += other.responses;
+        self.tickets_fixing += other.tickets_fixing;
+        self.tickets_error += other.tickets_error;
+        self.tickets_false_alarm += other.tickets_false_alarm;
+    }
+}
+
 /// Runs the simulation.
+///
+/// # Examples
+///
+/// ```
+/// use dcf_sim::{run, Scenario};
+///
+/// let scenario = Scenario::small().seed(11);
+/// let trace = run(&scenario.config).unwrap();
+/// assert!(!trace.is_empty());
+/// assert_eq!(trace.info().seed, 11);
+/// ```
 ///
 /// # Errors
 ///
@@ -86,29 +136,72 @@ struct Occurrence {
 /// [`SimError::Trace`] if assembly invariants fail (a bug, not a user
 /// error — surfaced rather than panicking).
 pub fn run(config: &SimConfig) -> Result<Trace, SimError> {
+    run_with_metrics(config, &MetricsRegistry::disabled())
+}
+
+/// Runs the simulation, recording phase timings and event counters into
+/// `metrics`.
+///
+/// Instrumentation is observational only: counters tally events the engine
+/// already produces and never consume RNG draws, so the returned trace is
+/// byte-identical to [`run`] with the same config. With a disabled registry
+/// this *is* [`run`] — every metric operation degrades to a branch on
+/// `None`.
+///
+/// # Errors
+///
+/// Same contract as [`run`].
+pub fn run_with_metrics(config: &SimConfig, metrics: &MetricsRegistry) -> Result<Trace, SimError> {
+    let span = metrics.phase("engine.fleet_build");
     let fleet = FleetBuilder::new(config.fleet.clone())
         .seed(config.seed)
+        .metrics(metrics.clone())
         .build()
         .map_err(SimError::Config)?;
-    run_on_fleet(config, &fleet)
+    drop(span);
+    run_on_fleet_with_metrics(config, &fleet, metrics)
 }
 
 /// Runs the simulation on an already-built fleet (lets callers reuse one
 /// fleet across scenario variants).
 pub fn run_on_fleet(config: &SimConfig, fleet: &Fleet) -> Result<Trace, SimError> {
+    run_on_fleet_with_metrics(config, fleet, &MetricsRegistry::disabled())
+}
+
+/// [`run_on_fleet`] with instrumentation — see [`run_with_metrics`] for the
+/// determinism contract. Records the `engine.global`, `engine.per_server`
+/// and `engine.assembly` phase spans plus the `sim.*` / `fms.*` counters.
+///
+/// # Errors
+///
+/// Same contract as [`run`].
+pub fn run_on_fleet_with_metrics(
+    config: &SimConfig,
+    fleet: &Fleet,
+    metrics: &MetricsRegistry,
+) -> Result<Trace, SimError> {
     let start = SimTime::from_days(config.fleet.pre_window_days);
     let end = start + SimDuration::from_days(config.fleet.window_days);
+    let fms = FmsMetrics::from_registry(metrics);
 
     // -------- Global phase --------
+    let global_span = metrics.phase("engine.global");
     let mut global_rng = StdRng::seed_from_u64(mix_seed(config.seed, 0x61_0b_a1));
     let mut direct: Vec<Vec<Occurrence>> = vec![Vec::new(); fleet.servers().len()];
 
-    apply_batch_events(config, fleet, start, end, &mut global_rng, &mut direct);
-    apply_sync_groups(config, fleet, start, end, &mut global_rng, &mut direct);
+    let (batch_events, batch_occurrences) =
+        apply_batch_events(config, fleet, start, end, &mut global_rng, &mut direct);
+    let sync_occurrences =
+        apply_sync_groups(config, fleet, start, end, &mut global_rng, &mut direct);
+    metrics.add("sim.batch.events", batch_events);
+    metrics.add("sim.occurrences.batch", batch_occurrences);
+    metrics.add("sim.occurrences.sync_repeat", sync_occurrences);
 
     let operator = OperatorModel::new(config.seed, &fleet.snapshot().2);
+    drop(global_span);
 
     // -------- Per-server phase (parallel) --------
+    let per_server_span = metrics.phase("engine.per_server");
     let n_threads = std::thread::available_parallelism()
         .map(|n| n.get())
         .unwrap_or(4)
@@ -117,6 +210,7 @@ pub fn run_on_fleet(config: &SimConfig, fleet: &Fleet) -> Result<Trace, SimError
     let direct_ref = &direct;
     let operator_ref = &operator;
     let mut spec_chunks: Vec<Vec<TicketSpec>> = Vec::new();
+    let mut counts = ServerCounts::default();
 
     crossbeam::thread::scope(|scope| {
         let handles: Vec<_> = fleet
@@ -125,6 +219,7 @@ pub fn run_on_fleet(config: &SimConfig, fleet: &Fleet) -> Result<Trace, SimError
             .map(|servers| {
                 scope.spawn(move |_| {
                     let mut specs = Vec::new();
+                    let mut counts = ServerCounts::default();
                     for server in servers {
                         simulate_server(
                             config,
@@ -135,21 +230,48 @@ pub fn run_on_fleet(config: &SimConfig, fleet: &Fleet) -> Result<Trace, SimError
                             start,
                             end,
                             &mut specs,
+                            &mut counts,
                         );
                     }
-                    specs
+                    (specs, counts)
                 })
             })
             .collect();
         for h in handles {
-            spec_chunks.push(h.join().expect("simulation worker panicked"));
+            let (specs, chunk_counts) = h.join().expect("simulation worker panicked");
+            spec_chunks.push(specs);
+            counts.merge(&chunk_counts);
         }
     })
     .expect("crossbeam scope failed");
+    drop(per_server_span);
+
+    metrics.add("sim.occurrences.background", counts.background);
+    metrics.add("sim.occurrences.escalated", counts.escalated);
+    metrics.add("sim.repeats.expanded", counts.repeats);
+    metrics.add("sim.occurrences.correlated", counts.correlated);
+    metrics.add(
+        "sim.occurrences.dropped_window",
+        counts.dropped_outside_window,
+    );
+    metrics.add(
+        "sim.occurrences.dropped_decommissioned",
+        counts.skipped_decommissioned,
+    );
+    metrics.add("sim.servers.decommissioned", counts.decommissioned);
+    metrics.add("sim.tickets.fixing", counts.tickets_fixing);
+    metrics.add("sim.tickets.error", counts.tickets_error);
+    metrics.add("sim.tickets.false_alarm", counts.tickets_false_alarm);
+    fms.latent_resolved.add(counts.latent_resolved);
+    fms.unmonitored_dropped.add(counts.dropped_unmonitored);
+    fms.decommissioned.add(counts.decommissioned);
+    fms.responses_sampled.add(counts.responses);
 
     // -------- Assembly --------
+    let assembly_span = metrics.phase("engine.assembly");
     let mut specs: Vec<TicketSpec> = spec_chunks.into_iter().flatten().collect();
     specs.sort_by_key(|s| (s.error_time, s.server.raw(), s.class.index(), s.slot));
+    metrics.add("sim.tickets.total", specs.len() as u64);
 
     let mut factory = TicketFactory::new();
     let fots = specs
@@ -169,6 +291,7 @@ pub fn run_on_fleet(config: &SimConfig, fleet: &Fleet) -> Result<Trace, SimError
             )
         })
         .collect();
+    fms.tickets_issued.add(factory.issued());
 
     let (servers, dcs, lines) = fleet.snapshot();
     let info = TraceInfo {
@@ -177,7 +300,9 @@ pub fn run_on_fleet(config: &SimConfig, fleet: &Fleet) -> Result<Trace, SimError
         seed: config.seed,
         description: config.description.clone(),
     };
-    Trace::new(info, servers, dcs, lines, fots).map_err(SimError::Trace)
+    let trace = Trace::new(info, servers, dcs, lines, fots).map_err(SimError::Trace);
+    drop(assembly_span);
+    trace
 }
 
 /// Expected number of *background* failures (lifecycle hazards only — no
@@ -214,7 +339,8 @@ pub fn expected_background_failures(config: &SimConfig, fleet: &Fleet) -> f64 {
     total
 }
 
-/// Expands batch events into per-server direct occurrences.
+/// Expands batch events into per-server direct occurrences. Returns
+/// `(events generated, occurrences scheduled)`.
 fn apply_batch_events(
     config: &SimConfig,
     fleet: &Fleet,
@@ -222,7 +348,8 @@ fn apply_batch_events(
     end: SimTime,
     rng: &mut StdRng,
     direct: &mut [Vec<Occurrence>],
-) {
+) -> (u64, u64) {
+    let mut scheduled: u64 = 0;
     let events = config.batch.generate(fleet, start, end, config.seed);
     for event in &events {
         // Candidate servers for this event.
@@ -280,13 +407,15 @@ fn apply_batch_events(
                 error_time: t,
                 expand_repeats: false,
             });
+            scheduled += 1;
         }
     }
+    (events.len() as u64, scheduled)
 }
 
 /// Schedules synchronous-repeat groups (§V-C / Table VIII): pairs of
 /// same-rack servers whose disks report the same failure type within
-/// seconds, repeatedly.
+/// seconds, repeatedly. Returns the number of occurrences scheduled.
 fn apply_sync_groups(
     config: &SimConfig,
     fleet: &Fleet,
@@ -294,7 +423,8 @@ fn apply_sync_groups(
     end: SimTime,
     rng: &mut StdRng,
     direct: &mut [Vec<Occurrence>],
-) {
+) -> u64 {
+    let mut scheduled: u64 = 0;
     let scale = (fleet.servers().len() as f64 / 160_000.0).max(1.0 / 160.0);
     let groups = (config.sync_repeat.groups_per_trace * scale).round() as usize;
     let groups = if config.sync_repeat.groups_per_trace > 0.0 {
@@ -349,13 +479,16 @@ fn apply_sync_groups(
                     error_time: jittered,
                     expand_repeats: false,
                 });
+                scheduled += 1;
             }
         }
     }
+    scheduled
 }
 
 /// Simulates one server end to end. Deterministic in
-/// `(config.seed, server id)`.
+/// `(config.seed, server id)`. Event tallies go into `counts`; they never
+/// touch `rng`, so instrumentation cannot perturb the trace.
 #[allow(clippy::too_many_arguments)]
 fn simulate_server(
     config: &SimConfig,
@@ -366,6 +499,7 @@ fn simulate_server(
     start: SimTime,
     end: SimTime,
     out: &mut Vec<TicketSpec>,
+    counts: &mut ServerCounts,
 ) {
     let mut rng = StdRng::seed_from_u64(mix_seed(config.seed, sid.raw() as u64 + 1));
     let server = fleet.server(sid);
@@ -418,6 +552,8 @@ fn simulate_server(
         }
     }
 
+    counts.background += occurrences.len() as u64;
+
     // --- detection for background faults ---
     for occ in &mut occurrences {
         let channel = config.detection.sample_channel(&mut rng, occ.class);
@@ -425,6 +561,7 @@ fn simulate_server(
             config
                 .detection
                 .detection_time(&mut rng, channel, occ.error_time, profile);
+        counts.latent_resolved += 1;
     }
 
     // --- warning → fatal escalation on the same component (§VII-A) ---
@@ -445,6 +582,7 @@ fn simulate_server(
             });
         }
     }
+    counts.escalated += escalations.len() as u64;
     occurrences.extend(escalations);
 
     // --- repeats: the same component failing again after a "fix" ---
@@ -461,6 +599,7 @@ fn simulate_server(
             });
         }
     }
+    counts.repeats += repeats.len() as u64;
     occurrences.extend(repeats);
     occurrences.extend_from_slice(direct);
 
@@ -493,6 +632,7 @@ fn simulate_server(
             });
         }
     }
+    counts.correlated += extra.len() as u64;
     occurrences.extend(extra);
 
     // --- categorize in time order, applying decommissioning ---
@@ -500,16 +640,26 @@ fn simulate_server(
         if o.class != ComponentClass::Miscellaneous {
             match monitored_from {
                 Some(from) if o.error_time >= from => {}
-                _ => return false, // no agent yet: failure goes unrecorded
+                _ => {
+                    // no agent yet: failure goes unrecorded
+                    counts.dropped_unmonitored += 1;
+                    return false;
+                }
             }
         }
-        o.error_time >= start && o.error_time < end
+        if o.error_time >= start && o.error_time < end {
+            true
+        } else {
+            counts.dropped_outside_window += 1;
+            false
+        }
     });
     occurrences.sort_by_key(|o| o.error_time);
     let mut decommissioned_at: Option<SimTime> = None;
     for occ in &occurrences {
         if let Some(d) = decommissioned_at {
             if occ.error_time >= d {
+                counts.skipped_decommissioned += 1;
                 continue;
             }
         }
@@ -518,6 +668,10 @@ fn simulate_server(
         } else {
             FotCategory::Fixing
         };
+        match category {
+            FotCategory::Error => counts.tickets_error += 1,
+            _ => counts.tickets_fixing += 1,
+        }
         let response = operator.sample_response(
             &mut rng,
             server.product_line,
@@ -526,6 +680,9 @@ fn simulate_server(
             occ.error_time,
             occ.error_time.since(server.deploy_time),
         );
+        if response.is_some() {
+            counts.responses += 1;
+        }
         out.push(TicketSpec {
             server: sid,
             class: occ.class,
@@ -541,6 +698,7 @@ fn simulate_server(
             && operator.roll_decommission(&mut rng, true)
         {
             decommissioned_at = Some(occ.error_time);
+            counts.decommissioned += 1;
         }
 
         // --- false alarms (Table I: 1.7% of tickets) ---
@@ -557,6 +715,10 @@ fn simulate_server(
                     fa_time,
                     fa_time.since(server.deploy_time),
                 );
+                counts.tickets_false_alarm += 1;
+                if fa_response.is_some() {
+                    counts.responses += 1;
+                }
                 out.push(TicketSpec {
                     server: sid,
                     class: fa_class,

@@ -25,7 +25,9 @@ mod error;
 mod scenario;
 
 pub use config::SimConfig;
-pub use engine::{expected_background_failures, run, run_on_fleet};
+pub use engine::{
+    expected_background_failures, run, run_on_fleet, run_on_fleet_with_metrics, run_with_metrics,
+};
 pub use error::SimError;
 pub use scenario::Scenario;
 
@@ -130,6 +132,33 @@ mod tests {
             per_day.values().copied().max().unwrap_or(0)
         };
         assert!(max_daily(&base) >= max_daily(&ablated));
+    }
+
+    #[test]
+    fn metrics_do_not_perturb_the_trace_and_match_its_shape() {
+        let scenario = Scenario::small().seed(42);
+        let plain = scenario.run().unwrap();
+        let registry = dcf_obs::MetricsRegistry::new();
+        let instrumented = scenario.run_with_metrics(&registry).unwrap();
+        // Instrumentation must be RNG-free: identical trace either way.
+        assert_eq!(plain.fots(), instrumented.fots());
+        let count = |name: &str| registry.counter_value(name).unwrap();
+        let by_category = count("sim.tickets.fixing")
+            + count("sim.tickets.error")
+            + count("sim.tickets.false_alarm");
+        assert_eq!(by_category, instrumented.len() as u64);
+        assert_eq!(count("sim.tickets.total"), instrumented.len() as u64);
+        assert_eq!(count("fms.tickets.issued"), instrumented.len() as u64);
+        assert!(count("sim.occurrences.background") > 0);
+        let report = registry.report("sim-test");
+        for phase in [
+            "engine.fleet_build",
+            "engine.global",
+            "engine.per_server",
+            "engine.assembly",
+        ] {
+            assert!(report.phase_ms(phase).is_some(), "missing span {phase}");
+        }
     }
 
     #[test]

@@ -3,6 +3,7 @@
 
 use dcf_failmodel::{BatchModel, DetectionModel, RepeatModel, SyncRepeatModel};
 use dcf_fleet::FleetConfig;
+use dcf_obs::MetricsRegistry;
 use dcf_trace::Trace;
 
 use crate::config::SimConfig;
@@ -113,6 +114,17 @@ impl Scenario {
     /// Propagates configuration and assembly errors from the engine.
     pub fn run(&self) -> Result<Trace, SimError> {
         engine::run(&self.config)
+    }
+
+    /// Runs the scenario with instrumentation: phase timings and event
+    /// counters accumulate into `metrics` (see [`crate::run_with_metrics`]).
+    /// The trace is identical to [`Scenario::run`] at the same seed.
+    ///
+    /// # Errors
+    ///
+    /// Propagates configuration and assembly errors from the engine.
+    pub fn run_with_metrics(&self, metrics: &MetricsRegistry) -> Result<Trace, SimError> {
+        engine::run_with_metrics(&self.config, metrics)
     }
 }
 

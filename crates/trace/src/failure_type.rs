@@ -198,6 +198,34 @@ impl FailureType {
             .collect()
     }
 
+    /// Fatal-severity types of `class` as a static slice, in
+    /// [`FailureType::ALL`] order (the same order a
+    /// [`FailureType::types_of`] + severity filter would produce).
+    ///
+    /// This is the allocation-free lookup behind the simulator's
+    /// escalation sampling, which runs inside per-server hot loops.
+    pub fn fatal_types_of(class: ComponentClass) -> &'static [FailureType] {
+        use FailureType::*;
+        match class {
+            ComponentClass::Hdd => &[Missing, NotReady, TooMany, DStatus, SixthFixing],
+            ComponentClass::RaidCard => &[BbtFail],
+            ComponentClass::FlashCard => &[FlashBbtFail, FlashMissing],
+            ComponentClass::Memory => &[DimmUe],
+            ComponentClass::Ssd => &[SsdWearOut, SsdNotReady],
+            ComponentClass::Power => &[PsuVoltageFail, PsuFanFail, PsuMissing],
+            ComponentClass::Fan => &[FanStall],
+            ComponentClass::Motherboard => &[MbPostFail, SasCardFail],
+            ComponentClass::HddBackboard => &[BackboardErr],
+            ComponentClass::Cpu => &[CpuMce],
+            ComponentClass::Miscellaneous => &[
+                ManualNoDescription,
+                ManualSuspectHdd,
+                ManualServerCrash,
+                ManualOther,
+            ],
+        }
+    }
+
     /// The type's name as it appears in FOTs (paper spelling where defined).
     pub fn name(self) -> &'static str {
         use FailureType::*;
@@ -293,6 +321,21 @@ mod tests {
             FailureType::RaidVdNoBbuCacheErr.name(),
             "RaidVdNoBBU-CacheErr"
         );
+    }
+
+    #[test]
+    fn fatal_types_match_the_dynamic_definition() {
+        for class in ComponentClass::ALL {
+            let expected: Vec<FailureType> = FailureType::types_of(class)
+                .into_iter()
+                .filter(|t| t.severity() == Severity::Fatal)
+                .collect();
+            assert_eq!(
+                FailureType::fatal_types_of(class),
+                expected.as_slice(),
+                "static fatal slice out of sync for {class}"
+            );
+        }
     }
 
     #[test]

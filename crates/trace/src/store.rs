@@ -38,6 +38,59 @@ impl TraceInfo {
 /// Construction validates referential integrity and the category/response
 /// invariants, then builds a per-server ticket index used by the
 /// correlation and repeat analyses.
+///
+/// # Examples
+///
+/// ```
+/// use dcf_trace::{
+///     ComponentClass, DataCenterId, FailureType, Fot, FotCategory, FotId, ProductLineId,
+///     RackId, RackPosition, ServerId, ServerMeta, SimDuration, SimTime, Trace, TraceInfo,
+/// };
+///
+/// let info = TraceInfo {
+///     start: SimTime::ORIGIN,
+///     days: 100,
+///     seed: 1,
+///     description: "doctest".into(),
+/// };
+/// let server = ServerMeta {
+///     id: ServerId::new(0),
+///     hostname: "dc00-r0000-u01-s000000".into(),
+///     data_center: DataCenterId::new(0),
+///     product_line: ProductLineId::new(0),
+///     rack: RackId::new(0),
+///     position: RackPosition::new(1),
+///     generation: 0,
+///     deploy_time: SimTime::ORIGIN,
+///     warranty: SimDuration::from_days(30), // out of warranty by day 40
+///     hdd_count: 12,
+///     ssd_count: 0,
+///     cpu_count: 2,
+///     dimm_count: 8,
+///     fan_count: 4,
+///     psu_count: 2,
+///     has_raid_card: true,
+///     has_flash_card: false,
+/// };
+/// let fot = Fot {
+///     id: FotId::new(0),
+///     server: ServerId::new(0),
+///     data_center: DataCenterId::new(0),
+///     product_line: ProductLineId::new(0),
+///     device: ComponentClass::Hdd,
+///     device_slot: 3,
+///     failure_type: FailureType::NotReady,
+///     error_time: SimTime::from_days(40),
+///     rack_position: RackPosition::new(1),
+///     detail: String::new(),
+///     category: FotCategory::Error, // out of warranty: no response
+///     response: None,
+/// };
+/// let trace = Trace::new(info, vec![server], vec![], vec![], vec![fot]).unwrap();
+/// assert_eq!(trace.len(), 1);
+/// assert_eq!(trace.failures().count(), 1);
+/// assert_eq!(trace.fots_of_server(ServerId::new(0)).count(), 1);
+/// ```
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct Trace {
     info: TraceInfo,

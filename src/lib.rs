@@ -13,6 +13,7 @@
 //!
 //! | module | crate | contents |
 //! |---|---|---|
+//! | [`obs`] | `dcf-obs` | phase timers, atomic counters/gauges, serializable run reports |
 //! | [`stats`] | `dcf-stats` | MLE fits, chi-squared/KS tests, ECDF, Spearman, anomaly rule |
 //! | [`trace`] | `dcf-trace` | the FOT schema, simulated time, the validated [`trace::Trace`], IO |
 //! | [`fleet`] | `dcf-fleet` | data centers, racks, product lines, deployment, workloads |
@@ -39,6 +40,7 @@ pub use dcf_core as core;
 pub use dcf_failmodel as failmodel;
 pub use dcf_fleet as fleet;
 pub use dcf_fms as fms;
+pub use dcf_obs as obs;
 pub use dcf_report as report;
 pub use dcf_sim as sim;
 pub use dcf_stats as stats;

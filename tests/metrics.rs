@@ -1,0 +1,67 @@
+//! Integration tests for the `dcf-obs` instrumentation layer: metric
+//! counts must be deterministic in the seed and consistent with the trace
+//! the run produced.
+
+use dcfail::obs::{MetricsRegistry, RunReport};
+use dcfail::sim::Scenario;
+
+/// Runs `scenario` with a fresh registry and returns `(trace len, report)`.
+fn instrumented_run(seed: u64) -> (u64, RunReport) {
+    let registry = MetricsRegistry::new();
+    let trace = Scenario::small()
+        .seed(seed)
+        .run_with_metrics(&registry)
+        .unwrap();
+    registry.set_gauge("trace.fots", trace.len() as f64);
+    (trace.len() as u64, registry.report("integration"))
+}
+
+#[test]
+fn counters_are_deterministic_across_runs() {
+    let (len_a, a) = instrumented_run(17);
+    let (len_b, b) = instrumented_run(17);
+    assert_eq!(len_a, len_b);
+    // Counters and gauges must match exactly; phase durations are
+    // wall-clock and may not.
+    assert_eq!(a.counters, b.counters);
+    assert_eq!(a.gauges, b.gauges);
+
+    let (_, c) = instrumented_run(18);
+    assert_ne!(a.counters, c.counters, "different seeds, same counters");
+}
+
+#[test]
+fn ticket_counters_are_consistent_with_the_trace() {
+    let (len, report) = instrumented_run(17);
+    let count = |name: &str| {
+        report
+            .counter(name)
+            .unwrap_or_else(|| panic!("missing {name}"))
+    };
+
+    assert_eq!(count("sim.tickets.total"), len);
+    assert_eq!(count("fms.tickets.issued"), len);
+    assert_eq!(
+        count("sim.tickets.fixing") + count("sim.tickets.error") + count("sim.tickets.false_alarm"),
+        len
+    );
+    assert_eq!(report.gauge("trace.fots"), Some(len as f64));
+    // The small scenario exercises every channel.
+    assert!(count("sim.occurrences.background") > 0);
+    assert!(count("fleet.servers.built") > 0);
+}
+
+#[test]
+fn report_round_trips_through_json_after_a_real_run() {
+    let (_, report) = instrumented_run(17);
+    let back = RunReport::from_json(&report.to_json()).unwrap();
+    assert_eq!(back, report);
+    for phase in [
+        "engine.fleet_build",
+        "engine.global",
+        "engine.per_server",
+        "engine.assembly",
+    ] {
+        assert!(back.phase_ms(phase).is_some(), "missing span {phase}");
+    }
+}
