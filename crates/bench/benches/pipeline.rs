@@ -1,11 +1,13 @@
 //! End-to-end pipeline benchmarks: trace generation at several scales,
-//! (de)serialization, and the full study report.
+//! (de)serialization, and the full study report — the latter across the
+//! index/scan accessor backends and serial/parallel section schedules.
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
 
 use dcf_bench::{medium_trace, small_trace};
-use dcf_core::FailureStudy;
+use dcf_core::{FailureStudy, StudyOptions};
+use dcf_obs::MetricsRegistry;
 use dcf_sim::Scenario;
 use dcf_trace::io;
 
@@ -30,6 +32,36 @@ fn bench_full_report(c: &mut Criterion) {
     group.sample_size(10);
     group.bench_function("full_study_report_medium", |b| {
         b.iter(|| black_box(FailureStudy::new(trace).report()))
+    });
+    group.finish();
+}
+
+/// The report across accessor backends and section schedules. All four
+/// variants produce byte-identical reports (tests/index_parallel.rs); the
+/// spread here is the cost of the index and of the thread pool.
+fn bench_report_backends(c: &mut Criterion) {
+    let indexed = medium_trace();
+    let _ = indexed.index(); // pay the one-time index build outside the timing loop
+    let mut scan = indexed.clone();
+    scan.set_scan_only(true);
+
+    let mut group = c.benchmark_group("report_backends");
+    group.sample_size(10);
+    group.bench_function("scan_serial", |b| {
+        b.iter(|| black_box(FailureStudy::new(&scan).report()))
+    });
+    group.bench_function("indexed_serial", |b| {
+        b.iter(|| black_box(FailureStudy::new(indexed).report()))
+    });
+    group.bench_function("indexed_threads4", |b| {
+        b.iter(|| {
+            black_box(
+                FailureStudy::new(indexed).report_with_options(
+                    StudyOptions::with_threads(4),
+                    &MetricsRegistry::disabled(),
+                ),
+            )
+        })
     });
     group.finish();
 }
@@ -60,6 +92,7 @@ fn bench_io(c: &mut Criterion) {
 criterion_group! {
     name = pipeline;
     config = Criterion::default().sample_size(20);
-    targets = bench_simulation_small, bench_simulation_medium, bench_full_report, bench_io
+    targets = bench_simulation_small, bench_simulation_medium, bench_full_report,
+        bench_report_backends, bench_io
 }
 criterion_main!(pipeline);

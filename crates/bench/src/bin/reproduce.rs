@@ -2,7 +2,7 @@
 //!
 //! ```text
 //! reproduce [--scenario paper|medium|small] [--seed N] [--experiment ID]
-//!           [--markdown] [--metrics PATH]
+//!           [--markdown] [--metrics PATH] [--threads N]
 //! ```
 //!
 //! `ID` is one of: `table1 table2 table3 table4 table5 table6 table7 table8
@@ -14,10 +14,13 @@
 //! phase timings and event counters are written to `PATH` as a JSON
 //! `RunReport` and summarized on stderr. Counter values are deterministic
 //! in the seed.
+//! `--threads N` sets the study section pool size for the `--markdown`
+//! report path (`0`, the default, means auto-detect from the machine).
+//! Reports are byte-identical across thread counts.
 
 use std::process::ExitCode;
 
-use dcf_core::{paper, FailureStudy, StudyReport};
+use dcf_core::{paper, FailureStudy, StudyOptions, StudyReport};
 use dcf_obs::MetricsRegistry;
 use dcf_report::{experiments, pct, TextTable};
 use dcf_sim::Scenario;
@@ -30,6 +33,7 @@ struct Args {
     markdown_full: bool,
     score: bool,
     metrics: Option<String>,
+    threads: usize,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -41,6 +45,7 @@ fn parse_args() -> Result<Args, String> {
         markdown_full: false,
         score: false,
         metrics: None,
+        threads: 0,
     };
     let mut it = std::env::args().skip(1);
     while let Some(flag) = it.next() {
@@ -64,8 +69,15 @@ fn parse_args() -> Result<Args, String> {
             "--metrics" => {
                 args.metrics = Some(it.next().ok_or("--metrics needs a value")?);
             }
+            "--threads" => {
+                args.threads = it
+                    .next()
+                    .ok_or("--threads needs a value")?
+                    .parse()
+                    .map_err(|e| format!("bad thread count: {e}"))?;
+            }
             "--help" | "-h" => {
-                return Err("usage: reproduce [--scenario paper|medium|small] [--seed N] [--experiment ID] [--markdown] [--metrics PATH]".into());
+                return Err("usage: reproduce [--scenario paper|medium|small] [--seed N] [--experiment ID] [--markdown] [--metrics PATH] [--threads N]".into());
             }
             other => return Err(format!("unknown flag {other}")),
         }
@@ -136,9 +148,17 @@ fn main() -> ExitCode {
     let analysis_span = registry.phase("analysis");
 
     if args.markdown {
+        // 0 = auto: one worker per core, capped by the section count inside
+        // report_with_options.
+        let threads = if args.threads == 0 {
+            std::thread::available_parallelism().map_or(1, |n| n.get())
+        } else {
+            args.threads
+        };
+        let options = StudyOptions::with_threads(threads);
         println!(
             "{}",
-            markdown_summary(&study.report_with_metrics(&registry))
+            markdown_summary(&study.report_with_options(options, &registry))
         );
         drop(analysis_span);
         return finish(&args, &registry);

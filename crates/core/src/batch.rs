@@ -64,6 +64,8 @@ impl<'a> Batch<'a> {
     }
 
     /// Daily failure counts of one class over the observation window.
+    ///
+    /// Walks only the class's bucket of the trace index, not every ticket.
     pub fn daily_counts(&self, class: ComponentClass) -> Vec<usize> {
         let start_day = self.trace.info().start.day_index();
         let days = self.trace.info().days as usize;

@@ -81,6 +81,10 @@ impl<'a> Correlation<'a> {
 
     /// Table VI: failures of different component classes on the same server
     /// within one calendar day.
+    ///
+    /// Walks the trace's failure bucket once; the pair table is sorted by
+    /// count with a class-index tiebreak so the output is deterministic
+    /// regardless of hash-map iteration order.
     pub fn component_pairs(&self) -> CorrelatedComponents {
         // (server, day) → set of classes (bitmask over the 11 classes).
         let mut day_classes: HashMap<(ServerId, u64), u16> = HashMap::new();
@@ -121,7 +125,11 @@ impl<'a> Correlation<'a> {
                 count,
             })
             .collect();
-        pairs.sort_by_key(|p| std::cmp::Reverse(p.count));
+        pairs.sort_by(|x, y| {
+            y.count
+                .cmp(&x.count)
+                .then_with(|| (x.a, x.b).cmp(&(y.a, y.b)))
+        });
 
         CorrelatedComponents {
             pairs,

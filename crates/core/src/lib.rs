@@ -45,6 +45,6 @@ pub mod temporal;
 #[cfg(test)]
 mod test_support;
 
-pub use study::{FailureStudy, StudyReport};
+pub use study::{FailureStudy, StudyOptions, StudyReport};
 
 pub(crate) use skew::type_tag as skew_type_tag;

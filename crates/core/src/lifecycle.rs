@@ -93,13 +93,19 @@ impl<'a> Lifecycle<'a> {
     }
 
     /// Lifecycle profiles for every component class.
+    ///
+    /// Failure ages are tallied per class straight off the trace index's
+    /// class buckets, so each class touches only its own tickets.
     pub fn all(&self) -> Vec<LifecycleResult> {
         let mut failures = vec![vec![0u64; AGE_MONTHS]; 11];
-        for fot in self.trace.failures() {
-            let server = self.trace.server(fot.server);
-            let age = fot.error_time.since(server.deploy_time).as_secs() / SECS_PER_MONTH;
-            if (age as usize) < AGE_MONTHS {
-                failures[fot.device.index()][age as usize] += 1;
+        for &class in ComponentClass::ALL.iter() {
+            let tally = &mut failures[class.index()];
+            for fot in self.trace.failures_of(class) {
+                let server = self.trace.server(fot.server);
+                let age = fot.error_time.since(server.deploy_time).as_secs() / SECS_PER_MONTH;
+                if (age as usize) < AGE_MONTHS {
+                    tally[age as usize] += 1;
+                }
             }
         }
 

@@ -83,13 +83,15 @@ impl<'a> Overview<'a> {
 
     /// Table II: failure shares per component class, largest first
     /// (failures = `D_fixing` + `D_error`, as the paper defines).
+    ///
+    /// Per-class counts come straight off the index's class buckets, so
+    /// this is O(classes) on an indexed trace.
     pub fn component_breakdown(&self) -> Vec<ComponentShare> {
-        let mut counts = [0usize; 11];
-        let mut total = 0usize;
-        for fot in self.trace.failures() {
-            counts[fot.device.index()] += 1;
-            total += 1;
-        }
+        let counts: Vec<usize> = ComponentClass::ALL
+            .iter()
+            .map(|&class| self.trace.failures_of(class).count())
+            .collect();
+        let total: usize = counts.iter().sum();
         let denom = total.max(1) as f64;
         let mut rows: Vec<ComponentShare> = ComponentClass::ALL
             .iter()
@@ -155,30 +157,26 @@ impl<'a> Overview<'a> {
 
     /// Failures per product line, largest first — the fleet is partitioned
     /// into hundreds of lines (§VI-C) and failure volume tracks line size.
+    /// Counts are the index's per-line bucket sizes.
     pub fn by_product_line(&self) -> Vec<(dcf_trace::ProductLineId, usize)> {
-        let mut counts = vec![0usize; self.trace.product_lines().len()];
-        for fot in self.trace.failures() {
-            counts[fot.product_line.index()] += 1;
-        }
-        let mut rows: Vec<(dcf_trace::ProductLineId, usize)> = counts
-            .into_iter()
-            .enumerate()
-            .map(|(i, c)| (dcf_trace::ProductLineId::new(i as u16), c))
+        let mut rows: Vec<(dcf_trace::ProductLineId, usize)> = self
+            .trace
+            .product_lines()
+            .iter()
+            .map(|line| (line.id, self.trace.failures_in_line(line.id).count()))
             .collect();
         rows.sort_by_key(|(_, c)| std::cmp::Reverse(*c));
         rows
     }
 
-    /// Failures per data center, largest first.
+    /// Failures per data center, largest first. Counts are the index's
+    /// per-DC bucket sizes.
     pub fn by_data_center(&self) -> Vec<(dcf_trace::DataCenterId, usize)> {
-        let mut counts = vec![0usize; self.trace.data_centers().len()];
-        for fot in self.trace.failures() {
-            counts[fot.data_center.index()] += 1;
-        }
-        let mut rows: Vec<(dcf_trace::DataCenterId, usize)> = counts
-            .into_iter()
-            .enumerate()
-            .map(|(i, c)| (dcf_trace::DataCenterId::new(i as u16), c))
+        let mut rows: Vec<(dcf_trace::DataCenterId, usize)> = self
+            .trace
+            .data_centers()
+            .iter()
+            .map(|dc| (dc.id, self.trace.failures_in_dc(dc.id).count()))
             .collect();
         rows.sort_by_key(|(_, c)| std::cmp::Reverse(*c));
         rows

@@ -12,7 +12,7 @@
 //! assert!(rt.mean_days > rt.median_days); // heavy right tail
 //! ```
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 use serde::{Deserialize, Serialize};
 
@@ -129,14 +129,16 @@ impl<'a> Response<'a> {
 
     /// Figure 10: RT statistics per component class over all responded
     /// tickets; classes without enough responses are omitted.
+    ///
+    /// Walks the trace's responded-ticket bucket once per class rather than
+    /// re-scanning every ticket.
     pub fn rt_by_class(&self, min_n: usize) -> Vec<(ComponentClass, RtStats)> {
         ComponentClass::ALL
             .iter()
             .filter_map(|&class| {
                 let rts: Vec<f64> = self
                     .trace
-                    .fots()
-                    .iter()
+                    .responded()
                     .filter(|f| f.device == class)
                     .filter_map(|f| f.response_time())
                     .map(|d| d.as_days_f64())
@@ -151,9 +153,12 @@ impl<'a> Response<'a> {
 
     /// Figure 11: per-line HDD failure count vs median RT, for lines with
     /// at least `min_failures` responded HDD tickets.
+    ///
+    /// Groups the responded-ticket bucket into an ordered map, so the
+    /// output (including tie order after the sort below) is deterministic.
     pub fn rt_by_product_line_hdd(&self, min_failures: usize) -> Vec<LineRtPoint> {
-        let mut per_line: HashMap<ProductLineId, Vec<f64>> = HashMap::new();
-        for fot in self.trace.fots() {
+        let mut per_line: BTreeMap<ProductLineId, Vec<f64>> = BTreeMap::new();
+        for fot in self.trace.responded() {
             if fot.device != ComponentClass::Hdd {
                 continue;
             }
@@ -182,8 +187,8 @@ impl<'a> Response<'a> {
     /// tickets), busiest first. §VI notes each product line has its own
     /// team; this view shows how unevenly the closing work lands.
     pub fn by_operator(&self, min_n: usize) -> Vec<OperatorLoad> {
-        let mut per_op: HashMap<OperatorId, Vec<f64>> = HashMap::new();
-        for fot in self.trace.fots() {
+        let mut per_op: BTreeMap<OperatorId, Vec<f64>> = BTreeMap::new();
+        for fot in self.trace.responded() {
             if let (Some(resp), Some(rt)) = (fot.response, fot.response_time()) {
                 per_op
                     .entry(resp.operator)
@@ -224,8 +229,7 @@ impl<'a> Response<'a> {
             points[..top_k].iter().map(|p| p.line).collect();
         let pooled: Vec<f64> = self
             .trace
-            .fots()
-            .iter()
+            .responded()
             .filter(|f| f.device == ComponentClass::Hdd && top_lines.contains(&f.product_line))
             .filter_map(|f| f.response_time())
             .map(|d| d.as_days_f64())

@@ -104,18 +104,28 @@ impl<'a> Skew<'a> {
     }
 
     /// Figure 7's concentration data.
+    ///
+    /// Per-server failure counts are the sizes of the trace index's
+    /// per-server ticket buckets (filtered to failures), so no hash map is
+    /// built and the result is independent of ticket order.
     pub fn concentration(&self) -> ConcentrationResult {
-        let mut per_server: HashMap<ServerId, u32> = HashMap::new();
-        let mut total = 0usize;
-        for fot in self.trace.failures() {
-            *per_server.entry(fot.server).or_insert(0) += 1;
-            total += 1;
-        }
-        let mut counts_desc: Vec<u32> = per_server.values().copied().collect();
+        let mut counts_desc: Vec<u32> = self
+            .trace
+            .servers()
+            .iter()
+            .map(|s| {
+                self.trace
+                    .fots_of_server(s.id)
+                    .filter(|f| f.is_failure())
+                    .count() as u32
+            })
+            .filter(|&c| c > 0)
+            .collect();
         counts_desc.sort_unstable_by(|a, b| b.cmp(a));
+        let total: usize = counts_desc.iter().map(|&c| c as usize).sum();
         ConcentrationResult {
-            servers_ever_failed: per_server.len(),
-            ever_failed_share: per_server.len() as f64 / self.trace.servers().len().max(1) as f64,
+            servers_ever_failed: counts_desc.len(),
+            ever_failed_share: counts_desc.len() as f64 / self.trace.servers().len().max(1) as f64,
             total_failures: total,
             max_on_one_server: counts_desc.first().copied().unwrap_or(0),
             counts_desc,

@@ -89,35 +89,39 @@ impl<'a> Spatial<'a> {
             servers[s.data_center.index()][s.position.index()] += 1;
         }
 
-        // Deduplicated failures: filter out repeats of the same problem on
-        // the same component, as the paper does.
-        let mut failures = vec![vec![0usize; max_pos]; n_dcs];
-        let mut seen: HashSet<(u32, u8, u8, u8)> = HashSet::new();
-        for fot in self.trace.failures() {
-            let key = (
-                fot.server.raw(),
-                fot.device.index() as u8,
-                fot.device_slot,
-                crate::skew_type_tag(fot.failure_type),
-            );
-            if !seen.insert(key) {
-                continue;
-            }
-            failures[fot.data_center.index()][fot.rack_position.index()] += 1;
-        }
-
         self.trace
             .data_centers()
             .iter()
             .map(|dc| {
                 let i = dc.id.index();
+                // Deduplicated failures for this DC, off its index bucket:
+                // repeats of the same problem on the same component are
+                // filtered out, as the paper does. Buckets are time-sorted,
+                // so the kept ticket is the earliest occurrence — the same
+                // one a full time-ordered scan would keep. A component never
+                // spans data centers (the key includes its server), so
+                // per-DC dedup sets match one global set.
+                let mut failures = vec![0usize; max_pos];
+                let mut seen: HashSet<(u32, u8, u8, u8)> = HashSet::new();
+                for fot in self.trace.failures_in_dc(dc.id) {
+                    let key = (
+                        fot.server.raw(),
+                        fot.device.index() as u8,
+                        fot.device_slot,
+                        crate::skew_type_tag(fot.failure_type),
+                    );
+                    if !seen.insert(key) {
+                        continue;
+                    }
+                    failures[fot.rack_position.index()] += 1;
+                }
                 let positions: Vec<PositionStat> = (0..dc.rack_positions as usize)
                     .filter(|&p| servers[i][p] > 0)
                     .map(|p| PositionStat {
                         position: p as u8,
                         servers: servers[i][p],
-                        failures: failures[i][p],
-                        ratio: failures[i][p] as f64 / servers[i][p] as f64,
+                        failures: failures[p],
+                        ratio: failures[p] as f64 / servers[i][p] as f64,
                     })
                     .collect();
                 let total_failures: usize = positions.iter().map(|p| p.failures).sum();

@@ -1,5 +1,12 @@
 //! The [`FailureStudy`] facade: one entry point running every §II–§VI
 //! analysis, plus a serializable [`StudyReport`] with the headline metrics.
+//!
+//! The report runs on top of the shared [`dcf_trace::TraceIndex`] (built
+//! once, up front, under the `study.index` span) and schedules its six
+//! independent sections over a small crossbeam thread pool — see
+//! [`StudyOptions`] for the `threads` knob and the determinism contract.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
 
 use dcf_obs::MetricsRegistry;
 use serde::{Deserialize, Serialize};
@@ -7,13 +14,13 @@ use serde::{Deserialize, Serialize};
 use dcf_trace::{ComponentClass, FotCategory, Trace};
 
 use crate::batch::Batch;
-use crate::correlation::Correlation;
+use crate::correlation::{CorrelatedComponents, Correlation};
 use crate::lifecycle::Lifecycle;
-use crate::overview::Overview;
+use crate::overview::{CategoryBreakdown, ComponentShare, Overview};
 use crate::response::{Response, RtStats};
-use crate::skew::Skew;
+use crate::skew::{ConcentrationResult, RepeatStats, Skew};
 use crate::spatial::{Spatial, TableIv};
-use crate::temporal::Temporal;
+use crate::temporal::{DayOfWeekResult, HourOfDayResult, TbfResult, Temporal};
 
 /// One study over one trace; hands out the section analyses.
 ///
@@ -101,7 +108,8 @@ impl<'a> FailureStudy<'a> {
         crate::backlog::Backlog::new(self.trace)
     }
 
-    /// Runs everything and collects the headline metrics.
+    /// Runs everything and collects the headline metrics (serially, with
+    /// instrumentation disabled).
     pub fn report(&self) -> StudyReport {
         self.report_with_metrics(&MetricsRegistry::disabled())
     }
@@ -110,36 +118,159 @@ impl<'a> FailureStudy<'a> {
     /// gets a `study.*` phase span in `metrics`, and `study.fots.analyzed`
     /// counts the tickets fed in. The report itself is unaffected.
     pub fn report_with_metrics(&self, metrics: &MetricsRegistry) -> StudyReport {
+        self.report_with_options(StudyOptions::default(), metrics)
+    }
+
+    /// [`FailureStudy::report`] with full control: `options.threads`
+    /// schedules the six independent sections over a crossbeam scope, and
+    /// `metrics` records one detached `study.<section>` span per section
+    /// (plus `study.index` for the up-front index build and
+    /// `study.sections` for the scheduler's wall time).
+    ///
+    /// The report is byte-identical for every thread count — see
+    /// [`StudyOptions`].
+    pub fn report_with_options(
+        &self,
+        options: StudyOptions,
+        metrics: &MetricsRegistry,
+    ) -> StudyReport {
         metrics.add("study.fots.analyzed", self.trace.len() as u64);
-        let span = metrics.phase("study.overview");
-        let overview = self.overview();
-        let categories = overview.category_breakdown();
-        let components = overview.component_breakdown();
-        drop(span);
-        let span = metrics.phase("study.temporal");
-        let temporal = self.temporal();
-        let tbf = temporal.tbf_all().ok();
-        let dow = temporal.day_of_week(None).ok();
-        let hod = temporal.hour_of_day(None).ok();
-        drop(span);
-        let span = metrics.phase("study.skew");
-        let skew = self.skew();
-        let concentration = skew.concentration();
-        let repeats = skew.repeats();
-        drop(span);
-        let span = metrics.phase("study.spatial");
-        let spatial = self.spatial();
-        let spatial_results = spatial.by_data_center(200);
-        let table_iv = spatial.table_iv(&spatial_results);
-        drop(span);
-        let span = metrics.phase("study.correlation");
-        let correlation = self.correlation().component_pairs();
-        drop(span);
-        let span = metrics.phase("study.response");
-        let response = self.response();
-        let rt_fixing = response.rt_of_category(FotCategory::Fixing).ok();
-        let rt_false_alarm = response.rt_of_category(FotCategory::FalseAlarm).ok();
-        drop(span);
+        {
+            // Build the shared index before any section starts, so section
+            // spans measure analysis work instead of racing to initialize
+            // the cache. Skip in scan-only mode, where no accessor uses it.
+            let _span = metrics.phase("study.index");
+            if !self.trace.scan_only() {
+                let _ = self.trace.index();
+            }
+        }
+        let workers = options.threads.clamp(1, SECTION_NAMES.len());
+        metrics.set_gauge("study.threads", workers as f64);
+
+        let sections_span = metrics.phase("study.sections");
+        let mut slots: [Option<SectionOutput>; SECTION_COUNT] = Default::default();
+        if workers == 1 {
+            for (section, slot) in slots.iter_mut().enumerate() {
+                let span = metrics.worker_phase(SECTION_NAMES[section]);
+                *slot = Some(self.run_section(section));
+                drop(span);
+            }
+        } else {
+            // Work-stealing over a shared cursor: each worker claims the
+            // next unclaimed section until all are done. Which worker runs
+            // which section is racy; the outputs are not — every section
+            // is a pure function of the (shared, read-only) trace, and the
+            // merge below reassembles them in fixed order.
+            let next = AtomicUsize::new(0);
+            let outputs = crossbeam::thread::scope(|scope| {
+                let handles: Vec<_> = (0..workers)
+                    .map(|_| {
+                        let next = &next;
+                        scope.spawn(move |_| {
+                            let mut done = Vec::new();
+                            loop {
+                                let section = next.fetch_add(1, Ordering::Relaxed);
+                                if section >= SECTION_COUNT {
+                                    break;
+                                }
+                                let span = metrics.worker_phase(SECTION_NAMES[section]);
+                                done.push((section, self.run_section(section)));
+                                drop(span);
+                            }
+                            done
+                        })
+                    })
+                    .collect();
+                handles
+                    .into_iter()
+                    .flat_map(|h| h.join().expect("study worker panicked"))
+                    .collect::<Vec<_>>()
+            })
+            .expect("study thread pool");
+            for (section, output) in outputs {
+                slots[section] = Some(output);
+            }
+        }
+        drop(sections_span);
+        self.assemble(slots)
+    }
+
+    /// Runs one section by scheduler slot (see [`SECTION_NAMES`] order).
+    fn run_section(&self, section: usize) -> SectionOutput {
+        match section {
+            0 => {
+                let overview = self.overview();
+                SectionOutput::Overview {
+                    categories: overview.category_breakdown(),
+                    components: overview.component_breakdown(),
+                }
+            }
+            1 => {
+                let temporal = self.temporal();
+                SectionOutput::Temporal {
+                    tbf: temporal.tbf_all().ok(),
+                    dow: temporal.day_of_week(None).ok(),
+                    hod: temporal.hour_of_day(None).ok(),
+                }
+            }
+            2 => {
+                let skew = self.skew();
+                SectionOutput::Skew {
+                    concentration: skew.concentration(),
+                    repeats: skew.repeats(),
+                }
+            }
+            3 => {
+                let spatial = self.spatial();
+                let results = spatial.by_data_center(200);
+                SectionOutput::Spatial {
+                    table_iv: spatial.table_iv(&results),
+                }
+            }
+            4 => SectionOutput::Correlation(self.correlation().component_pairs()),
+            5 => {
+                let response = self.response();
+                SectionOutput::Response {
+                    rt_fixing: response.rt_of_category(FotCategory::Fixing).ok(),
+                    rt_false_alarm: response.rt_of_category(FotCategory::FalseAlarm).ok(),
+                }
+            }
+            _ => unreachable!("unknown study section {section}"),
+        }
+    }
+
+    /// Merges the section outputs (in fixed slot order) into the report.
+    fn assemble(&self, mut slots: [Option<SectionOutput>; SECTION_COUNT]) -> StudyReport {
+        let Some(SectionOutput::Overview {
+            categories,
+            components,
+        }) = slots[0].take()
+        else {
+            unreachable!("overview section missing")
+        };
+        let Some(SectionOutput::Temporal { tbf, dow, hod }) = slots[1].take() else {
+            unreachable!("temporal section missing")
+        };
+        let Some(SectionOutput::Skew {
+            concentration,
+            repeats,
+        }) = slots[2].take()
+        else {
+            unreachable!("skew section missing")
+        };
+        let Some(SectionOutput::Spatial { table_iv }) = slots[3].take() else {
+            unreachable!("spatial section missing")
+        };
+        let Some(SectionOutput::Correlation(correlation)) = slots[4].take() else {
+            unreachable!("correlation section missing")
+        };
+        let Some(SectionOutput::Response {
+            rt_fixing,
+            rt_false_alarm,
+        }) = slots[5].take()
+        else {
+            unreachable!("response section missing")
+        };
 
         StudyReport {
             total_fots: self.trace.len(),
@@ -167,6 +298,98 @@ impl<'a> FailureStudy<'a> {
             misc_involved_share: correlation.misc_involved_share,
             rt_fixing,
             rt_false_alarm,
+        }
+    }
+}
+
+/// Number of independently schedulable report sections.
+const SECTION_COUNT: usize = 6;
+
+/// Span names of the report sections, in scheduler slot order (also the
+/// serial execution order).
+const SECTION_NAMES: [&str; SECTION_COUNT] = [
+    "study.overview",
+    "study.temporal",
+    "study.skew",
+    "study.spatial",
+    "study.correlation",
+    "study.response",
+];
+
+/// Owned output of one report section, tagged by scheduler slot.
+#[derive(Debug)]
+enum SectionOutput {
+    /// Slot 0: §II overview.
+    Overview {
+        /// Table I shares.
+        categories: CategoryBreakdown,
+        /// Table II shares.
+        components: Vec<ComponentShare>,
+    },
+    /// Slot 1: §III-A/B temporal analyses.
+    Temporal {
+        /// Figure 5 / Hypotheses 3–4.
+        tbf: Option<TbfResult>,
+        /// Figure 3 / Hypothesis 1.
+        dow: Option<DayOfWeekResult>,
+        /// Figure 4 / Hypothesis 2.
+        hod: Option<HourOfDayResult>,
+    },
+    /// Slot 2: §III-D skew and repeats.
+    Skew {
+        /// Figure 7 concentration curve.
+        concentration: ConcentrationResult,
+        /// Repeat-failure shares.
+        repeats: RepeatStats,
+    },
+    /// Slot 3: §IV spatial analysis.
+    Spatial {
+        /// Table IV buckets.
+        table_iv: TableIv,
+    },
+    /// Slot 4: §V-B/C correlation mining.
+    Correlation(CorrelatedComponents),
+    /// Slot 5: §VI operator-response analysis.
+    Response {
+        /// Figure 9 stats for `D_fixing`.
+        rt_fixing: Option<RtStats>,
+        /// Figure 9 stats for `D_falsealarm`.
+        rt_false_alarm: Option<RtStats>,
+    },
+}
+
+/// Tuning knobs for [`FailureStudy::report_with_options`].
+///
+/// # Determinism
+///
+/// `threads` changes wall-clock behavior only. Every section is a pure,
+/// RNG-free function of the trace, all shared state is read-only (the
+/// [`dcf_trace::TraceIndex`] is built before the pool starts), and section
+/// outputs are merged in fixed slot order — so the resulting
+/// [`StudyReport`] is byte-identical (under serde JSON) for every thread
+/// count, and identical to a forced-scan
+/// ([`dcf_trace::Trace::set_scan_only`]) run. `tests/index_parallel.rs`
+/// asserts exactly this.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StudyOptions {
+    /// Worker threads for the section scheduler. `1` (the default) runs
+    /// the sections serially on the calling thread; larger values are
+    /// capped at the number of sections.
+    pub threads: usize,
+}
+
+impl Default for StudyOptions {
+    fn default() -> Self {
+        Self { threads: 1 }
+    }
+}
+
+impl StudyOptions {
+    /// Options running the sections on `threads` workers (`0` and `1`
+    /// both mean serial).
+    pub fn with_threads(threads: usize) -> Self {
+        Self {
+            threads: threads.max(1),
         }
     }
 }
@@ -255,6 +478,31 @@ mod tests {
         let report = registry.report("study");
         for phase in ["study.overview", "study.temporal", "study.response"] {
             assert!(report.phase_ms(phase).is_some(), "missing span {phase}");
+        }
+    }
+
+    #[test]
+    fn parallel_report_matches_serial_report() {
+        let trace = synthetic_trace();
+        let study = FailureStudy::new(&trace);
+        let serial = study.report();
+        for threads in [2, 4, 64] {
+            let registry = MetricsRegistry::new();
+            let parallel =
+                study.report_with_options(StudyOptions::with_threads(threads), &registry);
+            assert_eq!(parallel, serial, "threads={threads}");
+            let report = registry.report("parallel");
+            assert_eq!(
+                report.gauge("study.threads"),
+                Some(threads.min(super::SECTION_COUNT) as f64)
+            );
+            for name in super::SECTION_NAMES
+                .iter()
+                .copied()
+                .chain(["study.index", "study.sections"])
+            {
+                assert!(report.phase_ms(name).is_some(), "missing span {name}");
+            }
         }
     }
 

@@ -187,6 +187,22 @@ impl MetricsRegistry {
         }
     }
 
+    /// Opens a *detached* phase span: recorded at the current nesting
+    /// depth, but without pushing onto the depth stack.
+    ///
+    /// Unlike [`MetricsRegistry::phase`], detached spans may be opened and
+    /// closed concurrently from worker threads — the parallel study
+    /// scheduler uses one per section so per-section wall time stays
+    /// visible when sections overlap. Spans appear in the log in opening
+    /// order, which for concurrent workers is the lock-acquisition order;
+    /// look spans up by name rather than position.
+    pub fn worker_phase(&self, name: &str) -> PhaseGuard {
+        match &self.inner {
+            None => PhaseGuard::noop(),
+            Some(inner) => PhaseGuard::open_detached(inner.clone(), name),
+        }
+    }
+
     /// Snapshots all spans, counters and gauges into a [`RunReport`].
     ///
     /// For a disabled registry the report is empty (but valid). Call after

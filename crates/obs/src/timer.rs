@@ -70,17 +70,32 @@ impl PhaseSpan {
     }
 }
 
-/// Guard returned by [`crate::MetricsRegistry::phase`]; records the span's
-/// duration into the registry when dropped.
+/// Guard returned by [`crate::MetricsRegistry::phase`] and
+/// [`crate::MetricsRegistry::worker_phase`]; records the span's duration
+/// into the registry when dropped.
 ///
-/// Open and close phases from one coordinating thread (worker threads
-/// report through counters instead) — the nesting depth is tracked as a
-/// single stack.
+/// Open and close *stacked* phases ([`crate::MetricsRegistry::phase`])
+/// from one coordinating thread — the nesting depth is tracked as a
+/// single stack. *Detached* phases
+/// ([`crate::MetricsRegistry::worker_phase`]) record at the current depth
+/// without touching the stack and are safe to open and close from any
+/// number of worker threads concurrently.
 #[must_use = "a phase span is recorded when the guard is dropped"]
 #[derive(Debug)]
 pub struct PhaseGuard {
     /// `None` for a disabled registry (pure no-op).
-    state: Option<(Arc<Inner>, usize, Instant)>,
+    state: Option<OpenSpan>,
+}
+
+/// Bookkeeping for one open (not yet recorded) span.
+#[derive(Debug)]
+struct OpenSpan {
+    inner: Arc<Inner>,
+    /// Position of this span in the log.
+    index: usize,
+    started: Instant,
+    /// Detached spans leave the depth stack alone on drop.
+    detached: bool,
 }
 
 impl PhaseGuard {
@@ -89,12 +104,24 @@ impl PhaseGuard {
     }
 
     pub(crate) fn open(inner: Arc<Inner>, name: &str) -> Self {
+        Self::open_impl(inner, name, false)
+    }
+
+    /// Opens a span at the current depth without pushing onto the depth
+    /// stack; see [`crate::MetricsRegistry::worker_phase`].
+    pub(crate) fn open_detached(inner: Arc<Inner>, name: &str) -> Self {
+        Self::open_impl(inner, name, true)
+    }
+
+    fn open_impl(inner: Arc<Inner>, name: &str, detached: bool) -> Self {
         let started = Instant::now();
         let start_us = started.duration_since(inner.epoch).as_micros() as u64;
         let index = {
             let mut log = inner.spans.lock().expect("span log poisoned");
             let depth = log.depth as u32;
-            log.depth += 1;
+            if !detached {
+                log.depth += 1;
+            }
             log.spans.push(PhaseSpan {
                 name: name.to_string(),
                 depth,
@@ -104,18 +131,25 @@ impl PhaseGuard {
             log.spans.len() - 1
         };
         Self {
-            state: Some((inner, index, started)),
+            state: Some(OpenSpan {
+                inner,
+                index,
+                started,
+                detached,
+            }),
         }
     }
 }
 
 impl Drop for PhaseGuard {
     fn drop(&mut self) {
-        if let Some((inner, index, started)) = self.state.take() {
-            let duration_us = started.elapsed().as_micros() as u64;
-            let mut log = inner.spans.lock().expect("span log poisoned");
-            log.depth = log.depth.saturating_sub(1);
-            if let Some(span) = log.spans.get_mut(index) {
+        if let Some(open) = self.state.take() {
+            let duration_us = open.started.elapsed().as_micros() as u64;
+            let mut log = open.inner.spans.lock().expect("span log poisoned");
+            if !open.detached {
+                log.depth = log.depth.saturating_sub(1);
+            }
+            if let Some(span) = log.spans.get_mut(open.index) {
                 span.duration_us = duration_us;
             }
         }

@@ -77,7 +77,57 @@ fn phase_spans_nest_and_keep_preorder() {
 }
 
 #[test]
+fn worker_phases_record_concurrently_without_corrupting_the_stack() {
+    let metrics = MetricsRegistry::new();
+    {
+        let _sections = metrics.phase("sections");
+        thread::scope(|scope| {
+            for i in 0..4 {
+                let registry = metrics.clone();
+                scope.spawn(move || {
+                    let _span = registry.worker_phase(&format!("sections.worker{i}"));
+                });
+            }
+        });
+    }
+    // The depth stack must be balanced again: a new top-level phase sits
+    // at depth 0.
+    {
+        let _after = metrics.phase("after");
+    }
+    let report = metrics.report("workers");
+    let sections = report
+        .phases
+        .iter()
+        .find(|p| p.name == "sections")
+        .expect("missing enclosing span");
+    assert_eq!(sections.depth, 0);
+    for i in 0..4 {
+        let name = format!("sections.worker{i}");
+        let span = report
+            .phases
+            .iter()
+            .find(|p| p.name == name)
+            .unwrap_or_else(|| panic!("missing {name}"));
+        // Detached spans record under the enclosing stacked phase.
+        assert_eq!(span.depth, 1, "{name} depth");
+        assert!(span.start_us >= sections.start_us);
+    }
+    let after = report.phases.iter().find(|p| p.name == "after").unwrap();
+    assert_eq!(after.depth, 0);
+}
+
+#[test]
 fn disabled_registry_is_a_no_op() {
+    let metrics = MetricsRegistry::disabled();
+    {
+        let _span = metrics.worker_phase("ignored.worker");
+    }
+    assert!(metrics.report("disabled").phases.is_empty());
+}
+
+#[test]
+fn disabled_registry_handles_are_no_ops() {
     let metrics = MetricsRegistry::disabled();
     assert!(!metrics.is_enabled());
     let counter = metrics.counter("anything");

@@ -1,0 +1,386 @@
+//! The [`TraceIndex`]: precomputed ticket partitions shared by every
+//! analysis section.
+//!
+//! Every §II–§VI analysis consumes the same handful of FOT populations —
+//! "all failures", "failures of one component class", "tickets of one
+//! category", "failures inside one data center / product line", "tickets
+//! of one server", "tickets with an operator response". Before this index
+//! existed each section re-derived its population with a full linear scan
+//! of the ticket vector; at the paper's scale (~290k FOTs) those repeated
+//! scans dominated the cost of a reproduction run.
+//!
+//! [`TraceIndex::build`] walks the ticket vector **once** and buckets
+//! ticket positions by every partition key. [`crate::Trace::index`] builds
+//! it lazily (first access pays the single pass, later accesses are free)
+//! and [`crate::Trace::rebuild_index`] invalidates the cached copy.
+//!
+//! # Invariants
+//!
+//! * Every bucket holds **positions into [`crate::Trace::fots`]** (`u32`,
+//!   enough for any trace the schema's dense `FotId`s allow), in ascending
+//!   position order. Since construction sorts tickets by
+//!   `(error_time, id)`, every bucket is automatically time-sorted.
+//! * The index is a pure function of the ticket vector and the fleet
+//!   snapshot: two equal traces build equal indices, independent of thread
+//!   count, build order, or whether the index was built lazily or eagerly.
+//! * Iterating a bucket yields exactly the tickets a linear scan with the
+//!   corresponding filter would yield, in the same order. The
+//!   [`crate::Trace::set_scan_only`] escape hatch routes accessors through
+//!   those reference scans so tests can assert this bit-for-bit.
+//! * The index never outlives its trace's ticket vector: it is owned by
+//!   the [`crate::Trace`] and dropped/invalidated on any mutation
+//!   (`rebuild_index`, deserialization).
+
+use crate::{ComponentClass, DataCenterId, Fot, FotCategory, ProductLineId, ServerId, ServerMeta};
+
+/// Number of component classes ([`ComponentClass::ALL`]).
+const N_CLASSES: usize = 11;
+/// Number of ticket categories ([`FotCategory::ALL`]).
+const N_CATEGORIES: usize = 3;
+
+/// Stable bucket slot of a category, in [`FotCategory::ALL`] order.
+pub(crate) fn category_slot(category: FotCategory) -> usize {
+    match category {
+        FotCategory::Fixing => 0,
+        FotCategory::Error => 1,
+        FotCategory::FalseAlarm => 2,
+    }
+}
+
+/// Precomputed partitions of one trace's ticket vector.
+///
+/// Built once per trace (lazily, on first access through
+/// [`crate::Trace::index`]) and shared by every analysis section; see the
+/// [module docs](self) for the invariants.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct TraceIndex {
+    /// Positions of failures (`D_fixing` + `D_error`), time-sorted.
+    failures: Vec<u32>,
+    /// Positions of tickets carrying an operator response.
+    responded: Vec<u32>,
+    /// Positions of all tickets, per category ([`FotCategory::ALL`] order).
+    by_category: [Vec<u32>; N_CATEGORIES],
+    /// Positions of failures, per component class
+    /// ([`ComponentClass::ALL`] order).
+    failures_by_class: [Vec<u32>; N_CLASSES],
+    /// Positions of failures, per data center id.
+    failures_by_dc: Vec<Vec<u32>>,
+    /// Positions of failures, per product line id.
+    failures_by_line: Vec<Vec<u32>>,
+    /// Positions of all tickets, per server id.
+    by_server: Vec<Vec<u32>>,
+}
+
+impl TraceIndex {
+    /// Builds the index with a single pass over `fots`.
+    ///
+    /// `fots` must already be sorted the way [`crate::Trace::new`] sorts
+    /// them (by `(error_time, id)`) for the per-bucket time-order
+    /// invariant to hold; the bucket contents are correct either way.
+    pub(crate) fn build(
+        servers: &[ServerMeta],
+        n_dcs: usize,
+        n_lines: usize,
+        fots: &[Fot],
+    ) -> Self {
+        // Fleet snapshots may undercount ids that appear in tickets (an
+        // imported trace can carry a partial snapshot), so size the
+        // per-entity tables by whichever is larger.
+        let n_dcs = fots
+            .iter()
+            .map(|f| f.data_center.index() + 1)
+            .max()
+            .unwrap_or(0)
+            .max(n_dcs);
+        let n_lines = fots
+            .iter()
+            .map(|f| f.product_line.index() + 1)
+            .max()
+            .unwrap_or(0)
+            .max(n_lines);
+        let mut index = TraceIndex {
+            failures: Vec::new(),
+            responded: Vec::new(),
+            by_category: Default::default(),
+            failures_by_class: Default::default(),
+            failures_by_dc: vec![Vec::new(); n_dcs],
+            failures_by_line: vec![Vec::new(); n_lines],
+            by_server: vec![Vec::new(); servers.len()],
+        };
+        for (i, fot) in fots.iter().enumerate() {
+            let i = i as u32;
+            index.by_category[category_slot(fot.category)].push(i);
+            index.by_server[fot.server.index()].push(i);
+            if fot.response.is_some() {
+                index.responded.push(i);
+            }
+            if fot.is_failure() {
+                index.failures.push(i);
+                index.failures_by_class[fot.device.index()].push(i);
+                index.failures_by_dc[fot.data_center.index()].push(i);
+                index.failures_by_line[fot.product_line.index()].push(i);
+            }
+        }
+        index
+    }
+
+    /// Positions of all failures (`D_fixing` + `D_error`), time-sorted.
+    pub fn failure_ids(&self) -> &[u32] {
+        &self.failures
+    }
+
+    /// Positions of all tickets carrying an operator response.
+    pub fn responded_ids(&self) -> &[u32] {
+        &self.responded
+    }
+
+    /// Positions of all tickets in `category`.
+    pub fn category_ids(&self, category: FotCategory) -> &[u32] {
+        &self.by_category[category_slot(category)]
+    }
+
+    /// Positions of failures of component `class`.
+    pub fn class_failure_ids(&self, class: ComponentClass) -> &[u32] {
+        &self.failures_by_class[class.index()]
+    }
+
+    /// Positions of failures inside data center `dc` (empty for an id the
+    /// trace never references).
+    pub fn dc_failure_ids(&self, dc: DataCenterId) -> &[u32] {
+        self.failures_by_dc
+            .get(dc.index())
+            .map(Vec::as_slice)
+            .unwrap_or(&[])
+    }
+
+    /// Positions of failures owned by product line `line` (empty for an id
+    /// the trace never references).
+    pub fn line_failure_ids(&self, line: ProductLineId) -> &[u32] {
+        self.failures_by_line
+            .get(line.index())
+            .map(Vec::as_slice)
+            .unwrap_or(&[])
+    }
+
+    /// Positions of all tickets of server `server` (empty for an unknown
+    /// id), time-sorted.
+    pub fn server_ids(&self, server: ServerId) -> &[u32] {
+        self.by_server
+            .get(server.index())
+            .map(Vec::as_slice)
+            .unwrap_or(&[])
+    }
+
+    /// Number of failures (length of [`TraceIndex::failure_ids`]).
+    pub fn failure_count(&self) -> usize {
+        self.failures.len()
+    }
+
+    /// Ticket counts per category, in [`FotCategory::ALL`] order.
+    pub fn category_counts(&self) -> [usize; N_CATEGORIES] {
+        [
+            self.by_category[0].len(),
+            self.by_category[1].len(),
+            self.by_category[2].len(),
+        ]
+    }
+}
+
+/// The ticket filter a scan-mode [`FotIter`] applies — each variant is the
+/// reference (linear-scan) definition of one index bucket.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum ScanFilter {
+    /// Failures only (`D_fixing` + `D_error`).
+    Failures,
+    /// Failures of one component class.
+    Class(ComponentClass),
+    /// Tickets of one category.
+    Category(FotCategory),
+    /// Tickets carrying an operator response.
+    Responded,
+    /// Failures inside one data center.
+    Dc(DataCenterId),
+    /// Failures owned by one product line.
+    Line(ProductLineId),
+    /// All tickets of one server.
+    Server(ServerId),
+}
+
+impl ScanFilter {
+    fn matches(self, fot: &Fot) -> bool {
+        match self {
+            ScanFilter::Failures => fot.is_failure(),
+            ScanFilter::Class(class) => fot.is_failure() && fot.device == class,
+            ScanFilter::Category(category) => fot.category == category,
+            ScanFilter::Responded => fot.response.is_some(),
+            ScanFilter::Dc(dc) => fot.is_failure() && fot.data_center == dc,
+            ScanFilter::Line(line) => fot.is_failure() && fot.product_line == line,
+            ScanFilter::Server(server) => fot.server == server,
+        }
+    }
+}
+
+/// Iterator over one ticket population of a [`crate::Trace`].
+///
+/// Returned by the population accessors ([`crate::Trace::failures`],
+/// [`crate::Trace::failures_of`], [`crate::Trace::in_category`], …). Backed
+/// by an index bucket in the default configuration, or by a filtered
+/// linear scan when the trace is in
+/// [scan-only mode](crate::Trace::set_scan_only); both backends yield the
+/// same tickets in the same (time-sorted) order.
+#[derive(Debug, Clone)]
+pub struct FotIter<'a> {
+    fots: &'a [Fot],
+    inner: IterInner<'a>,
+}
+
+#[derive(Debug, Clone)]
+enum IterInner<'a> {
+    /// Positions from an index bucket.
+    Ids(std::slice::Iter<'a, u32>),
+    /// Reference path: linear scan with a filter.
+    Scan(std::slice::Iter<'a, Fot>, ScanFilter),
+}
+
+impl<'a> FotIter<'a> {
+    /// An iterator over the tickets at `ids` (an index bucket).
+    pub(crate) fn from_ids(fots: &'a [Fot], ids: &'a [u32]) -> Self {
+        Self {
+            fots,
+            inner: IterInner::Ids(ids.iter()),
+        }
+    }
+
+    /// A linear-scan iterator applying `filter` to every ticket.
+    pub(crate) fn scan(fots: &'a [Fot], filter: ScanFilter) -> Self {
+        Self {
+            fots,
+            inner: IterInner::Scan(fots.iter(), filter),
+        }
+    }
+}
+
+impl<'a> Iterator for FotIter<'a> {
+    type Item = &'a Fot;
+
+    fn next(&mut self) -> Option<&'a Fot> {
+        match &mut self.inner {
+            IterInner::Ids(ids) => ids.next().map(|&i| &self.fots[i as usize]),
+            IterInner::Scan(iter, filter) => iter.find(|f| filter.matches(f)),
+        }
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        match &self.inner {
+            IterInner::Ids(ids) => ids.size_hint(),
+            IterInner::Scan(iter, _) => (0, iter.size_hint().1),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::store::tests::{fot, tiny_fleet};
+    use crate::{SimTime, Trace, TraceInfo};
+
+    fn info() -> TraceInfo {
+        TraceInfo {
+            start: SimTime::ORIGIN,
+            days: 100,
+            seed: 1,
+            description: "index test".into(),
+        }
+    }
+
+    fn mixed_trace() -> Trace {
+        let (s, d, p) = tiny_fleet();
+        let fots = vec![
+            fot(0, 0, 50, FotCategory::Fixing),
+            fot(1, 1, 10, FotCategory::Error),
+            fot(2, 2, 30, FotCategory::FalseAlarm),
+            fot(3, 1, 20, FotCategory::Fixing),
+        ];
+        Trace::new(info(), s, d, p, fots).unwrap()
+    }
+
+    #[test]
+    fn buckets_partition_the_tickets() {
+        let trace = mixed_trace();
+        let ix = trace.index();
+        assert_eq!(ix.category_counts(), [2, 1, 1]);
+        assert_eq!(ix.failure_count(), 3); // false alarm excluded
+        assert_eq!(ix.responded_ids().len(), 3); // Fixing ×2 + FalseAlarm
+        let per_server: usize = (0..3).map(|i| ix.server_ids(ServerId::new(i)).len()).sum();
+        assert_eq!(per_server, trace.len());
+    }
+
+    #[test]
+    fn buckets_are_time_sorted() {
+        let trace = mixed_trace();
+        let ix = trace.index();
+        let days: Vec<u64> = ix
+            .server_ids(ServerId::new(1))
+            .iter()
+            .map(|&i| trace.fots()[i as usize].error_time.day_index())
+            .collect();
+        assert_eq!(days, vec![10, 20]);
+        let failure_days: Vec<u64> = ix
+            .failure_ids()
+            .iter()
+            .map(|&i| trace.fots()[i as usize].error_time.day_index())
+            .collect();
+        assert_eq!(failure_days, vec![10, 20, 50]);
+    }
+
+    #[test]
+    fn unknown_ids_yield_empty_buckets() {
+        let trace = mixed_trace();
+        let ix = trace.index();
+        assert!(ix.dc_failure_ids(DataCenterId::new(99)).is_empty());
+        assert!(ix.line_failure_ids(ProductLineId::new(99)).is_empty());
+        assert!(ix.server_ids(ServerId::new(99)).is_empty());
+    }
+
+    #[test]
+    fn indexed_accessors_match_reference_scans() {
+        let trace = mixed_trace();
+        let mut scan = trace.clone();
+        scan.set_scan_only(true);
+
+        let ids = |it: FotIter<'_>| it.map(|f| f.id).collect::<Vec<_>>();
+        assert_eq!(ids(trace.failures()), ids(scan.failures()));
+        assert_eq!(ids(trace.responded()), ids(scan.responded()));
+        for class in ComponentClass::ALL {
+            assert_eq!(ids(trace.failures_of(class)), ids(scan.failures_of(class)));
+        }
+        for category in FotCategory::ALL {
+            assert_eq!(
+                ids(trace.in_category(category)),
+                ids(scan.in_category(category))
+            );
+        }
+        assert_eq!(
+            ids(trace.failures_in_dc(DataCenterId::new(0))),
+            ids(scan.failures_in_dc(DataCenterId::new(0)))
+        );
+        assert_eq!(
+            ids(trace.failures_in_line(ProductLineId::new(0))),
+            ids(scan.failures_in_line(ProductLineId::new(0)))
+        );
+        for i in 0..3 {
+            assert_eq!(
+                ids(trace.fots_of_server(ServerId::new(i))),
+                ids(scan.fots_of_server(ServerId::new(i)))
+            );
+        }
+    }
+
+    #[test]
+    fn rebuild_invalidates_and_rebuilds_identically() {
+        let mut trace = mixed_trace();
+        let before = trace.index().clone();
+        trace.rebuild_index();
+        assert_eq!(*trace.index(), before);
+    }
+}

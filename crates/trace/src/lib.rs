@@ -30,6 +30,7 @@ mod error;
 mod failure_type;
 mod fot;
 mod ids;
+mod index;
 pub mod io;
 mod meta;
 mod store;
@@ -40,6 +41,7 @@ pub use error::TraceError;
 pub use failure_type::{FailureType, Severity};
 pub use fot::{Fot, FotCategory, OperatorAction, OperatorResponse};
 pub use ids::{DataCenterId, FotId, OperatorId, ProductLineId, RackId, RackPosition, ServerId};
+pub use index::{FotIter, TraceIndex};
 pub use meta::{DataCenterMeta, FaultTolerance, ProductLineMeta, ServerMeta, WorkloadKind};
 pub use store::{Trace, TraceInfo};
 pub use time::{

@@ -2,12 +2,14 @@
 //! fleet snapshot the analyses need.
 
 use std::collections::HashSet;
+use std::sync::OnceLock;
 
 use serde::{Deserialize, Serialize};
 
+use crate::index::{FotIter, ScanFilter, TraceIndex};
 use crate::{
-    ComponentClass, DataCenterMeta, Fot, FotCategory, ProductLineMeta, ServerId, ServerMeta,
-    SimTime, TraceError,
+    ComponentClass, DataCenterId, DataCenterMeta, Fot, FotCategory, ProductLineId, ProductLineMeta,
+    ServerId, ServerMeta, SimTime, TraceError,
 };
 
 /// Descriptive information about a trace.
@@ -36,8 +38,11 @@ impl TraceInfo {
 /// server / data center / product line snapshots.
 ///
 /// Construction validates referential integrity and the category/response
-/// invariants, then builds a per-server ticket index used by the
-/// correlation and repeat analyses.
+/// invariants. The population accessors ([`Trace::failures`],
+/// [`Trace::in_category`], [`Trace::fots_of_server`], …) are backed by a
+/// shared [`TraceIndex`], built lazily on first use and shared by every
+/// analysis section; see [`Trace::index`] for the caching contract and
+/// [`Trace::set_scan_only`] for the linear-scan reference mode.
 ///
 /// # Examples
 ///
@@ -91,16 +96,37 @@ impl TraceInfo {
 /// assert_eq!(trace.failures().count(), 1);
 /// assert_eq!(trace.fots_of_server(ServerId::new(0)).count(), 1);
 /// ```
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct Trace {
     info: TraceInfo,
     servers: Vec<ServerMeta>,
     data_centers: Vec<DataCenterMeta>,
     product_lines: Vec<ProductLineMeta>,
     fots: Vec<Fot>,
-    /// fots indices per server, each list time-sorted. Rebuilt on load.
+    /// Lazily-built partition index (see [`TraceIndex`]). Serde skips it;
+    /// a deserialized trace starts with an empty cell and rebuilds on
+    /// first access.
     #[serde(skip)]
-    by_server: Vec<Vec<u32>>,
+    index: OnceLock<TraceIndex>,
+    /// When set, population accessors fall back to filtered linear scans
+    /// instead of index buckets. Defaults to `false` (indexed); serde
+    /// skips it, so a deserialized trace is always indexed.
+    #[serde(skip)]
+    scan_only: bool,
+}
+
+/// Equality compares the trace *data* (info, fleet snapshot, tickets).
+/// The lazily-built index cache and the scan-only flag are excluded: two
+/// traces with equal data are equal whether or not either has built its
+/// index yet.
+impl PartialEq for Trace {
+    fn eq(&self, other: &Self) -> bool {
+        self.info == other.info
+            && self.servers == other.servers
+            && self.data_centers == other.data_centers
+            && self.product_lines == other.product_lines
+            && self.fots == other.fots
+    }
 }
 
 impl Trace {
@@ -147,29 +173,86 @@ impl Trace {
             }
         }
         fots.sort_by_key(|f| (f.error_time, f.id));
-        let by_server = Self::build_index(&servers, &fots);
         Ok(Self {
             info,
             servers,
             data_centers,
             product_lines,
             fots,
-            by_server,
+            index: OnceLock::new(),
+            scan_only: false,
         })
     }
 
-    fn build_index(servers: &[ServerMeta], fots: &[Fot]) -> Vec<Vec<u32>> {
-        let mut by_server = vec![Vec::new(); servers.len()];
-        for (i, fot) in fots.iter().enumerate() {
-            by_server[fot.server.index()].push(i as u32);
-        }
-        by_server
+    /// The shared partition index, built lazily on first access.
+    ///
+    /// The first call pays one pass over the ticket vector; every later
+    /// call returns the cached index for free. The index is a pure
+    /// function of the trace data (deterministic across runs, build
+    /// orders, and thread counts) and stays valid until
+    /// [`Trace::rebuild_index`] discards it. Concurrent first calls are
+    /// safe: `OnceLock` guarantees exactly one winner and everyone sees
+    /// the same index.
+    ///
+    /// Note this builds the index even in
+    /// [scan-only mode](Trace::set_scan_only) — scan-only governs which
+    /// backend the *accessors* use, not whether an index may exist.
+    pub fn index(&self) -> &TraceIndex {
+        self.index.get_or_init(|| {
+            TraceIndex::build(
+                &self.servers,
+                self.data_centers.len(),
+                self.product_lines.len(),
+                &self.fots,
+            )
+        })
     }
 
-    /// Rebuilds the per-server index after deserialization.
-    /// (Serde skips the index; call this once after loading.)
+    /// Discards the cached [`TraceIndex`]; the next [`Trace::index`] call
+    /// (direct or through any population accessor) rebuilds it from the
+    /// current ticket vector.
+    ///
+    /// Deserialization paths call this after loading (serde skips the
+    /// cache, so this is belt-and-braces there); rebuilding always
+    /// produces an index equal to the discarded one unless the trace data
+    /// changed in between.
     pub fn rebuild_index(&mut self) {
-        self.by_server = Self::build_index(&self.servers, &self.fots);
+        self.index = OnceLock::new();
+    }
+
+    /// Switches the population accessors between index buckets (`false`,
+    /// the default) and filtered linear scans (`true`).
+    ///
+    /// Scan-only mode is the *reference implementation*: regression tests
+    /// and benchmarks use it to prove the indexed accessors yield exactly
+    /// the tickets a full scan would, in the same order. The flag is not
+    /// serialized; a deserialized trace is always indexed.
+    pub fn set_scan_only(&mut self, scan_only: bool) {
+        self.scan_only = scan_only;
+    }
+
+    /// Whether population accessors are forced onto linear scans
+    /// (see [`Trace::set_scan_only`]).
+    pub fn scan_only(&self) -> bool {
+        self.scan_only
+    }
+
+    /// Indexed-or-scan dispatch for one population accessor.
+    fn population(&self, filter: ScanFilter) -> FotIter<'_> {
+        if self.scan_only {
+            return FotIter::scan(&self.fots, filter);
+        }
+        let index = self.index();
+        let ids = match filter {
+            ScanFilter::Failures => index.failure_ids(),
+            ScanFilter::Class(class) => index.class_failure_ids(class),
+            ScanFilter::Category(category) => index.category_ids(category),
+            ScanFilter::Responded => index.responded_ids(),
+            ScanFilter::Dc(dc) => index.dc_failure_ids(dc),
+            ScanFilter::Line(line) => index.line_failure_ids(line),
+            ScanFilter::Server(server) => index.server_ids(server),
+        };
+        FotIter::from_ids(&self.fots, ids)
     }
 
     /// Trace description.
@@ -188,19 +271,38 @@ impl Trace {
     }
 
     /// Tickets that count as failures (`D_fixing` + `D_error`), the
-    /// population every temporal/spatial analysis runs on.
-    pub fn failures(&self) -> impl Iterator<Item = &Fot> {
-        self.fots.iter().filter(|f| f.is_failure())
+    /// population every temporal/spatial analysis runs on. Time-sorted.
+    pub fn failures(&self) -> FotIter<'_> {
+        self.population(ScanFilter::Failures)
     }
 
-    /// Failures of one component class.
-    pub fn failures_of(&self, class: ComponentClass) -> impl Iterator<Item = &Fot> {
-        self.failures().filter(move |f| f.device == class)
+    /// Failures of one component class, time-sorted.
+    pub fn failures_of(&self, class: ComponentClass) -> FotIter<'_> {
+        self.population(ScanFilter::Class(class))
     }
 
-    /// Tickets in one category.
-    pub fn in_category(&self, category: FotCategory) -> impl Iterator<Item = &Fot> {
-        self.fots.iter().filter(move |f| f.category == category)
+    /// Tickets in one category, time-sorted.
+    pub fn in_category(&self, category: FotCategory) -> FotIter<'_> {
+        self.population(ScanFilter::Category(category))
+    }
+
+    /// Tickets carrying an operator response (`D_fixing` +
+    /// `D_falsealarm`), the population the response-time analyses run on.
+    /// Time-sorted.
+    pub fn responded(&self) -> FotIter<'_> {
+        self.population(ScanFilter::Responded)
+    }
+
+    /// Failures inside one data center, time-sorted. An id the trace
+    /// never references yields an empty iterator.
+    pub fn failures_in_dc(&self, dc: DataCenterId) -> FotIter<'_> {
+        self.population(ScanFilter::Dc(dc))
+    }
+
+    /// Failures owned by one product line, time-sorted. An id the trace
+    /// never references yields an empty iterator.
+    pub fn failures_in_line(&self, line: ProductLineId) -> FotIter<'_> {
+        self.population(ScanFilter::Line(line))
     }
 
     /// All server snapshots, indexed by `ServerId`.
@@ -228,13 +330,10 @@ impl Trace {
         &self.product_lines
     }
 
-    /// Tickets of one server, time-sorted.
-    pub fn fots_of_server(&self, id: ServerId) -> impl Iterator<Item = &Fot> {
-        self.by_server
-            .get(id.index())
-            .into_iter()
-            .flatten()
-            .map(move |&i| &self.fots[i as usize])
+    /// Tickets of one server, time-sorted. An unknown id yields an empty
+    /// iterator.
+    pub fn fots_of_server(&self, id: ServerId) -> FotIter<'_> {
+        self.population(ScanFilter::Server(id))
     }
 
     /// Number of tickets.
@@ -314,14 +413,12 @@ impl Trace {
 
     /// Count of tickets per category, in [`FotCategory::ALL`] order.
     pub fn category_counts(&self) -> [usize; 3] {
+        if !self.scan_only {
+            return self.index().category_counts();
+        }
         let mut counts = [0usize; 3];
         for fot in &self.fots {
-            let idx = match fot.category {
-                FotCategory::Fixing => 0,
-                FotCategory::Error => 1,
-                FotCategory::FalseAlarm => 2,
-            };
-            counts[idx] += 1;
+            counts[crate::index::category_slot(fot.category)] += 1;
         }
         counts
     }

@@ -1,0 +1,169 @@
+//! Regression tests for the trace index and the parallel study scheduler.
+//!
+//! The contract under test: `Trace::index()` is a pure acceleration
+//! structure and the section thread pool is pure orchestration — neither
+//! may change a single byte of any analysis result. Every report below is
+//! compared through `serde_json`, so a mismatch anywhere in the nested
+//! result structs (ordering included) fails the test.
+
+use dcfail::core::{FailureStudy, StudyOptions};
+use dcfail::obs::MetricsRegistry;
+use dcfail::sim::Scenario;
+use dcfail::trace::{ComponentClass, FotCategory, Trace};
+
+const SEEDS: [u64; 3] = [1, 7, 42];
+
+fn small_trace(seed: u64) -> Trace {
+    Scenario::small().seed(seed).run().expect("simulation runs")
+}
+
+/// The same trace with the index bypassed: every accessor falls back to
+/// full scans, giving the pre-index reference behavior.
+fn scan_reference(trace: &Trace) -> Trace {
+    let mut scan = trace.clone();
+    scan.set_scan_only(true);
+    scan
+}
+
+fn report_json(trace: &Trace, threads: usize) -> String {
+    let study = FailureStudy::new(trace);
+    let report = study.report_with_options(
+        StudyOptions::with_threads(threads),
+        &MetricsRegistry::disabled(),
+    );
+    serde_json::to_string(&report).expect("report serializes")
+}
+
+#[test]
+fn indexed_reports_are_byte_identical_to_scan_reports() {
+    for seed in SEEDS {
+        let trace = small_trace(seed);
+        let scan = scan_reference(&trace);
+        let reference = report_json(&scan, 1);
+        assert_eq!(
+            report_json(&trace, 1),
+            reference,
+            "seed {seed}: indexed serial report diverged from the scan report"
+        );
+        assert_eq!(
+            report_json(&trace, 4),
+            reference,
+            "seed {seed}: indexed 4-thread report diverged from the scan report"
+        );
+    }
+}
+
+#[test]
+fn thread_count_never_changes_the_report() {
+    for seed in SEEDS {
+        let trace = small_trace(seed);
+        let serial = report_json(&trace, 1);
+        for threads in [2, 3, 4, 8] {
+            assert_eq!(
+                report_json(&trace, threads),
+                serial,
+                "seed {seed}: report changed at {threads} threads"
+            );
+        }
+    }
+}
+
+#[test]
+fn every_indexed_accessor_matches_its_scan() {
+    for seed in SEEDS {
+        let trace = small_trace(seed);
+        let scan = scan_reference(&trace);
+        let ids = |iter: dcfail::trace::FotIter<'_>| iter.map(|f| f.id).collect::<Vec<_>>();
+
+        assert_eq!(ids(trace.failures()), ids(scan.failures()), "failures");
+        assert_eq!(ids(trace.responded()), ids(scan.responded()), "responded");
+        for class in ComponentClass::ALL {
+            assert_eq!(
+                ids(trace.failures_of(class)),
+                ids(scan.failures_of(class)),
+                "failures_of({class:?})"
+            );
+        }
+        for category in [
+            FotCategory::Fixing,
+            FotCategory::Error,
+            FotCategory::FalseAlarm,
+        ] {
+            assert_eq!(
+                ids(trace.in_category(category)),
+                ids(scan.in_category(category)),
+                "in_category({category:?})"
+            );
+        }
+        for dc in trace.data_centers() {
+            assert_eq!(
+                ids(trace.failures_in_dc(dc.id)),
+                ids(scan.failures_in_dc(dc.id)),
+                "failures_in_dc({})",
+                dc.id
+            );
+        }
+        for line in trace.product_lines() {
+            assert_eq!(
+                ids(trace.failures_in_line(line.id)),
+                ids(scan.failures_in_line(line.id)),
+                "failures_in_line({})",
+                line.id
+            );
+        }
+        for server in trace.servers() {
+            assert_eq!(
+                ids(trace.fots_of_server(server.id)),
+                ids(scan.fots_of_server(server.id)),
+                "fots_of_server({})",
+                server.id
+            );
+        }
+        assert_eq!(trace.category_counts(), scan.category_counts());
+    }
+}
+
+#[test]
+fn serde_round_trip_rebuilds_the_index_identically() {
+    let trace = small_trace(SEEDS[0]);
+    let reference = report_json(&trace, 1);
+    // The index cache is #[serde(skip)]: a deserialized trace starts
+    // without one and lazily rebuilds it on first use.
+    let json = serde_json::to_string(&trace).expect("trace serializes");
+    let back: Trace = serde_json::from_str(&json).expect("trace deserializes");
+    assert_eq!(back, trace);
+    assert_eq!(report_json(&back, 4), reference);
+}
+
+#[test]
+fn rebuild_index_is_idempotent_for_reports() {
+    let mut trace = small_trace(SEEDS[1]);
+    let before = report_json(&trace, 4);
+    trace.rebuild_index();
+    assert_eq!(report_json(&trace, 4), before);
+}
+
+#[test]
+fn parallel_run_records_every_section_span() {
+    let trace = small_trace(SEEDS[2]);
+    let registry = MetricsRegistry::new();
+    let study = FailureStudy::new(&trace);
+    let _ = study.report_with_options(StudyOptions::with_threads(4), &registry);
+    let report = registry.report("index_parallel");
+    for name in [
+        "study.index",
+        "study.sections",
+        "study.overview",
+        "study.temporal",
+        "study.skew",
+        "study.spatial",
+        "study.correlation",
+        "study.response",
+    ] {
+        assert!(
+            report.phases.iter().any(|p| p.name == name),
+            "missing span {name}"
+        );
+    }
+    assert_eq!(report.gauge("study.threads"), Some(4.0));
+}
