@@ -26,6 +26,30 @@ fn bench_simulation_medium(c: &mut Criterion) {
     group.finish();
 }
 
+/// The engine across worker-thread counts. Every variant produces a
+/// byte-identical trace (tests/engine_identity.rs); the spread here is the
+/// per-server phase's parallel speedup plus the k-way merge overhead of
+/// the pre-sorted assembly.
+fn bench_engine_threads(c: &mut Criterion) {
+    let mut group = c.benchmark_group("engine_threads");
+    group.sample_size(10);
+    for threads in [1usize, 2, 4, 8] {
+        let name = format!("medium_20k_servers_t{threads}");
+        group.bench_function(name.as_str(), |b| {
+            b.iter(|| {
+                black_box(
+                    Scenario::medium()
+                        .seed(1)
+                        .engine_threads(threads)
+                        .run()
+                        .unwrap(),
+                )
+            })
+        });
+    }
+    group.finish();
+}
+
 fn bench_full_report(c: &mut Criterion) {
     let trace = medium_trace();
     let mut group = c.benchmark_group("analysis");
@@ -92,7 +116,7 @@ fn bench_io(c: &mut Criterion) {
 criterion_group! {
     name = pipeline;
     config = Criterion::default().sample_size(20);
-    targets = bench_simulation_small, bench_simulation_medium, bench_full_report,
-        bench_report_backends, bench_io
+    targets = bench_simulation_small, bench_simulation_medium, bench_engine_threads,
+        bench_full_report, bench_report_backends, bench_io
 }
 criterion_main!(pipeline);

@@ -3,6 +3,7 @@
 //! ```text
 //! reproduce [--scenario paper|medium|small] [--seed N] [--experiment ID]
 //!           [--markdown] [--metrics PATH] [--threads N]
+//!           [--bench-json PATH] [--bench-baseline PATH] [--digest PATH]
 //! ```
 //!
 //! `ID` is one of: `table1 table2 table3 table4 table5 table6 table7 table8
@@ -14,16 +15,25 @@
 //! phase timings and event counters are written to `PATH` as a JSON
 //! `RunReport` and summarized on stderr. Counter values are deterministic
 //! in the seed.
-//! `--threads N` sets the study section pool size for the `--markdown`
-//! report path (`0`, the default, means auto-detect from the machine).
-//! Reports are byte-identical across thread counts.
+//! `--threads N` sets both the engine worker-thread count and the study
+//! section pool size (`0`, the default, means auto-detect from the
+//! machine). Traces and reports are byte-identical across thread counts.
+//! `--bench-json PATH` writes a `BENCH_*.json` benchmark summary (engine
+//! phase wall-clock, servers/s, tickets/s — see EXPERIMENTS.md); implies
+//! metrics collection.
+//! `--bench-baseline PATH` reads a prior `--metrics` RunReport and embeds
+//! per-phase speedups against it into the `--bench-json` output.
+//! `--digest PATH` writes the 16-hex-digit FNV-1a digest of the trace's
+//! ticket CSV — the byte-identity fingerprint CI diffs across engine
+//! thread counts.
 
 use std::process::ExitCode;
 
 use dcf_core::{paper, FailureStudy, StudyOptions, StudyReport};
-use dcf_obs::MetricsRegistry;
+use dcf_obs::{BenchSummary, MetricsRegistry, RunReport};
 use dcf_report::{experiments, pct, TextTable};
 use dcf_sim::Scenario;
+use dcf_trace::{io, Trace};
 
 struct Args {
     scenario: String,
@@ -34,6 +44,9 @@ struct Args {
     score: bool,
     metrics: Option<String>,
     threads: usize,
+    bench_json: Option<String>,
+    bench_baseline: Option<String>,
+    digest: Option<String>,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -46,6 +59,9 @@ fn parse_args() -> Result<Args, String> {
         score: false,
         metrics: None,
         threads: 0,
+        bench_json: None,
+        bench_baseline: None,
+        digest: None,
     };
     let mut it = std::env::args().skip(1);
     while let Some(flag) = it.next() {
@@ -76,13 +92,29 @@ fn parse_args() -> Result<Args, String> {
                     .parse()
                     .map_err(|e| format!("bad thread count: {e}"))?;
             }
+            "--bench-json" => {
+                args.bench_json = Some(it.next().ok_or("--bench-json needs a value")?);
+            }
+            "--bench-baseline" => {
+                args.bench_baseline = Some(it.next().ok_or("--bench-baseline needs a value")?);
+            }
+            "--digest" => {
+                args.digest = Some(it.next().ok_or("--digest needs a value")?);
+            }
             "--help" | "-h" => {
-                return Err("usage: reproduce [--scenario paper|medium|small] [--seed N] [--experiment ID] [--markdown] [--metrics PATH] [--threads N]".into());
+                return Err("usage: reproduce [--scenario paper|medium|small] [--seed N] [--experiment ID] [--markdown] [--metrics PATH] [--threads N] [--bench-json PATH] [--bench-baseline PATH] [--digest PATH]".into());
             }
             other => return Err(format!("unknown flag {other}")),
         }
     }
     Ok(args)
+}
+
+/// Fleet shape of the run, carried into the benchmark summary.
+#[derive(Clone, Copy)]
+struct RunShape {
+    servers: u64,
+    window_days: u64,
 }
 
 /// Writes the JSON `RunReport` to `args.metrics` (no-op when the flag is
@@ -99,6 +131,59 @@ fn write_metrics(args: &Args, registry: &MetricsRegistry) -> Result<(), String> 
     std::fs::write(path, report.to_json()).map_err(|e| format!("cannot write {path}: {e}"))?;
     eprintln!("{}", dcf_report::run_report_markdown(&report));
     eprintln!("metrics written to {path}");
+    Ok(())
+}
+
+/// Writes the `BENCH_*.json` summary to `args.bench_json` (no-op when the
+/// flag is absent), embedding speedups against `args.bench_baseline` when
+/// given.
+fn write_bench(
+    args: &Args,
+    registry: &MetricsRegistry,
+    run: RunShape,
+    fots: u64,
+) -> Result<(), String> {
+    let Some(path) = &args.bench_json else {
+        return Ok(());
+    };
+    let label = format!(
+        "reproduce --scenario {} --seed {} --threads {}",
+        args.scenario, args.seed, args.threads
+    );
+    let report = registry.report(&label);
+    let mut summary = BenchSummary::from_report(
+        &report,
+        &args.scenario,
+        args.seed,
+        run.servers,
+        run.window_days,
+        fots,
+    );
+    if let Some(base_path) = &args.bench_baseline {
+        let text = std::fs::read_to_string(base_path)
+            .map_err(|e| format!("cannot read {base_path}: {e}"))?;
+        let base = RunReport::from_json(&text)
+            .map_err(|e| format!("bad baseline report {base_path}: {e}"))?;
+        summary = summary.with_baseline(&base);
+    }
+    std::fs::write(path, summary.to_json()).map_err(|e| format!("cannot write {path}: {e}"))?;
+    eprintln!(
+        "bench summary written to {path} ({:.0} servers/s, {:.0} tickets/s)",
+        summary.servers_per_sec, summary.tickets_per_sec
+    );
+    Ok(())
+}
+
+/// Writes the trace's ticket-CSV digest to `args.digest` (no-op when the
+/// flag is absent) — the byte-identity fingerprint CI compares across
+/// engine thread counts.
+fn write_digest(args: &Args, trace: &Trace) -> Result<(), String> {
+    let Some(path) = &args.digest else {
+        return Ok(());
+    };
+    let digest = format!("{:016x}\n", io::fots_digest(trace.fots()));
+    std::fs::write(path, &digest).map_err(|e| format!("cannot write {path}: {e}"))?;
+    eprintln!("trace digest {} written to {path}", digest.trim());
     Ok(())
 }
 
@@ -120,7 +205,7 @@ fn main() -> ExitCode {
         }
     };
 
-    let registry = if args.metrics.is_some() {
+    let registry = if args.metrics.is_some() || args.bench_json.is_some() {
         MetricsRegistry::new()
     } else {
         MetricsRegistry::disabled()
@@ -130,8 +215,16 @@ fn main() -> ExitCode {
         "running scenario '{}' (seed {}) — {} servers, {}-day window…",
         scenario.name, args.seed, scenario.config.fleet.servers, scenario.config.fleet.window_days
     );
+    let run = RunShape {
+        servers: scenario.config.fleet.servers as u64,
+        window_days: scenario.config.fleet.window_days,
+    };
     let t0 = std::time::Instant::now();
-    let trace = match scenario.seed(args.seed).run_with_metrics(&registry) {
+    let trace = match scenario
+        .seed(args.seed)
+        .engine_threads(args.threads)
+        .run_with_metrics(&registry)
+    {
         Ok(t) => t,
         Err(e) => {
             eprintln!("simulation failed: {e}");
@@ -143,6 +236,10 @@ fn main() -> ExitCode {
         trace.len(),
         t0.elapsed()
     );
+    if let Err(msg) = write_digest(&args, &trace) {
+        eprintln!("{msg}");
+        return ExitCode::FAILURE;
+    }
     registry.set_gauge("trace.fots", trace.len() as f64);
     let study = FailureStudy::new(&trace);
     let analysis_span = registry.phase("analysis");
@@ -161,12 +258,12 @@ fn main() -> ExitCode {
             markdown_summary(&study.report_with_options(options, &registry))
         );
         drop(analysis_span);
-        return finish(&args, &registry);
+        return finish(&args, &registry, run, trace.len() as u64);
     }
     if args.markdown_full {
         println!("{}", dcf_report::markdown_report(&study));
         drop(analysis_span);
-        return finish(&args, &registry);
+        return finish(&args, &registry, run, trace.len() as u64);
     }
     if args.score {
         use dcf_core::comparison;
@@ -189,7 +286,7 @@ fn main() -> ExitCode {
             rows.len()
         );
         drop(analysis_span);
-        return finish(&args, &registry);
+        return finish(&args, &registry, run, trace.len() as u64);
     }
 
     let text = match args.experiment.as_str() {
@@ -220,13 +317,15 @@ fn main() -> ExitCode {
     };
     println!("{text}");
     drop(analysis_span);
-    finish(&args, &registry)
+    finish(&args, &registry, run, trace.len() as u64)
 }
 
-/// Flushes the optional metrics file; failures to write it are fatal so
-/// scripted runs notice.
-fn finish(args: &Args, registry: &MetricsRegistry) -> ExitCode {
-    match write_metrics(args, registry) {
+/// Flushes the optional metrics and bench-summary files; failures to write
+/// either are fatal so scripted runs notice.
+fn finish(args: &Args, registry: &MetricsRegistry, run: RunShape, fots: u64) -> ExitCode {
+    let result =
+        write_metrics(args, registry).and_then(|()| write_bench(args, registry, run, fots));
+    match result {
         Ok(()) => ExitCode::SUCCESS,
         Err(msg) => {
             eprintln!("{msg}");

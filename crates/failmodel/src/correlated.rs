@@ -141,6 +141,19 @@ impl CorrelationModel {
         class: ComponentClass,
     ) -> Vec<(ComponentClass, SimDuration)> {
         let mut out = Vec::new();
+        self.roll_causal_into(rng, class, &mut out);
+        out
+    }
+
+    /// [`roll_causal`](Self::roll_causal) into a caller-owned buffer so hot
+    /// loops can reuse one allocation. Appends to `out` (does not clear it)
+    /// and consumes exactly the same RNG draws as the allocating form.
+    pub fn roll_causal_into(
+        &self,
+        rng: &mut dyn RngCore,
+        class: ComponentClass,
+        out: &mut Vec<(ComponentClass, SimDuration)>,
+    ) {
         for p in self.causal_pairs.iter().filter(|p| p.primary == class) {
             if rng.random::<f64>() < p.prob {
                 let delay = SimDuration::from_secs(
@@ -149,7 +162,6 @@ impl CorrelationModel {
                 out.push((p.secondary, delay));
             }
         }
-        out
     }
 }
 

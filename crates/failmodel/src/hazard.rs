@@ -19,6 +19,14 @@ pub const DAYS_PER_SEGMENT: f64 = 30.0;
 /// `m`-th 30-day month of service; ages beyond the last segment reuse the
 /// final value.
 ///
+/// Alongside the monthly table the hazard precomputes a per-*day* rate
+/// table (`monthly[m] / DAYS_PER_SEGMENT`) at construction time, so the
+/// sampling and integration hot paths never re-divide per segment. The
+/// daily rates are float-identical to dividing on the fly — `(a / b) * c`
+/// evaluates left to right either way — which the engine's byte-identity
+/// suite relies on. Only `monthly` is serialized; the daily table is
+/// rebuilt on deserialization.
+///
 /// # Examples
 ///
 /// ```
@@ -30,8 +38,32 @@ pub const DAYS_PER_SEGMENT: f64 = 30.0;
 /// assert_eq!(h.rate_per_day(500.0), h.rate_per_day(70.0)); // extends last
 /// ```
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[serde(from = "HazardRepr", into = "HazardRepr")]
 pub struct PiecewiseHazard {
     monthly: Vec<f64>,
+    /// `monthly[m] / DAYS_PER_SEGMENT`, cached at construction.
+    daily: Vec<f64>,
+}
+
+/// The serialized form of [`PiecewiseHazard`]: the monthly table only, so
+/// the wire format is unchanged from before the daily cache existed.
+#[derive(Serialize, Deserialize)]
+struct HazardRepr {
+    monthly: Vec<f64>,
+}
+
+impl From<PiecewiseHazard> for HazardRepr {
+    fn from(h: PiecewiseHazard) -> Self {
+        Self { monthly: h.monthly }
+    }
+}
+
+impl From<HazardRepr> for PiecewiseHazard {
+    fn from(repr: HazardRepr) -> Self {
+        // Deserialization performs no validation (matching the former
+        // derive), so this mirrors `new` minus the checks.
+        Self::from_monthly(repr.monthly)
+    }
 }
 
 impl PiecewiseHazard {
@@ -52,7 +84,13 @@ impl PiecewiseHazard {
                 });
             }
         }
-        Ok(Self { monthly })
+        Ok(Self::from_monthly(monthly))
+    }
+
+    /// Builds the hazard and its daily-rate cache without validation.
+    fn from_monthly(monthly: Vec<f64>) -> Self {
+        let daily = monthly.iter().map(|r| r / DAYS_PER_SEGMENT).collect();
+        Self { monthly, daily }
     }
 
     /// A constant hazard of `per_month` failures per component-month.
@@ -74,12 +112,20 @@ impl PiecewiseHazard {
         self.monthly[m.min(self.monthly.len() - 1)]
     }
 
+    /// Per-day rate during age-month `m` (clamped to the last segment).
+    ///
+    /// Reads the precomputed `monthly[m] / DAYS_PER_SEGMENT` table; the
+    /// value is bit-identical to dividing on the fly.
+    pub fn daily_at_month(&self, m: usize) -> f64 {
+        self.daily[m.min(self.daily.len() - 1)]
+    }
+
     /// Instantaneous hazard in failures/day at `age_days`.
     pub fn rate_per_day(&self, age_days: f64) -> f64 {
         if age_days < 0.0 {
             return 0.0;
         }
-        self.rate_at_month((age_days / DAYS_PER_SEGMENT) as usize) / DAYS_PER_SEGMENT
+        self.daily_at_month((age_days / DAYS_PER_SEGMENT) as usize)
     }
 
     /// Returns this hazard with every segment multiplied by `k`.
@@ -92,9 +138,7 @@ impl PiecewiseHazard {
             k.is_finite() && k >= 0.0,
             "scale must be finite and >= 0, got {k}"
         );
-        Self {
-            monthly: self.monthly.iter().map(|r| r * k).collect(),
-        }
+        Self::from_monthly(self.monthly.iter().map(|r| r * k).collect())
     }
 
     /// Expected failures of one component between ages `from_day` and
@@ -108,7 +152,7 @@ impl PiecewiseHazard {
         while d < to_day {
             let m = (d / DAYS_PER_SEGMENT) as usize;
             let seg_end = ((m + 1) as f64 * DAYS_PER_SEGMENT).min(to_day);
-            acc += self.rate_at_month(m) / DAYS_PER_SEGMENT * (seg_end - d);
+            acc += self.daily_at_month(m) * (seg_end - d);
             d = seg_end;
         }
         acc * mult
@@ -133,7 +177,7 @@ impl PiecewiseHazard {
         while d < to_day {
             let m = (d / DAYS_PER_SEGMENT) as usize;
             let seg_end = ((m + 1) as f64 * DAYS_PER_SEGMENT).min(to_day);
-            let rate = self.rate_at_month(m) / DAYS_PER_SEGMENT * mult; // per day
+            let rate = self.daily_at_month(m) * mult; // per day
             if rate <= 0.0 {
                 d = seg_end;
                 continue;
@@ -234,5 +278,31 @@ mod tests {
     fn scaled_multiplies_rates() {
         let h = PiecewiseHazard::new(vec![0.1, 0.2]).unwrap().scaled(3.0);
         assert_eq!(h.monthly(), &[0.30000000000000004, 0.6000000000000001]);
+    }
+
+    #[test]
+    fn daily_table_is_bitwise_monthly_over_segment() {
+        let h = PiecewiseHazard::new(vec![0.3, 0.07, 0.0, 1.5]).unwrap();
+        for m in 0..6 {
+            assert_eq!(h.daily_at_month(m), h.rate_at_month(m) / DAYS_PER_SEGMENT);
+        }
+        // scaled() rebuilds the cache from the scaled monthly rates.
+        let s = h.scaled(2.5);
+        for m in 0..6 {
+            assert_eq!(s.daily_at_month(m), s.rate_at_month(m) / DAYS_PER_SEGMENT);
+        }
+    }
+
+    #[test]
+    fn serde_keeps_monthly_only_and_rebuilds_daily() {
+        let h = PiecewiseHazard::new(vec![0.3, 0.1]).unwrap();
+        // Minimal build environments stub serde_json; skip if so.
+        let Ok(json) = std::panic::catch_unwind(|| serde_json::to_string(&h).unwrap()) else {
+            return;
+        };
+        assert_eq!(json, r#"{"monthly":[0.3,0.1]}"#);
+        let back: PiecewiseHazard = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, h);
+        assert_eq!(back.daily_at_month(0), 0.3 / DAYS_PER_SEGMENT);
     }
 }

@@ -37,6 +37,6 @@ pub use correlated::{CausalPair, CorrelationModel};
 pub use detection::{DetectionChannel, DetectionModel};
 pub use escalation::EscalationModel;
 pub use hazard::{PiecewiseHazard, DAYS_PER_SEGMENT};
-pub use lifecycle::{lifecycle_shape, FailureRates, SHAPE_MONTHS};
+pub use lifecycle::{lifecycle_shape, FailureRates, HazardTable, SHAPE_MONTHS};
 pub use repeat::{RepeatModel, SyncRepeatModel};
-pub use types::{detail_for, sample_type, type_mixture};
+pub use types::{detail_for, detail_str, sample_type, type_mixture};

@@ -132,6 +132,33 @@ impl FailureRates {
     pub fn hazard_for(&self, class: ComponentClass) -> PiecewiseHazard {
         lifecycle_shape(class).scaled(self.base_rate(class))
     }
+
+    /// All eleven class hazards built once, for hot loops that would
+    /// otherwise rebuild the shape per server per class via
+    /// [`hazard_for`](Self::hazard_for).
+    pub fn hazard_table(&self) -> HazardTable {
+        HazardTable {
+            hazards: ComponentClass::ALL.map(|class| self.hazard_for(class)),
+        }
+    }
+}
+
+/// Per-class absolute hazards precomputed from a [`FailureRates`].
+///
+/// [`FailureRates::hazard_for`] allocates a fresh 48-segment shape on each
+/// call; building this table once per simulation run turns the per-server
+/// hot path's hazard lookups into borrows. The hazards are identical to
+/// what `hazard_for` returns.
+#[derive(Debug, Clone, PartialEq)]
+pub struct HazardTable {
+    hazards: [PiecewiseHazard; 11],
+}
+
+impl HazardTable {
+    /// The precomputed hazard for `class`.
+    pub fn hazard(&self, class: ComponentClass) -> &PiecewiseHazard {
+        &self.hazards[class.index()]
+    }
 }
 
 impl Default for FailureRates {
@@ -215,5 +242,14 @@ mod tests {
         assert_eq!(doubled.base_rate(ComponentClass::Cpu), 2.0);
         let h = rates.hazard_for(ComponentClass::Hdd);
         assert!((h.rate_at_month(1) - 1.08 * hdd).abs() < 1e-12);
+    }
+
+    #[test]
+    fn hazard_table_matches_per_class_construction() {
+        let rates = FailureRates::calibrated();
+        let table = rates.hazard_table();
+        for class in ComponentClass::ALL {
+            assert_eq!(table.hazard(class), &rates.hazard_for(class), "{class}");
+        }
     }
 }

@@ -69,12 +69,29 @@ impl RepeatModel {
         first: SimTime,
         horizon: SimTime,
     ) -> Vec<SimTime> {
+        let mut out = Vec::new();
+        self.sample_repeats_into(rng, first, horizon, &mut out);
+        out
+    }
+
+    /// [`sample_repeats`](Self::sample_repeats) into a caller-owned buffer,
+    /// so hot loops can reuse one allocation across components. Appends to
+    /// `out` (does not clear it) and consumes exactly the same RNG draws as
+    /// the allocating form.
+    pub fn sample_repeats_into(
+        &self,
+        rng: &mut dyn RngCore,
+        first: SimTime,
+        horizon: SimTime,
+        out: &mut Vec<SimTime>,
+    ) {
         let is_flapper = rng.random::<f64>() < self.flap_prob;
         if is_flapper {
-            return self.sample_flaps(rng, first, horizon);
+            self.sample_flaps_into(rng, first, horizon, out);
+            return;
         }
         if rng.random::<f64>() >= self.repeat_prob {
-            return Vec::new();
+            return;
         }
         // Geometric count with the configured mean.
         let p = 1.0 / (1.0 + self.mean_repeats);
@@ -87,7 +104,7 @@ impl RepeatModel {
         }
         let gap_dist = LogNormal::from_median(self.gap_median_days, self.gap_sigma)
             .expect("valid gap distribution");
-        let mut out = Vec::with_capacity(count as usize);
+        out.reserve(count as usize);
         let mut t = first;
         for _ in 0..count {
             let gap_days = gap_dist.sample(rng).clamp(0.01, 200.0);
@@ -97,19 +114,19 @@ impl RepeatModel {
             }
             out.push(t);
         }
-        out
     }
 
-    fn sample_flaps(
+    fn sample_flaps_into(
         &self,
         rng: &mut dyn RngCore,
         first: SimTime,
         horizon: SimTime,
-    ) -> Vec<SimTime> {
+        out: &mut Vec<SimTime>,
+    ) {
         let (lo, hi) = self.flap_count;
         let count = rng.random_range(lo..=hi.max(lo));
         let (glo, ghi) = self.flap_gap_days;
-        let mut out = Vec::with_capacity(count as usize);
+        out.reserve(count as usize);
         let mut t = first;
         for _ in 0..count {
             let u: f64 = rng.random();
@@ -120,7 +137,6 @@ impl RepeatModel {
             }
             out.push(t);
         }
-        out
     }
 }
 

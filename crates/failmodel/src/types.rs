@@ -76,25 +76,54 @@ pub fn sample_type(rng: &mut dyn RngCore, class: ComponentClass) -> FailureType 
 
 /// A short `error_detail` string for a sampled failure.
 pub fn detail_for(t: FailureType) -> String {
+    detail_str(t).to_string()
+}
+
+/// [`detail_for`] as a `&'static str` — every variant's detail is a fixed
+/// string, so ticket assembly can borrow instead of formatting per ticket.
+pub fn detail_str(t: FailureType) -> &'static str {
     use FailureType::*;
     match t {
-        SmartFail => "SMART value exceeds predefined threshold".into(),
-        RaidPdPreErr => "prediction error count exceeds threshold".into(),
-        Missing => "device file could not be detected".into(),
-        NotReady => "device file could not be accessed".into(),
-        PendingLba => "failures detected on unaccessed sectors".into(),
-        TooMany => "large number of failed sectors detected".into(),
-        DStatus => "IO requests stuck in D status".into(),
-        SixthFixing => "repeated fix attempt on same device".into(),
-        BbtFail => "bad block table could not be accessed".into(),
-        HighMaxBbRate => "max bad block rate exceeds threshold".into(),
-        RaidVdNoBbuCacheErr => "abnormal cache setting due to BBU".into(),
-        DimmCe => "large number of correctable errors".into(),
-        DimmUe => "uncorrectable memory errors detected".into(),
-        ManualNoDescription => String::new(), // 44% carry no description
-        ManualSuspectHdd => "suspect hard drive problem".into(),
-        ManualServerCrash => "server crashes, reason unclear".into(),
-        other => format!("{other} detected by FMS agent"),
+        SmartFail => "SMART value exceeds predefined threshold",
+        RaidPdPreErr => "prediction error count exceeds threshold",
+        Missing => "device file could not be detected",
+        NotReady => "device file could not be accessed",
+        PendingLba => "failures detected on unaccessed sectors",
+        TooMany => "large number of failed sectors detected",
+        DStatus => "IO requests stuck in D status",
+        SixthFixing => "repeated fix attempt on same device",
+        BbtFail => "bad block table could not be accessed",
+        HighMaxBbRate => "max bad block rate exceeds threshold",
+        RaidVdNoBbuCacheErr => "abnormal cache setting due to BBU",
+        DimmCe => "large number of correctable errors",
+        DimmUe => "uncorrectable memory errors detected",
+        ManualNoDescription => "", // 44% carry no description
+        ManualSuspectHdd => "suspect hard drive problem",
+        ManualServerCrash => "server crashes, reason unclear",
+        // Remaining auto-detected types: "<name> detected by FMS agent",
+        // spelled out so the strings stay static (same text the old
+        // `format!("{t} detected by FMS agent")` fallback produced).
+        FlashBbtFail => "FlashBBTFail detected by FMS agent",
+        FlashHighBbRate => "FlashHighBbRate detected by FMS agent",
+        FlashMissing => "FlashMissing detected by FMS agent",
+        SsdSmartFail => "SSDSmartFail detected by FMS agent",
+        SsdWearOut => "SSDWearOut detected by FMS agent",
+        SsdNotReady => "SSDNotReady detected by FMS agent",
+        PsuVoltageFail => "PSUVoltageFail detected by FMS agent",
+        PsuFanFail => "PSUFanFail detected by FMS agent",
+        PsuMissing => "PSUMissing detected by FMS agent",
+        FanSpeedLow => "FanSpeedLow detected by FMS agent",
+        FanStall => "FanStall detected by FMS agent",
+        MbSensorFail => "MBSensorFail detected by FMS agent",
+        MbPostFail => "MBPostFail detected by FMS agent",
+        SasCardFail => "SASCardFail detected by FMS agent",
+        BackboardErr => "BackboardErr detected by FMS agent",
+        CpuMce => "CPUMce detected by FMS agent",
+        CpuCacheErr => "CPUCacheErr detected by FMS agent",
+        ManualOther => "Manual-Other detected by FMS agent",
+        // FailureType is #[non_exhaustive]; a variant added without a
+        // detail arm is caught by `static_details_match_the_allocating_form`.
+        _ => "detected by FMS agent",
     }
 }
 
@@ -144,5 +173,18 @@ mod tests {
         assert!(detail_for(FailureType::SmartFail).contains("SMART"));
         assert!(detail_for(FailureType::ManualNoDescription).is_empty());
         assert!(detail_for(FailureType::FanStall).contains("FanStall"));
+    }
+
+    #[test]
+    fn static_details_match_the_allocating_form() {
+        // The generic arms must spell each type exactly as Display does —
+        // the text the pre-static `format!` fallback produced.
+        for t in FailureType::ALL {
+            let s = detail_str(t);
+            assert_eq!(s, detail_for(t));
+            if s.ends_with("detected by FMS agent") {
+                assert_eq!(s, format!("{t} detected by FMS agent"));
+            }
+        }
     }
 }

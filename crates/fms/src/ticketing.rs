@@ -5,7 +5,7 @@
 //! failure pool. [`TicketFactory`] is that central service's write path —
 //! it owns the id sequence and stamps every field of the paper's schema.
 
-use dcf_failmodel::types::detail_for;
+use dcf_failmodel::types::detail_str;
 use dcf_trace::{
     ComponentClass, FailureType, Fot, FotCategory, FotId, OperatorResponse, ServerMeta, SimTime,
 };
@@ -69,7 +69,9 @@ impl TicketFactory {
             failure_type: detection.failure_type,
             error_time: detection.time,
             rack_position: server.position,
-            detail: detail_for(detection.failure_type),
+            // Every detail string is static, so this is one copy — no
+            // per-ticket formatting.
+            detail: detail_str(detection.failure_type).to_string(),
             category,
             response,
         }

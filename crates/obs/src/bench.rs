@@ -1,0 +1,282 @@
+//! [`BenchSummary`]: engine throughput derived from a [`RunReport`],
+//! serialized as the `BENCH_*.json` perf-trajectory files.
+//!
+//! Each PR that claims a speedup checks in one `BENCH_<PR>.json` produced
+//! by `reproduce --bench-json`; the files accumulate at the repository
+//! root, so the engine's servers/s and per-phase wall-clock are comparable
+//! across the whole history (see EXPERIMENTS.md for the workflow).
+
+use crate::json;
+use crate::report::RunReport;
+
+/// Engine phase-span prefix pulled into the summary.
+const ENGINE_PREFIX: &str = "engine.";
+
+/// A benchmark snapshot of one instrumented simulation run: scenario,
+/// thread count, per-phase engine wall-clock, and derived throughput.
+///
+/// Built from a [`RunReport`] with [`BenchSummary::from_report`] and
+/// serialized with [`BenchSummary::to_json`]. Optionally embeds a baseline
+/// run ([`BenchSummary::with_baseline`]) and the per-phase speedup against
+/// it.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BenchSummary {
+    /// Label of the measured run (from the report).
+    pub label: String,
+    /// Scenario name (`small` / `medium` / `paper` / ablation).
+    pub scenario: String,
+    /// Simulation seed.
+    pub seed: u64,
+    /// Engine worker threads actually used (the `engine.threads` gauge;
+    /// `1` if the run predates the gauge).
+    pub threads: u64,
+    /// Fleet size in servers.
+    pub servers: u64,
+    /// Observation window length in days.
+    pub window_days: u64,
+    /// Tickets in the produced trace (`sim.tickets.total`).
+    pub tickets: u64,
+    /// `(phase name, wall-clock ms)` for every `engine.*` span, in report
+    /// order (first occurrence of each name).
+    pub phases: Vec<(String, f64)>,
+    /// Servers simulated per second of total engine wall-clock (`0` when
+    /// no engine time was recorded).
+    pub servers_per_sec: f64,
+    /// Tickets produced per second of total engine wall-clock (`0` when no
+    /// engine time was recorded).
+    pub tickets_per_sec: f64,
+    /// Per-phase comparison against a baseline run, as
+    /// `(phase, baseline ms, speedup)`; empty without a baseline.
+    pub baseline: Vec<(String, f64, f64)>,
+    /// Label of the baseline run, if one was attached.
+    pub baseline_label: Option<String>,
+}
+
+impl BenchSummary {
+    /// Extracts the benchmark view of `report`.
+    ///
+    /// `scenario`, `seed`, `servers`, `window_days` describe the run (the
+    /// report itself does not know the fleet shape); `tickets` normally
+    /// comes from the `sim.tickets.total` counter via the report, but is a
+    /// parameter so callers can pass the trace length directly.
+    pub fn from_report(
+        report: &RunReport,
+        scenario: &str,
+        seed: u64,
+        servers: u64,
+        window_days: u64,
+        tickets: u64,
+    ) -> Self {
+        let mut phases: Vec<(String, f64)> = Vec::new();
+        for span in &report.phases {
+            if span.name.starts_with(ENGINE_PREFIX) && !phases.iter().any(|(n, _)| *n == span.name)
+            {
+                phases.push((span.name.clone(), span.duration_ms()));
+            }
+        }
+        let total_ms: f64 = phases.iter().map(|(_, ms)| ms).sum();
+        let per_sec = |count: u64| {
+            if total_ms > 0.0 {
+                count as f64 / (total_ms / 1000.0)
+            } else {
+                0.0
+            }
+        };
+        Self {
+            label: report.label.clone(),
+            scenario: scenario.to_string(),
+            seed,
+            threads: report.gauge("engine.threads").map_or(1, |t| t as u64),
+            servers,
+            window_days,
+            tickets,
+            servers_per_sec: per_sec(servers),
+            tickets_per_sec: per_sec(tickets),
+            phases,
+            baseline: Vec::new(),
+            baseline_label: None,
+        }
+    }
+
+    /// Attaches a baseline run: for every measured `engine.*` phase also
+    /// present in `baseline`, records the baseline duration and the
+    /// speedup `baseline_ms / measured_ms` (skipped when the measured
+    /// phase took no time).
+    #[must_use]
+    pub fn with_baseline(mut self, baseline: &RunReport) -> Self {
+        self.baseline_label = Some(baseline.label.clone());
+        self.baseline = self
+            .phases
+            .iter()
+            .filter_map(|(name, ms)| {
+                let base_ms = baseline.phase_ms(name)?;
+                (*ms > 0.0).then(|| (name.clone(), base_ms, base_ms / ms))
+            })
+            .collect();
+        self
+    }
+
+    /// Serializes the summary as pretty-printed JSON (the `BENCH_*.json`
+    /// schema documented in EXPERIMENTS.md).
+    pub fn to_json(&self) -> String {
+        fn write_phase_map(out: &mut String, entries: &[(String, f64)]) {
+            out.push('{');
+            for (i, (name, ms)) in entries.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                out.push_str("\n    ");
+                json::write_string(out, name);
+                out.push_str(": ");
+                json::write_f64(out, *ms);
+            }
+            if !entries.is_empty() {
+                out.push_str("\n  ");
+            }
+            out.push('}');
+        }
+
+        let mut out = String::with_capacity(1024);
+        out.push_str("{\n  \"label\": ");
+        json::write_string(&mut out, &self.label);
+        out.push_str(",\n  \"scenario\": ");
+        json::write_string(&mut out, &self.scenario);
+        out.push_str(&format!(
+            ",\n  \"seed\": {},\n  \"threads\": {},\n  \"servers\": {},\n  \"window_days\": {},\n  \"tickets\": {}",
+            self.seed, self.threads, self.servers, self.window_days, self.tickets
+        ));
+        out.push_str(",\n  \"servers_per_sec\": ");
+        json::write_f64(&mut out, self.servers_per_sec);
+        out.push_str(",\n  \"tickets_per_sec\": ");
+        json::write_f64(&mut out, self.tickets_per_sec);
+        out.push_str(",\n  \"phases_ms\": ");
+        write_phase_map(&mut out, &self.phases);
+        if let Some(label) = &self.baseline_label {
+            out.push_str(",\n  \"baseline_label\": ");
+            json::write_string(&mut out, label);
+            let base: Vec<(String, f64)> = self
+                .baseline
+                .iter()
+                .map(|(n, ms, _)| (n.clone(), *ms))
+                .collect();
+            out.push_str(",\n  \"baseline_phases_ms\": ");
+            write_phase_map(&mut out, &base);
+            let speed: Vec<(String, f64)> = self
+                .baseline
+                .iter()
+                .map(|(n, _, s)| (n.clone(), *s))
+                .collect();
+            out.push_str(",\n  \"speedup\": ");
+            write_phase_map(&mut out, &speed);
+        }
+        out.push_str("\n}\n");
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::timer::PhaseSpan;
+
+    fn span(name: &str, duration_us: u64) -> PhaseSpan {
+        PhaseSpan {
+            name: name.to_string(),
+            depth: 0,
+            start_us: 0,
+            duration_us,
+        }
+    }
+
+    fn report(label: &str, per_server_us: u64, assembly_us: u64) -> RunReport {
+        RunReport {
+            label: label.to_string(),
+            phases: vec![
+                span("engine.fleet_build", 1_000),
+                span("engine.global", 500),
+                span("engine.per_server", per_server_us),
+                span("engine.assembly", assembly_us),
+                span("study.index", 9_999), // non-engine spans are ignored
+            ],
+            counters: vec![("sim.tickets.total".into(), 400)],
+            gauges: vec![("engine.threads".into(), 4.0)],
+        }
+    }
+
+    #[test]
+    fn summary_extracts_engine_phases_and_throughput() {
+        let s = BenchSummary::from_report(&report("run", 6_000, 2_500), "medium", 7, 100, 360, 400);
+        assert_eq!(s.threads, 4);
+        assert_eq!(
+            s.phases.iter().map(|(n, _)| n.as_str()).collect::<Vec<_>>(),
+            [
+                "engine.fleet_build",
+                "engine.global",
+                "engine.per_server",
+                "engine.assembly"
+            ]
+        );
+        // 10 ms of engine wall-clock: 100 servers → 10k servers/s.
+        assert!((s.servers_per_sec - 10_000.0).abs() < 1e-9);
+        assert!((s.tickets_per_sec - 40_000.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn baseline_records_per_phase_speedup() {
+        let base = report("pre", 9_000, 5_000);
+        let s =
+            BenchSummary::from_report(&report("post", 3_000, 2_500), "medium", 7, 100, 360, 400)
+                .with_baseline(&base);
+        assert_eq!(s.baseline_label.as_deref(), Some("pre"));
+        let speedup = |name: &str| {
+            s.baseline
+                .iter()
+                .find(|(n, _, _)| n == name)
+                .map(|(_, _, sp)| *sp)
+                .unwrap()
+        };
+        assert!((speedup("engine.per_server") - 3.0).abs() < 1e-9);
+        assert!((speedup("engine.assembly") - 2.0).abs() < 1e-9);
+        assert!((speedup("engine.global") - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn json_has_the_documented_shape() {
+        let s = BenchSummary::from_report(&report("run", 6_000, 2_500), "medium", 7, 100, 360, 400)
+            .with_baseline(&report("pre", 9_000, 5_000));
+        let json = s.to_json();
+        for key in [
+            "\"label\"",
+            "\"scenario\"",
+            "\"seed\": 7",
+            "\"threads\": 4",
+            "\"servers\": 100",
+            "\"window_days\": 360",
+            "\"tickets\": 400",
+            "\"servers_per_sec\"",
+            "\"tickets_per_sec\"",
+            "\"phases_ms\"",
+            "\"baseline_label\"",
+            "\"baseline_phases_ms\"",
+            "\"speedup\"",
+        ] {
+            assert!(json.contains(key), "missing {key} in {json}");
+        }
+        assert!(!json.contains("study.index"), "non-engine span leaked");
+    }
+
+    #[test]
+    fn zero_duration_runs_do_not_divide_by_zero() {
+        let r = RunReport {
+            label: "empty".into(),
+            phases: vec![span("engine.per_server", 0)],
+            counters: vec![],
+            gauges: vec![],
+        };
+        let s = BenchSummary::from_report(&r, "small", 1, 100, 360, 0);
+        assert_eq!(s.servers_per_sec, 0.0);
+        assert_eq!(s.threads, 1, "gauge absent defaults to 1");
+        let with_base = s.with_baseline(&r);
+        assert!(with_base.baseline.is_empty(), "zero-ms phases are skipped");
+    }
+}

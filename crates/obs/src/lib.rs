@@ -45,11 +45,13 @@
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+mod bench;
 mod json;
 mod metrics;
 mod report;
 mod timer;
 
+pub use bench::BenchSummary;
 pub use metrics::{Counter, Gauge, MetricsRegistry};
 pub use report::{ReportError, RunReport};
 pub use timer::{PhaseGuard, PhaseSpan, Stopwatch};

@@ -6,21 +6,26 @@
 //! 1. Build the fleet (deterministic in the seed).
 //! 2. **Global phase** (one RNG stream): generate batch events and assign
 //!    affected servers and report times; schedule synchronous-repeat
-//!    groups.
+//!    groups. The resulting direct occurrences are packed into a CSR-style
+//!    [`DirectOccurrences`] (flat buffer + per-server offsets).
 //! 3. **Per-server phase** (one RNG stream per server, so the result is
 //!    independent of thread count): sample background faults from the
 //!    lifecycle hazards, expand repeats, run detection, roll correlated
 //!    companions/causal propagations and false alarms, apply warranty
 //!    categorization and decommissioning, and sample operator responses.
-//! 4. Assemble: merge, time-sort, assign ticket ids, validate into a
-//!    [`Trace`].
+//!    Each worker reuses one [`ServerScratch`] across all servers in its
+//!    chunk and pre-sorts its ticket specs before handing them back.
+//! 4. Assemble: k-way merge the pre-sorted chunks on the same
+//!    `(error_time, server, class, slot)` key, assign ticket ids in merge
+//!    order, validate into a [`Trace`].
 //!
-//! The per-server phase is parallelized with crossbeam scoped threads.
+//! The per-server phase is parallelized with crossbeam scoped threads; the
+//! worker count comes from [`SimConfig::engine_threads`] (`0` = auto).
 
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
-use dcf_failmodel::sample_type;
+use dcf_failmodel::{sample_type, HazardTable};
 use dcf_fleet::{Fleet, FleetBuilder, UtilizationProfile};
 use dcf_fms::{Detection, FmsMetrics, OperatorModel, TicketFactory};
 use dcf_obs::MetricsRegistry;
@@ -52,6 +57,17 @@ fn mix_seed(seed: u64, stream: u64) -> u64 {
     z ^ (z >> 31)
 }
 
+/// Effective rate multiplier for `count` components of `class` under the
+/// server's spatial factor. Temperature/spatial effects apply to hardware,
+/// not to the manual miscellaneous stream.
+fn class_rate_multiplier(class: ComponentClass, count: u32, spatial: f64) -> f64 {
+    if class == ComponentClass::Miscellaneous {
+        count as f64
+    } else {
+        count as f64 * spatial
+    }
+}
+
 /// A ticket before id assignment.
 #[derive(Debug, Clone)]
 struct TicketSpec {
@@ -64,6 +80,12 @@ struct TicketSpec {
     response: Option<OperatorResponse>,
 }
 
+/// The assembly ordering key: tickets are issued in time order, with
+/// deterministic server/class/slot tie-breaks.
+fn spec_key(s: &TicketSpec) -> (SimTime, u32, usize, u8) {
+    (s.error_time, s.server.raw(), s.class.index(), s.slot)
+}
+
 /// A failure occurrence on one server, before categorization.
 #[derive(Debug, Clone, Copy)]
 struct Occurrence {
@@ -74,6 +96,64 @@ struct Occurrence {
     error_time: SimTime,
     /// Whether repeats may be expanded from this occurrence.
     expand_repeats: bool,
+}
+
+/// Direct (globally scheduled) occurrences in CSR layout: one flat buffer
+/// plus per-server offsets, replacing the former `Vec<Vec<Occurrence>>`
+/// that allocated a (mostly empty) vector per fleet server.
+struct DirectOccurrences {
+    occurrences: Vec<Occurrence>,
+    /// `offsets[s]..offsets[s + 1]` bounds server `s`'s slice.
+    offsets: Vec<u32>,
+}
+
+impl DirectOccurrences {
+    /// Packs `(server index, occurrence)` pairs via a stable counting sort,
+    /// preserving each server's insertion order (batch events first, then
+    /// sync groups — exactly as the old per-server vectors received them).
+    fn build(n_servers: usize, staged: &[(u32, Occurrence)]) -> Self {
+        let mut offsets = vec![0u32; n_servers + 1];
+        for &(s, _) in staged {
+            offsets[s as usize + 1] += 1;
+        }
+        for i in 1..offsets.len() {
+            offsets[i] += offsets[i - 1];
+        }
+        let mut occurrences = Vec::new();
+        if let Some(&(_, first)) = staged.first() {
+            occurrences.resize(staged.len(), first);
+            let mut cursor = offsets.clone();
+            for &(s, occ) in staged {
+                let c = &mut cursor[s as usize];
+                occurrences[*c as usize] = occ;
+                *c += 1;
+            }
+        }
+        Self {
+            occurrences,
+            offsets,
+        }
+    }
+
+    /// The direct occurrences scheduled for `sid`, in insertion order.
+    fn of(&self, sid: ServerId) -> &[Occurrence] {
+        let i = sid.index();
+        &self.occurrences[self.offsets[i] as usize..self.offsets[i + 1] as usize]
+    }
+}
+
+/// Per-worker scratch buffers reused across every server in a chunk, so
+/// the steady state of [`simulate_server`] allocates nothing: each buffer
+/// grows to the chunk's high-water mark and stays there.
+#[derive(Default)]
+struct ServerScratch {
+    occurrences: Vec<Occurrence>,
+    escalations: Vec<Occurrence>,
+    repeats: Vec<Occurrence>,
+    extra: Vec<Occurrence>,
+    arrivals: Vec<f64>,
+    repeat_times: Vec<SimTime>,
+    causal: Vec<(ComponentClass, SimDuration)>,
 }
 
 /// Per-thread event tallies for the per-server phase.
@@ -115,6 +195,19 @@ impl ServerCounts {
         self.tickets_error += other.tickets_error;
         self.tickets_false_alarm += other.tickets_false_alarm;
     }
+}
+
+/// Resolves the engine worker count: `0` means auto (the machine's
+/// available parallelism); any value is clamped to `[1, 16]`.
+fn resolve_engine_threads(requested: usize) -> usize {
+    let n = if requested == 0 {
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(4)
+    } else {
+        requested
+    };
+    n.clamp(1, 16)
 }
 
 /// Runs the simulation.
@@ -170,7 +263,8 @@ pub fn run_on_fleet(config: &SimConfig, fleet: &Fleet) -> Result<Trace, SimError
 
 /// [`run_on_fleet`] with instrumentation — see [`run_with_metrics`] for the
 /// determinism contract. Records the `engine.global`, `engine.per_server`
-/// and `engine.assembly` phase spans plus the `sim.*` / `fms.*` counters.
+/// and `engine.assembly` phase spans, the `engine.threads` gauge, and the
+/// `sim.*` / `fms.*` counters.
 ///
 /// # Errors
 ///
@@ -187,28 +281,32 @@ pub fn run_on_fleet_with_metrics(
     // -------- Global phase --------
     let global_span = metrics.phase("engine.global");
     let mut global_rng = StdRng::seed_from_u64(mix_seed(config.seed, 0x61_0b_a1));
-    let mut direct: Vec<Vec<Occurrence>> = vec![Vec::new(); fleet.servers().len()];
+    let mut staged: Vec<(u32, Occurrence)> = Vec::new();
 
     let (batch_events, batch_occurrences) =
-        apply_batch_events(config, fleet, start, end, &mut global_rng, &mut direct);
+        apply_batch_events(config, fleet, start, end, &mut global_rng, &mut staged);
     let sync_occurrences =
-        apply_sync_groups(config, fleet, start, end, &mut global_rng, &mut direct);
+        apply_sync_groups(config, fleet, start, end, &mut global_rng, &mut staged);
+    let direct = DirectOccurrences::build(fleet.servers().len(), &staged);
+    drop(staged);
     metrics.add("sim.batch.events", batch_events);
     metrics.add("sim.occurrences.batch", batch_occurrences);
     metrics.add("sim.occurrences.sync_repeat", sync_occurrences);
 
     let operator = OperatorModel::new(config.seed, &fleet.snapshot().2);
+    // The eleven class hazards are constant across servers: build them once
+    // instead of once per server per class inside the hot loop.
+    let hazards = config.rates.hazard_table();
     drop(global_span);
 
     // -------- Per-server phase (parallel) --------
     let per_server_span = metrics.phase("engine.per_server");
-    let n_threads = std::thread::available_parallelism()
-        .map(|n| n.get())
-        .unwrap_or(4)
-        .min(16);
+    let n_threads = resolve_engine_threads(config.engine_threads);
+    metrics.set_gauge("engine.threads", n_threads as f64);
     let chunk = fleet.servers().len().div_ceil(n_threads).max(1);
     let direct_ref = &direct;
     let operator_ref = &operator;
+    let hazards_ref = &hazards;
     let mut spec_chunks: Vec<Vec<TicketSpec>> = Vec::new();
     let mut counts = ServerCounts::default();
 
@@ -219,20 +317,26 @@ pub fn run_on_fleet_with_metrics(
             .map(|servers| {
                 scope.spawn(move |_| {
                     let mut specs = Vec::new();
+                    let mut scratch = ServerScratch::default();
                     let mut counts = ServerCounts::default();
                     for server in servers {
                         simulate_server(
                             config,
                             fleet,
                             operator_ref,
+                            hazards_ref,
                             server.id,
-                            &direct_ref[server.id.index()],
+                            direct_ref.of(server.id),
                             start,
                             end,
+                            &mut scratch,
                             &mut specs,
                             &mut counts,
                         );
                     }
+                    // Pre-sort this chunk in parallel; assembly then only
+                    // has to merge.
+                    specs.sort_by_key(spec_key);
                     (specs, counts)
                 })
             })
@@ -269,28 +373,28 @@ pub fn run_on_fleet_with_metrics(
 
     // -------- Assembly --------
     let assembly_span = metrics.phase("engine.assembly");
-    let mut specs: Vec<TicketSpec> = spec_chunks.into_iter().flatten().collect();
-    specs.sort_by_key(|s| (s.error_time, s.server.raw(), s.class.index(), s.slot));
-    metrics.add("sim.tickets.total", specs.len() as u64);
+    let total: usize = spec_chunks.iter().map(Vec::len).sum();
+    metrics.add("sim.tickets.total", total as u64);
 
+    // Chunks arrive sorted; a k-way merge with ties going to the lowest
+    // chunk index reproduces exactly what the former global stable sort of
+    // the concatenated chunks produced, so ticket ids are unchanged.
     let mut factory = TicketFactory::new();
-    let fots = specs
-        .into_iter()
-        .map(|s| {
-            factory.make_fot(
-                Detection {
-                    server: s.server.raw(),
-                    class: s.class,
-                    slot: s.slot,
-                    failure_type: s.ftype,
-                    time: s.error_time,
-                },
-                fleet.server(s.server),
-                s.category,
-                s.response,
-            )
-        })
-        .collect();
+    let mut fots = Vec::with_capacity(total);
+    merge_sorted_specs(spec_chunks, |s| {
+        fots.push(factory.make_fot(
+            Detection {
+                server: s.server.raw(),
+                class: s.class,
+                slot: s.slot,
+                failure_type: s.ftype,
+                time: s.error_time,
+            },
+            fleet.server(s.server),
+            s.category,
+            s.response,
+        ));
+    });
     fms.tickets_issued.add(factory.issued());
 
     let (servers, dcs, lines) = fleet.snapshot();
@@ -305,6 +409,32 @@ pub fn run_on_fleet_with_metrics(
     trace
 }
 
+/// Merges spec chunks — each already sorted by [`spec_key`] — emitting
+/// specs in globally sorted order. Ties pick the lowest chunk index;
+/// because chunks are collected in fleet order and each is sorted stably,
+/// the emitted order equals a stable sort of the concatenation.
+fn merge_sorted_specs(chunks: Vec<Vec<TicketSpec>>, mut emit: impl FnMut(TicketSpec)) {
+    let mut iters: Vec<std::vec::IntoIter<TicketSpec>> =
+        chunks.into_iter().map(Vec::into_iter).collect();
+    let mut heads: Vec<Option<TicketSpec>> = iters.iter_mut().map(Iterator::next).collect();
+    loop {
+        let mut best: Option<(usize, (SimTime, u32, usize, u8))> = None;
+        for (i, head) in heads.iter().enumerate() {
+            if let Some(h) = head {
+                let k = spec_key(h);
+                // Strict `<` keeps the earliest chunk on ties.
+                if best.is_none_or(|(_, bk)| k < bk) {
+                    best = Some((i, k));
+                }
+            }
+        }
+        let Some((i, _)) = best else { break };
+        let spec = heads[i].take().expect("best head exists");
+        heads[i] = iters[i].next();
+        emit(spec);
+    }
+}
+
 /// Expected number of *background* failures (lifecycle hazards only — no
 /// batches, repeats, escalations or correlations) for a fleet over the
 /// observation window. A calibration aid: compare with a run where those
@@ -312,6 +442,7 @@ pub fn run_on_fleet_with_metrics(
 pub fn expected_background_failures(config: &SimConfig, fleet: &Fleet) -> f64 {
     let start = SimTime::from_days(config.fleet.pre_window_days);
     let end = start + SimDuration::from_days(config.fleet.window_days);
+    let hazards = config.rates.hazard_table();
     let mut total = 0.0;
     for server in fleet.servers() {
         let age_from = start.since(server.deploy_time).as_days_f64();
@@ -325,29 +456,25 @@ pub fn expected_background_failures(config: &SimConfig, fleet: &Fleet) -> f64 {
             if count == 0 {
                 continue;
             }
-            let mult = if class == ComponentClass::Miscellaneous {
-                count as f64
-            } else {
-                count as f64 * spatial
-            };
-            total += config
-                .rates
-                .hazard_for(class)
+            let mult = class_rate_multiplier(class, count, spatial);
+            total += hazards
+                .hazard(class)
                 .expected_count(age_from.max(0.0), age_to, mult);
         }
     }
     total
 }
 
-/// Expands batch events into per-server direct occurrences. Returns
-/// `(events generated, occurrences scheduled)`.
+/// Expands batch events into per-server direct occurrences, staged as
+/// `(server index, occurrence)` pairs for [`DirectOccurrences::build`].
+/// Returns `(events generated, occurrences scheduled)`.
 fn apply_batch_events(
     config: &SimConfig,
     fleet: &Fleet,
     start: SimTime,
     end: SimTime,
     rng: &mut StdRng,
-    direct: &mut [Vec<Occurrence>],
+    staged: &mut Vec<(u32, Occurrence)>,
 ) -> (u64, u64) {
     let mut scheduled: u64 = 0;
     let events = config.batch.generate(fleet, start, end, config.seed);
@@ -400,13 +527,16 @@ fn apply_batch_events(
                 continue;
             }
             let slots = server.component_count(event.class).max(1) as u8;
-            direct[sid.index()].push(Occurrence {
-                class: event.class,
-                slot: rng.random_range(0..slots),
-                ftype: event.failure_type,
-                error_time: t,
-                expand_repeats: false,
-            });
+            staged.push((
+                sid.raw(),
+                Occurrence {
+                    class: event.class,
+                    slot: rng.random_range(0..slots),
+                    ftype: event.failure_type,
+                    error_time: t,
+                    expand_repeats: false,
+                },
+            ));
             scheduled += 1;
         }
     }
@@ -422,7 +552,7 @@ fn apply_sync_groups(
     start: SimTime,
     end: SimTime,
     rng: &mut StdRng,
-    direct: &mut [Vec<Occurrence>],
+    staged: &mut Vec<(u32, Occurrence)>,
 ) -> u64 {
     let mut scheduled: u64 = 0;
     let scale = (fleet.servers().len() as f64 / 160_000.0).max(1.0 / 160.0);
@@ -432,28 +562,50 @@ fn apply_sync_groups(
     } else {
         0
     };
+    if groups == 0 {
+        return 0;
+    }
+    // Eligibility is a pure function of the fleet: precompute it per rack
+    // once instead of re-filtering inside the rejection-sampling loop
+    // below (consumes no RNG draws, so the trace is unchanged).
+    //
+    // Prefer servers whose warranty outlives the window: the paper's
+    // Table VIII servers kept being "fixed" (D_fixing) each time, so
+    // they must not be decommissioned mid-episode.
+    //
+    // Known edge (kept for byte-compatibility): eligibility does not check
+    // deploy_time, so a server deployed mid-window can be picked for an
+    // episode that starts before its deploy date and receive a pre-deploy
+    // ticket. Filtering here would shift member selection and change
+    // traces, so it must wait for a schema-breaking release.
+    let eligible_by_rack: Vec<Vec<Vec<ServerId>>> = fleet
+        .racks()
+        .iter()
+        .map(|dc| {
+            dc.iter()
+                .map(|rack| {
+                    rack.iter()
+                        .copied()
+                        .filter(|&sid| {
+                            let s = fleet.server(sid);
+                            s.hdd_count > 0 && s.warranty_end() > end
+                        })
+                        .collect()
+                })
+                .collect()
+        })
+        .collect();
     let window_days = end.since(start).as_days_f64() as u64;
     for _ in 0..groups {
         // Find a rack with at least group_size HDD-bearing servers.
-        let mut found = None;
+        let mut found: Option<&[ServerId]> = None;
         for _ in 0..200 {
             let dc_idx = rng.random_range(0..fleet.racks().len());
             if fleet.racks()[dc_idx].is_empty() {
                 continue;
             }
             let rack_idx = rng.random_range(0..fleet.racks()[dc_idx].len());
-            let rack = &fleet.racks()[dc_idx][rack_idx];
-            // Prefer servers whose warranty outlives the window: the paper's
-            // Table VIII servers kept being "fixed" (D_fixing) each time, so
-            // they must not be decommissioned mid-episode.
-            let eligible: Vec<ServerId> = rack
-                .iter()
-                .copied()
-                .filter(|&sid| {
-                    let s = fleet.server(sid);
-                    s.hdd_count > 0 && s.warranty_end() > end
-                })
-                .collect();
+            let eligible = &eligible_by_rack[dc_idx][rack_idx];
             if eligible.len() >= config.sync_repeat.group_size as usize {
                 found = Some(eligible);
                 break;
@@ -472,13 +624,16 @@ fn apply_sync_groups(
                 if jittered >= end {
                     continue;
                 }
-                direct[sid.index()].push(Occurrence {
-                    class: ComponentClass::Hdd,
-                    slot,
-                    ftype: FailureType::SixthFixing,
-                    error_time: jittered,
-                    expand_repeats: false,
-                });
+                staged.push((
+                    sid.raw(),
+                    Occurrence {
+                        class: ComponentClass::Hdd,
+                        slot,
+                        ftype: FailureType::SixthFixing,
+                        error_time: jittered,
+                        expand_repeats: false,
+                    },
+                ));
                 scheduled += 1;
             }
         }
@@ -488,19 +643,33 @@ fn apply_sync_groups(
 
 /// Simulates one server end to end. Deterministic in
 /// `(config.seed, server id)`. Event tallies go into `counts`; they never
-/// touch `rng`, so instrumentation cannot perturb the trace.
+/// touch `rng`, so instrumentation cannot perturb the trace. All working
+/// buffers live in `scratch` and are reused across calls.
 #[allow(clippy::too_many_arguments)]
 fn simulate_server(
     config: &SimConfig,
     fleet: &Fleet,
     operator: &OperatorModel,
+    hazards: &HazardTable,
     sid: ServerId,
     direct: &[Occurrence],
     start: SimTime,
     end: SimTime,
+    scratch: &mut ServerScratch,
     out: &mut Vec<TicketSpec>,
     counts: &mut ServerCounts,
 ) {
+    let ServerScratch {
+        occurrences,
+        escalations,
+        repeats,
+        extra,
+        arrivals,
+        repeat_times,
+        causal,
+    } = scratch;
+    occurrences.clear();
+
     let mut rng = StdRng::seed_from_u64(mix_seed(config.seed, sid.raw() as u64 + 1));
     let server = fleet.server(sid);
     let profile: &UtilizationProfile = &fleet.product_line(server.product_line).utilization;
@@ -512,33 +681,25 @@ fn simulate_server(
         .sample_monitored_from(&mut rng, start, end);
 
     // --- background faults from the lifecycle hazards ---
-    let mut occurrences: Vec<Occurrence> = Vec::new();
     let deploy = server.deploy_time;
     let age_from = start.since(deploy).as_days_f64();
     let age_to = end.since(deploy).as_days_f64();
     if age_to > 0.0 {
-        let mut arrivals: Vec<f64> = Vec::new();
         for class in ComponentClass::ALL {
             let count = server.component_count(class);
             if count == 0 {
                 continue;
             }
-            // Temperature/spatial effects apply to hardware, not to the
-            // manual miscellaneous stream.
-            let mult = if class == ComponentClass::Miscellaneous {
-                count as f64
-            } else {
-                count as f64 * spatial
-            };
+            let mult = class_rate_multiplier(class, count, spatial);
             arrivals.clear();
-            config.rates.hazard_for(class).sample_arrivals(
+            hazards.hazard(class).sample_arrivals(
                 &mut rng,
                 age_from.max(0.0),
                 age_to,
                 mult,
-                &mut arrivals,
+                arrivals,
             );
-            for &age_days in &arrivals {
+            for &age_days in arrivals.iter() {
                 let latent = deploy + SimDuration::from_secs((age_days * 86_400.0) as u64);
                 let slots = count as u8;
                 occurrences.push(Occurrence {
@@ -555,7 +716,7 @@ fn simulate_server(
     counts.background += occurrences.len() as u64;
 
     // --- detection for background faults ---
-    for occ in &mut occurrences {
+    for occ in occurrences.iter_mut() {
         let channel = config.detection.sample_channel(&mut rng, occ.class);
         occ.error_time =
             config
@@ -565,8 +726,8 @@ fn simulate_server(
     }
 
     // --- warning → fatal escalation on the same component (§VII-A) ---
-    let mut escalations: Vec<Occurrence> = Vec::new();
-    for occ in &occurrences {
+    escalations.clear();
+    for occ in occurrences.iter() {
         if occ.ftype.severity() != Severity::Warning || occ.class == ComponentClass::Miscellaneous {
             continue;
         }
@@ -583,15 +744,19 @@ fn simulate_server(
         }
     }
     counts.escalated += escalations.len() as u64;
-    occurrences.extend(escalations);
+    occurrences.extend_from_slice(escalations);
 
     // --- repeats: the same component failing again after a "fix" ---
-    let mut repeats: Vec<Occurrence> = Vec::new();
-    for occ in &occurrences {
+    repeats.clear();
+    for occ in occurrences.iter() {
         if !occ.expand_repeats {
             continue;
         }
-        for t in config.repeat.sample_repeats(&mut rng, occ.error_time, end) {
+        repeat_times.clear();
+        config
+            .repeat
+            .sample_repeats_into(&mut rng, occ.error_time, end, repeat_times);
+        for &t in repeat_times.iter() {
             repeats.push(Occurrence {
                 error_time: t,
                 expand_repeats: false,
@@ -600,12 +765,12 @@ fn simulate_server(
         }
     }
     counts.repeats += repeats.len() as u64;
-    occurrences.extend(repeats);
+    occurrences.extend_from_slice(repeats);
     occurrences.extend_from_slice(direct);
 
     // --- correlated companions and causal propagation (§V-B) ---
-    let mut extra: Vec<Occurrence> = Vec::new();
-    for occ in &occurrences {
+    extra.clear();
+    for occ in occurrences.iter() {
         if occ.class == ComponentClass::Miscellaneous {
             continue;
         }
@@ -618,7 +783,11 @@ fn simulate_server(
                 expand_repeats: false,
             });
         }
-        for (secondary, delay) in config.correlation.roll_causal(&mut rng, occ.class) {
+        causal.clear();
+        config
+            .correlation
+            .roll_causal_into(&mut rng, occ.class, causal);
+        for &(secondary, delay) in causal.iter() {
             if server.component_count(secondary) == 0 {
                 continue;
             }
@@ -633,7 +802,7 @@ fn simulate_server(
         }
     }
     counts.correlated += extra.len() as u64;
-    occurrences.extend(extra);
+    occurrences.extend_from_slice(extra);
 
     // --- categorize in time order, applying decommissioning ---
     occurrences.retain(|o| {
@@ -656,7 +825,7 @@ fn simulate_server(
     });
     occurrences.sort_by_key(|o| o.error_time);
     let mut decommissioned_at: Option<SimTime> = None;
-    for occ in &occurrences {
+    for occ in occurrences.iter() {
         if let Some(d) = decommissioned_at {
             if occ.error_time >= d {
                 counts.skipped_decommissioned += 1;

@@ -107,6 +107,13 @@ impl Scenario {
         self
     }
 
+    /// Sets the engine worker-thread count (`0` = auto). Execution knob
+    /// only: the trace is byte-identical at any setting.
+    pub fn engine_threads(mut self, threads: usize) -> Self {
+        self.config.engine_threads = threads;
+        self
+    }
+
     /// Runs the scenario.
     ///
     /// # Errors
@@ -152,5 +159,12 @@ mod tests {
     fn seed_is_recorded() {
         let s = Scenario::small().seed(99);
         assert_eq!(s.config.seed, 99);
+    }
+
+    #[test]
+    fn engine_threads_is_recorded() {
+        let s = Scenario::small().engine_threads(3);
+        assert_eq!(s.config.engine_threads, 3);
+        assert_eq!(Scenario::small().config.engine_threads, 0, "auto default");
     }
 }

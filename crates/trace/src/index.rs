@@ -51,7 +51,7 @@ pub(crate) fn category_slot(category: FotCategory) -> usize {
 ///
 /// Built once per trace (lazily, on first access through
 /// [`crate::Trace::index`]) and shared by every analysis section; see the
-/// [module docs](self) for the invariants.
+/// module docs for the invariants.
 #[derive(Debug, Clone, Default, PartialEq)]
 pub struct TraceIndex {
     /// Positions of failures (`D_fixing` + `D_error`), time-sorted.

@@ -113,6 +113,30 @@ pub fn write_fots_csv<W: Write>(fots: &[Fot], mut writer: W) -> Result<(), Trace
     Ok(())
 }
 
+/// A 64-bit FNV-1a digest of the ticket table's CSV form.
+///
+/// Two traces digest equal iff [`write_fots_csv`] produces the same bytes
+/// for both — a cheap byte-identity fingerprint for determinism gates
+/// (e.g. diffing engine thread counts in CI) without shipping the CSV.
+pub fn fots_digest(fots: &[Fot]) -> u64 {
+    struct Fnv1a(u64);
+    impl Write for Fnv1a {
+        fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+            for &b in buf {
+                self.0 ^= u64::from(b);
+                self.0 = self.0.wrapping_mul(0x100_0000_01b3);
+            }
+            Ok(buf.len())
+        }
+        fn flush(&mut self) -> std::io::Result<()> {
+            Ok(())
+        }
+    }
+    let mut h = Fnv1a(0xcbf2_9ce4_8422_2325);
+    write_fots_csv(fots, &mut h).expect("in-memory digest write cannot fail");
+    h.0
+}
+
 /// Splits one CSV record, honoring double-quote escaping.
 fn split_csv_line(line: &str) -> Vec<String> {
     let mut fields = Vec::new();
@@ -304,6 +328,24 @@ mod tests {
         assert_eq!(csv_escape("say \"hi\""), "\"say \"\"hi\"\"\"");
         let parsed = split_csv_line("\"say \"\"hi\"\"\",2");
         assert_eq!(parsed, vec!["say \"hi\"".to_string(), "2".to_string()]);
+    }
+
+    #[test]
+    fn digest_tracks_csv_bytes() {
+        use crate::store::tests::fot;
+        let a = vec![fot(0, 0, 1, FotCategory::Fixing)];
+        let b = vec![fot(0, 0, 2, FotCategory::Fixing)];
+        assert_eq!(fots_digest(&a), fots_digest(&a), "deterministic");
+        assert_ne!(fots_digest(&a), fots_digest(&b), "different fots differ");
+        assert_ne!(fots_digest(&a), fots_digest(&[]), "empty differs");
+        // Pinned FNV-1a of the bare header line, so the digest is stable
+        // across platforms and releases.
+        let mut csv = Vec::new();
+        write_fots_csv(&[], &mut csv).unwrap();
+        let expect = csv.iter().fold(0xcbf2_9ce4_8422_2325u64, |h, &byte| {
+            (h ^ u64::from(byte)).wrapping_mul(0x100_0000_01b3)
+        });
+        assert_eq!(fots_digest(&[]), expect);
     }
 
     #[test]

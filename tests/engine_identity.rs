@@ -1,0 +1,113 @@
+//! Byte-identity of the engine across worker-thread counts.
+//!
+//! The contract under test: `SimConfig::engine_threads` is purely an
+//! execution knob. Workers own disjoint server chunks, every server draws
+//! from its own RNG stream, and the pre-sorted assembly's k-way merge
+//! reproduces the sequential stable sort exactly — so the trace (every
+//! ticket field, in order) must not change by a single byte at any thread
+//! count. The CSV digest is the same fingerprint CI diffs between
+//! `reproduce --threads 1` and auto.
+
+use dcfail::obs::MetricsRegistry;
+use dcfail::sim::Scenario;
+use dcfail::trace::{io, Trace};
+
+const SEEDS: [u64; 3] = [1, 7, 42];
+const THREADS: [usize; 4] = [1, 2, 4, 8];
+
+fn small_trace(seed: u64, threads: usize) -> Trace {
+    Scenario::small()
+        .seed(seed)
+        .engine_threads(threads)
+        .run()
+        .expect("simulation runs")
+}
+
+#[test]
+fn traces_are_byte_identical_across_thread_counts() {
+    for seed in SEEDS {
+        let reference = small_trace(seed, 1);
+        let reference_digest = io::fots_digest(reference.fots());
+        for threads in &THREADS[1..] {
+            let trace = small_trace(seed, *threads);
+            assert_eq!(
+                trace.fots(),
+                reference.fots(),
+                "seed {seed}: trace diverged at {threads} engine threads"
+            );
+            assert_eq!(
+                io::fots_digest(trace.fots()),
+                reference_digest,
+                "seed {seed}: digest diverged at {threads} engine threads"
+            );
+        }
+    }
+}
+
+#[test]
+fn auto_thread_count_matches_explicit_one() {
+    // 0 = auto-detect; whatever the machine resolves it to, the trace must
+    // match the single-threaded run.
+    for seed in SEEDS {
+        assert_eq!(
+            small_trace(seed, 0).fots(),
+            small_trace(seed, 1).fots(),
+            "seed {seed}: auto thread count changed the trace"
+        );
+    }
+}
+
+#[test]
+fn digest_is_a_trace_fingerprint() {
+    // Different seeds produce different tickets, so the digest must move;
+    // the same trace serialized twice must not.
+    let a = small_trace(SEEDS[0], 2);
+    let b = small_trace(SEEDS[1], 2);
+    assert_eq!(io::fots_digest(a.fots()), io::fots_digest(a.fots()));
+    assert_ne!(
+        io::fots_digest(a.fots()),
+        io::fots_digest(b.fots()),
+        "digest failed to distinguish traces from different seeds"
+    );
+}
+
+/// Counter/trace consistency: the engine's ticket counters must agree with
+/// the assembled trace at every thread count, auto included.
+#[test]
+fn ticket_counters_match_the_trace() {
+    for seed in SEEDS {
+        for threads in [1usize, 2, 0] {
+            let registry = MetricsRegistry::new();
+            let trace = Scenario::small()
+                .seed(seed)
+                .engine_threads(threads)
+                .run_with_metrics(&registry)
+                .expect("simulation runs");
+            let report = registry.report("engine_identity");
+            let counter = |name: &str| {
+                report
+                    .counter(name)
+                    .unwrap_or_else(|| panic!("seed {seed}, threads {threads}: missing {name}"))
+            };
+            let total = counter("sim.tickets.total");
+            assert_eq!(
+                total,
+                counter("sim.tickets.fixing")
+                    + counter("sim.tickets.error")
+                    + counter("sim.tickets.false_alarm"),
+                "seed {seed}, threads {threads}: category counters do not sum to the total"
+            );
+            assert_eq!(
+                trace.len() as u64,
+                total,
+                "seed {seed}, threads {threads}: trace length disagrees with sim.tickets.total"
+            );
+            let [fixing, error, false_alarm] = trace.category_counts();
+            assert_eq!(
+                (fixing + error + false_alarm) as u64,
+                total,
+                "seed {seed}, threads {threads}: trace category counts disagree with the counter"
+            );
+        }
+    }
+}

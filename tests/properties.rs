@@ -6,7 +6,8 @@ use proptest::prelude::*;
 
 use dcfail::core::FailureStudy;
 use dcfail::fleet::FleetConfig;
-use dcfail::sim::{run, SimConfig};
+use dcfail::obs::MetricsRegistry;
+use dcfail::sim::{run, run_with_metrics, SimConfig};
 use dcfail::stats::{fit, ContinuousDistribution, Ecdf};
 use dcfail::trace::io;
 
@@ -55,6 +56,42 @@ proptest! {
         let report = FailureStudy::new(&trace).report();
         prop_assert_eq!(report.total_fots, trace.len());
         prop_assert!(report.fixing_share >= 0.0 && report.fixing_share <= 1.0);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(9))]
+
+    /// The engine's ticket counters agree with the assembled trace whatever
+    /// the fleet shape and worker-thread count: `sim.tickets.total` equals
+    /// both the sum of the per-category counters and the trace length, at
+    /// 1, 2, and auto engine threads.
+    #[test]
+    fn ticket_counters_are_consistent_at_any_thread_count(
+        cfg in small_configs(),
+        seed in 0u64..1_000,
+    ) {
+        for threads in [1usize, 2, 0] {
+            let mut sim = SimConfig::with_fleet(cfg.clone(), "prop");
+            sim.seed = seed;
+            sim.engine_threads = threads;
+            let registry = MetricsRegistry::new();
+            let trace = run_with_metrics(&sim, &registry).expect("valid config simulates");
+            let report = registry.report("properties");
+            let counter = |name: &str| report.counter(name).unwrap_or(0);
+            let total = counter("sim.tickets.total");
+            prop_assert_eq!(
+                total,
+                counter("sim.tickets.fixing")
+                    + counter("sim.tickets.error")
+                    + counter("sim.tickets.false_alarm"),
+                "threads {}: category counters do not sum to the total", threads
+            );
+            prop_assert_eq!(
+                trace.len() as u64, total,
+                "threads {}: trace length disagrees with sim.tickets.total", threads
+            );
+        }
     }
 }
 
