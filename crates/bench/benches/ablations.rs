@@ -31,7 +31,10 @@ struct Findings {
 }
 
 fn findings(scenario: Scenario) -> Findings {
-    let trace = scenario.seed(7).run().expect("scenario runs");
+    let trace = scenario
+        .seed(7)
+        .simulate(&dcf_sim::RunOptions::default())
+        .expect("scenario runs");
     let study = FailureStudy::new(&trace);
     let tbf = study.temporal().tbf_all().expect("enough failures");
     let dow = study.temporal().day_of_week(None).expect("enough failures");

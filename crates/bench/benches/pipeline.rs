@@ -7,13 +7,19 @@ use std::hint::black_box;
 
 use dcf_bench::{medium_trace, small_trace};
 use dcf_core::{FailureStudy, StudyOptions};
-use dcf_obs::MetricsRegistry;
-use dcf_sim::Scenario;
+use dcf_sim::{RunOptions, Scenario};
 use dcf_trace::io;
 
 fn bench_simulation_small(c: &mut Criterion) {
     c.bench_function("simulate_small_2k_servers", |b| {
-        b.iter(|| black_box(Scenario::small().seed(1).run().unwrap()))
+        b.iter(|| {
+            black_box(
+                Scenario::small()
+                    .seed(1)
+                    .simulate(&RunOptions::default())
+                    .unwrap(),
+            )
+        })
     });
 }
 
@@ -21,7 +27,14 @@ fn bench_simulation_medium(c: &mut Criterion) {
     let mut group = c.benchmark_group("simulate");
     group.sample_size(10);
     group.bench_function("medium_20k_servers", |b| {
-        b.iter(|| black_box(Scenario::medium().seed(1).run().unwrap()))
+        b.iter(|| {
+            black_box(
+                Scenario::medium()
+                    .seed(1)
+                    .simulate(&RunOptions::default())
+                    .unwrap(),
+            )
+        })
     });
     group.finish();
 }
@@ -41,7 +54,7 @@ fn bench_engine_threads(c: &mut Criterion) {
                     Scenario::medium()
                         .seed(1)
                         .engine_threads(threads)
-                        .run()
+                        .simulate(&RunOptions::default())
                         .unwrap(),
                 )
             })
@@ -55,7 +68,7 @@ fn bench_full_report(c: &mut Criterion) {
     let mut group = c.benchmark_group("analysis");
     group.sample_size(10);
     group.bench_function("full_study_report_medium", |b| {
-        b.iter(|| black_box(FailureStudy::new(trace).report()))
+        b.iter(|| black_box(FailureStudy::new(trace).analyze(&StudyOptions::default())))
     });
     group.finish();
 }
@@ -72,20 +85,13 @@ fn bench_report_backends(c: &mut Criterion) {
     let mut group = c.benchmark_group("report_backends");
     group.sample_size(10);
     group.bench_function("scan_serial", |b| {
-        b.iter(|| black_box(FailureStudy::new(&scan).report()))
+        b.iter(|| black_box(FailureStudy::new(&scan).analyze(&StudyOptions::default())))
     });
     group.bench_function("indexed_serial", |b| {
-        b.iter(|| black_box(FailureStudy::new(indexed).report()))
+        b.iter(|| black_box(FailureStudy::new(indexed).analyze(&StudyOptions::default())))
     });
     group.bench_function("indexed_threads4", |b| {
-        b.iter(|| {
-            black_box(
-                FailureStudy::new(indexed).report_with_options(
-                    StudyOptions::with_threads(4),
-                    &MetricsRegistry::disabled(),
-                ),
-            )
-        })
+        b.iter(|| black_box(FailureStudy::new(indexed).analyze(&StudyOptions::with_threads(4))))
     });
     group.finish();
 }

@@ -1,0 +1,142 @@
+//! Load generator for the `dcf-serve` query service.
+//!
+//! Starts an in-process server on an ephemeral port, fires a burst of
+//! concurrent clients at the `/simulate` + `/report/*` + `/trace/*`
+//! endpoints, and prints per-endpoint latency and the server's own
+//! metrics report. The first round is all cache misses; the remaining
+//! rounds show the cached steady state.
+//!
+//! ```text
+//! cargo run --release -p dcf-bench --example serve_loadgen
+//! ```
+
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::time::{Duration, Instant};
+
+use dcf_obs::MetricsRegistry;
+use dcf_serve::{ServeConfig, Server, SECTIONS};
+
+const CLIENTS: usize = 4;
+const ROUNDS: usize = 3;
+const SEEDS: [u64; 2] = [1, 2];
+
+fn request(addr: SocketAddr, raw: &str) -> (u16, String) {
+    let mut stream = TcpStream::connect(addr).expect("connect");
+    stream
+        .set_read_timeout(Some(Duration::from_secs(120)))
+        .unwrap();
+    stream.write_all(raw.as_bytes()).expect("send");
+    let mut buf = String::new();
+    stream.read_to_string(&mut buf).expect("read");
+    let (head, body) = buf.split_once("\r\n\r\n").expect("http head");
+    let status = head
+        .split(' ')
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .expect("status");
+    (status, body.to_string())
+}
+
+fn get(addr: SocketAddr, path: &str) -> (u16, String) {
+    request(addr, &format!("GET {path} HTTP/1.1\r\nhost: l\r\n\r\n"))
+}
+
+fn post(addr: SocketAddr, path: &str, body: &str) -> (u16, String) {
+    request(
+        addr,
+        &format!(
+            "POST {path} HTTP/1.1\r\nhost: l\r\ncontent-length: {}\r\n\r\n{body}",
+            body.len()
+        ),
+    )
+}
+
+fn main() {
+    let metrics = MetricsRegistry::new();
+    let server = Server::start(
+        ServeConfig::default()
+            .addr("127.0.0.1:0")
+            .workers(CLIENTS)
+            .metrics(&metrics),
+    )
+    .expect("server starts");
+    let addr = server.local_addr();
+    println!("serving on http://{addr}\n");
+
+    let mut digests: Vec<String> = Vec::new();
+    for round in 0..ROUNDS {
+        let t0 = Instant::now();
+        let bodies: Vec<(u16, String)> = std::thread::scope(|s| {
+            let handles: Vec<_> = (0..CLIENTS)
+                .map(|c| {
+                    s.spawn(move || {
+                        let seed = SEEDS[c % SEEDS.len()];
+                        post(
+                            addr,
+                            "/simulate",
+                            &format!("{{\"scenario\":\"small\",\"seed\":{seed}}}"),
+                        )
+                    })
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).collect()
+        });
+        let hits = bodies
+            .iter()
+            .filter(|(_, b)| b.contains("\"cache\":\"hit\""))
+            .count();
+        println!(
+            "round {round}: {CLIENTS} concurrent /simulate in {:6.1} ms ({hits} cache hits)",
+            t0.elapsed().as_secs_f64() * 1e3
+        );
+        for (status, body) in &bodies {
+            assert_eq!(*status, 200, "simulate failed: {body}");
+            if let Ok(v) = dcf_obs::json::parse(body) {
+                if let Some(d) = v.get("digest").and_then(|d| d.as_str()) {
+                    if !digests.iter().any(|known| known == d) {
+                        digests.push(d.to_string());
+                    }
+                }
+            }
+        }
+    }
+
+    println!();
+    for seed in SEEDS {
+        for &section in SECTIONS {
+            let t0 = Instant::now();
+            let (status, body) = get(
+                addr,
+                &format!("/report/{section}?scenario=small&seed={seed}"),
+            );
+            assert_eq!(status, 200, "section {section} failed: {body}");
+            println!(
+                "seed {seed} /report/{section:<11} {:7.1} ms  {:5} bytes",
+                t0.elapsed().as_secs_f64() * 1e3,
+                body.len()
+            );
+        }
+    }
+
+    println!();
+    for digest in &digests {
+        let t0 = Instant::now();
+        let (status, body) = get(addr, &format!("/trace/{digest}/fots?limit=50"));
+        assert_eq!(status, 200, "fots page failed: {body}");
+        println!(
+            "/trace/{digest}/fots  {:6.1} ms  {:6} bytes",
+            t0.elapsed().as_secs_f64() * 1e3,
+            body.len()
+        );
+    }
+
+    let report = server.shutdown();
+    println!(
+        "\nserver drained: {} requests, {} cache hits, {} misses, {} rejected",
+        report.counter("serve.requests").unwrap_or(0),
+        report.counter("serve.cache.hits").unwrap_or(0),
+        report.counter("serve.cache.misses").unwrap_or(0),
+        report.counter("serve.rejected").unwrap_or(0),
+    );
+}

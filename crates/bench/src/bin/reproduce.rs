@@ -4,7 +4,13 @@
 //! reproduce [--scenario paper|medium|small] [--seed N] [--experiment ID]
 //!           [--markdown] [--metrics PATH] [--threads N]
 //!           [--bench-json PATH] [--bench-baseline PATH] [--digest PATH]
+//! reproduce serve [--addr HOST:PORT] [--workers N] [--cache-entries N]
 //! ```
+//!
+//! `reproduce serve` runs the `dcf-serve` HTTP query service instead of a
+//! one-shot reproduction: simulate + study results are computed on demand
+//! per `(scenario, seed, threads)` and cached. SIGINT (Ctrl-C) drains
+//! in-flight requests and prints the final metrics report before exiting.
 //!
 //! `ID` is one of: `table1 table2 table3 table4 table5 table6 table7 table8
 //! fig2 fig3 fig4 fig5 fig6 fig7 fig8 fig9 fig10 fig11 prediction backlog all`
@@ -32,7 +38,7 @@ use std::process::ExitCode;
 use dcf_core::{paper, FailureStudy, StudyOptions, StudyReport};
 use dcf_obs::{BenchSummary, MetricsRegistry, RunReport};
 use dcf_report::{experiments, pct, TextTable};
-use dcf_sim::Scenario;
+use dcf_sim::{RunOptions, Scenario};
 use dcf_trace::{io, Trace};
 
 struct Args {
@@ -187,7 +193,105 @@ fn write_digest(args: &Args, trace: &Trace) -> Result<(), String> {
     Ok(())
 }
 
+/// Parses and runs the `serve` subcommand: a long-lived `dcf-serve`
+/// instance that drains gracefully on SIGINT.
+fn serve_main(mut it: impl Iterator<Item = String>) -> ExitCode {
+    let mut addr = "127.0.0.1:8620".to_string();
+    let mut workers = 4usize;
+    let mut cache_entries = 8usize;
+    while let Some(flag) = it.next() {
+        let parsed = match flag.as_str() {
+            "--addr" => it.next().map(|v| {
+                addr = v;
+                Ok(())
+            }),
+            "--workers" => it
+                .next()
+                .map(|v| v.parse().map(|n| workers = n).map_err(|_| flag.clone())),
+            "--cache-entries" => it.next().map(|v| {
+                v.parse()
+                    .map(|n| cache_entries = n)
+                    .map_err(|_| flag.clone())
+            }),
+            "--help" | "-h" => {
+                eprintln!(
+                    "usage: reproduce serve [--addr HOST:PORT] [--workers N] [--cache-entries N]"
+                );
+                return ExitCode::FAILURE;
+            }
+            other => {
+                eprintln!("unknown serve flag {other}");
+                return ExitCode::FAILURE;
+            }
+        };
+        match parsed {
+            None => {
+                eprintln!("{flag} needs a value");
+                return ExitCode::FAILURE;
+            }
+            Some(Err(which)) => {
+                eprintln!("{which} needs an unsigned integer value");
+                return ExitCode::FAILURE;
+            }
+            Some(Ok(())) => {}
+        }
+    }
+
+    // Block SIGINT *before* the server spawns its threads so every thread
+    // inherits the mask and the signal can only be consumed by the wait
+    // loop below.
+    let sigint_ready = dcf_serve::signal::block_sigint();
+    if !sigint_ready {
+        eprintln!("note: SIGINT handling is unsupported on this platform; stop the service by killing the process");
+    }
+
+    let metrics = MetricsRegistry::new();
+    let config = dcf_serve::ServeConfig::default()
+        .addr(&addr)
+        .workers(workers)
+        .cache_entries(cache_entries)
+        .metrics(&metrics);
+    let server = match dcf_serve::Server::start(config) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("cannot start service on {addr}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    eprintln!(
+        "dcf-serve listening on http://{} ({} workers, {}-entry cache)",
+        server.local_addr(),
+        workers.max(1),
+        cache_entries.max(1),
+    );
+    if sigint_ready {
+        eprintln!("press Ctrl-C to drain in-flight requests and exit");
+        while !dcf_serve::signal::wait_sigint(200) {}
+        eprintln!("SIGINT received; draining…");
+    } else {
+        // No signal support: serve until the process is killed.
+        loop {
+            std::thread::sleep(std::time::Duration::from_secs(3600));
+        }
+    }
+    let report = server.shutdown();
+    println!("{}", report.to_json());
+    eprintln!(
+        "drained; served {} requests ({} cache hits, {} rejected)",
+        report.counter("serve.requests").unwrap_or(0),
+        report.counter("serve.cache.hits").unwrap_or(0),
+        report.counter("serve.rejected").unwrap_or(0),
+    );
+    ExitCode::SUCCESS
+}
+
 fn main() -> ExitCode {
+    {
+        let mut raw = std::env::args().skip(1);
+        if raw.next().as_deref() == Some("serve") {
+            return serve_main(raw);
+        }
+    }
     let args = match parse_args() {
         Ok(a) => a,
         Err(msg) => {
@@ -223,7 +327,7 @@ fn main() -> ExitCode {
     let trace = match scenario
         .seed(args.seed)
         .engine_threads(args.threads)
-        .run_with_metrics(&registry)
+        .simulate(&RunOptions::new().metrics(&registry))
     {
         Ok(t) => t,
         Err(e) => {
@@ -246,17 +350,14 @@ fn main() -> ExitCode {
 
     if args.markdown {
         // 0 = auto: one worker per core, capped by the section count inside
-        // report_with_options.
+        // `FailureStudy::analyze`.
         let threads = if args.threads == 0 {
             std::thread::available_parallelism().map_or(1, |n| n.get())
         } else {
             args.threads
         };
-        let options = StudyOptions::with_threads(threads);
-        println!(
-            "{}",
-            markdown_summary(&study.report_with_options(options, &registry))
-        );
+        let options = StudyOptions::with_threads(threads).metrics(&registry);
+        println!("{}", markdown_summary(&study.analyze(&options)));
         drop(analysis_span);
         return finish(&args, &registry, run, trace.len() as u64);
     }

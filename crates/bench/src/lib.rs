@@ -17,7 +17,7 @@
 
 use std::sync::OnceLock;
 
-use dcf_sim::Scenario;
+use dcf_sim::{RunOptions, Scenario};
 use dcf_trace::Trace;
 
 /// A cached medium-scale trace (20k servers, full 1,411-day window) shared
@@ -27,7 +27,7 @@ pub fn medium_trace() -> &'static Trace {
     T.get_or_init(|| {
         Scenario::medium()
             .seed(0xBE7C)
-            .run()
+            .simulate(&RunOptions::default())
             .expect("medium scenario runs")
     })
 }
@@ -38,7 +38,7 @@ pub fn small_trace() -> &'static Trace {
     T.get_or_init(|| {
         Scenario::small()
             .seed(0xBE7C)
-            .run()
+            .simulate(&RunOptions::default())
             .expect("small scenario runs")
     })
 }

@@ -10,7 +10,7 @@
 //! use dcf_core::batch::Batch;
 //! use dcf_trace::ComponentClass;
 //!
-//! let trace = dcf_sim::Scenario::small().seed(1).run().unwrap();
+//! let trace = dcf_sim::Scenario::small().seed(1).simulate(&dcf_sim::RunOptions::default()).unwrap();
 //! let batch = Batch::new(&trace);
 //! let rows = batch.r_n(&batch.scaled_thresholds());
 //! assert_eq!(rows[0].class, ComponentClass::Hdd);

@@ -61,7 +61,7 @@ fn judge(paper: f64, measured: f64, rel_tol: f64, abs_tol: f64) -> Agreement {
 /// information, not an error.
 pub fn compare_to_paper(trace: &Trace) -> Vec<ComparisonRow> {
     let study = FailureStudy::new(trace);
-    let report = study.report();
+    let report = study.analyze(&crate::StudyOptions::default());
     let mut rows = Vec::new();
     let mut push = |experiment, metric, paper_v: f64, measured: f64, rel: f64, abs: f64| {
         rows.push(ComparisonRow {

@@ -7,7 +7,7 @@
 //! ```
 //! use dcf_core::correlation::Correlation;
 //!
-//! let trace = dcf_sim::Scenario::small().seed(1).run().unwrap();
+//! let trace = dcf_sim::Scenario::small().seed(1).simulate(&dcf_sim::RunOptions::default()).unwrap();
 //! let corr = Correlation::new(&trace).component_pairs();
 //! // Correlated multi-component days are rare (paper: 0.49% of servers).
 //! assert!(corr.pair_server_share < 0.05);

@@ -12,7 +12,7 @@
 //! use dcf_core::lifecycle::Lifecycle;
 //! use dcf_trace::ComponentClass;
 //!
-//! let trace = dcf_sim::Scenario::small().seed(1).run().unwrap();
+//! let trace = dcf_sim::Scenario::small().seed(1).simulate(&dcf_sim::RunOptions::default()).unwrap();
 //! let hdd = Lifecycle::new(&trace).of_class(ComponentClass::Hdd);
 //! // Exposure follows the fleet: positive in the months the window covers.
 //! assert!(hdd.exposure.iter().sum::<f64>() > 0.0);

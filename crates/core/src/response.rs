@@ -7,7 +7,7 @@
 //! use dcf_core::response::Response;
 //! use dcf_trace::FotCategory;
 //!
-//! let trace = dcf_sim::Scenario::small().seed(1).run().unwrap();
+//! let trace = dcf_sim::Scenario::small().seed(1).simulate(&dcf_sim::RunOptions::default()).unwrap();
 //! let rt = Response::new(&trace).rt_of_category(FotCategory::Fixing).unwrap();
 //! assert!(rt.mean_days > rt.median_days); // heavy right tail
 //! ```

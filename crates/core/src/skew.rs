@@ -6,7 +6,7 @@
 //! ```
 //! use dcf_core::skew::Skew;
 //!
-//! let trace = dcf_sim::Scenario::small().seed(1).run().unwrap();
+//! let trace = dcf_sim::Scenario::small().seed(1).simulate(&dcf_sim::RunOptions::default()).unwrap();
 //! let c = Skew::new(&trace).concentration();
 //! assert!(c.top_share(0.5) >= 0.5); // top half holds at least half
 //! ```

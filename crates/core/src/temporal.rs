@@ -7,7 +7,7 @@
 //! ```
 //! use dcf_core::temporal::Temporal;
 //!
-//! let trace = dcf_sim::Scenario::small().seed(1).run().unwrap();
+//! let trace = dcf_sim::Scenario::small().seed(1).simulate(&dcf_sim::RunOptions::default()).unwrap();
 //! let temporal = Temporal::new(&trace);
 //! let tbf = temporal.tbf_all().unwrap();
 //! assert_eq!(tbf.fits.len(), 4); // exp / Weibull / gamma / lognormal

@@ -14,7 +14,7 @@ pub(crate) fn synthetic_trace() -> Trace {
         .get_or_init(|| {
             dcf_sim::Scenario::small()
                 .seed(0xDCF)
-                .run()
+                .simulate(&dcf_sim::RunOptions::default())
                 .expect("small scenario runs")
         })
         .clone()
@@ -27,7 +27,7 @@ pub(crate) fn medium_trace() -> Trace {
         .get_or_init(|| {
             dcf_sim::Scenario::medium()
                 .seed(0xDCF)
-                .run()
+                .simulate(&dcf_sim::RunOptions::default())
                 .expect("medium scenario runs")
         })
         .clone()

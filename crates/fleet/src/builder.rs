@@ -10,6 +10,7 @@ use dcf_trace::{
 };
 
 use crate::datacenter::{CoolingDesign, DataCenter};
+use crate::error::FleetError;
 use crate::fleet::Fleet;
 use crate::hardware::HardwareProfile;
 use crate::product_line::{fault_tolerance_for, workload_for_rank, zipf_shares, ProductLine};
@@ -64,8 +65,9 @@ impl FleetBuilder {
     ///
     /// # Errors
     ///
-    /// Returns the configuration-validation message if the config is invalid.
-    pub fn build(self) -> Result<Fleet, String> {
+    /// Returns the [`FleetError`] for the first violated configuration
+    /// constraint.
+    pub fn build(self) -> Result<Fleet, FleetError> {
         self.config.validate()?;
         let metrics = self.metrics;
         let build_span = metrics.phase("fleet.build");
@@ -492,6 +494,9 @@ mod tests {
     fn invalid_config_is_rejected() {
         let mut cfg = FleetConfig::small();
         cfg.window_days = 0;
-        assert!(FleetBuilder::new(cfg).build().is_err());
+        assert!(matches!(
+            FleetBuilder::new(cfg).build(),
+            Err(FleetError::EmptyWindow)
+        ));
     }
 }

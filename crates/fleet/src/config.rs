@@ -2,6 +2,8 @@
 
 use serde::{Deserialize, Serialize};
 
+use crate::FleetError;
+
 /// Configuration for building a fleet.
 ///
 /// The defaults mirror the paper's environment: dozens of data centers,
@@ -95,37 +97,39 @@ impl FleetConfig {
     ///
     /// # Errors
     ///
-    /// Returns a human-readable description of the first violated constraint.
-    pub fn validate(&self) -> Result<(), String> {
+    /// Returns the [`FleetError`] describing the first violated constraint.
+    pub fn validate(&self) -> Result<(), FleetError> {
         if self.data_centers == 0 {
-            return Err("data_centers must be positive".into());
+            return Err(FleetError::NoDataCenters);
         }
         if self.servers < self.data_centers {
-            return Err(format!(
-                "need at least one server per data center ({} servers, {} DCs)",
-                self.servers, self.data_centers
-            ));
+            return Err(FleetError::TooFewServers {
+                servers: self.servers,
+                data_centers: self.data_centers,
+            });
         }
         if self.product_lines == 0 {
-            return Err("product_lines must be positive".into());
+            return Err(FleetError::NoProductLines);
         }
         if self.servers_per_rack == 0 || self.servers_per_rack > self.rack_positions {
-            return Err(format!(
-                "servers_per_rack ({}) must be in 1..={}",
-                self.servers_per_rack, self.rack_positions
-            ));
+            return Err(FleetError::InvalidRackFill {
+                servers_per_rack: self.servers_per_rack,
+                rack_positions: self.rack_positions,
+            });
         }
         if self.window_days == 0 {
-            return Err("window_days must be positive".into());
+            return Err(FleetError::EmptyWindow);
         }
         if !(0.0..=1.0).contains(&self.modern_cooling_fraction) {
-            return Err("modern_cooling_fraction must be in [0, 1]".into());
+            return Err(FleetError::InvalidModernCoolingFraction(
+                self.modern_cooling_fraction,
+            ));
         }
         if self.generations == 0 {
-            return Err("generations must be positive".into());
+            return Err(FleetError::NoGenerations);
         }
         if self.racks_per_pdu == 0 {
-            return Err("racks_per_pdu must be positive".into());
+            return Err(FleetError::NoRacksPerPdu);
         }
         Ok(())
     }
@@ -160,15 +164,27 @@ mod tests {
     fn validation_catches_nonsense() {
         let mut c = FleetConfig::small();
         c.servers_per_rack = 0;
-        assert!(c.validate().is_err());
+        assert!(matches!(
+            c.validate(),
+            Err(FleetError::InvalidRackFill {
+                servers_per_rack: 0,
+                ..
+            })
+        ));
         let mut c = FleetConfig::small();
         c.servers_per_rack = c.rack_positions + 1;
-        assert!(c.validate().is_err());
+        assert!(matches!(
+            c.validate(),
+            Err(FleetError::InvalidRackFill { .. })
+        ));
         let mut c = FleetConfig::small();
         c.modern_cooling_fraction = 1.5;
-        assert!(c.validate().is_err());
+        assert!(matches!(
+            c.validate(),
+            Err(FleetError::InvalidModernCoolingFraction(_))
+        ));
         let mut c = FleetConfig::small();
         c.data_centers = 0;
-        assert!(c.validate().is_err());
+        assert!(matches!(c.validate(), Err(FleetError::NoDataCenters)));
     }
 }

@@ -1,0 +1,91 @@
+//! Error type for fleet configuration and construction.
+
+/// Errors from validating a [`crate::FleetConfig`] or building a
+/// [`crate::Fleet`].
+///
+/// Each variant names the violated constraint and carries the offending
+/// values, so callers can match on the failure instead of parsing a string
+/// (the pre-redesign API returned `Result<_, String>`).
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum FleetError {
+    /// `data_centers` was zero.
+    NoDataCenters,
+    /// Fewer servers than data centers — at least one server per DC.
+    TooFewServers {
+        /// Configured total server count.
+        servers: usize,
+        /// Configured data-center count.
+        data_centers: usize,
+    },
+    /// `product_lines` was zero.
+    NoProductLines,
+    /// `servers_per_rack` outside `1..=rack_positions`.
+    InvalidRackFill {
+        /// Configured servers per rack.
+        servers_per_rack: u8,
+        /// Configured rack slot positions.
+        rack_positions: u8,
+    },
+    /// `window_days` was zero.
+    EmptyWindow,
+    /// `modern_cooling_fraction` outside `[0, 1]`.
+    InvalidModernCoolingFraction(f64),
+    /// `generations` was zero.
+    NoGenerations,
+    /// `racks_per_pdu` was zero.
+    NoRacksPerPdu,
+}
+
+impl std::fmt::Display for FleetError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FleetError::NoDataCenters => write!(f, "data_centers must be positive"),
+            FleetError::TooFewServers {
+                servers,
+                data_centers,
+            } => write!(
+                f,
+                "need at least one server per data center ({servers} servers, {data_centers} DCs)"
+            ),
+            FleetError::NoProductLines => write!(f, "product_lines must be positive"),
+            FleetError::InvalidRackFill {
+                servers_per_rack,
+                rack_positions,
+            } => write!(
+                f,
+                "servers_per_rack ({servers_per_rack}) must be in 1..={rack_positions}"
+            ),
+            FleetError::EmptyWindow => write!(f, "window_days must be positive"),
+            FleetError::InvalidModernCoolingFraction(v) => {
+                write!(f, "modern_cooling_fraction must be in [0, 1], got {v}")
+            }
+            FleetError::NoGenerations => write!(f, "generations must be positive"),
+            FleetError::NoRacksPerPdu => write!(f, "racks_per_pdu must be positive"),
+        }
+    }
+}
+
+impl std::error::Error for FleetError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_names_the_constraint() {
+        let e = FleetError::TooFewServers {
+            servers: 3,
+            data_centers: 8,
+        };
+        let s = e.to_string();
+        assert!(s.contains('3') && s.contains('8'), "{s}");
+        assert!(FleetError::EmptyWindow.to_string().contains("window_days"));
+    }
+
+    #[test]
+    fn variants_are_matchable() {
+        let e = FleetError::InvalidModernCoolingFraction(1.5);
+        assert!(matches!(e, FleetError::InvalidModernCoolingFraction(v) if v > 1.0));
+    }
+}

@@ -24,6 +24,7 @@
 mod builder;
 mod config;
 mod datacenter;
+mod error;
 mod fleet;
 mod hardware;
 mod product_line;
@@ -33,6 +34,7 @@ pub mod workload;
 pub use builder::FleetBuilder;
 pub use config::FleetConfig;
 pub use datacenter::{CoolingDesign, DataCenter};
+pub use error::FleetError;
 pub use fleet::Fleet;
 pub use hardware::HardwareProfile;
 pub use product_line::{fault_tolerance_for, workload_for_rank, zipf_shares, ProductLine};

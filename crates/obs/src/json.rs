@@ -1,6 +1,7 @@
-//! A minimal JSON writer/parser covering exactly what [`crate::RunReport`]
-//! needs (objects, arrays, strings, unsigned integers, floats, null). Kept
-//! private and hand-rolled so the crate stays dependency-free.
+//! A minimal, dependency-free JSON writer/parser: objects, arrays, strings,
+//! numbers, booleans and null — exactly the subset [`crate::RunReport`] and
+//! the `dcf-serve` wire format need. Hand-rolled so the whole pipeline stays
+//! free of serialization dependencies.
 
 use std::collections::BTreeMap;
 use std::fmt::Write as _;
@@ -8,26 +9,33 @@ use std::fmt::Write as _;
 /// A parsed JSON value. Numbers keep their raw token so integer counters
 /// round-trip exactly.
 #[derive(Debug, Clone, PartialEq)]
-pub(crate) enum Value {
+pub enum Value {
+    /// `null`.
     Null,
+    /// `true` / `false`.
     Bool(bool),
     /// Raw number token, e.g. `42` or `1.5e3`.
     Number(String),
+    /// A string literal (unescaped).
     String(String),
+    /// An array of values.
     Array(Vec<Value>),
     /// Key/value pairs in file order (order is significant for round-trips).
     Object(Vec<(String, Value)>),
 }
 
 impl Value {
-    pub(crate) fn as_u64(&self) -> Option<u64> {
+    /// The value as a `u64`, if it is an integral number token.
+    pub fn as_u64(&self) -> Option<u64> {
         match self {
             Value::Number(raw) => raw.parse().ok(),
             _ => None,
         }
     }
 
-    pub(crate) fn as_f64(&self) -> Option<f64> {
+    /// The value as an `f64` (`null` maps to NaN, the writer's encoding of
+    /// non-finite floats).
+    pub fn as_f64(&self) -> Option<f64> {
         match self {
             Value::Number(raw) => raw.parse().ok(),
             Value::Null => Some(f64::NAN),
@@ -35,28 +43,32 @@ impl Value {
         }
     }
 
-    pub(crate) fn as_str(&self) -> Option<&str> {
+    /// The value as a string slice, if it is a string.
+    pub fn as_str(&self) -> Option<&str> {
         match self {
             Value::String(s) => Some(s),
             _ => None,
         }
     }
 
-    pub(crate) fn as_array(&self) -> Option<&[Value]> {
+    /// The value's items, if it is an array.
+    pub fn as_array(&self) -> Option<&[Value]> {
         match self {
             Value::Array(items) => Some(items),
             _ => None,
         }
     }
 
-    pub(crate) fn get<'a>(&'a self, key: &str) -> Option<&'a Value> {
+    /// Looks up `key`, if the value is an object.
+    pub fn get<'a>(&'a self, key: &str) -> Option<&'a Value> {
         match self {
             Value::Object(pairs) => pairs.iter().find(|(k, _)| k == key).map(|(_, v)| v),
             _ => None,
         }
     }
 
-    pub(crate) fn entries(&self) -> Option<&[(String, Value)]> {
+    /// The value's key/value pairs in file order, if it is an object.
+    pub fn entries(&self) -> Option<&[(String, Value)]> {
         match self {
             Value::Object(pairs) => Some(pairs),
             _ => None,
@@ -65,7 +77,7 @@ impl Value {
 }
 
 /// Writes a JSON string literal with escaping.
-pub(crate) fn write_string(out: &mut String, s: &str) {
+pub fn write_string(out: &mut String, s: &str) {
     out.push('"');
     for c in s.chars() {
         match c {
@@ -86,7 +98,7 @@ pub(crate) fn write_string(out: &mut String, s: &str) {
 /// Writes an `f64` as a JSON number (`null` for non-finite values).
 /// Rust's shortest-round-trip float formatting guarantees `parse` recovers
 /// the exact value.
-pub(crate) fn write_f64(out: &mut String, v: f64) {
+pub fn write_f64(out: &mut String, v: f64) {
     if v.is_finite() {
         let _ = write!(out, "{v}");
     } else {
@@ -96,12 +108,28 @@ pub(crate) fn write_f64(out: &mut String, v: f64) {
 
 /// Parse error: a message plus the byte offset it occurred at.
 #[derive(Debug, Clone, PartialEq, Eq)]
-pub(crate) struct ParseError {
-    pub(crate) message: String,
-    pub(crate) offset: usize,
+pub struct ParseError {
+    /// What went wrong.
+    pub message: String,
+    /// Byte offset into the input where the error was detected.
+    pub offset: usize,
 }
 
-pub(crate) fn parse(input: &str) -> Result<Value, ParseError> {
+impl std::fmt::Display for ParseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{} at byte {}", self.message, self.offset)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+/// Parses one JSON value, rejecting trailing garbage and duplicate object
+/// keys.
+///
+/// # Errors
+///
+/// Returns a [`ParseError`] with the byte offset of the first problem.
+pub fn parse(input: &str) -> Result<Value, ParseError> {
     let mut p = Parser {
         bytes: input.as_bytes(),
         pos: 0,

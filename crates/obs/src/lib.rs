@@ -19,7 +19,9 @@
 //!   traces, and counter values are deterministic in the seed.
 //! * [`RunReport`] — a snapshot of all spans, counters and gauges that
 //!   serializes to JSON ([`RunReport::to_json`] / [`RunReport::from_json`])
-//!   and is rendered as a Markdown summary by `dcf-report`.
+//!   and is rendered as a Markdown summary by `dcf-report`. The underlying
+//!   dependency-free writer/parser is exported as the [`json`] module and is
+//!   also the wire format of the `dcf-serve` query service.
 //!
 //! The disabled path ([`MetricsRegistry::disabled`]) is near-free: handles
 //! hold no allocation and every operation is a branch on an `Option`, so
@@ -46,7 +48,7 @@
 #![warn(missing_debug_implementations)]
 
 mod bench;
-mod json;
+pub mod json;
 mod metrics;
 mod report;
 mod timer;

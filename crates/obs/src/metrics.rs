@@ -178,6 +178,15 @@ impl MetricsRegistry {
         counters.get(name).map(|c| c.load(Ordering::Relaxed))
     }
 
+    /// Current value of gauge `name`, if it was ever registered.
+    pub fn gauge_value(&self, name: &str) -> Option<f64> {
+        let inner = self.inner.as_ref()?;
+        let gauges = inner.gauges.lock().expect("gauge map poisoned");
+        gauges
+            .get(name)
+            .map(|c| f64::from_bits(c.load(Ordering::Relaxed)))
+    }
+
     /// Opens a named phase span; the span is recorded when the returned
     /// guard drops. Open/close phases from one coordinating thread.
     pub fn phase(&self, name: &str) -> PhaseGuard {

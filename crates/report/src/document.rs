@@ -237,7 +237,12 @@ mod tests {
 
     fn trace() -> &'static dcf_trace::Trace {
         static T: OnceLock<dcf_trace::Trace> = OnceLock::new();
-        T.get_or_init(|| dcf_sim::Scenario::small().seed(0xD0C).run().unwrap())
+        T.get_or_init(|| {
+            dcf_sim::Scenario::small()
+                .seed(0xD0C)
+                .simulate(&dcf_sim::RunOptions::default())
+                .unwrap()
+        })
     }
 
     #[test]

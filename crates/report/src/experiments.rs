@@ -647,7 +647,12 @@ mod tests {
 
     fn trace() -> &'static dcf_trace::Trace {
         static T: OnceLock<dcf_trace::Trace> = OnceLock::new();
-        T.get_or_init(|| dcf_sim::Scenario::small().seed(0xDCF).run().unwrap())
+        T.get_or_init(|| {
+            dcf_sim::Scenario::small()
+                .seed(0xDCF)
+                .simulate(&dcf_sim::RunOptions::default())
+                .unwrap()
+        })
     }
 
     #[test]

@@ -1,0 +1,249 @@
+//! The response cache: one entry per `(scenario-hash, seed, engine_threads)`
+//! run, LRU-bounded, with single-flight computation.
+//!
+//! Runs are pure functions of their key (see `dcf-sim`'s determinism
+//! contract), so a cached artifact never goes stale — the only reason to
+//! evict is memory. Each entry owns a `OnceLock`: the first request
+//! computes while concurrent requests for the same key block on the lock
+//! and then read the same artifact, so repeated queries never recompute
+//! and cached section bodies are byte-identical by construction.
+
+use std::collections::{HashMap, VecDeque};
+use std::sync::{Arc, Mutex, OnceLock};
+
+use dcf_core::{FailureStudy, StudyOptions, StudyReport};
+use dcf_sim::SimConfig;
+use dcf_trace::Trace;
+
+/// Cache key: scenario-hash (seed/threads zeroed out of the config),
+/// seed, and the engine thread override.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct CacheKey {
+    /// FNV-1a over the scenario config with `seed`/`engine_threads` zeroed.
+    pub scenario_hash: u64,
+    /// RNG seed of the run.
+    pub seed: u64,
+    /// Engine worker-thread override (`0` = engine default).
+    pub threads: usize,
+}
+
+/// FNV-1a over arbitrary bytes — the same construction `dcf_trace::io`
+/// uses for trace digests.
+pub fn fnv1a(bytes: &[u8]) -> u64 {
+    bytes.iter().fold(0xcbf2_9ce4_8422_2325u64, |h, &b| {
+        (h ^ u64::from(b)).wrapping_mul(0x100_0000_01b3)
+    })
+}
+
+/// Hashes a scenario config into the cache key's scenario component:
+/// `seed` and `engine_threads` are zeroed first because they are separate
+/// key fields (seed) or pure execution knobs (threads).
+pub fn scenario_hash(config: &SimConfig) -> u64 {
+    let mut config = config.clone();
+    config.seed = 0;
+    config.engine_threads = 0;
+    fnv1a(format!("{config:?}").as_bytes())
+}
+
+/// The computed artifacts of one simulation run.
+#[derive(Debug)]
+pub struct RunArtifacts {
+    /// The simulated trace.
+    pub trace: Trace,
+    /// 16-hex FNV-1a digest of the trace's CSV form.
+    pub digest: String,
+    report: OnceLock<StudyReport>,
+}
+
+impl RunArtifacts {
+    /// Wraps a freshly simulated trace.
+    pub fn new(trace: Trace) -> Self {
+        let digest = format!("{:016x}", dcf_trace::io::fots_digest(trace.fots()));
+        Self {
+            trace,
+            digest,
+            report: OnceLock::new(),
+        }
+    }
+
+    /// The study report over the trace, computed once on first use
+    /// (concurrent callers block on the same computation).
+    pub fn report(&self, options: &StudyOptions) -> &StudyReport {
+        self.report
+            .get_or_init(|| FailureStudy::new(&self.trace).analyze(options))
+    }
+}
+
+/// One cache slot: identity plus lazily computed artifacts.
+#[derive(Debug)]
+pub struct RunEntry {
+    /// Scenario name (`small` / `medium` / `paper`).
+    pub scenario: String,
+    /// RNG seed.
+    pub seed: u64,
+    /// Engine worker-thread override (`0` = engine default).
+    pub threads: usize,
+    /// Single-flight simulation result: the trace and digest, or the
+    /// simulation error message.
+    pub run: OnceLock<Result<Arc<RunArtifacts>, String>>,
+    /// Rendered section bodies, cached verbatim so every cache hit is
+    /// byte-identical to the first computation.
+    pub sections: Mutex<HashMap<&'static str, Arc<str>>>,
+}
+
+impl RunEntry {
+    fn new(scenario: &str, key: CacheKey) -> Self {
+        Self {
+            scenario: scenario.to_string(),
+            seed: key.seed,
+            threads: key.threads,
+            run: OnceLock::new(),
+            sections: Mutex::new(HashMap::new()),
+        }
+    }
+}
+
+struct CacheInner {
+    map: HashMap<CacheKey, Arc<RunEntry>>,
+    /// Keys from least- to most-recently used.
+    order: VecDeque<CacheKey>,
+    by_digest: HashMap<String, CacheKey>,
+}
+
+/// LRU cache of run entries plus a digest-addressed side index.
+pub struct ResponseCache {
+    capacity: usize,
+    inner: Mutex<CacheInner>,
+}
+
+impl std::fmt::Debug for ResponseCache {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ResponseCache")
+            .field("capacity", &self.capacity)
+            .finish_non_exhaustive()
+    }
+}
+
+impl ResponseCache {
+    /// Creates a cache bounded to `capacity` run entries (min 1).
+    pub fn new(capacity: usize) -> Self {
+        Self {
+            capacity: capacity.max(1),
+            inner: Mutex::new(CacheInner {
+                map: HashMap::new(),
+                order: VecDeque::new(),
+                by_digest: HashMap::new(),
+            }),
+        }
+    }
+
+    /// Looks up or inserts the entry for `key`, refreshing its LRU slot.
+    /// Inserting may evict the least-recently-used entry (in-flight users
+    /// keep it alive through their `Arc`).
+    pub fn entry(&self, scenario: &str, key: CacheKey) -> Arc<RunEntry> {
+        let mut inner = self.inner.lock().expect("cache poisoned");
+        if let Some(entry) = inner.map.get(&key).cloned() {
+            inner.order.retain(|k| *k != key);
+            inner.order.push_back(key);
+            return entry;
+        }
+        let entry = Arc::new(RunEntry::new(scenario, key));
+        inner.map.insert(key, Arc::clone(&entry));
+        inner.order.push_back(key);
+        while inner.map.len() > self.capacity {
+            let Some(victim) = inner.order.pop_front() else {
+                break;
+            };
+            if let Some(evicted) = inner.map.remove(&victim) {
+                if let Some(Ok(artifacts)) = evicted.run.get() {
+                    inner.by_digest.remove(&artifacts.digest);
+                }
+            }
+        }
+        entry
+    }
+
+    /// Registers a computed trace digest for `/trace/{digest}` lookups.
+    pub fn register_digest(&self, digest: &str, key: CacheKey) {
+        let mut inner = self.inner.lock().expect("cache poisoned");
+        if inner.map.contains_key(&key) {
+            inner.by_digest.insert(digest.to_string(), key);
+        }
+    }
+
+    /// Resolves a digest to its cached run entry, refreshing the LRU slot.
+    pub fn lookup_digest(&self, digest: &str) -> Option<Arc<RunEntry>> {
+        let mut inner = self.inner.lock().expect("cache poisoned");
+        let key = *inner.by_digest.get(digest)?;
+        let entry = inner.map.get(&key).cloned()?;
+        inner.order.retain(|k| *k != key);
+        inner.order.push_back(key);
+        Some(entry)
+    }
+
+    /// Number of cached run entries.
+    pub fn len(&self) -> usize {
+        self.inner.lock().expect("cache poisoned").map.len()
+    }
+
+    /// Whether the cache is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn key(seed: u64) -> CacheKey {
+        CacheKey {
+            scenario_hash: 1,
+            seed,
+            threads: 0,
+        }
+    }
+
+    #[test]
+    fn entry_is_stable_for_a_key() {
+        let cache = ResponseCache::new(4);
+        let a = cache.entry("small", key(1));
+        let b = cache.entry("small", key(1));
+        assert!(Arc::ptr_eq(&a, &b));
+        assert_eq!(cache.len(), 1);
+    }
+
+    #[test]
+    fn lru_evicts_oldest_untouched_entry() {
+        let cache = ResponseCache::new(2);
+        let a = cache.entry("small", key(1));
+        let _b = cache.entry("small", key(2));
+        let _ = cache.entry("small", key(1)); // refresh 1 → 2 is now LRU
+        let _c = cache.entry("small", key(3)); // evicts 2
+        assert_eq!(cache.len(), 2);
+        assert!(Arc::ptr_eq(&a, &cache.entry("small", key(1))));
+        // Key 2 was evicted: a fresh entry object is created.
+        let b2 = cache.entry("small", key(2));
+        assert!(b2.run.get().is_none());
+    }
+
+    #[test]
+    fn digest_lookup_follows_eviction() {
+        let cache = ResponseCache::new(1);
+        let k = key(5);
+        let _e = cache.entry("small", k);
+        cache.register_digest("00ff", k);
+        assert!(cache.lookup_digest("00ff").is_some());
+        let _ = cache.entry("small", key(6)); // evicts seed-5 entry
+        assert!(cache.lookup_digest("00ff").is_none());
+    }
+
+    #[test]
+    fn scenario_hash_ignores_seed_and_threads() {
+        let a = dcf_sim::Scenario::small().seed(1).config;
+        let b = dcf_sim::Scenario::small().seed(9).engine_threads(8).config;
+        assert_eq!(scenario_hash(&a), scenario_hash(&b));
+        let c = dcf_sim::Scenario::medium().seed(1).config;
+        assert_ne!(scenario_hash(&a), scenario_hash(&c));
+    }
+}

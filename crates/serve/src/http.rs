@@ -1,0 +1,288 @@
+//! A deliberately small HTTP/1.1 subset: enough to parse one request per
+//! connection and write one JSON response. No keep-alive, no chunked
+//! bodies, no TLS — the service model is connection-per-request, which
+//! keeps the worker pool and the shutdown drain trivially correct.
+
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::TcpStream;
+
+/// Upper bound on the request head (request line + headers).
+const MAX_HEAD_BYTES: usize = 16 * 1024;
+/// Upper bound on a request body.
+const MAX_BODY_BYTES: usize = 64 * 1024;
+
+/// A parsed request: method, decoded path segments, query pairs, body.
+#[derive(Debug, Clone)]
+pub struct Request {
+    /// Uppercase method token (`GET`, `POST`, …).
+    pub method: String,
+    /// The path without the query string, e.g. `/report/overview`.
+    pub path: String,
+    /// Query parameters in order of appearance (no percent-decoding; the
+    /// API's values are all alphanumeric by construction).
+    pub query: Vec<(String, String)>,
+    /// Raw request body (empty when absent).
+    pub body: Vec<u8>,
+}
+
+impl Request {
+    /// First query value for `key`, if present.
+    pub fn query_value(&self, key: &str) -> Option<&str> {
+        self.query
+            .iter()
+            .find(|(k, _)| k == key)
+            .map(|(_, v)| v.as_str())
+    }
+}
+
+/// Request parse failure, mapped to a `400 Bad Request` by the server.
+#[derive(Debug)]
+pub enum HttpError {
+    /// Socket-level failure (includes read timeouts).
+    Io(std::io::Error),
+    /// The bytes were not a parsable HTTP/1.1 request.
+    Malformed(&'static str),
+    /// Head or body exceeded the hard size limits.
+    TooLarge,
+}
+
+impl std::fmt::Display for HttpError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            HttpError::Io(e) => write!(f, "socket error: {e}"),
+            HttpError::Malformed(what) => write!(f, "malformed request: {what}"),
+            HttpError::TooLarge => write!(f, "request exceeds size limits"),
+        }
+    }
+}
+
+impl std::error::Error for HttpError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            HttpError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for HttpError {
+    fn from(e: std::io::Error) -> Self {
+        HttpError::Io(e)
+    }
+}
+
+/// Reads and parses one request from `stream`.
+///
+/// # Errors
+///
+/// [`HttpError`] on socket failures (including read timeouts), malformed
+/// request heads, or over-limit sizes.
+pub fn read_request(stream: &mut TcpStream) -> Result<Request, HttpError> {
+    let mut reader = BufReader::new(stream);
+    let mut line = String::new();
+    read_line_limited(&mut reader, &mut line)?;
+    let request_line = line.trim_end().to_string();
+    let mut parts = request_line.split(' ');
+    let method = parts
+        .next()
+        .filter(|m| !m.is_empty())
+        .ok_or(HttpError::Malformed("missing method"))?
+        .to_string();
+    let target = parts
+        .next()
+        .ok_or(HttpError::Malformed("missing request target"))?
+        .to_string();
+    let version = parts
+        .next()
+        .ok_or(HttpError::Malformed("missing HTTP version"))?;
+    if !version.starts_with("HTTP/1.") {
+        return Err(HttpError::Malformed("unsupported HTTP version"));
+    }
+
+    let mut content_length = 0usize;
+    let mut head_bytes = line.len();
+    loop {
+        line.clear();
+        read_line_limited(&mut reader, &mut line)?;
+        head_bytes += line.len();
+        if head_bytes > MAX_HEAD_BYTES {
+            return Err(HttpError::TooLarge);
+        }
+        let trimmed = line.trim_end();
+        if trimmed.is_empty() {
+            break;
+        }
+        if let Some((name, value)) = trimmed.split_once(':') {
+            if name.eq_ignore_ascii_case("content-length") {
+                content_length = value
+                    .trim()
+                    .parse()
+                    .map_err(|_| HttpError::Malformed("bad content-length"))?;
+            }
+        }
+    }
+    if content_length > MAX_BODY_BYTES {
+        return Err(HttpError::TooLarge);
+    }
+    let mut body = vec![0u8; content_length];
+    reader.read_exact(&mut body)?;
+
+    let (path, query_str) = match target.split_once('?') {
+        Some((p, q)) => (p, q),
+        None => (target.as_str(), ""),
+    };
+    let query = query_str
+        .split('&')
+        .filter(|pair| !pair.is_empty())
+        .map(|pair| match pair.split_once('=') {
+            Some((k, v)) => (k.to_string(), v.to_string()),
+            None => (pair.to_string(), String::new()),
+        })
+        .collect();
+
+    Ok(Request {
+        method,
+        path: path.to_string(),
+        query,
+        body,
+    })
+}
+
+fn read_line_limited(
+    reader: &mut BufReader<&mut TcpStream>,
+    line: &mut String,
+) -> Result<(), HttpError> {
+    // read_line on a malicious peer could grow unboundedly; BufReader's
+    // internal buffer plus the running head_bytes check in the caller keep
+    // each line bounded, but cap a single line here too.
+    let n = reader.read_line(line)?;
+    if n == 0 {
+        return Err(HttpError::Malformed("connection closed mid-request"));
+    }
+    if line.len() > MAX_HEAD_BYTES {
+        return Err(HttpError::TooLarge);
+    }
+    Ok(())
+}
+
+/// A response ready to serialize: status, optional Retry-After, JSON body.
+#[derive(Debug, Clone)]
+pub struct Response {
+    /// HTTP status code.
+    pub status: u16,
+    /// `Retry-After` seconds, sent on overload responses.
+    pub retry_after: Option<u32>,
+    /// JSON body.
+    pub body: String,
+}
+
+impl Response {
+    /// A `200 OK` JSON response.
+    pub fn ok(body: String) -> Self {
+        Self {
+            status: 200,
+            retry_after: None,
+            body,
+        }
+    }
+
+    /// An error response with a `{"error": ...}` JSON body.
+    pub fn error(status: u16, message: &str) -> Self {
+        let mut body = String::from("{\"error\":");
+        dcf_obs::json::write_string(&mut body, message);
+        body.push('}');
+        Self {
+            status,
+            retry_after: None,
+            body,
+        }
+    }
+
+    /// A `503 Service Unavailable` with a `Retry-After` header.
+    pub fn overloaded(message: &str, retry_after_secs: u32) -> Self {
+        let mut r = Self::error(503, message);
+        r.retry_after = Some(retry_after_secs);
+        r
+    }
+
+    /// Writes the response to `stream` (`Connection: close` always).
+    ///
+    /// # Errors
+    ///
+    /// Propagates socket write failures.
+    pub fn write_to(&self, stream: &mut TcpStream) -> std::io::Result<()> {
+        let reason = match self.status {
+            200 => "OK",
+            400 => "Bad Request",
+            404 => "Not Found",
+            405 => "Method Not Allowed",
+            500 => "Internal Server Error",
+            503 => "Service Unavailable",
+            _ => "Response",
+        };
+        let mut head = format!(
+            "HTTP/1.1 {} {reason}\r\ncontent-type: application/json\r\ncontent-length: {}\r\nconnection: close\r\n",
+            self.status,
+            self.body.len()
+        );
+        if let Some(secs) = self.retry_after {
+            head.push_str(&format!("retry-after: {secs}\r\n"));
+        }
+        head.push_str("\r\n");
+        stream.write_all(head.as_bytes())?;
+        stream.write_all(self.body.as_bytes())?;
+        stream.flush()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::net::{TcpListener, TcpStream};
+
+    fn round_trip(raw: &[u8]) -> Result<Request, HttpError> {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let mut client = TcpStream::connect(addr).unwrap();
+        client.write_all(raw).unwrap();
+        client.shutdown(std::net::Shutdown::Write).unwrap();
+        let (mut server_side, _) = listener.accept().unwrap();
+        read_request(&mut server_side)
+    }
+
+    #[test]
+    fn parses_get_with_query() {
+        let req =
+            round_trip(b"GET /report/overview?seed=7&scenario=small HTTP/1.1\r\n\r\n").unwrap();
+        assert_eq!(req.method, "GET");
+        assert_eq!(req.path, "/report/overview");
+        assert_eq!(req.query_value("seed"), Some("7"));
+        assert_eq!(req.query_value("scenario"), Some("small"));
+        assert!(req.body.is_empty());
+    }
+
+    #[test]
+    fn parses_post_with_body() {
+        let req =
+            round_trip(b"POST /simulate HTTP/1.1\r\nContent-Length: 13\r\n\r\n{\"seed\":3}  \n")
+                .unwrap();
+        assert_eq!(req.method, "POST");
+        assert_eq!(req.body.len(), 13);
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        assert!(matches!(
+            round_trip(b"not-http\r\n\r\n"),
+            Err(HttpError::Malformed(_))
+        ));
+    }
+
+    #[test]
+    fn response_serializes_with_retry_after() {
+        let r = Response::overloaded("busy", 2);
+        assert_eq!(r.status, 503);
+        assert_eq!(r.retry_after, Some(2));
+        assert!(r.body.contains("busy"));
+    }
+}

@@ -1,0 +1,38 @@
+//! `dcf-serve` — a long-lived HTTP query service over the dcfail
+//! simulation + study pipeline.
+//!
+//! The service turns the batch pipeline (`dcf-sim` → `dcf-core`) into an
+//! interactive one: clients `POST /simulate` a `(scenario, seed, threads)`
+//! triple and then read study sections and paged tickets back without
+//! recomputing anything. Endpoints:
+//!
+//! | Endpoint | Meaning |
+//! |---|---|
+//! | `POST /simulate` | Run (or fetch cached) scenario → trace digest + summary |
+//! | `GET /report/{section}` | One of the six study sections over the cached trace |
+//! | `GET /trace/{digest}/fots?offset&limit` | Paged ticket reads |
+//! | `GET /healthz` | Liveness probe |
+//! | `GET /metrics` | `dcf-obs` run-report snapshot |
+//!
+//! Design constraints carried over from the rest of the workspace: no
+//! heavyweight dependencies (std `TcpListener` + `crossbeam` scoped
+//! threads + the `dcf-obs` JSON module), determinism as the caching
+//! contract (runs are pure functions of `(scenario-hash, seed)`, so the
+//! LRU [`ResponseCache`] never revalidates), and explicit overload
+//! behaviour (bounded accept queue ⇒ `503` + `Retry-After`, per-request
+//! deadlines, graceful drain on shutdown).
+
+#![warn(missing_docs)]
+
+pub mod cache;
+pub mod http;
+pub mod queue;
+pub mod sections;
+pub mod server;
+pub mod signal;
+
+pub use cache::{CacheKey, ResponseCache};
+pub use http::{Request, Response};
+pub use queue::BoundedQueue;
+pub use sections::SECTIONS;
+pub use server::{ServeConfig, Server};

@@ -1,0 +1,254 @@
+//! Renders [`StudyReport`] slices into the six `/report/{section}` JSON
+//! bodies. Rendering is pure string assembly over already-computed report
+//! fields, so cached bodies can be reused verbatim.
+
+use dcf_core::StudyReport;
+use dcf_obs::json::{write_f64, write_string};
+
+/// The section names `/report/{section}` accepts, in document order.
+pub const SECTIONS: &[&str] = &[
+    "overview",
+    "temporal",
+    "skew",
+    "spatial",
+    "correlation",
+    "response",
+];
+
+/// Incremental JSON-object writer over the `dcf-obs` JSON primitives.
+#[derive(Debug)]
+pub(crate) struct Obj {
+    out: String,
+    first: bool,
+}
+
+impl Obj {
+    pub(crate) fn new() -> Self {
+        Self {
+            out: String::from("{"),
+            first: true,
+        }
+    }
+
+    fn key(&mut self, key: &str) {
+        if !self.first {
+            self.out.push(',');
+        }
+        self.first = false;
+        write_string(&mut self.out, key);
+        self.out.push(':');
+    }
+
+    pub(crate) fn str(&mut self, key: &str, value: &str) -> &mut Self {
+        self.key(key);
+        write_string(&mut self.out, value);
+        self
+    }
+
+    pub(crate) fn uint(&mut self, key: &str, value: u64) -> &mut Self {
+        self.key(key);
+        self.out.push_str(&value.to_string());
+        self
+    }
+
+    pub(crate) fn float(&mut self, key: &str, value: f64) -> &mut Self {
+        self.key(key);
+        write_f64(&mut self.out, value);
+        self
+    }
+
+    pub(crate) fn opt_float(&mut self, key: &str, value: Option<f64>) -> &mut Self {
+        self.key(key);
+        match value {
+            Some(v) => write_f64(&mut self.out, v),
+            None => self.out.push_str("null"),
+        }
+        self
+    }
+
+    pub(crate) fn opt_bool(&mut self, key: &str, value: Option<bool>) -> &mut Self {
+        self.key(key);
+        self.out.push_str(match value {
+            Some(true) => "true",
+            Some(false) => "false",
+            None => "null",
+        });
+        self
+    }
+
+    /// Inserts a pre-rendered JSON value verbatim.
+    pub(crate) fn raw(&mut self, key: &str, json: &str) -> &mut Self {
+        self.key(key);
+        self.out.push_str(json);
+        self
+    }
+
+    pub(crate) fn finish(mut self) -> String {
+        self.out.push('}');
+        self.out
+    }
+}
+
+/// Identity fields stamped on every run-derived response body.
+#[derive(Debug, Clone, Copy)]
+pub struct RunIdentity<'a> {
+    /// Scenario name.
+    pub scenario: &'a str,
+    /// RNG seed.
+    pub seed: u64,
+    /// Engine worker-thread override (`0` = engine default).
+    pub threads: usize,
+    /// Trace digest (16 hex digits).
+    pub digest: &'a str,
+}
+
+fn identity(obj: &mut Obj, id: RunIdentity<'_>) {
+    obj.str("scenario", id.scenario);
+    obj.uint("seed", id.seed);
+    obj.uint("threads", id.threads as u64);
+    obj.str("digest", id.digest);
+}
+
+fn rt_stats_json(stats: &Option<dcf_core::response::RtStats>) -> String {
+    match stats {
+        None => "null".to_string(),
+        Some(s) => {
+            let mut obj = Obj::new();
+            obj.uint("n", s.n as u64)
+                .float("mean_days", s.mean_days)
+                .float("median_days", s.median_days)
+                .float("p90_days", s.p90_days)
+                .float("over_140d", s.over_140d)
+                .float("over_200d", s.over_200d);
+            obj.finish()
+        }
+    }
+}
+
+/// Renders the named section of `report` to its JSON body, or `None` for
+/// an unknown section name.
+pub fn render(section: &str, id: RunIdentity<'_>, report: &StudyReport) -> Option<String> {
+    if !SECTIONS.contains(&section) {
+        return None;
+    }
+    let mut obj = Obj::new();
+    obj.str("section", section);
+    identity(&mut obj, id);
+    match section {
+        "overview" => {
+            obj.uint("total_fots", report.total_fots as u64)
+                .uint("total_failures", report.total_failures as u64)
+                .float("fixing_share", report.fixing_share)
+                .float("error_share", report.error_share)
+                .float("false_alarm_share", report.false_alarm_share)
+                .float("hdd_share", report.hdd_share)
+                .opt_float("mtbf_minutes", report.mtbf_minutes);
+            let mut shares = String::from("[");
+            for (i, (class, share)) in report.component_shares.iter().enumerate() {
+                if i > 0 {
+                    shares.push(',');
+                }
+                let mut row = Obj::new();
+                row.str("component", class.name()).float("share", *share);
+                shares.push_str(&row.finish());
+            }
+            shares.push(']');
+            obj.raw("component_shares", &shares);
+        }
+        "temporal" => {
+            obj.opt_bool("day_of_week_rejected_001", report.day_of_week_rejected_001)
+                .opt_bool("hour_of_day_rejected_001", report.hour_of_day_rejected_001)
+                .opt_bool(
+                    "tbf_all_families_rejected",
+                    report.tbf_all_families_rejected,
+                )
+                .opt_float("mtbf_minutes", report.mtbf_minutes);
+        }
+        "skew" => {
+            obj.uint("servers_ever_failed", report.servers_ever_failed as u64)
+                .uint("max_fots_one_server", u64::from(report.max_fots_one_server))
+                .float("top_2pct_failure_share", report.top_2pct_failure_share)
+                .float("never_repeat_share", report.never_repeat_share)
+                .float("repeat_server_share", report.repeat_server_share);
+        }
+        "spatial" => {
+            let mut table = Obj::new();
+            table
+                .uint("rejected_001", report.table_iv.rejected_001 as u64)
+                .uint("borderline", report.table_iv.borderline as u64)
+                .uint("accepted", report.table_iv.accepted as u64)
+                .uint("skipped", report.table_iv.skipped as u64);
+            obj.raw("table_iv", &table.finish());
+        }
+        "correlation" => {
+            obj.float("pair_server_share", report.pair_server_share)
+                .float("misc_involved_share", report.misc_involved_share)
+                .float("repeat_server_share", report.repeat_server_share);
+        }
+        "response" => {
+            obj.raw("rt_fixing", &rt_stats_json(&report.rt_fixing))
+                .raw("rt_false_alarm", &rt_stats_json(&report.rt_false_alarm));
+        }
+        _ => unreachable!("section membership checked above"),
+    }
+    Some(obj.finish())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dcf_core::{FailureStudy, StudyOptions};
+    use dcf_sim::{RunOptions, Scenario};
+
+    #[test]
+    fn every_section_renders_parsable_json() {
+        let trace = Scenario::small()
+            .seed(11)
+            .simulate(&RunOptions::default())
+            .expect("small scenario simulates");
+        let report = FailureStudy::new(&trace).analyze(&StudyOptions::default());
+        let id = RunIdentity {
+            scenario: "small",
+            seed: 11,
+            threads: 0,
+            digest: "00112233aabbccdd",
+        };
+        for &section in SECTIONS {
+            let body = render(section, id, &report).expect("known section renders");
+            let value = dcf_obs::json::parse(&body)
+                .unwrap_or_else(|e| panic!("section {section} produced invalid JSON: {e}"));
+            assert_eq!(value.get("section").and_then(|v| v.as_str()), Some(section));
+            assert_eq!(value.get("seed").and_then(|v| v.as_u64()), Some(11));
+            assert_eq!(
+                value.get("digest").and_then(|v| v.as_str()),
+                Some("00112233aabbccdd")
+            );
+        }
+        assert!(render("nope", id, &report).is_none());
+    }
+
+    #[test]
+    fn overview_carries_component_share_rows() {
+        let trace = Scenario::small()
+            .seed(2)
+            .simulate(&RunOptions::default())
+            .unwrap();
+        let report = FailureStudy::new(&trace).analyze(&StudyOptions::default());
+        let id = RunIdentity {
+            scenario: "small",
+            seed: 2,
+            threads: 0,
+            digest: "0",
+        };
+        let body = render("overview", id, &report).unwrap();
+        let value = dcf_obs::json::parse(&body).unwrap();
+        let shares = value
+            .get("component_shares")
+            .and_then(|v| v.as_array())
+            .expect("component_shares is an array");
+        assert_eq!(shares.len(), report.component_shares.len());
+        assert!(shares
+            .iter()
+            .all(|row| row.get("component").is_some() && row.get("share").is_some()));
+    }
+}

@@ -1,0 +1,545 @@
+//! The service itself: listener, bounded accept queue, worker pool,
+//! endpoint dispatch, and graceful drain.
+//!
+//! Threading model: [`Server::start`] spawns one supervisor thread that
+//! owns a `crossbeam::thread::scope`. Inside the scope, the supervisor
+//! runs a non-blocking accept loop pushing connections into a
+//! [`BoundedQueue`], while `workers` scoped threads pop and serve them.
+//! Shutdown flips an `AtomicBool`: the accept loop stops, the queue is
+//! closed, workers drain the backlog (every accepted request still gets a
+//! response), the scope joins, and the final metrics report is returned.
+
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use dcf_core::StudyOptions;
+use dcf_obs::{MetricsRegistry, RunReport};
+use dcf_sim::{RunOptions, Scenario};
+
+use crate::cache::{scenario_hash, CacheKey, ResponseCache, RunArtifacts, RunEntry};
+use crate::http::{read_request, HttpError, Request, Response};
+use crate::queue::{BoundedQueue, PushError};
+use crate::sections::{self, Obj, RunIdentity};
+
+/// Default `Retry-After` seconds on overload responses.
+const RETRY_AFTER_SECS: u32 = 1;
+/// Accept-loop poll interval while the listener has no pending connection.
+const ACCEPT_POLL: Duration = Duration::from_millis(5);
+/// Cap on `limit` for paged ticket reads.
+const MAX_PAGE: usize = 1000;
+/// Default page size for `/trace/{digest}/fots`.
+const DEFAULT_PAGE: usize = 100;
+
+/// Configuration for [`Server::start`].
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Bind address, e.g. `127.0.0.1:8620` (`:0` picks a free port).
+    pub addr: String,
+    /// Worker threads serving requests.
+    pub workers: usize,
+    /// LRU response-cache capacity in run entries.
+    pub cache_entries: usize,
+    /// Bounded accept-queue depth; connections beyond it get `503`.
+    pub queue_depth: usize,
+    /// Per-request deadline, measured from accept. Requests still queued
+    /// past the deadline are answered `503` without being served.
+    pub request_deadline: Duration,
+    /// Test hook: artificial delay inserted into each simulation compute,
+    /// used by the integration suite to saturate the queue deterministically.
+    pub compute_delay: Duration,
+    /// Metrics sink for request counters and spans.
+    pub metrics: MetricsRegistry,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        Self {
+            addr: "127.0.0.1:8620".to_string(),
+            workers: 4,
+            cache_entries: 8,
+            queue_depth: 64,
+            request_deadline: Duration::from_secs(30),
+            compute_delay: Duration::ZERO,
+            metrics: MetricsRegistry::disabled(),
+        }
+    }
+}
+
+impl ServeConfig {
+    /// Sets the bind address.
+    #[must_use]
+    pub fn addr(mut self, addr: &str) -> Self {
+        self.addr = addr.to_string();
+        self
+    }
+
+    /// Sets the worker-thread count (min 1).
+    #[must_use]
+    pub fn workers(mut self, workers: usize) -> Self {
+        self.workers = workers.max(1);
+        self
+    }
+
+    /// Sets the response-cache capacity (min 1 run entry).
+    #[must_use]
+    pub fn cache_entries(mut self, entries: usize) -> Self {
+        self.cache_entries = entries.max(1);
+        self
+    }
+
+    /// Sets the accept-queue depth (min 1).
+    #[must_use]
+    pub fn queue_depth(mut self, depth: usize) -> Self {
+        self.queue_depth = depth.max(1);
+        self
+    }
+
+    /// Sets the per-request deadline.
+    #[must_use]
+    pub fn request_deadline(mut self, deadline: Duration) -> Self {
+        self.request_deadline = deadline;
+        self
+    }
+
+    /// Sets the metrics sink.
+    #[must_use]
+    pub fn metrics(mut self, metrics: &MetricsRegistry) -> Self {
+        self.metrics = metrics.clone();
+        self
+    }
+}
+
+/// An accepted connection waiting for a worker.
+#[derive(Debug)]
+struct Conn {
+    stream: TcpStream,
+    accepted_at: Instant,
+}
+
+struct Shared {
+    cache: ResponseCache,
+    metrics: MetricsRegistry,
+    deadline: Duration,
+    compute_delay: Duration,
+}
+
+/// A running query service. Dropping without [`Server::shutdown`] aborts
+/// the supervisor thread detached; call `shutdown` for a graceful drain.
+#[derive(Debug)]
+pub struct Server {
+    addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    metrics: MetricsRegistry,
+    handle: Option<std::thread::JoinHandle<()>>,
+}
+
+impl Server {
+    /// Binds the listener and spawns the supervisor + worker threads.
+    ///
+    /// # Errors
+    ///
+    /// Propagates bind/configuration failures from the OS.
+    pub fn start(config: ServeConfig) -> std::io::Result<Server> {
+        let listener = TcpListener::bind(&config.addr)?;
+        listener.set_nonblocking(true)?;
+        let addr = listener.local_addr()?;
+        let stop = Arc::new(AtomicBool::new(false));
+        let metrics = config.metrics.clone();
+
+        let shared = Arc::new(Shared {
+            cache: ResponseCache::new(config.cache_entries),
+            metrics: config.metrics.clone(),
+            deadline: config.request_deadline,
+            compute_delay: config.compute_delay,
+        });
+        let queue = Arc::new(BoundedQueue::<Conn>::new(config.queue_depth));
+        let workers = config.workers.max(1);
+        let stop_flag = Arc::clone(&stop);
+
+        let handle = std::thread::Builder::new()
+            .name("dcf-serve".to_string())
+            .spawn(move || {
+                crossbeam::thread::scope(|s| {
+                    for _ in 0..workers {
+                        let queue = Arc::clone(&queue);
+                        let shared = Arc::clone(&shared);
+                        s.spawn(move |_| {
+                            while let Some(conn) = queue.pop() {
+                                serve_connection(&shared, conn);
+                            }
+                        });
+                    }
+
+                    // Accept loop: non-blocking so shutdown is observed
+                    // within one poll interval.
+                    while !stop_flag.load(Ordering::SeqCst) {
+                        match listener.accept() {
+                            Ok((stream, _peer)) => {
+                                shared.metrics.add("serve.accepted", 1);
+                                let conn = Conn {
+                                    stream,
+                                    accepted_at: Instant::now(),
+                                };
+                                if let Err((conn, err)) = queue.try_push(conn) {
+                                    debug_assert!(matches!(err, PushError::Full));
+                                    shared.metrics.add("serve.rejected", 1);
+                                    reject(conn.stream, "accept queue full");
+                                }
+                            }
+                            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                                std::thread::sleep(ACCEPT_POLL);
+                            }
+                            Err(_) => std::thread::sleep(ACCEPT_POLL),
+                        }
+                    }
+                    // Graceful drain: no new connections, but everything
+                    // already accepted is still served.
+                    queue.close();
+                })
+                .expect("serve scope panicked");
+            })?;
+
+        Ok(Server {
+            addr,
+            stop,
+            metrics,
+            handle: Some(handle),
+        })
+    }
+
+    /// The bound address (useful with a `:0` bind).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Graceful shutdown: stop accepting, serve every queued request,
+    /// join all threads, and return the final metrics snapshot.
+    pub fn shutdown(mut self) -> RunReport {
+        self.stop.store(true, Ordering::SeqCst);
+        if let Some(handle) = self.handle.take() {
+            let _ = handle.join();
+        }
+        self.metrics.report("dcf-serve")
+    }
+}
+
+impl Drop for Server {
+    fn drop(&mut self) {
+        self.stop.store(true, Ordering::SeqCst);
+        if let Some(handle) = self.handle.take() {
+            let _ = handle.join();
+        }
+    }
+}
+
+/// Best-effort overload response on a connection we will not serve.
+///
+/// The client's request bytes are intentionally left unread; closing with
+/// unread data would RST the connection and can destroy the 503 in the
+/// client's receive buffer, so after writing the response we half-close
+/// and drain until the peer hangs up (bounded by a short read timeout).
+fn reject(mut stream: TcpStream, message: &str) {
+    use std::io::Read;
+
+    let _ = stream.set_nonblocking(false);
+    let _ = stream.set_write_timeout(Some(Duration::from_secs(1)));
+    let _ = stream.set_read_timeout(Some(Duration::from_millis(500)));
+    let _ = Response::overloaded(message, RETRY_AFTER_SECS).write_to(&mut stream);
+    let _ = stream.shutdown(std::net::Shutdown::Write);
+    let mut scratch = [0u8; 1024];
+    while let Ok(n) = stream.read(&mut scratch) {
+        if n == 0 {
+            break;
+        }
+    }
+}
+
+fn serve_connection(shared: &Shared, conn: Conn) {
+    let _span = shared.metrics.worker_phase("serve.request");
+    let waited = conn.accepted_at.elapsed();
+    if waited > shared.deadline {
+        shared.metrics.add("serve.timeouts", 1);
+        reject(conn.stream, "request deadline exceeded while queued");
+        return;
+    }
+    let mut stream = conn.stream;
+    let _ = stream.set_nonblocking(false);
+    let remaining = shared.deadline - waited;
+    let _ = stream.set_read_timeout(Some(remaining.max(Duration::from_millis(10))));
+    let _ = stream.set_write_timeout(Some(Duration::from_secs(5)));
+
+    let response = match read_request(&mut stream) {
+        Ok(request) => {
+            shared.metrics.add("serve.requests", 1);
+            dispatch(shared, &request)
+        }
+        Err(HttpError::Io(_)) => {
+            shared.metrics.add("serve.io_errors", 1);
+            return; // peer gone or unreadable; nothing to answer
+        }
+        Err(HttpError::Malformed(what)) => Response::error(400, what),
+        Err(HttpError::TooLarge) => Response::error(400, "request exceeds size limits"),
+    };
+    if response.status >= 500 {
+        shared.metrics.add("serve.errors", 1);
+    }
+    let _ = response.write_to(&mut stream);
+}
+
+fn dispatch(shared: &Shared, request: &Request) -> Response {
+    let segments: Vec<&str> = request.path.split('/').filter(|s| !s.is_empty()).collect();
+    match (request.method.as_str(), segments.as_slice()) {
+        ("GET", ["healthz"]) => {
+            let mut obj = Obj::new();
+            obj.str("status", "ok");
+            Response::ok(obj.finish())
+        }
+        ("GET", ["metrics"]) => {
+            let _span = shared.metrics.worker_phase("serve.report.metrics");
+            Response::ok(shared.metrics.report("dcf-serve").to_json())
+        }
+        ("POST", ["simulate"]) => handle_simulate(shared, request),
+        ("GET", ["report", section]) => handle_report(shared, request, section),
+        ("GET", ["trace", digest, "fots"]) => handle_fots(shared, request, digest),
+        ("GET", _) | ("POST", _) => Response::error(404, "unknown endpoint"),
+        _ => Response::error(405, "unsupported method"),
+    }
+}
+
+/// The `(scenario, seed, threads)` triple addressed by a request.
+struct RunParams {
+    scenario: Scenario,
+    seed: u64,
+    threads: usize,
+}
+
+impl RunParams {
+    fn resolve(scenario: &str, seed: u64, threads: usize) -> Result<Self, Response> {
+        let scenario = match scenario {
+            "small" => Scenario::small(),
+            "medium" => Scenario::medium(),
+            "paper" => Scenario::paper(),
+            other => {
+                return Err(Response::error(
+                    400,
+                    &format!("unknown scenario {other:?} (expected small|medium|paper)"),
+                ))
+            }
+        };
+        Ok(Self {
+            scenario: scenario.seed(seed),
+            seed,
+            threads,
+        })
+    }
+
+    fn from_body(body: &[u8]) -> Result<Self, Response> {
+        if body.is_empty() {
+            return Self::resolve("small", 0, 0);
+        }
+        let text =
+            std::str::from_utf8(body).map_err(|_| Response::error(400, "body is not UTF-8"))?;
+        let value = dcf_obs::json::parse(text)
+            .map_err(|e| Response::error(400, &format!("invalid JSON body: {e}")))?;
+        let scenario = value
+            .get("scenario")
+            .and_then(|v| v.as_str())
+            .unwrap_or("small")
+            .to_string();
+        let seed = value.get("seed").and_then(|v| v.as_u64()).unwrap_or(0);
+        let threads = value.get("threads").and_then(|v| v.as_u64()).unwrap_or(0) as usize;
+        Self::resolve(&scenario, seed, threads)
+    }
+
+    fn from_query(request: &Request) -> Result<Self, Response> {
+        let scenario = request.query_value("scenario").unwrap_or("small");
+        let seed = match request.query_value("seed") {
+            None => 0,
+            Some(raw) => raw
+                .parse()
+                .map_err(|_| Response::error(400, "seed must be an unsigned integer"))?,
+        };
+        let threads = match request.query_value("threads") {
+            None => 0,
+            Some(raw) => raw
+                .parse()
+                .map_err(|_| Response::error(400, "threads must be an unsigned integer"))?,
+        };
+        Self::resolve(scenario, seed, threads)
+    }
+
+    fn cache_key(&self) -> CacheKey {
+        CacheKey {
+            scenario_hash: scenario_hash(&self.scenario.config),
+            seed: self.seed,
+            threads: self.threads,
+        }
+    }
+}
+
+/// Looks up (or computes, single-flight) the run for `params`.
+fn run_entry(shared: &Shared, params: &RunParams) -> Result<(Arc<RunEntry>, bool), Response> {
+    let key = params.cache_key();
+    let entry = shared.cache.entry(params.scenario.name, key);
+    let hit = entry.run.get().is_some();
+    shared.metrics.add(
+        if hit {
+            "serve.cache.hits"
+        } else {
+            "serve.cache.misses"
+        },
+        1,
+    );
+    let result = entry.run.get_or_init(|| {
+        let _span = shared.metrics.worker_phase("serve.simulate");
+        if !shared.compute_delay.is_zero() {
+            std::thread::sleep(shared.compute_delay);
+        }
+        let options = RunOptions::new()
+            .metrics(&shared.metrics)
+            .threads(params.threads);
+        params
+            .scenario
+            .simulate(&options)
+            .map(|trace| Arc::new(RunArtifacts::new(trace)))
+            .map_err(|e| e.to_string())
+    });
+    match result {
+        Ok(artifacts) => {
+            shared.cache.register_digest(&artifacts.digest, key);
+            Ok((Arc::clone(&entry), hit))
+        }
+        Err(message) => Err(Response::error(500, message)),
+    }
+}
+
+fn handle_simulate(shared: &Shared, request: &Request) -> Response {
+    let params = match RunParams::from_body(&request.body) {
+        Ok(p) => p,
+        Err(resp) => return resp,
+    };
+    let (entry, hit) = match run_entry(shared, &params) {
+        Ok(pair) => pair,
+        Err(resp) => return resp,
+    };
+    let artifacts = match entry.run.get() {
+        Some(Ok(a)) => a,
+        _ => return Response::error(500, "run entry lost"),
+    };
+    let mut obj = Obj::new();
+    obj.str("scenario", &entry.scenario)
+        .uint("seed", entry.seed)
+        .uint("threads", entry.threads as u64)
+        .str("digest", &artifacts.digest)
+        .uint("total_fots", artifacts.trace.len() as u64)
+        .str("cache", if hit { "hit" } else { "miss" });
+    Response::ok(obj.finish())
+}
+
+fn handle_report(shared: &Shared, request: &Request, section: &str) -> Response {
+    let Some(&section) = sections::SECTIONS.iter().find(|&&s| s == section) else {
+        return Response::error(
+            404,
+            &format!(
+                "unknown report section {section:?} (expected one of {})",
+                sections::SECTIONS.join("|")
+            ),
+        );
+    };
+    let params = match RunParams::from_query(request) {
+        Ok(p) => p,
+        Err(resp) => return resp,
+    };
+    let (entry, _hit) = match run_entry(shared, &params) {
+        Ok(pair) => pair,
+        Err(resp) => return resp,
+    };
+    if let Some(body) = entry
+        .sections
+        .lock()
+        .expect("sections poisoned")
+        .get(section)
+    {
+        shared.metrics.add("serve.section.cached", 1);
+        return Response::ok(body.to_string());
+    }
+    let artifacts = match entry.run.get() {
+        Some(Ok(a)) => Arc::clone(a),
+        _ => return Response::error(500, "run entry lost"),
+    };
+    let _span = shared
+        .metrics
+        .worker_phase(&format!("serve.report.{section}"));
+    let study_threads = entry.threads.max(1);
+    let report =
+        artifacts.report(&StudyOptions::with_threads(study_threads).metrics(&shared.metrics));
+    let id = RunIdentity {
+        scenario: &entry.scenario,
+        seed: entry.seed,
+        threads: entry.threads,
+        digest: &artifacts.digest,
+    };
+    let body = sections::render(section, id, report).expect("section name pre-validated");
+    let mut cached = entry.sections.lock().expect("sections poisoned");
+    let body: Arc<str> = cached
+        .entry(section)
+        .or_insert_with(|| Arc::from(body.as_str()))
+        .clone();
+    Response::ok(body.to_string())
+}
+
+fn handle_fots(shared: &Shared, request: &Request, digest: &str) -> Response {
+    let Some(entry) = shared.cache.lookup_digest(digest) else {
+        return Response::error(404, "unknown trace digest (run /simulate first)");
+    };
+    let artifacts = match entry.run.get() {
+        Some(Ok(a)) => Arc::clone(a),
+        _ => return Response::error(500, "run entry lost"),
+    };
+    let offset = match request.query_value("offset") {
+        None => 0usize,
+        Some(raw) => match raw.parse() {
+            Ok(n) => n,
+            Err(_) => return Response::error(400, "offset must be an unsigned integer"),
+        },
+    };
+    let limit = match request.query_value("limit") {
+        None => DEFAULT_PAGE,
+        Some(raw) => match raw.parse::<usize>() {
+            Ok(n) => n.min(MAX_PAGE),
+            Err(_) => return Response::error(400, "limit must be an unsigned integer"),
+        },
+    };
+    let fots = artifacts.trace.fots();
+    let start = offset.min(fots.len());
+    let end = start.saturating_add(limit).min(fots.len());
+
+    let mut body = String::from("{");
+    dcf_obs::json::write_string(&mut body, "digest");
+    body.push(':');
+    dcf_obs::json::write_string(&mut body, digest);
+    body.push_str(&format!(
+        ",\"offset\":{start},\"limit\":{limit},\"total\":{},\"fots\":[",
+        fots.len()
+    ));
+    for (i, fot) in fots[start..end].iter().enumerate() {
+        if i > 0 {
+            body.push(',');
+        }
+        let mut row = Obj::new();
+        row.uint("id", fot.id.index() as u64)
+            .uint("server", fot.server.index() as u64)
+            .uint("data_center", fot.data_center.index() as u64)
+            .uint("product_line", fot.product_line.index() as u64)
+            .str("device", fot.device.name())
+            .str("device_path", &fot.device_path())
+            .str("failure_type", fot.failure_type.name())
+            .uint("error_time_secs", fot.error_time.as_secs())
+            .str("category", fot.category.name());
+        body.push_str(&row.finish());
+    }
+    body.push_str("]}");
+    Response::ok(body)
+}

@@ -1,0 +1,173 @@
+//! Minimal SIGINT plumbing over raw Linux syscalls.
+//!
+//! The workspace has no `libc`-style dependency, so the two primitives the
+//! serve binary needs — block SIGINT for the whole process, then wait for
+//! one — are issued directly via `rt_sigprocmask(2)` and
+//! `rt_sigtimedwait(2)`. Supported on Linux x86_64/aarch64; elsewhere the
+//! functions degrade to no-ops (`block_sigint` reports failure, so callers
+//! can fall back to running until killed).
+
+/// Whether this build can actually block and wait for SIGINT.
+pub const SUPPORTED: bool = cfg!(all(
+    target_os = "linux",
+    any(target_arch = "x86_64", target_arch = "aarch64")
+));
+
+#[cfg(all(
+    target_os = "linux",
+    any(target_arch = "x86_64", target_arch = "aarch64")
+))]
+mod imp {
+    use std::arch::asm;
+
+    // Signal-mask bit for SIGINT (signal 2): bit (2 - 1).
+    const SIGINT_MASK: u64 = 1 << 1;
+    const SIG_BLOCK: usize = 0;
+    // The kernel expects sigsetsize = 8 (64-bit mask) for rt_* signal calls.
+    const SIGSET_BYTES: usize = 8;
+
+    #[repr(C)]
+    struct Timespec {
+        tv_sec: i64,
+        tv_nsec: i64,
+    }
+
+    #[cfg(target_arch = "x86_64")]
+    mod nr {
+        pub const RT_SIGACTION: usize = 13;
+        pub const RT_SIGPROCMASK: usize = 14;
+        pub const RT_SIGTIMEDWAIT: usize = 128;
+    }
+    #[cfg(target_arch = "aarch64")]
+    mod nr {
+        pub const RT_SIGACTION: usize = 134;
+        pub const RT_SIGPROCMASK: usize = 135;
+        pub const RT_SIGTIMEDWAIT: usize = 137;
+    }
+
+    #[cfg(target_arch = "x86_64")]
+    unsafe fn syscall4(nr: usize, a: usize, b: usize, c: usize, d: usize) -> isize {
+        let ret: isize;
+        asm!(
+            "syscall",
+            inlateout("rax") nr as isize => ret,
+            in("rdi") a,
+            in("rsi") b,
+            in("rdx") c,
+            in("r10") d,
+            lateout("rcx") _,
+            lateout("r11") _,
+            options(nostack),
+        );
+        ret
+    }
+
+    #[cfg(target_arch = "aarch64")]
+    unsafe fn syscall4(nr: usize, a: usize, b: usize, c: usize, d: usize) -> isize {
+        let ret: isize;
+        asm!(
+            "svc 0",
+            in("x8") nr,
+            inlateout("x0") a => ret,
+            in("x1") b,
+            in("x2") c,
+            in("x3") d,
+            options(nostack),
+        );
+        ret
+    }
+
+    pub fn block_sigint() -> bool {
+        // Reset SIGINT's disposition to SIG_DFL first. Non-interactive
+        // shells (CI steps, `cmd &` in scripts) start background jobs with
+        // SIGINT *ignored*, and the kernel discards an ignored signal even
+        // while it is blocked — sigtimedwait would never see it. With the
+        // default disposition a blocked SIGINT stays pending instead. The
+        // zeroed buffer covers both kernel sigaction layouts: x86_64
+        // {handler, flags, restorer, mask} and aarch64 {handler, flags,
+        // mask}; all-zero means SIG_DFL, no flags, empty mask.
+        let act = [0u64; 4];
+        unsafe {
+            syscall4(
+                nr::RT_SIGACTION,
+                2, // SIGINT
+                act.as_ptr() as usize,
+                0,
+                SIGSET_BYTES,
+            )
+        };
+        let mask: u64 = SIGINT_MASK;
+        let ret = unsafe {
+            syscall4(
+                nr::RT_SIGPROCMASK,
+                SIG_BLOCK,
+                std::ptr::addr_of!(mask) as usize,
+                0,
+                SIGSET_BYTES,
+            )
+        };
+        ret == 0
+    }
+
+    pub fn wait_sigint(timeout_ms: u64) -> bool {
+        let mask: u64 = SIGINT_MASK;
+        let ts = Timespec {
+            tv_sec: (timeout_ms / 1000) as i64,
+            tv_nsec: ((timeout_ms % 1000) * 1_000_000) as i64,
+        };
+        let ret = unsafe {
+            syscall4(
+                nr::RT_SIGTIMEDWAIT,
+                std::ptr::addr_of!(mask) as usize,
+                0, // no siginfo wanted
+                std::ptr::addr_of!(ts) as usize,
+                SIGSET_BYTES,
+            )
+        };
+        ret == 2 // the signal number, SIGINT
+    }
+}
+
+#[cfg(not(all(
+    target_os = "linux",
+    any(target_arch = "x86_64", target_arch = "aarch64")
+)))]
+mod imp {
+    pub fn block_sigint() -> bool {
+        false
+    }
+
+    pub fn wait_sigint(timeout_ms: u64) -> bool {
+        // Preserve the polling cadence so callers' loops behave the same.
+        std::thread::sleep(std::time::Duration::from_millis(timeout_ms));
+        false
+    }
+}
+
+/// Blocks SIGINT for the calling thread (and, when called before spawning,
+/// for every thread it later creates — masks are inherited). Returns
+/// `false` if the platform has no supported implementation.
+pub fn block_sigint() -> bool {
+    imp::block_sigint()
+}
+
+/// Waits up to `timeout_ms` for a blocked SIGINT; `true` when one arrived.
+/// On unsupported platforms this sleeps for the timeout and returns
+/// `false`.
+pub fn wait_sigint(timeout_ms: u64) -> bool {
+    imp::wait_sigint(timeout_ms)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn wait_times_out_without_a_signal() {
+        // Regardless of platform support, an un-signalled wait must return
+        // false after roughly the timeout.
+        let start = std::time::Instant::now();
+        assert!(!wait_sigint(30));
+        assert!(start.elapsed() >= std::time::Duration::from_millis(20));
+    }
+}

@@ -1,0 +1,239 @@
+//! End-to-end tests for the query service: cache byte-identity under
+//! concurrency, bounded-queue backpressure, and graceful drain.
+
+use std::io::{Read, Write};
+use std::net::TcpStream;
+use std::time::Duration;
+
+use dcf_obs::MetricsRegistry;
+use dcf_serve::{ServeConfig, Server};
+
+/// One full HTTP exchange: status, lowercase header pairs, body.
+struct Reply {
+    status: u16,
+    headers: Vec<(String, String)>,
+    body: String,
+}
+
+impl Reply {
+    fn header(&self, name: &str) -> Option<&str> {
+        self.headers
+            .iter()
+            .find(|(k, _)| k.eq_ignore_ascii_case(name))
+            .map(|(_, v)| v.as_str())
+    }
+}
+
+fn exchange(addr: std::net::SocketAddr, raw: &str) -> Reply {
+    let mut stream = TcpStream::connect(addr).expect("connect");
+    stream
+        .set_read_timeout(Some(Duration::from_secs(60)))
+        .unwrap();
+    stream.write_all(raw.as_bytes()).expect("send request");
+    let mut buf = String::new();
+    stream.read_to_string(&mut buf).expect("read response");
+    parse_reply(&buf)
+}
+
+fn parse_reply(raw: &str) -> Reply {
+    let (head, body) = raw.split_once("\r\n\r\n").expect("response has a head");
+    let mut lines = head.lines();
+    let status_line = lines.next().expect("status line");
+    let status: u16 = status_line
+        .split(' ')
+        .nth(1)
+        .expect("status code")
+        .parse()
+        .expect("numeric status");
+    let headers = lines
+        .filter_map(|l| l.split_once(':'))
+        .map(|(k, v)| (k.trim().to_ascii_lowercase(), v.trim().to_string()))
+        .collect();
+    Reply {
+        status,
+        headers,
+        body: body.to_string(),
+    }
+}
+
+fn get(addr: std::net::SocketAddr, path: &str) -> Reply {
+    exchange(addr, &format!("GET {path} HTTP/1.1\r\nhost: t\r\n\r\n"))
+}
+
+fn post(addr: std::net::SocketAddr, path: &str, body: &str) -> Reply {
+    exchange(
+        addr,
+        &format!(
+            "POST {path} HTTP/1.1\r\nhost: t\r\ncontent-length: {}\r\n\r\n{body}",
+            body.len()
+        ),
+    )
+}
+
+#[test]
+fn healthz_and_metrics_respond() {
+    let metrics = MetricsRegistry::new();
+    let server = Server::start(ServeConfig::default().addr("127.0.0.1:0").metrics(&metrics))
+        .expect("server starts");
+    let addr = server.local_addr();
+
+    let health = get(addr, "/healthz");
+    assert_eq!(health.status, 200);
+    assert!(health.body.contains("\"ok\""));
+
+    let metrics_reply = get(addr, "/metrics");
+    assert_eq!(metrics_reply.status, 200);
+    assert!(metrics_reply.body.contains("dcf-serve"));
+
+    let report = server.shutdown();
+    assert!(report.counter("serve.requests").unwrap_or(0) >= 2);
+}
+
+#[test]
+fn concurrent_clients_get_byte_identical_cached_sections() {
+    let metrics = MetricsRegistry::new();
+    let server = Server::start(
+        ServeConfig::default()
+            .addr("127.0.0.1:0")
+            .workers(4)
+            .metrics(&metrics),
+    )
+    .expect("server starts");
+    let addr = server.local_addr();
+
+    // Prime the run, then hit the same section from several threads at once.
+    let primed = post(addr, "/simulate", r#"{"scenario":"small","seed":5}"#);
+    assert_eq!(primed.status, 200, "simulate failed: {}", primed.body);
+    assert!(primed.body.contains("\"cache\":\"miss\""));
+
+    let path = "/report/overview?scenario=small&seed=5";
+    let bodies: Vec<String> = std::thread::scope(|s| {
+        let handles: Vec<_> = (0..4)
+            .map(|_| {
+                s.spawn(move || {
+                    let reply = get(addr, path);
+                    assert_eq!(reply.status, 200, "section failed: {}", reply.body);
+                    reply.body
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    });
+    for body in &bodies[1..] {
+        assert_eq!(
+            body, &bodies[0],
+            "cached section bodies must be byte-identical"
+        );
+    }
+    // The digest in the section matches the one /simulate reported.
+    let section = dcf_obs::json::parse(&bodies[0]).expect("section is valid JSON");
+    let sim = dcf_obs::json::parse(&primed.body).expect("simulate is valid JSON");
+    assert_eq!(
+        section.get("digest").and_then(|v| v.as_str()),
+        sim.get("digest").and_then(|v| v.as_str())
+    );
+
+    // Re-running /simulate for the same triple is now a cache hit.
+    let again = post(addr, "/simulate", r#"{"scenario":"small","seed":5}"#);
+    assert!(again.body.contains("\"cache\":\"hit\""));
+    assert_eq!(again.body, primed.body.replace("miss", "hit"));
+
+    // Paged ticket reads work against the reported digest.
+    let digest = sim.get("digest").and_then(|v| v.as_str()).unwrap();
+    let page = get(addr, &format!("/trace/{digest}/fots?offset=0&limit=3"));
+    assert_eq!(page.status, 200);
+    let parsed = dcf_obs::json::parse(&page.body).expect("page is valid JSON");
+    assert_eq!(
+        parsed
+            .get("fots")
+            .and_then(|v| v.as_array())
+            .map(<[_]>::len),
+        Some(3)
+    );
+
+    let report = server.shutdown();
+    assert!(report.counter("serve.cache.hits").unwrap_or(0) >= 4);
+    assert_eq!(report.counter("serve.cache.misses"), Some(1));
+}
+
+#[test]
+fn saturated_queue_sheds_load_with_retry_after() {
+    let metrics = MetricsRegistry::new();
+    let mut config = ServeConfig::default()
+        .addr("127.0.0.1:0")
+        .workers(1)
+        .queue_depth(1)
+        .metrics(&metrics);
+    config.compute_delay = Duration::from_millis(400);
+    let server = Server::start(config).expect("server starts");
+    let addr = server.local_addr();
+
+    // Six distinct seeds, fired concurrently at a single worker with a
+    // one-deep queue: one computes, one queues, the rest must be shed.
+    let replies: Vec<Reply> = std::thread::scope(|s| {
+        let handles: Vec<_> = (0..6)
+            .map(|seed| {
+                s.spawn(move || {
+                    post(
+                        addr,
+                        "/simulate",
+                        &format!("{{\"scenario\":\"small\",\"seed\":{seed}}}"),
+                    )
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    });
+
+    let ok = replies.iter().filter(|r| r.status == 200).count();
+    let shed: Vec<&Reply> = replies.iter().filter(|r| r.status == 503).collect();
+    assert_eq!(
+        ok + shed.len(),
+        replies.len(),
+        "only 200s and 503s expected"
+    );
+    assert!(ok >= 1, "at least one request must be served");
+    assert!(
+        !shed.is_empty(),
+        "a saturated one-deep queue must shed load"
+    );
+    for reply in &shed {
+        assert!(
+            reply.header("retry-after").is_some(),
+            "503 responses must carry Retry-After"
+        );
+        assert!(reply.body.contains("error"));
+    }
+
+    let report = server.shutdown();
+    assert!(report.counter("serve.rejected").unwrap_or(0) >= 1);
+}
+
+#[test]
+fn graceful_shutdown_completes_in_flight_requests() {
+    let metrics = MetricsRegistry::new();
+    let mut config = ServeConfig::default()
+        .addr("127.0.0.1:0")
+        .workers(1)
+        .metrics(&metrics);
+    config.compute_delay = Duration::from_millis(300);
+    let server = Server::start(config).expect("server starts");
+    let addr = server.local_addr();
+
+    // Start a slow request, then shut the server down while it is in flight.
+    let client = std::thread::spawn(move || post(addr, "/simulate", r#"{"seed":77}"#));
+    std::thread::sleep(Duration::from_millis(100));
+    let report = server.shutdown();
+
+    let reply = client.join().expect("client thread");
+    assert_eq!(
+        reply.status, 200,
+        "in-flight request must complete through a graceful drain: {}",
+        reply.body
+    );
+    assert!(reply.body.contains("\"digest\""));
+    assert_eq!(report.counter("serve.requests"), Some(1));
+
+    // The listener is gone: new connections are refused.
+    assert!(TcpStream::connect(addr).is_err());
+}

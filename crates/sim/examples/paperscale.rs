@@ -2,7 +2,10 @@ use dcf_trace::ComponentClass;
 
 fn main() {
     let t0 = std::time::Instant::now();
-    let t = dcf_sim::Scenario::paper().seed(1).run().unwrap();
+    let t = dcf_sim::Scenario::paper()
+        .seed(1)
+        .simulate(&dcf_sim::RunOptions::default())
+        .unwrap();
     let build = t0.elapsed();
     let total = t.len();
     let failures = t.failures().count();

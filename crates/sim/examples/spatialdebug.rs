@@ -1,6 +1,9 @@
 use dcf_fleet::{CoolingDesign, FleetBuilder, FleetConfig};
 fn main() {
-    let t = dcf_sim::Scenario::paper().seed(1).run().unwrap();
+    let t = dcf_sim::Scenario::paper()
+        .seed(1)
+        .simulate(&dcf_sim::RunOptions::default())
+        .unwrap();
     let fleet = FleetBuilder::new(FleetConfig::paper())
         .seed(1)
         .build()

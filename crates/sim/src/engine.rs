@@ -36,6 +36,7 @@ use dcf_trace::{
 
 use crate::config::SimConfig;
 use crate::error::SimError;
+use crate::options::RunOptions;
 
 /// Samples a fatal-severity failure type of `class` (None if the class has
 /// no fatal types, which does not happen for hardware classes).
@@ -210,66 +211,107 @@ fn resolve_engine_threads(requested: usize) -> usize {
     n.clamp(1, 16)
 }
 
-/// Runs the simulation.
+/// Runs the simulation — the single entry point, with every execution knob
+/// (metrics registry, thread override) consolidated in [`RunOptions`].
+///
+/// Instrumentation is observational only: counters tally events the engine
+/// already produces and never consume RNG draws, and the thread override is
+/// purely an execution knob — so the returned trace is a byte-identical
+/// pure function of `(config, config.seed)` for every [`RunOptions`] value.
 ///
 /// # Examples
 ///
 /// ```
-/// use dcf_sim::{run, Scenario};
+/// use dcf_sim::{simulate, RunOptions, Scenario};
 ///
 /// let scenario = Scenario::small().seed(11);
-/// let trace = run(&scenario.config).unwrap();
+/// let trace = simulate(&scenario.config, &RunOptions::default()).unwrap();
 /// assert!(!trace.is_empty());
 /// assert_eq!(trace.info().seed, 11);
 /// ```
 ///
 /// # Errors
 ///
-/// Returns [`SimError::Config`] for invalid configurations and
+/// Returns [`SimError::Fleet`] for invalid fleet configurations and
 /// [`SimError::Trace`] if assembly invariants fail (a bug, not a user
 /// error — surfaced rather than panicking).
-pub fn run(config: &SimConfig) -> Result<Trace, SimError> {
-    run_with_metrics(config, &MetricsRegistry::disabled())
-}
-
-/// Runs the simulation, recording phase timings and event counters into
-/// `metrics`.
-///
-/// Instrumentation is observational only: counters tally events the engine
-/// already produces and never consume RNG draws, so the returned trace is
-/// byte-identical to [`run`] with the same config. With a disabled registry
-/// this *is* [`run`] — every metric operation degrades to a branch on
-/// `None`.
-///
-/// # Errors
-///
-/// Same contract as [`run`].
-pub fn run_with_metrics(config: &SimConfig, metrics: &MetricsRegistry) -> Result<Trace, SimError> {
+pub fn simulate(config: &SimConfig, options: &RunOptions) -> Result<Trace, SimError> {
+    let metrics = &options.metrics;
     let span = metrics.phase("engine.fleet_build");
     let fleet = FleetBuilder::new(config.fleet.clone())
         .seed(config.seed)
         .metrics(metrics.clone())
-        .build()
-        .map_err(SimError::Config)?;
+        .build()?;
     drop(span);
-    run_on_fleet_with_metrics(config, &fleet, metrics)
+    simulate_on_fleet(config, &fleet, options)
 }
 
-/// Runs the simulation on an already-built fleet (lets callers reuse one
-/// fleet across scenario variants).
-pub fn run_on_fleet(config: &SimConfig, fleet: &Fleet) -> Result<Trace, SimError> {
-    run_on_fleet_with_metrics(config, fleet, &MetricsRegistry::disabled())
-}
-
-/// [`run_on_fleet`] with instrumentation — see [`run_with_metrics`] for the
-/// determinism contract. Records the `engine.global`, `engine.per_server`
-/// and `engine.assembly` phase spans, the `engine.threads` gauge, and the
-/// `sim.*` / `fms.*` counters.
+/// [`simulate`] on an already-built fleet (lets callers reuse one fleet
+/// across scenario variants). Records the `engine.global`,
+/// `engine.per_server` and `engine.assembly` phase spans, the
+/// `engine.threads` gauge, and the `sim.*` / `fms.*` counters when
+/// `options.metrics` is enabled.
 ///
 /// # Errors
 ///
-/// Same contract as [`run`].
+/// Same contract as [`simulate`].
+pub fn simulate_on_fleet(
+    config: &SimConfig,
+    fleet: &Fleet,
+    options: &RunOptions,
+) -> Result<Trace, SimError> {
+    match options.threads {
+        Some(threads) if threads != config.engine_threads => {
+            let mut config = config.clone();
+            config.engine_threads = threads;
+            engine_on_fleet(&config, fleet, &options.metrics)
+        }
+        _ => engine_on_fleet(config, fleet, &options.metrics),
+    }
+}
+
+/// Runs the simulation with default options.
+#[deprecated(
+    since = "0.1.0",
+    note = "use `simulate(config, &RunOptions::default())`"
+)]
+pub fn run(config: &SimConfig) -> Result<Trace, SimError> {
+    simulate(config, &RunOptions::default())
+}
+
+/// Runs the simulation with an attached metrics registry.
+#[deprecated(
+    since = "0.1.0",
+    note = "use `simulate(config, &RunOptions::new().metrics(metrics))`"
+)]
+pub fn run_with_metrics(config: &SimConfig, metrics: &MetricsRegistry) -> Result<Trace, SimError> {
+    simulate(config, &RunOptions::new().metrics(metrics))
+}
+
+/// Runs the simulation on an already-built fleet with default options.
+#[deprecated(
+    since = "0.1.0",
+    note = "use `simulate_on_fleet(config, fleet, &RunOptions::default())`"
+)]
+pub fn run_on_fleet(config: &SimConfig, fleet: &Fleet) -> Result<Trace, SimError> {
+    simulate_on_fleet(config, fleet, &RunOptions::default())
+}
+
+/// Runs the simulation on an already-built fleet with a metrics registry.
+#[deprecated(
+    since = "0.1.0",
+    note = "use `simulate_on_fleet(config, fleet, &RunOptions::new().metrics(metrics))`"
+)]
 pub fn run_on_fleet_with_metrics(
+    config: &SimConfig,
+    fleet: &Fleet,
+    metrics: &MetricsRegistry,
+) -> Result<Trace, SimError> {
+    simulate_on_fleet(config, fleet, &RunOptions::new().metrics(metrics))
+}
+
+/// The engine proper: global phase, per-server phase, assembly.
+fn engine_on_fleet(
     config: &SimConfig,
     fleet: &Fleet,
     metrics: &MetricsRegistry,
@@ -573,11 +615,11 @@ fn apply_sync_groups(
     // Table VIII servers kept being "fixed" (D_fixing) each time, so
     // they must not be decommissioned mid-episode.
     //
-    // Known edge (kept for byte-compatibility): eligibility does not check
-    // deploy_time, so a server deployed mid-window can be picked for an
-    // episode that starts before its deploy date and receive a pre-deploy
-    // ticket. Filtering here would shift member selection and change
-    // traces, so it must wait for a schema-breaking release.
+    // Eligibility still does not check deploy_time (filtering here would
+    // shift member selection and consume different RNG draws); instead the
+    // emission loop below drops any occurrence that would land before the
+    // member's deploy date, so late-deployed servers can join an episode
+    // but never receive pre-deploy tickets.
     let eligible_by_rack: Vec<Vec<Vec<ServerId>>> = fleet
         .racks()
         .iter()
@@ -621,7 +663,7 @@ fn apply_sync_groups(
             let slot = rng.random_range(0..server.hdd_count.max(1));
             for &t in &times {
                 let jittered = t + SimDuration::from_secs(offsets[member_idx]);
-                if jittered >= end {
+                if jittered >= end || jittered < server.deploy_time {
                     continue;
                 }
                 staged.push((

@@ -1,12 +1,15 @@
 //! Error type for simulation runs.
 
+use dcf_fleet::FleetError;
 use dcf_trace::TraceError;
 
 /// Errors from running a simulation.
 #[derive(Debug)]
 #[non_exhaustive]
 pub enum SimError {
-    /// The configuration failed validation.
+    /// The fleet configuration failed validation.
+    Fleet(FleetError),
+    /// A non-fleet configuration problem (free-form description).
     Config(String),
     /// Trace assembly rejected the generated tickets (an engine bug,
     /// surfaced instead of panicking).
@@ -16,6 +19,7 @@ pub enum SimError {
 impl std::fmt::Display for SimError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
+            SimError::Fleet(e) => write!(f, "invalid fleet config: {e}"),
             SimError::Config(msg) => write!(f, "invalid simulation config: {msg}"),
             SimError::Trace(e) => write!(f, "trace assembly failed: {e}"),
         }
@@ -25,9 +29,16 @@ impl std::fmt::Display for SimError {
 impl std::error::Error for SimError {
     fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
         match self {
+            SimError::Fleet(e) => Some(e),
             SimError::Trace(e) => Some(e),
             SimError::Config(_) => None,
         }
+    }
+}
+
+impl From<FleetError> for SimError {
+    fn from(e: FleetError) -> Self {
+        SimError::Fleet(e)
     }
 }
 
@@ -40,5 +51,8 @@ mod tests {
         let e = SimError::Config("bad".into());
         assert!(e.to_string().contains("bad"));
         assert!(std::error::Error::source(&e).is_none());
+        let e: SimError = FleetError::EmptyWindow.into();
+        assert!(e.to_string().contains("window_days"));
+        assert!(std::error::Error::source(&e).is_some());
     }
 }

@@ -9,10 +9,10 @@
 //! make the parallel per-server phase independent of thread count.
 //!
 //! ```
-//! use dcf_sim::Scenario;
+//! use dcf_sim::{RunOptions, Scenario};
 //!
-//! let a = Scenario::small().seed(5).run().unwrap();
-//! let b = Scenario::small().seed(5).run().unwrap();
+//! let a = Scenario::small().seed(5).simulate(&RunOptions::default()).unwrap();
+//! let b = Scenario::small().seed(5).simulate(&RunOptions::default()).unwrap();
 //! assert_eq!(a.fots(), b.fots()); // bit-for-bit deterministic
 //! ```
 
@@ -22,13 +22,15 @@
 mod config;
 mod engine;
 mod error;
+mod options;
 mod scenario;
 
 pub use config::SimConfig;
-pub use engine::{
-    expected_background_failures, run, run_on_fleet, run_on_fleet_with_metrics, run_with_metrics,
-};
+pub use engine::{expected_background_failures, simulate, simulate_on_fleet};
+#[allow(deprecated)]
+pub use engine::{run, run_on_fleet, run_on_fleet_with_metrics, run_with_metrics};
 pub use error::SimError;
+pub use options::RunOptions;
 pub use scenario::Scenario;
 
 #[cfg(test)]
@@ -37,7 +39,10 @@ mod tests {
     use dcf_trace::{ComponentClass, FotCategory};
 
     fn small_trace() -> dcf_trace::Trace {
-        Scenario::small().seed(42).run().unwrap()
+        Scenario::small()
+            .seed(42)
+            .simulate(&RunOptions::default())
+            .unwrap()
     }
 
     #[test]
@@ -81,10 +86,11 @@ mod tests {
 
     #[test]
     fn runs_are_deterministic_across_invocations() {
-        let a = Scenario::small().seed(7).run().unwrap();
-        let b = Scenario::small().seed(7).run().unwrap();
+        let options = RunOptions::default();
+        let a = Scenario::small().seed(7).simulate(&options).unwrap();
+        let b = Scenario::small().seed(7).simulate(&options).unwrap();
         assert_eq!(a.fots(), b.fots());
-        let c = Scenario::small().seed(8).run().unwrap();
+        let c = Scenario::small().seed(8).simulate(&options).unwrap();
         assert_ne!(a.fots(), c.fots());
     }
 
@@ -110,7 +116,7 @@ mod tests {
             .build()
             .unwrap();
         let expected = crate::expected_background_failures(&config, &fleet);
-        let trace = crate::run_on_fleet(&config, &fleet).unwrap();
+        let trace = crate::simulate_on_fleet(&config, &fleet, &RunOptions::default()).unwrap();
         let got = trace.failures().count() as f64;
         // Detection delays push a small share of late faults past the
         // window end, so the sample sits slightly below the expectation.
@@ -122,8 +128,15 @@ mod tests {
 
     #[test]
     fn no_batch_ablation_reduces_daily_spikes() {
-        let base = Scenario::small().seed(3).run().unwrap();
-        let ablated = Scenario::small().without_batches().seed(3).run().unwrap();
+        let base = Scenario::small()
+            .seed(3)
+            .simulate(&RunOptions::default())
+            .unwrap();
+        let ablated = Scenario::small()
+            .without_batches()
+            .seed(3)
+            .simulate(&RunOptions::default())
+            .unwrap();
         let max_daily = |t: &dcf_trace::Trace| {
             let mut per_day = std::collections::HashMap::new();
             for f in t.failures() {
@@ -137,9 +150,11 @@ mod tests {
     #[test]
     fn metrics_do_not_perturb_the_trace_and_match_its_shape() {
         let scenario = Scenario::small().seed(42);
-        let plain = scenario.run().unwrap();
+        let plain = scenario.simulate(&RunOptions::default()).unwrap();
         let registry = dcf_obs::MetricsRegistry::new();
-        let instrumented = scenario.run_with_metrics(&registry).unwrap();
+        let instrumented = scenario
+            .simulate(&RunOptions::new().metrics(&registry))
+            .unwrap();
         // Instrumentation must be RNG-free: identical trace either way.
         assert_eq!(plain.fots(), instrumented.fots());
         let count = |name: &str| registry.counter_value(name).unwrap();
@@ -159,6 +174,22 @@ mod tests {
         ] {
             assert!(report.phase_ms(phase).is_some(), "missing span {phase}");
         }
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_shims_match_the_consolidated_entry_point() {
+        let scenario = Scenario::small().seed(11);
+        let new_api = scenario.simulate(&RunOptions::default()).unwrap();
+        assert_eq!(new_api.fots(), scenario.run().unwrap().fots());
+        assert_eq!(new_api.fots(), run(&scenario.config).unwrap().fots());
+        let registry = dcf_obs::MetricsRegistry::new();
+        assert_eq!(
+            new_api.fots(),
+            run_with_metrics(&scenario.config, &registry)
+                .unwrap()
+                .fots()
+        );
     }
 
     #[test]

@@ -9,15 +9,16 @@ use dcf_trace::Trace;
 use crate::config::SimConfig;
 use crate::engine;
 use crate::error::SimError;
+use crate::options::RunOptions;
 
 /// A named, runnable simulation scenario.
 ///
 /// # Examples
 ///
 /// ```
-/// use dcf_sim::Scenario;
+/// use dcf_sim::{RunOptions, Scenario};
 ///
-/// let trace = Scenario::small().seed(3).run().unwrap();
+/// let trace = Scenario::small().seed(3).simulate(&RunOptions::default()).unwrap();
 /// assert!(!trace.is_empty());
 /// ```
 #[derive(Debug, Clone, PartialEq)]
@@ -114,24 +115,43 @@ impl Scenario {
         self
     }
 
+    /// Runs the scenario under `options` (metrics sink, thread override —
+    /// see [`RunOptions`]). The trace is a pure function of the scenario
+    /// config and seed: options never perturb it.
+    ///
+    /// # Errors
+    ///
+    /// Propagates configuration and assembly errors from the engine.
+    pub fn simulate(&self, options: &RunOptions) -> Result<Trace, SimError> {
+        engine::simulate(&self.config, options)
+    }
+
     /// Runs the scenario.
     ///
     /// # Errors
     ///
     /// Propagates configuration and assembly errors from the engine.
+    #[deprecated(
+        since = "0.1.0",
+        note = "use `Scenario::simulate(&RunOptions::default())`"
+    )]
     pub fn run(&self) -> Result<Trace, SimError> {
-        engine::run(&self.config)
+        self.simulate(&RunOptions::default())
     }
 
     /// Runs the scenario with instrumentation: phase timings and event
-    /// counters accumulate into `metrics` (see [`crate::run_with_metrics`]).
-    /// The trace is identical to [`Scenario::run`] at the same seed.
+    /// counters accumulate into `metrics`. The trace is identical to an
+    /// uninstrumented run at the same seed.
     ///
     /// # Errors
     ///
     /// Propagates configuration and assembly errors from the engine.
+    #[deprecated(
+        since = "0.1.0",
+        note = "use `Scenario::simulate(&RunOptions::new().metrics(..))`"
+    )]
     pub fn run_with_metrics(&self, metrics: &MetricsRegistry) -> Result<Trace, SimError> {
-        engine::run_with_metrics(&self.config, metrics)
+        self.simulate(&RunOptions::new().metrics(metrics))
     }
 }
 

@@ -10,12 +10,14 @@ use std::collections::HashMap;
 
 use dcfail::core::FailureStudy;
 use dcfail::report::TextTable;
-use dcfail::sim::Scenario;
+use dcfail::sim::{RunOptions, Scenario};
 use dcfail::trace::{ComponentClass, SimTime};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     // Medium scale gives realistic batch structure at laptop cost.
-    let trace = Scenario::medium().seed(2024).run()?;
+    let trace = Scenario::medium()
+        .seed(2024)
+        .simulate(&RunOptions::default())?;
     let study = FailureStudy::new(&trace);
     let batch = study.batch();
 

@@ -9,10 +9,12 @@
 use dcfail::core::mining::ContextFlag;
 use dcfail::core::FailureStudy;
 use dcfail::report::{pct, TextTable};
-use dcfail::sim::Scenario;
+use dcfail::sim::{RunOptions, Scenario};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
-    let trace = Scenario::medium().seed(11).run()?;
+    let trace = Scenario::medium()
+        .seed(11)
+        .simulate(&RunOptions::default())?;
     let study = FailureStudy::new(&trace);
 
     // 1. Sweep the warning→failure predictor across horizons.

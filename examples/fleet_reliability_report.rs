@@ -9,11 +9,13 @@
 
 use dcfail::core::FailureStudy;
 use dcfail::report::{bar_chart, days, TextTable};
-use dcfail::sim::Scenario;
+use dcfail::sim::{RunOptions, Scenario};
 use dcfail::trace::ComponentClass;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
-    let trace = Scenario::medium().seed(99).run()?;
+    let trace = Scenario::medium()
+        .seed(99)
+        .simulate(&RunOptions::default())?;
     let study = FailureStudy::new(&trace);
 
     // 1. Lifecycle: which classes are wearing out?

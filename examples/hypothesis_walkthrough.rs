@@ -8,7 +8,7 @@
 
 use dcfail::core::FailureStudy;
 use dcfail::report::TextTable;
-use dcfail::sim::Scenario;
+use dcfail::sim::{RunOptions, Scenario};
 use dcfail::trace::ComponentClass;
 
 fn verdict(rejected: bool) -> &'static str {
@@ -21,7 +21,9 @@ fn verdict(rejected: bool) -> &'static str {
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     // Medium scale carries enough statistical power for every test.
-    let trace = Scenario::medium().seed(5).run()?;
+    let trace = Scenario::medium()
+        .seed(5)
+        .simulate(&RunOptions::default())?;
     let study = FailureStudy::new(&trace);
     let temporal = study.temporal();
 

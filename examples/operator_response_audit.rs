@@ -8,11 +8,13 @@
 
 use dcfail::core::FailureStudy;
 use dcfail::report::{days, pct, TextTable};
-use dcfail::sim::Scenario;
+use dcfail::sim::{RunOptions, Scenario};
 use dcfail::trace::FotCategory;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
-    let trace = Scenario::medium().seed(7).run()?;
+    let trace = Scenario::medium()
+        .seed(7)
+        .simulate(&RunOptions::default())?;
     let study = FailureStudy::new(&trace);
     let resp = study.response();
 

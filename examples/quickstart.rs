@@ -7,12 +7,14 @@
 
 use dcfail::core::FailureStudy;
 use dcfail::report::{experiments, pct};
-use dcfail::sim::Scenario;
+use dcfail::sim::{RunOptions, Scenario};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     // 1. Generate a trace: 2,000 servers observed for 360 days.
     //    Swap `small()` for `medium()` or `paper()` for larger studies.
-    let trace = Scenario::small().seed(42).run()?;
+    let trace = Scenario::small()
+        .seed(42)
+        .simulate(&RunOptions::default())?;
     println!(
         "simulated {} tickets across {} servers in {} data centers\n",
         trace.len(),

@@ -19,7 +19,7 @@ use std::fs::File;
 use std::io::{BufWriter, Write};
 use std::process::ExitCode;
 
-use dcfail::sim::Scenario;
+use dcfail::sim::{RunOptions, Scenario};
 use dcfail::trace::{io, DataCenterId, SimTime};
 
 struct Args {
@@ -101,7 +101,10 @@ fn run() -> Result<(), String> {
         "small" => Scenario::small(),
         other => return Err(format!("unknown scenario {other}")),
     };
-    let mut trace = scenario.seed(args.seed).run().map_err(|e| e.to_string())?;
+    let mut trace = scenario
+        .seed(args.seed)
+        .simulate(&RunOptions::default())
+        .map_err(|e| e.to_string())?;
 
     if args.from_day.is_some() || args.to_day.is_some() {
         let from = SimTime::from_days(args.from_day.unwrap_or(0));

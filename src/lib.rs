@@ -28,9 +28,12 @@
 //!
 //! ```
 //! use dcfail::core::FailureStudy;
-//! use dcfail::sim::Scenario;
+//! use dcfail::sim::{RunOptions, Scenario};
 //!
-//! let trace = Scenario::small().seed(7).run().expect("simulation succeeds");
+//! let trace = Scenario::small()
+//!     .seed(7)
+//!     .simulate(&RunOptions::default())
+//!     .expect("simulation succeeds");
 //! let study = FailureStudy::new(&trace);
 //! let categories = study.overview().category_breakdown();
 //! assert!(categories.fixing_share > 0.5);

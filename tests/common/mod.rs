@@ -13,7 +13,7 @@ pub fn medium() -> &'static Trace {
     T.get_or_init(|| {
         Scenario::medium()
             .seed(0x1DC)
-            .run()
+            .simulate(&dcfail::sim::RunOptions::default())
             .expect("medium scenario runs")
     })
 }
@@ -25,7 +25,7 @@ pub fn small() -> &'static Trace {
     T.get_or_init(|| {
         Scenario::small()
             .seed(0x1DC)
-            .run()
+            .simulate(&dcfail::sim::RunOptions::default())
             .expect("small scenario runs")
     })
 }

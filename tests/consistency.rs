@@ -4,7 +4,7 @@
 
 mod common;
 
-use dcfail::core::FailureStudy;
+use dcfail::core::{FailureStudy, StudyOptions};
 use dcfail::trace::{ComponentClass, FotCategory};
 
 #[test]
@@ -137,7 +137,7 @@ fn restricted_trace_analyses_match_manual_filtering() {
     assert_eq!(sliced.failures().count(), manual);
 
     // The sliced study runs end to end.
-    let report = FailureStudy::new(&sliced).report();
+    let report = FailureStudy::new(&sliced).analyze(&StudyOptions::default());
     assert_eq!(report.total_fots, sliced.len());
 }
 

@@ -3,7 +3,7 @@
 
 mod common;
 
-use dcfail::core::FailureStudy;
+use dcfail::core::{FailureStudy, StudyOptions};
 use dcfail::trace::{ComponentClass, FotCategory, Severity};
 
 #[test]
@@ -71,7 +71,7 @@ fn facade_reexports_work_together() {
     // The doc-level promise of the `dcfail` crate: one consistent surface.
     let trace = common::small();
     let study = FailureStudy::new(trace);
-    let report = study.report();
+    let report = study.analyze(&StudyOptions::default());
     assert_eq!(report.total_fots, trace.len());
     let rendered = dcfail::report::experiments::render_table1(&study);
     assert!(rendered.contains("D_fixing"));

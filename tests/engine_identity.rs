@@ -9,7 +9,7 @@
 //! `reproduce --threads 1` and auto.
 
 use dcfail::obs::MetricsRegistry;
-use dcfail::sim::Scenario;
+use dcfail::sim::{RunOptions, Scenario};
 use dcfail::trace::{io, Trace};
 
 const SEEDS: [u64; 3] = [1, 7, 42];
@@ -19,7 +19,7 @@ fn small_trace(seed: u64, threads: usize) -> Trace {
     Scenario::small()
         .seed(seed)
         .engine_threads(threads)
-        .run()
+        .simulate(&RunOptions::default())
         .expect("simulation runs")
 }
 
@@ -81,7 +81,7 @@ fn ticket_counters_match_the_trace() {
             let trace = Scenario::small()
                 .seed(seed)
                 .engine_threads(threads)
-                .run_with_metrics(&registry)
+                .simulate(&RunOptions::new().metrics(&registry))
                 .expect("simulation runs");
             let report = registry.report("engine_identity");
             let counter = |name: &str| {

@@ -3,14 +3,14 @@
 //! the run produced.
 
 use dcfail::obs::{MetricsRegistry, RunReport};
-use dcfail::sim::Scenario;
+use dcfail::sim::{RunOptions, Scenario};
 
 /// Runs `scenario` with a fresh registry and returns `(trace len, report)`.
 fn instrumented_run(seed: u64) -> (u64, RunReport) {
     let registry = MetricsRegistry::new();
     let trace = Scenario::small()
         .seed(seed)
-        .run_with_metrics(&registry)
+        .simulate(&RunOptions::new().metrics(&registry))
         .unwrap();
     registry.set_gauge("trace.fots", trace.len() as f64);
     (trace.len() as u64, registry.report("integration"))

@@ -4,10 +4,10 @@
 
 use proptest::prelude::*;
 
-use dcfail::core::FailureStudy;
+use dcfail::core::{FailureStudy, StudyOptions};
 use dcfail::fleet::FleetConfig;
 use dcfail::obs::MetricsRegistry;
-use dcfail::sim::{run, run_with_metrics, SimConfig};
+use dcfail::sim::{simulate, RunOptions, SimConfig};
 use dcfail::stats::{fit, ContinuousDistribution, Ecdf};
 use dcfail::trace::io;
 
@@ -44,8 +44,8 @@ proptest! {
     fn any_small_config_yields_a_valid_trace(cfg in small_configs(), seed in 0u64..1_000) {
         let mut sim = SimConfig::with_fleet(cfg, "prop");
         sim.seed = seed;
-        // Trace::new re-validates every schema invariant; run() must succeed.
-        let trace = run(&sim).expect("valid config simulates");
+        // Trace::new re-validates every schema invariant; simulate() must succeed.
+        let trace = simulate(&sim, &RunOptions::default()).expect("valid config simulates");
         let start = trace.info().start;
         let end = trace.end_time();
         for fot in trace.fots() {
@@ -53,7 +53,7 @@ proptest! {
             prop_assert_eq!(fot.category.has_response(), fot.response.is_some());
         }
         // The report never panics, whatever the volume.
-        let report = FailureStudy::new(&trace).report();
+        let report = FailureStudy::new(&trace).analyze(&StudyOptions::default());
         prop_assert_eq!(report.total_fots, trace.len());
         prop_assert!(report.fixing_share >= 0.0 && report.fixing_share <= 1.0);
     }
@@ -76,7 +76,7 @@ proptest! {
             sim.seed = seed;
             sim.engine_threads = threads;
             let registry = MetricsRegistry::new();
-            let trace = run_with_metrics(&sim, &registry).expect("valid config simulates");
+            let trace = simulate(&sim, &RunOptions::new().metrics(&registry)).expect("valid config simulates");
             let report = registry.report("properties");
             let counter = |name: &str| report.counter(name).unwrap_or(0);
             let total = counter("sim.tickets.total");
@@ -190,7 +190,10 @@ proptest! {
         use std::sync::OnceLock;
         static CSV: OnceLock<Vec<u8>> = OnceLock::new();
         let csv = CSV.get_or_init(|| {
-            let trace = dcfail::sim::Scenario::small().seed(9).run().unwrap();
+            let trace = dcfail::sim::Scenario::small()
+                .seed(9)
+                .simulate(&RunOptions::default())
+                .unwrap();
             let mut buf = Vec::new();
             io::write_fots_csv(&trace.fots()[..50.min(trace.len())], &mut buf).unwrap();
             buf
@@ -209,7 +212,10 @@ proptest! {
         use dcfail::trace::{SimTime, Trace};
         static TRACE: OnceLock<Trace> = OnceLock::new();
         let trace = TRACE.get_or_init(|| {
-            dcfail::sim::Scenario::small().seed(10).run().unwrap()
+            dcfail::sim::Scenario::small()
+                .seed(10)
+                .simulate(&RunOptions::default())
+                .unwrap()
         });
         let a = SimTime::from_days(from);
         let b = SimTime::from_days(from + span);

@@ -6,7 +6,7 @@ use dcfail::failmodel::{
 };
 use dcfail::fleet::FleetConfig;
 use dcfail::fms::FalseAlarmModel;
-use dcfail::sim::{run, Scenario, SimConfig};
+use dcfail::sim::{simulate, RunOptions, Scenario, SimConfig};
 use dcfail::trace::ComponentClass;
 
 fn tiny_fleet() -> FleetConfig {
@@ -39,12 +39,12 @@ fn zero_rates_yield_a_valid_empty_ish_trace() {
     cfg.correlation = CorrelationModel::disabled();
     cfg.escalation = EscalationModel::disabled();
     cfg.false_alarm = FalseAlarmModel::disabled();
-    let trace = run(&cfg).expect("valid config");
+    let trace = simulate(&cfg, &RunOptions::default()).expect("valid config");
     assert!(trace.is_empty(), "got {} tickets", trace.len());
     // Analyses on an empty trace return errors, not panics.
     let study = dcfail::core::FailureStudy::new(&trace);
     assert!(study.temporal().tbf_all().is_err());
-    let report = study.report();
+    let report = study.analyze(&dcfail::core::StudyOptions::default());
     assert_eq!(report.total_fots, 0);
     assert_eq!(report.servers_ever_failed, 0);
 }
@@ -54,7 +54,7 @@ fn extreme_rates_still_satisfy_invariants() {
     let mut cfg = SimConfig::with_fleet(tiny_fleet(), "hot");
     cfg.rates = cfg.rates.scaled(50.0);
     cfg.seed = 3;
-    let trace = run(&cfg).expect("hot config simulates");
+    let trace = simulate(&cfg, &RunOptions::default()).expect("hot config simulates");
     // Decommissioning throttles runaway failure storms (out-of-warranty
     // fatal failures retire servers), so the count stays moderate.
     assert!(trace.len() > 100, "got {}", trace.len());
@@ -64,7 +64,8 @@ fn extreme_rates_still_satisfy_invariants() {
         assert_eq!(fot.category.has_response(), fot.response.is_some());
     }
     // The full report still computes.
-    let report = dcfail::core::FailureStudy::new(&trace).report();
+    let report =
+        dcfail::core::FailureStudy::new(&trace).analyze(&dcfail::core::StudyOptions::default());
     assert_eq!(report.total_fots, trace.len());
 }
 
@@ -75,7 +76,7 @@ fn single_day_window_works() {
     fleet.deploy_until_day = 0;
     let mut cfg = SimConfig::with_fleet(fleet, "one-day");
     cfg.rates = cfg.rates.scaled(20.0);
-    let trace = run(&cfg).expect("one-day window simulates");
+    let trace = simulate(&cfg, &RunOptions::default()).expect("one-day window simulates");
     for fot in trace.fots() {
         assert_eq!(fot.error_time.day_index(), trace.info().start.day_index());
     }
@@ -87,7 +88,7 @@ fn minimal_fleet_one_dc_one_line() {
     fleet.product_lines = 1;
     fleet.servers = 36;
     let cfg = SimConfig::with_fleet(fleet, "minimal");
-    let trace = run(&cfg).expect("minimal fleet simulates");
+    let trace = simulate(&cfg, &RunOptions::default()).expect("minimal fleet simulates");
     for fot in trace.fots() {
         assert_eq!(fot.product_line.raw(), 0);
         assert_eq!(fot.data_center.raw(), 0);
@@ -98,15 +99,15 @@ fn minimal_fleet_one_dc_one_line() {
 fn invalid_configs_are_rejected_not_panicking() {
     let mut fleet = tiny_fleet();
     fleet.servers_per_rack = 0;
-    assert!(run(&SimConfig::with_fleet(fleet, "bad")).is_err());
+    assert!(simulate(&SimConfig::with_fleet(fleet, "bad"), &RunOptions::default()).is_err());
 
     let mut fleet = tiny_fleet();
     fleet.window_days = 0;
-    assert!(run(&SimConfig::with_fleet(fleet, "bad")).is_err());
+    assert!(simulate(&SimConfig::with_fleet(fleet, "bad"), &RunOptions::default()).is_err());
 
     let mut fleet = tiny_fleet();
     fleet.modern_cooling_fraction = 2.0;
-    assert!(run(&SimConfig::with_fleet(fleet, "bad")).is_err());
+    assert!(simulate(&SimConfig::with_fleet(fleet, "bad"), &RunOptions::default()).is_err());
 }
 
 #[test]
@@ -119,7 +120,7 @@ fn ablation_stack_composes() {
         .with_modern_cooling()
         .with_partial_monitoring()
         .seed(4)
-        .run()
+        .simulate(&dcfail::sim::RunOptions::default())
         .expect("stacked ablations run");
     assert!(!trace.is_empty());
     // No synchronized groups and no flappers survive the stack.
@@ -142,7 +143,7 @@ fn hdd_free_fleet_produces_no_hdd_tickets() {
     };
     cfg.rates = cfg.rates.scaled(10.0);
     cfg.rates.set_base_rate(ComponentClass::Hdd, 0.0);
-    let trace = run(&cfg).expect("no-hdd config simulates");
+    let trace = simulate(&cfg, &RunOptions::default()).expect("no-hdd config simulates");
     assert_eq!(trace.failures_of(ComponentClass::Hdd).count(), 0);
     assert!(trace.failures_of(ComponentClass::Miscellaneous).count() > 0);
 }
