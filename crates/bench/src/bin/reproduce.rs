@@ -2,15 +2,31 @@
 //!
 //! ```text
 //! reproduce [--scenario paper|medium|small] [--seed N] [--experiment ID]
-//!           [--markdown] [--metrics PATH] [--threads N]
+//!           [--markdown] [--metrics PATH] [--threads N] [--backend B]
 //!           [--bench-json PATH] [--bench-baseline PATH] [--digest PATH]
+//! reproduce snapshot --out PATH [simulation flags]
+//! reproduce snapshot --in PATH [analysis flags]
 //! reproduce serve [--addr HOST:PORT] [--workers N] [--cache-entries N]
+//!                 [--snapshot PATH]
 //! ```
 //!
 //! `reproduce serve` runs the `dcf-serve` HTTP query service instead of a
 //! one-shot reproduction: simulate + study results are computed on demand
 //! per `(scenario, seed, threads)` and cached. SIGINT (Ctrl-C) drains
 //! in-flight requests and prints the final metrics report before exiting.
+//! `--snapshot PATH` additionally preloads a binary trace snapshot and
+//! serves it under the `snapshot` scenario name.
+//!
+//! `reproduce snapshot --out PATH` simulates once and persists the trace as
+//! a versioned binary snapshot (`dcf-trace::io::snapshot`); `--in PATH`
+//! loads such a snapshot instead of simulating and runs the regular
+//! analysis flags against it. The write and load are timed under the
+//! `trace.snapshot_write` / `trace.snapshot_load` phases.
+//!
+//! `--backend columnar|row` selects the analysis backend: the default
+//! struct-of-arrays columnar kernels or the row-iterator reference path.
+//! Reports are byte-identical either way — the flag exists for perf
+//! comparisons (`BENCH_*.json`).
 //!
 //! `ID` is one of: `table1 table2 table3 table4 table5 table6 table7 table8
 //! fig2 fig3 fig4 fig5 fig6 fig7 fig8 fig9 fig10 fig11 prediction backlog all`
@@ -50,12 +66,15 @@ struct Args {
     score: bool,
     metrics: Option<String>,
     threads: usize,
+    backend: String,
     bench_json: Option<String>,
     bench_baseline: Option<String>,
     digest: Option<String>,
+    snapshot_out: Option<String>,
+    snapshot_in: Option<String>,
 }
 
-fn parse_args() -> Result<Args, String> {
+fn parse_args(snapshot_mode: bool) -> Result<Args, String> {
     let mut args = Args {
         scenario: "paper".into(),
         seed: 1,
@@ -65,11 +84,14 @@ fn parse_args() -> Result<Args, String> {
         score: false,
         metrics: None,
         threads: 0,
+        backend: "columnar".into(),
         bench_json: None,
         bench_baseline: None,
         digest: None,
+        snapshot_out: None,
+        snapshot_in: None,
     };
-    let mut it = std::env::args().skip(1);
+    let mut it = std::env::args().skip(if snapshot_mode { 2 } else { 1 });
     while let Some(flag) = it.next() {
         match flag.as_str() {
             "--scenario" => {
@@ -107,11 +129,36 @@ fn parse_args() -> Result<Args, String> {
             "--digest" => {
                 args.digest = Some(it.next().ok_or("--digest needs a value")?);
             }
+            "--backend" => {
+                args.backend = it.next().ok_or("--backend needs a value")?;
+                if args.backend != "columnar" && args.backend != "row" {
+                    return Err(format!(
+                        "unknown backend {} (expected columnar|row)",
+                        args.backend
+                    ));
+                }
+            }
+            "--out" if snapshot_mode => {
+                args.snapshot_out = Some(it.next().ok_or("--out needs a value")?);
+            }
+            "--in" if snapshot_mode => {
+                args.snapshot_in = Some(it.next().ok_or("--in needs a value")?);
+            }
             "--help" | "-h" => {
-                return Err("usage: reproduce [--scenario paper|medium|small] [--seed N] [--experiment ID] [--markdown] [--metrics PATH] [--threads N] [--bench-json PATH] [--bench-baseline PATH] [--digest PATH]".into());
+                return Err(if snapshot_mode {
+                    "usage: reproduce snapshot (--out PATH | --in PATH) [reproduce flags]".into()
+                } else {
+                    "usage: reproduce [--scenario paper|medium|small] [--seed N] [--experiment ID] [--markdown] [--metrics PATH] [--threads N] [--backend columnar|row] [--bench-json PATH] [--bench-baseline PATH] [--digest PATH]".into()
+                });
             }
             other => return Err(format!("unknown flag {other}")),
         }
+    }
+    if snapshot_mode && args.snapshot_out.is_none() && args.snapshot_in.is_none() {
+        return Err("reproduce snapshot needs --out PATH or --in PATH".into());
+    }
+    if args.snapshot_out.is_some() && args.snapshot_in.is_some() {
+        return Err("--out and --in are mutually exclusive".into());
     }
     Ok(args)
 }
@@ -199,10 +246,15 @@ fn serve_main(mut it: impl Iterator<Item = String>) -> ExitCode {
     let mut addr = "127.0.0.1:8620".to_string();
     let mut workers = 4usize;
     let mut cache_entries = 8usize;
+    let mut snapshot: Option<String> = None;
     while let Some(flag) = it.next() {
         let parsed = match flag.as_str() {
             "--addr" => it.next().map(|v| {
                 addr = v;
+                Ok(())
+            }),
+            "--snapshot" => it.next().map(|v| {
+                snapshot = Some(v);
                 Ok(())
             }),
             "--workers" => it
@@ -215,7 +267,7 @@ fn serve_main(mut it: impl Iterator<Item = String>) -> ExitCode {
             }),
             "--help" | "-h" => {
                 eprintln!(
-                    "usage: reproduce serve [--addr HOST:PORT] [--workers N] [--cache-entries N]"
+                    "usage: reproduce serve [--addr HOST:PORT] [--workers N] [--cache-entries N] [--snapshot PATH]"
                 );
                 return ExitCode::FAILURE;
             }
@@ -246,11 +298,15 @@ fn serve_main(mut it: impl Iterator<Item = String>) -> ExitCode {
     }
 
     let metrics = MetricsRegistry::new();
-    let config = dcf_serve::ServeConfig::default()
+    let mut config = dcf_serve::ServeConfig::default()
         .addr(&addr)
         .workers(workers)
         .cache_entries(cache_entries)
         .metrics(&metrics);
+    if let Some(path) = &snapshot {
+        config = config.snapshot(path);
+        eprintln!("preloading snapshot {path} as scenario 'snapshot'");
+    }
     let server = match dcf_serve::Server::start(config) {
         Ok(s) => s,
         Err(e) => {
@@ -286,28 +342,25 @@ fn serve_main(mut it: impl Iterator<Item = String>) -> ExitCode {
 }
 
 fn main() -> ExitCode {
+    let mut snapshot_mode = false;
     {
         let mut raw = std::env::args().skip(1);
-        if raw.next().as_deref() == Some("serve") {
-            return serve_main(raw);
+        match raw.next().as_deref() {
+            Some("serve") => return serve_main(raw),
+            Some("snapshot") => snapshot_mode = true,
+            _ => {}
         }
     }
-    let args = match parse_args() {
+    let mut args = match parse_args(snapshot_mode) {
         Ok(a) => a,
         Err(msg) => {
             eprintln!("{msg}");
             return ExitCode::FAILURE;
         }
     };
-    let scenario = match args.scenario.as_str() {
-        "paper" => Scenario::paper(),
-        "medium" => Scenario::medium(),
-        "small" => Scenario::small(),
-        other => {
-            eprintln!("unknown scenario {other} (expected paper|medium|small)");
-            return ExitCode::FAILURE;
-        }
-    };
+    if args.snapshot_in.is_some() {
+        args.scenario = "snapshot".into();
+    }
 
     let registry = if args.metrics.is_some() || args.bench_json.is_some() {
         MetricsRegistry::new()
@@ -315,34 +368,82 @@ fn main() -> ExitCode {
         MetricsRegistry::disabled()
     };
 
-    eprintln!(
-        "running scenario '{}' (seed {}) — {} servers, {}-day window…",
-        scenario.name, args.seed, scenario.config.fleet.servers, scenario.config.fleet.window_days
-    );
+    let mut trace = if let Some(path) = &args.snapshot_in {
+        let t0 = std::time::Instant::now();
+        let span = registry.phase("trace.snapshot_load");
+        let trace = match io::snapshot::read_snapshot(path) {
+            Ok(t) => t,
+            Err(e) => {
+                eprintln!("cannot load snapshot {path}: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        drop(span);
+        eprintln!(
+            "loaded {} FOTs from snapshot {path} in {:?}; running analyses…\n",
+            trace.len(),
+            t0.elapsed()
+        );
+        trace
+    } else {
+        let scenario = match args.scenario.as_str() {
+            "paper" => Scenario::paper(),
+            "medium" => Scenario::medium(),
+            "small" => Scenario::small(),
+            other => {
+                eprintln!("unknown scenario {other} (expected paper|medium|small)");
+                return ExitCode::FAILURE;
+            }
+        };
+        eprintln!(
+            "running scenario '{}' (seed {}) — {} servers, {}-day window…",
+            scenario.name,
+            args.seed,
+            scenario.config.fleet.servers,
+            scenario.config.fleet.window_days
+        );
+        let t0 = std::time::Instant::now();
+        let trace = match scenario
+            .seed(args.seed)
+            .engine_threads(args.threads)
+            .simulate(&RunOptions::new().metrics(&registry))
+        {
+            Ok(t) => t,
+            Err(e) => {
+                eprintln!("simulation failed: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        eprintln!(
+            "generated {} FOTs in {:?}; running analyses…\n",
+            trace.len(),
+            t0.elapsed()
+        );
+        trace
+    };
+    trace.set_columnar(args.backend == "columnar");
     let run = RunShape {
-        servers: scenario.config.fleet.servers as u64,
-        window_days: scenario.config.fleet.window_days,
+        servers: trace.servers().len() as u64,
+        window_days: trace.info().days,
     };
-    let t0 = std::time::Instant::now();
-    let trace = match scenario
-        .seed(args.seed)
-        .engine_threads(args.threads)
-        .simulate(&RunOptions::new().metrics(&registry))
-    {
-        Ok(t) => t,
-        Err(e) => {
-            eprintln!("simulation failed: {e}");
-            return ExitCode::FAILURE;
-        }
-    };
-    eprintln!(
-        "generated {} FOTs in {:?}; running analyses…\n",
-        trace.len(),
-        t0.elapsed()
-    );
     if let Err(msg) = write_digest(&args, &trace) {
         eprintln!("{msg}");
         return ExitCode::FAILURE;
+    }
+    if let Some(path) = &args.snapshot_out {
+        let span = registry.phase("trace.snapshot_write");
+        if let Err(e) = io::snapshot::write_snapshot(&trace, path) {
+            eprintln!("cannot write snapshot {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+        drop(span);
+        let size = std::fs::metadata(path).map(|m| m.len()).unwrap_or(0);
+        eprintln!(
+            "snapshot written to {path} ({size} bytes, {} FOTs, digest {:016x})",
+            trace.len(),
+            io::fots_digest(trace.fots())
+        );
+        return finish(&args, &registry, run, trace.len() as u64);
     }
     registry.set_gauge("trace.fots", trace.len() as f64);
     let study = FailureStudy::new(&trace);

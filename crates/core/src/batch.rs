@@ -65,15 +65,29 @@ impl<'a> Batch<'a> {
 
     /// Daily failure counts of one class over the observation window.
     ///
-    /// Walks only the class's bucket of the trace index, not every ticket.
+    /// Walks only the class's bucket of the trace index, not every ticket;
+    /// columnar, that bucket gathers straight from the error-day column.
     pub fn daily_counts(&self, class: ComponentClass) -> Vec<usize> {
         let start_day = self.trace.info().start.day_index();
         let days = self.trace.info().days as usize;
         let mut counts = vec![0usize; days];
-        for fot in self.trace.failures_of(class) {
-            let d = (fot.error_time.day_index() - start_day) as usize;
-            if d < days {
-                counts[d] += 1;
+        match self.trace.columns() {
+            Some(cols) => {
+                let day_col = cols.error_days();
+                for &p in self.trace.index().class_failure_ids(class) {
+                    let d = (day_col[p as usize] as u64 - start_day) as usize;
+                    if d < days {
+                        counts[d] += 1;
+                    }
+                }
+            }
+            None => {
+                for fot in self.trace.failures_of(class) {
+                    let d = (fot.error_time.day_index() - start_day) as usize;
+                    if d < days {
+                        counts[d] += 1;
+                    }
+                }
             }
         }
         counts

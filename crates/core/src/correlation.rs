@@ -86,6 +86,9 @@ impl<'a> Correlation<'a> {
     /// count with a class-index tiebreak so the output is deterministic
     /// regardless of hash-map iteration order.
     pub fn component_pairs(&self) -> CorrelatedComponents {
+        if let Some(cols) = self.trace.columns() {
+            return self.component_pairs_columnar(cols);
+        }
         // (server, day) → set of classes (bitmask over the 11 classes).
         let mut day_classes: HashMap<(ServerId, u64), u16> = HashMap::new();
         let mut ever_failed: HashMap<ServerId, ()> = HashMap::new();
@@ -135,6 +138,96 @@ impl<'a> Correlation<'a> {
             pairs,
             servers_with_pairs: servers_with_pairs.len(),
             pair_server_share: servers_with_pairs.len() as f64 / ever_failed.len().max(1) as f64,
+            misc_involved_share: incidents_with_misc as f64 / incidents.max(1) as f64,
+        }
+    }
+
+    /// Columnar [`Correlation::component_pairs`] kernel: the two hash maps
+    /// become one sort of `(server << 32 | day, class bit)` entries. After
+    /// sorting, every `(server, day)` cell is a contiguous run whose masks
+    /// OR together, runs are grouped by server (ever-failed tally = server
+    /// changes), and the dense 11×11 pair table replaces the pair map. The
+    /// final sort comparator is a total order identical to the row path's,
+    /// so the output is byte-identical.
+    fn component_pairs_columnar(&self, cols: &dcf_trace::FotColumns) -> CorrelatedComponents {
+        let servers = cols.servers();
+        let days = cols.error_days();
+        let classes = cols.classes();
+        let ids = self.trace.index().failure_ids();
+        let mut entries: Vec<(u64, u16)> = Vec::with_capacity(ids.len());
+        for &p in ids {
+            let i = p as usize;
+            entries.push(((servers[i] as u64) << 32 | days[i] as u64, 1 << classes[i]));
+        }
+        entries.sort_unstable();
+
+        let mut pair_counts = [[0usize; 11]; 11];
+        let mut incidents_with_misc = 0usize;
+        let mut incidents = 0usize;
+        let mut ever_failed = 0usize;
+        let mut servers_with_pairs = 0usize;
+        let mut last_server = u64::MAX;
+        let mut last_pair_server = u64::MAX;
+        let misc_bit = 1u16 << ComponentClass::Miscellaneous.index();
+        let mut i = 0;
+        while i < entries.len() {
+            let key = entries[i].0;
+            let mut mask = 0u16;
+            let mut j = i;
+            while j < entries.len() && entries[j].0 == key {
+                mask |= entries[j].1;
+                j += 1;
+            }
+            let server = key >> 32;
+            if server != last_server {
+                ever_failed += 1;
+                last_server = server;
+            }
+            if mask.count_ones() >= 2 {
+                incidents += 1;
+                if server != last_pair_server {
+                    servers_with_pairs += 1;
+                    last_pair_server = server;
+                }
+                if mask & misc_bit != 0 {
+                    incidents_with_misc += 1;
+                }
+                for (a, row) in pair_counts.iter_mut().enumerate() {
+                    if mask & (1 << a) == 0 {
+                        continue;
+                    }
+                    for (b, cell) in row.iter_mut().enumerate().skip(a + 1) {
+                        if mask & (1 << b) != 0 {
+                            *cell += 1;
+                        }
+                    }
+                }
+            }
+            i = j;
+        }
+
+        let mut pairs: Vec<PairCount> = Vec::new();
+        for (a, row) in pair_counts.iter().enumerate() {
+            for (b, &count) in row.iter().enumerate().skip(a + 1) {
+                if count > 0 {
+                    pairs.push(PairCount {
+                        a: ComponentClass::ALL[a],
+                        b: ComponentClass::ALL[b],
+                        count,
+                    });
+                }
+            }
+        }
+        pairs.sort_by(|x, y| {
+            y.count
+                .cmp(&x.count)
+                .then_with(|| (x.a, x.b).cmp(&(y.a, y.b)))
+        });
+
+        CorrelatedComponents {
+            pairs,
+            servers_with_pairs,
+            pair_server_share: servers_with_pairs as f64 / ever_failed.max(1) as f64,
             misc_involved_share: incidents_with_misc as f64 / incidents.max(1) as f64,
         }
     }

@@ -95,16 +95,44 @@ impl<'a> Lifecycle<'a> {
     /// Lifecycle profiles for every component class.
     ///
     /// Failure ages are tallied per class straight off the trace index's
-    /// class buckets, so each class touches only its own tickets.
+    /// class buckets, so each class touches only its own tickets — or,
+    /// columnar, in one pass over the failure population with deploy times
+    /// gathered into a dense array up front.
     pub fn all(&self) -> Vec<LifecycleResult> {
         let mut failures = vec![vec![0u64; AGE_MONTHS]; 11];
-        for &class in ComponentClass::ALL.iter() {
-            let tally = &mut failures[class.index()];
-            for fot in self.trace.failures_of(class) {
-                let server = self.trace.server(fot.server);
-                let age = fot.error_time.since(server.deploy_time).as_secs() / SECS_PER_MONTH;
-                if (age as usize) < AGE_MONTHS {
-                    tally[age as usize] += 1;
+        match self.trace.columns() {
+            Some(cols) => {
+                let deploys: Vec<u64> = self
+                    .trace
+                    .servers()
+                    .iter()
+                    .map(|s| s.deploy_time.as_secs())
+                    .collect();
+                let servers = cols.servers();
+                let classes = cols.classes();
+                for &p in self.trace.index().failure_ids() {
+                    let i = p as usize;
+                    // saturating_sub matches SimTime::since's clamp to zero.
+                    let age = cols
+                        .error_secs(i)
+                        .saturating_sub(deploys[servers[i] as usize])
+                        / SECS_PER_MONTH;
+                    if (age as usize) < AGE_MONTHS {
+                        failures[classes[i] as usize][age as usize] += 1;
+                    }
+                }
+            }
+            None => {
+                for &class in ComponentClass::ALL.iter() {
+                    let tally = &mut failures[class.index()];
+                    for fot in self.trace.failures_of(class) {
+                        let server = self.trace.server(fot.server);
+                        let age =
+                            fot.error_time.since(server.deploy_time).as_secs() / SECS_PER_MONTH;
+                        if (age as usize) < AGE_MONTHS {
+                            tally[age as usize] += 1;
+                        }
+                    }
                 }
             }
         }

@@ -96,11 +96,21 @@ impl<'a> Response<'a> {
 
     /// RT in days for every responded ticket of `category`.
     pub fn rts_of_category(&self, category: FotCategory) -> Vec<f64> {
-        self.trace
-            .in_category(category)
-            .filter_map(|f| f.response_time())
-            .map(|d| d.as_days_f64())
-            .collect()
+        match self.trace.columns() {
+            Some(cols) => self
+                .trace
+                .index()
+                .category_ids(category)
+                .iter()
+                .filter_map(|&p| cols.response_days(p as usize))
+                .collect(),
+            None => self
+                .trace
+                .in_category(category)
+                .filter_map(|f| f.response_time())
+                .map(|d| d.as_days_f64())
+                .collect(),
+        }
     }
 
     /// Figure 9: RT statistics for one category (`D_fixing` or
@@ -131,18 +141,38 @@ impl<'a> Response<'a> {
     /// tickets; classes without enough responses are omitted.
     ///
     /// Walks the trace's responded-ticket bucket once per class rather than
-    /// re-scanning every ticket.
+    /// re-scanning every ticket — or, columnar, a single demultiplexing pass
+    /// over the responded population that splits RTs by class tag. Both
+    /// orders are the ticket time order, so results are identical.
     pub fn rt_by_class(&self, min_n: usize) -> Vec<(ComponentClass, RtStats)> {
+        let per_class: Vec<Vec<f64>> = match self.trace.columns() {
+            Some(cols) => {
+                let classes = cols.classes();
+                let mut per_class = vec![Vec::new(); ComponentClass::ALL.len()];
+                for &p in self.trace.index().responded_ids() {
+                    let i = p as usize;
+                    if let Some(rt) = cols.response_days(i) {
+                        per_class[classes[i] as usize].push(rt);
+                    }
+                }
+                per_class
+            }
+            None => ComponentClass::ALL
+                .iter()
+                .map(|&class| {
+                    self.trace
+                        .responded()
+                        .filter(|f| f.device == class)
+                        .filter_map(|f| f.response_time())
+                        .map(|d| d.as_days_f64())
+                        .collect()
+                })
+                .collect(),
+        };
         ComponentClass::ALL
             .iter()
-            .filter_map(|&class| {
-                let rts: Vec<f64> = self
-                    .trace
-                    .responded()
-                    .filter(|f| f.device == class)
-                    .filter_map(|f| f.response_time())
-                    .map(|d| d.as_days_f64())
-                    .collect();
+            .zip(per_class)
+            .filter_map(|(&class, rts)| {
                 if rts.len() < min_n {
                     return None;
                 }

@@ -106,21 +106,33 @@ impl<'a> Skew<'a> {
     /// Figure 7's concentration data.
     ///
     /// Per-server failure counts are the sizes of the trace index's
-    /// per-server ticket buckets (filtered to failures), so no hash map is
-    /// built and the result is independent of ticket order.
+    /// per-server ticket buckets (filtered to failures) — or, columnar, one
+    /// counting pass over the server-id column of the failure population.
+    /// Either way no hash map is built and the result is independent of
+    /// ticket order.
     pub fn concentration(&self) -> ConcentrationResult {
-        let mut counts_desc: Vec<u32> = self
-            .trace
-            .servers()
-            .iter()
-            .map(|s| {
-                self.trace
-                    .fots_of_server(s.id)
-                    .filter(|f| f.is_failure())
-                    .count() as u32
-            })
-            .filter(|&c| c > 0)
-            .collect();
+        let mut counts_desc: Vec<u32> = match self.trace.columns() {
+            Some(cols) => {
+                let servers = cols.servers();
+                let mut counts = vec![0u32; self.trace.servers().len()];
+                for &p in self.trace.index().failure_ids() {
+                    counts[servers[p as usize] as usize] += 1;
+                }
+                counts.into_iter().filter(|&c| c > 0).collect()
+            }
+            None => self
+                .trace
+                .servers()
+                .iter()
+                .map(|s| {
+                    self.trace
+                        .fots_of_server(s.id)
+                        .filter(|f| f.is_failure())
+                        .count() as u32
+                })
+                .filter(|&c| c > 0)
+                .collect(),
+        };
         counts_desc.sort_unstable_by(|a, b| b.cmp(a));
         let total: usize = counts_desc.iter().map(|&c| c as usize).sum();
         ConcentrationResult {
@@ -134,6 +146,9 @@ impl<'a> Skew<'a> {
 
     /// Repeating-failure statistics.
     pub fn repeats(&self) -> RepeatStats {
+        if let Some(cols) = self.trace.columns() {
+            return self.repeats_columnar(cols);
+        }
         // component key → (failure occurrences, had a D_fixing ticket)
         let mut components: HashMap<(ServerId, u8, u8, u8), (u32, bool)> = HashMap::new();
         let mut failed_servers: HashMap<ServerId, bool> = HashMap::new();
@@ -168,6 +183,71 @@ impl<'a> Skew<'a> {
             never_repeat_share: 1.0 - repeating as f64 / fixed.max(1) as f64,
             servers_with_repeats,
             repeat_server_share: servers_with_repeats as f64 / failed_servers.len().max(1) as f64,
+        }
+    }
+
+    /// Columnar [`Skew::repeats`] kernel: the per-component hash map
+    /// becomes a packed-integer sort. Each failure packs its component key
+    /// `(server, class, slot, type)` into the high bits of a `u64` with the
+    /// `D_fixing` flag in the LSB; after sorting, every component is a
+    /// contiguous run (sorted by server, so distinct-server tallies are run
+    /// boundaries too) and the run's last element carries the flag.
+    fn repeats_columnar(&self, cols: &dcf_trace::FotColumns) -> RepeatStats {
+        let ids = self.trace.index().failure_ids();
+        let servers = cols.servers();
+        let classes = cols.classes();
+        let slots = cols.device_slots();
+        let types = cols.failure_types();
+        let categories = cols.categories();
+        let mut keys: Vec<u64> = Vec::with_capacity(ids.len());
+        for &p in ids {
+            let i = p as usize;
+            let key = (servers[i] as u64) << 24
+                | (classes[i] as u64) << 16
+                | (slots[i] as u64) << 8
+                | types[i] as u64;
+            keys.push(key << 1 | (categories[i] == dcf_trace::columns::FIXING_TAG) as u64);
+        }
+        keys.sort_unstable();
+
+        let mut fixed = 0usize;
+        let mut repeating = 0usize;
+        let mut failed_servers = 0usize;
+        let mut servers_with_repeats = 0usize;
+        let mut last_server = u64::MAX;
+        let mut last_repeat_server = u64::MAX;
+        let mut i = 0;
+        while i < keys.len() {
+            let component = keys[i] >> 1;
+            let mut j = i + 1;
+            while j < keys.len() && keys[j] >> 1 == component {
+                j += 1;
+            }
+            let server = component >> 24;
+            if server != last_server {
+                failed_servers += 1;
+                last_server = server;
+            }
+            // Entries sort by (component, flag), so the run's last element
+            // is flagged iff any D_fixing ticket touched the component.
+            if keys[j - 1] & 1 == 1 {
+                fixed += 1;
+                if j - i >= 2 {
+                    repeating += 1;
+                    if server != last_repeat_server {
+                        servers_with_repeats += 1;
+                        last_repeat_server = server;
+                    }
+                }
+            }
+            i = j;
+        }
+        RepeatStats {
+            fixed_components: fixed,
+            repeating_components: repeating,
+            never_repeat_share: 1.0 - repeating as f64 / fixed.max(1) as f64,
+            servers_with_repeats,
+            repeat_server_share: servers_with_repeats as f64 / failed_servers.max(1) as f64,
         }
     }
 }

@@ -102,18 +102,56 @@ impl<'a> Spatial<'a> {
                 // spans data centers (the key includes its server), so
                 // per-DC dedup sets match one global set.
                 let mut failures = vec![0usize; max_pos];
-                let mut seen: HashSet<(u32, u8, u8, u8)> = HashSet::new();
-                for fot in self.trace.failures_in_dc(dc.id) {
-                    let key = (
-                        fot.server.raw(),
-                        fot.device.index() as u8,
-                        fot.device_slot,
-                        crate::skew_type_tag(fot.failure_type),
-                    );
-                    if !seen.insert(key) {
-                        continue;
+                match self.trace.columns() {
+                    // Columnar kernel: the dedup hash set becomes a sort of
+                    // packed (component key, row) pairs. Rows are appended
+                    // in ascending (= time) order, so after sorting, the
+                    // first pair of each key run is the earliest occurrence
+                    // — exactly the ticket the hash set would have kept.
+                    Some(cols) => {
+                        let servers = cols.servers();
+                        let classes = cols.classes();
+                        let slots = cols.device_slots();
+                        let types = cols.failure_types();
+                        let mut keyed: Vec<(u64, u32)> = self
+                            .trace
+                            .index()
+                            .dc_failure_ids(dc.id)
+                            .iter()
+                            .map(|&p| {
+                                let f = p as usize;
+                                let key = (servers[f] as u64) << 24
+                                    | (classes[f] as u64) << 16
+                                    | (slots[f] as u64) << 8
+                                    | types[f] as u64;
+                                (key, p)
+                            })
+                            .collect();
+                        keyed.sort_unstable();
+                        let mut prev = u64::MAX; // keys use < 57 bits
+                        for &(key, p) in &keyed {
+                            if key == prev {
+                                continue;
+                            }
+                            prev = key;
+                            failures[cols.rack_positions()[p as usize] as usize] += 1;
+                        }
                     }
-                    failures[fot.rack_position.index()] += 1;
+                    None => {
+                        let mut seen: HashSet<(u32, u8, u8, u8)> = HashSet::new();
+                        for fot in self.trace.failures_in_dc(dc.id) {
+                            let key = (
+                                fot.server.raw(),
+                                fot.device.index() as u8,
+                                fot.device_slot,
+                                crate::skew_type_tag(fot.failure_type),
+                            );
+                            if !seen.insert(key) {
+                                continue;
+                            }
+                            failures[fot.rack_position.index()] += 1;
+                        }
+                    }
                 }
                 let positions: Vec<PositionStat> = (0..dc.rack_positions as usize)
                     .filter(|&p| servers[i][p] > 0)

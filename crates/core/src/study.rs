@@ -111,9 +111,10 @@ impl<'a> FailureStudy<'a> {
     /// Runs every section and collects the headline metrics under
     /// `options`: `options.threads` schedules the six independent sections
     /// over a crossbeam scope, and `options.metrics` records one detached
-    /// `study.<section>` span per section (plus `study.index` for the
-    /// up-front index build and `study.sections` for the scheduler's wall
-    /// time) along with a `study.fots.analyzed` counter.
+    /// `study.<section>` span per section (plus `study.index` and
+    /// `trace.build_columns` for the up-front index/column builds and
+    /// `study.sections` for the scheduler's wall time) along with a
+    /// `study.fots.analyzed` counter.
     ///
     /// The report is byte-identical for every thread count and metrics
     /// setting — see [`StudyOptions`].
@@ -128,6 +129,12 @@ impl<'a> FailureStudy<'a> {
             if !self.trace.scan_only() {
                 let _ = self.trace.index();
             }
+        }
+        {
+            // Same for the columnar store: a no-op when the trace runs
+            // row-only (or scan-only), a single build otherwise.
+            let _span = metrics.phase("trace.build_columns");
+            let _ = self.trace.columns();
         }
         let workers = options.threads.clamp(1, SECTION_NAMES.len());
         metrics.set_gauge("study.threads", workers as f64);
@@ -536,11 +543,11 @@ mod tests {
                 report.gauge("study.threads"),
                 Some(threads.min(super::SECTION_COUNT) as f64)
             );
-            for name in super::SECTION_NAMES
-                .iter()
-                .copied()
-                .chain(["study.index", "study.sections"])
-            {
+            for name in super::SECTION_NAMES.iter().copied().chain([
+                "study.index",
+                "trace.build_columns",
+                "study.sections",
+            ]) {
                 assert!(report.phase_ms(name).is_some(), "missing span {name}");
             }
         }

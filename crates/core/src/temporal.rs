@@ -18,7 +18,9 @@ use serde::{Deserialize, Serialize};
 
 use dcf_stats::chi_square::{against_expected, ChiSquareOutcome};
 use dcf_stats::{fit, Ecdf, Fitted, StatsError};
-use dcf_trace::{ComponentClass, DataCenterId, Fot, FotIter, Trace, Weekday};
+use dcf_trace::{
+    ComponentClass, DataCenterId, Fot, FotColumns, FotIter, Trace, Weekday, SECS_PER_HOUR,
+};
 
 /// Result of the day-of-week analysis for one failure population.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -106,6 +108,19 @@ impl<'a> Temporal<'a> {
         }
     }
 
+    /// Columnar view of the same population: the column store plus the
+    /// population's index positions (which double as column row indices).
+    /// `None` when the columnar backend is disabled.
+    fn columnar(&self, class: Option<ComponentClass>) -> Option<(&'a FotColumns, &'a [u32])> {
+        let cols = self.trace.columns()?;
+        let index = self.trace.index();
+        let ids = match class {
+            None => index.failure_ids(),
+            Some(class) => index.class_failure_ids(class),
+        };
+        Some((cols, ids))
+    }
+
     /// Figure 3 / Hypothesis 1 for one class (`None` = all classes).
     ///
     /// # Errors
@@ -116,8 +131,22 @@ impl<'a> Temporal<'a> {
         class: Option<ComponentClass>,
     ) -> Result<DayOfWeekResult, StatsError> {
         let mut counts = [0usize; 7];
-        for fot in self.population(class) {
-            counts[fot.error_time.weekday().index()] += 1;
+        match self.columnar(class) {
+            // Columnar kernel: the weekday of row `i` is a pure function of
+            // its error-day column entry, so the tally streams one dense
+            // `u32` column instead of whole tickets.
+            Some((cols, ids)) => {
+                let origin = dcf_trace::ORIGIN_WEEKDAY.index() as u64;
+                let days = cols.error_days();
+                for &p in ids {
+                    counts[((origin + days[p as usize] as u64) % 7) as usize] += 1;
+                }
+            }
+            None => {
+                for fot in self.population(class) {
+                    counts[fot.error_time.weekday().index()] += 1;
+                }
+            }
         }
         let total: usize = counts.iter().sum();
         let denom = total.max(1) as f64;
@@ -162,8 +191,20 @@ impl<'a> Temporal<'a> {
         class: Option<ComponentClass>,
     ) -> Result<HourOfDayResult, StatsError> {
         let mut counts = [0usize; 24];
-        for fot in self.population(class) {
-            counts[fot.error_time.hour_of_day() as usize] += 1;
+        match self.columnar(class) {
+            // Columnar kernel: hour-of-day is second-of-day / 3600, one
+            // dense column.
+            Some((cols, ids)) => {
+                let sods = cols.error_sods();
+                for &p in ids {
+                    counts[(sods[p as usize] as u64 / SECS_PER_HOUR) as usize] += 1;
+                }
+            }
+            None => {
+                for fot in self.population(class) {
+                    counts[fot.error_time.hour_of_day() as usize] += 1;
+                }
+            }
         }
         let total: usize = counts.iter().sum();
         let denom = total.max(1) as f64;
@@ -195,13 +236,46 @@ impl<'a> Temporal<'a> {
         gaps
     }
 
+    /// Columnar twin of [`Temporal::gaps_minutes`]: reconstructs the same
+    /// timestamps (day · 86400 + second-of-day) from the two error-time
+    /// columns, so the produced gaps are bit-identical.
+    fn gaps_minutes_cols(cols: &FotColumns, ids: &[u32]) -> Vec<f64> {
+        let mut last: Option<u64> = None;
+        let mut gaps = Vec::with_capacity(ids.len().saturating_sub(1));
+        for &p in ids {
+            let t = cols.error_secs(p as usize);
+            if let Some(prev) = last {
+                let secs = (t - prev) as f64;
+                gaps.push(secs.max(0.5) / 60.0);
+            }
+            last = Some(t);
+        }
+        gaps
+    }
+
+    /// Failure gaps for one class population, columnar when available.
+    fn gaps_of(&self, class: Option<ComponentClass>) -> Vec<f64> {
+        match self.columnar(class) {
+            Some((cols, ids)) => Self::gaps_minutes_cols(cols, ids),
+            None => Self::gaps_minutes(self.population(class)),
+        }
+    }
+
+    /// Failure gaps inside one data center, columnar when available.
+    fn gaps_of_dc(&self, dc: DataCenterId) -> Vec<f64> {
+        match self.trace.columns() {
+            Some(cols) => Self::gaps_minutes_cols(cols, self.trace.index().dc_failure_ids(dc)),
+            None => Self::gaps_minutes(self.trace.failures_in_dc(dc)),
+        }
+    }
+
     /// Figure 5 / Hypothesis 3: TBF over all component failures.
     ///
     /// # Errors
     ///
     /// Fails when there are fewer than ~100 gaps to fit.
     pub fn tbf_all(&self) -> Result<TbfResult, StatsError> {
-        self.tbf_from_gaps(Self::gaps_minutes(self.trace.failures()))
+        self.tbf_from_gaps(self.gaps_of(None))
     }
 
     /// Hypothesis 4: TBF of one component class.
@@ -210,7 +284,7 @@ impl<'a> Temporal<'a> {
     ///
     /// Fails when there are fewer than ~100 gaps to fit.
     pub fn tbf_of_class(&self, class: ComponentClass) -> Result<TbfResult, StatsError> {
-        self.tbf_from_gaps(Self::gaps_minutes(self.trace.failures_of(class)))
+        self.tbf_from_gaps(self.gaps_of(Some(class)))
     }
 
     /// TBF restricted to one data center (for the paper's per-DC MTBF
@@ -220,7 +294,7 @@ impl<'a> Temporal<'a> {
     ///
     /// Fails when there are fewer than ~100 gaps to fit.
     pub fn tbf_of_dc(&self, dc: DataCenterId) -> Result<TbfResult, StatsError> {
-        self.tbf_from_gaps(Self::gaps_minutes(self.trace.failures_in_dc(dc)))
+        self.tbf_from_gaps(self.gaps_of_dc(dc))
     }
 
     /// MTBF (minutes) per data center, for DCs with at least `min_gaps`
@@ -233,7 +307,7 @@ impl<'a> Temporal<'a> {
             .data_centers()
             .iter()
             .filter_map(|dc| {
-                let gaps = Self::gaps_minutes(self.trace.failures_in_dc(dc.id));
+                let gaps = self.gaps_of_dc(dc.id);
                 if gaps.len() < min_gaps {
                     return None;
                 }
@@ -250,7 +324,7 @@ impl<'a> Temporal<'a> {
     ///
     /// Fails on an empty population.
     pub fn tbf_ecdf(&self, max_points: usize) -> Result<Vec<(f64, f64)>, StatsError> {
-        let e = Ecdf::new(Self::gaps_minutes(self.trace.failures()))?;
+        let e = Ecdf::new(self.gaps_of(None))?;
         Ok(e.sampled_points(max_points))
     }
 
@@ -274,10 +348,25 @@ impl<'a> Temporal<'a> {
         let start_day = self.trace.info().start.day_index();
         let days = self.trace.info().days as usize;
         let mut per_day_hour = vec![[0u32; 24]; days];
-        for fot in self.population(class) {
-            let d = (fot.error_time.day_index() - start_day) as usize;
-            if d < days {
-                per_day_hour[d][fot.error_time.hour_of_day() as usize] += 1;
+        match self.columnar(class) {
+            Some((cols, ids)) => {
+                let day_col = cols.error_days();
+                let sod_col = cols.error_sods();
+                for &p in ids {
+                    let i = p as usize;
+                    let d = (day_col[i] as u64 - start_day) as usize;
+                    if d < days {
+                        per_day_hour[d][(sod_col[i] as u64 / SECS_PER_HOUR) as usize] += 1;
+                    }
+                }
+            }
+            None => {
+                for fot in self.population(class) {
+                    let d = (fot.error_time.day_index() - start_day) as usize;
+                    if d < days {
+                        per_day_hour[d][fot.error_time.hour_of_day() as usize] += 1;
+                    }
+                }
             }
         }
         // Drop batch days before aggregating.

@@ -80,8 +80,8 @@ impl FailureRates {
     /// The calibrated preset used by the paper scenario.
     pub fn calibrated() -> Self {
         let mut base = [0.0; 11];
-        base[ComponentClass::Hdd.index()] = 2.02e-3;
-        base[ComponentClass::Miscellaneous.index()] = 3.58e-3; // per server
+        base[ComponentClass::Hdd.index()] = 2.18e-3;
+        base[ComponentClass::Miscellaneous.index()] = 3.34e-3; // per server
         base[ComponentClass::Memory.index()] = 0.92e-4;
         base[ComponentClass::Power.index()] = 3.40e-4;
         base[ComponentClass::RaidCard.index()] = 8.6e-4;

@@ -9,8 +9,13 @@
 use crate::json;
 use crate::report::RunReport;
 
-/// Engine phase-span prefix pulled into the summary.
+/// Engine phase-span prefix; phases under it drive the throughput figures.
 const ENGINE_PREFIX: &str = "engine.";
+
+/// Phase-span prefixes pulled into the summary: the simulation engine,
+/// the analysis sections (`study.*`), and the trace-backend phases
+/// (`trace.build_columns`, `trace.snapshot_write`, `trace.snapshot_load`).
+const PHASE_PREFIXES: [&str; 3] = [ENGINE_PREFIX, "study.", "trace."];
 
 /// A benchmark snapshot of one instrumented simulation run: scenario,
 /// thread count, per-phase engine wall-clock, and derived throughput.
@@ -36,8 +41,8 @@ pub struct BenchSummary {
     pub window_days: u64,
     /// Tickets in the produced trace (`sim.tickets.total`).
     pub tickets: u64,
-    /// `(phase name, wall-clock ms)` for every `engine.*` span, in report
-    /// order (first occurrence of each name).
+    /// `(phase name, wall-clock ms)` for every `engine.*`, `study.*`, and
+    /// `trace.*` span, in report order (first occurrence of each name).
     pub phases: Vec<(String, f64)>,
     /// Servers simulated per second of total engine wall-clock (`0` when
     /// no engine time was recorded).
@@ -69,12 +74,19 @@ impl BenchSummary {
     ) -> Self {
         let mut phases: Vec<(String, f64)> = Vec::new();
         for span in &report.phases {
-            if span.name.starts_with(ENGINE_PREFIX) && !phases.iter().any(|(n, _)| *n == span.name)
+            if PHASE_PREFIXES.iter().any(|p| span.name.starts_with(p))
+                && !phases.iter().any(|(n, _)| *n == span.name)
             {
                 phases.push((span.name.clone(), span.duration_ms()));
             }
         }
-        let total_ms: f64 = phases.iter().map(|(_, ms)| ms).sum();
+        // Throughput stays an engine metric: analysis/trace spans measure
+        // different work and must not dilute servers/s across PRs.
+        let total_ms: f64 = phases
+            .iter()
+            .filter(|(n, _)| n.starts_with(ENGINE_PREFIX))
+            .map(|(_, ms)| ms)
+            .sum();
         let per_sec = |count: u64| {
             if total_ms > 0.0 {
                 count as f64 / (total_ms / 1000.0)
@@ -98,7 +110,7 @@ impl BenchSummary {
         }
     }
 
-    /// Attaches a baseline run: for every measured `engine.*` phase also
+    /// Attaches a baseline run: for every measured phase also
     /// present in `baseline`, records the baseline duration and the
     /// speedup `baseline_ms / measured_ms` (skipped when the measured
     /// phase took no time).
@@ -196,7 +208,9 @@ mod tests {
                 span("engine.global", 500),
                 span("engine.per_server", per_server_us),
                 span("engine.assembly", assembly_us),
-                span("study.index", 9_999), // non-engine spans are ignored
+                span("trace.build_columns", 250),
+                span("study.sections", 9_999),
+                span("report.render", 123), // unknown prefixes are ignored
             ],
             counters: vec![("sim.tickets.total".into(), 400)],
             gauges: vec![("engine.threads".into(), 4.0)],
@@ -213,10 +227,13 @@ mod tests {
                 "engine.fleet_build",
                 "engine.global",
                 "engine.per_server",
-                "engine.assembly"
+                "engine.assembly",
+                "trace.build_columns",
+                "study.sections"
             ]
         );
-        // 10 ms of engine wall-clock: 100 servers → 10k servers/s.
+        // 10 ms of engine wall-clock (study/trace spans do not count
+        // toward throughput): 100 servers → 10k servers/s.
         assert!((s.servers_per_sec - 10_000.0).abs() < 1e-9);
         assert!((s.tickets_per_sec - 40_000.0).abs() < 1e-9);
     }
@@ -262,7 +279,9 @@ mod tests {
         ] {
             assert!(json.contains(key), "missing {key} in {json}");
         }
-        assert!(!json.contains("study.index"), "non-engine span leaked");
+        assert!(json.contains("study.sections"), "study span missing");
+        assert!(json.contains("trace.build_columns"), "trace span missing");
+        assert!(!json.contains("report.render"), "unknown prefix leaked");
     }
 
     #[test]

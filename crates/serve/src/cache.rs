@@ -101,6 +101,24 @@ impl RunEntry {
             sections: Mutex::new(HashMap::new()),
         }
     }
+
+    /// An entry whose artifacts are already computed — used for traces
+    /// preloaded from a binary snapshot rather than simulated on demand.
+    pub fn preloaded(scenario: &str, artifacts: Arc<RunArtifacts>) -> Self {
+        let entry = Self::new(
+            scenario,
+            CacheKey {
+                scenario_hash: fnv1a(artifacts.digest.as_bytes()),
+                seed: 0,
+                threads: 0,
+            },
+        );
+        entry
+            .run
+            .set(Ok(artifacts))
+            .expect("fresh entry is uninitialized");
+        entry
+    }
 }
 
 struct CacheInner {
@@ -108,6 +126,9 @@ struct CacheInner {
     /// Keys from least- to most-recently used.
     order: VecDeque<CacheKey>,
     by_digest: HashMap<String, CacheKey>,
+    /// Digest-addressed entries outside the LRU (preloaded snapshots);
+    /// never evicted.
+    pinned: HashMap<String, Arc<RunEntry>>,
 }
 
 /// LRU cache of run entries plus a digest-addressed side index.
@@ -133,6 +154,7 @@ impl ResponseCache {
                 map: HashMap::new(),
                 order: VecDeque::new(),
                 by_digest: HashMap::new(),
+                pinned: HashMap::new(),
             }),
         }
     }
@@ -171,9 +193,18 @@ impl ResponseCache {
         }
     }
 
+    /// Pins a preloaded entry under its digest, outside the LRU budget.
+    pub fn pin(&self, digest: &str, entry: Arc<RunEntry>) {
+        let mut inner = self.inner.lock().expect("cache poisoned");
+        inner.pinned.insert(digest.to_string(), entry);
+    }
+
     /// Resolves a digest to its cached run entry, refreshing the LRU slot.
     pub fn lookup_digest(&self, digest: &str) -> Option<Arc<RunEntry>> {
         let mut inner = self.inner.lock().expect("cache poisoned");
+        if let Some(entry) = inner.pinned.get(digest) {
+            return Some(Arc::clone(entry));
+        }
         let key = *inner.by_digest.get(digest)?;
         let entry = inner.map.get(&key).cloned()?;
         inner.order.retain(|k| *k != key);

@@ -51,6 +51,9 @@ pub struct ServeConfig {
     pub compute_delay: Duration,
     /// Metrics sink for request counters and spans.
     pub metrics: MetricsRegistry,
+    /// Optional binary trace snapshot to preload and serve under the
+    /// `snapshot` scenario name (and its digest).
+    pub snapshot: Option<String>,
 }
 
 impl Default for ServeConfig {
@@ -63,6 +66,7 @@ impl Default for ServeConfig {
             request_deadline: Duration::from_secs(30),
             compute_delay: Duration::ZERO,
             metrics: MetricsRegistry::disabled(),
+            snapshot: None,
         }
     }
 }
@@ -109,6 +113,14 @@ impl ServeConfig {
         self.metrics = metrics.clone();
         self
     }
+
+    /// Preloads a binary trace snapshot (see `dcf_trace::io::snapshot`)
+    /// served under the `snapshot` scenario name.
+    #[must_use]
+    pub fn snapshot(mut self, path: &str) -> Self {
+        self.snapshot = Some(path.to_string());
+        self
+    }
 }
 
 /// An accepted connection waiting for a worker.
@@ -123,6 +135,8 @@ struct Shared {
     metrics: MetricsRegistry,
     deadline: Duration,
     compute_delay: Duration,
+    /// Preloaded snapshot trace, addressed as scenario `snapshot`.
+    snapshot: Option<Arc<RunEntry>>,
 }
 
 /// A running query service. Dropping without [`Server::shutdown`] aborts
@@ -148,12 +162,30 @@ impl Server {
         let stop = Arc::new(AtomicBool::new(false));
         let metrics = config.metrics.clone();
 
+        let snapshot = match &config.snapshot {
+            None => None,
+            Some(path) => {
+                let span = config.metrics.phase("trace.snapshot_load");
+                let trace = dcf_trace::io::snapshot::read_snapshot(path)
+                    .map_err(|e| std::io::Error::other(format!("snapshot {path}: {e}")))?;
+                drop(span);
+                let artifacts = Arc::new(RunArtifacts::new(trace));
+                Some(Arc::new(RunEntry::preloaded("snapshot", artifacts)))
+            }
+        };
+
         let shared = Arc::new(Shared {
             cache: ResponseCache::new(config.cache_entries),
             metrics: config.metrics.clone(),
             deadline: config.request_deadline,
             compute_delay: config.compute_delay,
+            snapshot,
         });
+        if let Some(entry) = &shared.snapshot {
+            if let Some(Ok(artifacts)) = entry.run.get() {
+                shared.cache.pin(&artifacts.digest, Arc::clone(entry));
+            }
+        }
         let queue = Arc::new(BoundedQueue::<Conn>::new(config.queue_depth));
         let workers = config.workers.max(1);
         let stop_flag = Arc::clone(&stop);
@@ -308,6 +340,67 @@ fn dispatch(shared: &Shared, request: &Request) -> Response {
     }
 }
 
+/// The raw `(scenario name, seed, threads)` triple of a request, before
+/// the scenario is resolved (the `snapshot` pseudo-scenario addresses the
+/// preloaded trace and never simulates).
+struct RawParams {
+    scenario: String,
+    seed: u64,
+    threads: usize,
+}
+
+impl RawParams {
+    fn from_body(body: &[u8]) -> Result<Self, Response> {
+        if body.is_empty() {
+            return Ok(Self {
+                scenario: "small".into(),
+                seed: 0,
+                threads: 0,
+            });
+        }
+        let text =
+            std::str::from_utf8(body).map_err(|_| Response::error(400, "body is not UTF-8"))?;
+        let value = dcf_obs::json::parse(text)
+            .map_err(|e| Response::error(400, &format!("invalid JSON body: {e}")))?;
+        let scenario = value
+            .get("scenario")
+            .and_then(|v| v.as_str())
+            .unwrap_or("small")
+            .to_string();
+        let seed = value.get("seed").and_then(|v| v.as_u64()).unwrap_or(0);
+        let threads = value.get("threads").and_then(|v| v.as_u64()).unwrap_or(0) as usize;
+        Ok(Self {
+            scenario,
+            seed,
+            threads,
+        })
+    }
+
+    fn from_query(request: &Request) -> Result<Self, Response> {
+        let scenario = request
+            .query_value("scenario")
+            .unwrap_or("small")
+            .to_string();
+        let seed = match request.query_value("seed") {
+            None => 0,
+            Some(raw) => raw
+                .parse()
+                .map_err(|_| Response::error(400, "seed must be an unsigned integer"))?,
+        };
+        let threads = match request.query_value("threads") {
+            None => 0,
+            Some(raw) => raw
+                .parse()
+                .map_err(|_| Response::error(400, "threads must be an unsigned integer"))?,
+        };
+        Ok(Self {
+            scenario,
+            seed,
+            threads,
+        })
+    }
+}
+
 /// The `(scenario, seed, threads)` triple addressed by a request.
 struct RunParams {
     scenario: Scenario,
@@ -324,7 +417,7 @@ impl RunParams {
             other => {
                 return Err(Response::error(
                     400,
-                    &format!("unknown scenario {other:?} (expected small|medium|paper)"),
+                    &format!("unknown scenario {other:?} (expected small|medium|paper|snapshot)"),
                 ))
             }
         };
@@ -335,41 +428,6 @@ impl RunParams {
         })
     }
 
-    fn from_body(body: &[u8]) -> Result<Self, Response> {
-        if body.is_empty() {
-            return Self::resolve("small", 0, 0);
-        }
-        let text =
-            std::str::from_utf8(body).map_err(|_| Response::error(400, "body is not UTF-8"))?;
-        let value = dcf_obs::json::parse(text)
-            .map_err(|e| Response::error(400, &format!("invalid JSON body: {e}")))?;
-        let scenario = value
-            .get("scenario")
-            .and_then(|v| v.as_str())
-            .unwrap_or("small")
-            .to_string();
-        let seed = value.get("seed").and_then(|v| v.as_u64()).unwrap_or(0);
-        let threads = value.get("threads").and_then(|v| v.as_u64()).unwrap_or(0) as usize;
-        Self::resolve(&scenario, seed, threads)
-    }
-
-    fn from_query(request: &Request) -> Result<Self, Response> {
-        let scenario = request.query_value("scenario").unwrap_or("small");
-        let seed = match request.query_value("seed") {
-            None => 0,
-            Some(raw) => raw
-                .parse()
-                .map_err(|_| Response::error(400, "seed must be an unsigned integer"))?,
-        };
-        let threads = match request.query_value("threads") {
-            None => 0,
-            Some(raw) => raw
-                .parse()
-                .map_err(|_| Response::error(400, "threads must be an unsigned integer"))?,
-        };
-        Self::resolve(scenario, seed, threads)
-    }
-
     fn cache_key(&self) -> CacheKey {
         CacheKey {
             scenario_hash: scenario_hash(&self.scenario.config),
@@ -377,6 +435,24 @@ impl RunParams {
             threads: self.threads,
         }
     }
+}
+
+/// Resolves a raw request triple to its run entry: the preloaded snapshot
+/// for the `snapshot` pseudo-scenario (always a cache hit), a cached or
+/// freshly computed simulation otherwise.
+fn run_entry_for(shared: &Shared, raw: &RawParams) -> Result<(Arc<RunEntry>, bool), Response> {
+    if raw.scenario == "snapshot" {
+        let entry = shared.snapshot.clone().ok_or_else(|| {
+            Response::error(
+                404,
+                "no snapshot preloaded (start the service with --snapshot PATH)",
+            )
+        })?;
+        shared.metrics.add("serve.cache.hits", 1);
+        return Ok((entry, true));
+    }
+    let params = RunParams::resolve(&raw.scenario, raw.seed, raw.threads)?;
+    run_entry(shared, &params)
 }
 
 /// Looks up (or computes, single-flight) the run for `params`.
@@ -416,11 +492,11 @@ fn run_entry(shared: &Shared, params: &RunParams) -> Result<(Arc<RunEntry>, bool
 }
 
 fn handle_simulate(shared: &Shared, request: &Request) -> Response {
-    let params = match RunParams::from_body(&request.body) {
+    let params = match RawParams::from_body(&request.body) {
         Ok(p) => p,
         Err(resp) => return resp,
     };
-    let (entry, hit) = match run_entry(shared, &params) {
+    let (entry, hit) = match run_entry_for(shared, &params) {
         Ok(pair) => pair,
         Err(resp) => return resp,
     };
@@ -448,11 +524,11 @@ fn handle_report(shared: &Shared, request: &Request, section: &str) -> Response 
             ),
         );
     };
-    let params = match RunParams::from_query(request) {
+    let params = match RawParams::from_query(request) {
         Ok(p) => p,
         Err(resp) => return resp,
     };
-    let (entry, _hit) = match run_entry(shared, &params) {
+    let (entry, _hit) = match run_entry_for(shared, &params) {
         Ok(pair) => pair,
         Err(resp) => return resp,
     };
@@ -512,33 +588,70 @@ fn handle_fots(shared: &Shared, request: &Request, digest: &str) -> Response {
             Err(_) => return Response::error(400, "limit must be an unsigned integer"),
         },
     };
-    let fots = artifacts.trace.fots();
-    let start = offset.min(fots.len());
-    let end = start.saturating_add(limit).min(fots.len());
+    let trace = &artifacts.trace;
+    let total = trace.len();
+    let start = offset.min(total);
+    let end = start.saturating_add(limit).min(total);
 
     let mut body = String::from("{");
     dcf_obs::json::write_string(&mut body, "digest");
     body.push(':');
     dcf_obs::json::write_string(&mut body, digest);
     body.push_str(&format!(
-        ",\"offset\":{start},\"limit\":{limit},\"total\":{},\"fots\":[",
-        fots.len()
+        ",\"offset\":{start},\"limit\":{limit},\"total\":{total},\"fots\":["
     ));
-    for (i, fot) in fots[start..end].iter().enumerate() {
-        if i > 0 {
-            body.push(',');
+    match trace.columns() {
+        // Columnar render: the page gathers straight from the typed
+        // columns (positions equal row indices), reconstructing the same
+        // names/paths the row structs would produce — the body is
+        // byte-identical to the row path below.
+        Some(cols) => {
+            use dcf_trace::{ComponentClass, FailureType, FotCategory};
+            for (i, row_idx) in (start..end).enumerate() {
+                if i > 0 {
+                    body.push(',');
+                }
+                let class = ComponentClass::ALL[cols.classes()[row_idx] as usize];
+                let mut row = Obj::new();
+                row.uint("id", cols.ids()[row_idx])
+                    .uint("server", cols.servers()[row_idx] as u64)
+                    .uint("data_center", cols.data_centers()[row_idx] as u64)
+                    .uint("product_line", cols.product_lines()[row_idx] as u64)
+                    .str("device", class.name())
+                    .str(
+                        "device_path",
+                        &dcf_trace::device_path_for(class, cols.device_slots()[row_idx]),
+                    )
+                    .str(
+                        "failure_type",
+                        FailureType::ALL[cols.failure_types()[row_idx] as usize].name(),
+                    )
+                    .uint("error_time_secs", cols.error_secs(row_idx))
+                    .str(
+                        "category",
+                        FotCategory::ALL[cols.categories()[row_idx] as usize].name(),
+                    );
+                body.push_str(&row.finish());
+            }
         }
-        let mut row = Obj::new();
-        row.uint("id", fot.id.index() as u64)
-            .uint("server", fot.server.index() as u64)
-            .uint("data_center", fot.data_center.index() as u64)
-            .uint("product_line", fot.product_line.index() as u64)
-            .str("device", fot.device.name())
-            .str("device_path", &fot.device_path())
-            .str("failure_type", fot.failure_type.name())
-            .uint("error_time_secs", fot.error_time.as_secs())
-            .str("category", fot.category.name());
-        body.push_str(&row.finish());
+        None => {
+            for (i, fot) in trace.fots()[start..end].iter().enumerate() {
+                if i > 0 {
+                    body.push(',');
+                }
+                let mut row = Obj::new();
+                row.uint("id", fot.id.index() as u64)
+                    .uint("server", fot.server.index() as u64)
+                    .uint("data_center", fot.data_center.index() as u64)
+                    .uint("product_line", fot.product_line.index() as u64)
+                    .str("device", fot.device.name())
+                    .str("device_path", &fot.device_path())
+                    .str("failure_type", fot.failure_type.name())
+                    .uint("error_time_secs", fot.error_time.as_secs())
+                    .str("category", fot.category.name());
+                body.push_str(&row.finish());
+            }
+        }
     }
     body.push_str("]}");
     Response::ok(body)

@@ -210,6 +210,111 @@ fn saturated_queue_sheds_load_with_retry_after() {
 }
 
 #[test]
+fn preloaded_snapshot_serves_without_simulating() {
+    use dcf_sim::{RunOptions, Scenario};
+
+    // Persist a simulated trace as a binary snapshot on disk.
+    let trace = Scenario::small()
+        .seed(5)
+        .simulate(&RunOptions::default())
+        .expect("scenario simulates");
+    let path = std::env::temp_dir().join(format!("dcf-serve-snap-{}.dcfsnap", std::process::id()));
+    dcf_trace::io::snapshot::write_snapshot(&trace, &path).expect("snapshot writes");
+    let expected_digest = format!("{:016x}", dcf_trace::io::fots_digest(trace.fots()));
+
+    let metrics = MetricsRegistry::new();
+    let server = Server::start(
+        ServeConfig::default()
+            .addr("127.0.0.1:0")
+            .workers(2)
+            .metrics(&metrics)
+            .snapshot(path.to_str().expect("temp path is UTF-8")),
+    )
+    .expect("server starts with a snapshot");
+    let addr = server.local_addr();
+
+    // The snapshot pseudo-scenario never simulates: always a cache hit.
+    let sim = post(addr, "/simulate", r#"{"scenario":"snapshot"}"#);
+    assert_eq!(sim.status, 200, "simulate failed: {}", sim.body);
+    assert!(sim.body.contains("\"cache\":\"hit\""));
+    assert!(
+        sim.body.contains(&expected_digest),
+        "snapshot digest missing from {}",
+        sim.body
+    );
+
+    // Sections render from the preloaded trace under the same digest.
+    let section = get(addr, "/report/overview?scenario=snapshot");
+    assert_eq!(section.status, 200, "section failed: {}", section.body);
+    assert!(section.body.contains(&expected_digest));
+
+    // Paged ticket reads come off the columnar store; spot-check a page
+    // against the locally held trace.
+    let page = get(
+        addr,
+        &format!("/trace/{expected_digest}/fots?offset=2&limit=3"),
+    );
+    assert_eq!(page.status, 200, "fots page failed: {}", page.body);
+    let parsed = dcf_obs::json::parse(&page.body).expect("page is valid JSON");
+    let rows = parsed
+        .get("fots")
+        .and_then(|v| v.as_array())
+        .expect("page has fots");
+    assert_eq!(rows.len(), 3);
+    let fot = &trace.fots()[2];
+    let row = &rows[0];
+    let device_path = fot.device_path();
+    assert_eq!(
+        row.get("id").and_then(|v| v.as_u64()),
+        Some(fot.id.index() as u64)
+    );
+    assert_eq!(
+        row.get("server").and_then(|v| v.as_u64()),
+        Some(fot.server.index() as u64)
+    );
+    assert_eq!(
+        row.get("device").and_then(|v| v.as_str()),
+        Some(fot.device.name())
+    );
+    assert_eq!(
+        row.get("device_path").and_then(|v| v.as_str()),
+        Some(device_path.as_str())
+    );
+    assert_eq!(
+        row.get("failure_type").and_then(|v| v.as_str()),
+        Some(fot.failure_type.name())
+    );
+    assert_eq!(
+        row.get("error_time_secs").and_then(|v| v.as_u64()),
+        Some(fot.error_time.as_secs())
+    );
+    assert_eq!(
+        row.get("category").and_then(|v| v.as_str()),
+        Some(fot.category.name())
+    );
+
+    // Without a preloaded snapshot the pseudo-scenario is a 404.
+    let bare_metrics = MetricsRegistry::new();
+    let bare = Server::start(
+        ServeConfig::default()
+            .addr("127.0.0.1:0")
+            .metrics(&bare_metrics),
+    )
+    .expect("bare server starts");
+    let missing = post(bare.local_addr(), "/simulate", r#"{"scenario":"snapshot"}"#);
+    assert_eq!(missing.status, 404, "expected 404: {}", missing.body);
+    assert!(missing.body.contains("no snapshot preloaded"));
+    bare.shutdown();
+
+    let report = server.shutdown();
+    assert!(
+        report.phase_ms("trace.snapshot_load").is_some(),
+        "snapshot load must be instrumented"
+    );
+    let _ = std::fs::remove_file(&path);
+}
+
+#[test]
 fn graceful_shutdown_completes_in_flight_requests() {
     let metrics = MetricsRegistry::new();
     let mut config = ServeConfig::default()

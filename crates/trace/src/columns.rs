@@ -1,0 +1,425 @@
+//! Struct-of-arrays columnar view of a trace's tickets.
+//!
+//! [`FotColumns`] decomposes the assembled, time-sorted `Vec<Fot>` into
+//! parallel typed arrays: small dense ids for the categorical fields
+//! (component class, failure type, category, action), `u32`/`u16` ids for
+//! servers / data centers / product lines, day+second-of-day pairs for the
+//! two timestamps, and dictionary-interned detail strings. Analysis
+//! kernels that only need a few fields then stream over a handful of dense
+//! columns (a few bytes per ticket) instead of pointer-chasing
+//! heap-allocated [`Fot`] rows, and the binary snapshot format
+//! ([`crate::io::snapshot`]) serializes the same blobs verbatim.
+//!
+//! Row `i` of every column describes `trace.fots()[i]`; positions handed
+//! out by [`crate::TraceIndex`] are therefore also row indices into the
+//! columns.
+
+use std::collections::HashMap;
+
+use crate::fot::{Fot, FotCategory, OperatorAction};
+use crate::{FailureType, SECS_PER_DAY};
+
+/// Sentinel in the op-time day column: ticket has no operator response.
+pub const NO_RESPONSE_DAY: u32 = u32::MAX;
+/// Sentinel in the operator column: ticket has no operator response.
+pub const NO_OPERATOR: u16 = u16::MAX;
+/// Sentinel in the action column: ticket has no operator response.
+pub const NO_ACTION: u8 = u8::MAX;
+
+/// An append-only interned string table.
+///
+/// Ids are dense and assigned in first-appearance order, so two traces
+/// whose tickets present identical strings in identical order build
+/// identical dictionaries.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct StringDict {
+    strings: Vec<String>,
+}
+
+impl StringDict {
+    /// Builds a dictionary from pre-deduplicated strings (snapshot load).
+    pub fn from_strings(strings: Vec<String>) -> Self {
+        Self { strings }
+    }
+
+    /// The interned string for `id`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` was never handed out by this dictionary.
+    pub fn get(&self, id: u32) -> &str {
+        &self.strings[id as usize]
+    }
+
+    /// Number of distinct strings interned.
+    pub fn len(&self) -> usize {
+        self.strings.len()
+    }
+
+    /// Whether the dictionary is empty.
+    pub fn is_empty(&self) -> bool {
+        self.strings.is_empty()
+    }
+
+    /// All interned strings, id order.
+    pub fn strings(&self) -> &[String] {
+        &self.strings
+    }
+}
+
+/// Build-time companion of [`StringDict`] with the reverse map.
+#[derive(Debug, Default)]
+struct DictBuilder {
+    dict: StringDict,
+    ids: HashMap<String, u32>,
+}
+
+impl DictBuilder {
+    fn intern(&mut self, s: &str) -> u32 {
+        if let Some(&id) = self.ids.get(s) {
+            return id;
+        }
+        let id = self.dict.strings.len() as u32;
+        self.dict.strings.push(s.to_owned());
+        self.ids.insert(s.to_owned(), id);
+        id
+    }
+}
+
+/// Struct-of-arrays ticket storage: one typed array per [`Fot`] field,
+/// aligned with the trace's sorted ticket order.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct FotColumns {
+    id: Vec<u64>,
+    server: Vec<u32>,
+    data_center: Vec<u16>,
+    product_line: Vec<u16>,
+    class: Vec<u8>,
+    device_slot: Vec<u8>,
+    failure_type: Vec<u8>,
+    error_day: Vec<u32>,
+    error_sod: Vec<u32>,
+    rack_position: Vec<u8>,
+    category: Vec<u8>,
+    op_day: Vec<u32>,
+    op_sod: Vec<u32>,
+    operator: Vec<u16>,
+    action: Vec<u8>,
+    detail: Vec<u32>,
+    dict: StringDict,
+}
+
+impl FotColumns {
+    /// Decomposes `fots` (already sorted by `(error_time, id)`) into
+    /// columns. One sequential pass; detail strings are interned in
+    /// first-appearance order.
+    pub fn build(fots: &[Fot]) -> Self {
+        let type_tags: HashMap<FailureType, u8> = FailureType::ALL
+            .iter()
+            .enumerate()
+            .map(|(i, &t)| (t, i as u8))
+            .collect();
+        let n = fots.len();
+        let mut c = FotColumns {
+            id: Vec::with_capacity(n),
+            server: Vec::with_capacity(n),
+            data_center: Vec::with_capacity(n),
+            product_line: Vec::with_capacity(n),
+            class: Vec::with_capacity(n),
+            device_slot: Vec::with_capacity(n),
+            failure_type: Vec::with_capacity(n),
+            error_day: Vec::with_capacity(n),
+            error_sod: Vec::with_capacity(n),
+            rack_position: Vec::with_capacity(n),
+            category: Vec::with_capacity(n),
+            op_day: Vec::with_capacity(n),
+            op_sod: Vec::with_capacity(n),
+            operator: Vec::with_capacity(n),
+            action: Vec::with_capacity(n),
+            detail: Vec::with_capacity(n),
+            dict: StringDict::default(),
+        };
+        let mut dict = DictBuilder::default();
+        for f in fots {
+            c.id.push(f.id.raw());
+            c.server.push(f.server.raw());
+            c.data_center.push(f.data_center.raw());
+            c.product_line.push(f.product_line.raw());
+            c.class.push(f.device.index() as u8);
+            c.device_slot.push(f.device_slot);
+            c.failure_type
+                .push(*type_tags.get(&f.failure_type).expect("ALL is complete"));
+            let secs = f.error_time.as_secs();
+            c.error_day.push((secs / SECS_PER_DAY) as u32);
+            c.error_sod.push((secs % SECS_PER_DAY) as u32);
+            c.rack_position.push(f.rack_position.raw());
+            c.category.push(category_tag(f.category));
+            match f.response {
+                Some(r) => {
+                    let op = r.op_time.as_secs();
+                    c.op_day.push((op / SECS_PER_DAY) as u32);
+                    c.op_sod.push((op % SECS_PER_DAY) as u32);
+                    c.operator.push(r.operator.raw());
+                    c.action.push(action_tag(r.action));
+                }
+                None => {
+                    c.op_day.push(NO_RESPONSE_DAY);
+                    c.op_sod.push(0);
+                    c.operator.push(NO_OPERATOR);
+                    c.action.push(NO_ACTION);
+                }
+            }
+            c.detail.push(dict.intern(&f.detail));
+        }
+        c.dict = dict.dict;
+        c
+    }
+
+    /// Number of rows (tickets).
+    pub fn len(&self) -> usize {
+        self.id.len()
+    }
+
+    /// Whether the store holds no tickets.
+    pub fn is_empty(&self) -> bool {
+        self.id.is_empty()
+    }
+
+    /// Raw ticket ids.
+    pub fn ids(&self) -> &[u64] {
+        &self.id
+    }
+
+    /// Raw server ids.
+    pub fn servers(&self) -> &[u32] {
+        &self.server
+    }
+
+    /// Raw data-center ids.
+    pub fn data_centers(&self) -> &[u16] {
+        &self.data_center
+    }
+
+    /// Raw product-line ids.
+    pub fn product_lines(&self) -> &[u16] {
+        &self.product_line
+    }
+
+    /// Dense component-class tags ([`crate::ComponentClass::ALL`] indices).
+    pub fn classes(&self) -> &[u8] {
+        &self.class
+    }
+
+    /// Device slot numbers.
+    pub fn device_slots(&self) -> &[u8] {
+        &self.device_slot
+    }
+
+    /// Dense failure-type tags ([`FailureType::ALL`] indices).
+    pub fn failure_types(&self) -> &[u8] {
+        &self.failure_type
+    }
+
+    /// Error-time day indices (days since origin).
+    pub fn error_days(&self) -> &[u32] {
+        &self.error_day
+    }
+
+    /// Error-time seconds within the day.
+    pub fn error_sods(&self) -> &[u32] {
+        &self.error_sod
+    }
+
+    /// Rack positions.
+    pub fn rack_positions(&self) -> &[u8] {
+        &self.rack_position
+    }
+
+    /// Dense category tags (see [`category_tag`]).
+    pub fn categories(&self) -> &[u8] {
+        &self.category
+    }
+
+    /// Op-time day indices; [`NO_RESPONSE_DAY`] where there is no response.
+    pub fn op_days(&self) -> &[u32] {
+        &self.op_day
+    }
+
+    /// Op-time seconds within the day (zero where there is no response).
+    pub fn op_sods(&self) -> &[u32] {
+        &self.op_sod
+    }
+
+    /// Operator ids; [`NO_OPERATOR`] where there is no response.
+    pub fn operators(&self) -> &[u16] {
+        &self.operator
+    }
+
+    /// Dense action tags; [`NO_ACTION`] where there is no response.
+    pub fn actions(&self) -> &[u8] {
+        &self.action
+    }
+
+    /// Detail-string dictionary ids.
+    pub fn details(&self) -> &[u32] {
+        &self.detail
+    }
+
+    /// The interned detail-string dictionary.
+    pub fn dict(&self) -> &StringDict {
+        &self.dict
+    }
+
+    /// Error time of row `i`, seconds since origin.
+    pub fn error_secs(&self, i: usize) -> u64 {
+        self.error_day[i] as u64 * SECS_PER_DAY + self.error_sod[i] as u64
+    }
+
+    /// Op time of row `i`, seconds since origin; `None` without a response.
+    pub fn op_secs(&self, i: usize) -> Option<u64> {
+        if self.op_day[i] == NO_RESPONSE_DAY {
+            None
+        } else {
+            Some(self.op_day[i] as u64 * SECS_PER_DAY + self.op_sod[i] as u64)
+        }
+    }
+
+    /// Response time of row `i` in fractional days, matching
+    /// [`Fot::response_time`] exactly (saturating at zero).
+    pub fn response_days(&self, i: usize) -> Option<f64> {
+        self.op_secs(i)
+            .map(|op| op.saturating_sub(self.error_secs(i)) as f64 / SECS_PER_DAY as f64)
+    }
+
+    /// Whether row `i` is a failure (not a false alarm).
+    pub fn is_failure(&self, i: usize) -> bool {
+        self.category[i] != FALSE_ALARM_TAG
+    }
+
+    /// Detail string of row `i`.
+    pub fn detail_str(&self, i: usize) -> &str {
+        self.dict.get(self.detail[i])
+    }
+}
+
+/// Dense category tag: position in [`FotCategory::ALL`]
+/// (`D_fixing` = 0, `D_error` = 1, `D_falsealarm` = 2).
+pub fn category_tag(cat: FotCategory) -> u8 {
+    match cat {
+        FotCategory::Fixing => 0,
+        FotCategory::Error => 1,
+        FotCategory::FalseAlarm => 2,
+    }
+}
+
+/// The [`category_tag`] of `D_falsealarm`, for failure filters.
+pub const FALSE_ALARM_TAG: u8 = 2;
+/// The [`category_tag`] of `D_fixing`.
+pub const FIXING_TAG: u8 = 0;
+
+/// Dense action tag (`IssueRepairOrder` = 0, `MarkFalseAlarm` = 1).
+pub fn action_tag(action: OperatorAction) -> u8 {
+    match action {
+        OperatorAction::IssueRepairOrder => 0,
+        OperatorAction::MarkFalseAlarm => 1,
+    }
+}
+
+/// Inverse of [`action_tag`]; `None` for the no-response sentinel.
+pub fn action_from_tag(tag: u8) -> Option<OperatorAction> {
+    match tag {
+        0 => Some(OperatorAction::IssueRepairOrder),
+        1 => Some(OperatorAction::MarkFalseAlarm),
+        _ => None,
+    }
+}
+
+/// Inverse of [`category_tag`].
+///
+/// # Panics
+///
+/// Panics on tags outside `0..3`.
+pub fn category_from_tag(tag: u8) -> FotCategory {
+    FotCategory::ALL[tag as usize]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::store::tests::{fot, tiny_fleet};
+    use crate::{FotCategory, Trace};
+
+    fn sample_trace() -> Trace {
+        let (servers, dcs, lines) = tiny_fleet();
+        let info = crate::TraceInfo {
+            start: crate::SimTime::ORIGIN,
+            days: 100,
+            seed: 1,
+            description: "columns-test".into(),
+        };
+        let fots = vec![
+            fot(1, 0, 1, FotCategory::Fixing),
+            fot(2, 1, 2, FotCategory::Error),
+            fot(3, 0, 3, FotCategory::FalseAlarm),
+            fot(4, 1, 5, FotCategory::Fixing),
+        ];
+        Trace::new(info, servers, dcs, lines, fots).unwrap()
+    }
+
+    #[test]
+    fn columns_mirror_rows() {
+        let trace = sample_trace();
+        let cols = FotColumns::build(trace.fots());
+        assert_eq!(cols.len(), trace.len());
+        for (i, f) in trace.fots().iter().enumerate() {
+            assert_eq!(cols.ids()[i], f.id.raw());
+            assert_eq!(cols.servers()[i], f.server.raw());
+            assert_eq!(cols.classes()[i] as usize, f.device.index());
+            assert_eq!(cols.error_secs(i), f.error_time.as_secs());
+            assert_eq!(cols.categories()[i], category_tag(f.category));
+            assert_eq!(cols.is_failure(i), f.is_failure());
+            assert_eq!(
+                cols.op_secs(i),
+                f.response.map(|r| r.op_time.as_secs()),
+                "row {i}"
+            );
+            assert_eq!(
+                cols.response_days(i),
+                f.response_time().map(|d| d.as_days_f64())
+            );
+            assert_eq!(cols.detail_str(i), f.detail);
+            assert_eq!(
+                crate::FailureType::ALL[cols.failure_types()[i] as usize],
+                f.failure_type
+            );
+        }
+    }
+
+    #[test]
+    fn dict_interns_in_first_appearance_order() {
+        let trace = sample_trace();
+        let cols = FotColumns::build(trace.fots());
+        // All sample details are identical, so one entry.
+        assert!(cols.dict().len() <= trace.len());
+        let mut seen = std::collections::HashSet::new();
+        for s in cols.dict().strings() {
+            assert!(seen.insert(s.clone()), "duplicate interned string {s}");
+        }
+    }
+
+    #[test]
+    fn category_and_action_tags_round_trip() {
+        for cat in FotCategory::ALL {
+            assert_eq!(category_from_tag(category_tag(cat)), cat);
+        }
+        for action in [
+            OperatorAction::IssueRepairOrder,
+            OperatorAction::MarkFalseAlarm,
+        ] {
+            assert_eq!(action_from_tag(action_tag(action)), Some(action));
+        }
+        assert_eq!(action_from_tag(NO_ACTION), None);
+        assert_eq!(category_tag(FotCategory::FalseAlarm), FALSE_ALARM_TAG);
+        assert_eq!(category_tag(FotCategory::Fixing), FIXING_TAG);
+    }
+}

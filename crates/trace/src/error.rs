@@ -42,6 +42,13 @@ pub enum TraceError {
         /// What was wrong.
         message: String,
     },
+    /// A malformed, truncated, or corrupted binary snapshot
+    /// (bad magic/version, digest mismatch, out-of-range dictionary or
+    /// taxonomy id, …). See [`crate::io::snapshot`].
+    Snapshot {
+        /// What was wrong.
+        message: String,
+    },
 }
 
 impl std::fmt::Display for TraceError {
@@ -63,6 +70,7 @@ impl std::fmt::Display for TraceError {
             TraceError::Io(e) => write!(f, "io error: {e}"),
             TraceError::Json(e) => write!(f, "serialization error: {e}"),
             TraceError::Csv { line, message } => write!(f, "csv line {line}: {message}"),
+            TraceError::Snapshot { message } => write!(f, "snapshot: {message}"),
         }
     }
 }

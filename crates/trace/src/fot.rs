@@ -114,20 +114,7 @@ impl Fot {
     /// The device path string as it would appear in the ticket
     /// (e.g. `sdc`, `dimm3`, `psu_2`, `fan_8` — the style of Tables VII/VIII).
     pub fn device_path(&self) -> String {
-        let slot = self.device_slot;
-        match self.device {
-            ComponentClass::Hdd => format!("sd{}", (b'a' + slot % 26) as char),
-            ComponentClass::Ssd => format!("nvme{slot}"),
-            ComponentClass::Memory => format!("dimm{slot}"),
-            ComponentClass::Power => format!("psu_{slot}"),
-            ComponentClass::Fan => format!("fan_{slot}"),
-            ComponentClass::RaidCard => "raid0".to_string(),
-            ComponentClass::FlashCard => format!("flash{slot}"),
-            ComponentClass::Motherboard => "mb0".to_string(),
-            ComponentClass::HddBackboard => "backboard0".to_string(),
-            ComponentClass::Cpu => format!("cpu{slot}"),
-            ComponentClass::Miscellaneous => "host".to_string(),
-        }
+        device_path_for(self.device, self.device_slot)
     }
 
     /// Response time `RT = op_time − error_time`, if the ticket has a response.
@@ -145,6 +132,25 @@ impl Fot {
     /// `(server, class, slot)` — used for repeat-failure detection (§III-D).
     pub fn component_key(&self) -> (ServerId, ComponentClass, u8) {
         (self.server, self.device, self.device_slot)
+    }
+}
+
+/// Linux-style device path for a `(class, slot)` pair — the shared
+/// renderer behind [`Fot::device_path`] and the columnar ticket views,
+/// which only carry dense class tags and slot numbers.
+pub fn device_path_for(class: ComponentClass, slot: u8) -> String {
+    match class {
+        ComponentClass::Hdd => format!("sd{}", (b'a' + slot % 26) as char),
+        ComponentClass::Ssd => format!("nvme{slot}"),
+        ComponentClass::Memory => format!("dimm{slot}"),
+        ComponentClass::Power => format!("psu_{slot}"),
+        ComponentClass::Fan => format!("fan_{slot}"),
+        ComponentClass::RaidCard => "raid0".to_string(),
+        ComponentClass::FlashCard => format!("flash{slot}"),
+        ComponentClass::Motherboard => "mb0".to_string(),
+        ComponentClass::HddBackboard => "backboard0".to_string(),
+        ComponentClass::Cpu => format!("cpu{slot}"),
+        ComponentClass::Miscellaneous => "host".to_string(),
     }
 }
 

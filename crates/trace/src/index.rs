@@ -47,11 +47,71 @@ pub(crate) fn category_slot(category: FotCategory) -> usize {
     }
 }
 
+/// One keyed partition in compressed-sparse-row layout: a single flat
+/// position vector plus per-key offset ranges, so an index with thousands
+/// of keys (servers, product lines) costs two allocations instead of one
+/// `Vec` per key. `slice(k)` is `positions[offsets[k]..offsets[k + 1]]`.
+#[derive(Debug, Clone, Default, PartialEq)]
+struct CsrTable {
+    /// `n_keys + 1` cumulative counts (`offsets[0] == 0`).
+    offsets: Vec<u32>,
+    /// Ticket positions, grouped by key, ascending within each key.
+    positions: Vec<u32>,
+}
+
+impl CsrTable {
+    /// Builds a table by counting sort: one pass to count per-key
+    /// populations, a prefix sum, and one pass to place positions. Tickets
+    /// are visited in ascending position order, so every key's range stays
+    /// ascending (= time-sorted for a sorted ticket vector).
+    fn build<F: Fn(&Fot) -> Option<usize>>(n_keys: usize, fots: &[Fot], key: F) -> Self {
+        let mut counts = vec![0u32; n_keys];
+        for f in fots {
+            if let Some(k) = key(f) {
+                counts[k] += 1;
+            }
+        }
+        let mut offsets = Vec::with_capacity(n_keys + 1);
+        let mut acc = 0u32;
+        offsets.push(0);
+        for &c in &counts {
+            acc += c;
+            offsets.push(acc);
+        }
+        let mut cursor: Vec<u32> = offsets[..n_keys].to_vec();
+        let mut positions = vec![0u32; acc as usize];
+        for (i, f) in fots.iter().enumerate() {
+            if let Some(k) = key(f) {
+                positions[cursor[k] as usize] = i as u32;
+                cursor[k] += 1;
+            }
+        }
+        CsrTable { offsets, positions }
+    }
+
+    /// The position range of `key`; empty for out-of-range keys (and for
+    /// every key of a default-constructed table).
+    fn slice(&self, key: usize) -> &[u32] {
+        match (self.offsets.get(key), self.offsets.get(key + 1)) {
+            (Some(&s), Some(&e)) => &self.positions[s as usize..e as usize],
+            _ => &[],
+        }
+    }
+
+    /// Number of positions under `key`.
+    fn count(&self, key: usize) -> usize {
+        self.slice(key).len()
+    }
+}
+
 /// Precomputed partitions of one trace's ticket vector.
 ///
 /// Built once per trace (lazily, on first access through
 /// [`crate::Trace::index`]) and shared by every analysis section; see the
-/// module docs for the invariants.
+/// module docs for the invariants. Each keyed partition is stored as
+/// offset ranges into one flat position vector (CSR) rather than per-key
+/// `Vec` buckets, which keeps the whole index in a handful of dense
+/// allocations; the public accessors still hand out plain `&[u32]` slices.
 #[derive(Debug, Clone, Default, PartialEq)]
 pub struct TraceIndex {
     /// Positions of failures (`D_fixing` + `D_error`), time-sorted.
@@ -59,20 +119,20 @@ pub struct TraceIndex {
     /// Positions of tickets carrying an operator response.
     responded: Vec<u32>,
     /// Positions of all tickets, per category ([`FotCategory::ALL`] order).
-    by_category: [Vec<u32>; N_CATEGORIES],
+    by_category: CsrTable,
     /// Positions of failures, per component class
     /// ([`ComponentClass::ALL`] order).
-    failures_by_class: [Vec<u32>; N_CLASSES],
+    failures_by_class: CsrTable,
     /// Positions of failures, per data center id.
-    failures_by_dc: Vec<Vec<u32>>,
+    failures_by_dc: CsrTable,
     /// Positions of failures, per product line id.
-    failures_by_line: Vec<Vec<u32>>,
+    failures_by_line: CsrTable,
     /// Positions of all tickets, per server id.
-    by_server: Vec<Vec<u32>>,
+    by_server: CsrTable,
 }
 
 impl TraceIndex {
-    /// Builds the index with a single pass over `fots`.
+    /// Builds the index with counting-sort passes over `fots`.
     ///
     /// `fots` must already be sorted the way [`crate::Trace::new`] sorts
     /// them (by `(error_time, id)`) for the per-bucket time-order
@@ -98,30 +158,37 @@ impl TraceIndex {
             .max()
             .unwrap_or(0)
             .max(n_lines);
-        let mut index = TraceIndex {
-            failures: Vec::new(),
-            responded: Vec::new(),
-            by_category: Default::default(),
-            failures_by_class: Default::default(),
-            failures_by_dc: vec![Vec::new(); n_dcs],
-            failures_by_line: vec![Vec::new(); n_lines],
-            by_server: vec![Vec::new(); servers.len()],
-        };
+        let n_servers = fots
+            .iter()
+            .map(|f| f.server.index() + 1)
+            .max()
+            .unwrap_or(0)
+            .max(servers.len());
+        let mut failures = Vec::new();
+        let mut responded = Vec::new();
         for (i, fot) in fots.iter().enumerate() {
-            let i = i as u32;
-            index.by_category[category_slot(fot.category)].push(i);
-            index.by_server[fot.server.index()].push(i);
             if fot.response.is_some() {
-                index.responded.push(i);
+                responded.push(i as u32);
             }
             if fot.is_failure() {
-                index.failures.push(i);
-                index.failures_by_class[fot.device.index()].push(i);
-                index.failures_by_dc[fot.data_center.index()].push(i);
-                index.failures_by_line[fot.product_line.index()].push(i);
+                failures.push(i as u32);
             }
         }
-        index
+        TraceIndex {
+            failures,
+            responded,
+            by_category: CsrTable::build(N_CATEGORIES, fots, |f| Some(category_slot(f.category))),
+            failures_by_class: CsrTable::build(N_CLASSES, fots, |f| {
+                f.is_failure().then(|| f.device.index())
+            }),
+            failures_by_dc: CsrTable::build(n_dcs, fots, |f| {
+                f.is_failure().then(|| f.data_center.index())
+            }),
+            failures_by_line: CsrTable::build(n_lines, fots, |f| {
+                f.is_failure().then(|| f.product_line.index())
+            }),
+            by_server: CsrTable::build(n_servers, fots, |f| Some(f.server.index())),
+        }
     }
 
     /// Positions of all failures (`D_fixing` + `D_error`), time-sorted.
@@ -136,39 +203,30 @@ impl TraceIndex {
 
     /// Positions of all tickets in `category`.
     pub fn category_ids(&self, category: FotCategory) -> &[u32] {
-        &self.by_category[category_slot(category)]
+        self.by_category.slice(category_slot(category))
     }
 
     /// Positions of failures of component `class`.
     pub fn class_failure_ids(&self, class: ComponentClass) -> &[u32] {
-        &self.failures_by_class[class.index()]
+        self.failures_by_class.slice(class.index())
     }
 
     /// Positions of failures inside data center `dc` (empty for an id the
     /// trace never references).
     pub fn dc_failure_ids(&self, dc: DataCenterId) -> &[u32] {
-        self.failures_by_dc
-            .get(dc.index())
-            .map(Vec::as_slice)
-            .unwrap_or(&[])
+        self.failures_by_dc.slice(dc.index())
     }
 
     /// Positions of failures owned by product line `line` (empty for an id
     /// the trace never references).
     pub fn line_failure_ids(&self, line: ProductLineId) -> &[u32] {
-        self.failures_by_line
-            .get(line.index())
-            .map(Vec::as_slice)
-            .unwrap_or(&[])
+        self.failures_by_line.slice(line.index())
     }
 
     /// Positions of all tickets of server `server` (empty for an unknown
     /// id), time-sorted.
     pub fn server_ids(&self, server: ServerId) -> &[u32] {
-        self.by_server
-            .get(server.index())
-            .map(Vec::as_slice)
-            .unwrap_or(&[])
+        self.by_server.slice(server.index())
     }
 
     /// Number of failures (length of [`TraceIndex::failure_ids`]).
@@ -179,9 +237,9 @@ impl TraceIndex {
     /// Ticket counts per category, in [`FotCategory::ALL`] order.
     pub fn category_counts(&self) -> [usize; N_CATEGORIES] {
         [
-            self.by_category[0].len(),
-            self.by_category[1].len(),
-            self.by_category[2].len(),
+            self.by_category.count(0),
+            self.by_category.count(1),
+            self.by_category.count(2),
         ]
     }
 }

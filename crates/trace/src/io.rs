@@ -1,6 +1,8 @@
-//! Trace (de)serialization: whole-trace JSON, ticket JSONL streams, and a
+//! Trace (de)serialization: whole-trace JSON, ticket JSONL streams, a
 //! CSV export/import of the ticket table (the form failure datasets are
-//! usually shared in).
+//! usually shared in), and a versioned binary snapshot ([`snapshot`]).
+
+pub mod snapshot;
 
 use std::io::{BufRead, BufReader, Read, Write};
 

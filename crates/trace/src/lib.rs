@@ -25,6 +25,7 @@
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+pub mod columns;
 mod component;
 mod error;
 mod failure_type;
@@ -36,10 +37,11 @@ mod meta;
 mod store;
 mod time;
 
+pub use columns::{FotColumns, StringDict};
 pub use component::ComponentClass;
 pub use error::TraceError;
 pub use failure_type::{FailureType, Severity};
-pub use fot::{Fot, FotCategory, OperatorAction, OperatorResponse};
+pub use fot::{device_path_for, Fot, FotCategory, OperatorAction, OperatorResponse};
 pub use ids::{DataCenterId, FotId, OperatorId, ProductLineId, RackId, RackPosition, ServerId};
 pub use index::{FotIter, TraceIndex};
 pub use meta::{DataCenterMeta, FaultTolerance, ProductLineMeta, ServerMeta, WorkloadKind};

@@ -6,6 +6,7 @@ use std::sync::OnceLock;
 
 use serde::{Deserialize, Serialize};
 
+use crate::columns::FotColumns;
 use crate::index::{FotIter, ScanFilter, TraceIndex};
 use crate::{
     ComponentClass, DataCenterId, DataCenterMeta, Fot, FotCategory, ProductLineId, ProductLineMeta,
@@ -113,6 +114,15 @@ pub struct Trace {
     /// skips it, so a deserialized trace is always indexed.
     #[serde(skip)]
     scan_only: bool,
+    /// Lazily-built struct-of-arrays view (see [`FotColumns`]). Serde
+    /// skips it; a deserialized trace rebuilds on first access.
+    #[serde(skip)]
+    columns: OnceLock<FotColumns>,
+    /// When set, [`Trace::columns`] returns `None` and analyses stay on
+    /// the row path. Defaults to `false` (columnar enabled); serde skips
+    /// it. See [`Trace::set_columnar`].
+    #[serde(skip)]
+    row_only: bool,
 }
 
 /// Equality compares the trace *data* (info, fleet snapshot, tickets).
@@ -181,6 +191,8 @@ impl Trace {
             fots,
             index: OnceLock::new(),
             scan_only: false,
+            columns: OnceLock::new(),
+            row_only: false,
         })
     }
 
@@ -218,6 +230,32 @@ impl Trace {
     /// changed in between.
     pub fn rebuild_index(&mut self) {
         self.index = OnceLock::new();
+        self.columns = OnceLock::new();
+    }
+
+    /// The shared struct-of-arrays view of the ticket vector, built lazily
+    /// on first access, or `None` when the columnar backend is disabled
+    /// (scan-only reference mode or [`Trace::set_columnar`]`(false)`).
+    ///
+    /// Like [`Trace::index`], the columns are a pure function of the
+    /// (sorted) ticket data: row `i` of every column describes
+    /// `self.fots()[i]`, so index positions double as column row indices.
+    /// Analyses treat `Some` as "take the columnar kernel" and `None` as
+    /// "take the row path"; both produce byte-identical results.
+    pub fn columns(&self) -> Option<&FotColumns> {
+        if self.scan_only || self.row_only {
+            return None;
+        }
+        Some(self.columns.get_or_init(|| FotColumns::build(&self.fots)))
+    }
+
+    /// Enables (`true`, the default) or disables (`false`) the columnar
+    /// backend. With it disabled, [`Trace::columns`] returns `None` and
+    /// every analysis takes its row-oriented path — the baseline the
+    /// byte-identity suite and the `BENCH_*.json` speedup compare against.
+    /// The flag is not serialized; a deserialized trace is columnar.
+    pub fn set_columnar(&mut self, enabled: bool) {
+        self.row_only = !enabled;
     }
 
     /// Switches the population accessors between index buckets (`false`,
