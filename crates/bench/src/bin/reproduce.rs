@@ -3,6 +3,7 @@
 //! ```text
 //! reproduce [--scenario paper|medium|small] [--seed N] [--experiment ID]
 //!           [--markdown] [--metrics PATH] [--threads N] [--backend B]
+//!           [--servers N] [--shards K] [--spill-dir PATH] [--keep-spills]
 //!           [--bench-json PATH] [--bench-baseline PATH] [--digest PATH]
 //! reproduce snapshot --out PATH [simulation flags]
 //! reproduce snapshot --in PATH [analysis flags]
@@ -30,7 +31,8 @@
 //!
 //! `ID` is one of: `table1 table2 table3 table4 table5 table6 table7 table8
 //! fig2 fig3 fig4 fig5 fig6 fig7 fig8 fig9 fig10 fig11 prediction backlog all`
-//! (default `all`).
+//! (default `all`), or `none` to skip the study entirely — engine-only
+//! bench and digest runs.
 //! `--markdown` emits the EXPERIMENTS.md-style summary instead of the full
 //! figure dumps.
 //! `--metrics PATH` enables the `dcf-obs` instrumentation layer: the run's
@@ -40,14 +42,35 @@
 //! `--threads N` sets both the engine worker-thread count and the study
 //! section pool size (`0`, the default, means auto-detect from the
 //! machine). Traces and reports are byte-identical across thread counts.
+//! `--servers N` overrides the scenario's fleet size (the rest of the
+//! layout — DCs, racks, product lines — rescales around it).
+//! `--shards K` runs the sharded bounded-memory engine (SCALING.md):
+//! the fleet is split into K contiguous server ranges, each simulated and
+//! spilled to disk independently, then k-way merged. The resulting trace
+//! and digest are byte-identical to `--shards 1` and to the unsharded
+//! engine. With `--experiment none` the merged trace is never
+//! materialized — the run streams straight to the digest, which is how
+//! multi-million-server fleets fit in bounded memory.
+//! `--spill-dir PATH` puts the per-shard spill files under `PATH`
+//! (default: a process-unique temp directory); `--keep-spills` leaves
+//! them behind for inspection.
 //! `--bench-json PATH` writes a `BENCH_*.json` benchmark summary (engine
-//! phase wall-clock, servers/s, tickets/s — see EXPERIMENTS.md); implies
-//! metrics collection.
-//! `--bench-baseline PATH` reads a prior `--metrics` RunReport and embeds
-//! per-phase speedups against it into the `--bench-json` output.
+//! phase wall-clock, servers/s, tickets/s, shard/memory gauges — see
+//! EXPERIMENTS.md); implies metrics collection.
+//! `--bench-baseline PATH` reads a prior run's `--metrics` RunReport JSON
+//! (*not* a `BENCH_*.json` summary) and embeds per-phase speedup factors
+//! against it into the `--bench-json` output. The baseline file is only
+//! read — never overwritten — so a pinned baseline can serve many runs:
+//!
+//! ```text
+//! reproduce --scenario paper --threads 1 --metrics /tmp/base.json
+//! reproduce --scenario paper --threads 8 --bench-json BENCH.json \
+//!           --bench-baseline /tmp/base.json   # BENCH.json gains "speedup"
+//! ```
+//!
 //! `--digest PATH` writes the 16-hex-digit FNV-1a digest of the trace's
 //! ticket CSV — the byte-identity fingerprint CI diffs across engine
-//! thread counts.
+//! thread counts and shard counts.
 
 use std::process::ExitCode;
 
@@ -66,6 +89,10 @@ struct Args {
     score: bool,
     metrics: Option<String>,
     threads: usize,
+    servers: Option<usize>,
+    shards: Option<u32>,
+    spill_dir: Option<String>,
+    keep_spills: bool,
     backend: String,
     bench_json: Option<String>,
     bench_baseline: Option<String>,
@@ -84,6 +111,10 @@ fn parse_args(snapshot_mode: bool) -> Result<Args, String> {
         score: false,
         metrics: None,
         threads: 0,
+        servers: None,
+        shards: None,
+        spill_dir: None,
+        keep_spills: false,
         backend: "columnar".into(),
         bench_json: None,
         bench_baseline: None,
@@ -120,6 +151,32 @@ fn parse_args(snapshot_mode: bool) -> Result<Args, String> {
                     .parse()
                     .map_err(|e| format!("bad thread count: {e}"))?;
             }
+            "--servers" => {
+                let n: usize = it
+                    .next()
+                    .ok_or("--servers needs a value")?
+                    .parse()
+                    .map_err(|e| format!("bad server count: {e}"))?;
+                if n == 0 {
+                    return Err("--servers must be at least 1".into());
+                }
+                args.servers = Some(n);
+            }
+            "--shards" => {
+                let k: u32 = it
+                    .next()
+                    .ok_or("--shards needs a value")?
+                    .parse()
+                    .map_err(|e| format!("bad shard count: {e}"))?;
+                if k == 0 {
+                    return Err("--shards must be at least 1".into());
+                }
+                args.shards = Some(k);
+            }
+            "--spill-dir" => {
+                args.spill_dir = Some(it.next().ok_or("--spill-dir needs a value")?);
+            }
+            "--keep-spills" => args.keep_spills = true,
             "--bench-json" => {
                 args.bench_json = Some(it.next().ok_or("--bench-json needs a value")?);
             }
@@ -148,7 +205,7 @@ fn parse_args(snapshot_mode: bool) -> Result<Args, String> {
                 return Err(if snapshot_mode {
                     "usage: reproduce snapshot (--out PATH | --in PATH) [reproduce flags]".into()
                 } else {
-                    "usage: reproduce [--scenario paper|medium|small] [--seed N] [--experiment ID] [--markdown] [--metrics PATH] [--threads N] [--backend columnar|row] [--bench-json PATH] [--bench-baseline PATH] [--digest PATH]".into()
+                    "usage: reproduce [--scenario paper|medium|small] [--seed N] [--experiment ID|none] [--markdown] [--metrics PATH] [--threads N] [--servers N] [--shards K] [--spill-dir PATH] [--keep-spills] [--backend columnar|row] [--bench-json PATH] [--bench-baseline PATH] [--digest PATH]".into()
                 });
             }
             other => return Err(format!("unknown flag {other}")),
@@ -229,15 +286,69 @@ fn write_bench(
 
 /// Writes the trace's ticket-CSV digest to `args.digest` (no-op when the
 /// flag is absent) — the byte-identity fingerprint CI compares across
-/// engine thread counts.
+/// engine thread counts and shard counts.
 fn write_digest(args: &Args, trace: &Trace) -> Result<(), String> {
     let Some(path) = &args.digest else {
         return Ok(());
     };
-    let digest = format!("{:016x}\n", io::fots_digest(trace.fots()));
-    std::fs::write(path, &digest).map_err(|e| format!("cannot write {path}: {e}"))?;
-    eprintln!("trace digest {} written to {path}", digest.trim());
+    write_digest_value(path, io::fots_digest(trace.fots()))
+}
+
+/// Writes an already-computed ticket-CSV digest to `path` — the sharded
+/// digest-only path streams the merge into the digest without ever holding
+/// a trace.
+fn write_digest_value(path: &str, digest: u64) -> Result<(), String> {
+    let line = format!("{digest:016x}\n");
+    std::fs::write(path, &line).map_err(|e| format!("cannot write {path}: {e}"))?;
+    eprintln!("trace digest {} written to {path}", line.trim());
     Ok(())
+}
+
+/// Runs the sharded bounded-memory engine (`dcf-sim::simulate_sharded`).
+///
+/// Returns `Ok((Some(trace), tickets))` when downstream analyses need the
+/// merged trace, or `Ok((None, tickets))` after a digest-only run
+/// (`--experiment none` with no markdown/score/snapshot output) that
+/// streamed the k-way merge straight into the digest without materializing
+/// a FOT vector.
+fn simulate_sharded_run(
+    args: &Args,
+    scenario: &Scenario,
+    shards: u32,
+    registry: &MetricsRegistry,
+    t0: std::time::Instant,
+) -> Result<(Option<Trace>, u64), String> {
+    let digest_only = args.experiment == "none"
+        && args.snapshot_out.is_none()
+        && !args.markdown
+        && !args.markdown_full
+        && !args.score;
+    let mut shard_options = dcf_sim::ShardOptions::new(shards)
+        .keep_spills(args.keep_spills)
+        .materialize_trace(!digest_only);
+    if let Some(dir) = &args.spill_dir {
+        shard_options = shard_options.spill_dir(dir);
+    }
+    let run = dcf_sim::simulate_sharded(
+        &scenario.config,
+        &RunOptions::new().metrics(registry),
+        &shard_options,
+    )
+    .map_err(|e| format!("sharded simulation failed: {e}"))?;
+    eprintln!(
+        "sharded run: {} tickets from {} shards in {:?} ({} spill bytes, digest {:016x})",
+        run.tickets,
+        run.shards,
+        t0.elapsed(),
+        run.bytes_spilled,
+        run.digest,
+    );
+    if run.trace.is_none() {
+        if let Some(path) = &args.digest {
+            write_digest_value(path, run.digest)?;
+        }
+    }
+    Ok((run.trace, run.tickets))
 }
 
 /// Parses and runs the `serve` subcommand: a long-lived `dcf-serve`
@@ -386,7 +497,7 @@ fn main() -> ExitCode {
         );
         trace
     } else {
-        let scenario = match args.scenario.as_str() {
+        let mut scenario = match args.scenario.as_str() {
             "paper" => Scenario::paper(),
             "medium" => Scenario::medium(),
             "small" => Scenario::small(),
@@ -395,6 +506,9 @@ fn main() -> ExitCode {
                 return ExitCode::FAILURE;
             }
         };
+        if let Some(n) = args.servers {
+            scenario.config.fleet.servers = n;
+        }
         eprintln!(
             "running scenario '{}' (seed {}) — {} servers, {}-day window…",
             scenario.name,
@@ -402,16 +516,32 @@ fn main() -> ExitCode {
             scenario.config.fleet.servers,
             scenario.config.fleet.window_days
         );
+        let scenario = scenario.seed(args.seed).engine_threads(args.threads);
         let t0 = std::time::Instant::now();
-        let trace = match scenario
-            .seed(args.seed)
-            .engine_threads(args.threads)
-            .simulate(&RunOptions::new().metrics(&registry))
-        {
-            Ok(t) => t,
-            Err(e) => {
-                eprintln!("simulation failed: {e}");
-                return ExitCode::FAILURE;
+        let trace = if let Some(shards) = args.shards {
+            match simulate_sharded_run(&args, &scenario, shards, &registry, t0) {
+                Ok((Some(trace), _)) => trace,
+                // Digest-only run: everything is done, flush and exit.
+                Ok((None, tickets)) => {
+                    let run = RunShape {
+                        servers: scenario.config.fleet.servers as u64,
+                        window_days: scenario.config.fleet.window_days,
+                    };
+                    registry.set_gauge("trace.fots", tickets as f64);
+                    return finish(&args, &registry, run, tickets);
+                }
+                Err(msg) => {
+                    eprintln!("{msg}");
+                    return ExitCode::FAILURE;
+                }
+            }
+        } else {
+            match scenario.simulate(&RunOptions::new().metrics(&registry)) {
+                Ok(t) => t,
+                Err(e) => {
+                    eprintln!("simulation failed: {e}");
+                    return ExitCode::FAILURE;
+                }
             }
         };
         eprintln!(
@@ -446,6 +576,10 @@ fn main() -> ExitCode {
         return finish(&args, &registry, run, trace.len() as u64);
     }
     registry.set_gauge("trace.fots", trace.len() as f64);
+    if args.experiment == "none" {
+        // Engine-only run: skip the study entirely (bench / digest runs).
+        return finish(&args, &registry, run, trace.len() as u64);
+    }
     let study = FailureStudy::new(&trace);
     let analysis_span = registry.phase("analysis");
 
@@ -525,6 +659,11 @@ fn main() -> ExitCode {
 /// Flushes the optional metrics and bench-summary files; failures to write
 /// either are fatal so scripted runs notice.
 fn finish(args: &Args, registry: &MetricsRegistry, run: RunShape, fots: u64) -> ExitCode {
+    // Snapshot the high-water mark once everything has run; the sharded
+    // engine also records it, but unsharded runs only get it here.
+    if let Some(rss) = dcf_obs::peak_rss_bytes() {
+        registry.set_gauge("mem.peak_rss_bytes", rss as f64);
+    }
     let result =
         write_metrics(args, registry).and_then(|()| write_bench(args, registry, run, fots));
     match result {

@@ -41,8 +41,18 @@ pub struct BenchSummary {
     pub window_days: u64,
     /// Tickets in the produced trace (`sim.tickets.total`).
     pub tickets: u64,
+    /// Shard count of the run (the `engine.shards` gauge; `1` for
+    /// unsharded runs and reports predating the gauge).
+    pub shards: u64,
+    /// Peak resident set size in bytes (the `mem.peak_rss_bytes` gauge),
+    /// when the platform recorded one.
+    pub peak_rss_bytes: Option<u64>,
+    /// Bytes written to shard spill files (the `shard.bytes_spilled`
+    /// counter); `None` for unsharded runs.
+    pub bytes_spilled: Option<u64>,
     /// `(phase name, wall-clock ms)` for every `engine.*`, `study.*`, and
-    /// `trace.*` span, in report order (first occurrence of each name).
+    /// `trace.*` span, in first-appearance order; spans sharing a name
+    /// (one `engine.shard.*` span per shard) are summed into one entry.
     pub phases: Vec<(String, f64)>,
     /// Servers simulated per second of total engine wall-clock (`0` when
     /// no engine time was recorded).
@@ -74,10 +84,12 @@ impl BenchSummary {
     ) -> Self {
         let mut phases: Vec<(String, f64)> = Vec::new();
         for span in &report.phases {
-            if PHASE_PREFIXES.iter().any(|p| span.name.starts_with(p))
-                && !phases.iter().any(|(n, _)| *n == span.name)
-            {
-                phases.push((span.name.clone(), span.duration_ms()));
+            if !PHASE_PREFIXES.iter().any(|p| span.name.starts_with(p)) {
+                continue;
+            }
+            match phases.iter_mut().find(|(n, _)| *n == span.name) {
+                Some((_, ms)) => *ms += span.duration_ms(),
+                None => phases.push((span.name.clone(), span.duration_ms())),
             }
         }
         // Throughput stays an engine metric: analysis/trace spans measure
@@ -102,6 +114,9 @@ impl BenchSummary {
             servers,
             window_days,
             tickets,
+            shards: report.gauge("engine.shards").map_or(1, |s| s as u64),
+            peak_rss_bytes: report.gauge("mem.peak_rss_bytes").map(|b| b as u64),
+            bytes_spilled: report.counter("shard.bytes_spilled"),
             servers_per_sec: per_sec(servers),
             tickets_per_sec: per_sec(tickets),
             phases,
@@ -154,9 +169,15 @@ impl BenchSummary {
         out.push_str(",\n  \"scenario\": ");
         json::write_string(&mut out, &self.scenario);
         out.push_str(&format!(
-            ",\n  \"seed\": {},\n  \"threads\": {},\n  \"servers\": {},\n  \"window_days\": {},\n  \"tickets\": {}",
-            self.seed, self.threads, self.servers, self.window_days, self.tickets
+            ",\n  \"seed\": {},\n  \"threads\": {},\n  \"servers\": {},\n  \"window_days\": {},\n  \"tickets\": {},\n  \"shards\": {}",
+            self.seed, self.threads, self.servers, self.window_days, self.tickets, self.shards
         ));
+        if let Some(bytes) = self.peak_rss_bytes {
+            out.push_str(&format!(",\n  \"peak_rss_bytes\": {bytes}"));
+        }
+        if let Some(bytes) = self.bytes_spilled {
+            out.push_str(&format!(",\n  \"bytes_spilled\": {bytes}"));
+        }
         out.push_str(",\n  \"servers_per_sec\": ");
         json::write_f64(&mut out, self.servers_per_sec);
         out.push_str(",\n  \"tickets_per_sec\": ");
@@ -236,6 +257,61 @@ mod tests {
         // toward throughput): 100 servers → 10k servers/s.
         assert!((s.servers_per_sec - 10_000.0).abs() < 1e-9);
         assert!((s.tickets_per_sec - 40_000.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn repeated_phase_names_sum_into_one_entry() {
+        let r = RunReport {
+            label: "sharded".into(),
+            phases: vec![
+                span("engine.global", 1_000),
+                span("engine.shard.simulate", 2_000),
+                span("engine.shard.spill", 500),
+                span("engine.shard.simulate", 3_000),
+                span("engine.shard.spill", 700),
+                span("engine.shard.merge", 800),
+            ],
+            counters: vec![("shard.bytes_spilled".into(), 4_096)],
+            gauges: vec![
+                ("engine.shards".into(), 2.0),
+                ("mem.peak_rss_bytes".into(), 1_048_576.0),
+            ],
+        };
+        let s = BenchSummary::from_report(&r, "medium", 1, 100, 360, 400);
+        let ms = |name: &str| {
+            s.phases
+                .iter()
+                .find(|(n, _)| n == name)
+                .map(|(_, v)| *v)
+                .unwrap()
+        };
+        assert!((ms("engine.shard.simulate") - 5.0).abs() < 1e-9);
+        assert!((ms("engine.shard.spill") - 1.2).abs() < 1e-9);
+        assert_eq!(s.shards, 2);
+        assert_eq!(s.peak_rss_bytes, Some(1_048_576));
+        assert_eq!(s.bytes_spilled, Some(4_096));
+        // Aggregate engine time is 8 ms → 12.5k servers/s.
+        assert!((s.servers_per_sec - 12_500.0).abs() < 1e-9);
+        let json = s.to_json();
+        for key in [
+            "\"shards\": 2",
+            "\"peak_rss_bytes\": 1048576",
+            "\"bytes_spilled\": 4096",
+        ] {
+            assert!(json.contains(key), "missing {key} in {json}");
+        }
+    }
+
+    #[test]
+    fn unsharded_reports_default_the_shard_fields() {
+        let s = BenchSummary::from_report(&report("run", 6_000, 2_500), "medium", 7, 100, 360, 400);
+        assert_eq!(s.shards, 1);
+        assert_eq!(s.peak_rss_bytes, None);
+        assert_eq!(s.bytes_spilled, None);
+        let json = s.to_json();
+        assert!(json.contains("\"shards\": 1"));
+        assert!(!json.contains("peak_rss_bytes"), "absent gauge leaked");
+        assert!(!json.contains("bytes_spilled"), "absent counter leaked");
     }
 
     #[test]

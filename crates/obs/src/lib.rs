@@ -49,11 +49,13 @@
 
 mod bench;
 pub mod json;
+mod mem;
 mod metrics;
 mod report;
 mod timer;
 
 pub use bench::BenchSummary;
+pub use mem::peak_rss_bytes;
 pub use metrics::{Counter, Gauge, MetricsRegistry};
 pub use report::{ReportError, RunReport};
 pub use timer::{PhaseGuard, PhaseSpan, Stopwatch};

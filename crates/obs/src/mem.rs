@@ -1,0 +1,59 @@
+//! Process memory introspection: peak resident set size.
+//!
+//! The sharded engine's bounded-memory claim (SCALING.md) is checked
+//! against the `mem.peak_rss_bytes` gauge, which this module supplies. The
+//! reading comes from the kernel's high-water mark, so it captures every
+//! allocation in the process — engine, spill buffers, study — not just
+//! what an allocator wrapper would see.
+
+/// Peak resident set size of the current process in bytes, if the
+/// platform exposes it.
+///
+/// On Linux this parses the `VmHWM` line of `/proc/self/status` (reported
+/// in kB). Other platforms return `None`; callers treat the gauge as
+/// optional.
+///
+/// # Examples
+///
+/// ```
+/// if let Some(peak) = dcf_obs::peak_rss_bytes() {
+///     assert!(peak > 0);
+/// }
+/// ```
+pub fn peak_rss_bytes() -> Option<u64> {
+    #[cfg(target_os = "linux")]
+    {
+        let status = std::fs::read_to_string("/proc/self/status").ok()?;
+        for line in status.lines() {
+            if let Some(rest) = line.strip_prefix("VmHWM:") {
+                let kb: u64 = rest.trim().trim_end_matches("kB").trim().parse().ok()?;
+                return Some(kb * 1024);
+            }
+        }
+        None
+    }
+    #[cfg(not(target_os = "linux"))]
+    {
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    #[cfg(target_os = "linux")]
+    fn peak_rss_is_positive_and_monotonic() {
+        let before = peak_rss_bytes().expect("linux exposes VmHWM");
+        assert!(before > 0);
+        // Touch a few MB so the high-water mark cannot shrink below it.
+        let block = vec![1u8; 4 << 20];
+        std::hint::black_box(&block);
+        let after = peak_rss_bytes().expect("linux exposes VmHWM");
+        assert!(
+            after >= before,
+            "peak RSS went backwards: {before} -> {after}"
+        );
+    }
+}

@@ -60,12 +60,20 @@ impl RunReport {
         self.gauges.iter().find(|(n, _)| n == name).map(|(_, v)| *v)
     }
 
-    /// Duration of the first phase named `name`, in milliseconds.
+    /// Total duration of all phases named `name`, in milliseconds, or
+    /// `None` if no span carries the name.
+    ///
+    /// Repeated names arise from per-shard execution (one
+    /// `engine.shard.simulate` span per shard); summing reports the
+    /// phase's aggregate wall-clock.
     pub fn phase_ms(&self, name: &str) -> Option<f64> {
-        self.phases
-            .iter()
-            .find(|p| p.name == name)
-            .map(|p| p.duration_ms())
+        let mut total = 0.0;
+        let mut seen = false;
+        for p in self.phases.iter().filter(|p| p.name == name) {
+            total += p.duration_ms();
+            seen = true;
+        }
+        seen.then_some(total)
     }
 
     /// Serializes the report as pretty-printed JSON.

@@ -71,14 +71,14 @@ fn class_rate_multiplier(class: ComponentClass, count: u32, spatial: f64) -> f64
 
 /// A ticket before id assignment.
 #[derive(Debug, Clone)]
-struct TicketSpec {
-    server: ServerId,
-    class: ComponentClass,
-    slot: u8,
-    ftype: FailureType,
-    error_time: SimTime,
-    category: FotCategory,
-    response: Option<OperatorResponse>,
+pub(crate) struct TicketSpec {
+    pub(crate) server: ServerId,
+    pub(crate) class: ComponentClass,
+    pub(crate) slot: u8,
+    pub(crate) ftype: FailureType,
+    pub(crate) error_time: SimTime,
+    pub(crate) category: FotCategory,
+    pub(crate) response: Option<OperatorResponse>,
 }
 
 /// The assembly ordering key: tickets are issued in time order, with
@@ -102,7 +102,7 @@ struct Occurrence {
 /// Direct (globally scheduled) occurrences in CSR layout: one flat buffer
 /// plus per-server offsets, replacing the former `Vec<Vec<Occurrence>>`
 /// that allocated a (mostly empty) vector per fleet server.
-struct DirectOccurrences {
+pub(crate) struct DirectOccurrences {
     occurrences: Vec<Occurrence>,
     /// `offsets[s]..offsets[s + 1]` bounds server `s`'s slice.
     offsets: Vec<u32>,
@@ -164,7 +164,7 @@ struct ServerScratch {
 /// the hot loops stay atomic-free and the totals are independent of thread
 /// count and chunk boundaries.
 #[derive(Debug, Clone, Copy, Default)]
-struct ServerCounts {
+pub(crate) struct ServerCounts {
     background: u64,
     latent_resolved: u64,
     escalated: u64,
@@ -181,7 +181,7 @@ struct ServerCounts {
 }
 
 impl ServerCounts {
-    fn merge(&mut self, other: &ServerCounts) {
+    pub(crate) fn merge(&mut self, other: &ServerCounts) {
         self.background += other.background;
         self.latent_resolved += other.latent_resolved;
         self.escalated += other.escalated;
@@ -200,7 +200,7 @@ impl ServerCounts {
 
 /// Resolves the engine worker count: `0` means auto (the machine's
 /// available parallelism); any value is clamped to `[1, 16]`.
-fn resolve_engine_threads(requested: usize) -> usize {
+pub(crate) fn resolve_engine_threads(requested: usize) -> usize {
     let n = if requested == 0 {
         std::thread::available_parallelism()
             .map(|n| n.get())
@@ -310,17 +310,29 @@ pub fn run_on_fleet_with_metrics(
     simulate_on_fleet(config, fleet, &RunOptions::new().metrics(metrics))
 }
 
-/// The engine proper: global phase, per-server phase, assembly.
-fn engine_on_fleet(
+/// Everything the global phase produces that the per-server phase needs:
+/// the direct (globally scheduled) occurrences, the shared models, and the
+/// observation window. Building it consumes the single global RNG stream
+/// exactly once, so per-server work — whether over the whole fleet or one
+/// shard's range — sees identical inputs.
+pub(crate) struct GlobalPhase {
+    pub(crate) start: SimTime,
+    pub(crate) end: SimTime,
+    pub(crate) direct: DirectOccurrences,
+    pub(crate) operator: OperatorModel,
+    pub(crate) hazards: HazardTable,
+}
+
+/// Runs the global phase: batch events, synchronous-repeat groups, shared
+/// models. Records the `engine.global` span and the `sim.batch.*` /
+/// `sim.occurrences.{batch,sync_repeat}` counters.
+pub(crate) fn run_global_phase(
     config: &SimConfig,
     fleet: &Fleet,
     metrics: &MetricsRegistry,
-) -> Result<Trace, SimError> {
+) -> GlobalPhase {
     let start = SimTime::from_days(config.fleet.pre_window_days);
     let end = start + SimDuration::from_days(config.fleet.window_days);
-    let fms = FmsMetrics::from_registry(metrics);
-
-    // -------- Global phase --------
     let global_span = metrics.phase("engine.global");
     let mut global_rng = StdRng::seed_from_u64(mix_seed(config.seed, 0x61_0b_a1));
     let mut staged: Vec<(u32, Occurrence)> = Vec::new();
@@ -340,21 +352,40 @@ fn engine_on_fleet(
     // instead of once per server per class inside the hot loop.
     let hazards = config.rates.hazard_table();
     drop(global_span);
+    GlobalPhase {
+        start,
+        end,
+        direct,
+        operator,
+        hazards,
+    }
+}
 
-    // -------- Per-server phase (parallel) --------
-    let per_server_span = metrics.phase("engine.per_server");
-    let n_threads = resolve_engine_threads(config.engine_threads);
-    metrics.set_gauge("engine.threads", n_threads as f64);
-    let chunk = fleet.servers().len().div_ceil(n_threads).max(1);
-    let direct_ref = &direct;
-    let operator_ref = &operator;
-    let hazards_ref = &hazards;
+/// Runs the per-server phase over `servers` (the whole fleet, or one
+/// shard's contiguous range) across `n_threads` workers. Returns the
+/// per-thread spec chunks — each sorted by [`spec_key`] — and the merged
+/// event tallies.
+///
+/// Each server's RNG stream is seeded from `(config.seed, server id)`
+/// alone, so the specs are independent of both the thread count and how
+/// `servers` slices the fleet.
+pub(crate) fn per_server_specs(
+    config: &SimConfig,
+    fleet: &Fleet,
+    global: &GlobalPhase,
+    servers: &[dcf_trace::ServerMeta],
+    n_threads: usize,
+) -> (Vec<Vec<TicketSpec>>, ServerCounts) {
+    let chunk = servers.len().div_ceil(n_threads).max(1);
+    let direct_ref = &global.direct;
+    let operator_ref = &global.operator;
+    let hazards_ref = &global.hazards;
+    let (start, end) = (global.start, global.end);
     let mut spec_chunks: Vec<Vec<TicketSpec>> = Vec::new();
     let mut counts = ServerCounts::default();
 
     crossbeam::thread::scope(|scope| {
-        let handles: Vec<_> = fleet
-            .servers()
+        let handles: Vec<_> = servers
             .chunks(chunk)
             .map(|servers| {
                 scope.spawn(move |_| {
@@ -390,8 +421,16 @@ fn engine_on_fleet(
         }
     })
     .expect("crossbeam scope failed");
-    drop(per_server_span);
+    (spec_chunks, counts)
+}
 
+/// Publishes the per-server phase's event tallies to the registry — once
+/// per run, after every server (all shards included) has been simulated.
+pub(crate) fn publish_server_counts(
+    metrics: &MetricsRegistry,
+    fms: &FmsMetrics,
+    counts: &ServerCounts,
+) {
     metrics.add("sim.occurrences.background", counts.background);
     metrics.add("sim.occurrences.escalated", counts.escalated);
     metrics.add("sim.repeats.expanded", counts.repeats);
@@ -412,6 +451,57 @@ fn engine_on_fleet(
     fms.unmonitored_dropped.add(counts.dropped_unmonitored);
     fms.decommissioned.add(counts.decommissioned);
     fms.responses_sampled.add(counts.responses);
+}
+
+/// Issues the next ticket id and builds the [`dcf_trace::Fot`] for `spec`
+/// — the single spec→ticket conversion shared by in-memory assembly and
+/// the sharded spill merge.
+pub(crate) fn make_fot_from_spec(
+    factory: &mut TicketFactory,
+    fleet: &Fleet,
+    spec: &TicketSpec,
+) -> dcf_trace::Fot {
+    factory.make_fot(
+        Detection {
+            server: spec.server.raw(),
+            class: spec.class,
+            slot: spec.slot,
+            failure_type: spec.ftype,
+            time: spec.error_time,
+        },
+        fleet.server(spec.server),
+        spec.category,
+        spec.response,
+    )
+}
+
+/// Builds the run's [`TraceInfo`] header.
+pub(crate) fn trace_info(config: &SimConfig, start: SimTime) -> TraceInfo {
+    TraceInfo {
+        start,
+        days: config.fleet.window_days,
+        seed: config.seed,
+        description: config.description.clone(),
+    }
+}
+
+/// The engine proper: global phase, per-server phase, assembly.
+fn engine_on_fleet(
+    config: &SimConfig,
+    fleet: &Fleet,
+    metrics: &MetricsRegistry,
+) -> Result<Trace, SimError> {
+    let fms = FmsMetrics::from_registry(metrics);
+    let global = run_global_phase(config, fleet, metrics);
+
+    // -------- Per-server phase (parallel) --------
+    let per_server_span = metrics.phase("engine.per_server");
+    let n_threads = resolve_engine_threads(config.engine_threads);
+    metrics.set_gauge("engine.threads", n_threads as f64);
+    let (spec_chunks, counts) =
+        per_server_specs(config, fleet, &global, fleet.servers(), n_threads);
+    drop(per_server_span);
+    publish_server_counts(metrics, &fms, &counts);
 
     // -------- Assembly --------
     let assembly_span = metrics.phase("engine.assembly");
@@ -424,29 +514,13 @@ fn engine_on_fleet(
     let mut factory = TicketFactory::new();
     let mut fots = Vec::with_capacity(total);
     merge_sorted_specs(spec_chunks, |s| {
-        fots.push(factory.make_fot(
-            Detection {
-                server: s.server.raw(),
-                class: s.class,
-                slot: s.slot,
-                failure_type: s.ftype,
-                time: s.error_time,
-            },
-            fleet.server(s.server),
-            s.category,
-            s.response,
-        ));
+        fots.push(make_fot_from_spec(&mut factory, fleet, &s));
     });
     fms.tickets_issued.add(factory.issued());
 
     let (servers, dcs, lines) = fleet.snapshot();
-    let info = TraceInfo {
-        start,
-        days: config.fleet.window_days,
-        seed: config.seed,
-        description: config.description.clone(),
-    };
-    let trace = Trace::new(info, servers, dcs, lines, fots).map_err(SimError::Trace);
+    let trace = Trace::new(trace_info(config, global.start), servers, dcs, lines, fots)
+        .map_err(SimError::Trace);
     drop(assembly_span);
     trace
 }
@@ -455,7 +529,7 @@ fn engine_on_fleet(
 /// specs in globally sorted order. Ties pick the lowest chunk index;
 /// because chunks are collected in fleet order and each is sorted stably,
 /// the emitted order equals a stable sort of the concatenation.
-fn merge_sorted_specs(chunks: Vec<Vec<TicketSpec>>, mut emit: impl FnMut(TicketSpec)) {
+pub(crate) fn merge_sorted_specs(chunks: Vec<Vec<TicketSpec>>, mut emit: impl FnMut(TicketSpec)) {
     let mut iters: Vec<std::vec::IntoIter<TicketSpec>> =
         chunks.into_iter().map(Vec::into_iter).collect();
     let mut heads: Vec<Option<TicketSpec>> = iters.iter_mut().map(Iterator::next).collect();

@@ -24,6 +24,7 @@ mod engine;
 mod error;
 mod options;
 mod scenario;
+mod shard;
 
 pub use config::SimConfig;
 pub use engine::{expected_background_failures, simulate, simulate_on_fleet};
@@ -32,6 +33,7 @@ pub use engine::{run, run_on_fleet, run_on_fleet_with_metrics, run_with_metrics}
 pub use error::SimError;
 pub use options::RunOptions;
 pub use scenario::Scenario;
+pub use shard::{simulate_sharded, simulate_sharded_on_fleet, ShardOptions, ShardPlan, ShardedRun};
 
 #[cfg(test)]
 mod tests {

@@ -1,0 +1,490 @@
+//! The sharded, bounded-memory engine driver.
+//!
+//! [`simulate_sharded`] partitions the fleet into contiguous server-id
+//! ranges (a [`ShardPlan`]), simulates one shard at a time — reusing the
+//! unsharded engine's global phase and per-server workers verbatim — and
+//! streams each shard's sorted ticket records into a
+//! [`dcf_trace::io::spill`] file instead of holding a global ticket
+//! vector. A final k-way merge replays the spills in global order,
+//! assigns ticket ids, and computes the trace digest as a stream, so peak
+//! memory is bounded by `fleet metadata + one shard's tickets + one merge
+//! chunk per shard` regardless of fleet size.
+//!
+//! Because per-server RNG streams are seeded from `(seed, server id)`
+//! alone and the global phase runs once over the full fleet, the merged
+//! stream is **byte-identical** to an unsharded run at any shard count and
+//! thread count — `SCALING.md` documents the argument, and
+//! `tests/engine_identity.rs` gates it in CI.
+//!
+//! Phases recorded on the run's registry: one `engine.shard.simulate` and
+//! `engine.shard.spill` span per shard, one `engine.shard.merge` span,
+//! plus the `engine.shards` gauge, the `shard.bytes_spilled` counter, and
+//! the `mem.peak_rss_bytes` gauge ([`dcf_obs::BenchSummary`] picks all of
+//! them up).
+
+use std::ops::Range;
+use std::path::PathBuf;
+
+use dcf_fleet::{Fleet, FleetBuilder};
+use dcf_fms::{FmsMetrics, TicketFactory};
+use dcf_trace::io::spill::{merge_spills, ShardSpillReader, ShardSpillWriter, SpillRecord};
+use dcf_trace::io::FotsDigester;
+use dcf_trace::{columns::category_tag, Fot, Trace, TraceError};
+
+use crate::config::SimConfig;
+use crate::engine::{
+    make_fot_from_spec, merge_sorted_specs, per_server_specs, publish_server_counts,
+    resolve_engine_threads, run_global_phase, trace_info, ServerCounts,
+};
+use crate::error::SimError;
+use crate::options::RunOptions;
+
+/// A partition of `n_servers` contiguous server ids into `shards`
+/// near-equal half-open ranges. The first `n_servers % shards` ranges get
+/// one extra server, so sizes differ by at most one.
+///
+/// The plan keys shards by server-id range (not by hash) so each shard's
+/// direct-occurrence lookups and fleet metadata accesses stay contiguous,
+/// and so spill files carry a self-describing `server_lo..server_hi`.
+///
+/// # Examples
+///
+/// ```
+/// use dcf_sim::ShardPlan;
+///
+/// let plan = ShardPlan::new(10, 3);
+/// assert_eq!(plan.shards(), 3);
+/// let ranges: Vec<_> = plan.ranges().collect();
+/// assert_eq!(ranges, vec![0..4, 4..7, 7..10]);
+///
+/// // Degenerate plans clamp: never more shards than servers, never zero.
+/// assert_eq!(ShardPlan::new(2, 8).shards(), 2);
+/// assert_eq!(ShardPlan::new(5, 0).shards(), 1);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ShardPlan {
+    n_servers: u32,
+    shards: u32,
+}
+
+impl ShardPlan {
+    /// Plans `shards` ranges over `n_servers` servers. `shards` is clamped
+    /// to `[1, max(1, n_servers)]`.
+    pub fn new(n_servers: u32, shards: u32) -> Self {
+        Self {
+            n_servers,
+            shards: shards.clamp(1, n_servers.max(1)),
+        }
+    }
+
+    /// Number of shards in the plan.
+    pub fn shards(&self) -> u32 {
+        self.shards
+    }
+
+    /// Total servers covered.
+    pub fn servers(&self) -> u32 {
+        self.n_servers
+    }
+
+    /// The half-open server-id range of shard `shard` (< [`Self::shards`]).
+    pub fn range(&self, shard: u32) -> Range<u32> {
+        assert!(shard < self.shards, "shard {shard} out of {}", self.shards);
+        let base = self.n_servers / self.shards;
+        let extra = self.n_servers % self.shards;
+        // Shards [0, extra) are (base + 1) wide, the rest are base wide.
+        let lo = shard * base + shard.min(extra);
+        let width = base + u32::from(shard < extra);
+        lo..lo + width
+    }
+
+    /// All ranges, in shard order; adjacent ranges abut and the union is
+    /// `0..n_servers`.
+    pub fn ranges(&self) -> impl Iterator<Item = Range<u32>> + '_ {
+        (0..self.shards).map(|s| self.range(s))
+    }
+}
+
+/// Knobs specific to the sharded driver (everything else comes from
+/// [`RunOptions`] and [`SimConfig`]).
+#[derive(Debug, Clone, Default)]
+pub struct ShardOptions {
+    /// Shard count (`0` or `1` = a single shard; clamped to the fleet
+    /// size). More shards lower the per-shard ticket high-water mark.
+    pub shards: u32,
+    /// Directory for the per-shard spill files. `None` uses a
+    /// process-unique directory under the system temp dir.
+    pub spill_dir: Option<PathBuf>,
+    /// Keep the spill files after the merge instead of deleting them.
+    pub keep_spills: bool,
+    /// Assemble a full [`Trace`] from the merged stream. Leave `false` for
+    /// fleets too large to hold a ticket vector in memory: the run then
+    /// reports only the digest and streamed tallies.
+    pub materialize_trace: bool,
+}
+
+impl ShardOptions {
+    /// Default options with `shards` shards.
+    pub fn new(shards: u32) -> Self {
+        Self {
+            shards,
+            ..Self::default()
+        }
+    }
+
+    /// Sets the spill directory.
+    pub fn spill_dir(mut self, dir: impl Into<PathBuf>) -> Self {
+        self.spill_dir = Some(dir.into());
+        self
+    }
+
+    /// Keeps spill files after the merge.
+    pub fn keep_spills(mut self, keep: bool) -> Self {
+        self.keep_spills = keep;
+        self
+    }
+
+    /// Requests full trace assembly after the merge.
+    pub fn materialize_trace(mut self, materialize: bool) -> Self {
+        self.materialize_trace = materialize;
+        self
+    }
+}
+
+/// What a sharded run produces: streamed aggregates always, the full trace
+/// only when [`ShardOptions::materialize_trace`] asked for it.
+#[derive(Debug)]
+#[non_exhaustive]
+pub struct ShardedRun {
+    /// [`dcf_trace::io::fots_digest`] of the merged ticket stream —
+    /// byte-identical to an unsharded run of the same `(config, seed)`.
+    pub digest: u64,
+    /// Total tickets issued.
+    pub tickets: u64,
+    /// Tickets per category, in `[fixing, error, false_alarm]` order
+    /// (matches [`Trace::category_counts`]).
+    pub category_counts: [u64; 3],
+    /// Shards actually run (after clamping to the fleet size).
+    pub shards: u32,
+    /// Bytes written across all spill files.
+    pub bytes_spilled: u64,
+    /// The assembled trace, if requested.
+    pub trace: Option<Trace>,
+}
+
+/// Runs the simulation sharded: builds the fleet, then
+/// [`simulate_sharded_on_fleet`].
+///
+/// With `shards <= 1` and `materialize_trace`, the result's trace is
+/// byte-identical to [`crate::simulate`]'s — the sharded driver is a pure
+/// execution strategy, never a different simulation.
+///
+/// # Examples
+///
+/// ```
+/// use dcf_sim::{simulate, RunOptions, Scenario, ShardOptions};
+/// use dcf_trace::io::fots_digest;
+///
+/// let scenario = Scenario::small().seed(9);
+/// let unsharded = simulate(&scenario.config, &RunOptions::default()).unwrap();
+/// let sharded = dcf_sim::simulate_sharded(
+///     &scenario.config,
+///     &RunOptions::default(),
+///     &ShardOptions::new(4),
+/// )
+/// .unwrap();
+/// assert_eq!(sharded.digest, fots_digest(unsharded.fots()));
+/// assert_eq!(sharded.tickets, unsharded.len() as u64);
+/// ```
+///
+/// # Errors
+///
+/// [`SimError::Fleet`] for invalid fleet configurations, [`SimError::Trace`]
+/// for spill IO failures or (with `materialize_trace`) assembly failures.
+pub fn simulate_sharded(
+    config: &SimConfig,
+    options: &RunOptions,
+    shard_options: &ShardOptions,
+) -> Result<ShardedRun, SimError> {
+    let metrics = &options.metrics;
+    let span = metrics.phase("engine.fleet_build");
+    let fleet = FleetBuilder::new(config.fleet.clone())
+        .seed(config.seed)
+        .metrics(metrics.clone())
+        .build()?;
+    drop(span);
+    simulate_sharded_on_fleet(config, &fleet, options, shard_options)
+}
+
+/// [`simulate_sharded`] on an already-built fleet.
+///
+/// # Errors
+///
+/// Same contract as [`simulate_sharded`].
+pub fn simulate_sharded_on_fleet(
+    config: &SimConfig,
+    fleet: &Fleet,
+    options: &RunOptions,
+    shard_options: &ShardOptions,
+) -> Result<ShardedRun, SimError> {
+    match options.threads {
+        Some(threads) if threads != config.engine_threads => {
+            let mut config = config.clone();
+            config.engine_threads = threads;
+            sharded_engine(&config, fleet, options, shard_options)
+        }
+        _ => sharded_engine(config, fleet, options, shard_options),
+    }
+}
+
+fn sharded_engine(
+    config: &SimConfig,
+    fleet: &Fleet,
+    options: &RunOptions,
+    shard_options: &ShardOptions,
+) -> Result<ShardedRun, SimError> {
+    let metrics = &options.metrics;
+    let fms = FmsMetrics::from_registry(metrics);
+    let n_threads = resolve_engine_threads(config.engine_threads);
+    let plan = ShardPlan::new(fleet.servers().len() as u32, shard_options.shards);
+    metrics.set_gauge("engine.threads", n_threads as f64);
+    metrics.set_gauge("engine.shards", plan.shards() as f64);
+
+    // Global phase runs ONCE over the full fleet, exactly as unsharded:
+    // batch/sync scheduling consumes one RNG stream whose draws must not
+    // depend on the shard count.
+    let global = run_global_phase(config, fleet, metrics);
+
+    let spill_dir = match &shard_options.spill_dir {
+        Some(dir) => dir.clone(),
+        None => std::env::temp_dir().join(format!("dcf-spill-{}", std::process::id())),
+    };
+    std::fs::create_dir_all(&spill_dir).map_err(|e| SimError::Trace(TraceError::from(e)))?;
+
+    // -------- Per-shard simulate + spill --------
+    let mut counts = ServerCounts::default();
+    let mut paths: Vec<PathBuf> = Vec::new();
+    let mut bytes_spilled = 0u64;
+    for shard in 0..plan.shards() {
+        let range = plan.range(shard);
+        let sim_span = metrics.phase("engine.shard.simulate");
+        let servers = &fleet.servers()[range.start as usize..range.end as usize];
+        let (spec_chunks, shard_counts) =
+            per_server_specs(config, fleet, &global, servers, n_threads);
+        counts.merge(&shard_counts);
+        drop(sim_span);
+
+        let spill_span = metrics.phase("engine.shard.spill");
+        let path = spill_dir.join(format!("shard-{shard:04}.dcfspill"));
+        let mut writer = ShardSpillWriter::new(&path, shard, plan.shards(), range.start, range.end);
+        // Same merge discipline as unsharded assembly: the spill file holds
+        // this shard's records in final global order.
+        merge_sorted_specs(spec_chunks, |s| {
+            writer.push(&SpillRecord {
+                server: s.server,
+                class: s.class,
+                slot: s.slot,
+                ftype: s.ftype,
+                error_time: s.error_time,
+                category: s.category,
+                response: s.response,
+            });
+        });
+        bytes_spilled += writer.finish().map_err(SimError::Trace)?;
+        paths.push(path);
+        drop(spill_span);
+    }
+    publish_server_counts(metrics, &fms, &counts);
+    metrics.add("shard.bytes_spilled", bytes_spilled);
+
+    // -------- Streaming merge --------
+    let merge_span = metrics.phase("engine.shard.merge");
+    let readers = paths
+        .iter()
+        .map(ShardSpillReader::open)
+        .collect::<Result<Vec<_>, _>>()
+        .map_err(SimError::Trace)?;
+    let mut factory = TicketFactory::new();
+    let mut digester = FotsDigester::new();
+    let mut category_counts = [0u64; 3];
+    let mut fots: Option<Vec<Fot>> = shard_options.materialize_trace.then(Vec::new);
+    merge_spills(readers, |r| {
+        let spec = crate::engine::TicketSpec {
+            server: r.server,
+            class: r.class,
+            slot: r.slot,
+            ftype: r.ftype,
+            error_time: r.error_time,
+            category: r.category,
+            response: r.response,
+        };
+        let fot = make_fot_from_spec(&mut factory, fleet, &spec);
+        digester.push(&fot);
+        category_counts[category_tag(fot.category) as usize] += 1;
+        if let Some(v) = fots.as_mut() {
+            v.push(fot);
+        }
+    })
+    .map_err(SimError::Trace)?;
+    let total = factory.issued();
+    metrics.add("sim.tickets.total", total);
+    fms.tickets_issued.add(total);
+    drop(merge_span);
+
+    if !shard_options.keep_spills {
+        for p in &paths {
+            std::fs::remove_file(p).ok();
+        }
+        if shard_options.spill_dir.is_none() {
+            std::fs::remove_dir(&spill_dir).ok();
+        }
+    }
+    if let Some(peak) = dcf_obs::peak_rss_bytes() {
+        metrics.set_gauge("mem.peak_rss_bytes", peak as f64);
+    }
+
+    let trace = match fots {
+        Some(fots) => {
+            let (servers, dcs, lines) = fleet.snapshot();
+            Some(
+                Trace::new(trace_info(config, global.start), servers, dcs, lines, fots)
+                    .map_err(SimError::Trace)?,
+            )
+        }
+        None => None,
+    };
+    Ok(ShardedRun {
+        digest: digester.digest(),
+        tickets: total,
+        category_counts,
+        shards: plan.shards(),
+        bytes_spilled,
+        trace,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Scenario;
+    use dcf_trace::io::fots_digest;
+
+    #[test]
+    fn plan_partitions_without_gaps_or_overlap() {
+        for (n, k) in [(0u32, 3u32), (1, 1), (7, 3), (100, 7), (16, 16), (5, 9)] {
+            let plan = ShardPlan::new(n, k);
+            let mut next = 0u32;
+            let mut sizes = Vec::new();
+            for r in plan.ranges() {
+                assert_eq!(r.start, next, "ranges must abut ({n}, {k})");
+                // Clamping guarantees non-empty shards on non-empty fleets.
+                assert!(n == 0 || r.end > r.start, "empty shard range ({n}, {k})");
+                sizes.push(r.end - r.start);
+                next = r.end;
+            }
+            assert_eq!(next, n, "union must cover all servers");
+            let (min, max) = (sizes.iter().min(), sizes.iter().max());
+            if let (Some(min), Some(max)) = (min, max) {
+                assert!(max - min <= 1, "sizes differ by more than one: {sizes:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn sharded_digest_matches_unsharded_trace() {
+        let scenario = Scenario::small().seed(21);
+        let unsharded = crate::simulate(&scenario.config, &RunOptions::default()).unwrap();
+        let expect = fots_digest(unsharded.fots());
+        for shards in [1u32, 3] {
+            let run = simulate_sharded(
+                &scenario.config,
+                &RunOptions::default(),
+                &ShardOptions::new(shards),
+            )
+            .unwrap();
+            assert_eq!(run.digest, expect, "{shards} shards");
+            assert_eq!(run.tickets, unsharded.len() as u64);
+            assert_eq!(
+                run.category_counts,
+                unsharded.category_counts().map(|c| c as u64)
+            );
+            assert!(run.trace.is_none(), "not materialized by default");
+            assert!(run.bytes_spilled > 0);
+        }
+    }
+
+    #[test]
+    fn materialized_sharded_trace_is_byte_identical() {
+        let scenario = Scenario::small().seed(5);
+        let unsharded = crate::simulate(&scenario.config, &RunOptions::default()).unwrap();
+        let run = simulate_sharded(
+            &scenario.config,
+            &RunOptions::default(),
+            &ShardOptions::new(4).materialize_trace(true),
+        )
+        .unwrap();
+        let trace = run.trace.expect("materialization requested");
+        assert_eq!(trace.fots(), unsharded.fots());
+        assert_eq!(trace.info(), unsharded.info());
+    }
+
+    #[test]
+    fn sharded_run_records_shard_metrics() {
+        let registry = dcf_obs::MetricsRegistry::new();
+        let scenario = Scenario::small().seed(2);
+        let run = simulate_sharded(
+            &scenario.config,
+            &RunOptions::new().metrics(&registry),
+            &ShardOptions::new(2),
+        )
+        .unwrap();
+        let report = registry.report("shard-test");
+        assert_eq!(report.gauge("engine.shards"), Some(2.0));
+        assert_eq!(
+            report.counter("shard.bytes_spilled"),
+            Some(run.bytes_spilled)
+        );
+        assert_eq!(report.counter("sim.tickets.total"), Some(run.tickets));
+        for phase in [
+            "engine.fleet_build",
+            "engine.global",
+            "engine.shard.simulate",
+            "engine.shard.spill",
+            "engine.shard.merge",
+        ] {
+            assert!(report.phase_ms(phase).is_some(), "missing span {phase}");
+        }
+        // One simulate span per shard.
+        let simulate_spans = report
+            .phases
+            .iter()
+            .filter(|p| p.name == "engine.shard.simulate")
+            .count();
+        assert_eq!(simulate_spans, 2);
+        #[cfg(target_os = "linux")]
+        assert!(report.gauge("mem.peak_rss_bytes").unwrap_or(0.0) > 0.0);
+    }
+
+    #[test]
+    fn keep_spills_leaves_verifiable_files() {
+        let dir = std::env::temp_dir().join(format!("dcf-shard-keep-{}", std::process::id()));
+        let scenario = Scenario::small().seed(13);
+        let run = simulate_sharded(
+            &scenario.config,
+            &RunOptions::default(),
+            &ShardOptions::new(2).spill_dir(&dir).keep_spills(true),
+        )
+        .unwrap();
+        let mut rows = 0;
+        for shard in 0..2 {
+            let reader = dcf_trace::io::spill::ShardSpillReader::open(
+                dir.join(format!("shard-{shard:04}.dcfspill")),
+            )
+            .unwrap();
+            assert_eq!(reader.shard_count(), 2);
+            rows += reader.rows();
+        }
+        std::fs::remove_dir_all(&dir).ok();
+        assert_eq!(rows, run.tickets);
+    }
+}

@@ -3,6 +3,7 @@
 //! usually shared in), and a versioned binary snapshot ([`snapshot`]).
 
 pub mod snapshot;
+pub mod spill;
 
 use std::io::{BufRead, BufReader, Read, Write};
 
@@ -73,6 +74,42 @@ fn csv_escape(s: &str) -> String {
     }
 }
 
+/// Writes one ticket as a CSV record (no header, trailing newline) — the
+/// row form shared by [`write_fots_csv`] and [`FotsDigester`].
+fn write_fot_csv_row<W: Write>(f: &Fot, writer: &mut W) -> Result<(), TraceError> {
+    let (op_time, operator, action) = match f.response {
+        Some(r) => (
+            r.op_time.as_secs().to_string(),
+            r.operator.raw().to_string(),
+            match r.action {
+                OperatorAction::IssueRepairOrder => "RO",
+                OperatorAction::MarkFalseAlarm => "FA",
+            }
+            .to_string(),
+        ),
+        None => (String::new(), String::new(), String::new()),
+    };
+    writeln!(
+        writer,
+        "{},{},{},{},{},{},{},{},{},{},{},{},{},{}",
+        f.id.raw(),
+        f.server.raw(),
+        f.data_center.raw(),
+        f.product_line.raw(),
+        f.device.index(),
+        f.device_slot,
+        f.failure_type.name(),
+        f.error_time.as_secs(),
+        f.rack_position.raw(),
+        f.category.name(),
+        op_time,
+        operator,
+        action,
+        csv_escape(&f.detail),
+    )?;
+    Ok(())
+}
+
 /// Writes the ticket table as CSV (with header).
 ///
 /// # Errors
@@ -81,38 +118,25 @@ fn csv_escape(s: &str) -> String {
 pub fn write_fots_csv<W: Write>(fots: &[Fot], mut writer: W) -> Result<(), TraceError> {
     writeln!(writer, "{CSV_HEADER}")?;
     for f in fots {
-        let (op_time, operator, action) = match f.response {
-            Some(r) => (
-                r.op_time.as_secs().to_string(),
-                r.operator.raw().to_string(),
-                match r.action {
-                    OperatorAction::IssueRepairOrder => "RO",
-                    OperatorAction::MarkFalseAlarm => "FA",
-                }
-                .to_string(),
-            ),
-            None => (String::new(), String::new(), String::new()),
-        };
-        writeln!(
-            writer,
-            "{},{},{},{},{},{},{},{},{},{},{},{},{},{}",
-            f.id.raw(),
-            f.server.raw(),
-            f.data_center.raw(),
-            f.product_line.raw(),
-            f.device.index(),
-            f.device_slot,
-            f.failure_type.name(),
-            f.error_time.as_secs(),
-            f.rack_position.raw(),
-            f.category.name(),
-            op_time,
-            operator,
-            action,
-            csv_escape(&f.detail),
-        )?;
+        write_fot_csv_row(f, &mut writer)?;
     }
     Ok(())
+}
+
+/// FNV-1a 64 over a byte stream, exposed as an `io::Write` sink.
+struct Fnv1a(u64);
+
+impl Write for Fnv1a {
+    fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+        for &b in buf {
+            self.0 ^= u64::from(b);
+            self.0 = self.0.wrapping_mul(0x100_0000_01b3);
+        }
+        Ok(buf.len())
+    }
+    fn flush(&mut self) -> std::io::Result<()> {
+        Ok(())
+    }
 }
 
 /// A 64-bit FNV-1a digest of the ticket table's CSV form.
@@ -121,22 +145,76 @@ pub fn write_fots_csv<W: Write>(fots: &[Fot], mut writer: W) -> Result<(), Trace
 /// for both — a cheap byte-identity fingerprint for determinism gates
 /// (e.g. diffing engine thread counts in CI) without shipping the CSV.
 pub fn fots_digest(fots: &[Fot]) -> u64 {
-    struct Fnv1a(u64);
-    impl Write for Fnv1a {
-        fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
-            for &b in buf {
-                self.0 ^= u64::from(b);
-                self.0 = self.0.wrapping_mul(0x100_0000_01b3);
-            }
-            Ok(buf.len())
-        }
-        fn flush(&mut self) -> std::io::Result<()> {
-            Ok(())
-        }
-    }
     let mut h = Fnv1a(0xcbf2_9ce4_8422_2325);
     write_fots_csv(fots, &mut h).expect("in-memory digest write cannot fail");
     h.0
+}
+
+/// Streaming form of [`fots_digest`]: feed tickets one at a time and get
+/// the same digest `fots_digest` would report for the whole slice, without
+/// ever materializing it.
+///
+/// This is what lets the sharded engine digest a multi-million-server run
+/// while holding only one merge chunk in memory.
+///
+/// # Examples
+///
+/// ```
+/// use dcf_trace::io::{fots_digest, FotsDigester};
+///
+/// let fots: Vec<dcf_trace::Fot> = Vec::new();
+/// let mut digester = FotsDigester::new();
+/// for fot in &fots {
+///     digester.push(fot);
+/// }
+/// assert_eq!(digester.digest(), fots_digest(&fots));
+/// ```
+#[derive(Debug, Clone)]
+pub struct FotsDigester {
+    hash: Fnv1aState,
+    /// Tickets pushed so far.
+    count: u64,
+}
+
+/// Plain-data FNV state so [`FotsDigester`] can derive `Clone`/`Debug`.
+#[derive(Debug, Clone, Copy)]
+struct Fnv1aState(u64);
+
+impl Default for FotsDigester {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl FotsDigester {
+    /// Starts a digest; the CSV header line is absorbed immediately so an
+    /// empty digester already equals `fots_digest(&[])`.
+    pub fn new() -> Self {
+        let mut h = Fnv1a(0xcbf2_9ce4_8422_2325);
+        writeln!(h, "{CSV_HEADER}").expect("in-memory digest write cannot fail");
+        Self {
+            hash: Fnv1aState(h.0),
+            count: 0,
+        }
+    }
+
+    /// Absorbs one ticket's CSV row.
+    pub fn push(&mut self, fot: &Fot) {
+        let mut h = Fnv1a(self.hash.0);
+        write_fot_csv_row(fot, &mut h).expect("in-memory digest write cannot fail");
+        self.hash = Fnv1aState(h.0);
+        self.count += 1;
+    }
+
+    /// Number of tickets absorbed so far.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// The digest of everything pushed so far.
+    pub fn digest(&self) -> u64 {
+        self.hash.0
+    }
 }
 
 /// Splits one CSV record, honoring double-quote escaping.
@@ -355,6 +433,18 @@ mod tests {
             (h ^ u64::from(byte)).wrapping_mul(0x100_0000_01b3)
         });
         assert_eq!(fots_digest(&[]), expect);
+    }
+
+    #[test]
+    fn streaming_digester_matches_batch_digest() {
+        let fots = sample_fots();
+        let mut digester = FotsDigester::new();
+        assert_eq!(digester.digest(), fots_digest(&[]), "header-only state");
+        for f in &fots {
+            digester.push(f);
+        }
+        assert_eq!(digester.count(), fots.len() as u64);
+        assert_eq!(digester.digest(), fots_digest(&fots));
     }
 
     #[test]

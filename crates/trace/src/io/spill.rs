@@ -1,0 +1,758 @@
+//! Per-shard ticket spill files and their k-way merge.
+//!
+//! The sharded engine simulates disjoint server ranges one at a time and
+//! must not hold every shard's tickets in memory at once. Each shard
+//! instead *spills* its (already sorted) pre-id ticket records into a
+//! columnar container, and a streaming k-way merge replays all shards in
+//! global order so ticket ids — and therefore the trace bytes — come out
+//! identical to an unsharded run:
+//!
+//! ```text
+//! magic "DCFSPIL0" | version u32
+//! shard_index u32 | shard_count u32 | server_lo u32 | server_hi u32
+//! rows u64
+//! columns, each contiguous, in schema order:
+//!   server u32 · class u8 · slot u8 · ftype u8 · error_secs u64 ·
+//!   category u8 · op_secs u64 · operator u16 · action u8
+//! footer: FNV-1a 64 digest over all preceding bytes
+//! ```
+//!
+//! All integers are little-endian; `op_secs == u64::MAX` marks a ticket
+//! without an operator response (then `operator`/`action` hold the
+//! [`crate::columns::NO_OPERATOR`] / [`crate::columns::NO_ACTION`]
+//! sentinels). A record costs 27 bytes — roughly 5× smaller than the
+//! in-memory `Fot` it becomes after the merge assigns ids and joins
+//! fleet metadata back in.
+//!
+//! [`ShardSpillWriter`] buffers one shard's columns and streams them to
+//! disk on [`ShardSpillWriter::finish`]; [`ShardSpillReader`] verifies the
+//! digest up front, then serves bounded row chunks; [`merge_spills`] holds
+//! one chunk per shard and emits records in `(error_time, server, class,
+//! slot)` order with ties going to the lowest shard index — the same
+//! discipline the in-memory engine uses for its per-thread chunks.
+
+use std::collections::HashMap;
+use std::fs::File;
+use std::io::{BufWriter, Read, Seek, SeekFrom, Write};
+use std::path::{Path, PathBuf};
+
+use crate::columns::{action_from_tag, action_tag, category_tag, NO_ACTION, NO_OPERATOR};
+use crate::{
+    ComponentClass, FailureType, FotCategory, OperatorId, OperatorResponse, ServerId, SimTime,
+    TraceError,
+};
+
+/// Magic bytes opening every spill file.
+pub const MAGIC: &[u8; 8] = b"DCFSPIL0";
+/// Current spill format version.
+pub const VERSION: u32 = 1;
+
+/// Bytes one record occupies across the column section.
+pub const ROW_BYTES: u64 = 27;
+
+/// Sentinel in the `op_secs` column: ticket has no operator response.
+const NO_OP_SECS: u64 = u64::MAX;
+
+const HEADER_LEN: u64 = 8 + 4 + 4 * 4 + 8;
+
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+const FNV_PRIME: u64 = 0x100_0000_01b3;
+
+fn err(message: impl Into<String>) -> TraceError {
+    TraceError::Snapshot {
+        message: message.into(),
+    }
+}
+
+/// One pre-id ticket, as produced by a shard's per-server phase: everything
+/// a [`Fot`](crate::Fot) needs except the id (assigned in merge order) and
+/// the fleet-derived fields (DC, product line, rack position, detail),
+/// which the merge consumer joins back from server metadata.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SpillRecord {
+    /// The server the ticket is on.
+    pub server: ServerId,
+    /// Failed component class.
+    pub class: ComponentClass,
+    /// Component slot within its class.
+    pub slot: u8,
+    /// Concrete failure type.
+    pub ftype: FailureType,
+    /// Detection timestamp.
+    pub error_time: SimTime,
+    /// Assigned category.
+    pub category: FotCategory,
+    /// Sampled operator response, if any.
+    pub response: Option<OperatorResponse>,
+}
+
+impl SpillRecord {
+    /// The global merge ordering key (matches the engine's assembly key).
+    pub fn key(&self) -> (SimTime, u32, usize, u8) {
+        (
+            self.error_time,
+            self.server.raw(),
+            self.class.index(),
+            self.slot,
+        )
+    }
+}
+
+/// Streams one shard's sorted ticket records into a spill file.
+///
+/// Records must be pushed in [`SpillRecord::key`] order (debug-asserted);
+/// columns are buffered in memory — 27 bytes per record, bounded by one
+/// shard's ticket count — and written out once by [`finish`].
+///
+/// [`finish`]: ShardSpillWriter::finish
+#[derive(Debug)]
+pub struct ShardSpillWriter {
+    path: PathBuf,
+    shard_index: u32,
+    shard_count: u32,
+    server_lo: u32,
+    server_hi: u32,
+    type_tags: HashMap<FailureType, u8>,
+    servers: Vec<u32>,
+    classes: Vec<u8>,
+    slots: Vec<u8>,
+    ftypes: Vec<u8>,
+    error_secs: Vec<u64>,
+    categories: Vec<u8>,
+    op_secs: Vec<u64>,
+    operators: Vec<u16>,
+    actions: Vec<u8>,
+}
+
+impl ShardSpillWriter {
+    /// Creates a writer for shard `shard_index` of `shard_count`, covering
+    /// the half-open server-id range `server_lo..server_hi`. The file is
+    /// only created by [`ShardSpillWriter::finish`].
+    pub fn new<P: AsRef<Path>>(
+        path: P,
+        shard_index: u32,
+        shard_count: u32,
+        server_lo: u32,
+        server_hi: u32,
+    ) -> Self {
+        let type_tags = FailureType::ALL
+            .iter()
+            .enumerate()
+            .map(|(i, &t)| (t, i as u8))
+            .collect();
+        Self {
+            path: path.as_ref().to_path_buf(),
+            shard_index,
+            shard_count,
+            server_lo,
+            server_hi,
+            type_tags,
+            servers: Vec::new(),
+            classes: Vec::new(),
+            slots: Vec::new(),
+            ftypes: Vec::new(),
+            error_secs: Vec::new(),
+            categories: Vec::new(),
+            op_secs: Vec::new(),
+            operators: Vec::new(),
+            actions: Vec::new(),
+        }
+    }
+
+    /// Rows buffered so far.
+    pub fn rows(&self) -> u64 {
+        self.servers.len() as u64
+    }
+
+    /// Appends one record. Records must arrive sorted by
+    /// [`SpillRecord::key`] and inside the shard's server range.
+    pub fn push(&mut self, rec: &SpillRecord) {
+        debug_assert!(
+            (self.server_lo..self.server_hi).contains(&rec.server.raw()),
+            "server {} outside shard range {}..{}",
+            rec.server.raw(),
+            self.server_lo,
+            self.server_hi,
+        );
+        debug_assert!(
+            self.servers.is_empty() || {
+                let i = self.servers.len() - 1;
+                let prev = (
+                    SimTime::from_secs(self.error_secs[i]),
+                    self.servers[i],
+                    self.classes[i] as usize,
+                    self.slots[i],
+                );
+                prev <= rec.key()
+            },
+            "spill records must be pushed in key order"
+        );
+        self.servers.push(rec.server.raw());
+        self.classes.push(rec.class.index() as u8);
+        self.slots.push(rec.slot);
+        self.ftypes.push(self.type_tags[&rec.ftype]);
+        self.error_secs.push(rec.error_time.as_secs());
+        self.categories.push(category_tag(rec.category));
+        match rec.response {
+            Some(r) => {
+                self.op_secs.push(r.op_time.as_secs());
+                self.operators.push(r.operator.raw());
+                self.actions.push(action_tag(r.action));
+            }
+            None => {
+                self.op_secs.push(NO_OP_SECS);
+                self.operators.push(NO_OPERATOR);
+                self.actions.push(NO_ACTION);
+            }
+        }
+    }
+
+    /// Writes the spill file and returns the bytes written (header +
+    /// columns + footer).
+    ///
+    /// # Errors
+    ///
+    /// Propagates filesystem errors as [`TraceError::Io`].
+    pub fn finish(self) -> Result<u64, TraceError> {
+        struct HashingWriter<W: Write> {
+            inner: W,
+            hash: u64,
+            written: u64,
+        }
+        impl<W: Write> Write for HashingWriter<W> {
+            fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+                let n = self.inner.write(buf)?;
+                for &b in &buf[..n] {
+                    self.hash ^= u64::from(b);
+                    self.hash = self.hash.wrapping_mul(FNV_PRIME);
+                }
+                self.written += n as u64;
+                Ok(n)
+            }
+            fn flush(&mut self) -> std::io::Result<()> {
+                self.inner.flush()
+            }
+        }
+
+        let file = File::create(&self.path)?;
+        let mut w = HashingWriter {
+            inner: BufWriter::new(file),
+            hash: FNV_OFFSET,
+            written: 0,
+        };
+        w.write_all(MAGIC)?;
+        w.write_all(&VERSION.to_le_bytes())?;
+        w.write_all(&self.shard_index.to_le_bytes())?;
+        w.write_all(&self.shard_count.to_le_bytes())?;
+        w.write_all(&self.server_lo.to_le_bytes())?;
+        w.write_all(&self.server_hi.to_le_bytes())?;
+        w.write_all(&(self.servers.len() as u64).to_le_bytes())?;
+        for v in &self.servers {
+            w.write_all(&v.to_le_bytes())?;
+        }
+        w.write_all(&self.classes)?;
+        w.write_all(&self.slots)?;
+        w.write_all(&self.ftypes)?;
+        for v in &self.error_secs {
+            w.write_all(&v.to_le_bytes())?;
+        }
+        w.write_all(&self.categories)?;
+        for v in &self.op_secs {
+            w.write_all(&v.to_le_bytes())?;
+        }
+        for v in &self.operators {
+            w.write_all(&v.to_le_bytes())?;
+        }
+        w.write_all(&self.actions)?;
+        let digest = w.hash;
+        w.write_all(&digest.to_le_bytes())?;
+        let written = w.written;
+        w.flush()?;
+        Ok(written)
+    }
+}
+
+/// Reads a spill file in bounded row chunks.
+///
+/// [`open`] streams the whole file once to verify the FNV-1a footer (no
+/// column is retained), after which [`read_chunk`] seeks each column and
+/// decodes up to the requested number of rows.
+///
+/// [`open`]: ShardSpillReader::open
+/// [`read_chunk`]: ShardSpillReader::read_chunk
+#[derive(Debug)]
+pub struct ShardSpillReader {
+    file: File,
+    shard_index: u32,
+    shard_count: u32,
+    server_lo: u32,
+    server_hi: u32,
+    rows: u64,
+}
+
+impl ShardSpillReader {
+    /// Opens and verifies a spill file written by [`ShardSpillWriter`].
+    ///
+    /// # Errors
+    ///
+    /// [`TraceError::Io`] for filesystem failures, [`TraceError::Snapshot`]
+    /// for a bad magic, unsupported version, truncated file, digest
+    /// mismatch, or a row count that disagrees with the file size.
+    pub fn open<P: AsRef<Path>>(path: P) -> Result<Self, TraceError> {
+        let mut file = File::open(path)?;
+        let len = file.metadata()?.len();
+        if len < HEADER_LEN + 8 {
+            return Err(err("spill file too short"));
+        }
+
+        // One streaming pass for the digest: hash everything except the
+        // 8-byte footer, then compare.
+        let mut hash = FNV_OFFSET;
+        let mut remaining = len - 8;
+        let mut buf = vec![0u8; 1 << 20];
+        while remaining > 0 {
+            let n = (remaining as usize).min(buf.len());
+            file.read_exact(&mut buf[..n])?;
+            for &b in &buf[..n] {
+                hash ^= u64::from(b);
+                hash = hash.wrapping_mul(FNV_PRIME);
+            }
+            remaining -= n as u64;
+        }
+        let mut footer = [0u8; 8];
+        file.read_exact(&mut footer)?;
+        let stored = u64::from_le_bytes(footer);
+        if stored != hash {
+            return Err(err(format!(
+                "spill digest mismatch: stored {stored:016x}, computed {hash:016x}"
+            )));
+        }
+
+        file.seek(SeekFrom::Start(0))?;
+        let mut header = [0u8; HEADER_LEN as usize];
+        file.read_exact(&mut header)?;
+        if &header[..8] != MAGIC {
+            return Err(err("bad spill magic"));
+        }
+        let u32_at = |o: usize| u32::from_le_bytes(header[o..o + 4].try_into().unwrap());
+        let version = u32_at(8);
+        if version != VERSION {
+            return Err(err(format!(
+                "unsupported spill version {version} (expected {VERSION})"
+            )));
+        }
+        let shard_index = u32_at(12);
+        let shard_count = u32_at(16);
+        let server_lo = u32_at(20);
+        let server_hi = u32_at(24);
+        let rows = u64::from_le_bytes(header[28..36].try_into().unwrap());
+        if HEADER_LEN + rows * ROW_BYTES + 8 != len {
+            return Err(err(format!(
+                "spill size mismatch: {rows} rows need {} bytes, file has {len}",
+                HEADER_LEN + rows * ROW_BYTES + 8
+            )));
+        }
+        Ok(Self {
+            file,
+            shard_index,
+            shard_count,
+            server_lo,
+            server_hi,
+            rows,
+        })
+    }
+
+    /// Which shard wrote this file.
+    pub fn shard_index(&self) -> u32 {
+        self.shard_index
+    }
+
+    /// How many shards the run was split into.
+    pub fn shard_count(&self) -> u32 {
+        self.shard_count
+    }
+
+    /// First server id of the shard's half-open range.
+    pub fn server_lo(&self) -> u32 {
+        self.server_lo
+    }
+
+    /// One past the last server id of the shard's range.
+    pub fn server_hi(&self) -> u32 {
+        self.server_hi
+    }
+
+    /// Total records in the file.
+    pub fn rows(&self) -> u64 {
+        self.rows
+    }
+
+    /// Decodes rows `start..start + max_rows` (clamped to the end) into
+    /// records, in stored order.
+    ///
+    /// # Errors
+    ///
+    /// [`TraceError::Io`] on read failures, [`TraceError::Snapshot`] on an
+    /// out-of-range tag (possible only if the file changed after [`open`]
+    /// verified it).
+    ///
+    /// [`open`]: ShardSpillReader::open
+    pub fn read_chunk(
+        &mut self,
+        start: u64,
+        max_rows: usize,
+    ) -> Result<Vec<SpillRecord>, TraceError> {
+        let n = self.rows.saturating_sub(start).min(max_rows as u64) as usize;
+        if n == 0 {
+            return Ok(Vec::new());
+        }
+        // Column base offsets, in schema order.
+        let col = |prior_bytes: u64| HEADER_LEN + prior_bytes;
+        let r = self.rows;
+        let servers = self.read_col_u32(col(0) + start * 4, n)?;
+        let classes = self.read_col_u8(col(r * 4) + start, n)?;
+        let slots = self.read_col_u8(col(r * 5) + start, n)?;
+        let ftypes = self.read_col_u8(col(r * 6) + start, n)?;
+        let error_secs = self.read_col_u64(col(r * 7) + start * 8, n)?;
+        let categories = self.read_col_u8(col(r * 15) + start, n)?;
+        let op_secs = self.read_col_u64(col(r * 16) + start * 8, n)?;
+        let operators = self.read_col_u16(col(r * 24) + start * 2, n)?;
+        let actions = self.read_col_u8(col(r * 26) + start, n)?;
+
+        let mut out = Vec::with_capacity(n);
+        for i in 0..n {
+            let class = *ComponentClass::ALL
+                .get(classes[i] as usize)
+                .ok_or_else(|| err(format!("invalid class tag {}", classes[i])))?;
+            let ftype = *FailureType::ALL
+                .get(ftypes[i] as usize)
+                .ok_or_else(|| err(format!("invalid failure-type tag {}", ftypes[i])))?;
+            let category = *FotCategory::ALL
+                .get(categories[i] as usize)
+                .ok_or_else(|| err(format!("invalid category tag {}", categories[i])))?;
+            let response = if op_secs[i] == NO_OP_SECS {
+                None
+            } else {
+                let action = action_from_tag(actions[i])
+                    .ok_or_else(|| err(format!("invalid action tag {}", actions[i])))?;
+                Some(OperatorResponse {
+                    operator: OperatorId::new(operators[i]),
+                    op_time: SimTime::from_secs(op_secs[i]),
+                    action,
+                })
+            };
+            out.push(SpillRecord {
+                server: ServerId::new(servers[i]),
+                class,
+                slot: slots[i],
+                ftype,
+                error_time: SimTime::from_secs(error_secs[i]),
+                category,
+                response,
+            });
+        }
+        Ok(out)
+    }
+
+    fn read_at(&mut self, offset: u64, buf: &mut [u8]) -> Result<(), TraceError> {
+        self.file.seek(SeekFrom::Start(offset))?;
+        self.file.read_exact(buf)?;
+        Ok(())
+    }
+
+    fn read_col_u8(&mut self, offset: u64, n: usize) -> Result<Vec<u8>, TraceError> {
+        let mut buf = vec![0u8; n];
+        self.read_at(offset, &mut buf)?;
+        Ok(buf)
+    }
+
+    fn read_col_u16(&mut self, offset: u64, n: usize) -> Result<Vec<u16>, TraceError> {
+        let mut buf = vec![0u8; n * 2];
+        self.read_at(offset, &mut buf)?;
+        Ok(buf
+            .chunks_exact(2)
+            .map(|c| u16::from_le_bytes(c.try_into().unwrap()))
+            .collect())
+    }
+
+    fn read_col_u32(&mut self, offset: u64, n: usize) -> Result<Vec<u32>, TraceError> {
+        let mut buf = vec![0u8; n * 4];
+        self.read_at(offset, &mut buf)?;
+        Ok(buf
+            .chunks_exact(4)
+            .map(|c| u32::from_le_bytes(c.try_into().unwrap()))
+            .collect())
+    }
+
+    fn read_col_u64(&mut self, offset: u64, n: usize) -> Result<Vec<u64>, TraceError> {
+        let mut buf = vec![0u8; n * 8];
+        self.read_at(offset, &mut buf)?;
+        Ok(buf
+            .chunks_exact(8)
+            .map(|c| u64::from_le_bytes(c.try_into().unwrap()))
+            .collect())
+    }
+}
+
+/// Rows each merge cursor holds in memory at a time; the merge's peak
+/// memory is one such chunk per shard, independent of total rows.
+pub const MERGE_CHUNK_ROWS: usize = 64 * 1024;
+
+/// K-way merges spill files into one globally ordered record stream.
+///
+/// Readers are processed in ascending `shard_index`; records come out
+/// sorted by [`SpillRecord::key`] with ties going to the lowest shard
+/// index — the exact discipline the in-memory engine uses across its
+/// per-thread chunks, so feeding the stream through a ticket-id factory
+/// reproduces an unsharded run byte for byte. Peak memory is one
+/// [`MERGE_CHUNK_ROWS`] chunk per shard, independent of total rows.
+///
+/// Returns the number of records emitted.
+///
+/// # Errors
+///
+/// Propagates reader errors ([`TraceError::Io`] / [`TraceError::Snapshot`]).
+///
+/// # Examples
+///
+/// ```
+/// use dcf_trace::io::spill::{merge_spills, ShardSpillReader, ShardSpillWriter, SpillRecord};
+/// use dcf_trace::{ComponentClass, FailureType, FotCategory, ServerId, SimTime};
+///
+/// let rec = |server: u32, day: u64| SpillRecord {
+///     server: ServerId::new(server),
+///     class: ComponentClass::Hdd,
+///     slot: 0,
+///     ftype: FailureType::SmartFail,
+///     error_time: SimTime::from_days(day),
+///     category: FotCategory::Fixing,
+///     response: None,
+/// };
+/// let dir = std::env::temp_dir().join(format!("dcf-spill-doc-{}", std::process::id()));
+/// std::fs::create_dir_all(&dir).unwrap();
+///
+/// // Shard 0 owns servers 0..2, shard 1 owns 2..4; both are sorted.
+/// let mut w0 = ShardSpillWriter::new(dir.join("s0.dcfspill"), 0, 2, 0, 2);
+/// w0.push(&rec(0, 3));
+/// w0.push(&rec(1, 9));
+/// w0.finish().unwrap();
+/// let mut w1 = ShardSpillWriter::new(dir.join("s1.dcfspill"), 1, 2, 2, 4);
+/// w1.push(&rec(3, 1));
+/// w1.push(&rec(2, 5));
+/// w1.push(&rec(2, 9));
+/// w1.finish().unwrap();
+///
+/// let readers = vec![
+///     ShardSpillReader::open(dir.join("s0.dcfspill")).unwrap(),
+///     ShardSpillReader::open(dir.join("s1.dcfspill")).unwrap(),
+/// ];
+/// let mut merged = Vec::new();
+/// let n = merge_spills(readers, |r| merged.push((r.error_time.day_index(), r.server.raw())))
+///     .unwrap();
+/// std::fs::remove_dir_all(&dir).ok();
+/// assert_eq!(n, 5);
+/// // Global (error_time, server) order across both shards:
+/// assert_eq!(merged, vec![(1, 3), (3, 0), (5, 2), (9, 1), (9, 2)]);
+/// ```
+pub fn merge_spills(
+    readers: Vec<ShardSpillReader>,
+    mut emit: impl FnMut(SpillRecord),
+) -> Result<u64, TraceError> {
+    struct Cursor {
+        reader: ShardSpillReader,
+        buf: Vec<SpillRecord>,
+        pos: usize,
+        next_row: u64,
+    }
+    impl Cursor {
+        fn head(&mut self) -> Result<Option<&SpillRecord>, TraceError> {
+            if self.pos == self.buf.len() {
+                if self.next_row >= self.reader.rows() {
+                    return Ok(None);
+                }
+                self.buf = self.reader.read_chunk(self.next_row, MERGE_CHUNK_ROWS)?;
+                self.next_row += self.buf.len() as u64;
+                self.pos = 0;
+            }
+            Ok(self.buf.get(self.pos))
+        }
+    }
+
+    let mut cursors: Vec<Cursor> = readers
+        .into_iter()
+        .map(|reader| Cursor {
+            reader,
+            buf: Vec::new(),
+            pos: 0,
+            next_row: 0,
+        })
+        .collect();
+    cursors.sort_by_key(|c| c.reader.shard_index());
+
+    let mut emitted = 0u64;
+    loop {
+        let mut best: Option<(usize, (SimTime, u32, usize, u8))> = None;
+        for (i, cursor) in cursors.iter_mut().enumerate() {
+            if let Some(head) = cursor.head()? {
+                let k = head.key();
+                // Strict `<` keeps the lowest shard index on ties.
+                if best.is_none_or(|(_, bk)| k < bk) {
+                    best = Some((i, k));
+                }
+            }
+        }
+        let Some((i, _)) = best else { break };
+        let cursor = &mut cursors[i];
+        let rec = cursor.buf[cursor.pos];
+        cursor.pos += 1;
+        emit(rec);
+        emitted += 1;
+    }
+    Ok(emitted)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::OperatorAction;
+
+    fn temp_path(name: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join("dcf-spill-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        dir.join(format!("{name}-{}.dcfspill", std::process::id()))
+    }
+
+    fn rec(server: u32, secs: u64, slot: u8, with_response: bool) -> SpillRecord {
+        SpillRecord {
+            server: ServerId::new(server),
+            class: ComponentClass::Hdd,
+            slot,
+            ftype: FailureType::SmartFail,
+            error_time: SimTime::from_secs(secs),
+            category: if with_response {
+                FotCategory::Fixing
+            } else {
+                FotCategory::Error
+            },
+            response: with_response.then(|| OperatorResponse {
+                operator: OperatorId::new(3),
+                op_time: SimTime::from_secs(secs + 7200),
+                action: OperatorAction::IssueRepairOrder,
+            }),
+        }
+    }
+
+    #[test]
+    fn round_trip_preserves_records_and_header() {
+        let path = temp_path("round-trip");
+        let records: Vec<SpillRecord> = (0..300)
+            .map(|i| rec(i / 3, 1000 * i as u64, (i % 3) as u8, i % 2 == 0))
+            .collect();
+        let mut w = ShardSpillWriter::new(&path, 2, 8, 0, 100);
+        for r in &records {
+            w.push(r);
+        }
+        let bytes = w.finish().unwrap();
+        assert_eq!(
+            bytes,
+            HEADER_LEN + 300 * ROW_BYTES + 8,
+            "27 bytes per row plus header and footer"
+        );
+
+        let mut reader = ShardSpillReader::open(&path).unwrap();
+        assert_eq!(reader.shard_index(), 2);
+        assert_eq!(reader.shard_count(), 8);
+        assert_eq!(reader.server_lo(), 0);
+        assert_eq!(reader.server_hi(), 100);
+        assert_eq!(reader.rows(), 300);
+        // Read back in odd-sized chunks to exercise the chunk seams.
+        let mut back = Vec::new();
+        let mut start = 0;
+        while start < reader.rows() {
+            let chunk = reader.read_chunk(start, 37).unwrap();
+            start += chunk.len() as u64;
+            back.extend(chunk);
+        }
+        std::fs::remove_file(&path).ok();
+        assert_eq!(back, records);
+    }
+
+    #[test]
+    fn corruption_and_truncation_are_typed_errors() {
+        let path = temp_path("corrupt");
+        let mut w = ShardSpillWriter::new(&path, 0, 1, 0, 10);
+        for i in 0..20 {
+            w.push(&rec(i % 10, 500 * i as u64, 0, false));
+        }
+        w.finish().unwrap();
+
+        let mut bytes = std::fs::read(&path).unwrap();
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0x01;
+        std::fs::write(&path, &bytes).unwrap();
+        let e = ShardSpillReader::open(&path).unwrap_err();
+        assert!(e.to_string().contains("digest"), "{e}");
+
+        bytes[mid] ^= 0x01; // restore, then truncate
+        std::fs::write(&path, &bytes[..bytes.len() - 5]).unwrap();
+        assert!(matches!(
+            ShardSpillReader::open(&path),
+            Err(TraceError::Snapshot { .. })
+        ));
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn merge_interleaves_shards_in_key_order() {
+        let pa = temp_path("merge-a");
+        let pb = temp_path("merge-b");
+        let mut wa = ShardSpillWriter::new(&pa, 0, 2, 0, 5);
+        let mut wb = ShardSpillWriter::new(&pb, 1, 2, 5, 10);
+        // Identical timestamps across shards: the lower server id (which
+        // lives in the lower shard) must win the tie.
+        for i in 0..50u64 {
+            wa.push(&rec((i / 10) as u32, i * 100, 0, false));
+            wb.push(&rec(5 + (i / 10) as u32, i * 100, 0, false));
+        }
+        wa.finish().unwrap();
+        wb.finish().unwrap();
+
+        // Open out of order: merge sorts by shard index.
+        let readers = vec![
+            ShardSpillReader::open(&pb).unwrap(),
+            ShardSpillReader::open(&pa).unwrap(),
+        ];
+        let mut merged = Vec::new();
+        let n = merge_spills(readers, |r| merged.push(r)).unwrap();
+        std::fs::remove_file(&pa).ok();
+        std::fs::remove_file(&pb).ok();
+        assert_eq!(n, 100);
+        for pair in merged.windows(2) {
+            assert!(pair[0].key() <= pair[1].key(), "merge output out of order");
+        }
+        // Every equal-time pair has the low-shard server first.
+        for pair in merged.chunks(2) {
+            assert_eq!(pair[0].error_time, pair[1].error_time);
+            assert!(pair[0].server.raw() < pair[1].server.raw());
+        }
+    }
+
+    #[test]
+    fn empty_shard_merges_cleanly() {
+        let pa = temp_path("empty-a");
+        let pb = temp_path("empty-b");
+        ShardSpillWriter::new(&pa, 0, 2, 0, 5).finish().unwrap();
+        let mut wb = ShardSpillWriter::new(&pb, 1, 2, 5, 10);
+        wb.push(&rec(7, 123, 1, true));
+        wb.finish().unwrap();
+        let readers = vec![
+            ShardSpillReader::open(&pa).unwrap(),
+            ShardSpillReader::open(&pb).unwrap(),
+        ];
+        let mut merged = Vec::new();
+        merge_spills(readers, |r| merged.push(r)).unwrap();
+        std::fs::remove_file(&pa).ok();
+        std::fs::remove_file(&pb).ok();
+        assert_eq!(merged, vec![rec(7, 123, 1, true)]);
+    }
+}

@@ -1,15 +1,17 @@
-//! Byte-identity of the engine across worker-thread counts.
+//! Byte-identity of the engine across worker-thread counts and shard
+//! counts.
 //!
-//! The contract under test: `SimConfig::engine_threads` is purely an
-//! execution knob. Workers own disjoint server chunks, every server draws
-//! from its own RNG stream, and the pre-sorted assembly's k-way merge
-//! reproduces the sequential stable sort exactly — so the trace (every
-//! ticket field, in order) must not change by a single byte at any thread
-//! count. The CSV digest is the same fingerprint CI diffs between
-//! `reproduce --threads 1` and auto.
+//! The contract under test: `SimConfig::engine_threads` and
+//! `ShardOptions::shards` are purely execution knobs. Workers own disjoint
+//! server chunks, every server draws from its own RNG stream, and both the
+//! pre-sorted assembly and the spill-file merge reproduce the sequential
+//! stable sort exactly — so the trace (every ticket field, in order) must
+//! not change by a single byte at any thread or shard count. The CSV
+//! digest is the same fingerprint CI diffs between `reproduce --threads 1`
+//! and auto, and between `--shards 1` and `--shards 4`.
 
 use dcfail::obs::MetricsRegistry;
-use dcfail::sim::{RunOptions, Scenario};
+use dcfail::sim::{simulate_sharded, RunOptions, Scenario, ShardOptions};
 use dcfail::trace::{io, Trace};
 
 const SEEDS: [u64; 3] = [1, 7, 42];
@@ -42,6 +44,53 @@ fn traces_are_byte_identical_across_thread_counts() {
             );
         }
     }
+}
+
+/// The sharded engine matrix: shards × threads × seeds. Every combination
+/// must stream to the same digest the unsharded engine computes from its
+/// in-memory trace — sharding is invisible in the output.
+#[test]
+fn sharded_digests_match_the_unsharded_trace() {
+    for seed in SEEDS {
+        let reference = small_trace(seed, 1);
+        let reference_digest = io::fots_digest(reference.fots());
+        for shards in [1u32, 2, 8] {
+            for threads in [1usize, 4] {
+                let scenario = Scenario::small().seed(seed).engine_threads(threads);
+                let run = simulate_sharded(
+                    &scenario.config,
+                    &RunOptions::default(),
+                    &ShardOptions::new(shards),
+                )
+                .expect("sharded simulation runs");
+                assert_eq!(
+                    run.digest, reference_digest,
+                    "seed {seed}: digest diverged at {shards} shards, {threads} threads"
+                );
+                assert_eq!(
+                    run.tickets,
+                    reference.len() as u64,
+                    "seed {seed}: ticket count diverged at {shards} shards, {threads} threads"
+                );
+            }
+        }
+    }
+}
+
+/// A materialized sharded trace must be byte-identical to the unsharded
+/// one, not merely digest-equal.
+#[test]
+fn materialized_sharded_trace_matches_unsharded_fots() {
+    let reference = small_trace(7, 2);
+    let scenario = Scenario::small().seed(7).engine_threads(2);
+    let run = simulate_sharded(
+        &scenario.config,
+        &RunOptions::default(),
+        &ShardOptions::new(3).materialize_trace(true),
+    )
+    .expect("sharded simulation runs");
+    let trace = run.trace.expect("trace was requested");
+    assert_eq!(trace.fots(), reference.fots());
 }
 
 #[test]

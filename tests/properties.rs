@@ -285,3 +285,112 @@ proptest! {
         prop_assert!(d.cdf(k + 1) + 1e-12 >= c);
     }
 }
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Spill-merge round-trip: however the server space is split into
+    /// contiguous shards, writing each shard's sorted records to a
+    /// `DCFSPIL0` file and k-way merging the files reproduces the stable
+    /// global `(error_time, server, class, slot)` order — duplicate cut
+    /// points produce empty shards, which must merge cleanly too.
+    #[test]
+    fn spill_merge_of_random_shard_splits_round_trips(
+        raw in proptest::collection::vec(
+            (
+                0u32..200,        // server id
+                0usize..11,       // component class index
+                0u8..4,           // slot
+                0usize..34,       // failure type index
+                0u64..10_000_000, // error time (secs)
+                0usize..3,        // category index
+                0u64..500_000,    // response delay (secs)
+                0u16..50,         // operator id
+            ),
+            0..300,
+        ),
+        cuts in proptest::collection::vec(0u32..=200, 0..5),
+    ) {
+        use dcfail::trace::io::spill::{
+            merge_spills, ShardSpillReader, ShardSpillWriter, SpillRecord,
+        };
+        use dcfail::trace::{
+            ComponentClass, FailureType, FotCategory, OperatorAction, OperatorId,
+            OperatorResponse, ServerId, SimTime,
+        };
+        use std::sync::atomic::{AtomicU64, Ordering};
+
+        static DIR_COUNTER: AtomicU64 = AtomicU64::new(0);
+
+        let records: Vec<SpillRecord> = raw
+            .iter()
+            .map(|&(server, class, slot, ftype, secs, cat, op_delta, op)| {
+                let category = FotCategory::ALL[cat];
+                let response = category.has_response().then(|| OperatorResponse {
+                    operator: OperatorId::new(op),
+                    op_time: SimTime::from_secs(secs + op_delta),
+                    action: if category == FotCategory::FalseAlarm {
+                        OperatorAction::MarkFalseAlarm
+                    } else {
+                        OperatorAction::IssueRepairOrder
+                    },
+                });
+                SpillRecord {
+                    server: ServerId::new(server),
+                    class: ComponentClass::ALL[class],
+                    slot,
+                    ftype: FailureType::ALL[ftype],
+                    error_time: SimTime::from_secs(secs),
+                    category,
+                    response,
+                }
+            })
+            .collect();
+
+        // Random contiguous split of the server space 0..200.
+        let mut bounds = cuts.clone();
+        bounds.push(0);
+        bounds.push(200);
+        bounds.sort_unstable();
+        let ranges: Vec<(u32, u32)> = bounds.windows(2).map(|w| (w[0], w[1])).collect();
+        let shards: Vec<Vec<SpillRecord>> = ranges
+            .iter()
+            .map(|&(lo, hi)| {
+                let mut recs: Vec<SpillRecord> = records
+                    .iter()
+                    .filter(|r| (lo..hi).contains(&r.server.raw()))
+                    .copied()
+                    .collect();
+                recs.sort_by_key(|r| r.key());
+                recs
+            })
+            .collect();
+
+        let dir = std::env::temp_dir().join(format!(
+            "dcf-prop-spill-{}-{}",
+            std::process::id(),
+            DIR_COUNTER.fetch_add(1, Ordering::Relaxed),
+        ));
+        std::fs::create_dir_all(&dir).expect("temp dir");
+        let k = ranges.len() as u32;
+        let mut readers = Vec::with_capacity(ranges.len());
+        for (i, (&(lo, hi), recs)) in ranges.iter().zip(&shards).enumerate() {
+            let path = dir.join(format!("shard-{i}.dcfspill"));
+            let mut writer = ShardSpillWriter::new(&path, i as u32, k, lo, hi);
+            for r in recs {
+                writer.push(r);
+            }
+            writer.finish().expect("spill writes");
+            readers.push(ShardSpillReader::open(&path).expect("spill verifies"));
+        }
+        let mut merged = Vec::with_capacity(records.len());
+        merge_spills(readers, |r| merged.push(r)).expect("merge runs");
+        std::fs::remove_dir_all(&dir).ok();
+
+        // Reference: concatenation in shard order, stably sorted by the
+        // merge key — exactly the lowest-shard-wins tie discipline.
+        let mut expected: Vec<SpillRecord> = shards.concat();
+        expected.sort_by_key(|r| r.key());
+        prop_assert_eq!(merged, expected);
+    }
+}
