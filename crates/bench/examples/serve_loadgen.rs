@@ -1,142 +1,636 @@
-//! Load generator for the `dcf-serve` query service.
+//! Latency-tracked load generator for the `dcf-serve` query service.
 //!
-//! Starts an in-process server on an ephemeral port, fires a burst of
-//! concurrent clients at the `/simulate` + `/report/*` + `/trace/*`
-//! endpoints, and prints per-endpoint latency and the server's own
-//! metrics report. The first round is all cache misses; the remaining
-//! rounds show the cached steady state.
+//! Drives thousands of concurrent keep-alive HTTP/1.1 connections from a
+//! single thread using the same readiness [`Poller`] the server's event
+//! loop is built on: every connection is opened once, then cycles
+//! request → response for `--requests-per-conn` rounds while a bounded
+//! window of in-flight requests paces the fleet. Per-request latency is
+//! measured client-side (first request byte written → last response byte
+//! read) and summarized as p50/p99/max together with the shed rate and
+//! sustained requests/s — the `"serve"` block of the `BENCH_*.json`
+//! schema (see SERVING.md).
 //!
 //! ```text
+//! # self-contained: starts an in-process server, light defaults
 //! cargo run --release -p dcf-bench --example serve_loadgen
+//!
+//! # flagship: 10k keep-alive connections against an external server
+//! target/release/reproduce serve --addr 127.0.0.1:8620 &
+//! cargo run --release -p dcf-bench --example serve_loadgen -- \
+//!     --addr 127.0.0.1:8620 --connections 10000 --requests-per-conn 4 \
+//!     --window 256 --bench-json BENCH_PR7.json
 //! ```
+//!
+//! Requests that are shed (`503` + `Retry-After`) are counted separately
+//! from errors: shedding is the service's documented overload behaviour,
+//! and a shed connection is closed by the server, so its remaining rounds
+//! are abandoned rather than retried.
 
-use std::io::{Read, Write};
-use std::net::{SocketAddr, TcpStream};
+use std::collections::VecDeque;
+use std::io::{ErrorKind, Read, Write};
+use std::net::{SocketAddr, TcpStream, ToSocketAddrs};
+use std::process::ExitCode;
 use std::time::{Duration, Instant};
 
-use dcf_obs::MetricsRegistry;
-use dcf_serve::{ServeConfig, Server, SECTIONS};
+use dcf_obs::{BenchSummary, MetricsRegistry, RunReport, ServeBench};
+use dcf_serve::{poller::raw_fd, Interest, Poller, ServeConfig, Server};
 
-const CLIENTS: usize = 4;
-const ROUNDS: usize = 3;
-const SEEDS: [u64; 2] = [1, 2];
+/// Parked interest: the connection stays registered (so peer hang-ups
+/// are still delivered) but asks for no read/write readiness.
+const IDLE: Interest = Interest {
+    read: false,
+    write: false,
+};
+/// Whole-run safety deadline; a wedged server fails the bench instead of
+/// hanging it.
+const RUN_DEADLINE: Duration = Duration::from_secs(300);
 
-fn request(addr: SocketAddr, raw: &str) -> (u16, String) {
-    let mut stream = TcpStream::connect(addr).expect("connect");
+struct Options {
+    /// External server to target; `None` starts one in-process.
+    addr: Option<String>,
+    connections: usize,
+    requests_per_conn: usize,
+    /// Maximum in-flight requests across the whole fleet.
+    window: usize,
+    /// Worker threads for the in-process server.
+    workers: usize,
+    scenario: String,
+    seed: u64,
+    bench_json: Option<String>,
+}
+
+fn parse_options() -> Result<Options, String> {
+    let mut opts = Options {
+        addr: None,
+        connections: 256,
+        requests_per_conn: 4,
+        window: 64,
+        workers: 4,
+        scenario: "small".into(),
+        seed: 1,
+        bench_json: None,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        let mut value = |name: &str| it.next().ok_or(format!("{name} needs a value"));
+        match flag.as_str() {
+            "--addr" => opts.addr = Some(value("--addr")?),
+            "--connections" => {
+                opts.connections = value("--connections")?
+                    .parse()
+                    .map_err(|e| format!("bad --connections: {e}"))?;
+            }
+            "--requests-per-conn" => {
+                opts.requests_per_conn = value("--requests-per-conn")?
+                    .parse()
+                    .map_err(|e| format!("bad --requests-per-conn: {e}"))?;
+            }
+            "--window" => {
+                opts.window = value("--window")?
+                    .parse()
+                    .map_err(|e| format!("bad --window: {e}"))?;
+            }
+            "--workers" => {
+                opts.workers = value("--workers")?
+                    .parse()
+                    .map_err(|e| format!("bad --workers: {e}"))?;
+            }
+            "--scenario" => opts.scenario = value("--scenario")?,
+            "--seed" => {
+                opts.seed = value("--seed")?
+                    .parse()
+                    .map_err(|e| format!("bad --seed: {e}"))?;
+            }
+            "--bench-json" => opts.bench_json = Some(value("--bench-json")?),
+            "--help" | "-h" => {
+                return Err("usage: serve_loadgen [--addr HOST:PORT] [--connections N] \
+                     [--requests-per-conn N] [--window N] [--workers N] \
+                     [--scenario NAME] [--seed N] [--bench-json PATH]"
+                    .into());
+            }
+            other => return Err(format!("unknown flag {other}")),
+        }
+    }
+    if opts.connections == 0 || opts.requests_per_conn == 0 {
+        return Err("--connections and --requests-per-conn must be at least 1".into());
+    }
+    opts.window = opts.window.clamp(1, opts.connections);
+    Ok(opts)
+}
+
+/// One keep-alive load connection cycling request → response.
+struct Conn {
+    stream: TcpStream,
+    state: ConnState,
+    /// Unsent tail of the current request.
+    out: Vec<u8>,
+    out_pos: usize,
+    /// Partially read response.
+    buf: Vec<u8>,
+    sent_at: Instant,
+    /// Requests still to issue on this connection.
+    remaining: usize,
+    /// Responses already received (reuse = served beyond the first).
+    served: u64,
+}
+
+#[derive(PartialEq, Clone, Copy)]
+enum ConnState {
+    /// Waiting for a window slot.
+    Idle,
+    /// Writing the request.
+    Sending,
+    /// Awaiting / reading the response.
+    Receiving,
+    /// All rounds completed; held open to sustain concurrency.
+    Done,
+    /// Closed (shed, error, or peer hang-up); no longer registered.
+    Dead,
+}
+
+/// Client-side measurements of one load run.
+struct LoadStats {
+    connections: u64,
+    ok: u64,
+    shed: u64,
+    errors: u64,
+    reused: u64,
+    duration: Duration,
+    /// Sorted 200-response latencies in milliseconds.
+    latencies_ms: Vec<f64>,
+}
+
+impl LoadStats {
+    fn percentile(&self, q: f64) -> f64 {
+        if self.latencies_ms.is_empty() {
+            return 0.0;
+        }
+        let rank = ((self.latencies_ms.len() - 1) as f64 * q).round() as usize;
+        self.latencies_ms[rank]
+    }
+
+    fn to_bench(&self) -> ServeBench {
+        let completed = self.ok + self.shed;
+        let secs = self.duration.as_secs_f64();
+        ServeBench {
+            connections: self.connections,
+            requests: self.ok,
+            shed: self.shed,
+            errors: self.errors,
+            keepalive_reused: self.reused,
+            duration_ms: secs * 1e3,
+            requests_per_sec: if secs > 0.0 {
+                completed as f64 / secs
+            } else {
+                0.0
+            },
+            shed_rate: if completed > 0 {
+                self.shed as f64 / completed as f64
+            } else {
+                0.0
+            },
+            latency_p50_ms: self.percentile(0.50),
+            latency_p99_ms: self.percentile(0.99),
+            latency_max_ms: self.latencies_ms.last().copied().unwrap_or(0.0),
+        }
+    }
+}
+
+/// A complete HTTP response pulled off a connection buffer, or `None`
+/// while more bytes are needed.
+fn parse_response(buf: &[u8]) -> Result<Option<(u16, bool, usize)>, String> {
+    let Some(head_end) = buf.windows(4).position(|w| w == b"\r\n\r\n") else {
+        return Ok(None);
+    };
+    let head =
+        std::str::from_utf8(&buf[..head_end]).map_err(|_| "non-UTF-8 response head".to_string())?;
+    let mut content_length = 0usize;
+    let mut close = false;
+    for line in head.lines().skip(1) {
+        let Some((name, value)) = line.split_once(':') else {
+            continue;
+        };
+        if name.eq_ignore_ascii_case("content-length") {
+            content_length = value
+                .trim()
+                .parse()
+                .map_err(|e| format!("bad content-length: {e}"))?;
+        } else if name.eq_ignore_ascii_case("connection") {
+            close = value.trim().eq_ignore_ascii_case("close");
+        }
+    }
+    let total = head_end + 4 + content_length;
+    if buf.len() < total {
+        return Ok(None);
+    }
+    let status: u16 = head
+        .split(' ')
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .ok_or_else(|| format!("bad status line: {head}"))?;
+    Ok(Some((status, close, total)))
+}
+
+/// Opens the fleet, runs every connection through its rounds under the
+/// in-flight window, and returns the client-side measurements.
+fn run_load(addr: SocketAddr, opts: &Options) -> Result<LoadStats, String> {
+    let request = format!(
+        "GET /report/overview?scenario={}&seed={} HTTP/1.1\r\nhost: loadgen\r\n\r\n",
+        opts.scenario, opts.seed
+    )
+    .into_bytes();
+
+    let mut poller = Poller::new(None).map_err(|e| format!("poller: {e}"))?;
+    eprintln!(
+        "ramping {} keep-alive connections ({} backend)…",
+        opts.connections,
+        poller.backend_name()
+    );
+    let ramp0 = Instant::now();
+    let mut conns: Vec<Conn> = Vec::with_capacity(opts.connections);
+    for i in 0..opts.connections {
+        let stream = TcpStream::connect(addr)
+            .map_err(|e| format!("connect {} of {}: {e}", i + 1, opts.connections))?;
+        stream.set_nodelay(true).ok();
+        stream
+            .set_nonblocking(true)
+            .map_err(|e| format!("nonblocking: {e}"))?;
+        poller
+            .register(raw_fd(&stream), i as u64, IDLE)
+            .map_err(|e| format!("register: {e}"))?;
+        conns.push(Conn {
+            stream,
+            state: ConnState::Idle,
+            out: Vec::new(),
+            out_pos: 0,
+            buf: Vec::new(),
+            sent_at: ramp0,
+            remaining: opts.requests_per_conn,
+            served: 0,
+        });
+    }
+    eprintln!("ramp complete in {:?}", ramp0.elapsed());
+
+    let mut ready: VecDeque<usize> = (0..opts.connections).collect();
+    let mut stats = LoadStats {
+        connections: opts.connections as u64,
+        ok: 0,
+        shed: 0,
+        errors: 0,
+        reused: 0,
+        duration: Duration::ZERO,
+        latencies_ms: Vec::new(),
+    };
+    let mut in_flight = 0usize;
+    let mut finished = 0usize; // Done + Dead connections
+    let mut events = Vec::new();
+    let started = Instant::now();
+
+    while finished < opts.connections {
+        if started.elapsed() > RUN_DEADLINE {
+            return Err(format!(
+                "bench exceeded {RUN_DEADLINE:?} ({finished}/{} connections finished)",
+                opts.connections
+            ));
+        }
+        // Fill the window from the ready queue.
+        while in_flight < opts.window {
+            let Some(i) = ready.pop_front() else {
+                break;
+            };
+            if conns[i].state != ConnState::Idle {
+                continue; // reaped while waiting for a slot
+            }
+            let conn = &mut conns[i];
+            conn.out = request.clone();
+            conn.out_pos = 0;
+            conn.sent_at = Instant::now();
+            conn.state = ConnState::Sending;
+            in_flight += 1;
+            advance_write(&mut conns[i], i, &mut poller)?;
+        }
+
+        poller
+            .wait(&mut events, Duration::from_millis(50))
+            .map_err(|e| format!("poll: {e}"))?;
+        for &ev in events.iter() {
+            let i = ev.token as usize;
+            if i >= conns.len() || conns[i].state == ConnState::Dead {
+                continue;
+            }
+            if ev.writable && conns[i].state == ConnState::Sending {
+                advance_write(&mut conns[i], i, &mut poller)?;
+            }
+            let readable_state = conns[i].state == ConnState::Receiving
+                || (ev.closed && conns[i].state != ConnState::Dead);
+            if (ev.readable || ev.closed) && readable_state {
+                advance_read(
+                    &mut conns[i],
+                    i,
+                    &mut poller,
+                    &mut stats,
+                    &mut ready,
+                    &mut in_flight,
+                    &mut finished,
+                )?;
+            }
+        }
+    }
+    stats.duration = started.elapsed();
+    stats.latencies_ms.sort_by(f64::total_cmp);
+    for conn in &conns {
+        if conn.state != ConnState::Dead {
+            poller.deregister(raw_fd(&conn.stream));
+        }
+    }
+    Ok(stats)
+}
+
+/// Pushes request bytes until done (→ await response) or `WouldBlock`
+/// (→ wait for writability).
+fn advance_write(conn: &mut Conn, token: usize, poller: &mut Poller) -> Result<(), String> {
+    let fd = raw_fd(&conn.stream);
+    while conn.out_pos < conn.out.len() {
+        match conn.stream.write(&conn.out[conn.out_pos..]) {
+            Ok(0) => return Err("request write returned 0".into()),
+            Ok(n) => conn.out_pos += n,
+            Err(e) if e.kind() == ErrorKind::WouldBlock => {
+                return poller
+                    .modify(fd, token as u64, Interest::READ_WRITE)
+                    .map_err(|e| format!("modify: {e}"));
+            }
+            Err(e) if e.kind() == ErrorKind::Interrupted => {}
+            Err(e) => return Err(format!("request write: {e}")),
+        }
+    }
+    conn.state = ConnState::Receiving;
+    poller
+        .modify(fd, token as u64, Interest::READ)
+        .map_err(|e| format!("modify: {e}"))
+}
+
+/// Reads whatever the socket has; on a complete response records the
+/// latency and either schedules the next round or retires the connection.
+#[allow(clippy::too_many_arguments)]
+fn advance_read(
+    conn: &mut Conn,
+    token: usize,
+    poller: &mut Poller,
+    stats: &mut LoadStats,
+    ready: &mut VecDeque<usize>,
+    in_flight: &mut usize,
+    finished: &mut usize,
+) -> Result<(), String> {
+    let mut chunk = [0u8; 8192];
+    let eof = loop {
+        match conn.stream.read(&mut chunk) {
+            Ok(0) => break true,
+            Ok(n) => conn.buf.extend_from_slice(&chunk[..n]),
+            Err(e) if e.kind() == ErrorKind::WouldBlock => break false,
+            Err(e) if e.kind() == ErrorKind::Interrupted => {}
+            Err(_) => break true, // reset counts as a drop below
+        }
+    };
+    match parse_response(&conn.buf)? {
+        Some((status, close, total)) => {
+            let was_in_flight =
+                conn.state == ConnState::Sending || conn.state == ConnState::Receiving;
+            conn.buf.drain(..total);
+            conn.served += 1;
+            if conn.served > 1 {
+                stats.reused += 1;
+            }
+            match status {
+                200 => {
+                    stats.ok += 1;
+                    stats
+                        .latencies_ms
+                        .push(conn.sent_at.elapsed().as_secs_f64() * 1e3);
+                }
+                503 => stats.shed += 1,
+                _ => stats.errors += 1,
+            }
+            if was_in_flight {
+                *in_flight -= 1;
+            }
+            conn.remaining -= 1;
+            if close || status != 200 {
+                // The server announced close (shed, error, or drain): the
+                // remaining rounds on this connection are abandoned.
+                retire(conn, token, poller, ConnState::Dead);
+                *finished += 1;
+            } else if conn.remaining > 0 {
+                conn.state = ConnState::Idle;
+                poller
+                    .modify(raw_fd(&conn.stream), token as u64, IDLE)
+                    .map_err(|e| format!("modify: {e}"))?;
+                ready.push_back(token);
+            } else {
+                // Hold the connection open so fleet concurrency is
+                // sustained until every connection has finished.
+                retire(conn, token, poller, ConnState::Done);
+                *finished += 1;
+            }
+        }
+        None if eof => {
+            // Dropped without (or mid-) response.
+            if conn.state == ConnState::Sending || conn.state == ConnState::Receiving {
+                *in_flight -= 1;
+                stats.errors += 1;
+            }
+            retire(conn, token, poller, ConnState::Dead);
+            *finished += 1;
+        }
+        None => {}
+    }
+    Ok(())
+}
+
+fn retire(conn: &mut Conn, token: usize, poller: &mut Poller, state: ConnState) {
+    if state == ConnState::Dead {
+        poller.deregister(raw_fd(&conn.stream));
+    } else {
+        poller.modify(raw_fd(&conn.stream), token as u64, IDLE).ok();
+    }
+    conn.state = state;
+}
+
+/// Blocking one-shot exchange used to prime the run cache before the
+/// measured load starts.
+fn one_shot(addr: SocketAddr, raw: &str) -> Result<(u16, String), String> {
+    let mut stream = TcpStream::connect(addr).map_err(|e| format!("connect: {e}"))?;
+    stream.set_read_timeout(Some(Duration::from_secs(120))).ok();
     stream
-        .set_read_timeout(Some(Duration::from_secs(120)))
-        .unwrap();
-    stream.write_all(raw.as_bytes()).expect("send");
+        .write_all(raw.as_bytes())
+        .map_err(|e| format!("send: {e}"))?;
     let mut buf = String::new();
-    stream.read_to_string(&mut buf).expect("read");
-    let (head, body) = buf.split_once("\r\n\r\n").expect("http head");
+    stream
+        .read_to_string(&mut buf)
+        .map_err(|e| format!("read: {e}"))?;
+    let (head, body) = buf.split_once("\r\n\r\n").ok_or("malformed response")?;
     let status = head
         .split(' ')
         .nth(1)
         .and_then(|s| s.parse().ok())
-        .expect("status");
-    (status, body.to_string())
+        .ok_or("malformed status line")?;
+    Ok((status, body.to_string()))
 }
 
-fn get(addr: SocketAddr, path: &str) -> (u16, String) {
-    request(addr, &format!("GET {path} HTTP/1.1\r\nhost: l\r\n\r\n"))
-}
+fn main() -> ExitCode {
+    let opts = match parse_options() {
+        Ok(o) => o,
+        Err(msg) => {
+            eprintln!("{msg}");
+            return ExitCode::FAILURE;
+        }
+    };
 
-fn post(addr: SocketAddr, path: &str, body: &str) -> (u16, String) {
-    request(
-        addr,
-        &format!(
-            "POST {path} HTTP/1.1\r\nhost: l\r\ncontent-length: {}\r\n\r\n{body}",
-            body.len()
-        ),
-    )
-}
-
-fn main() {
+    // Target: an external server (`--addr`) or an in-process one.
     let metrics = MetricsRegistry::new();
-    let server = Server::start(
-        ServeConfig::default()
-            .addr("127.0.0.1:0")
-            .workers(CLIENTS)
-            .metrics(&metrics),
-    )
-    .expect("server starts");
-    let addr = server.local_addr();
-    println!("serving on http://{addr}\n");
-
-    let mut digests: Vec<String> = Vec::new();
-    for round in 0..ROUNDS {
-        let t0 = Instant::now();
-        let bodies: Vec<(u16, String)> = std::thread::scope(|s| {
-            let handles: Vec<_> = (0..CLIENTS)
-                .map(|c| {
-                    s.spawn(move || {
-                        let seed = SEEDS[c % SEEDS.len()];
-                        post(
-                            addr,
-                            "/simulate",
-                            &format!("{{\"scenario\":\"small\",\"seed\":{seed}}}"),
-                        )
-                    })
-                })
-                .collect();
-            handles.into_iter().map(|h| h.join().unwrap()).collect()
-        });
-        let hits = bodies
-            .iter()
-            .filter(|(_, b)| b.contains("\"cache\":\"hit\""))
-            .count();
-        println!(
-            "round {round}: {CLIENTS} concurrent /simulate in {:6.1} ms ({hits} cache hits)",
-            t0.elapsed().as_secs_f64() * 1e3
-        );
-        for (status, body) in &bodies {
-            assert_eq!(*status, 200, "simulate failed: {body}");
-            if let Ok(v) = dcf_obs::json::parse(body) {
-                if let Some(d) = v.get("digest").and_then(|d| d.as_str()) {
-                    if !digests.iter().any(|known| known == d) {
-                        digests.push(d.to_string());
-                    }
-                }
+    let server = if opts.addr.is_none() {
+        match Server::start(
+            ServeConfig::default()
+                .addr("127.0.0.1:0")
+                .workers(opts.workers)
+                .max_connections(opts.connections + 64)
+                .metrics(&metrics),
+        ) {
+            Ok(s) => Some(s),
+            Err(e) => {
+                eprintln!("cannot start in-process server: {e}");
+                return ExitCode::FAILURE;
             }
         }
-    }
+    } else {
+        None
+    };
+    let addr: SocketAddr = match &opts.addr {
+        Some(spec) => match spec.to_socket_addrs().map(|mut a| a.next()) {
+            Ok(Some(a)) => a,
+            _ => {
+                eprintln!("cannot resolve --addr {spec}");
+                return ExitCode::FAILURE;
+            }
+        },
+        None => server.as_ref().unwrap().local_addr(),
+    };
+    println!(
+        "target http://{addr} ({}) — {} connections × {} requests, window {}",
+        if server.is_some() {
+            "in-process"
+        } else {
+            "external"
+        },
+        opts.connections,
+        opts.requests_per_conn,
+        opts.window
+    );
 
-    println!();
-    for seed in SEEDS {
-        for &section in SECTIONS {
-            let t0 = Instant::now();
-            let (status, body) = get(
-                addr,
-                &format!("/report/{section}?scenario=small&seed={seed}"),
-            );
-            assert_eq!(status, 200, "section {section} failed: {body}");
-            println!(
-                "seed {seed} /report/{section:<11} {:7.1} ms  {:5} bytes",
-                t0.elapsed().as_secs_f64() * 1e3,
-                body.len()
-            );
+    // Prime the (scenario, seed) run so the measured load exercises the
+    // cached zero-copy path rather than one giant simulation stampede.
+    let prime_body = format!(
+        "{{\"scenario\":\"{}\",\"seed\":{}}}",
+        opts.scenario, opts.seed
+    );
+    let prime = format!(
+        "POST /simulate HTTP/1.1\r\nhost: loadgen\r\nconnection: close\r\ncontent-length: {len}\r\n\r\n{prime_body}",
+        len = prime_body.len(),
+    );
+    match one_shot(addr, &prime) {
+        Ok((200, _)) => {}
+        Ok((status, body)) => {
+            eprintln!("priming /simulate failed with {status}: {body}");
+            return ExitCode::FAILURE;
+        }
+        Err(e) => {
+            eprintln!("priming /simulate failed: {e}");
+            return ExitCode::FAILURE;
         }
     }
 
-    println!();
-    for digest in &digests {
-        let t0 = Instant::now();
-        let (status, body) = get(addr, &format!("/trace/{digest}/fots?limit=50"));
-        assert_eq!(status, 200, "fots page failed: {body}");
-        println!(
-            "/trace/{digest}/fots  {:6.1} ms  {:6} bytes",
-            t0.elapsed().as_secs_f64() * 1e3,
-            body.len()
-        );
+    let stats = match run_load(addr, &opts) {
+        Ok(s) => s,
+        Err(msg) => {
+            eprintln!("load run failed: {msg}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let bench = stats.to_bench();
+    println!(
+        "\n{} connections, {} ok, {} shed ({:.2} %), {} errors, {} keep-alive reuses",
+        bench.connections,
+        bench.requests,
+        bench.shed,
+        bench.shed_rate * 100.0,
+        bench.errors,
+        bench.keepalive_reused,
+    );
+    println!(
+        "{:.0} req/s over {:.0} ms — latency p50 {:.2} ms, p99 {:.2} ms, max {:.2} ms",
+        bench.requests_per_sec,
+        bench.duration_ms,
+        bench.latency_p50_ms,
+        bench.latency_p99_ms,
+        bench.latency_max_ms,
+    );
+
+    // Server-side view: the drained metrics report (in-process only).
+    let report = match server {
+        Some(server) => {
+            let report = server.shutdown();
+            println!(
+                "server drained: {} requests, {} reuses, {} rejected, {} idle-closed",
+                report.counter("serve.requests").unwrap_or(0),
+                report.counter("serve.keepalive.reused").unwrap_or(0),
+                report.counter("serve.rejected").unwrap_or(0),
+                report.counter("serve.idle_closed").unwrap_or(0),
+            );
+            report
+        }
+        None => RunReport {
+            label: "serve_loadgen --addr (client-side measurements only)".into(),
+            phases: vec![],
+            counters: vec![],
+            gauges: vec![],
+        },
+    };
+
+    if bench.errors > 0 {
+        eprintln!("{} request(s) failed outright", bench.errors);
+        return ExitCode::FAILURE;
     }
 
-    let report = server.shutdown();
-    println!(
-        "\nserver drained: {} requests, {} cache hits, {} misses, {} rejected",
-        report.counter("serve.requests").unwrap_or(0),
-        report.counter("serve.cache.hits").unwrap_or(0),
-        report.counter("serve.cache.misses").unwrap_or(0),
-        report.counter("serve.rejected").unwrap_or(0),
-    );
+    if let Some(path) = &opts.bench_json {
+        // Known scenarios carry their fleet shape into the summary;
+        // catalog snapshot names have no client-side shape.
+        let (servers, window_days) = match opts.scenario.as_str() {
+            "small" => shape(dcf_sim::Scenario::small()),
+            "medium" => shape(dcf_sim::Scenario::medium()),
+            "paper" => shape(dcf_sim::Scenario::paper()),
+            _ => (0, 0),
+        };
+        let tickets = report.counter("sim.tickets.total").unwrap_or(0);
+        let summary = BenchSummary::from_report(
+            &report,
+            &opts.scenario,
+            opts.seed,
+            servers,
+            window_days,
+            tickets,
+        )
+        .with_serve(bench);
+        if let Err(e) = std::fs::write(path, summary.to_json()) {
+            eprintln!("cannot write {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+        println!("bench summary written to {path}");
+    }
+    ExitCode::SUCCESS
+}
+
+fn shape(scenario: dcf_sim::Scenario) -> (u64, u64) {
+    (
+        scenario.config.fleet.servers as u64,
+        scenario.config.fleet.window_days,
+    )
 }

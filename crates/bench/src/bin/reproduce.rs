@@ -8,15 +8,22 @@
 //! reproduce snapshot --out PATH [simulation flags]
 //! reproduce snapshot --in PATH [analysis flags]
 //! reproduce serve [--addr HOST:PORT] [--workers N] [--cache-entries N]
-//!                 [--snapshot PATH]
+//!                 [--snapshot PATH | --catalog DIR] [--max-conns N]
+//!                 [--idle-timeout-ms N] [--poller epoll|poll|scan]
 //! ```
 //!
 //! `reproduce serve` runs the `dcf-serve` HTTP query service instead of a
 //! one-shot reproduction: simulate + study results are computed on demand
-//! per `(scenario, seed, threads)` and cached. SIGINT (Ctrl-C) drains
-//! in-flight requests and prints the final metrics report before exiting.
-//! `--snapshot PATH` additionally preloads a binary trace snapshot and
-//! serves it under the `snapshot` scenario name.
+//! per `(scenario, seed, threads)` and cached, and connections are
+//! multiplexed on a non-blocking readiness event loop with HTTP/1.1
+//! keep-alive (SERVING.md). SIGINT (Ctrl-C) drains in-flight requests and
+//! prints the final metrics report before exiting. `--snapshot PATH`
+//! preloads one binary trace snapshot and serves it under the `snapshot`
+//! scenario name; `--catalog DIR` serves every `*.dcfsnap` in `DIR` under
+//! its file stem, and SIGHUP (or `POST /catalog/reload`) rescans the
+//! directory without a restart. `--max-conns`, `--idle-timeout-ms`, and
+//! `--poller` tune the event loop (defaults: 12000 connections, 10000 ms,
+//! best available readiness backend).
 //!
 //! `reproduce snapshot --out PATH` simulates once and persists the trace as
 //! a versioned binary snapshot (`dcf-trace::io::snapshot`); `--in PATH`
@@ -358,6 +365,10 @@ fn serve_main(mut it: impl Iterator<Item = String>) -> ExitCode {
     let mut workers = 4usize;
     let mut cache_entries = 8usize;
     let mut snapshot: Option<String> = None;
+    let mut catalog: Option<String> = None;
+    let mut max_conns: Option<usize> = None;
+    let mut idle_timeout_ms: Option<u64> = None;
+    let mut poller: Option<String> = None;
     while let Some(flag) = it.next() {
         let parsed = match flag.as_str() {
             "--addr" => it.next().map(|v| {
@@ -368,6 +379,14 @@ fn serve_main(mut it: impl Iterator<Item = String>) -> ExitCode {
                 snapshot = Some(v);
                 Ok(())
             }),
+            "--catalog" => it.next().map(|v| {
+                catalog = Some(v);
+                Ok(())
+            }),
+            "--poller" => it.next().map(|v| {
+                poller = Some(v);
+                Ok(())
+            }),
             "--workers" => it
                 .next()
                 .map(|v| v.parse().map(|n| workers = n).map_err(|_| flag.clone())),
@@ -376,9 +395,19 @@ fn serve_main(mut it: impl Iterator<Item = String>) -> ExitCode {
                     .map(|n| cache_entries = n)
                     .map_err(|_| flag.clone())
             }),
+            "--max-conns" => it.next().map(|v| {
+                v.parse()
+                    .map(|n| max_conns = Some(n))
+                    .map_err(|_| flag.clone())
+            }),
+            "--idle-timeout-ms" => it.next().map(|v| {
+                v.parse()
+                    .map(|n| idle_timeout_ms = Some(n))
+                    .map_err(|_| flag.clone())
+            }),
             "--help" | "-h" => {
                 eprintln!(
-                    "usage: reproduce serve [--addr HOST:PORT] [--workers N] [--cache-entries N] [--snapshot PATH]"
+                    "usage: reproduce serve [--addr HOST:PORT] [--workers N] [--cache-entries N] [--snapshot PATH | --catalog DIR] [--max-conns N] [--idle-timeout-ms N] [--poller epoll|poll|scan]"
                 );
                 return ExitCode::FAILURE;
             }
@@ -399,13 +428,17 @@ fn serve_main(mut it: impl Iterator<Item = String>) -> ExitCode {
             Some(Ok(())) => {}
         }
     }
+    if snapshot.is_some() && catalog.is_some() {
+        eprintln!("--snapshot and --catalog are mutually exclusive");
+        return ExitCode::FAILURE;
+    }
 
-    // Block SIGINT *before* the server spawns its threads so every thread
-    // inherits the mask and the signal can only be consumed by the wait
-    // loop below.
-    let sigint_ready = dcf_serve::signal::block_sigint();
-    if !sigint_ready {
-        eprintln!("note: SIGINT handling is unsupported on this platform; stop the service by killing the process");
+    // Block SIGINT/SIGHUP *before* the server spawns its threads so every
+    // thread inherits the mask and the signals can only be consumed by
+    // the wait loop below.
+    let signals_ready = dcf_serve::signal::block_signals();
+    if !signals_ready {
+        eprintln!("note: signal handling is unsupported on this platform; stop the service by killing the process");
     }
 
     let metrics = MetricsRegistry::new();
@@ -418,6 +451,19 @@ fn serve_main(mut it: impl Iterator<Item = String>) -> ExitCode {
         config = config.snapshot(path);
         eprintln!("preloading snapshot {path} as scenario 'snapshot'");
     }
+    if let Some(dir) = &catalog {
+        config = config.catalog(dir);
+        eprintln!("serving snapshot catalog {dir}");
+    }
+    if let Some(n) = max_conns {
+        config = config.max_connections(n);
+    }
+    if let Some(ms) = idle_timeout_ms {
+        config = config.idle_timeout(std::time::Duration::from_millis(ms));
+    }
+    if let Some(backend) = &poller {
+        config = config.poller_backend(backend);
+    }
     let server = match dcf_serve::Server::start(config) {
         Ok(s) => s,
         Err(e) => {
@@ -426,14 +472,27 @@ fn serve_main(mut it: impl Iterator<Item = String>) -> ExitCode {
         }
     };
     eprintln!(
-        "dcf-serve listening on http://{} ({} workers, {}-entry cache)",
+        "dcf-serve listening on http://{} ({} workers, {}-entry cache, {} readiness backend)",
         server.local_addr(),
         workers.max(1),
         cache_entries.max(1),
+        server.poller_backend(),
     );
-    if sigint_ready {
-        eprintln!("press Ctrl-C to drain in-flight requests and exit");
-        while !dcf_serve::signal::wait_sigint(200) {}
+    if signals_ready {
+        eprintln!("press Ctrl-C to drain in-flight requests and exit; SIGHUP rescans the catalog");
+        loop {
+            match dcf_serve::signal::wait_signal(200) {
+                None => {}
+                Some(dcf_serve::signal::Signal::Hangup) => match server.reload_catalog() {
+                    Ok(summary) => eprintln!(
+                        "catalog reloaded: {} added, {} removed, {} total",
+                        summary.added, summary.removed, summary.total
+                    ),
+                    Err(e) => eprintln!("catalog reload failed: {e}"),
+                },
+                Some(dcf_serve::signal::Signal::Interrupt) => break,
+            }
+        }
         eprintln!("SIGINT received; draining…");
     } else {
         // No signal support: serve until the process is killed.

@@ -13,9 +13,72 @@ use crate::report::RunReport;
 const ENGINE_PREFIX: &str = "engine.";
 
 /// Phase-span prefixes pulled into the summary: the simulation engine,
-/// the analysis sections (`study.*`), and the trace-backend phases
-/// (`trace.build_columns`, `trace.snapshot_write`, `trace.snapshot_load`).
-const PHASE_PREFIXES: [&str; 3] = [ENGINE_PREFIX, "study.", "trace."];
+/// the analysis sections (`study.*`), the trace-backend phases
+/// (`trace.build_columns`, `trace.snapshot_write`, `trace.snapshot_load`),
+/// and the query-service phases (`serve.request`, `serve.*`).
+const PHASE_PREFIXES: [&str; 4] = [ENGINE_PREFIX, "study.", "trace.", "serve."];
+
+/// Serving-side benchmark figures measured by a `dcf-serve` load
+/// generator: concurrent keep-alive connections, request latency
+/// quantiles, and the shed rate under the bounded-queue backpressure
+/// policy.
+///
+/// Attached to a [`BenchSummary`] with [`BenchSummary::with_serve`] and
+/// serialized as the optional `"serve"` object of the `BENCH_*.json`
+/// schema (absent for engine-only runs, mirroring `peak_rss_bytes`).
+/// All latency figures are client-observed wall-clock in milliseconds,
+/// from the first byte of the request written to the last byte of the
+/// response read.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ServeBench {
+    /// Peak concurrently established keep-alive connections.
+    pub connections: u64,
+    /// Requests that received a `200` response.
+    pub requests: u64,
+    /// Requests shed with `503` + `Retry-After` (bounded-queue overload).
+    pub shed: u64,
+    /// Requests that failed any other way (non-200/503 status, I/O error,
+    /// connection dropped mid-response).
+    pub errors: u64,
+    /// Responses served on a reused (keep-alive) connection — every
+    /// response after the first on each connection.
+    pub keepalive_reused: u64,
+    /// Wall-clock of the measurement window in milliseconds (ramp
+    /// excluded).
+    pub duration_ms: f64,
+    /// Completed requests (200s + 503s) per second of the window.
+    pub requests_per_sec: f64,
+    /// Shed responses as a fraction of completed requests (`0.0..=1.0`).
+    pub shed_rate: f64,
+    /// Median client-observed request latency in milliseconds.
+    pub latency_p50_ms: f64,
+    /// 99th-percentile client-observed request latency in milliseconds.
+    pub latency_p99_ms: f64,
+    /// Worst client-observed request latency in milliseconds.
+    pub latency_max_ms: f64,
+}
+
+impl ServeBench {
+    /// Serializes the object carried under the summary's `"serve"` key.
+    fn write_json(&self, out: &mut String) {
+        out.push_str(&format!(
+            "{{\n    \"connections\": {},\n    \"requests\": {},\n    \"shed\": {},\n    \"errors\": {},\n    \"keepalive_reused\": {}",
+            self.connections, self.requests, self.shed, self.errors, self.keepalive_reused
+        ));
+        for (key, value) in [
+            ("duration_ms", self.duration_ms),
+            ("requests_per_sec", self.requests_per_sec),
+            ("shed_rate", self.shed_rate),
+            ("latency_p50_ms", self.latency_p50_ms),
+            ("latency_p99_ms", self.latency_p99_ms),
+            ("latency_max_ms", self.latency_max_ms),
+        ] {
+            out.push_str(&format!(",\n    \"{key}\": "));
+            json::write_f64(out, value);
+        }
+        out.push_str("\n  }");
+    }
+}
 
 /// A benchmark snapshot of one instrumented simulation run: scenario,
 /// thread count, per-phase engine wall-clock, and derived throughput.
@@ -65,6 +128,9 @@ pub struct BenchSummary {
     pub baseline: Vec<(String, f64, f64)>,
     /// Label of the baseline run, if one was attached.
     pub baseline_label: Option<String>,
+    /// Serving-side latency/shed figures ([`ServeBench`]); `None` for
+    /// engine-only runs.
+    pub serve: Option<ServeBench>,
 }
 
 impl BenchSummary {
@@ -122,7 +188,16 @@ impl BenchSummary {
             phases,
             baseline: Vec::new(),
             baseline_label: None,
+            serve: None,
         }
+    }
+
+    /// Attaches serving-side latency/shed figures measured by a load
+    /// generator (the optional `"serve"` object of the JSON schema).
+    #[must_use]
+    pub fn with_serve(mut self, serve: ServeBench) -> Self {
+        self.serve = Some(serve);
+        self
     }
 
     /// Attaches a baseline run: for every measured phase also
@@ -184,6 +259,10 @@ impl BenchSummary {
         json::write_f64(&mut out, self.tickets_per_sec);
         out.push_str(",\n  \"phases_ms\": ");
         write_phase_map(&mut out, &self.phases);
+        if let Some(serve) = &self.serve {
+            out.push_str(",\n  \"serve\": ");
+            serve.write_json(&mut out);
+        }
         if let Some(label) = &self.baseline_label {
             out.push_str(",\n  \"baseline_label\": ");
             json::write_string(&mut out, label);
@@ -358,6 +437,69 @@ mod tests {
         assert!(json.contains("study.sections"), "study span missing");
         assert!(json.contains("trace.build_columns"), "trace span missing");
         assert!(!json.contains("report.render"), "unknown prefix leaked");
+    }
+
+    #[test]
+    fn serve_block_is_emitted_only_when_attached() {
+        let s = BenchSummary::from_report(&report("run", 6_000, 2_500), "small", 1, 100, 360, 400);
+        assert!(s.serve.is_none());
+        assert!(!s.to_json().contains("\"serve\""), "absent block leaked");
+
+        let serve = ServeBench {
+            connections: 10_000,
+            requests: 39_950,
+            shed: 50,
+            errors: 0,
+            keepalive_reused: 30_000,
+            duration_ms: 4_000.0,
+            requests_per_sec: 10_000.0,
+            shed_rate: 0.00125,
+            latency_p50_ms: 1.2,
+            latency_p99_ms: 18.5,
+            latency_max_ms: 42.0,
+        };
+        let json = s.with_serve(serve).to_json();
+        for key in [
+            "\"serve\": {",
+            "\"connections\": 10000",
+            "\"requests\": 39950",
+            "\"shed\": 50",
+            "\"errors\": 0",
+            "\"keepalive_reused\": 30000",
+            "\"duration_ms\": 4000",
+            "\"requests_per_sec\": 10000",
+            "\"shed_rate\": 0.00125",
+            "\"latency_p50_ms\": 1.2",
+            "\"latency_p99_ms\": 18.5",
+            "\"latency_max_ms\": 42",
+        ] {
+            assert!(json.contains(key), "missing {key} in {json}");
+        }
+        assert!(
+            json::parse(&json).is_ok(),
+            "serve block must keep the file valid JSON"
+        );
+    }
+
+    #[test]
+    fn serve_phase_spans_are_summarized() {
+        let r = RunReport {
+            label: "serve".into(),
+            phases: vec![
+                span("serve.request", 500),
+                span("serve.request", 700),
+                span("trace.snapshot_load", 250),
+            ],
+            counters: vec![],
+            gauges: vec![],
+        };
+        let s = BenchSummary::from_report(&r, "small", 1, 100, 360, 0);
+        let serve_ms = s
+            .phases
+            .iter()
+            .find(|(n, _)| n == "serve.request")
+            .map(|(_, ms)| *ms);
+        assert_eq!(serve_ms, Some(1.2), "worker spans must sum into one entry");
     }
 
     #[test]

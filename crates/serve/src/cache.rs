@@ -199,6 +199,14 @@ impl ResponseCache {
         inner.pinned.insert(digest.to_string(), entry);
     }
 
+    /// Removes a pinned entry (catalog reload dropped its file). In-flight
+    /// requests keep the entry alive through their `Arc`; only the
+    /// digest address disappears.
+    pub fn unpin(&self, digest: &str) {
+        let mut inner = self.inner.lock().expect("cache poisoned");
+        inner.pinned.remove(digest);
+    }
+
     /// Resolves a digest to its cached run entry, refreshing the LRU slot.
     pub fn lookup_digest(&self, digest: &str) -> Option<Arc<RunEntry>> {
         let mut inner = self.inner.lock().expect("cache poisoned");
@@ -267,6 +275,27 @@ mod tests {
         assert!(cache.lookup_digest("00ff").is_some());
         let _ = cache.entry("small", key(6)); // evicts seed-5 entry
         assert!(cache.lookup_digest("00ff").is_none());
+    }
+
+    #[test]
+    fn pinned_entries_ignore_lru_until_unpinned() {
+        let cache = ResponseCache::new(1);
+        let trace = dcf_sim::Scenario::small()
+            .seed(3)
+            .simulate(&dcf_sim::RunOptions::new())
+            .expect("small scenario simulates");
+        let pinned = Arc::new(RunEntry::preloaded(
+            "snapshot",
+            Arc::new(RunArtifacts::new(trace)),
+        ));
+        cache.pin("feedc0de00000000", Arc::clone(&pinned));
+        // Churn the LRU well past capacity; the pin must survive.
+        for seed in 0..5 {
+            let _ = cache.entry("small", key(seed));
+        }
+        assert!(cache.lookup_digest("feedc0de00000000").is_some());
+        cache.unpin("feedc0de00000000");
+        assert!(cache.lookup_digest("feedc0de00000000").is_none());
     }
 
     #[test]

@@ -1,0 +1,567 @@
+//! The readiness-driven connection engine: one thread, all sockets.
+//!
+//! This is the epoll core the service runs on. A single event-loop
+//! thread owns the listener, the [`Waker`] receive half, and every live
+//! connection; it never blocks on any one socket. Workers never touch
+//! sockets at all — they pop [`Job`]s from the bounded queue, compute a
+//! [`Response`], push it onto the completion list, and ring the waker so
+//! the loop wakes up and writes the bytes out.
+//!
+//! Each connection is a small state machine:
+//!
+//! ```text
+//!             ┌──────────┐ parsed a request, queue accepted
+//!   accept ──▶│ Reading  │──────────────────────────────┐
+//!             └──────────┘                               ▼
+//!                  ▲   ▲                           ┌──────────┐
+//!   response fully │   │ queue full → 503 + close  │ InFlight │
+//!   flushed,       │   │ (pipelined tail dropped)  └──────────┘
+//!   keep-alive     │   │                                 │ worker pushed
+//!                  │   ▼                                 ▼ the completion
+//!             ┌──────────┐  close_after_write      ┌──────────┐
+//!             │ Draining │◀─────────────────────── │ Writing  │
+//!             └──────────┘  (half-close + drain)   └──────────┘
+//!                  │ peer EOF or grace expired
+//!                  ▼
+//!                drop
+//! ```
+//!
+//! Exactly one request per connection is in flight at a time, so
+//! pipelined responses come back in request order with no sequencing
+//! bookkeeping. Keep-alive connections loop `Reading → InFlight →
+//! Writing → Reading`; a `Connection: close` request, a shed, a parse
+//! error, or shutdown sets `close_after_write`, which routes the
+//! connection through `Draining`: the response is flushed, the write
+//! side is shut down (an abrupt close with unread client bytes would RST
+//! and could destroy the response in the peer's receive buffer), and
+//! reads are discarded until the peer hangs up or a short grace expires.
+//!
+//! Timeouts are enforced by a periodic sweep: connections idle in
+//! `Reading` longer than the configured idle timeout are closed
+//! (`serve.idle_closed`), stalled writes are reaped, and `Draining`
+//! connections are dropped at their grace deadline. `InFlight`
+//! connections are bounded by the worker-side request deadline instead.
+
+use std::collections::HashMap;
+use std::io::{Read, Write};
+use std::net::{Shutdown, TcpListener, TcpStream};
+use std::sync::atomic::Ordering;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use crate::http::{self, Response};
+use crate::poller::{raw_fd, Event, Interest, Poller, RawFd, Waker};
+use crate::queue::{BoundedQueue, PushError};
+use crate::server::{Job, Shared, RETRY_AFTER_SECS};
+
+/// Poller token of the accept listener.
+pub(crate) const LISTENER_TOKEN: u64 = 0;
+/// Poller token of the waker's receive half.
+pub(crate) const WAKER_TOKEN: u64 = 1;
+/// First token handed to an accepted connection.
+const FIRST_CONN_TOKEN: u64 = 2;
+/// Upper bound on one `Poller::wait`; also the shutdown-observation latency.
+const POLL_TIMEOUT: Duration = Duration::from_millis(25);
+/// How often the timeout sweep runs.
+const SWEEP_INTERVAL: Duration = Duration::from_millis(100);
+/// How long a half-closed (`Draining`) connection waits for the peer's EOF.
+const DRAIN_GRACE: Duration = Duration::from_millis(500);
+/// How long a partially written response may stall before the connection
+/// is reaped.
+const WRITE_STALL_TIMEOUT: Duration = Duration::from_secs(10);
+/// Per-read chunk size.
+const READ_CHUNK: usize = 8 * 1024;
+/// Hard cap on buffered request bytes per connection (one max-size
+/// request plus pipelined slack).
+const MAX_BUFFERED: usize = http::MAX_HEAD_BYTES + http::MAX_BODY_BYTES + 4096;
+
+/// No read or write interest: parked while a worker computes (the poller
+/// still reports hang-ups, which carry no interest bit).
+const PARKED: Interest = Interest {
+    read: false,
+    write: false,
+};
+/// Write-only interest while flushing a response.
+const WRITE_ONLY: Interest = Interest {
+    read: false,
+    write: true,
+};
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum ConnState {
+    /// Accumulating request bytes; parse attempted after every read.
+    Reading,
+    /// One request handed to the worker pool; awaiting its completion.
+    InFlight,
+    /// Flushing response bytes.
+    Writing,
+    /// Final response flushed, write side shut down; discarding reads
+    /// until peer EOF or the drain grace expires.
+    Draining,
+}
+
+struct Connection {
+    stream: TcpStream,
+    fd: RawFd,
+    state: ConnState,
+    read_buf: Vec<u8>,
+    write_buf: Vec<u8>,
+    write_pos: usize,
+    /// After the current response flushes, half-close instead of reading
+    /// the next request.
+    close_after_write: bool,
+    /// Responses completed on this connection (`>0` ⇒ keep-alive reuse).
+    served: u64,
+    last_activity: Instant,
+    drain_deadline: Option<Instant>,
+    interest: Interest,
+}
+
+impl Connection {
+    fn new(stream: TcpStream, fd: RawFd) -> Connection {
+        Connection {
+            stream,
+            fd,
+            state: ConnState::Reading,
+            read_buf: Vec::new(),
+            write_buf: Vec::new(),
+            write_pos: 0,
+            close_after_write: false,
+            served: 0,
+            last_activity: Instant::now(),
+            drain_deadline: None,
+            interest: Interest::READ,
+        }
+    }
+}
+
+/// The event loop itself; built by [`crate::server::Server::start`] and
+/// run to completion on the supervisor thread.
+pub(crate) struct EventLoop {
+    poller: Poller,
+    listener: Option<TcpListener>,
+    waker_rx: TcpStream,
+    conns: HashMap<u64, Connection>,
+    next_token: u64,
+    queue: Arc<BoundedQueue<Job>>,
+    shared: Arc<Shared>,
+    max_connections: usize,
+    idle_timeout: Duration,
+    /// Set once the stop flag is observed: listener gone, every response
+    /// goes out `Connection: close`, loop exits when the map empties.
+    draining: bool,
+}
+
+impl EventLoop {
+    /// Builds the loop and registers the listener + waker, so
+    /// registration failures surface to the caller synchronously.
+    pub(crate) fn new(
+        mut poller: Poller,
+        listener: TcpListener,
+        waker_rx: TcpStream,
+        queue: Arc<BoundedQueue<Job>>,
+        shared: Arc<Shared>,
+        max_connections: usize,
+        idle_timeout: Duration,
+    ) -> std::io::Result<EventLoop> {
+        poller.register(raw_fd(&listener), LISTENER_TOKEN, Interest::READ)?;
+        poller.register(raw_fd(&waker_rx), WAKER_TOKEN, Interest::READ)?;
+        Ok(EventLoop {
+            poller,
+            listener: Some(listener),
+            waker_rx,
+            conns: HashMap::new(),
+            next_token: FIRST_CONN_TOKEN,
+            queue,
+            shared,
+            max_connections,
+            idle_timeout,
+            draining: false,
+        })
+    }
+
+    /// Runs until shutdown: the stop flag is set *and* every in-flight
+    /// response has been flushed (the graceful-drain contract — every
+    /// request the queue accepted gets its response).
+    pub(crate) fn run(mut self) {
+        let mut events: Vec<Event> = Vec::new();
+        let mut last_sweep = Instant::now();
+        loop {
+            if let Err(_e) = self.poller.wait(&mut events, POLL_TIMEOUT) {
+                // Wait failures are programming errors (bad fd); don't
+                // hot-spin on them.
+                self.shared.metrics.add("serve.io_errors", 1);
+                std::thread::sleep(POLL_TIMEOUT);
+            }
+            let batch = std::mem::take(&mut events);
+            for ev in &batch {
+                match ev.token {
+                    LISTENER_TOKEN => self.accept_ready(),
+                    WAKER_TOKEN => Waker::drain(&mut self.waker_rx),
+                    token => self.conn_event(token, ev),
+                }
+            }
+            events = batch;
+            // Completions are checked every iteration: the waker byte may
+            // have been consumed by an earlier drain in the same batch.
+            self.deliver_completions();
+
+            if !self.draining && self.shared.stop.load(Ordering::SeqCst) {
+                self.begin_drain();
+            }
+            if self.draining && self.conns.is_empty() {
+                break;
+            }
+            let now = Instant::now();
+            if now.duration_since(last_sweep) >= SWEEP_INTERVAL {
+                self.sweep(now);
+                last_sweep = now;
+            }
+        }
+        for (_, conn) in self.conns.drain() {
+            self.poller.deregister(conn.fd);
+        }
+    }
+
+    /// Stop observed: close the listener, drop connections with no
+    /// pending response. What remains is `InFlight`/`Writing`; their
+    /// responses are flushed `Connection: close` and then dropped.
+    fn begin_drain(&mut self) {
+        self.draining = true;
+        if let Some(listener) = self.listener.take() {
+            self.poller.deregister(raw_fd(&listener));
+        }
+        let idle: Vec<u64> = self
+            .conns
+            .iter()
+            .filter(|(_, c)| matches!(c.state, ConnState::Reading | ConnState::Draining))
+            .map(|(t, _)| *t)
+            .collect();
+        for token in idle {
+            self.drop_conn(token);
+        }
+    }
+
+    fn drop_conn(&mut self, token: u64) {
+        if let Some(conn) = self.conns.remove(&token) {
+            self.poller.deregister(conn.fd);
+        }
+    }
+
+    fn set_interest(&mut self, token: u64, interest: Interest) {
+        let Some(conn) = self.conns.get_mut(&token) else {
+            return;
+        };
+        if conn.interest != interest && self.poller.modify(conn.fd, token, interest).is_ok() {
+            conn.interest = interest;
+        }
+    }
+
+    /// Accepts every pending connection (level-triggered: stop at
+    /// `WouldBlock`). Beyond `max_connections` the connection is answered
+    /// `503` + `Retry-After` and closed rather than left unserved.
+    fn accept_ready(&mut self) {
+        loop {
+            let Some(listener) = &self.listener else {
+                return;
+            };
+            match listener.accept() {
+                Ok((stream, _peer)) => {
+                    let _ = stream.set_nonblocking(true);
+                    let _ = stream.set_nodelay(true);
+                    let fd = raw_fd(&stream);
+                    let token = self.next_token;
+                    self.next_token += 1;
+                    let over_capacity = self.conns.len() >= self.max_connections;
+                    let mut conn = Connection::new(stream, fd);
+                    let interest = if over_capacity {
+                        self.shared.metrics.add("serve.rejected", 1);
+                        let resp =
+                            Response::overloaded("connection limit reached", RETRY_AFTER_SECS);
+                        conn.write_buf = resp.serialize(false);
+                        conn.state = ConnState::Writing;
+                        conn.close_after_write = true;
+                        WRITE_ONLY
+                    } else {
+                        self.shared.metrics.add("serve.accepted", 1);
+                        Interest::READ
+                    };
+                    conn.interest = interest;
+                    if self.poller.register(fd, token, interest).is_ok() {
+                        self.conns.insert(token, conn);
+                        if over_capacity {
+                            self.flush(token);
+                        }
+                    } else {
+                        self.shared.metrics.add("serve.io_errors", 1);
+                    }
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => return,
+                Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+                Err(_) => {
+                    self.shared.metrics.add("serve.io_errors", 1);
+                    return;
+                }
+            }
+        }
+    }
+
+    fn conn_event(&mut self, token: u64, ev: &Event) {
+        if !self.conns.contains_key(&token) {
+            return; // late event for an already-dropped connection
+        }
+        if ev.writable {
+            self.flush(token);
+        }
+        if ev.readable || ev.closed {
+            self.read_ready(token);
+        }
+    }
+
+    /// Drains the socket's readable bytes into the connection buffer
+    /// (discarding them in `Draining`), then attempts a parse.
+    fn read_ready(&mut self, token: u64) {
+        let mut scratch = [0u8; READ_CHUNK];
+        loop {
+            let Some(conn) = self.conns.get_mut(&token) else {
+                return;
+            };
+            match conn.stream.read(&mut scratch) {
+                Ok(0) => {
+                    // Peer EOF. A connection between requests or mid-read
+                    // is simply gone; one with a response still pending
+                    // finishes the write first, then closes.
+                    match conn.state {
+                        ConnState::Reading | ConnState::Draining => self.drop_conn(token),
+                        ConnState::InFlight | ConnState::Writing => {
+                            conn.close_after_write = true;
+                        }
+                    }
+                    return;
+                }
+                Ok(n) => {
+                    conn.last_activity = Instant::now();
+                    if conn.state == ConnState::Draining {
+                        continue; // discarding until EOF
+                    }
+                    conn.read_buf.extend_from_slice(&scratch[..n]);
+                    if conn.read_buf.len() > MAX_BUFFERED {
+                        self.respond(
+                            token,
+                            Response::error(400, "request exceeds size limits"),
+                            false,
+                        );
+                        return;
+                    }
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => break,
+                Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+                Err(_) => {
+                    self.shared.metrics.add("serve.io_errors", 1);
+                    self.drop_conn(token);
+                    return;
+                }
+            }
+        }
+        self.try_dispatch(token);
+    }
+
+    /// Parses at most one request off the buffer and hands it to the
+    /// worker pool. A full queue is the load-shed path: `503` +
+    /// `Retry-After` with `Connection: close`, and any pipelined tail
+    /// already buffered is dropped — the close announcement is what makes
+    /// that correct (the client knows nothing after the 503 was looked at).
+    fn try_dispatch(&mut self, token: u64) {
+        let Some(conn) = self.conns.get_mut(&token) else {
+            return;
+        };
+        if conn.state != ConnState::Reading {
+            return;
+        }
+        match http::parse_request(&conn.read_buf) {
+            Ok(None) => {}
+            Err(err) => {
+                let message = err.to_string();
+                self.respond(token, Response::error(400, &message), false);
+            }
+            Ok(Some(parsed)) => {
+                conn.read_buf.drain(..parsed.consumed);
+                self.shared.metrics.add("serve.requests", 1);
+                if conn.served > 0 {
+                    self.shared.metrics.add("serve.keepalive.reused", 1);
+                }
+                let keep_alive = parsed.keep_alive && !self.draining;
+                let job = Job {
+                    token,
+                    request: parsed.request,
+                    received_at: Instant::now(),
+                    keep_alive,
+                };
+                match self.queue.try_push(job) {
+                    Ok(()) => {
+                        if let Some(conn) = self.conns.get_mut(&token) {
+                            conn.state = ConnState::InFlight;
+                        }
+                        self.set_interest(token, PARKED);
+                    }
+                    Err((_, PushError::Full)) => {
+                        self.shared.metrics.add("serve.rejected", 1);
+                        if let Some(conn) = self.conns.get_mut(&token) {
+                            conn.read_buf.clear();
+                        }
+                        self.respond(
+                            token,
+                            Response::overloaded("accept queue full", RETRY_AFTER_SECS),
+                            false,
+                        );
+                    }
+                    Err((_, PushError::Closed)) => {
+                        self.respond(
+                            token,
+                            Response::overloaded("service shutting down", RETRY_AFTER_SECS),
+                            false,
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    /// Queues response bytes on the connection and starts flushing.
+    fn respond(&mut self, token: u64, response: Response, keep_alive: bool) {
+        let Some(conn) = self.conns.get_mut(&token) else {
+            return;
+        };
+        let keep_alive = keep_alive && !conn.close_after_write;
+        conn.write_buf = response.serialize(keep_alive);
+        conn.write_pos = 0;
+        conn.close_after_write = !keep_alive;
+        conn.state = ConnState::Writing;
+        self.set_interest(token, WRITE_ONLY);
+        self.flush(token);
+    }
+
+    /// Writes as much of the pending response as the socket accepts.
+    fn flush(&mut self, token: u64) {
+        loop {
+            let Some(conn) = self.conns.get_mut(&token) else {
+                return;
+            };
+            if conn.state != ConnState::Writing {
+                return;
+            }
+            if conn.write_pos >= conn.write_buf.len() {
+                self.finish_write(token);
+                return;
+            }
+            let pos = conn.write_pos;
+            match conn.stream.write(&conn.write_buf[pos..]) {
+                Ok(0) => {
+                    self.shared.metrics.add("serve.io_errors", 1);
+                    self.drop_conn(token);
+                    return;
+                }
+                Ok(n) => {
+                    conn.write_pos += n;
+                    conn.last_activity = Instant::now();
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                    self.set_interest(token, WRITE_ONLY);
+                    return;
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+                Err(_) => {
+                    self.shared.metrics.add("serve.io_errors", 1);
+                    self.drop_conn(token);
+                    return;
+                }
+            }
+        }
+    }
+
+    /// Response fully flushed: either loop back to `Reading` (keep-alive,
+    /// possibly with the next pipelined request already buffered) or
+    /// half-close and drain.
+    fn finish_write(&mut self, token: u64) {
+        let close_after = {
+            let Some(conn) = self.conns.get_mut(&token) else {
+                return;
+            };
+            conn.write_buf = Vec::new();
+            conn.write_pos = 0;
+            conn.served += 1;
+            conn.last_activity = Instant::now();
+            conn.close_after_write
+        };
+        if close_after {
+            if self.draining {
+                self.drop_conn(token);
+                return;
+            }
+            if let Some(conn) = self.conns.get_mut(&token) {
+                conn.state = ConnState::Draining;
+                conn.read_buf = Vec::new();
+                conn.drain_deadline = Some(Instant::now() + DRAIN_GRACE);
+                // Half-close: the peer sees EOF after the response; an
+                // abrupt close with unread client bytes would RST and
+                // could destroy the response in the peer's receive buffer.
+                let _ = conn.stream.shutdown(Shutdown::Write);
+            }
+            self.set_interest(token, Interest::READ);
+        } else {
+            if let Some(conn) = self.conns.get_mut(&token) {
+                conn.state = ConnState::Reading;
+            }
+            self.set_interest(token, Interest::READ);
+            self.try_dispatch(token);
+        }
+    }
+
+    /// Hands each completed response back to its connection. Completions
+    /// for connections that died while the worker computed are discarded.
+    fn deliver_completions(&mut self) {
+        let completions = {
+            let mut guard = self
+                .shared
+                .completions
+                .lock()
+                .expect("completions poisoned");
+            std::mem::take(&mut *guard)
+        };
+        for c in completions {
+            let Some(conn) = self.conns.get(&c.token) else {
+                continue;
+            };
+            debug_assert_eq!(conn.state, ConnState::InFlight);
+            let keep_alive = c.keep_alive && !self.draining;
+            self.respond(c.token, c.response, keep_alive);
+        }
+    }
+
+    /// Periodic timeout pass; see the module docs for which states are
+    /// covered here versus by the worker deadline.
+    fn sweep(&mut self, now: Instant) {
+        let victims: Vec<(u64, bool)> = self
+            .conns
+            .iter()
+            .filter_map(|(&token, conn)| match conn.state {
+                ConnState::Reading => (now.duration_since(conn.last_activity) > self.idle_timeout)
+                    .then_some((token, true)),
+                ConnState::Writing => (now.duration_since(conn.last_activity)
+                    > WRITE_STALL_TIMEOUT)
+                    .then_some((token, false)),
+                ConnState::Draining => conn
+                    .drain_deadline
+                    .is_some_and(|d| now >= d)
+                    .then_some((token, false)),
+                ConnState::InFlight => None,
+            })
+            .collect();
+        for (token, idle) in victims {
+            if idle {
+                self.shared.metrics.add("serve.idle_closed", 1);
+            }
+            self.drop_conn(token);
+        }
+    }
+}

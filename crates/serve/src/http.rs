@@ -1,15 +1,19 @@
-//! A deliberately small HTTP/1.1 subset: enough to parse one request per
-//! connection and write one JSON response. No keep-alive, no chunked
-//! bodies, no TLS — the service model is connection-per-request, which
-//! keeps the worker pool and the shutdown drain trivially correct.
-
-use std::io::{BufRead, BufReader, Read, Write};
-use std::net::TcpStream;
+//! A deliberately small HTTP/1.1 subset, parsed incrementally.
+//!
+//! The event loop accumulates raw bytes per connection and calls
+//! [`parse_request`] after every read: the parser either consumes one
+//! complete request from the front of the buffer (several may be queued —
+//! that is pipelining), reports that more bytes are needed, or rejects
+//! the prefix as malformed/oversized. No chunked bodies, no TLS;
+//! `Content-Length` is the only framing. Keep-alive follows HTTP/1.1
+//! defaults: persistent unless the request says `Connection: close`
+//! (HTTP/1.0 is the inverse), and the server echoes its decision in the
+//! response's `connection` header so clients never have to guess.
 
 /// Upper bound on the request head (request line + headers).
-const MAX_HEAD_BYTES: usize = 16 * 1024;
+pub const MAX_HEAD_BYTES: usize = 16 * 1024;
 /// Upper bound on a request body.
-const MAX_BODY_BYTES: usize = 64 * 1024;
+pub const MAX_BODY_BYTES: usize = 64 * 1024;
 
 /// A parsed request: method, decoded path segments, query pairs, body.
 #[derive(Debug, Clone)]
@@ -35,12 +39,25 @@ impl Request {
     }
 }
 
-/// Request parse failure, mapped to a `400 Bad Request` by the server.
+/// One successfully parsed request plus its framing metadata.
+#[derive(Debug)]
+pub struct ParsedRequest {
+    /// The request itself.
+    pub request: Request,
+    /// Bytes consumed from the front of the buffer (head + body); the
+    /// caller drains exactly this many before parsing the next pipelined
+    /// request.
+    pub consumed: usize,
+    /// Whether the connection should stay open after the response
+    /// (HTTP/1.1 default, overridden by a `Connection: close` header).
+    pub keep_alive: bool,
+}
+
+/// Request parse failure, mapped to a `400 Bad Request` + close by the
+/// server.
 #[derive(Debug)]
 pub enum HttpError {
-    /// Socket-level failure (includes read timeouts).
-    Io(std::io::Error),
-    /// The bytes were not a parsable HTTP/1.1 request.
+    /// The bytes were not a parsable HTTP/1.x request.
     Malformed(&'static str),
     /// Head or body exceeded the hard size limits.
     TooLarge,
@@ -49,47 +66,58 @@ pub enum HttpError {
 impl std::fmt::Display for HttpError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
-            HttpError::Io(e) => write!(f, "socket error: {e}"),
             HttpError::Malformed(what) => write!(f, "malformed request: {what}"),
             HttpError::TooLarge => write!(f, "request exceeds size limits"),
         }
     }
 }
 
-impl std::error::Error for HttpError {
-    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
-        match self {
-            HttpError::Io(e) => Some(e),
-            _ => None,
-        }
+impl std::error::Error for HttpError {}
+
+/// Locates the head/body boundary: the index one past the blank line.
+/// Accepts both `\r\n\r\n` and bare `\n\n` terminators.
+fn head_end(buf: &[u8]) -> Option<usize> {
+    let crlf = buf.windows(4).position(|w| w == b"\r\n\r\n").map(|i| i + 4);
+    let lf = buf.windows(2).position(|w| w == b"\n\n").map(|i| i + 2);
+    match (crlf, lf) {
+        (Some(a), Some(b)) => Some(a.min(b)),
+        (a, b) => a.or(b),
     }
 }
 
-impl From<std::io::Error> for HttpError {
-    fn from(e: std::io::Error) -> Self {
-        HttpError::Io(e)
-    }
-}
-
-/// Reads and parses one request from `stream`.
+/// Tries to parse one complete request from the front of `buf`.
+///
+/// Returns `Ok(None)` when the buffer holds only a prefix (read more and
+/// retry), `Ok(Some(_))` with the consumed byte count on success.
 ///
 /// # Errors
 ///
-/// [`HttpError`] on socket failures (including read timeouts), malformed
-/// request heads, or over-limit sizes.
-pub fn read_request(stream: &mut TcpStream) -> Result<Request, HttpError> {
-    let mut reader = BufReader::new(stream);
-    let mut line = String::new();
-    read_line_limited(&mut reader, &mut line)?;
-    let request_line = line.trim_end().to_string();
+/// [`HttpError::Malformed`] when the prefix can never become a valid
+/// request, [`HttpError::TooLarge`] when the head or declared body
+/// exceeds the hard limits — both terminal for the connection.
+pub fn parse_request(buf: &[u8]) -> Result<Option<ParsedRequest>, HttpError> {
+    let Some(head_len) = head_end(buf) else {
+        if buf.len() > MAX_HEAD_BYTES {
+            return Err(HttpError::TooLarge);
+        }
+        return Ok(None);
+    };
+    if head_len > MAX_HEAD_BYTES {
+        return Err(HttpError::TooLarge);
+    }
+    let head = std::str::from_utf8(&buf[..head_len])
+        .map_err(|_| HttpError::Malformed("head not UTF-8"))?;
+    let mut lines = head.split('\n').map(|l| l.trim_end_matches('\r'));
+    let request_line = lines.next().unwrap_or_default();
     let mut parts = request_line.split(' ');
     let method = parts
         .next()
-        .filter(|m| !m.is_empty())
+        .filter(|m| !m.is_empty() && m.bytes().all(|b| b.is_ascii_alphabetic()))
         .ok_or(HttpError::Malformed("missing method"))?
         .to_string();
     let target = parts
         .next()
+        .filter(|t| !t.is_empty())
         .ok_or(HttpError::Malformed("missing request target"))?
         .to_string();
     let version = parts
@@ -98,34 +126,42 @@ pub fn read_request(stream: &mut TcpStream) -> Result<Request, HttpError> {
     if !version.starts_with("HTTP/1.") {
         return Err(HttpError::Malformed("unsupported HTTP version"));
     }
+    let http_10 = version == "HTTP/1.0";
 
     let mut content_length = 0usize;
-    let mut head_bytes = line.len();
-    loop {
-        line.clear();
-        read_line_limited(&mut reader, &mut line)?;
-        head_bytes += line.len();
-        if head_bytes > MAX_HEAD_BYTES {
-            return Err(HttpError::TooLarge);
+    let mut keep_alive = !http_10;
+    for line in lines {
+        if line.is_empty() {
+            continue;
         }
-        let trimmed = line.trim_end();
-        if trimmed.is_empty() {
-            break;
-        }
-        if let Some((name, value)) = trimmed.split_once(':') {
-            if name.eq_ignore_ascii_case("content-length") {
-                content_length = value
-                    .trim()
-                    .parse()
-                    .map_err(|_| HttpError::Malformed("bad content-length"))?;
+        let Some((name, value)) = line.split_once(':') else {
+            return Err(HttpError::Malformed("header without a colon"));
+        };
+        let value = value.trim();
+        if name.eq_ignore_ascii_case("content-length") {
+            content_length = value
+                .parse()
+                .map_err(|_| HttpError::Malformed("bad content-length"))?;
+        } else if name.eq_ignore_ascii_case("connection") {
+            // Token list; `close` and `keep-alive` are the ones we honour.
+            for token in value.split(',') {
+                let token = token.trim();
+                if token.eq_ignore_ascii_case("close") {
+                    keep_alive = false;
+                } else if token.eq_ignore_ascii_case("keep-alive") {
+                    keep_alive = true;
+                }
             }
         }
     }
     if content_length > MAX_BODY_BYTES {
         return Err(HttpError::TooLarge);
     }
-    let mut body = vec![0u8; content_length];
-    reader.read_exact(&mut body)?;
+    let total = head_len + content_length;
+    if buf.len() < total {
+        return Ok(None);
+    }
+    let body = buf[head_len..total].to_vec();
 
     let (path, query_str) = match target.split_once('?') {
         Some((p, q)) => (p, q),
@@ -140,29 +176,16 @@ pub fn read_request(stream: &mut TcpStream) -> Result<Request, HttpError> {
         })
         .collect();
 
-    Ok(Request {
-        method,
-        path: path.to_string(),
-        query,
-        body,
-    })
-}
-
-fn read_line_limited(
-    reader: &mut BufReader<&mut TcpStream>,
-    line: &mut String,
-) -> Result<(), HttpError> {
-    // read_line on a malicious peer could grow unboundedly; BufReader's
-    // internal buffer plus the running head_bytes check in the caller keep
-    // each line bounded, but cap a single line here too.
-    let n = reader.read_line(line)?;
-    if n == 0 {
-        return Err(HttpError::Malformed("connection closed mid-request"));
-    }
-    if line.len() > MAX_HEAD_BYTES {
-        return Err(HttpError::TooLarge);
-    }
-    Ok(())
+    Ok(Some(ParsedRequest {
+        request: Request {
+            method,
+            path: path.to_string(),
+            query,
+            body,
+        },
+        consumed: total,
+        keep_alive,
+    }))
 }
 
 /// A response ready to serialize: status, optional Retry-After, JSON body.
@@ -205,12 +228,11 @@ impl Response {
         r
     }
 
-    /// Writes the response to `stream` (`Connection: close` always).
-    ///
-    /// # Errors
-    ///
-    /// Propagates socket write failures.
-    pub fn write_to(&self, stream: &mut TcpStream) -> std::io::Result<()> {
+    /// Serializes the full response. `keep_alive` selects the
+    /// `connection` header: `keep-alive` leaves the connection open for
+    /// the next pipelined request, `close` announces the server will
+    /// half-close after the body.
+    pub fn serialize(&self, keep_alive: bool) -> Vec<u8> {
         let reason = match self.status {
             200 => "OK",
             400 => "Bad Request",
@@ -221,68 +243,117 @@ impl Response {
             _ => "Response",
         };
         let mut head = format!(
-            "HTTP/1.1 {} {reason}\r\ncontent-type: application/json\r\ncontent-length: {}\r\nconnection: close\r\n",
+            "HTTP/1.1 {} {reason}\r\ncontent-type: application/json\r\ncontent-length: {}\r\nconnection: {}\r\n",
             self.status,
-            self.body.len()
+            self.body.len(),
+            if keep_alive { "keep-alive" } else { "close" },
         );
         if let Some(secs) = self.retry_after {
             head.push_str(&format!("retry-after: {secs}\r\n"));
         }
         head.push_str("\r\n");
-        stream.write_all(head.as_bytes())?;
-        stream.write_all(self.body.as_bytes())?;
-        stream.flush()
+        let mut out = head.into_bytes();
+        out.extend_from_slice(self.body.as_bytes());
+        out
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use std::net::{TcpListener, TcpStream};
 
-    fn round_trip(raw: &[u8]) -> Result<Request, HttpError> {
-        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
-        let addr = listener.local_addr().unwrap();
-        let mut client = TcpStream::connect(addr).unwrap();
-        client.write_all(raw).unwrap();
-        client.shutdown(std::net::Shutdown::Write).unwrap();
-        let (mut server_side, _) = listener.accept().unwrap();
-        read_request(&mut server_side)
+    fn complete(raw: &[u8]) -> ParsedRequest {
+        parse_request(raw)
+            .expect("parsable")
+            .expect("complete request")
     }
 
     #[test]
     fn parses_get_with_query() {
-        let req =
-            round_trip(b"GET /report/overview?seed=7&scenario=small HTTP/1.1\r\n\r\n").unwrap();
-        assert_eq!(req.method, "GET");
-        assert_eq!(req.path, "/report/overview");
-        assert_eq!(req.query_value("seed"), Some("7"));
-        assert_eq!(req.query_value("scenario"), Some("small"));
-        assert!(req.body.is_empty());
+        let parsed = complete(b"GET /report/overview?seed=7&scenario=small HTTP/1.1\r\n\r\n");
+        assert_eq!(parsed.request.method, "GET");
+        assert_eq!(parsed.request.path, "/report/overview");
+        assert_eq!(parsed.request.query_value("seed"), Some("7"));
+        assert_eq!(parsed.request.query_value("scenario"), Some("small"));
+        assert!(parsed.request.body.is_empty());
+        assert!(parsed.keep_alive, "HTTP/1.1 defaults to keep-alive");
+        assert_eq!(parsed.consumed, 55);
     }
 
     #[test]
     fn parses_post_with_body() {
-        let req =
-            round_trip(b"POST /simulate HTTP/1.1\r\nContent-Length: 13\r\n\r\n{\"seed\":3}  \n")
-                .unwrap();
-        assert_eq!(req.method, "POST");
-        assert_eq!(req.body.len(), 13);
+        let parsed =
+            complete(b"POST /simulate HTTP/1.1\r\nContent-Length: 13\r\n\r\n{\"seed\":3}  \n");
+        assert_eq!(parsed.request.method, "POST");
+        assert_eq!(parsed.request.body.len(), 13);
+    }
+
+    #[test]
+    fn incomplete_prefixes_ask_for_more_bytes() {
+        assert!(parse_request(b"GET /healthz HT").unwrap().is_none());
+        assert!(
+            parse_request(b"POST /x HTTP/1.1\r\ncontent-length: 5\r\n\r\nab")
+                .unwrap()
+                .is_none()
+        );
+        assert!(parse_request(b"").unwrap().is_none());
+    }
+
+    #[test]
+    fn pipelined_requests_consume_one_at_a_time() {
+        let raw = b"GET /healthz HTTP/1.1\r\n\r\nGET /metrics HTTP/1.1\r\n\r\n";
+        let first = complete(raw);
+        assert_eq!(first.request.path, "/healthz");
+        let second = complete(&raw[first.consumed..]);
+        assert_eq!(second.request.path, "/metrics");
+        assert_eq!(first.consumed + second.consumed, raw.len());
+    }
+
+    #[test]
+    fn connection_close_disables_keep_alive() {
+        let parsed = complete(b"GET /healthz HTTP/1.1\r\nConnection: close\r\n\r\n");
+        assert!(!parsed.keep_alive);
+        // HTTP/1.0 defaults to close unless keep-alive is requested.
+        assert!(!complete(b"GET / HTTP/1.0\r\n\r\n").keep_alive);
+        assert!(complete(b"GET / HTTP/1.0\r\nConnection: Keep-Alive\r\n\r\n").keep_alive);
     }
 
     #[test]
     fn rejects_garbage() {
         assert!(matches!(
-            round_trip(b"not-http\r\n\r\n"),
+            parse_request(b"not-http\r\n\r\n"),
+            Err(HttpError::Malformed(_))
+        ));
+        assert!(matches!(
+            parse_request(b"GET /x HTTP/2\r\n\r\n"),
             Err(HttpError::Malformed(_))
         ));
     }
 
     #[test]
-    fn response_serializes_with_retry_after() {
+    fn oversized_heads_and_bodies_are_rejected() {
+        let mut huge = b"GET /".to_vec();
+        huge.resize(huge.len() + MAX_HEAD_BYTES + 10, b'a');
+        assert!(matches!(parse_request(&huge), Err(HttpError::TooLarge)));
+        let declared = format!(
+            "POST /x HTTP/1.1\r\ncontent-length: {}\r\n\r\n",
+            MAX_BODY_BYTES + 1
+        );
+        assert!(matches!(
+            parse_request(declared.as_bytes()),
+            Err(HttpError::TooLarge)
+        ));
+    }
+
+    #[test]
+    fn response_serializes_with_retry_after_and_connection_header() {
         let r = Response::overloaded("busy", 2);
         assert_eq!(r.status, 503);
-        assert_eq!(r.retry_after, Some(2));
-        assert!(r.body.contains("busy"));
+        let bytes = String::from_utf8(r.serialize(false)).unwrap();
+        assert!(bytes.contains("retry-after: 2\r\n"));
+        assert!(bytes.contains("connection: close\r\n"));
+        assert!(bytes.contains("busy"));
+        let alive = String::from_utf8(Response::ok("{}".into()).serialize(true)).unwrap();
+        assert!(alive.contains("connection: keep-alive\r\n"));
     }
 }

@@ -11,28 +11,47 @@
 //! | `POST /simulate` | Run (or fetch cached) scenario → trace digest + summary |
 //! | `GET /report/{section}` | One of the six study sections over the cached trace |
 //! | `GET /trace/{digest}/fots?offset&limit` | Paged ticket reads |
+//! | `GET /catalog` | List the pinned snapshot catalog entries |
+//! | `POST /catalog/reload` | Rescan the catalog directory (also SIGHUP) |
 //! | `GET /healthz` | Liveness probe |
 //! | `GET /metrics` | `dcf-obs` run-report snapshot |
 //!
+//! Architecture (documented in depth in the repository's `SERVING.md`):
+//! one event-loop thread owns every socket on a raw-syscall epoll
+//! [`poller`] (with `poll(2)` and portable scan fallbacks) and speaks
+//! pipelined HTTP/1.1 keep-alive with per-connection buffers and idle
+//! timeouts; a bounded queue feeds a worker pool that computes responses
+//! and hands them back through a completion list + [`poller::Waker`].
+//! Snapshots are served from a [`catalog`] of mmap-backed `.dcfsnap`
+//! files, pinned and reloadable at runtime (SIGHUP or
+//! `POST /catalog/reload`).
+//!
 //! Design constraints carried over from the rest of the workspace: no
-//! heavyweight dependencies (std `TcpListener` + `crossbeam` scoped
-//! threads + the `dcf-obs` JSON module), determinism as the caching
-//! contract (runs are pure functions of `(scenario-hash, seed)`, so the
-//! LRU [`ResponseCache`] never revalidates), and explicit overload
-//! behaviour (bounded accept queue ⇒ `503` + `Retry-After`, per-request
-//! deadlines, graceful drain on shutdown).
+//! heavyweight dependencies (std sockets + raw syscalls + `crossbeam`
+//! scoped threads + the `dcf-obs` JSON module), determinism as the
+//! caching contract (runs are pure functions of `(scenario-hash, seed)`,
+//! so the LRU [`ResponseCache`] never revalidates), and explicit
+//! overload behaviour (bounded request queue ⇒ `503` + `Retry-After` +
+//! `Connection: close`, per-request deadlines, graceful drain on
+//! shutdown).
 
 #![warn(missing_docs)]
 
 pub mod cache;
+pub mod catalog;
+mod event_loop;
 pub mod http;
+pub mod mmap;
+pub mod poller;
 pub mod queue;
 pub mod sections;
 pub mod server;
 pub mod signal;
 
 pub use cache::{CacheKey, ResponseCache};
+pub use catalog::{Catalog, CatalogEntryInfo, ReloadSummary};
 pub use http::{Request, Response};
+pub use poller::{Interest, Poller, Waker};
 pub use queue::BoundedQueue;
 pub use sections::SECTIONS;
 pub use server::{ServeConfig, Server};

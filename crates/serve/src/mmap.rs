@@ -1,0 +1,184 @@
+//! Read-only `mmap(2)` file access for catalog snapshot loading.
+//!
+//! Loading a `.dcfsnap` file through `std::fs::read` copies the whole
+//! file into a heap buffer before the snapshot decoder ever sees it. The
+//! catalog instead maps the file read-only and hands the decoder a slice
+//! straight over the page cache — the kernel faults pages in as the
+//! decoder walks the columns, and no intermediate copy of the file bytes
+//! is made. Like [`crate::poller`] and [`crate::signal`], the syscalls
+//! are issued raw to keep the crate zero-dependency; platforms without
+//! the raw-syscall layer fall back to an ordinary buffered read, which is
+//! slower but byte-identical.
+
+use std::fs::File;
+use std::io;
+
+/// File bytes, either memory-mapped or (on fallback platforms) heap-read.
+///
+/// Dropping unmaps. The mapping is private and read-only, so it never
+/// writes back; concurrent truncation of the underlying file would fault,
+/// which is why the catalog treats snapshot files as immutable once
+/// published (see `SERVING.md`).
+pub struct MappedBytes {
+    data: Data,
+}
+
+enum Data {
+    #[cfg(all(
+        target_os = "linux",
+        any(target_arch = "x86_64", target_arch = "aarch64")
+    ))]
+    Mapped {
+        ptr: *const u8,
+        len: usize,
+    },
+    Heap(Vec<u8>),
+}
+
+impl MappedBytes {
+    /// The file contents as a slice.
+    pub fn bytes(&self) -> &[u8] {
+        match &self.data {
+            #[cfg(all(
+                target_os = "linux",
+                any(target_arch = "x86_64", target_arch = "aarch64")
+            ))]
+            Data::Mapped { ptr, len } => unsafe { std::slice::from_raw_parts(*ptr, *len) },
+            Data::Heap(v) => v,
+        }
+    }
+
+    /// Whether the bytes come from an actual `mmap` (false on the
+    /// buffered-read fallback or for empty files).
+    pub fn is_mapped(&self) -> bool {
+        match &self.data {
+            #[cfg(all(
+                target_os = "linux",
+                any(target_arch = "x86_64", target_arch = "aarch64")
+            ))]
+            Data::Mapped { .. } => true,
+            Data::Heap(_) => false,
+        }
+    }
+
+    /// Number of bytes in the file.
+    pub fn len(&self) -> usize {
+        self.bytes().len()
+    }
+
+    /// Whether the file was empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+impl Drop for MappedBytes {
+    fn drop(&mut self) {
+        #[cfg(all(
+            target_os = "linux",
+            any(target_arch = "x86_64", target_arch = "aarch64")
+        ))]
+        if let Data::Mapped { ptr, len } = self.data {
+            use crate::poller::sys;
+            let _ = unsafe { sys::syscall6(sys::nr::MUNMAP, ptr as usize, len, 0, 0, 0, 0) };
+        }
+    }
+}
+
+/// Opens `path` read-only as a [`MappedBytes`].
+///
+/// On Linux x86_64/aarch64 this is a real `mmap(PROT_READ, MAP_PRIVATE)`;
+/// elsewhere (and for empty files, which `mmap` rejects) it degrades to a
+/// buffered read of the whole file.
+///
+/// # Errors
+///
+/// Propagates open/stat/map failures from the OS.
+pub fn map_file(path: &str) -> io::Result<MappedBytes> {
+    let file = File::open(path)?;
+    let len = file.metadata()?.len();
+    #[cfg(all(
+        target_os = "linux",
+        any(target_arch = "x86_64", target_arch = "aarch64")
+    ))]
+    {
+        use crate::poller::sys;
+        use std::os::unix::io::AsRawFd;
+
+        const PROT_READ: usize = 0x1;
+        const MAP_PRIVATE: usize = 0x2;
+
+        if len == 0 {
+            return Ok(MappedBytes {
+                data: Data::Heap(Vec::new()),
+            });
+        }
+        if len > usize::MAX as u64 {
+            return Err(io::Error::other("file too large to map"));
+        }
+        let ptr = sys::check(unsafe {
+            sys::syscall6(
+                sys::nr::MMAP,
+                0,
+                len as usize,
+                PROT_READ,
+                MAP_PRIVATE,
+                file.as_raw_fd() as usize,
+                0,
+            )
+        })?;
+        // `file` may close now: the mapping keeps its own reference.
+        Ok(MappedBytes {
+            data: Data::Mapped {
+                ptr: ptr as *const u8,
+                len: len as usize,
+            },
+        })
+    }
+    #[cfg(not(all(
+        target_os = "linux",
+        any(target_arch = "x86_64", target_arch = "aarch64")
+    )))]
+    {
+        use std::io::Read;
+        let mut buf = Vec::with_capacity(len as usize);
+        let mut file = file;
+        file.read_to_end(&mut buf)?;
+        Ok(MappedBytes {
+            data: Data::Heap(buf),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Write;
+
+    #[test]
+    fn mapped_bytes_match_file_contents() {
+        let dir = std::env::temp_dir().join(format!("dcf-mmap-test-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("payload.bin");
+        let payload: Vec<u8> = (0..10_000u32).flat_map(|v| v.to_le_bytes()).collect();
+        std::fs::File::create(&path)
+            .unwrap()
+            .write_all(&payload)
+            .unwrap();
+
+        let mapped = map_file(path.to_str().unwrap()).expect("map");
+        assert_eq!(mapped.bytes(), &payload[..]);
+        assert_eq!(mapped.len(), payload.len());
+        if crate::poller::SYSCALL_SUPPORTED {
+            assert!(mapped.is_mapped(), "linux build should really mmap");
+        }
+        drop(mapped);
+        std::fs::remove_file(&path).ok();
+        std::fs::remove_dir(&dir).ok();
+    }
+
+    #[test]
+    fn missing_file_errors() {
+        assert!(map_file("/nonexistent/definitely/missing.dcfsnap").is_err());
+    }
+}

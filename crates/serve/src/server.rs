@@ -1,17 +1,24 @@
-//! The service itself: listener, bounded accept queue, worker pool,
-//! endpoint dispatch, and graceful drain.
+//! The service itself: configuration, worker pool, endpoint dispatch,
+//! and lifecycle around the event loop.
 //!
-//! Threading model: [`Server::start`] spawns one supervisor thread that
-//! owns a `crossbeam::thread::scope`. Inside the scope, the supervisor
-//! runs a non-blocking accept loop pushing connections into a
-//! [`BoundedQueue`], while `workers` scoped threads pop and serve them.
-//! Shutdown flips an `AtomicBool`: the accept loop stops, the queue is
-//! closed, workers drain the backlog (every accepted request still gets a
-//! response), the scope joins, and the final metrics report is returned.
+//! Threading model: [`Server::start`] binds the listener, opens the
+//! [`Poller`], loads the snapshot catalog, and
+//! spawns one supervisor thread that owns a `crossbeam::thread::scope`.
+//! Inside the scope, `workers` scoped threads pop jobs from a
+//! [`BoundedQueue`] and compute responses (simulate, render, page),
+//! while the supervisor thread itself runs the readiness event loop that
+//! owns every socket. A full queue is the load-shed signal: the event
+//! loop answers `503` + `Retry-After` with `Connection: close` instead
+//! of queueing unboundedly.
+//!
+//! Shutdown flips the shared stop flag and rings the waker: the event
+//! loop stops accepting, flushes every in-flight response
+//! (`Connection: close`), and exits; the queue is closed, workers drain,
+//! the scope joins, and the final metrics report is returned.
 
-use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::net::{SocketAddr, TcpListener};
 use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
 use dcf_core::StudyOptions;
@@ -19,14 +26,15 @@ use dcf_obs::{MetricsRegistry, RunReport};
 use dcf_sim::{RunOptions, Scenario};
 
 use crate::cache::{scenario_hash, CacheKey, ResponseCache, RunArtifacts, RunEntry};
-use crate::http::{read_request, HttpError, Request, Response};
-use crate::queue::{BoundedQueue, PushError};
+use crate::catalog::{Catalog, ReloadSummary};
+use crate::event_loop::EventLoop;
+use crate::http::{Request, Response};
+use crate::poller::{Poller, Waker};
+use crate::queue::BoundedQueue;
 use crate::sections::{self, Obj, RunIdentity};
 
 /// Default `Retry-After` seconds on overload responses.
-const RETRY_AFTER_SECS: u32 = 1;
-/// Accept-loop poll interval while the listener has no pending connection.
-const ACCEPT_POLL: Duration = Duration::from_millis(5);
+pub(crate) const RETRY_AFTER_SECS: u32 = 1;
 /// Cap on `limit` for paged ticket reads.
 const MAX_PAGE: usize = 1000;
 /// Default page size for `/trace/{digest}/fots`.
@@ -37,13 +45,14 @@ const DEFAULT_PAGE: usize = 100;
 pub struct ServeConfig {
     /// Bind address, e.g. `127.0.0.1:8620` (`:0` picks a free port).
     pub addr: String,
-    /// Worker threads serving requests.
+    /// Worker threads computing responses.
     pub workers: usize,
     /// LRU response-cache capacity in run entries.
     pub cache_entries: usize,
-    /// Bounded accept-queue depth; connections beyond it get `503`.
+    /// Bounded request-queue depth; requests beyond it are shed with
+    /// `503` + `Retry-After` and `Connection: close`.
     pub queue_depth: usize,
-    /// Per-request deadline, measured from accept. Requests still queued
+    /// Per-request deadline, measured from parse. Requests still queued
     /// past the deadline are answered `503` without being served.
     pub request_deadline: Duration,
     /// Test hook: artificial delay inserted into each simulation compute,
@@ -51,9 +60,22 @@ pub struct ServeConfig {
     pub compute_delay: Duration,
     /// Metrics sink for request counters and spans.
     pub metrics: MetricsRegistry,
-    /// Optional binary trace snapshot to preload and serve under the
-    /// `snapshot` scenario name (and its digest).
+    /// Optional single binary trace snapshot, served under the scenario
+    /// name `snapshot` (legacy sugar for a one-entry catalog).
     pub snapshot: Option<String>,
+    /// Optional catalog directory of `.dcfsnap` files, each served under
+    /// its file stem (see [`crate::catalog`]). Takes precedence over
+    /// `snapshot`.
+    pub catalog: Option<String>,
+    /// Maximum concurrently open connections; beyond it new connections
+    /// are answered `503` and closed.
+    pub max_connections: usize,
+    /// Keep-alive idle timeout: connections with no request activity for
+    /// this long are closed by the sweep.
+    pub idle_timeout: Duration,
+    /// Poller backend preference (`"epoll"`, `"poll"`, `"scan"`); `None`
+    /// picks the best supported backend.
+    pub poller_backend: Option<String>,
 }
 
 impl Default for ServeConfig {
@@ -67,6 +89,10 @@ impl Default for ServeConfig {
             compute_delay: Duration::ZERO,
             metrics: MetricsRegistry::disabled(),
             snapshot: None,
+            catalog: None,
+            max_connections: 12_000,
+            idle_timeout: Duration::from_secs(10),
+            poller_backend: None,
         }
     }
 }
@@ -93,7 +119,7 @@ impl ServeConfig {
         self
     }
 
-    /// Sets the accept-queue depth (min 1).
+    /// Sets the request-queue depth (min 1).
     #[must_use]
     pub fn queue_depth(mut self, depth: usize) -> Self {
         self.queue_depth = depth.max(1);
@@ -121,113 +147,159 @@ impl ServeConfig {
         self.snapshot = Some(path.to_string());
         self
     }
+
+    /// Serves a catalog directory of `.dcfsnap` files (see
+    /// [`crate::catalog`]).
+    #[must_use]
+    pub fn catalog(mut self, dir: &str) -> Self {
+        self.catalog = Some(dir.to_string());
+        self
+    }
+
+    /// Sets the concurrent-connection cap (min 8).
+    #[must_use]
+    pub fn max_connections(mut self, max: usize) -> Self {
+        self.max_connections = max.max(8);
+        self
+    }
+
+    /// Sets the keep-alive idle timeout.
+    #[must_use]
+    pub fn idle_timeout(mut self, timeout: Duration) -> Self {
+        self.idle_timeout = timeout;
+        self
+    }
+
+    /// Forces a poller backend (`"epoll"`, `"poll"`, `"scan"`).
+    #[must_use]
+    pub fn poller_backend(mut self, backend: &str) -> Self {
+        self.poller_backend = Some(backend.to_string());
+        self
+    }
 }
 
-/// An accepted connection waiting for a worker.
+/// One parsed request handed from the event loop to the worker pool.
 #[derive(Debug)]
-struct Conn {
-    stream: TcpStream,
-    accepted_at: Instant,
+pub(crate) struct Job {
+    /// Connection token the response routes back to.
+    pub(crate) token: u64,
+    /// The parsed request.
+    pub(crate) request: Request,
+    /// When the request was parsed; the deadline is measured from here.
+    pub(crate) received_at: Instant,
+    /// Whether the client asked to keep the connection open.
+    pub(crate) keep_alive: bool,
 }
 
-struct Shared {
-    cache: ResponseCache,
-    metrics: MetricsRegistry,
-    deadline: Duration,
-    compute_delay: Duration,
-    /// Preloaded snapshot trace, addressed as scenario `snapshot`.
-    snapshot: Option<Arc<RunEntry>>,
-}
-
-/// A running query service. Dropping without [`Server::shutdown`] aborts
-/// the supervisor thread detached; call `shutdown` for a graceful drain.
+/// One computed response on its way back to the event loop.
 #[derive(Debug)]
+pub(crate) struct Completion {
+    pub(crate) token: u64,
+    pub(crate) response: Response,
+    pub(crate) keep_alive: bool,
+}
+
+/// State shared between the event loop, the worker pool, and the
+/// [`Server`] handle.
+pub(crate) struct Shared {
+    pub(crate) cache: ResponseCache,
+    pub(crate) metrics: MetricsRegistry,
+    pub(crate) deadline: Duration,
+    pub(crate) compute_delay: Duration,
+    /// Name-addressed pinned snapshot entries (`--catalog` / `--snapshot`).
+    pub(crate) catalog: Option<Catalog>,
+    /// Responses computed by workers, drained by the event loop.
+    pub(crate) completions: Mutex<Vec<Completion>>,
+    /// Rings the event loop out of its wait (completion ready, shutdown).
+    pub(crate) waker: Waker,
+    /// Graceful-shutdown flag.
+    pub(crate) stop: AtomicBool,
+}
+
+/// A running query service. Dropping without [`Server::shutdown`] still
+/// drains gracefully (the drop handler joins the supervisor); call
+/// `shutdown` to also receive the final metrics report.
 pub struct Server {
     addr: SocketAddr,
-    stop: Arc<AtomicBool>,
+    shared: Arc<Shared>,
     metrics: MetricsRegistry,
+    backend: &'static str,
     handle: Option<std::thread::JoinHandle<()>>,
 }
 
+impl std::fmt::Debug for Server {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Server")
+            .field("addr", &self.addr)
+            .field("backend", &self.backend)
+            .finish_non_exhaustive()
+    }
+}
+
 impl Server {
-    /// Binds the listener and spawns the supervisor + worker threads.
+    /// Binds the listener, loads the catalog, and spawns the supervisor
+    /// (event loop) + worker threads.
     ///
     /// # Errors
     ///
-    /// Propagates bind/configuration failures from the OS.
+    /// Propagates bind/poller failures from the OS and catalog load
+    /// failures (a corrupt snapshot fails startup; see
+    /// [`Catalog::open`]).
     pub fn start(config: ServeConfig) -> std::io::Result<Server> {
         let listener = TcpListener::bind(&config.addr)?;
         listener.set_nonblocking(true)?;
         let addr = listener.local_addr()?;
-        let stop = Arc::new(AtomicBool::new(false));
         let metrics = config.metrics.clone();
 
-        let snapshot = match &config.snapshot {
-            None => None,
-            Some(path) => {
-                let span = config.metrics.phase("trace.snapshot_load");
-                let trace = dcf_trace::io::snapshot::read_snapshot(path)
-                    .map_err(|e| std::io::Error::other(format!("snapshot {path}: {e}")))?;
-                drop(span);
-                let artifacts = Arc::new(RunArtifacts::new(trace));
-                Some(Arc::new(RunEntry::preloaded("snapshot", artifacts)))
-            }
+        let poller = Poller::new(config.poller_backend.as_deref())?;
+        let backend = poller.backend_name();
+        let (waker, waker_rx) = Waker::pair()?;
+
+        let cache = ResponseCache::new(config.cache_entries);
+        let catalog = match (&config.catalog, &config.snapshot) {
+            (Some(dir), _) => Some(Catalog::open(dir, &cache, &config.metrics)?),
+            (None, Some(path)) => Some(Catalog::open_single(path, &cache, &config.metrics)?),
+            (None, None) => None,
         };
 
         let shared = Arc::new(Shared {
-            cache: ResponseCache::new(config.cache_entries),
+            cache,
             metrics: config.metrics.clone(),
             deadline: config.request_deadline,
             compute_delay: config.compute_delay,
-            snapshot,
+            catalog,
+            completions: Mutex::new(Vec::new()),
+            waker,
+            stop: AtomicBool::new(false),
         });
-        if let Some(entry) = &shared.snapshot {
-            if let Some(Ok(artifacts)) = entry.run.get() {
-                shared.cache.pin(&artifacts.digest, Arc::clone(entry));
-            }
-        }
-        let queue = Arc::new(BoundedQueue::<Conn>::new(config.queue_depth));
+        let queue = Arc::new(BoundedQueue::<Job>::new(config.queue_depth));
         let workers = config.workers.max(1);
-        let stop_flag = Arc::clone(&stop);
+        let max_connections = config.max_connections.max(8);
+        let idle_timeout = config.idle_timeout;
 
+        let event_loop = EventLoop::new(
+            poller,
+            listener,
+            waker_rx,
+            Arc::clone(&queue),
+            Arc::clone(&shared),
+            max_connections,
+            idle_timeout,
+        )?;
+
+        let loop_shared = Arc::clone(&shared);
         let handle = std::thread::Builder::new()
             .name("dcf-serve".to_string())
             .spawn(move || {
                 crossbeam::thread::scope(|s| {
                     for _ in 0..workers {
                         let queue = Arc::clone(&queue);
-                        let shared = Arc::clone(&shared);
-                        s.spawn(move |_| {
-                            while let Some(conn) = queue.pop() {
-                                serve_connection(&shared, conn);
-                            }
-                        });
+                        let shared = Arc::clone(&loop_shared);
+                        s.spawn(move |_| worker_loop(&shared, &queue));
                     }
-
-                    // Accept loop: non-blocking so shutdown is observed
-                    // within one poll interval.
-                    while !stop_flag.load(Ordering::SeqCst) {
-                        match listener.accept() {
-                            Ok((stream, _peer)) => {
-                                shared.metrics.add("serve.accepted", 1);
-                                let conn = Conn {
-                                    stream,
-                                    accepted_at: Instant::now(),
-                                };
-                                if let Err((conn, err)) = queue.try_push(conn) {
-                                    debug_assert!(matches!(err, PushError::Full));
-                                    shared.metrics.add("serve.rejected", 1);
-                                    reject(conn.stream, "accept queue full");
-                                }
-                            }
-                            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
-                                std::thread::sleep(ACCEPT_POLL);
-                            }
-                            Err(_) => std::thread::sleep(ACCEPT_POLL),
-                        }
-                    }
-                    // Graceful drain: no new connections, but everything
-                    // already accepted is still served.
+                    event_loop.run();
+                    // Event loop exited with every accepted request
+                    // answered; close the queue so workers drain and join.
                     queue.close();
                 })
                 .expect("serve scope panicked");
@@ -235,8 +307,9 @@ impl Server {
 
         Ok(Server {
             addr,
-            stop,
+            shared,
             metrics,
+            backend,
             handle: Some(handle),
         })
     }
@@ -246,10 +319,33 @@ impl Server {
         self.addr
     }
 
-    /// Graceful shutdown: stop accepting, serve every queued request,
-    /// join all threads, and return the final metrics snapshot.
+    /// The active poller backend (`"epoll"`, `"poll"`, or `"scan"`).
+    pub fn poller_backend(&self) -> &'static str {
+        self.backend
+    }
+
+    /// Rescans the snapshot catalog (the SIGHUP handler calls this; so
+    /// does `POST /catalog/reload`).
+    ///
+    /// # Errors
+    ///
+    /// `Unsupported` when the server has no catalog directory; otherwise
+    /// propagates scan/decode failures (see [`Catalog::reload`]).
+    pub fn reload_catalog(&self) -> std::io::Result<ReloadSummary> {
+        match &self.shared.catalog {
+            Some(catalog) => catalog.reload(&self.shared.cache),
+            None => Err(std::io::Error::new(
+                std::io::ErrorKind::Unsupported,
+                "no catalog configured (start the service with --catalog DIR)",
+            )),
+        }
+    }
+
+    /// Graceful shutdown: stop accepting, flush every in-flight
+    /// response, join all threads, and return the final metrics snapshot.
     pub fn shutdown(mut self) -> RunReport {
-        self.stop.store(true, Ordering::SeqCst);
+        self.shared.stop.store(true, Ordering::SeqCst);
+        self.shared.waker.wake();
         if let Some(handle) = self.handle.take() {
             let _ = handle.join();
         }
@@ -259,65 +355,43 @@ impl Server {
 
 impl Drop for Server {
     fn drop(&mut self) {
-        self.stop.store(true, Ordering::SeqCst);
+        self.shared.stop.store(true, Ordering::SeqCst);
+        self.shared.waker.wake();
         if let Some(handle) = self.handle.take() {
             let _ = handle.join();
         }
     }
 }
 
-/// Best-effort overload response on a connection we will not serve.
-///
-/// The client's request bytes are intentionally left unread; closing with
-/// unread data would RST the connection and can destroy the 503 in the
-/// client's receive buffer, so after writing the response we half-close
-/// and drain until the peer hangs up (bounded by a short read timeout).
-fn reject(mut stream: TcpStream, message: &str) {
-    use std::io::Read;
-
-    let _ = stream.set_nonblocking(false);
-    let _ = stream.set_write_timeout(Some(Duration::from_secs(1)));
-    let _ = stream.set_read_timeout(Some(Duration::from_millis(500)));
-    let _ = Response::overloaded(message, RETRY_AFTER_SECS).write_to(&mut stream);
-    let _ = stream.shutdown(std::net::Shutdown::Write);
-    let mut scratch = [0u8; 1024];
-    while let Ok(n) = stream.read(&mut scratch) {
-        if n == 0 {
-            break;
-        }
+/// Worker thread body: pop, enforce the queued-time deadline, dispatch,
+/// hand the completion back, ring the waker.
+fn worker_loop(shared: &Shared, queue: &BoundedQueue<Job>) {
+    while let Some(job) = queue.pop() {
+        let _span = shared.metrics.worker_phase("serve.request");
+        let (response, keep_alive) = if job.received_at.elapsed() > shared.deadline {
+            shared.metrics.add("serve.timeouts", 1);
+            (
+                Response::overloaded("request deadline exceeded while queued", RETRY_AFTER_SECS),
+                false,
+            )
+        } else {
+            let response = dispatch(shared, &job.request);
+            if response.status >= 500 {
+                shared.metrics.add("serve.errors", 1);
+            }
+            (response, job.keep_alive)
+        };
+        shared
+            .completions
+            .lock()
+            .expect("completions poisoned")
+            .push(Completion {
+                token: job.token,
+                response,
+                keep_alive,
+            });
+        shared.waker.wake();
     }
-}
-
-fn serve_connection(shared: &Shared, conn: Conn) {
-    let _span = shared.metrics.worker_phase("serve.request");
-    let waited = conn.accepted_at.elapsed();
-    if waited > shared.deadline {
-        shared.metrics.add("serve.timeouts", 1);
-        reject(conn.stream, "request deadline exceeded while queued");
-        return;
-    }
-    let mut stream = conn.stream;
-    let _ = stream.set_nonblocking(false);
-    let remaining = shared.deadline - waited;
-    let _ = stream.set_read_timeout(Some(remaining.max(Duration::from_millis(10))));
-    let _ = stream.set_write_timeout(Some(Duration::from_secs(5)));
-
-    let response = match read_request(&mut stream) {
-        Ok(request) => {
-            shared.metrics.add("serve.requests", 1);
-            dispatch(shared, &request)
-        }
-        Err(HttpError::Io(_)) => {
-            shared.metrics.add("serve.io_errors", 1);
-            return; // peer gone or unreadable; nothing to answer
-        }
-        Err(HttpError::Malformed(what)) => Response::error(400, what),
-        Err(HttpError::TooLarge) => Response::error(400, "request exceeds size limits"),
-    };
-    if response.status >= 500 {
-        shared.metrics.add("serve.errors", 1);
-    }
-    let _ = response.write_to(&mut stream);
 }
 
 fn dispatch(shared: &Shared, request: &Request) -> Response {
@@ -332,6 +406,8 @@ fn dispatch(shared: &Shared, request: &Request) -> Response {
             let _span = shared.metrics.worker_phase("serve.report.metrics");
             Response::ok(shared.metrics.report("dcf-serve").to_json())
         }
+        ("GET", ["catalog"]) => handle_catalog(shared),
+        ("POST", ["catalog", "reload"]) => handle_catalog_reload(shared),
         ("POST", ["simulate"]) => handle_simulate(shared, request),
         ("GET", ["report", section]) => handle_report(shared, request, section),
         ("GET", ["trace", digest, "fots"]) => handle_fots(shared, request, digest),
@@ -340,9 +416,41 @@ fn dispatch(shared: &Shared, request: &Request) -> Response {
     }
 }
 
+fn handle_catalog(shared: &Shared) -> Response {
+    match &shared.catalog {
+        Some(catalog) => Response::ok(catalog.render_listing()),
+        None => Response::error(
+            404,
+            "no catalog configured (start the service with --catalog DIR or --snapshot PATH)",
+        ),
+    }
+}
+
+fn handle_catalog_reload(shared: &Shared) -> Response {
+    let Some(catalog) = &shared.catalog else {
+        return Response::error(
+            404,
+            "no catalog configured (start the service with --catalog DIR)",
+        );
+    };
+    match catalog.reload(&shared.cache) {
+        Ok(summary) => {
+            let mut obj = Obj::new();
+            obj.uint("added", summary.added as u64)
+                .uint("removed", summary.removed as u64)
+                .uint("total", summary.total as u64);
+            Response::ok(obj.finish())
+        }
+        Err(e) if e.kind() == std::io::ErrorKind::Unsupported => {
+            Response::error(400, &e.to_string())
+        }
+        Err(e) => Response::error(500, &format!("catalog reload failed: {e}")),
+    }
+}
+
 /// The raw `(scenario name, seed, threads)` triple of a request, before
-/// the scenario is resolved (the `snapshot` pseudo-scenario addresses the
-/// preloaded trace and never simulates).
+/// the scenario is resolved (catalog snapshot names address preloaded
+/// traces and never simulate).
 struct RawParams {
     scenario: String,
     seed: u64,
@@ -417,7 +525,9 @@ impl RunParams {
             other => {
                 return Err(Response::error(
                     400,
-                    &format!("unknown scenario {other:?} (expected small|medium|paper|snapshot)"),
+                    &format!(
+                        "unknown scenario {other:?} (expected small|medium|paper or a catalog snapshot name)"
+                    ),
                 ))
             }
         };
@@ -437,19 +547,21 @@ impl RunParams {
     }
 }
 
-/// Resolves a raw request triple to its run entry: the preloaded snapshot
-/// for the `snapshot` pseudo-scenario (always a cache hit), a cached or
+/// Resolves a raw request triple to its run entry: a pinned catalog
+/// snapshot when the name matches one (always a cache hit), a cached or
 /// freshly computed simulation otherwise.
 fn run_entry_for(shared: &Shared, raw: &RawParams) -> Result<(Arc<RunEntry>, bool), Response> {
+    if let Some(catalog) = &shared.catalog {
+        if let Some(entry) = catalog.get(&raw.scenario) {
+            shared.metrics.add("serve.cache.hits", 1);
+            return Ok((entry, true));
+        }
+    }
     if raw.scenario == "snapshot" {
-        let entry = shared.snapshot.clone().ok_or_else(|| {
-            Response::error(
-                404,
-                "no snapshot preloaded (start the service with --snapshot PATH)",
-            )
-        })?;
-        shared.metrics.add("serve.cache.hits", 1);
-        return Ok((entry, true));
+        return Err(Response::error(
+            404,
+            "no snapshot preloaded (start the service with --snapshot PATH or --catalog DIR)",
+        ));
     }
     let params = RunParams::resolve(&raw.scenario, raw.seed, raw.threads)?;
     run_entry(shared, &params)

@@ -1,17 +1,28 @@
-//! Minimal SIGINT plumbing over raw Linux syscalls.
+//! Minimal signal plumbing over raw Linux syscalls.
 //!
-//! The workspace has no `libc`-style dependency, so the two primitives the
-//! serve binary needs — block SIGINT for the whole process, then wait for
-//! one — are issued directly via `rt_sigprocmask(2)` and
-//! `rt_sigtimedwait(2)`. Supported on Linux x86_64/aarch64; elsewhere the
-//! functions degrade to no-ops (`block_sigint` reports failure, so callers
-//! can fall back to running until killed).
+//! The workspace has no `libc`-style dependency, so the primitives the
+//! serve binary needs — block a small signal set for the whole process,
+//! then wait for one — are issued directly via `rt_sigprocmask(2)` and
+//! `rt_sigtimedwait(2)`. Two signals matter to the server: SIGINT
+//! triggers a graceful drain, and SIGHUP triggers a catalog rescan
+//! (see [`crate::catalog`]). Supported on Linux x86_64/aarch64;
+//! elsewhere the functions degrade to no-ops (`block_signals` reports
+//! failure, so callers can fall back to running until killed).
 
-/// Whether this build can actually block and wait for SIGINT.
+/// Whether this build can actually block and wait for signals.
 pub const SUPPORTED: bool = cfg!(all(
     target_os = "linux",
     any(target_arch = "x86_64", target_arch = "aarch64")
 ));
+
+/// A signal the serve binary reacts to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Signal {
+    /// SIGINT: begin a graceful drain and exit.
+    Interrupt,
+    /// SIGHUP: rescan the snapshot catalog without restarting.
+    Hangup,
+}
 
 #[cfg(all(
     target_os = "linux",
@@ -20,8 +31,11 @@ pub const SUPPORTED: bool = cfg!(all(
 mod imp {
     use std::arch::asm;
 
-    // Signal-mask bit for SIGINT (signal 2): bit (2 - 1).
-    const SIGINT_MASK: u64 = 1 << 1;
+    const SIGHUP: usize = 1;
+    const SIGINT: usize = 2;
+    // Signal-mask bit for signal N is (N - 1).
+    const SIGINT_MASK: u64 = 1 << (SIGINT - 1);
+    const SIGHUP_MASK: u64 = 1 << (SIGHUP - 1);
     const SIG_BLOCK: usize = 0;
     // The kernel expects sigsetsize = 8 (64-bit mask) for rt_* signal calls.
     const SIGSET_BYTES: usize = 8;
@@ -77,26 +91,41 @@ mod imp {
         ret
     }
 
-    pub fn block_sigint() -> bool {
-        // Reset SIGINT's disposition to SIG_DFL first. Non-interactive
+    fn blockable_mask(with_hangup: bool) -> u64 {
+        if with_hangup {
+            SIGINT_MASK | SIGHUP_MASK
+        } else {
+            SIGINT_MASK
+        }
+    }
+
+    pub fn block(with_hangup: bool) -> bool {
+        // Reset each signal's disposition to SIG_DFL first. Non-interactive
         // shells (CI steps, `cmd &` in scripts) start background jobs with
         // SIGINT *ignored*, and the kernel discards an ignored signal even
         // while it is blocked — sigtimedwait would never see it. With the
-        // default disposition a blocked SIGINT stays pending instead. The
+        // default disposition a blocked signal stays pending instead. The
         // zeroed buffer covers both kernel sigaction layouts: x86_64
         // {handler, flags, restorer, mask} and aarch64 {handler, flags,
         // mask}; all-zero means SIG_DFL, no flags, empty mask.
         let act = [0u64; 4];
-        unsafe {
-            syscall4(
-                nr::RT_SIGACTION,
-                2, // SIGINT
-                act.as_ptr() as usize,
-                0,
-                SIGSET_BYTES,
-            )
+        let signals: &[usize] = if with_hangup {
+            &[SIGINT, SIGHUP]
+        } else {
+            &[SIGINT]
         };
-        let mask: u64 = SIGINT_MASK;
+        for &sig in signals {
+            unsafe {
+                syscall4(
+                    nr::RT_SIGACTION,
+                    sig,
+                    act.as_ptr() as usize,
+                    0,
+                    SIGSET_BYTES,
+                )
+            };
+        }
+        let mask: u64 = blockable_mask(with_hangup);
         let ret = unsafe {
             syscall4(
                 nr::RT_SIGPROCMASK,
@@ -109,8 +138,8 @@ mod imp {
         ret == 0
     }
 
-    pub fn wait_sigint(timeout_ms: u64) -> bool {
-        let mask: u64 = SIGINT_MASK;
+    pub fn wait(timeout_ms: u64, with_hangup: bool) -> Option<super::Signal> {
+        let mask: u64 = blockable_mask(with_hangup);
         let ts = Timespec {
             tv_sec: (timeout_ms / 1000) as i64,
             tv_nsec: ((timeout_ms % 1000) * 1_000_000) as i64,
@@ -124,7 +153,11 @@ mod imp {
                 SIGSET_BYTES,
             )
         };
-        ret == 2 // the signal number, SIGINT
+        match ret as usize {
+            SIGINT => Some(super::Signal::Interrupt),
+            SIGHUP => Some(super::Signal::Hangup),
+            _ => None,
+        }
     }
 }
 
@@ -133,14 +166,14 @@ mod imp {
     any(target_arch = "x86_64", target_arch = "aarch64")
 )))]
 mod imp {
-    pub fn block_sigint() -> bool {
+    pub fn block(_with_hangup: bool) -> bool {
         false
     }
 
-    pub fn wait_sigint(timeout_ms: u64) -> bool {
+    pub fn wait(timeout_ms: u64, _with_hangup: bool) -> Option<super::Signal> {
         // Preserve the polling cadence so callers' loops behave the same.
         std::thread::sleep(std::time::Duration::from_millis(timeout_ms));
-        false
+        None
     }
 }
 
@@ -148,14 +181,28 @@ mod imp {
 /// for every thread it later creates — masks are inherited). Returns
 /// `false` if the platform has no supported implementation.
 pub fn block_sigint() -> bool {
-    imp::block_sigint()
+    imp::block(false)
+}
+
+/// Blocks SIGINT *and* SIGHUP — the serve binary's set: drain on
+/// interrupt, catalog reload on hangup. Same inheritance rules as
+/// [`block_sigint`]. Returns `false` on unsupported platforms.
+pub fn block_signals() -> bool {
+    imp::block(true)
 }
 
 /// Waits up to `timeout_ms` for a blocked SIGINT; `true` when one arrived.
 /// On unsupported platforms this sleeps for the timeout and returns
 /// `false`.
 pub fn wait_sigint(timeout_ms: u64) -> bool {
-    imp::wait_sigint(timeout_ms)
+    imp::wait(timeout_ms, false) == Some(Signal::Interrupt)
+}
+
+/// Waits up to `timeout_ms` for a blocked SIGINT or SIGHUP, reporting
+/// which one arrived. On unsupported platforms this sleeps for the
+/// timeout and returns `None`.
+pub fn wait_signal(timeout_ms: u64) -> Option<Signal> {
+    imp::wait(timeout_ms, true)
 }
 
 #[cfg(test)]
@@ -169,5 +216,10 @@ mod tests {
         let start = std::time::Instant::now();
         assert!(!wait_sigint(30));
         assert!(start.elapsed() >= std::time::Duration::from_millis(20));
+    }
+
+    #[test]
+    fn wait_signal_times_out_without_a_signal() {
+        assert_eq!(wait_signal(10), None);
     }
 }

@@ -1,5 +1,7 @@
 //! End-to-end tests for the query service: cache byte-identity under
-//! concurrency, bounded-queue backpressure, and graceful drain.
+//! concurrency, keep-alive pipelining, catalog serving + reload,
+//! idle-timeout reaping, bounded-queue backpressure (including the shed ×
+//! keep-alive interaction), and graceful drain.
 
 use std::io::{Read, Write};
 use std::net::TcpStream;
@@ -9,6 +11,7 @@ use dcf_obs::MetricsRegistry;
 use dcf_serve::{ServeConfig, Server};
 
 /// One full HTTP exchange: status, lowercase header pairs, body.
+#[derive(Debug)]
 struct Reply {
     status: u16,
     headers: Vec<(String, String)>,
@@ -24,50 +27,133 @@ impl Reply {
     }
 }
 
-fn exchange(addr: std::net::SocketAddr, raw: &str) -> Reply {
-    let mut stream = TcpStream::connect(addr).expect("connect");
-    stream
-        .set_read_timeout(Some(Duration::from_secs(60)))
-        .unwrap();
-    stream.write_all(raw.as_bytes()).expect("send request");
-    let mut buf = String::new();
-    stream.read_to_string(&mut buf).expect("read response");
-    parse_reply(&buf)
+/// A keep-alive client: one connection, many content-length-framed
+/// exchanges (the read-to-EOF idiom only works for `Connection: close`).
+struct Client {
+    stream: TcpStream,
+    buf: Vec<u8>,
 }
 
-fn parse_reply(raw: &str) -> Reply {
-    let (head, body) = raw.split_once("\r\n\r\n").expect("response has a head");
-    let mut lines = head.lines();
-    let status_line = lines.next().expect("status line");
-    let status: u16 = status_line
-        .split(' ')
-        .nth(1)
-        .expect("status code")
-        .parse()
-        .expect("numeric status");
-    let headers = lines
-        .filter_map(|l| l.split_once(':'))
-        .map(|(k, v)| (k.trim().to_ascii_lowercase(), v.trim().to_string()))
-        .collect();
-    Reply {
-        status,
-        headers,
-        body: body.to_string(),
+impl Client {
+    fn connect(addr: std::net::SocketAddr) -> Client {
+        let stream = TcpStream::connect(addr).expect("connect");
+        stream
+            .set_read_timeout(Some(Duration::from_secs(60)))
+            .unwrap();
+        Client {
+            stream,
+            buf: Vec::new(),
+        }
+    }
+
+    fn send(&mut self, raw: &str) {
+        self.stream.write_all(raw.as_bytes()).expect("send request");
+    }
+
+    /// Reads exactly one response off the connection (more may follow —
+    /// that is pipelining).
+    fn read_reply(&mut self) -> Reply {
+        let head_len = loop {
+            if let Some(pos) = self.buf.windows(4).position(|w| w == b"\r\n\r\n") {
+                break pos + 4;
+            }
+            self.fill("response head");
+        };
+        let head = String::from_utf8(self.buf[..head_len].to_vec()).expect("UTF-8 head");
+        let content_length: usize = head
+            .lines()
+            .filter_map(|l| l.split_once(':'))
+            .find(|(k, _)| k.eq_ignore_ascii_case("content-length"))
+            .map(|(_, v)| v.trim().parse().expect("numeric content-length"))
+            .expect("response has content-length");
+        while self.buf.len() < head_len + content_length {
+            self.fill("response body");
+        }
+        let body = String::from_utf8(self.buf[head_len..head_len + content_length].to_vec())
+            .expect("UTF-8 body");
+        self.buf.drain(..head_len + content_length);
+
+        let mut lines = head.lines();
+        let status_line = lines.next().expect("status line");
+        let status: u16 = status_line
+            .split(' ')
+            .nth(1)
+            .expect("status code")
+            .parse()
+            .expect("numeric status");
+        let headers = lines
+            .filter_map(|l| l.split_once(':'))
+            .map(|(k, v)| (k.trim().to_ascii_lowercase(), v.trim().to_string()))
+            .collect();
+        Reply {
+            status,
+            headers,
+            body,
+        }
+    }
+
+    fn fill(&mut self, what: &str) {
+        let mut chunk = [0u8; 4096];
+        let n = self.stream.read(&mut chunk).expect("read");
+        assert!(n > 0, "connection closed while waiting for {what}");
+        self.buf.extend_from_slice(&chunk[..n]);
+    }
+
+    /// True when the server half-closed: the next read yields EOF (after
+    /// any buffered bytes, which must be none).
+    fn at_eof(&mut self) -> bool {
+        assert!(self.buf.is_empty(), "unread bytes: {:?}", self.buf);
+        let mut chunk = [0u8; 64];
+        matches!(self.stream.read(&mut chunk), Ok(0))
     }
 }
 
+/// One-shot exchange with `Connection: close` (read to EOF).
+fn exchange(addr: std::net::SocketAddr, raw: &str) -> Reply {
+    let mut client = Client::connect(addr);
+    client.send(raw);
+    let reply = client.read_reply();
+    assert_eq!(reply.header("connection"), Some("close"));
+    reply
+}
+
 fn get(addr: std::net::SocketAddr, path: &str) -> Reply {
-    exchange(addr, &format!("GET {path} HTTP/1.1\r\nhost: t\r\n\r\n"))
+    exchange(
+        addr,
+        &format!("GET {path} HTTP/1.1\r\nhost: t\r\nconnection: close\r\n\r\n"),
+    )
 }
 
 fn post(addr: std::net::SocketAddr, path: &str, body: &str) -> Reply {
     exchange(
         addr,
         &format!(
-            "POST {path} HTTP/1.1\r\nhost: t\r\ncontent-length: {}\r\n\r\n{body}",
+            "POST {path} HTTP/1.1\r\nhost: t\r\nconnection: close\r\ncontent-length: {}\r\n\r\n{body}",
             body.len()
         ),
     )
+}
+
+fn get_keep_alive(path: &str) -> String {
+    format!("GET {path} HTTP/1.1\r\nhost: t\r\n\r\n")
+}
+
+fn post_keep_alive(path: &str, body: &str) -> String {
+    format!(
+        "POST {path} HTTP/1.1\r\nhost: t\r\ncontent-length: {}\r\n\r\n{body}",
+        body.len()
+    )
+}
+
+/// Simulates a small-scenario trace and writes it as a `.dcfsnap` file.
+fn write_snapshot(path: &std::path::Path, seed: u64) -> String {
+    use dcf_sim::{RunOptions, Scenario};
+    let trace = Scenario::small()
+        .seed(seed)
+        .simulate(&RunOptions::default())
+        .expect("scenario simulates");
+    dcf_trace::io::snapshot::write_snapshot(&trace, path).expect("snapshot writes");
+    format!("{:016x}", dcf_trace::io::fots_digest(trace.fots()))
 }
 
 #[test]
@@ -157,6 +243,158 @@ fn concurrent_clients_get_byte_identical_cached_sections() {
 }
 
 #[test]
+fn keep_alive_pipelining_yields_byte_identical_sections() {
+    let metrics = MetricsRegistry::new();
+    let server = Server::start(
+        ServeConfig::default()
+            .addr("127.0.0.1:0")
+            .workers(2)
+            .metrics(&metrics),
+    )
+    .expect("server starts");
+    let addr = server.local_addr();
+
+    // Prime the run so the pipelined reads are all cache hits.
+    let primed = post(addr, "/simulate", r#"{"scenario":"small","seed":9}"#);
+    assert_eq!(primed.status, 200, "simulate failed: {}", primed.body);
+    let reference = get(addr, "/report/overview?scenario=small&seed=9").body;
+
+    // One connection, four pipelined requests written back-to-back in a
+    // single burst; responses must come back in order, each keep-alive.
+    const PIPELINED: usize = 4;
+    let mut client = Client::connect(addr);
+    let burst = get_keep_alive("/report/overview?scenario=small&seed=9").repeat(PIPELINED);
+    client.send(&burst);
+    let mut bodies = Vec::new();
+    for i in 0..PIPELINED {
+        let reply = client.read_reply();
+        assert_eq!(reply.status, 200, "pipelined reply {i}: {}", reply.body);
+        assert_eq!(
+            reply.header("connection"),
+            Some("keep-alive"),
+            "pipelined reply {i} must keep the connection open"
+        );
+        bodies.push(reply.body);
+    }
+    for (i, body) in bodies.iter().enumerate() {
+        assert_eq!(
+            body, &reference,
+            "pipelined section {i} must be byte-identical to the one-shot read"
+        );
+    }
+
+    // A final Connection: close request ends the session cleanly.
+    client.send(&get_keep_alive("/healthz").replace("host: t", "host: t\r\nconnection: close"));
+    let last = client.read_reply();
+    assert_eq!(last.status, 200);
+    assert_eq!(last.header("connection"), Some("close"));
+    assert!(
+        client.at_eof(),
+        "server must half-close after a close request"
+    );
+
+    let report = server.shutdown();
+    assert!(
+        report.counter("serve.keepalive.reused").unwrap_or(0) >= (PIPELINED as u64 - 1),
+        "pipelined requests after the first must count as keep-alive reuse"
+    );
+}
+
+#[test]
+fn catalog_serves_reloads_and_404s() {
+    let dir = std::env::temp_dir().join(format!("dcf-serve-catalog-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let alpha_digest = write_snapshot(&dir.join("alpha.dcfsnap"), 21);
+
+    let metrics = MetricsRegistry::new();
+    let server = Server::start(
+        ServeConfig::default()
+            .addr("127.0.0.1:0")
+            .workers(2)
+            .metrics(&metrics)
+            .catalog(dir.to_str().expect("temp path is UTF-8")),
+    )
+    .expect("server starts with a catalog");
+    let addr = server.local_addr();
+
+    // The listing names the entry with its digest.
+    let listing = get(addr, "/catalog");
+    assert_eq!(listing.status, 200, "listing failed: {}", listing.body);
+    assert!(listing.body.contains("\"alpha\""), "{}", listing.body);
+    assert!(listing.body.contains(&alpha_digest));
+    assert!(listing.body.contains("\"total\":1"));
+
+    // Catalog entries are scenarios: always cache hits, correct digest.
+    let sim = post(addr, "/simulate", r#"{"scenario":"alpha"}"#);
+    assert_eq!(sim.status, 200, "simulate failed: {}", sim.body);
+    assert!(sim.body.contains("\"cache\":\"hit\""));
+    assert!(sim.body.contains(&alpha_digest));
+
+    // Unknown names 404/400 rather than silently simulating.
+    let missing = post(addr, "/simulate", r#"{"scenario":"snapshot"}"#);
+    assert_eq!(missing.status, 404, "expected 404: {}", missing.body);
+    assert!(missing.body.contains("no snapshot preloaded"));
+    let unknown = post(addr, "/simulate", r#"{"scenario":"beta"}"#);
+    assert_eq!(unknown.status, 400, "expected 400: {}", unknown.body);
+    assert!(unknown.body.contains("catalog snapshot name"));
+
+    // Drop a new snapshot in and reload through the admin endpoint.
+    let beta_digest = write_snapshot(&dir.join("beta.dcfsnap"), 22);
+    let reload = post(addr, "/catalog/reload", "");
+    assert_eq!(reload.status, 200, "reload failed: {}", reload.body);
+    assert!(reload.body.contains("\"added\":1"), "{}", reload.body);
+    assert!(reload.body.contains("\"total\":2"), "{}", reload.body);
+    let beta = get(addr, "/report/overview?scenario=beta");
+    assert_eq!(beta.status, 200, "beta section failed: {}", beta.body);
+    assert!(beta.body.contains(&beta_digest));
+
+    // Removing the file unpins it on the next reload: name and digest 404.
+    std::fs::remove_file(dir.join("alpha.dcfsnap")).unwrap();
+    let reload = post(addr, "/catalog/reload", "");
+    assert_eq!(reload.status, 200, "reload failed: {}", reload.body);
+    assert!(reload.body.contains("\"removed\":1"), "{}", reload.body);
+    let gone = get(addr, &format!("/trace/{alpha_digest}/fots"));
+    assert_eq!(gone.status, 404, "expected 404: {}", gone.body);
+
+    server.shutdown();
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn idle_keep_alive_connections_are_reaped() {
+    let metrics = MetricsRegistry::new();
+    let server = Server::start(
+        ServeConfig::default()
+            .addr("127.0.0.1:0")
+            .metrics(&metrics)
+            .idle_timeout(Duration::from_millis(300)),
+    )
+    .expect("server starts");
+    let addr = server.local_addr();
+
+    // A served keep-alive connection that then goes quiet is closed by
+    // the sweep once the idle timeout passes.
+    let mut client = Client::connect(addr);
+    client.send(&get_keep_alive("/healthz"));
+    let reply = client.read_reply();
+    assert_eq!(reply.status, 200);
+    assert_eq!(reply.header("connection"), Some("keep-alive"));
+    let start = std::time::Instant::now();
+    assert!(
+        client.at_eof(),
+        "idle connection must be closed by the server"
+    );
+    let waited = start.elapsed();
+    assert!(
+        waited >= Duration::from_millis(200),
+        "closed too eagerly: {waited:?}"
+    );
+
+    let report = server.shutdown();
+    assert!(report.counter("serve.idle_closed").unwrap_or(0) >= 1);
+}
+
+#[test]
 fn saturated_queue_sheds_load_with_retry_after() {
     let metrics = MetricsRegistry::new();
     let mut config = ServeConfig::default()
@@ -210,6 +448,67 @@ fn saturated_queue_sheds_load_with_retry_after() {
 }
 
 #[test]
+fn shed_on_a_pipelined_connection_closes_instead_of_dangling() {
+    let metrics = MetricsRegistry::new();
+    let mut config = ServeConfig::default()
+        .addr("127.0.0.1:0")
+        .workers(1)
+        .queue_depth(1)
+        .metrics(&metrics);
+    config.compute_delay = Duration::from_millis(600);
+    let server = Server::start(config).expect("server starts");
+    let addr = server.local_addr();
+
+    // Saturate: one request computing (popped immediately), one queued.
+    let mut busy = Client::connect(addr);
+    busy.send(&post_keep_alive(
+        "/simulate",
+        r#"{"scenario":"small","seed":100}"#,
+    ));
+    std::thread::sleep(Duration::from_millis(150));
+    let mut queued = Client::connect(addr);
+    queued.send(&post_keep_alive(
+        "/simulate",
+        r#"{"scenario":"small","seed":101}"#,
+    ));
+    std::thread::sleep(Duration::from_millis(150));
+
+    // A keep-alive client pipelines three requests into the full queue.
+    // The first is shed: the 503 must announce Connection: close and the
+    // pipelined tail must be dropped with a half-close — not left
+    // dangling awaiting responses that will never come.
+    let mut pipeliner = Client::connect(addr);
+    let burst: String = (102..105)
+        .map(|seed| {
+            post_keep_alive(
+                "/simulate",
+                &format!("{{\"scenario\":\"small\",\"seed\":{seed}}}"),
+            )
+        })
+        .collect();
+    pipeliner.send(&burst);
+    let shed = pipeliner.read_reply();
+    assert_eq!(shed.status, 503, "expected a shed: {}", shed.body);
+    assert!(shed.header("retry-after").is_some());
+    assert_eq!(
+        shed.header("connection"),
+        Some("close"),
+        "a shed on a pipelined connection must announce close"
+    );
+    assert!(
+        pipeliner.at_eof(),
+        "server must half-close after the shed, not serve the pipelined tail"
+    );
+
+    // The saturating clients still get real answers.
+    assert_eq!(busy.read_reply().status, 200);
+    assert_eq!(queued.read_reply().status, 200);
+
+    let report = server.shutdown();
+    assert!(report.counter("serve.rejected").unwrap_or(0) >= 1);
+}
+
+#[test]
 fn preloaded_snapshot_serves_without_simulating() {
     use dcf_sim::{RunOptions, Scenario};
 
@@ -242,6 +541,11 @@ fn preloaded_snapshot_serves_without_simulating() {
         "snapshot digest missing from {}",
         sim.body
     );
+
+    // `--snapshot` is a one-entry catalog: the listing shows it.
+    let listing = get(addr, "/catalog");
+    assert_eq!(listing.status, 200);
+    assert!(listing.body.contains("\"snapshot\""));
 
     // Sections render from the preloaded trace under the same digest.
     let section = get(addr, "/report/overview?scenario=snapshot");
