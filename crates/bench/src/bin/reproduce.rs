@@ -3,7 +3,8 @@
 //! ```text
 //! reproduce [--scenario paper|medium|small] [--seed N] [--experiment ID]
 //!           [--markdown] [--metrics PATH] [--threads N] [--backend B]
-//!           [--servers N] [--shards K] [--spill-dir PATH] [--keep-spills]
+//!           [--servers N] [--shards K] [--shard-workers W]
+//!           [--spill-codec raw|delta] [--spill-dir PATH] [--keep-spills]
 //!           [--bench-json PATH] [--bench-baseline PATH] [--digest PATH]
 //! reproduce snapshot --out PATH [simulation flags]
 //! reproduce snapshot --in PATH [analysis flags]
@@ -58,6 +59,13 @@
 //! engine. With `--experiment none` the merged trace is never
 //! materialized — the run streams straight to the digest, which is how
 //! multi-million-server fleets fit in bounded memory.
+//! `--shard-workers W` caps the pipelined shard worker pool: up to `W`
+//! shards simulate and spill concurrently while completed spills merge
+//! (`0`, the default, auto-detects from the machine). Traces and digests
+//! are byte-identical at any worker count.
+//! `--spill-codec raw|delta` picks the spill encoding: `raw` is the
+//! fixed-width `DCFSPIL0` format, `delta` (the default) the
+//! varint+delta-compressed `DCFSPIL1` format (SCALING.md).
 //! `--spill-dir PATH` puts the per-shard spill files under `PATH`
 //! (default: a process-unique temp directory); `--keep-spills` leaves
 //! them behind for inspection.
@@ -98,6 +106,8 @@ struct Args {
     threads: usize,
     servers: Option<usize>,
     shards: Option<u32>,
+    shard_workers: u32,
+    spill_codec: dcf_trace::io::spill::SpillCodec,
     spill_dir: Option<String>,
     keep_spills: bool,
     backend: String,
@@ -120,6 +130,8 @@ fn parse_args(snapshot_mode: bool) -> Result<Args, String> {
         threads: 0,
         servers: None,
         shards: None,
+        shard_workers: 0,
+        spill_codec: dcf_trace::io::spill::SpillCodec::default(),
         spill_dir: None,
         keep_spills: false,
         backend: "columnar".into(),
@@ -180,6 +192,16 @@ fn parse_args(snapshot_mode: bool) -> Result<Args, String> {
                 }
                 args.shards = Some(k);
             }
+            "--shard-workers" => {
+                args.shard_workers = it
+                    .next()
+                    .ok_or("--shard-workers needs a value")?
+                    .parse()
+                    .map_err(|e| format!("bad shard worker count: {e}"))?;
+            }
+            "--spill-codec" => {
+                args.spill_codec = it.next().ok_or("--spill-codec needs a value")?.parse()?;
+            }
             "--spill-dir" => {
                 args.spill_dir = Some(it.next().ok_or("--spill-dir needs a value")?);
             }
@@ -212,7 +234,7 @@ fn parse_args(snapshot_mode: bool) -> Result<Args, String> {
                 return Err(if snapshot_mode {
                     "usage: reproduce snapshot (--out PATH | --in PATH) [reproduce flags]".into()
                 } else {
-                    "usage: reproduce [--scenario paper|medium|small] [--seed N] [--experiment ID|none] [--markdown] [--metrics PATH] [--threads N] [--servers N] [--shards K] [--spill-dir PATH] [--keep-spills] [--backend columnar|row] [--bench-json PATH] [--bench-baseline PATH] [--digest PATH]".into()
+                    "usage: reproduce [--scenario paper|medium|small] [--seed N] [--experiment ID|none] [--markdown] [--metrics PATH] [--threads N] [--servers N] [--shards K] [--shard-workers W] [--spill-codec raw|delta] [--spill-dir PATH] [--keep-spills] [--backend columnar|row] [--bench-json PATH] [--bench-baseline PATH] [--digest PATH]".into()
                 });
             }
             other => return Err(format!("unknown flag {other}")),
@@ -332,6 +354,8 @@ fn simulate_sharded_run(
         && !args.score;
     let mut shard_options = dcf_sim::ShardOptions::new(shards)
         .keep_spills(args.keep_spills)
+        .shard_workers(args.shard_workers)
+        .spill_codec(args.spill_codec)
         .materialize_trace(!digest_only);
     if let Some(dir) = &args.spill_dir {
         shard_options = shard_options.spill_dir(dir);

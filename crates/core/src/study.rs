@@ -234,11 +234,14 @@ impl<'a> FailureStudy<'a> {
                 }
             }
             1 => {
+                // One fused pass over the failure population instead of
+                // three (identical results; see `Temporal::fused`).
                 let temporal = self.temporal();
+                let (dow, hod, tbf) = temporal.fused(None);
                 SectionOutput::Temporal {
-                    tbf: temporal.tbf_all().ok(),
-                    dow: temporal.day_of_week(None).ok(),
-                    hod: temporal.hour_of_day(None).ok(),
+                    tbf: tbf.ok(),
+                    dow: dow.ok(),
+                    hod: hod.ok(),
                 }
             }
             2 => {

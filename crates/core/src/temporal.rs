@@ -148,6 +148,12 @@ impl<'a> Temporal<'a> {
                 }
             }
         }
+        self.day_of_week_from_counts(counts)
+    }
+
+    /// Hypothesis-1 statistics over finished weekday tallies (shared by
+    /// [`Temporal::day_of_week`] and the fused section kernel).
+    fn day_of_week_from_counts(&self, counts: [usize; 7]) -> Result<DayOfWeekResult, StatsError> {
         let total: usize = counts.iter().sum();
         let denom = total.max(1) as f64;
         let fractions = counts.map(|c| c as f64 / denom);
@@ -206,6 +212,12 @@ impl<'a> Temporal<'a> {
                 }
             }
         }
+        Self::hour_of_day_from_counts(counts)
+    }
+
+    /// Hypothesis-2 statistics over finished hourly tallies (shared by
+    /// [`Temporal::hour_of_day`] and the fused section kernel).
+    fn hour_of_day_from_counts(counts: [usize; 24]) -> Result<HourOfDayResult, StatsError> {
         let total: usize = counts.iter().sum();
         let denom = total.max(1) as f64;
         let fractions = counts.map(|c| c as f64 / denom);
@@ -216,6 +228,72 @@ impl<'a> Temporal<'a> {
             fractions,
             uniformity,
         })
+    }
+
+    /// The three §III analyses of one population from a single pass over
+    /// the error-time columns: day-of-week tallies, hour-of-day tallies,
+    /// and the TBF gap series all come out of one walk of the failure
+    /// ids instead of three (the `study.temporal` section used to
+    /// re-stream the population per analysis).
+    ///
+    /// Each returned result is identical to its standalone method —
+    /// the tallies are the same sums and the gaps reconstruct the same
+    /// timestamps, so every downstream test sees the same bytes
+    /// (`tests/columnar_identity.rs` holds the row-vs-columnar half of
+    /// that contract).
+    #[allow(clippy::type_complexity)]
+    pub fn fused(
+        &self,
+        class: Option<ComponentClass>,
+    ) -> (
+        Result<DayOfWeekResult, StatsError>,
+        Result<HourOfDayResult, StatsError>,
+        Result<TbfResult, StatsError>,
+    ) {
+        let mut dow = [0usize; 7];
+        let mut hod = [0usize; 24];
+        let gaps = match self.columnar(class) {
+            Some((cols, ids)) => {
+                let origin = dcf_trace::ORIGIN_WEEKDAY.index() as u64;
+                let days = cols.error_days();
+                let sods = cols.error_sods();
+                let mut gaps = Vec::with_capacity(ids.len().saturating_sub(1));
+                let mut last: Option<u64> = None;
+                for &p in ids {
+                    let i = p as usize;
+                    let day = days[i] as u64;
+                    let sod = sods[i] as u64;
+                    dow[((origin + day) % 7) as usize] += 1;
+                    hod[(sod / SECS_PER_HOUR) as usize] += 1;
+                    // Same reconstruction as `FotColumns::error_secs`.
+                    let t = day * dcf_trace::SECS_PER_DAY + sod;
+                    if let Some(prev) = last {
+                        gaps.push(((t - prev) as f64).max(0.5) / 60.0);
+                    }
+                    last = Some(t);
+                }
+                gaps
+            }
+            None => {
+                let mut gaps = Vec::new();
+                let mut last: Option<u64> = None;
+                for fot in self.population(class) {
+                    dow[fot.error_time.weekday().index()] += 1;
+                    hod[fot.error_time.hour_of_day() as usize] += 1;
+                    let t = fot.error_time.as_secs();
+                    if let Some(prev) = last {
+                        gaps.push(((t - prev) as f64).max(0.5) / 60.0);
+                    }
+                    last = Some(t);
+                }
+                gaps
+            }
+        };
+        (
+            self.day_of_week_from_counts(dow),
+            Self::hour_of_day_from_counts(hod),
+            self.tbf_from_gaps(gaps),
+        )
     }
 
     /// Gaps (minutes) between consecutive failures of a time-sorted
@@ -391,24 +469,36 @@ impl<'a> Temporal<'a> {
     }
 
     fn tbf_from_gaps(&self, gaps: Vec<f64>) -> Result<TbfResult, StatsError> {
-        if gaps.len() < 100 {
+        let n = gaps.len();
+        if n < 100 {
             return Err(StatsError::NotEnoughBins {
-                found: gaps.len(),
+                found: n,
                 required: 100,
             });
         }
-        let ecdf = Ecdf::new(gaps.clone())?;
-        let fits: Vec<TbfFit> = fit::fit_tbf_families(&gaps)
+        // Fit in sample order (the MLE sums are order-sensitive to the last
+        // bit), then hand the gaps to the ECDF, whose sorted view makes each
+        // goodness-of-fit test O(bins log n) instead of O(n log bins). The
+        // bin counts are permutation-invariant, so the outcomes match the
+        // unsorted test exactly.
+        let fitted_families = fit::fit_tbf_families(&gaps);
+        let ecdf = Ecdf::new(gaps)?;
+        let fits: Vec<TbfFit> = fitted_families
             .into_iter()
             .filter_map(|fitted| {
-                dcf_stats::chi_square::goodness_of_fit(&gaps, &fitted, 40, fitted.parameter_count())
-                    .ok()
-                    .map(|test| TbfFit { fitted, test })
+                dcf_stats::chi_square::goodness_of_fit_sorted(
+                    ecdf.values(),
+                    &fitted,
+                    40,
+                    fitted.parameter_count(),
+                )
+                .ok()
+                .map(|test| TbfFit { fitted, test })
             })
             .collect();
         let all_rejected_at_005 = !fits.is_empty() && fits.iter().all(|f| f.test.rejects_at(0.05));
         Ok(TbfResult {
-            n: gaps.len(),
+            n,
             mtbf_minutes: ecdf.mean(),
             median_minutes: ecdf.median(),
             fits,

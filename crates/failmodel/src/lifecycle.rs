@@ -36,9 +36,9 @@ pub fn lifecycle_shape(class: ComponentClass) -> PiecewiseHazard {
             m => 0.90 + (m - 9) as f64 * (1.40 / 38.0),
         }),
         ComponentClass::RaidCard => Box::new(|m| match m {
-            0..=5 => 2.15,
-            6..=11 => 0.60,
-            _ => 0.45,
+            0..=5 => 3.60,
+            6..=11 => 0.50,
+            _ => 0.35,
         }),
         ComponentClass::Motherboard => Box::new(|m| match m {
             0..=23 => 0.08,
@@ -84,7 +84,9 @@ impl FailureRates {
         base[ComponentClass::Miscellaneous.index()] = 3.34e-3; // per server
         base[ComponentClass::Memory.index()] = 0.92e-4;
         base[ComponentClass::Power.index()] = 3.40e-4;
-        base[ComponentClass::RaidCard.index()] = 8.6e-4;
+        // Rebalanced with the steeper infant-mortality shape (whose 48-month
+        // integral grew ~14%) so Table II's RAID-card share stays at ~1.2%.
+        base[ComponentClass::RaidCard.index()] = 7.6e-4;
         base[ComponentClass::FlashCard.index()] = 1.50e-3;
         base[ComponentClass::Motherboard.index()] = 2.7e-4;
         base[ComponentClass::Ssd.index()] = 1.17e-4;

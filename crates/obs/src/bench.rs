@@ -12,6 +12,12 @@ use crate::report::RunReport;
 /// Engine phase-span prefix; phases under it drive the throughput figures.
 const ENGINE_PREFIX: &str = "engine.";
 
+/// Wall-clock span covering the whole engine run. When a report records
+/// it, throughput divides by this span alone; summing the sub-phases
+/// would double-count (and, for pipelined sharded runs, count worker
+/// time instead of wall time).
+const ENGINE_TOTAL: &str = "engine.total";
+
 /// Phase-span prefixes pulled into the summary: the simulation engine,
 /// the analysis sections (`study.*`), the trace-backend phases
 /// (`trace.build_columns`, `trace.snapshot_write`, `trace.snapshot_load`),
@@ -80,6 +86,37 @@ impl ServeBench {
     }
 }
 
+/// Pulls the summarized `(phase, ms)` list out of a report: every span
+/// under [`PHASE_PREFIXES`] in first-appearance order, spans sharing a
+/// name summed into one entry.
+fn extract_phases(report: &RunReport) -> Vec<(String, f64)> {
+    let mut phases: Vec<(String, f64)> = Vec::new();
+    for span in &report.phases {
+        if !PHASE_PREFIXES.iter().any(|p| span.name.starts_with(p)) {
+            continue;
+        }
+        match phases.iter_mut().find(|(n, _)| *n == span.name) {
+            Some((_, ms)) => *ms += span.duration_ms(),
+            None => phases.push((span.name.clone(), span.duration_ms())),
+        }
+    }
+    phases
+}
+
+/// Total engine wall-clock of a summarized phase list: the
+/// [`ENGINE_TOTAL`] span when the run recorded one, otherwise the sum of
+/// the `engine.*` sub-phases (reports predating the wall span).
+fn engine_total_ms(phases: &[(String, f64)]) -> f64 {
+    if let Some((_, ms)) = phases.iter().find(|(n, _)| n == ENGINE_TOTAL) {
+        return *ms;
+    }
+    phases
+        .iter()
+        .filter(|(n, _)| n.starts_with(ENGINE_PREFIX))
+        .map(|(_, ms)| ms)
+        .sum()
+}
+
 /// A benchmark snapshot of one instrumented simulation run: scenario,
 /// thread count, per-phase engine wall-clock, and derived throughput.
 ///
@@ -117,11 +154,14 @@ pub struct BenchSummary {
     /// `trace.*` span, in first-appearance order; spans sharing a name
     /// (one `engine.shard.*` span per shard) are summed into one entry.
     pub phases: Vec<(String, f64)>,
-    /// Servers simulated per second of total engine wall-clock (`0` when
-    /// no engine time was recorded).
+    /// Servers simulated per second of total engine wall-clock: the
+    /// `engine.total` span when the run recorded one, otherwise the sum
+    /// of the `engine.*` sub-phases (`0` when no engine time was
+    /// recorded).
     pub servers_per_sec: f64,
-    /// Tickets produced per second of total engine wall-clock (`0` when no
-    /// engine time was recorded).
+    /// Tickets produced per second of total engine wall-clock (same
+    /// denominator as `servers_per_sec`; `0` when no engine time was
+    /// recorded).
     pub tickets_per_sec: f64,
     /// Per-phase comparison against a baseline run, as
     /// `(phase, baseline ms, speedup)`; empty without a baseline.
@@ -148,23 +188,10 @@ impl BenchSummary {
         window_days: u64,
         tickets: u64,
     ) -> Self {
-        let mut phases: Vec<(String, f64)> = Vec::new();
-        for span in &report.phases {
-            if !PHASE_PREFIXES.iter().any(|p| span.name.starts_with(p)) {
-                continue;
-            }
-            match phases.iter_mut().find(|(n, _)| *n == span.name) {
-                Some((_, ms)) => *ms += span.duration_ms(),
-                None => phases.push((span.name.clone(), span.duration_ms())),
-            }
-        }
+        let phases = extract_phases(report);
         // Throughput stays an engine metric: analysis/trace spans measure
         // different work and must not dilute servers/s across PRs.
-        let total_ms: f64 = phases
-            .iter()
-            .filter(|(n, _)| n.starts_with(ENGINE_PREFIX))
-            .map(|(_, ms)| ms)
-            .sum();
+        let total_ms = engine_total_ms(&phases);
         let per_sec = |count: u64| {
             if total_ms > 0.0 {
                 count as f64 / (total_ms / 1000.0)
@@ -204,6 +231,11 @@ impl BenchSummary {
     /// present in `baseline`, records the baseline duration and the
     /// speedup `baseline_ms / measured_ms` (skipped when the measured
     /// phase took no time).
+    ///
+    /// Engine time is additionally rolled into one comparable
+    /// `engine.total` row, so a pipelined sharded run still gets a
+    /// headline speedup against an unsharded (or pre-`engine.total`)
+    /// baseline whose per-phase names do not line up.
     #[must_use]
     pub fn with_baseline(mut self, baseline: &RunReport) -> Self {
         self.baseline_label = Some(baseline.label.clone());
@@ -215,6 +247,14 @@ impl BenchSummary {
                 (*ms > 0.0).then(|| (name.clone(), base_ms, base_ms / ms))
             })
             .collect();
+        if !self.baseline.iter().any(|(n, _, _)| n == ENGINE_TOTAL) {
+            let measured = engine_total_ms(&self.phases);
+            let base = engine_total_ms(&extract_phases(baseline));
+            if measured > 0.0 && base > 0.0 {
+                self.baseline
+                    .insert(0, (ENGINE_TOTAL.to_string(), base, base / measured));
+            }
+        }
         self
     }
 
@@ -339,6 +379,32 @@ mod tests {
     }
 
     #[test]
+    fn engine_total_span_drives_throughput_when_present() {
+        // A pipelined sharded run records both wall-clock (engine.total)
+        // and per-worker phases; throughput must divide by the wall span
+        // alone, not the double-counting sum.
+        let r = RunReport {
+            label: "pipelined".into(),
+            phases: vec![
+                span("engine.total", 10_000),
+                span("engine.fleet_build", 1_000),
+                span("engine.shard.simulate", 8_000),
+                span("engine.shard.simulate", 7_500),
+                span("engine.shard.merge", 500),
+            ],
+            counters: vec![],
+            gauges: vec![],
+        };
+        let s = BenchSummary::from_report(&r, "medium", 1, 100, 360, 400);
+        // 10 ms of wall-clock → 10k servers/s even though worker phases
+        // sum to 17 ms.
+        assert!((s.servers_per_sec - 10_000.0).abs() < 1e-9);
+        assert!((s.tickets_per_sec - 40_000.0).abs() < 1e-9);
+        // The wall span still shows up in the phase map.
+        assert!(s.phases.iter().any(|(n, _)| n == "engine.total"));
+    }
+
+    #[test]
     fn repeated_phase_names_sum_into_one_entry() {
         let r = RunReport {
             label: "sharded".into(),
@@ -410,6 +476,42 @@ mod tests {
         assert!((speedup("engine.per_server") - 3.0).abs() < 1e-9);
         assert!((speedup("engine.assembly") - 2.0).abs() < 1e-9);
         assert!((speedup("engine.global") - 1.0).abs() < 1e-9);
+        // Neither run records an engine.total span, so the rolled-up row
+        // compares the engine.* sums: 15.5 ms baseline / 7 ms measured.
+        assert!((speedup("engine.total") - 15.5 / 7.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn sharded_run_gets_a_rolled_up_speedup_against_unsharded_baseline() {
+        // Per-phase names barely intersect between a sharded run
+        // (engine.shard.*) and an unsharded baseline (engine.per_server /
+        // engine.assembly); the roll-up still yields a headline number.
+        let sharded = RunReport {
+            label: "sharded".into(),
+            phases: vec![
+                span("engine.total", 5_000),
+                span("engine.fleet_build", 1_000),
+                span("engine.shard.simulate", 3_000),
+                span("engine.shard.merge", 800),
+            ],
+            counters: vec![],
+            gauges: vec![],
+        };
+        let base = report("unsharded", 6_000, 2_500); // engine sum = 10 ms
+        let s =
+            BenchSummary::from_report(&sharded, "medium", 1, 100, 360, 400).with_baseline(&base);
+        let total = s
+            .baseline
+            .iter()
+            .find(|(n, _, _)| n == "engine.total")
+            .expect("rolled-up engine.total row");
+        assert!((total.1 - 10.0).abs() < 1e-9, "baseline ms {}", total.1);
+        assert!((total.2 - 2.0).abs() < 1e-9, "speedup {}", total.2);
+        // The intersecting sub-phase is still diffed individually.
+        assert!(s.baseline.iter().any(|(n, _, _)| n == "engine.fleet_build"));
+        let json = s.to_json();
+        assert!(json.contains("\"speedup\""), "speedup block missing");
+        assert!(json.contains("\"engine.total\""), "roll-up missing in json");
     }
 
     #[test]

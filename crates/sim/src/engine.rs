@@ -237,13 +237,19 @@ pub(crate) fn resolve_engine_threads(requested: usize) -> usize {
 /// error — surfaced rather than panicking).
 pub fn simulate(config: &SimConfig, options: &RunOptions) -> Result<Trace, SimError> {
     let metrics = &options.metrics;
+    // Wall-clock for the whole run, fleet build included; benchmarks
+    // read this span for throughput so sharded and unsharded runs (whose
+    // phase sets differ) stay comparable.
+    let total_span = metrics.phase("engine.total");
     let span = metrics.phase("engine.fleet_build");
     let fleet = FleetBuilder::new(config.fleet.clone())
         .seed(config.seed)
         .metrics(metrics.clone())
         .build()?;
     drop(span);
-    simulate_on_fleet(config, &fleet, options)
+    let run = simulate_on_fleet(config, &fleet, options);
+    drop(total_span);
+    run
 }
 
 /// [`simulate`] on an already-built fleet (lets callers reuse one fleet
@@ -347,7 +353,14 @@ pub(crate) fn run_global_phase(
     metrics.add("sim.occurrences.batch", batch_occurrences);
     metrics.add("sim.occurrences.sync_repeat", sync_occurrences);
 
-    let operator = OperatorModel::new(config.seed, &fleet.snapshot().2);
+    // Only the line metas feed the operator model — `fleet.snapshot()`
+    // would clone every ServerMeta (hostnames included) to get at them.
+    let line_metas: Vec<_> = fleet
+        .product_lines()
+        .iter()
+        .map(|p| p.meta.clone())
+        .collect();
+    let operator = OperatorModel::new(config.seed, &line_metas);
     // The eleven class hazards are constant across servers: build them once
     // instead of once per server per class inside the hot loop.
     let hazards = config.rates.hazard_table();
@@ -594,17 +607,26 @@ fn apply_batch_events(
 ) -> (u64, u64) {
     let mut scheduled: u64 = 0;
     let events = config.batch.generate(fleet, start, end, config.seed);
+    // Line-scoped events only ever match servers of one (line, DC) pair;
+    // bucketing the fleet once replaces a full line scan (with a random
+    // `ServerMeta` lookup per server) by a scan of the ~1/n_dcs bucket.
+    // Built in server-id order, so each bucket lists ids in the same
+    // order the line scan produced them and the Fisher–Yates sampling
+    // below sees an identical candidate list (no RNG drift).
+    let n_dcs = fleet.data_centers().len();
+    let mut by_line_dc: Vec<Vec<ServerId>> = vec![Vec::new(); fleet.product_lines().len() * n_dcs];
+    for s in fleet.servers() {
+        by_line_dc[s.product_line.index() * n_dcs + s.data_center.index()].push(s.id);
+    }
     for event in &events {
         // Candidate servers for this event.
         let candidates: Vec<ServerId> = match (event.line, event.pdu) {
-            (Some(line), _) => fleet
-                .servers_of_line(line)
+            (Some(line), _) => by_line_dc[line.index() * n_dcs + event.dc.index()]
                 .iter()
                 .copied()
                 .filter(|&sid| {
                     let s = fleet.server(sid);
-                    s.data_center == event.dc
-                        && event.generation.is_none_or(|g| s.generation == g)
+                    event.generation.is_none_or(|g| s.generation == g)
                         && s.deploy_time + SimDuration::from_days(event.min_age_days) <= event.start
                         && s.component_count(event.class) > 0
                 })

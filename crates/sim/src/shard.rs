@@ -1,34 +1,49 @@
-//! The sharded, bounded-memory engine driver.
+//! The sharded, bounded-memory, pipelined engine driver.
 //!
 //! [`simulate_sharded`] partitions the fleet into contiguous server-id
-//! ranges (a [`ShardPlan`]), simulates one shard at a time — reusing the
-//! unsharded engine's global phase and per-server workers verbatim — and
-//! streams each shard's sorted ticket records into a
-//! [`dcf_trace::io::spill`] file instead of holding a global ticket
-//! vector. A final k-way merge replays the spills in global order,
-//! assigns ticket ids, and computes the trace digest as a stream, so peak
-//! memory is bounded by `fleet metadata + one shard's tickets + one merge
-//! chunk per shard` regardless of fleet size.
+//! ranges (a [`ShardPlan`]) and hands them to a pool of up to
+//! [`ShardOptions::shard_workers`] worker threads — each reusing the
+//! unsharded engine's per-server workers verbatim — which stream every
+//! shard's sorted ticket records into a [`dcf_trace::io::spill`] file
+//! instead of holding a global ticket vector. The coordinating thread
+//! opens and prefetches each spill *the moment its shard completes*, so
+//! spill verification and first-chunk decode overlap the shards still
+//! simulating; once the last shard lands, a k-way merge replays the
+//! spills in global order, assigns ticket ids, and computes the trace
+//! digest as a stream. Peak memory is bounded by `fleet metadata +
+//! in-flight shards' tickets + one merge chunk per shard` regardless of
+//! fleet size.
 //!
 //! Because per-server RNG streams are seeded from `(seed, server id)`
 //! alone and the global phase runs once over the full fleet, the merged
-//! stream is **byte-identical** to an unsharded run at any shard count and
-//! thread count — `SCALING.md` documents the argument, and
-//! `tests/engine_identity.rs` gates it in CI.
+//! stream is **byte-identical** to an unsharded run at any shard count,
+//! worker count, and thread count — shards are simulated in whatever
+//! order workers pick them up, but the merge re-serializes them by key.
+//! `SCALING.md` documents the argument, and `tests/engine_identity.rs`
+//! gates it in CI.
 //!
-//! Phases recorded on the run's registry: one `engine.shard.simulate` and
-//! `engine.shard.spill` span per shard, one `engine.shard.merge` span,
-//! plus the `engine.shards` gauge, the `shard.bytes_spilled` counter, and
+//! Phases recorded on the run's registry: one `engine.total` wall-clock
+//! span (from fleet build to merge end), one `engine.shard.simulate` and
+//! `engine.shard.spill` span per shard (detached, recorded from worker
+//! threads), one `engine.shard.open` span per spill, one
+//! `engine.shard.merge` span, plus the `engine.shards` and
+//! `engine.shard_workers` gauges, the `shard.bytes_spilled` counter, and
 //! the `mem.peak_rss_bytes` gauge ([`dcf_obs::BenchSummary`] picks all of
 //! them up).
 
 use std::ops::Range;
-use std::path::PathBuf;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicBool, AtomicU32, Ordering};
+use std::sync::mpsc;
 
+use dcf_failmodel::types::detail_str;
 use dcf_fleet::{Fleet, FleetBuilder};
 use dcf_fms::{FmsMetrics, TicketFactory};
-use dcf_trace::io::spill::{merge_spills, ShardSpillReader, ShardSpillWriter, SpillRecord};
-use dcf_trace::io::FotsDigester;
+use dcf_obs::MetricsRegistry;
+use dcf_trace::io::spill::{
+    merge_cursors, ShardSpillReader, ShardSpillWriter, SpillCodec, SpillCursor, SpillRecord,
+};
+use dcf_trace::io::{DigestRow, FotsDigester};
 use dcf_trace::{columns::category_tag, Fot, Trace, TraceError};
 
 use crate::config::SimConfig;
@@ -112,6 +127,15 @@ pub struct ShardOptions {
     /// Shard count (`0` or `1` = a single shard; clamped to the fleet
     /// size). More shards lower the per-shard ticket high-water mark.
     pub shards: u32,
+    /// Worker threads simulating shards concurrently. `0` resolves to
+    /// the machine's available parallelism (capped at 16); any value is
+    /// clamped to the shard count. Peak memory grows by one in-flight
+    /// shard's tickets per extra worker; the digest does not change.
+    pub shard_workers: u32,
+    /// On-disk encoding for the spill files. [`SpillCodec::Delta`]
+    /// (default) writes `DCFSPIL1` delta-varint blocks at ~10–13 bytes
+    /// per record; [`SpillCodec::Raw`] writes 27-byte `DCFSPIL0` rows.
+    pub spill_codec: SpillCodec,
     /// Directory for the per-shard spill files. `None` uses a
     /// process-unique directory under the system temp dir.
     pub spill_dir: Option<PathBuf>,
@@ -130,6 +154,18 @@ impl ShardOptions {
             shards,
             ..Self::default()
         }
+    }
+
+    /// Sets the shard-worker count (`0` = auto).
+    pub fn shard_workers(mut self, workers: u32) -> Self {
+        self.shard_workers = workers;
+        self
+    }
+
+    /// Sets the spill encoding.
+    pub fn spill_codec(mut self, codec: SpillCodec) -> Self {
+        self.spill_codec = codec;
+        self
     }
 
     /// Sets the spill directory.
@@ -207,13 +243,19 @@ pub fn simulate_sharded(
     shard_options: &ShardOptions,
 ) -> Result<ShardedRun, SimError> {
     let metrics = &options.metrics;
+    // Wall-clock for the whole run: with concurrent shard workers the
+    // per-phase spans overlap and their sum exceeds elapsed time, so
+    // benchmarks read this span for throughput.
+    let total_span = metrics.phase("engine.total");
     let span = metrics.phase("engine.fleet_build");
     let fleet = FleetBuilder::new(config.fleet.clone())
         .seed(config.seed)
         .metrics(metrics.clone())
         .build()?;
     drop(span);
-    simulate_sharded_on_fleet(config, &fleet, options, shard_options)
+    let run = simulate_sharded_on_fleet(config, &fleet, options, shard_options);
+    drop(total_span);
+    run
 }
 
 /// [`simulate_sharded`] on an already-built fleet.
@@ -237,6 +279,73 @@ pub fn simulate_sharded_on_fleet(
     }
 }
 
+/// How many shard workers a request resolves to: `0` asks for the
+/// machine's available parallelism (capped at 16, like engine threads);
+/// everything is clamped to the shard count so idle workers never spawn.
+fn resolve_shard_workers(requested: u32, shards: u32) -> u32 {
+    let cap = shards.max(1);
+    if requested == 0 {
+        let auto = std::thread::available_parallelism().map_or(1, |n| n.get() as u32);
+        auto.clamp(1, cap.min(16))
+    } else {
+        requested.clamp(1, cap)
+    }
+}
+
+/// What one worker hands back per finished shard.
+struct ShardDone {
+    path: PathBuf,
+    counts: ServerCounts,
+    bytes: u64,
+}
+
+/// Simulates one shard and spills it: the unit of work a pool worker
+/// loops over. Spans are detached so any number of workers can record
+/// them concurrently.
+#[allow(clippy::too_many_arguments)]
+fn run_one_shard(
+    config: &SimConfig,
+    fleet: &Fleet,
+    global: &crate::engine::GlobalPhase,
+    plan: &ShardPlan,
+    shard: u32,
+    spill_dir: &Path,
+    threads: usize,
+    codec: SpillCodec,
+    metrics: &MetricsRegistry,
+) -> Result<ShardDone, SimError> {
+    let range = plan.range(shard);
+    let sim_span = metrics.worker_phase("engine.shard.simulate");
+    let servers = &fleet.servers()[range.start as usize..range.end as usize];
+    let (spec_chunks, counts) = per_server_specs(config, fleet, global, servers, threads);
+    drop(sim_span);
+
+    let spill_span = metrics.worker_phase("engine.shard.spill");
+    let path = spill_dir.join(format!("shard-{shard:04}.dcfspill"));
+    let mut writer =
+        ShardSpillWriter::new(&path, shard, plan.shards(), range.start, range.end, codec);
+    // Same merge discipline as unsharded assembly: the spill file holds
+    // this shard's records in final global order.
+    merge_sorted_specs(spec_chunks, |s| {
+        writer.push(&SpillRecord {
+            server: s.server,
+            class: s.class,
+            slot: s.slot,
+            ftype: s.ftype,
+            error_time: s.error_time,
+            category: s.category,
+            response: s.response,
+        });
+    });
+    let bytes = writer.finish().map_err(SimError::Trace)?;
+    drop(spill_span);
+    Ok(ShardDone {
+        path,
+        counts,
+        bytes,
+    })
+}
+
 fn sharded_engine(
     config: &SimConfig,
     fleet: &Fleet,
@@ -247,8 +356,13 @@ fn sharded_engine(
     let fms = FmsMetrics::from_registry(metrics);
     let n_threads = resolve_engine_threads(config.engine_threads);
     let plan = ShardPlan::new(fleet.servers().len() as u32, shard_options.shards);
+    let workers = resolve_shard_workers(shard_options.shard_workers, plan.shards());
+    // Split the engine's thread budget across concurrent workers so the
+    // total stays near n_threads whatever the worker count.
+    let threads_per_worker = (n_threads / workers as usize).max(1);
     metrics.set_gauge("engine.threads", n_threads as f64);
     metrics.set_gauge("engine.shards", plan.shards() as f64);
+    metrics.set_gauge("engine.shard_workers", workers as f64);
 
     // Global phase runs ONCE over the full fleet, exactly as unsharded:
     // batch/sync scheduling consumes one RNG stream whose draws must not
@@ -261,72 +375,157 @@ fn sharded_engine(
     };
     std::fs::create_dir_all(&spill_dir).map_err(|e| SimError::Trace(TraceError::from(e)))?;
 
-    // -------- Per-shard simulate + spill --------
-    let mut counts = ServerCounts::default();
-    let mut paths: Vec<PathBuf> = Vec::new();
-    let mut bytes_spilled = 0u64;
-    for shard in 0..plan.shards() {
-        let range = plan.range(shard);
-        let sim_span = metrics.phase("engine.shard.simulate");
-        let servers = &fleet.servers()[range.start as usize..range.end as usize];
-        let (spec_chunks, shard_counts) =
-            per_server_specs(config, fleet, &global, servers, n_threads);
-        counts.merge(&shard_counts);
-        drop(sim_span);
+    // -------- Pipelined per-shard simulate + spill --------
+    //
+    // Workers drain a shared shard counter; the coordinating thread
+    // receives completions in whatever order they land and immediately
+    // opens + prefetches each spill, overlapping verification and the
+    // first chunk's decode with the shards still simulating. Tally
+    // merging is commutative, and the k-way merge re-orders by key, so
+    // completion order never reaches the output.
+    let codec = shard_options.spill_codec;
+    let next_shard = AtomicU32::new(0);
+    let abort = AtomicBool::new(false);
+    let (tx, rx) = mpsc::channel::<Result<ShardDone, SimError>>();
+    let pooled: Result<(Vec<SpillCursor>, ServerCounts, u64, Vec<PathBuf>), SimError> =
+        crossbeam::thread::scope(|scope| {
+            let (next_shard, abort) = (&next_shard, &abort);
+            for _ in 0..workers {
+                let tx = tx.clone();
+                let (global, plan, spill_dir) = (&global, &plan, &spill_dir);
+                scope.spawn(move |_| loop {
+                    if abort.load(Ordering::Relaxed) {
+                        break;
+                    }
+                    let shard = next_shard.fetch_add(1, Ordering::Relaxed);
+                    if shard >= plan.shards() {
+                        break;
+                    }
+                    let res = run_one_shard(
+                        config,
+                        fleet,
+                        global,
+                        plan,
+                        shard,
+                        spill_dir,
+                        threads_per_worker,
+                        codec,
+                        metrics,
+                    );
+                    let failed = res.is_err();
+                    if tx.send(res).is_err() || failed {
+                        break;
+                    }
+                });
+            }
+            drop(tx);
 
-        let spill_span = metrics.phase("engine.shard.spill");
-        let path = spill_dir.join(format!("shard-{shard:04}.dcfspill"));
-        let mut writer = ShardSpillWriter::new(&path, shard, plan.shards(), range.start, range.end);
-        // Same merge discipline as unsharded assembly: the spill file holds
-        // this shard's records in final global order.
-        merge_sorted_specs(spec_chunks, |s| {
-            writer.push(&SpillRecord {
-                server: s.server,
-                class: s.class,
-                slot: s.slot,
-                ftype: s.ftype,
-                error_time: s.error_time,
-                category: s.category,
-                response: s.response,
-            });
-        });
-        bytes_spilled += writer.finish().map_err(SimError::Trace)?;
-        paths.push(path);
-        drop(spill_span);
-    }
+            let mut cursors = Vec::with_capacity(plan.shards() as usize);
+            let mut counts = ServerCounts::default();
+            let mut bytes_spilled = 0u64;
+            let mut paths = Vec::with_capacity(plan.shards() as usize);
+            let mut first_err: Option<SimError> = None;
+            for msg in rx {
+                match msg {
+                    Ok(done) => {
+                        counts.merge(&done.counts);
+                        bytes_spilled += done.bytes;
+                        let open_span = metrics.worker_phase("engine.shard.open");
+                        let opened = ShardSpillReader::open(&done.path)
+                            .map(SpillCursor::new)
+                            .and_then(|mut c| c.prefetch().map(|()| c));
+                        drop(open_span);
+                        paths.push(done.path);
+                        match opened {
+                            Ok(c) => cursors.push(c),
+                            Err(e) => {
+                                abort.store(true, Ordering::Relaxed);
+                                first_err.get_or_insert(SimError::Trace(e));
+                            }
+                        }
+                    }
+                    Err(e) => {
+                        abort.store(true, Ordering::Relaxed);
+                        first_err.get_or_insert(e);
+                    }
+                }
+            }
+            match first_err {
+                Some(e) => Err(e),
+                None => Ok((cursors, counts, bytes_spilled, paths)),
+            }
+        })
+        .expect("shard worker panicked");
+    let (cursors, counts, bytes_spilled, paths) = pooled?;
     publish_server_counts(metrics, &fms, &counts);
     metrics.add("shard.bytes_spilled", bytes_spilled);
 
     // -------- Streaming merge --------
     let merge_span = metrics.phase("engine.shard.merge");
-    let readers = paths
-        .iter()
-        .map(ShardSpillReader::open)
-        .collect::<Result<Vec<_>, _>>()
-        .map_err(SimError::Trace)?;
     let mut factory = TicketFactory::new();
     let mut digester = FotsDigester::new();
     let mut category_counts = [0u64; 3];
     let mut fots: Option<Vec<Fot>> = shard_options.materialize_trace.then(Vec::new);
-    merge_spills(readers, |r| {
-        let spec = crate::engine::TicketSpec {
-            server: r.server,
-            class: r.class,
-            slot: r.slot,
-            ftype: r.ftype,
-            error_time: r.error_time,
-            category: r.category,
-            response: r.response,
-        };
-        let fot = make_fot_from_spec(&mut factory, fleet, &spec);
-        digester.push(&fot);
-        category_counts[category_tag(fot.category) as usize] += 1;
-        if let Some(v) = fots.as_mut() {
+    let total = if let Some(v) = {
+        // Split borrows: the closure captures `v` while `factory` and
+        // `digester` stay separately borrowed.
+        fots.as_mut()
+    } {
+        merge_cursors(cursors, |r| {
+            let spec = crate::engine::TicketSpec {
+                server: r.server,
+                class: r.class,
+                slot: r.slot,
+                ftype: r.ftype,
+                error_time: r.error_time,
+                category: r.category,
+                response: r.response,
+            };
+            let fot = make_fot_from_spec(&mut factory, fleet, &spec);
+            digester.push(&fot);
+            category_counts[category_tag(fot.category) as usize] += 1;
             v.push(fot);
-        }
-    })
-    .map_err(SimError::Trace)?;
-    let total = factory.issued();
+        })
+        .map_err(SimError::Trace)?
+    } else {
+        // Digest-only fast path: ids are consecutive and every
+        // fleet-derived field comes straight from server metadata, so the
+        // digest row is built without assembling a `Fot` (no detail
+        // `String` per ticket). `digest_only_path_matches_fot_path`
+        // pins the equivalence.
+        //
+        // Merge order is time order, so server lookups are random across
+        // the fleet; a 6-byte-per-server side table keeps each lookup to
+        // one warm cache line instead of a ~100-byte `ServerMeta`.
+        let packed: Vec<(u16, u16, u8)> = fleet
+            .servers()
+            .iter()
+            .map(|s| (s.data_center.raw(), s.product_line.raw(), s.position.raw()))
+            .collect();
+        let mut next_id = 0u64;
+        merge_cursors(cursors, |r| {
+            let (dc, line, pos) = packed[r.server.raw() as usize];
+            digester.push_row(&DigestRow {
+                id: next_id,
+                server: r.server.raw(),
+                data_center: dc,
+                product_line: line,
+                device: r.class,
+                device_slot: r.slot,
+                failure_type: r.ftype,
+                error_secs: r.error_time.as_secs(),
+                rack_position: pos,
+                category: r.category,
+                response: r
+                    .response
+                    .map(|resp| (resp.op_time.as_secs(), resp.operator.raw(), resp.action)),
+                detail: detail_str(r.ftype),
+            });
+            next_id += 1;
+            category_counts[category_tag(r.category) as usize] += 1;
+        })
+        .map_err(SimError::Trace)?
+    };
     metrics.add("sim.tickets.total", total);
     fms.tickets_issued.add(total);
     drop(merge_span);

@@ -10,32 +10,76 @@ use crate::error::StatsError;
 use crate::special::{digamma, trigamma};
 use crate::{Exponential, Gamma, LogNormal, Normal, Uniform, Weibull};
 
-/// Validates a sample for positive-support fits, returning `(n, mean, mean_ln)`.
-fn positive_sample_stats(data: &[f64]) -> Result<(f64, f64, f64), StatsError> {
-    if data.is_empty() {
-        return Err(StatsError::EmptySample);
-    }
-    let mut sum = 0.0;
-    let mut sum_ln = 0.0;
-    for &x in data {
-        if !x.is_finite() {
-            return Err(StatsError::NonFiniteSample { value: x });
+/// Validated positive-support sample with its logarithms cached.
+///
+/// All four TBF families consume `ln x` — the lognormal and Weibull
+/// moments directly, the Weibull Newton solver once per iteration. One
+/// shared pass computes and caches them, so [`fit_tbf_families`] walks
+/// the raw sample exactly once however many families it fits. Every
+/// cached value is the same `f64` the fits used to recompute in place,
+/// so the fitted parameters are bit-identical to the uncached path.
+struct PositivePrep {
+    /// Sample size as a float.
+    n: f64,
+    /// Sample mean.
+    mean: f64,
+    /// Mean of `ln x` (MLE, i.e. `/n`).
+    mean_ln: f64,
+    /// Largest `ln x` (the Weibull solver's overflow shift).
+    max_ln: f64,
+    /// `ln x` per observation, in sample order.
+    ln: Vec<f64>,
+}
+
+impl PositivePrep {
+    /// Validates `data` for positive-support fits and caches its stats.
+    fn new(data: &[f64]) -> Result<Self, StatsError> {
+        if data.is_empty() {
+            return Err(StatsError::EmptySample);
         }
-        if x <= 0.0 {
-            return Err(StatsError::NonPositiveSample { value: x });
+        let mut sum = 0.0;
+        let mut sum_ln = 0.0;
+        let mut max_ln = f64::NEG_INFINITY;
+        let mut ln = Vec::with_capacity(data.len());
+        for &x in data {
+            if !x.is_finite() {
+                return Err(StatsError::NonFiniteSample { value: x });
+            }
+            if x <= 0.0 {
+                return Err(StatsError::NonPositiveSample { value: x });
+            }
+            let lx = x.ln();
+            sum += x;
+            sum_ln += lx;
+            max_ln = max_ln.max(lx);
+            ln.push(lx);
         }
-        sum += x;
-        sum_ln += x.ln();
+        let n = data.len() as f64;
+        let first = data[0];
+        if data
+            .iter()
+            .all(|&x| (x - first).abs() < f64::EPSILON * first.abs())
+        {
+            return Err(StatsError::DegenerateSample);
+        }
+        Ok(Self {
+            n,
+            mean: sum / n,
+            mean_ln: sum_ln / n,
+            max_ln,
+            ln,
+        })
     }
-    let n = data.len() as f64;
-    let first = data[0];
-    if data
-        .iter()
-        .all(|&x| (x - first).abs() < f64::EPSILON * first.abs())
-    {
-        return Err(StatsError::DegenerateSample);
+
+    /// MLE `var(ln x)` — the lognormal σ² and the Weibull shape
+    /// initializer, summed in sample order like the uncached code did.
+    fn var_ln(&self) -> f64 {
+        self.ln
+            .iter()
+            .map(|lx| (lx - self.mean_ln).powi(2))
+            .sum::<f64>()
+            / self.n
     }
-    Ok((n, sum / n, sum_ln / n))
 }
 
 /// MLE fit of an exponential distribution: `rate = 1 / mean`.
@@ -52,8 +96,8 @@ fn positive_sample_stats(data: &[f64]) -> Result<(f64, f64, f64), StatsError> {
 /// assert!((d.rate() - 0.4).abs() < 1e-12); // mean 2.5 → rate 0.4
 /// ```
 pub fn fit_exponential(data: &[f64]) -> Result<Exponential, StatsError> {
-    let (_, mean, _) = positive_sample_stats(data)?;
-    Exponential::from_mean(mean)
+    let prep = PositivePrep::new(data)?;
+    Exponential::from_mean(prep.mean)
 }
 
 /// MLE fit of a lognormal: `μ = mean(ln x)`, `σ² = var(ln x)` (MLE, i.e. /n).
@@ -62,12 +106,17 @@ pub fn fit_exponential(data: &[f64]) -> Result<Exponential, StatsError> {
 ///
 /// Fails on empty, non-finite, non-positive or degenerate samples.
 pub fn fit_lognormal(data: &[f64]) -> Result<LogNormal, StatsError> {
-    let (n, _, mean_ln) = positive_sample_stats(data)?;
-    let var_ln = data.iter().map(|x| (x.ln() - mean_ln).powi(2)).sum::<f64>() / n;
+    let prep = PositivePrep::new(data)?;
+    fit_lognormal_prepped(&prep)
+}
+
+/// [`fit_lognormal`] against an already-validated sample.
+fn fit_lognormal_prepped(prep: &PositivePrep) -> Result<LogNormal, StatsError> {
+    let var_ln = prep.var_ln();
     if var_ln <= 0.0 {
         return Err(StatsError::DegenerateSample);
     }
-    LogNormal::new(mean_ln, var_ln.sqrt())
+    LogNormal::new(prep.mean_ln, var_ln.sqrt())
 }
 
 /// MLE fit of a Weibull via Newton–Raphson on the shape profile equation.
@@ -80,10 +129,22 @@ pub fn fit_lognormal(data: &[f64]) -> Result<LogNormal, StatsError> {
 /// Fails on bad samples or if the solver does not converge (rare; the
 /// profile equation is monotone in `k`).
 pub fn fit_weibull(data: &[f64]) -> Result<Weibull, StatsError> {
-    let (n, _, mean_ln) = positive_sample_stats(data)?;
+    let prep = PositivePrep::new(data)?;
+    fit_weibull_prepped(&prep)
+}
+
+/// [`fit_weibull`] against an already-validated sample.
+///
+/// The solver works entirely off the cached logarithms: `k` stays
+/// positive throughout, so the per-iteration overflow shift
+/// `max(k·ln x)` is exactly `k · max(ln x)` (multiplying by a positive
+/// constant preserves the argmax) — one multiplication instead of the
+/// full sweep the uncached code paid twice per iteration.
+fn fit_weibull_prepped(prep: &PositivePrep) -> Result<Weibull, StatsError> {
+    let (n, mean_ln) = (prep.n, prep.mean_ln);
 
     // Menon-style moment initialization for the shape.
-    let var_ln = data.iter().map(|x| (x.ln() - mean_ln).powi(2)).sum::<f64>() / n;
+    let var_ln = prep.var_ln();
     let mut k = if var_ln > 0.0 {
         (std::f64::consts::PI / (6.0 * var_ln).sqrt()).max(0.02)
     } else {
@@ -94,16 +155,12 @@ pub fn fit_weibull(data: &[f64]) -> Result<Weibull, StatsError> {
     let mut converged = false;
     for _ in 0..MAX_ITERS {
         // Compute Σ x^k, Σ x^k ln x, Σ x^k (ln x)² in one pass, guarding overflow
-        // by working with x^k = exp(k ln x − m) under a running max shift.
-        let m = data
-            .iter()
-            .map(|x| k * x.ln())
-            .fold(f64::NEG_INFINITY, f64::max);
+        // by working with x^k = exp(k ln x − m) under the max shift.
+        let m = k * prep.max_ln;
         let mut s0 = 0.0;
         let mut s1 = 0.0;
         let mut s2 = 0.0;
-        for &x in data {
-            let lx = x.ln();
+        for &lx in &prep.ln {
             let w = (k * lx - m).exp();
             s0 += w;
             s1 += w * lx;
@@ -131,11 +188,8 @@ pub fn fit_weibull(data: &[f64]) -> Result<Weibull, StatsError> {
         });
     }
 
-    let m = data
-        .iter()
-        .map(|x| k * x.ln())
-        .fold(f64::NEG_INFINITY, f64::max);
-    let s0: f64 = data.iter().map(|x| (k * x.ln() - m).exp()).sum();
+    let m = k * prep.max_ln;
+    let s0: f64 = prep.ln.iter().map(|&lx| (k * lx - m).exp()).sum();
     let scale = ((s0 / n).ln() + m).exp().powf(1.0 / k);
     Weibull::new(k, scale)
 }
@@ -149,7 +203,14 @@ pub fn fit_weibull(data: &[f64]) -> Result<Weibull, StatsError> {
 ///
 /// Fails on bad samples or non-convergence.
 pub fn fit_gamma(data: &[f64]) -> Result<Gamma, StatsError> {
-    let (_, mean, mean_ln) = positive_sample_stats(data)?;
+    let prep = PositivePrep::new(data)?;
+    fit_gamma_prepped(&prep)
+}
+
+/// [`fit_gamma`] against an already-validated sample (the Newton
+/// iteration is scalar; only the stats come from the prep).
+fn fit_gamma_prepped(prep: &PositivePrep) -> Result<Gamma, StatsError> {
+    let (mean, mean_ln) = (prep.mean, prep.mean_ln);
     let s = mean.ln() - mean_ln;
     if s <= 0.0 {
         // Numerically possible only for (near-)degenerate samples.
@@ -232,17 +293,22 @@ pub fn fit_uniform(data: &[f64]) -> Result<Uniform, StatsError> {
 /// Families whose fit fails (e.g. gamma on a degenerate sample) are simply
 /// omitted, mirroring how an analyst would skip an inapplicable family.
 pub fn fit_tbf_families(data: &[f64]) -> Vec<Fitted> {
+    // One validation-and-cache pass shared by all four families; a
+    // sample the prep rejects is rejected by every family.
+    let Ok(prep) = PositivePrep::new(data) else {
+        return Vec::new();
+    };
     let mut out = Vec::with_capacity(4);
-    if let Ok(d) = fit_exponential(data) {
+    if let Ok(d) = Exponential::from_mean(prep.mean) {
         out.push(Fitted::Exponential(d));
     }
-    if let Ok(d) = fit_weibull(data) {
+    if let Ok(d) = fit_weibull_prepped(&prep) {
         out.push(Fitted::Weibull(d));
     }
-    if let Ok(d) = fit_gamma(data) {
+    if let Ok(d) = fit_gamma_prepped(&prep) {
         out.push(Fitted::Gamma(d));
     }
-    if let Ok(d) = fit_lognormal(data) {
+    if let Ok(d) = fit_lognormal_prepped(&prep) {
         out.push(Fitted::LogNormal(d));
     }
     out

@@ -110,12 +110,12 @@ fn lifecycle_shapes_match_figure6() {
     let study = FailureStudy::new(common::medium());
     let all = study.lifecycle().all();
     let raid = &all[ComponentClass::RaidCard.index()];
-    // Figure 6 shows >30% of RAID-card failures in the first six months;
-    // the medium fleet at this seed currently measures ~0.24 (see the
-    // ROADMAP recalibration item). Keep the direction check tight enough
-    // to catch a collapse of the infant-mortality shape.
+    // Figure 6 shows >30% of RAID-card failures in the first six months.
+    // Age-agnostic sources (batch events, repeats) dilute the raw hazard
+    // shape, which is tuned steep enough that the measured mass clears the
+    // paper's threshold (~0.355 at this seed).
     assert!(
-        raid.failure_fraction(0..6) > 0.20,
+        raid.failure_fraction(0..6) > 0.30,
         "RAID infant {}",
         raid.failure_fraction(0..6)
     );

@@ -77,6 +77,47 @@ fn sharded_digests_match_the_unsharded_trace() {
     }
 }
 
+/// The pipelined-execution matrix: `shard_workers` (how many shards are in
+/// flight at once) crossed with shard count and seed. The worker pool
+/// changes only the order shards are *simulated* in — the merge still
+/// consumes them in shard order — so every combination, with either spill
+/// codec, must land on the sequential unsharded digest.
+#[test]
+fn parallel_shard_workers_preserve_the_digest() {
+    use dcfail::trace::io::spill::SpillCodec;
+
+    for seed in SEEDS {
+        let reference = small_trace(seed, 1);
+        let reference_digest = io::fots_digest(reference.fots());
+        for shards in [1u32, 2, 8] {
+            for workers in [1u32, 2, 4] {
+                for codec in [SpillCodec::Raw, SpillCodec::Delta] {
+                    let scenario = Scenario::small().seed(seed).engine_threads(1);
+                    let run = simulate_sharded(
+                        &scenario.config,
+                        &RunOptions::default(),
+                        &ShardOptions::new(shards)
+                            .shard_workers(workers)
+                            .spill_codec(codec),
+                    )
+                    .expect("pipelined sharded simulation runs");
+                    assert_eq!(
+                        run.digest, reference_digest,
+                        "seed {seed}: digest diverged at {shards} shards, \
+                         {workers} shard workers, {codec:?} codec"
+                    );
+                    assert_eq!(
+                        run.tickets,
+                        reference.len() as u64,
+                        "seed {seed}: ticket count diverged at {shards} shards, \
+                         {workers} shard workers, {codec:?} codec"
+                    );
+                }
+            }
+        }
+    }
+}
+
 /// A materialized sharded trace must be byte-identical to the unsharded
 /// one, not merely digest-equal.
 #[test]

@@ -290,10 +290,13 @@ proptest! {
     #![proptest_config(ProptestConfig::with_cases(24))]
 
     /// Spill-merge round-trip: however the server space is split into
-    /// contiguous shards, writing each shard's sorted records to a
-    /// `DCFSPIL0` file and k-way merging the files reproduces the stable
-    /// global `(error_time, server, class, slot)` order — duplicate cut
-    /// points produce empty shards, which must merge cleanly too.
+    /// contiguous shards, and whichever codec (`DCFSPIL0` raw columns or
+    /// `DCFSPIL1` delta varint blocks) each shard picks, writing each
+    /// shard's sorted records and k-way merging the files reproduces the
+    /// stable global `(error_time, server, class, slot)` order —
+    /// duplicate cut points produce empty shards, which must merge
+    /// cleanly too. Each shard is also written with the *other* codec
+    /// and decoded back, pinning compressed ≡ uncompressed round-trips.
     #[test]
     fn spill_merge_of_random_shard_splits_round_trips(
         raw in proptest::collection::vec(
@@ -310,9 +313,10 @@ proptest! {
             0..300,
         ),
         cuts in proptest::collection::vec(0u32..=200, 0..5),
+        delta_first in proptest::bool::ANY,
     ) {
         use dcfail::trace::io::spill::{
-            merge_spills, ShardSpillReader, ShardSpillWriter, SpillRecord,
+            merge_spills, ShardSpillReader, ShardSpillWriter, SpillCodec, SpillRecord,
         };
         use dcfail::trace::{
             ComponentClass, FailureType, FotCategory, OperatorAction, OperatorId,
@@ -375,12 +379,38 @@ proptest! {
         let k = ranges.len() as u32;
         let mut readers = Vec::with_capacity(ranges.len());
         for (i, (&(lo, hi), recs)) in ranges.iter().zip(&shards).enumerate() {
+            // Alternate codecs across shards (phase set by `delta_first`)
+            // so the merge regularly crosses raw and delta files.
+            let codec = if (i % 2 == 0) == delta_first {
+                SpillCodec::Delta
+            } else {
+                SpillCodec::Raw
+            };
+            let other = if codec == SpillCodec::Delta {
+                SpillCodec::Raw
+            } else {
+                SpillCodec::Delta
+            };
             let path = dir.join(format!("shard-{i}.dcfspill"));
-            let mut writer = ShardSpillWriter::new(&path, i as u32, k, lo, hi);
+            let mut writer = ShardSpillWriter::new(&path, i as u32, k, lo, hi, codec);
+            let twin_path = dir.join(format!("shard-{i}.twin.dcfspill"));
+            let mut twin = ShardSpillWriter::new(&twin_path, i as u32, k, lo, hi, other);
             for r in recs {
                 writer.push(r);
+                twin.push(r);
             }
             writer.finish().expect("spill writes");
+            twin.finish().expect("twin spill writes");
+            // Both encodings must decode to the identical record stream.
+            let mut twin_reader = ShardSpillReader::open(&twin_path).expect("twin verifies");
+            let mut twin_back = Vec::with_capacity(recs.len());
+            let mut row = 0;
+            while row < twin_reader.rows() {
+                let chunk = twin_reader.read_chunk(row, 61).expect("twin chunk");
+                row += chunk.len() as u64;
+                twin_back.extend(chunk);
+            }
+            prop_assert_eq!(&twin_back, recs);
             readers.push(ShardSpillReader::open(&path).expect("spill verifies"));
         }
         let mut merged = Vec::with_capacity(records.len());
@@ -392,5 +422,94 @@ proptest! {
         let mut expected: Vec<SpillRecord> = shards.concat();
         expected.sort_by_key(|r| r.key());
         prop_assert_eq!(merged, expected);
+    }
+
+    /// Flipping any single byte of a `DCFSPIL1` file — header, frame,
+    /// payload, or footer — surfaces a typed error by the time the file
+    /// is drained: either a decode failure inside the damaged frame or
+    /// the incremental footer digest check. Never a silent wrong record
+    /// stream that claims success.
+    #[test]
+    fn delta_spills_reject_corrupt_frames(
+        raw in proptest::collection::vec(
+            (
+                0u32..200,        // server id
+                0usize..11,       // component class index
+                0u8..4,           // slot
+                0usize..34,       // failure type index
+                0u64..10_000_000, // error time (secs)
+                0usize..3,        // category index
+                0u64..500_000,    // response delay (secs)
+                0u16..50,         // operator id
+            ),
+            1..200,
+        ),
+        flip_at in proptest::num::usize::ANY,
+        flip_bit in 0u8..8,
+    ) {
+        use dcfail::trace::io::spill::{ShardSpillReader, ShardSpillWriter, SpillCodec, SpillRecord};
+        use dcfail::trace::{
+            ComponentClass, FailureType, FotCategory, OperatorAction, OperatorId,
+            OperatorResponse, ServerId, SimTime,
+        };
+        use std::sync::atomic::{AtomicU64, Ordering};
+
+        static DIR_COUNTER: AtomicU64 = AtomicU64::new(0);
+
+        let mut records: Vec<SpillRecord> = raw
+            .iter()
+            .map(|&(server, class, slot, ftype, secs, cat, op_delta, op)| {
+                let category = FotCategory::ALL[cat];
+                let response = category.has_response().then(|| OperatorResponse {
+                    operator: OperatorId::new(op),
+                    op_time: SimTime::from_secs(secs + op_delta),
+                    action: if category == FotCategory::FalseAlarm {
+                        OperatorAction::MarkFalseAlarm
+                    } else {
+                        OperatorAction::IssueRepairOrder
+                    },
+                });
+                SpillRecord {
+                    server: ServerId::new(server),
+                    class: ComponentClass::ALL[class],
+                    slot,
+                    ftype: FailureType::ALL[ftype],
+                    error_time: SimTime::from_secs(secs),
+                    category,
+                    response,
+                }
+            })
+            .collect();
+        records.sort_by_key(|r| r.key());
+
+        let dir = std::env::temp_dir().join(format!(
+            "dcf-prop-corrupt-{}-{}",
+            std::process::id(),
+            DIR_COUNTER.fetch_add(1, Ordering::Relaxed),
+        ));
+        std::fs::create_dir_all(&dir).expect("temp dir");
+        let path = dir.join("shard.dcfspill");
+        let mut writer = ShardSpillWriter::new(&path, 0, 1, 0, 200, SpillCodec::Delta);
+        for r in &records {
+            writer.push(r);
+        }
+        writer.finish().expect("spill writes");
+
+        let mut bytes = std::fs::read(&path).expect("spill readable");
+        bytes[flip_at % bytes.len()] ^= 1 << flip_bit;
+        std::fs::write(&path, &bytes).expect("corrupted spill written");
+
+        let drained: Result<Vec<SpillRecord>, _> = ShardSpillReader::open(&path).and_then(|mut r| {
+            let mut out = Vec::new();
+            let mut row = 0;
+            while row < r.rows() {
+                let chunk = r.read_chunk(row, 64)?;
+                row += chunk.len() as u64;
+                out.extend(chunk);
+            }
+            Ok(out)
+        });
+        std::fs::remove_dir_all(&dir).ok();
+        prop_assert!(drained.is_err(), "single-byte corruption went undetected");
     }
 }
