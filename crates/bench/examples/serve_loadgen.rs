@@ -235,7 +235,7 @@ fn parse_response(buf: &[u8]) -> Result<Option<(u16, bool, usize)>, String> {
 /// in-flight window, and returns the client-side measurements.
 fn run_load(addr: SocketAddr, opts: &Options) -> Result<LoadStats, String> {
     let request = format!(
-        "GET /report/overview?scenario={}&seed={} HTTP/1.1\r\nhost: loadgen\r\n\r\n",
+        "GET /v1/report/overview?scenario={}&seed={} HTTP/1.1\r\nhost: loadgen\r\n\r\n",
         opts.scenario, opts.seed
     )
     .into_bytes();
@@ -533,17 +533,17 @@ fn main() -> ExitCode {
         opts.scenario, opts.seed
     );
     let prime = format!(
-        "POST /simulate HTTP/1.1\r\nhost: loadgen\r\nconnection: close\r\ncontent-length: {len}\r\n\r\n{prime_body}",
+        "POST /v1/simulate HTTP/1.1\r\nhost: loadgen\r\nconnection: close\r\ncontent-length: {len}\r\n\r\n{prime_body}",
         len = prime_body.len(),
     );
     match one_shot(addr, &prime) {
         Ok((200, _)) => {}
         Ok((status, body)) => {
-            eprintln!("priming /simulate failed with {status}: {body}");
+            eprintln!("priming /v1/simulate failed with {status}: {body}");
             return ExitCode::FAILURE;
         }
         Err(e) => {
-            eprintln!("priming /simulate failed: {e}");
+            eprintln!("priming /v1/simulate failed: {e}");
             return ExitCode::FAILURE;
         }
     }

@@ -11,6 +11,9 @@
 //! reproduce serve [--addr HOST:PORT] [--workers N] [--cache-entries N]
 //!                 [--snapshot PATH | --catalog DIR] [--max-conns N]
 //!                 [--idle-timeout-ms N] [--poller epoll|poll|scan]
+//! reproduce replay [--scenario paper|medium|small] [--seed N] [--threads N]
+//!                  [--snapshot-in PATH] [--speed DAYS_PER_SEC] [--quiet]
+//!                  [--digest PATH] [--metrics PATH] [--bench-json PATH]
 //! ```
 //!
 //! `reproduce serve` runs the `dcf-serve` HTTP query service instead of a
@@ -25,6 +28,20 @@
 //! directory without a restart. `--max-conns`, `--idle-timeout-ms`, and
 //! `--poller` tune the event loop (defaults: 12000 connections, 10000 ms,
 //! best available readiness backend).
+//!
+//! `reproduce replay` streams a trace back as a live virtual-time ticket
+//! feed on stdout (NDJSON, one FOT per line) with three *online* detectors
+//! attached — a sliding-window σ-outlier rate detector per (class, DC), a
+//! causal batch-burst detector, and an incremental prior-failure predictor
+//! — each emitting detection events inline and a final summary line scoring
+//! them against the offline study (precision/recall/F1; EXPERIMENTS.md).
+//! `--speed N` paces playback at N simulated days per wall second (`0`,
+//! the default, streams with no sleeps); the event sequence and its digest
+//! are byte-identical at every speed. `--quiet` suppresses the event lines
+//! (summary only), `--digest PATH` writes the 16-hex event-stream digest,
+//! and `--bench-json PATH` embeds a `replay` block in the benchmark
+//! summary. The same feed is served over chunked HTTP by
+//! `reproduce serve` at `GET /v1/replay/{scenario}?speed=N`.
 //!
 //! `reproduce snapshot --out PATH` simulates once and persists the trace as
 //! a versioned binary snapshot (`dcf-trace::io::snapshot`); `--in PATH`
@@ -333,13 +350,30 @@ fn write_digest_value(path: &str, digest: u64) -> Result<(), String> {
     Ok(())
 }
 
-/// Runs the sharded bounded-memory engine (`dcf-sim::simulate_sharded`).
+/// Builds the consolidated [`RunOptions`] for a sharded run from the CLI
+/// flags (`--shards`, `--shard-workers`, `--spill-codec`, `--spill-dir`,
+/// `--keep-spills`).
+fn sharded_options(args: &Args, shards: u32, registry: &MetricsRegistry) -> RunOptions {
+    let mut options = RunOptions::new()
+        .metrics(registry)
+        .shards(shards)
+        .keep_spills(args.keep_spills)
+        .shard_workers(args.shard_workers)
+        .spill_codec(args.spill_codec);
+    if let Some(dir) = &args.spill_dir {
+        options = options.spill_dir(dir);
+    }
+    options
+}
+
+/// Runs the sharded bounded-memory engine.
 ///
 /// Returns `Ok((Some(trace), tickets))` when downstream analyses need the
-/// merged trace, or `Ok((None, tickets))` after a digest-only run
-/// (`--experiment none` with no markdown/score/snapshot output) that
-/// streamed the k-way merge straight into the digest without materializing
-/// a FOT vector.
+/// merged trace (`dcf_sim::simulate` with `RunOptions::shards` assembles
+/// it), or `Ok((None, tickets))` after a digest-only run (`--experiment
+/// none` with no markdown/score/snapshot output) that streamed the k-way
+/// merge straight into the digest without materializing a FOT vector
+/// (`dcf_sim::simulate_sharded`).
 fn simulate_sharded_run(
     args: &Args,
     scenario: &Scenario,
@@ -352,34 +386,33 @@ fn simulate_sharded_run(
         && !args.markdown
         && !args.markdown_full
         && !args.score;
-    let mut shard_options = dcf_sim::ShardOptions::new(shards)
-        .keep_spills(args.keep_spills)
-        .shard_workers(args.shard_workers)
-        .spill_codec(args.spill_codec)
-        .materialize_trace(!digest_only);
-    if let Some(dir) = &args.spill_dir {
-        shard_options = shard_options.spill_dir(dir);
-    }
-    let run = dcf_sim::simulate_sharded(
-        &scenario.config,
-        &RunOptions::new().metrics(registry),
-        &shard_options,
-    )
-    .map_err(|e| format!("sharded simulation failed: {e}"))?;
-    eprintln!(
-        "sharded run: {} tickets from {} shards in {:?} ({} spill bytes, digest {:016x})",
-        run.tickets,
-        run.shards,
-        t0.elapsed(),
-        run.bytes_spilled,
-        run.digest,
-    );
-    if run.trace.is_none() {
+    let options = sharded_options(args, shards, registry);
+    if digest_only {
+        let run = dcf_sim::simulate_sharded(&scenario.config, &options)
+            .map_err(|e| format!("sharded simulation failed: {e}"))?;
+        eprintln!(
+            "sharded run: {} tickets from {} shards in {:?} ({} spill bytes, digest {:016x})",
+            run.tickets,
+            run.shards,
+            t0.elapsed(),
+            run.bytes_spilled,
+            run.digest,
+        );
         if let Some(path) = &args.digest {
             write_digest_value(path, run.digest)?;
         }
+        return Ok((None, run.tickets));
     }
-    Ok((run.trace, run.tickets))
+    let trace = dcf_sim::simulate(&scenario.config, &options)
+        .map_err(|e| format!("sharded simulation failed: {e}"))?;
+    eprintln!(
+        "sharded run: {} tickets from {} shards in {:?}",
+        trace.len(),
+        shards,
+        t0.elapsed(),
+    );
+    let tickets = trace.len() as u64;
+    Ok((Some(trace), tickets))
 }
 
 /// Parses and runs the `serve` subcommand: a long-lived `dcf-serve`
@@ -535,12 +568,256 @@ fn serve_main(mut it: impl Iterator<Item = String>) -> ExitCode {
     ExitCode::SUCCESS
 }
 
+/// Parses and runs the `replay` subcommand: replays a trace (simulated,
+/// or loaded from a `.dcfsnap` snapshot) as a virtual-time ticket feed
+/// on stdout, with the three online detectors attached and a final
+/// detection-summary line scored against the offline study.
+fn replay_main(mut it: impl Iterator<Item = String>) -> ExitCode {
+    let mut scenario = "medium".to_string();
+    let mut seed = 0u64;
+    let mut threads = 0usize;
+    let mut speed = 0.0f64;
+    let mut snapshot_in: Option<String> = None;
+    let mut digest_path: Option<String> = None;
+    let mut metrics_path: Option<String> = None;
+    let mut bench_json: Option<String> = None;
+    let mut quiet = false;
+    while let Some(flag) = it.next() {
+        let parsed = match flag.as_str() {
+            "--scenario" => it.next().map(|v| {
+                scenario = v;
+                Ok(())
+            }),
+            "--snapshot-in" => it.next().map(|v| {
+                snapshot_in = Some(v);
+                Ok(())
+            }),
+            "--digest" => it.next().map(|v| {
+                digest_path = Some(v);
+                Ok(())
+            }),
+            "--metrics" => it.next().map(|v| {
+                metrics_path = Some(v);
+                Ok(())
+            }),
+            "--bench-json" => it.next().map(|v| {
+                bench_json = Some(v);
+                Ok(())
+            }),
+            "--seed" => it
+                .next()
+                .map(|v| v.parse().map(|n| seed = n).map_err(|_| flag.clone())),
+            "--threads" => it
+                .next()
+                .map(|v| v.parse().map(|n| threads = n).map_err(|_| flag.clone())),
+            "--speed" => it.next().map(|v| match v.parse::<f64>() {
+                Ok(s) if s.is_finite() && s >= 0.0 => {
+                    speed = s;
+                    Ok(())
+                }
+                _ => Err(flag.clone()),
+            }),
+            "--quiet" => {
+                quiet = true;
+                Some(Ok(()))
+            }
+            "--help" | "-h" => {
+                eprintln!(
+                    "usage: reproduce replay [--scenario paper|medium|small] [--seed N] [--threads N] [--snapshot-in PATH] [--speed DAYS_PER_SEC] [--quiet] [--digest PATH] [--metrics PATH] [--bench-json PATH]"
+                );
+                return ExitCode::FAILURE;
+            }
+            other => {
+                eprintln!("unknown replay flag {other}");
+                return ExitCode::FAILURE;
+            }
+        };
+        match parsed {
+            None => {
+                eprintln!("{flag} needs a value");
+                return ExitCode::FAILURE;
+            }
+            Some(Err(which)) => {
+                eprintln!("{which} needs a valid value");
+                return ExitCode::FAILURE;
+            }
+            Some(Ok(())) => {}
+        }
+    }
+
+    let registry = if metrics_path.is_some() || bench_json.is_some() {
+        MetricsRegistry::new()
+    } else {
+        MetricsRegistry::disabled()
+    };
+    let trace = if let Some(path) = &snapshot_in {
+        scenario = "snapshot".into();
+        let span = registry.phase("trace.snapshot_load");
+        let trace = match io::snapshot::read_snapshot(path) {
+            Ok(t) => t,
+            Err(e) => {
+                eprintln!("cannot load snapshot {path}: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        drop(span);
+        eprintln!("loaded {} FOTs from snapshot {path}", trace.len());
+        trace
+    } else {
+        let sc = match scenario.as_str() {
+            "paper" => Scenario::paper(),
+            "medium" => Scenario::medium(),
+            "small" => Scenario::small(),
+            other => {
+                eprintln!("unknown scenario {other} (expected paper|medium|small)");
+                return ExitCode::FAILURE;
+            }
+        };
+        let sc = sc.seed(seed).engine_threads(threads);
+        match sc.simulate(&RunOptions::new().metrics(&registry)) {
+            Ok(t) => t,
+            Err(e) => {
+                eprintln!("simulation failed: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    };
+
+    let build_t0 = std::time::Instant::now();
+    let outcome = {
+        let _span = registry.phase("replay.build");
+        dcf_core::replay::replay(&trace, &dcf_core::replay::ReplayConfig::default())
+    };
+    eprintln!(
+        "replay feed built in {:?}: {} tickets, {} detection events; streaming at speed {speed} (simulated days per wall second; 0 = no pacing)…",
+        build_t0.elapsed(),
+        outcome.summary.tickets,
+        outcome.summary.detections,
+    );
+
+    use std::io::Write as _;
+    let stream_t0 = std::time::Instant::now();
+    {
+        let _span = registry.phase("replay.stream");
+        let stdout = std::io::stdout();
+        let mut out = std::io::BufWriter::new(stdout.lock());
+        for event in &outcome.events {
+            if speed > 0.0 {
+                let due = std::time::Duration::from_secs_f64(
+                    event.offset_secs as f64 / (speed * dcf_trace::SECS_PER_DAY as f64),
+                );
+                let elapsed = stream_t0.elapsed();
+                if due > elapsed {
+                    let _ = out.flush();
+                    std::thread::sleep(due - elapsed);
+                }
+            }
+            if !quiet && writeln!(out, "{}", event.line).is_err() {
+                eprintln!("stdout closed mid-stream");
+                return ExitCode::FAILURE;
+            }
+        }
+        if writeln!(out, "{}", outcome.summary_line).is_err() || out.flush().is_err() {
+            eprintln!("stdout closed mid-stream");
+            return ExitCode::FAILURE;
+        }
+    }
+    let stream_elapsed = stream_t0.elapsed();
+
+    let s = &outcome.summary;
+    if let Some(path) = &digest_path {
+        if let Err(msg) = write_digest_value(path, s.event_digest) {
+            eprintln!("{msg}");
+            return ExitCode::FAILURE;
+        }
+    }
+    eprintln!(
+        "\nreplayed {} tickets + {} detections in {:?} (event digest {:016x})",
+        s.tickets, s.detections, stream_elapsed, s.event_digest
+    );
+    eprintln!(
+        "  sigma-outlier : {} flagged / {} offline, P {:.4} R {:.4} F1 {:.4}",
+        s.sigma.detections,
+        s.sigma.truth,
+        s.sigma.precision,
+        s.sigma.recall,
+        s.sigma.f1()
+    );
+    eprintln!(
+        "  batch-burst   : {} flagged / {} offline, P {:.4} R {:.4} F1 {:.4}",
+        s.burst.detections,
+        s.burst.truth,
+        s.burst.precision,
+        s.burst.recall,
+        s.burst.f1()
+    );
+    eprintln!(
+        "  predictor     : {} flagged / {} offline, P {:.4} R {:.4} F1 {:.4} (offline eval: P {:.4} R {:.4} F1 {:.4})",
+        s.predictor.detections,
+        s.predictor.truth,
+        s.predictor.precision,
+        s.predictor.recall,
+        s.predictor.f1(),
+        s.predictor_eval.precision,
+        s.predictor_eval.recall,
+        s.predictor_eval.f1()
+    );
+
+    if let Some(path) = &metrics_path {
+        let report = registry.report(&format!(
+            "reproduce replay --scenario {scenario} --seed {seed}"
+        ));
+        if let Err(e) = std::fs::write(path, report.to_json()) {
+            eprintln!("cannot write {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+        eprintln!("metrics written to {path}");
+    }
+    if let Some(path) = &bench_json {
+        let report = registry.report(&format!(
+            "reproduce replay --scenario {scenario} --seed {seed} --speed {speed}"
+        ));
+        let duration_ms = stream_elapsed.as_secs_f64() * 1000.0;
+        let total_events = outcome.events.len() as u64 + 1;
+        let summary = BenchSummary::from_report(
+            &report,
+            &scenario,
+            seed,
+            trace.servers().len() as u64,
+            trace.info().days,
+            trace.len() as u64,
+        )
+        .with_replay(dcf_obs::ReplayBench {
+            tickets: s.tickets as u64,
+            detections: s.detections as u64,
+            event_digest: format!("{:016x}", s.event_digest),
+            speed,
+            duration_ms,
+            events_per_sec: if duration_ms > 0.0 {
+                total_events as f64 * 1000.0 / duration_ms
+            } else {
+                0.0
+            },
+            sigma_f1: s.sigma.f1(),
+            burst_f1: s.burst.f1(),
+            predictor_f1: s.predictor.f1(),
+        });
+        if let Err(e) = std::fs::write(path, summary.to_json()) {
+            eprintln!("cannot write {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+        eprintln!("bench summary written to {path}");
+    }
+    ExitCode::SUCCESS
+}
+
 fn main() -> ExitCode {
     let mut snapshot_mode = false;
     {
         let mut raw = std::env::args().skip(1);
         match raw.next().as_deref() {
             Some("serve") => return serve_main(raw),
+            Some("replay") => return replay_main(raw),
             Some("snapshot") => snapshot_mode = true,
             _ => {}
         }

@@ -22,7 +22,8 @@
 //! also implemented: [`prediction`] (the warning→failure predictor the
 //! paper's FMS team built), [`mining`] (the FOT context miner the paper
 //! calls for), and [`backlog`] (the §VII-A open-ticket / degraded-capacity
-//! accounting).
+//! accounting). [`replay`] streams a finished trace back as a virtual-time
+//! ticket feed with causal, online versions of those detectors attached.
 
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
@@ -36,6 +37,7 @@ pub mod mining;
 pub mod overview;
 pub mod paper;
 pub mod prediction;
+pub mod replay;
 pub mod response;
 pub mod skew;
 pub mod spatial;

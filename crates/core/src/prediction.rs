@@ -42,14 +42,19 @@ pub struct PredictorEval {
 }
 
 impl PredictorEval {
-    /// Harmonic mean of precision and recall (0 when both are 0).
+    /// Harmonic mean of precision and recall.
+    ///
+    /// Returns `0.0` — never `NaN` — when `precision + recall` is zero or
+    /// not a finite positive number, so downstream scoring can rank and
+    /// serialize evaluations without special-casing empty windows.
     pub fn f1(&self) -> f64 {
         let p = self.precision;
         let r = self.recall;
-        if p + r <= 0.0 {
+        let sum = p + r;
+        if sum.is_nan() || sum <= 0.0 {
             0.0
         } else {
-            2.0 * p * r / (p + r)
+            2.0 * p * r / sum
         }
     }
 }
@@ -227,5 +232,26 @@ mod tests {
             median_lead_days: None,
         };
         assert_eq!(e.f1(), 0.0);
+    }
+
+    #[test]
+    fn f1_is_zero_not_nan_for_pathological_inputs() {
+        let mut e = PredictorEval {
+            horizon_days: 1,
+            warnings: 0,
+            confirmed_warnings: 0,
+            fatals: 0,
+            predicted_fatals: 0,
+            precision: f64::NAN,
+            recall: 0.0,
+            median_lead_days: None,
+        };
+        assert_eq!(e.f1(), 0.0, "NaN precision must not poison f1");
+        e.precision = 0.0;
+        e.recall = f64::NAN;
+        assert_eq!(e.f1(), 0.0, "NaN recall must not poison f1");
+        e.precision = -1.0;
+        e.recall = 0.5;
+        assert_eq!(e.f1(), 0.0, "non-positive p+r yields 0");
     }
 }

@@ -1,0 +1,697 @@
+//! Live replay with online detection (§VII tools, streamed).
+//!
+//! The paper's §VII tools — the warning→failure predictor and the FOT
+//! context miner — are evaluated offline over a finished trace. This
+//! module replays a trace as a **virtual-time ticket feed** and runs
+//! *causal* versions of those analyses over the stream, the way an FMS
+//! operator console would consume them live:
+//!
+//! * [`ReplayConfig::sigma_window_days`] — a sliding-window μ ± kσ rate
+//!   detector per `(class, data center)`, built on
+//!   [`dcf_stats::anomaly::sigma_outliers`] (the §IV anomaly test).
+//! * A batch-burst detector mirroring [`crate::mining::FotMiner`]'s
+//!   `BatchDay` flag with a causal, trend-extrapolated estimate of the
+//!   full-window daily median (fleet intake ramps over the window, so a
+//!   plain running median lags the miner's threshold and over-fires).
+//! * An incremental form of [`crate::prediction::Prediction::evaluate`]
+//!   that resolves warnings as their confirming fatals arrive.
+//!
+//! Every event — ticket or detection — is rendered as one canonical JSON
+//! line with a virtual-time offset, and the whole stream is digested with
+//! FNV-1a, so a replay is byte-identical at any playback speed. The final
+//! [`ReplaySummary`] scores each online detector against the offline
+//! study (precision/recall/F1 over the flagged `(class, dc, day)` /
+//! `(class, day)` / predicted-fatal sets).
+
+use std::collections::{BTreeMap, HashMap};
+
+use serde::{Deserialize, Serialize};
+
+use dcf_trace::{ComponentClass, Fot, Severity, SimDuration, Trace, SECS_PER_DAY};
+
+use crate::prediction::{Prediction, PredictorEval};
+
+/// Number of component classes (Table II).
+const CLASSES: usize = 11;
+
+/// Tuning knobs for the online detectors.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ReplayConfig {
+    /// Trailing window (days, including the day under test) for the
+    /// sliding σ-outlier rate detector.
+    pub sigma_window_days: usize,
+    /// The paper's `k` in μ ± kσ (§IV uses 2).
+    pub sigma_k: f64,
+    /// Days of history before the burst detector starts firing — a trend
+    /// fit over very few days is meaningless.
+    pub burst_warmup_days: usize,
+    /// Horizon for the incremental warning→fatal predictor.
+    pub predictor_horizon_days: u64,
+}
+
+impl Default for ReplayConfig {
+    fn default() -> Self {
+        Self {
+            sigma_window_days: 30,
+            sigma_k: 2.0,
+            burst_warmup_days: 14,
+            predictor_horizon_days: 30,
+        }
+    }
+}
+
+/// One event of the replay stream: a ticket or an online detection, with
+/// its virtual-time offset from the window start and its canonical JSON
+/// line (newline not included).
+#[derive(Debug, Clone, PartialEq)]
+pub struct ReplayEvent {
+    /// Seconds of virtual time since the observation-window start.
+    pub offset_secs: u64,
+    /// Canonical single-line JSON rendering (stable field order, fixed
+    /// float precision) — the unit the stream digest is computed over.
+    pub line: String,
+    /// `true` for detector events, `false` for replayed tickets.
+    pub is_detection: bool,
+}
+
+/// Precision/recall of one online detector against the offline study.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct DetectorScore {
+    /// Events the online detector emitted.
+    pub detections: usize,
+    /// Items the offline analysis flags (the ground truth).
+    pub truth: usize,
+    /// Online detections also flagged offline.
+    pub true_positives: usize,
+    /// `true_positives / detections`.
+    pub precision: f64,
+    /// `true_positives / truth`.
+    pub recall: f64,
+}
+
+impl DetectorScore {
+    fn from_sets<T: Ord>(online: &[T], truth: &[T]) -> Self {
+        debug_assert!(online.windows(2).all(|w| w[0] < w[1]), "sorted, unique");
+        debug_assert!(truth.windows(2).all(|w| w[0] < w[1]), "sorted, unique");
+        let tp = online
+            .iter()
+            .filter(|item| truth.binary_search(item).is_ok())
+            .count();
+        Self {
+            detections: online.len(),
+            truth: truth.len(),
+            true_positives: tp,
+            precision: tp as f64 / online.len().max(1) as f64,
+            recall: tp as f64 / truth.len().max(1) as f64,
+        }
+    }
+
+    /// Harmonic mean of precision and recall (0, never NaN, when empty).
+    pub fn f1(&self) -> f64 {
+        let (p, r) = (self.precision, self.recall);
+        let sum = p + r;
+        if sum.is_nan() || sum <= 0.0 {
+            0.0
+        } else {
+            2.0 * p * r / sum
+        }
+    }
+}
+
+/// End-of-stream scorecard: per-detector precision/recall against the
+/// offline study, plus the stream digest for byte-identity checks.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ReplaySummary {
+    /// Tickets replayed (all categories — the feed carries false alarms
+    /// too, exactly as the FMS would).
+    pub tickets: usize,
+    /// Detection events emitted across all three detectors.
+    pub detections: usize,
+    /// FNV-1a digest over every event line (tickets + detections), in
+    /// stream order, before this summary.
+    pub event_digest: u64,
+    /// Sliding-window σ-outlier detector vs offline
+    /// [`dcf_stats::anomaly::sigma_outliers`] over each full
+    /// `(class, dc)` daily series.
+    pub sigma: DetectorScore,
+    /// Causal batch-burst detector vs [`crate::mining::FotMiner`]'s
+    /// full-window `BatchDay` criterion.
+    pub burst: DetectorScore,
+    /// Incremental predictor's predicted-fatal events vs the offline
+    /// §VII-A evaluation (exact replication: expect precision = recall = 1).
+    pub predictor: DetectorScore,
+    /// The predictor's own quality, computed online; byte-identical to
+    /// [`Prediction::evaluate`] at the same horizon.
+    pub predictor_eval: PredictorEval,
+}
+
+/// A finished replay: the full event stream plus its scorecard.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ReplayOutcome {
+    /// Tickets and detections in virtual-time order.
+    pub events: Vec<ReplayEvent>,
+    /// The end-of-stream scorecard.
+    pub summary: ReplaySummary,
+    /// The scorecard rendered as the stream's final JSON line (it embeds
+    /// the event digest, so it is *not* part of the digest itself).
+    pub summary_line: String,
+}
+
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+fn fnv1a(hash: &mut u64, bytes: &[u8]) {
+    for &b in bytes {
+        *hash ^= b as u64;
+        *hash = hash.wrapping_mul(FNV_PRIME);
+    }
+}
+
+/// Escapes `s` for embedding in a JSON string literal. Class and failure
+/// type names are plain ASCII, so this only guards the general case.
+fn json_escape(s: &str) -> String {
+    if s.chars().all(|c| c != '"' && c != '\\' && c >= ' ') {
+        return s.to_string();
+    }
+    let mut out = String::with_capacity(s.len() + 2);
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            c if c < ' ' => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Per-component state of the incremental predictor.
+#[derive(Default)]
+struct ComponentStream {
+    /// All failure events of the component, in arrival order.
+    events: Vec<(dcf_trace::SimTime, Severity)>,
+    /// Non-censored warnings awaiting their first subsequent fatal.
+    pending: Vec<dcf_trace::SimTime>,
+}
+
+/// Replays `trace` as a virtual-time ticket feed with the three online
+/// detectors attached, and scores them against the offline study.
+///
+/// The result is a pure function of `(trace, config)` — playback speed is
+/// a delivery concern layered on top by the CLI and the HTTP streamer.
+pub fn replay(trace: &Trace, config: &ReplayConfig) -> ReplayOutcome {
+    let info = trace.info();
+    let start = info.start;
+    let start_day = start.day_index();
+    let days = info.days as usize;
+    let end = trace.end_time();
+    let horizon = SimDuration::from_days(config.predictor_horizon_days);
+
+    let mut events: Vec<ReplayEvent> = Vec::with_capacity(trace.fots().len() + 1024);
+    let mut digest = FNV_OFFSET;
+    let push = |events: &mut Vec<ReplayEvent>,
+                digest: &mut u64,
+                offset_secs: u64,
+                line: String,
+                is_detection: bool| {
+        fnv1a(digest, line.as_bytes());
+        fnv1a(digest, b"\n");
+        events.push(ReplayEvent {
+            offset_secs,
+            line,
+            is_detection,
+        });
+    };
+
+    // Daily failure counts per class (full window, zeros included) — the
+    // burst detector's causal view grows day by day; the same array is the
+    // offline truth input once the stream ends.
+    let mut daily = vec![vec![0usize; days]; CLASSES];
+    // Daily failure counts per (class, dc); BTreeMap so day-close events
+    // come out in a deterministic order.
+    let mut dc_daily: BTreeMap<(usize, u16), Vec<usize>> = BTreeMap::new();
+    // Online detection sets for scoring.
+    let mut online_burst: Vec<(usize, usize)> = Vec::new(); // (class, day)
+    let mut online_sigma: Vec<(usize, u16, usize)> = Vec::new(); // (class, dc, day)
+    let mut online_predicted: Vec<((u32, u8, u8), usize)> = Vec::new(); // (component, seq)
+
+    // Incremental predictor state.
+    let mut streams: HashMap<(u32, u8, u8), ComponentStream> = HashMap::new();
+    let (mut warnings, mut confirmed, mut fatals, mut predicted) = (0usize, 0usize, 0usize, 0usize);
+    let mut leads: Vec<f64> = Vec::new();
+    let mut detections = 0usize;
+
+    // Closes day `d`: runs the day-granular detectors over everything seen
+    // up to and including `d`, emitting events at the day boundary.
+    macro_rules! close_day {
+        ($d:expr) => {{
+            let d: usize = $d;
+            let off = ((start_day + d as u64 + 1) * SECS_PER_DAY).saturating_sub(start.as_secs());
+            // Batch-burst: causal estimate of the *full-window* daily
+            // median. Fleet intake ramps over the window, so the plain
+            // running median lags the miner's full-window median and
+            // over-fires early. Instead, fit a spike-robust trend (slope
+            // between the medians of the two observed halves — burst days
+            // barely move a median, unlike a least-squares fit), extend
+            // the observed series to the announced window length along
+            // that trend, and take the median of observed + extrapolated.
+            // Once past the window midpoint this converges on the true
+            // full-window median for any ~monotone rate curve.
+            if d + 1 >= config.burst_warmup_days {
+                for (class_idx, counts) in daily.iter().enumerate() {
+                    let count = counts[d];
+                    if count == 0 {
+                        continue;
+                    }
+                    let threshold = {
+                        let half = d.div_ceil(2);
+                        let median_of = |mut v: Vec<usize>| -> usize {
+                            v.sort_unstable();
+                            v[v.len() / 2]
+                        };
+                        let m1 = median_of(counts[..half.max(1)].to_vec()) as f64;
+                        let m2 = median_of(counts[half..=d].to_vec()) as f64;
+                        // Each half's median sits at the half's center day.
+                        let c1 = (half.max(1) as f64 - 1.0) / 2.0;
+                        let c2 = half as f64 + (d - half) as f64 / 2.0;
+                        let slope = if c2 > c1 { (m2 - m1) / (c2 - c1) } else { 0.0 };
+                        let mut padded: Vec<usize> = counts[..=d].to_vec();
+                        for x in (d + 1)..days {
+                            padded.push((m2 + slope * (x as f64 - c2)).max(0.0).round() as usize);
+                        }
+                        (median_of(padded) * 5).max(10)
+                    };
+                    if count > threshold {
+                        let class = ComponentClass::ALL[class_idx];
+                        online_burst.push((class_idx, d));
+                        detections += 1;
+                        push(
+                            &mut events,
+                            &mut digest,
+                            off,
+                            format!(
+                                "{{\"t\":\"burst\",\"off\":{off},\"day\":{day},\"class\":\"{class}\",\"count\":{count},\"threshold\":{threshold}}}",
+                                day = start_day + d as u64,
+                                class = json_escape(class.name()),
+                            ),
+                            true,
+                        );
+                    }
+                }
+            }
+            // Sliding-window σ-outlier per (class, dc).
+            let w = config.sigma_window_days;
+            if d + 1 >= w && w >= 3 {
+                for (&(class_idx, dc), series) in dc_daily.iter() {
+                    let window: Vec<f64> =
+                        series[d + 1 - w..=d].iter().map(|&c| c as f64).collect();
+                    let Ok(hits) = dcf_stats::anomaly::sigma_outliers(&window, config.sigma_k)
+                    else {
+                        continue; // degenerate/flat window: nothing to flag
+                    };
+                    if let Some(hit) = hits.iter().find(|a| a.index == w - 1) {
+                        let class = ComponentClass::ALL[class_idx];
+                        online_sigma.push((class_idx, dc, d));
+                        detections += 1;
+                        push(
+                            &mut events,
+                            &mut digest,
+                            off,
+                            format!(
+                                "{{\"t\":\"sigma\",\"off\":{off},\"day\":{day},\"class\":\"{class}\",\"dc\":{dc},\"count\":{count},\"z\":{z:.4}}}",
+                                day = start_day + d as u64,
+                                class = json_escape(class.name()),
+                                count = series[d],
+                                z = hit.z_score,
+                            ),
+                            true,
+                        );
+                    }
+                }
+            }
+        }};
+    }
+
+    let mut cur_day = 0usize;
+    let mut tickets = 0usize;
+    for fot in trace.fots() {
+        let d = (fot.error_time.day_index() - start_day) as usize;
+        while cur_day < d {
+            close_day!(cur_day);
+            cur_day += 1;
+        }
+        tickets += 1;
+        let off = fot.error_time.since(start).as_secs();
+        push(&mut events, &mut digest, off, ticket_line(fot, off), false);
+        if !fot.is_failure() {
+            continue; // false alarms ride the feed but feed no detector
+        }
+        let class_idx = fot.device.index();
+        if d < days {
+            daily[class_idx][d] += 1;
+            dc_daily
+                .entry((class_idx, fot.data_center.raw()))
+                .or_insert_with(|| vec![0usize; days])[d] += 1;
+        }
+        if fot.device == ComponentClass::Miscellaneous {
+            continue; // manual tickets have no component to predict
+        }
+        let key = (fot.server.raw(), class_idx as u8, fot.device_slot);
+        let stream = streams.entry(key).or_default();
+        let t = fot.error_time;
+        match fot.failure_type.severity() {
+            Severity::Warning => {
+                if t + horizon < end {
+                    warnings += 1;
+                    stream.pending.push(t);
+                } // else: not confirmable before the window ends — censored
+                stream.events.push((t, Severity::Warning));
+            }
+            Severity::Fatal => {
+                fatals += 1;
+                let was_predicted = stream
+                    .events
+                    .iter()
+                    .rev()
+                    .take_while(|(t2, _)| t.since(*t2) <= horizon)
+                    .any(|(_, s)| *s == Severity::Warning);
+                if was_predicted {
+                    predicted += 1;
+                    online_predicted.push((key, stream.events.len()));
+                    detections += 1;
+                    push(
+                        &mut events,
+                        &mut digest,
+                        off,
+                        format!(
+                            "{{\"t\":\"predict\",\"off\":{off},\"day\":{day},\"server\":{server},\"class\":\"{class}\",\"slot\":{slot}}}",
+                            day = fot.error_time.day_index(),
+                            server = fot.server.raw(),
+                            class = json_escape(fot.device.name()),
+                            slot = fot.device_slot,
+                        ),
+                        true,
+                    );
+                }
+                // The first subsequent fatal resolves every pending
+                // warning: within the horizon it confirms, beyond it the
+                // warning can never be confirmed (later fatals are later
+                // still) — exactly `Prediction::evaluate`'s find-first.
+                for &tw in &stream.pending {
+                    if t.since(tw) <= horizon {
+                        confirmed += 1;
+                        leads.push(t.since(tw).as_days_f64());
+                    }
+                }
+                stream.pending.clear();
+                stream.events.push((t, Severity::Fatal));
+            }
+        }
+    }
+    while cur_day < days {
+        close_day!(cur_day);
+        cur_day += 1;
+    }
+
+    let predictor_eval = PredictorEval {
+        horizon_days: config.predictor_horizon_days,
+        warnings,
+        confirmed_warnings: confirmed,
+        fatals,
+        predicted_fatals: predicted,
+        precision: confirmed as f64 / warnings.max(1) as f64,
+        recall: predicted as f64 / fatals.max(1) as f64,
+        median_lead_days: dcf_stats::median(&leads),
+    };
+
+    // ---- Offline ground truths ----
+    // Burst: FotMiner's BatchDay criterion with the full-window median.
+    let mut truth_burst: Vec<(usize, usize)> = Vec::new();
+    for (class_idx, counts) in daily.iter().enumerate() {
+        let mut sorted = counts.clone();
+        sorted.sort_unstable();
+        let median = sorted[sorted.len() / 2];
+        let threshold = (median * 5).max(10);
+        for (d, &count) in counts.iter().enumerate() {
+            if count > threshold {
+                truth_burst.push((class_idx, d));
+            }
+        }
+    }
+    truth_burst.sort_unstable();
+    // Sigma: the §IV test over each full (class, dc) daily series.
+    let mut truth_sigma: Vec<(usize, u16, usize)> = Vec::new();
+    for (&(class_idx, dc), series) in dc_daily.iter() {
+        let values: Vec<f64> = series.iter().map(|&c| c as f64).collect();
+        if let Ok(hits) = dcf_stats::anomaly::sigma_outliers(&values, config.sigma_k) {
+            for hit in hits {
+                truth_sigma.push((class_idx, dc, hit.index));
+            }
+        }
+    }
+    truth_sigma.sort_unstable();
+    // Predictor: the offline §VII-A scan, collecting the predicted-fatal
+    // set (the same scan `Prediction::evaluate` counts over).
+    let truth_predicted = offline_predicted_set(trace, horizon);
+
+    online_burst.sort_unstable();
+    online_sigma.sort_unstable();
+    online_predicted.sort_unstable();
+
+    let summary = ReplaySummary {
+        tickets,
+        detections,
+        event_digest: digest,
+        sigma: DetectorScore::from_sets(&online_sigma, &truth_sigma),
+        burst: DetectorScore::from_sets(&online_burst, &truth_burst),
+        predictor: DetectorScore::from_sets(&online_predicted, &truth_predicted),
+        predictor_eval,
+    };
+    let summary_line = summary_line(&summary);
+    ReplayOutcome {
+        events,
+        summary,
+        summary_line,
+    }
+}
+
+fn ticket_line(fot: &Fot, off: u64) -> String {
+    let sev = match fot.failure_type.severity() {
+        Severity::Warning => "warning",
+        Severity::Fatal => "fatal",
+    };
+    format!(
+        "{{\"t\":\"fot\",\"off\":{off},\"id\":{id},\"day\":{day},\"server\":{server},\"dc\":{dc},\"class\":\"{class}\",\"slot\":{slot},\"type\":\"{ftype}\",\"sev\":\"{sev}\",\"cat\":\"{cat}\"}}",
+        id = fot.id.raw(),
+        day = fot.error_time.day_index(),
+        server = fot.server.raw(),
+        dc = fot.data_center.raw(),
+        class = json_escape(fot.device.name()),
+        slot = fot.device_slot,
+        ftype = json_escape(fot.failure_type.name()),
+        cat = fot.category.name(),
+    )
+}
+
+fn score_json(score: &DetectorScore) -> String {
+    format!(
+        "{{\"detections\":{},\"truth\":{},\"tp\":{},\"precision\":{:.4},\"recall\":{:.4},\"f1\":{:.4}}}",
+        score.detections,
+        score.truth,
+        score.true_positives,
+        score.precision,
+        score.recall,
+        score.f1(),
+    )
+}
+
+fn summary_line(s: &ReplaySummary) -> String {
+    let e = &s.predictor_eval;
+    format!(
+        "{{\"t\":\"summary\",\"tickets\":{tickets},\"detections\":{detections},\"digest\":\"{digest:016x}\",\"sigma\":{sigma},\"burst\":{burst},\"predictor\":{predictor},\"predictor_eval\":{{\"horizon_days\":{h},\"warnings\":{w},\"confirmed\":{c},\"fatals\":{f},\"predicted\":{p},\"precision\":{prec:.4},\"recall\":{rec:.4},\"f1\":{f1:.4}}}}}",
+        tickets = s.tickets,
+        detections = s.detections,
+        digest = s.event_digest,
+        sigma = score_json(&s.sigma),
+        burst = score_json(&s.burst),
+        predictor = score_json(&s.predictor),
+        h = e.horizon_days,
+        w = e.warnings,
+        c = e.confirmed_warnings,
+        f = e.fatals,
+        p = e.predicted_fatals,
+        prec = e.precision,
+        rec = e.recall,
+        f1 = e.f1(),
+    )
+}
+
+/// The offline predicted-fatal set: component key plus the fatal's index
+/// in its per-component event stream — the identity
+/// [`Prediction::evaluate`] counts as `predicted_fatals`.
+fn offline_predicted_set(trace: &Trace, horizon: SimDuration) -> Vec<((u32, u8, u8), usize)> {
+    let mut streams: HashMap<(u32, u8, u8), Vec<(dcf_trace::SimTime, Severity)>> = HashMap::new();
+    for fot in trace.failures() {
+        if fot.device == ComponentClass::Miscellaneous {
+            continue;
+        }
+        let key = (fot.server.raw(), fot.device.index() as u8, fot.device_slot);
+        streams
+            .entry(key)
+            .or_default()
+            .push((fot.error_time, fot.failure_type.severity()));
+    }
+    let mut out = Vec::new();
+    for (key, stream) in &streams {
+        for (i, &(t, sev)) in stream.iter().enumerate() {
+            if sev != Severity::Fatal {
+                continue;
+            }
+            let was_predicted = stream[..i]
+                .iter()
+                .rev()
+                .take_while(|(t2, _)| t.since(*t2) <= horizon)
+                .any(|(_, s2)| *s2 == Severity::Warning);
+            if was_predicted {
+                out.push((*key, i));
+            }
+        }
+    }
+    out.sort_unstable();
+    out
+}
+
+/// Convenience: the offline [`Prediction::evaluate`] at the replay
+/// horizon — what [`ReplaySummary::predictor_eval`] must equal.
+pub fn offline_eval(trace: &Trace, config: &ReplayConfig) -> PredictorEval {
+    Prediction::new(trace).evaluate(config.predictor_horizon_days, None)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::test_support::medium_trace;
+
+    #[test]
+    fn replay_is_deterministic_and_digest_matches_lines() {
+        let trace = medium_trace();
+        let config = ReplayConfig::default();
+        let a = replay(&trace, &config);
+        let b = replay(&trace, &config);
+        assert_eq!(a.summary, b.summary);
+        assert_eq!(a.events.len(), b.events.len());
+        assert_eq!(a.summary_line, b.summary_line);
+        // Recompute the digest from the lines.
+        let mut h = FNV_OFFSET;
+        for e in &a.events {
+            fnv1a(&mut h, e.line.as_bytes());
+            fnv1a(&mut h, b"\n");
+        }
+        assert_eq!(h, a.summary.event_digest);
+    }
+
+    #[test]
+    fn offsets_are_monotone_and_events_well_formed() {
+        let trace = medium_trace();
+        let out = replay(&trace, &ReplayConfig::default());
+        assert!(out
+            .events
+            .windows(2)
+            .all(|w| w[0].offset_secs <= w[1].offset_secs));
+        for e in &out.events {
+            assert!(e.line.starts_with('{') && e.line.ends_with('}'));
+            assert!(!e.line.contains('\n'));
+        }
+        let tickets = out.events.iter().filter(|e| !e.is_detection).count();
+        assert_eq!(tickets, trace.len());
+        assert_eq!(out.summary.tickets, trace.len());
+    }
+
+    #[test]
+    fn online_predictor_matches_offline_exactly() {
+        let trace = medium_trace();
+        let config = ReplayConfig::default();
+        let out = replay(&trace, &config);
+        let offline = offline_eval(&trace, &config);
+        assert_eq!(out.summary.predictor_eval, offline);
+        // Exact replication: the predicted-fatal sets are identical.
+        assert_eq!(out.summary.predictor.precision, 1.0);
+        assert_eq!(out.summary.predictor.recall, 1.0);
+        assert!(out.summary.predictor.truth > 0, "fixture has repeats");
+    }
+
+    #[test]
+    fn burst_detector_tracks_the_offline_miner_closely() {
+        let trace = medium_trace();
+        let out = replay(&trace, &ReplayConfig::default());
+        let burst = out.summary.burst;
+        assert!(burst.truth > 0, "medium fixture has batch days: {burst:?}");
+        assert!(
+            burst.f1() >= 0.8,
+            "causal burst detector should closely track the miner: {burst:?}"
+        );
+    }
+
+    #[test]
+    fn sigma_detector_fires_and_scores_sanely() {
+        let trace = medium_trace();
+        let out = replay(&trace, &ReplayConfig::default());
+        let sigma = out.summary.sigma;
+        assert!(sigma.detections > 0, "{sigma:?}");
+        assert!((0.0..=1.0).contains(&sigma.precision));
+        assert!((0.0..=1.0).contains(&sigma.recall));
+    }
+
+    #[test]
+    fn detection_counts_are_consistent() {
+        let trace = medium_trace();
+        let out = replay(&trace, &ReplayConfig::default());
+        let detection_events = out.events.iter().filter(|e| e.is_detection).count();
+        assert_eq!(detection_events, out.summary.detections);
+        assert_eq!(
+            out.summary.detections,
+            out.summary.sigma.detections
+                + out.summary.burst.detections
+                + out.summary.predictor.detections
+        );
+    }
+
+    /// The acceptance seeds: at every seed, the replayed event sequence
+    /// is a pure function of the trace (so byte-identical no matter how
+    /// or how fast it is later streamed), and the incremental predictor
+    /// reproduces the offline `Prediction::evaluate` exactly.
+    #[test]
+    fn replay_matches_offline_scoring_across_seeds() {
+        for seed in [1u64, 7, 42] {
+            let trace = dcf_sim::Scenario::small()
+                .seed(seed)
+                .simulate(&dcf_sim::RunOptions::default())
+                .expect("small scenario runs");
+            let config = ReplayConfig::default();
+            let a = replay(&trace, &config);
+            let b = replay(&trace, &config);
+            let lines_a: Vec<&str> = a.events.iter().map(|e| e.line.as_str()).collect();
+            let lines_b: Vec<&str> = b.events.iter().map(|e| e.line.as_str()).collect();
+            assert_eq!(
+                lines_a, lines_b,
+                "seed {seed}: event sequence not reproducible"
+            );
+            assert_eq!(a.summary_line, b.summary_line, "seed {seed}");
+            assert_eq!(
+                a.summary.predictor_eval,
+                offline_eval(&trace, &config),
+                "seed {seed}: online predictor diverged from offline evaluate"
+            );
+            assert_eq!(a.summary.predictor.precision, 1.0, "seed {seed}");
+            assert_eq!(a.summary.predictor.recall, 1.0, "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn json_escape_handles_specials() {
+        assert_eq!(json_escape("HDD"), "HDD");
+        assert_eq!(json_escape("a\"b"), "a\\\"b");
+        assert_eq!(json_escape("a\\b"), "a\\\\b");
+        assert_eq!(json_escape("a\nb"), "a\\u000ab");
+    }
+}

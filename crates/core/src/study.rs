@@ -187,42 +187,6 @@ impl<'a> FailureStudy<'a> {
         self.assemble(slots)
     }
 
-    /// Runs everything and collects the headline metrics (serially, with
-    /// instrumentation disabled).
-    ///
-    /// Deprecated: use [`FailureStudy::analyze`] with default options.
-    #[deprecated(since = "0.1.0", note = "use `analyze(&StudyOptions::default())`")]
-    pub fn report(&self) -> StudyReport {
-        self.analyze(&StudyOptions::default())
-    }
-
-    /// [`FailureStudy::analyze`] with instrumentation only.
-    ///
-    /// Deprecated: attach the registry via [`StudyOptions::metrics`].
-    #[deprecated(
-        since = "0.1.0",
-        note = "use `analyze(&StudyOptions::default().metrics(..))`"
-    )]
-    pub fn report_with_metrics(&self, metrics: &MetricsRegistry) -> StudyReport {
-        self.analyze(&StudyOptions::default().metrics(metrics))
-    }
-
-    /// [`FailureStudy::analyze`] with the metrics registry passed
-    /// separately.
-    ///
-    /// Deprecated: [`StudyOptions`] now carries the registry itself.
-    #[deprecated(
-        since = "0.1.0",
-        note = "use `analyze(&StudyOptions::with_threads(n).metrics(..))`"
-    )]
-    pub fn report_with_options(
-        &self,
-        options: StudyOptions,
-        metrics: &MetricsRegistry,
-    ) -> StudyReport {
-        self.analyze(&options.metrics(metrics))
-    }
-
     /// Runs one section by scheduler slot (see [`SECTION_NAMES`] order).
     fn run_section(&self, section: usize) -> SectionOutput {
         match section {

@@ -21,8 +21,9 @@ const ENGINE_TOTAL: &str = "engine.total";
 /// Phase-span prefixes pulled into the summary: the simulation engine,
 /// the analysis sections (`study.*`), the trace-backend phases
 /// (`trace.build_columns`, `trace.snapshot_write`, `trace.snapshot_load`),
-/// and the query-service phases (`serve.request`, `serve.*`).
-const PHASE_PREFIXES: [&str; 4] = [ENGINE_PREFIX, "study.", "trace.", "serve."];
+/// the query-service phases (`serve.request`, `serve.*`), and the
+/// streaming-replay phases (`replay.build`, `replay.stream`, `replay.*`).
+const PHASE_PREFIXES: [&str; 5] = [ENGINE_PREFIX, "study.", "trace.", "serve.", "replay."];
 
 /// Serving-side benchmark figures measured by a `dcf-serve` load
 /// generator: concurrent keep-alive connections, request latency
@@ -78,6 +79,59 @@ impl ServeBench {
             ("latency_p50_ms", self.latency_p50_ms),
             ("latency_p99_ms", self.latency_p99_ms),
             ("latency_max_ms", self.latency_max_ms),
+        ] {
+            out.push_str(&format!(",\n    \"{key}\": "));
+            json::write_f64(out, value);
+        }
+        out.push_str("\n  }");
+    }
+}
+
+/// Streaming-replay benchmark figures measured by `reproduce replay` or
+/// the `dcf-serve` `/v1/replay` streamer: stream volume, throughput, and
+/// the online detectors' F1 against the offline study.
+///
+/// Attached to a [`BenchSummary`] with [`BenchSummary::with_replay`] and
+/// serialized as the optional `"replay"` object of the `BENCH_*.json`
+/// schema (absent for runs without a replay stage, mirroring `"serve"`).
+#[derive(Debug, Clone, PartialEq)]
+pub struct ReplayBench {
+    /// Tickets replayed onto the virtual-time feed.
+    pub tickets: u64,
+    /// Online-detection events emitted across all detectors.
+    pub detections: u64,
+    /// FNV-1a digest of the event stream, as 16 lowercase hex digits —
+    /// byte-identity anchor across playback speeds and thread counts.
+    pub event_digest: String,
+    /// Playback speed in simulated days per wall second (`0` = no pacing).
+    pub speed: f64,
+    /// Wall-clock of the replay in milliseconds.
+    pub duration_ms: f64,
+    /// Stream events (tickets + detections) per wall second.
+    pub events_per_sec: f64,
+    /// Sliding-window σ-outlier detector F1 vs the offline §IV test.
+    pub sigma_f1: f64,
+    /// Causal batch-burst detector F1 vs the offline miner's batch days.
+    pub burst_f1: f64,
+    /// Incremental predictor F1 vs the offline §VII-A evaluation.
+    pub predictor_f1: f64,
+}
+
+impl ReplayBench {
+    /// Serializes the object carried under the summary's `"replay"` key.
+    fn write_json(&self, out: &mut String) {
+        out.push_str(&format!(
+            "{{\n    \"tickets\": {},\n    \"detections\": {},\n    \"event_digest\": ",
+            self.tickets, self.detections
+        ));
+        json::write_string(out, &self.event_digest);
+        for (key, value) in [
+            ("speed", self.speed),
+            ("duration_ms", self.duration_ms),
+            ("events_per_sec", self.events_per_sec),
+            ("sigma_f1", self.sigma_f1),
+            ("burst_f1", self.burst_f1),
+            ("predictor_f1", self.predictor_f1),
         ] {
             out.push_str(&format!(",\n    \"{key}\": "));
             json::write_f64(out, value);
@@ -171,6 +225,9 @@ pub struct BenchSummary {
     /// Serving-side latency/shed figures ([`ServeBench`]); `None` for
     /// engine-only runs.
     pub serve: Option<ServeBench>,
+    /// Streaming-replay figures ([`ReplayBench`]); `None` for runs
+    /// without a replay stage.
+    pub replay: Option<ReplayBench>,
 }
 
 impl BenchSummary {
@@ -216,6 +273,7 @@ impl BenchSummary {
             baseline: Vec::new(),
             baseline_label: None,
             serve: None,
+            replay: None,
         }
     }
 
@@ -224,6 +282,14 @@ impl BenchSummary {
     #[must_use]
     pub fn with_serve(mut self, serve: ServeBench) -> Self {
         self.serve = Some(serve);
+        self
+    }
+
+    /// Attaches streaming-replay figures (the optional `"replay"` object
+    /// of the JSON schema).
+    #[must_use]
+    pub fn with_replay(mut self, replay: ReplayBench) -> Self {
+        self.replay = Some(replay);
         self
     }
 
@@ -302,6 +368,10 @@ impl BenchSummary {
         if let Some(serve) = &self.serve {
             out.push_str(",\n  \"serve\": ");
             serve.write_json(&mut out);
+        }
+        if let Some(replay) = &self.replay {
+            out.push_str(",\n  \"replay\": ");
+            replay.write_json(&mut out);
         }
         if let Some(label) = &self.baseline_label {
             out.push_str(",\n  \"baseline_label\": ");
@@ -581,6 +651,62 @@ mod tests {
             json::parse(&json).is_ok(),
             "serve block must keep the file valid JSON"
         );
+    }
+
+    #[test]
+    fn replay_block_is_emitted_only_when_attached() {
+        let s = BenchSummary::from_report(&report("run", 6_000, 2_500), "small", 1, 100, 360, 400);
+        assert!(s.replay.is_none());
+        assert!(!s.to_json().contains("\"replay\""), "absent block leaked");
+
+        let replay = ReplayBench {
+            tickets: 5_000,
+            detections: 120,
+            event_digest: "00c0ffee00c0ffee".into(),
+            speed: 0.0,
+            duration_ms: 250.0,
+            events_per_sec: 20_480.0,
+            sigma_f1: 0.61,
+            burst_f1: 0.93,
+            predictor_f1: 1.0,
+        };
+        let json = s.with_replay(replay).to_json();
+        for key in [
+            "\"replay\": {",
+            "\"tickets\": 5000",
+            "\"detections\": 120",
+            "\"event_digest\": \"00c0ffee00c0ffee\"",
+            "\"speed\": 0",
+            "\"duration_ms\": 250",
+            "\"events_per_sec\": 20480",
+            "\"sigma_f1\": 0.61",
+            "\"burst_f1\": 0.93",
+            "\"predictor_f1\": 1",
+        ] {
+            assert!(json.contains(key), "missing {key} in {json}");
+        }
+        assert!(
+            json::parse(&json).is_ok(),
+            "replay block must keep the file valid JSON"
+        );
+    }
+
+    #[test]
+    fn replay_phase_spans_are_summarized() {
+        let r = RunReport {
+            label: "replay".into(),
+            phases: vec![
+                span("replay.build", 400),
+                span("replay.stream", 900),
+                span("engine.per_server", 100),
+            ],
+            counters: vec![],
+            gauges: vec![],
+        };
+        let s = BenchSummary::from_report(&r, "small", 1, 100, 360, 0);
+        let names: Vec<&str> = s.phases.iter().map(|(n, _)| n.as_str()).collect();
+        assert!(names.contains(&"replay.build"));
+        assert!(names.contains(&"replay.stream"));
     }
 
     #[test]

@@ -54,7 +54,7 @@ mod metrics;
 mod report;
 mod timer;
 
-pub use bench::{BenchSummary, ServeBench};
+pub use bench::{BenchSummary, ReplayBench, ServeBench};
 pub use mem::peak_rss_bytes;
 pub use metrics::{Counter, Gauge, MetricsRegistry};
 pub use report::{ReportError, RunReport};

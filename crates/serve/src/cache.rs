@@ -53,6 +53,7 @@ pub struct RunArtifacts {
     /// 16-hex FNV-1a digest of the trace's CSV form.
     pub digest: String,
     report: OnceLock<StudyReport>,
+    replay: OnceLock<Arc<dcf_core::replay::ReplayOutcome>>,
 }
 
 impl RunArtifacts {
@@ -63,6 +64,7 @@ impl RunArtifacts {
             trace,
             digest,
             report: OnceLock::new(),
+            replay: OnceLock::new(),
         }
     }
 
@@ -71,6 +73,17 @@ impl RunArtifacts {
     pub fn report(&self, options: &StudyOptions) -> &StudyReport {
         self.report
             .get_or_init(|| FailureStudy::new(&self.trace).analyze(options))
+    }
+
+    /// The replay event stream over the trace (default detector config),
+    /// built once on first use — every `/v1/replay` of the same run
+    /// streams the same precomputed event sequence, so byte identity
+    /// across speeds is structural.
+    pub fn replay(
+        &self,
+        build: impl FnOnce() -> dcf_core::replay::ReplayOutcome,
+    ) -> &Arc<dcf_core::replay::ReplayOutcome> {
+        self.replay.get_or_init(|| Arc::new(build()))
     }
 }
 

@@ -17,7 +17,7 @@
 //! the same pass. Entries are keyed by file stem, and a published
 //! snapshot file is treated as immutable (replace by adding a new name,
 //! not rewriting bytes in place — the mapping's pages are shared with the
-//! page cache). `GET /catalog` lists what is currently served.
+//! page cache). `GET /v1/catalog` lists what is currently served.
 //!
 //! The legacy single-file `--snapshot PATH` flag is now sugar for a
 //! one-entry catalog whose entry is named `snapshot`, which keeps every

@@ -74,6 +74,10 @@ const READ_CHUNK: usize = 8 * 1024;
 /// Hard cap on buffered request bytes per connection (one max-size
 /// request plus pipelined slack).
 const MAX_BUFFERED: usize = http::MAX_HEAD_BYTES + http::MAX_BODY_BYTES + 4096;
+/// A paced stream stops framing new chunks while this many response
+/// bytes are still unflushed — a slow reader rebuffers in the stream's
+/// chunk list, not in the socket write buffer.
+const STREAM_BACKPRESSURE_BYTES: usize = 64 * 1024;
 
 /// No read or write interest: parked while a worker computes (the poller
 /// still reports hang-ups, which carry no interest bit).
@@ -100,6 +104,22 @@ enum ConnState {
     Draining,
 }
 
+/// An in-progress chunked streaming response. The connection stays in
+/// `Writing` for the stream's whole lifetime; the per-iteration pump
+/// appends each chunk's frame to `write_buf` once its virtual-time due
+/// offset has elapsed, and the terminal chunk once all are sent.
+struct StreamState {
+    /// `(due_ms, payload)` in non-decreasing due order.
+    chunks: Vec<(u64, String)>,
+    /// Index of the next chunk not yet framed into the write buffer.
+    next: usize,
+    /// When the stream head was queued; due offsets are relative to this.
+    started: Instant,
+    /// Terminal chunk framed — `finish_write` may run once the buffer
+    /// drains.
+    finished: bool,
+}
+
 struct Connection {
     stream: TcpStream,
     fd: RawFd,
@@ -115,6 +135,8 @@ struct Connection {
     last_activity: Instant,
     drain_deadline: Option<Instant>,
     interest: Interest,
+    /// Active chunked stream, if the current response is a paced replay.
+    replay: Option<StreamState>,
 }
 
 impl Connection {
@@ -131,7 +153,13 @@ impl Connection {
             last_activity: Instant::now(),
             drain_deadline: None,
             interest: Interest::READ,
+            replay: None,
         }
+    }
+
+    /// True while a chunked stream still has frames to emit.
+    fn streaming(&self) -> bool {
+        self.replay.as_ref().is_some_and(|s| !s.finished)
     }
 }
 
@@ -205,6 +233,9 @@ impl EventLoop {
             // Completions are checked every iteration: the waker byte may
             // have been consumed by an earlier drain in the same batch.
             self.deliver_completions();
+            // Paced streams ride the poll cadence: every iteration, frame
+            // whatever chunks have come due.
+            self.pump_streams();
 
             if !self.draining && self.shared.stop.load(Ordering::SeqCst) {
                 self.begin_drain();
@@ -330,9 +361,14 @@ impl EventLoop {
                 Ok(0) => {
                     // Peer EOF. A connection between requests or mid-read
                     // is simply gone; one with a response still pending
-                    // finishes the write first, then closes.
+                    // finishes the write first, then closes — except a
+                    // live stream, whose remaining chunks have no reader.
                     match conn.state {
                         ConnState::Reading | ConnState::Draining => self.drop_conn(token),
+                        ConnState::Writing if conn.streaming() => {
+                            self.shared.metrics.add("serve.replay.disconnects", 1);
+                            self.drop_conn(token);
+                        }
                         ConnState::InFlight | ConnState::Writing => {
                             conn.close_after_write = true;
                         }
@@ -427,18 +463,94 @@ impl EventLoop {
         }
     }
 
-    /// Queues response bytes on the connection and starts flushing.
-    fn respond(&mut self, token: u64, response: Response, keep_alive: bool) {
+    /// Queues response bytes on the connection and starts flushing. A
+    /// streaming response queues only the chunked head; its body frames
+    /// are appended by [`EventLoop::pump_streams`] as they come due.
+    fn respond(&mut self, token: u64, mut response: Response, keep_alive: bool) {
         let Some(conn) = self.conns.get_mut(&token) else {
             return;
         };
         let keep_alive = keep_alive && !conn.close_after_write;
-        conn.write_buf = response.serialize(keep_alive);
+        match response.stream.take() {
+            Some(body) => {
+                conn.write_buf = response.serialize_stream_head(keep_alive);
+                conn.replay = Some(StreamState {
+                    chunks: body.chunks,
+                    next: 0,
+                    started: Instant::now(),
+                    finished: false,
+                });
+            }
+            None => {
+                conn.write_buf = response.serialize(keep_alive);
+                conn.replay = None;
+            }
+        }
         conn.write_pos = 0;
         conn.close_after_write = !keep_alive;
         conn.state = ConnState::Writing;
         self.set_interest(token, WRITE_ONLY);
+        self.pump_streams();
         self.flush(token);
+    }
+
+    /// Frames every due chunk of every live stream into its connection's
+    /// write buffer, plus the terminal chunk once a stream is exhausted.
+    /// At speed 0 all offsets are 0 and the whole body is framed on the
+    /// first visit.
+    fn pump_streams(&mut self) {
+        let streaming: Vec<u64> = self
+            .conns
+            .iter()
+            .filter(|(_, c)| c.state == ConnState::Writing && c.streaming())
+            .map(|(&t, _)| t)
+            .collect();
+        if streaming.is_empty() {
+            return;
+        }
+        let now = Instant::now();
+        for token in streaming {
+            let appended = {
+                let Some(conn) = self.conns.get_mut(&token) else {
+                    continue;
+                };
+                let Some(stream) = conn.replay.as_mut() else {
+                    continue;
+                };
+                if conn.write_buf.len() - conn.write_pos >= STREAM_BACKPRESSURE_BYTES {
+                    continue; // slow reader: let the socket drain first
+                }
+                if conn.write_pos >= conn.write_buf.len() && conn.write_pos > 0 {
+                    conn.write_buf.clear();
+                    conn.write_pos = 0;
+                }
+                let elapsed_ms = now.duration_since(stream.started).as_millis() as u64;
+                let mut appended = false;
+                while stream.next < stream.chunks.len()
+                    && stream.chunks[stream.next].0 <= elapsed_ms
+                {
+                    let (_, payload) = &stream.chunks[stream.next];
+                    conn.write_buf
+                        .extend_from_slice(&http::encode_chunk(payload.as_bytes()));
+                    stream.next += 1;
+                    appended = true;
+                }
+                if stream.next >= stream.chunks.len() {
+                    conn.write_buf.extend_from_slice(http::LAST_CHUNK);
+                    stream.finished = true;
+                    appended = true;
+                }
+                if !appended && conn.write_pos >= conn.write_buf.len() {
+                    // Idle between due chunks is pacing, not a stalled
+                    // write — keep the stall sweep off this connection.
+                    conn.last_activity = now;
+                }
+                appended
+            };
+            if appended {
+                self.flush(token);
+            }
+        }
     }
 
     /// Writes as much of the pending response as the socket accepts.
@@ -451,14 +563,20 @@ impl EventLoop {
                 return;
             }
             if conn.write_pos >= conn.write_buf.len() {
+                if conn.streaming() {
+                    // Buffer drained but the stream has chunks still to
+                    // come due; park with read interest so a peer EOF
+                    // (client walked away mid-stream) is noticed.
+                    self.set_interest(token, Interest::READ);
+                    return;
+                }
                 self.finish_write(token);
                 return;
             }
             let pos = conn.write_pos;
             match conn.stream.write(&conn.write_buf[pos..]) {
                 Ok(0) => {
-                    self.shared.metrics.add("serve.io_errors", 1);
-                    self.drop_conn(token);
+                    self.fail_write(token);
                     return;
                 }
                 Ok(n) => {
@@ -471,12 +589,22 @@ impl EventLoop {
                 }
                 Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
                 Err(_) => {
-                    self.shared.metrics.add("serve.io_errors", 1);
-                    self.drop_conn(token);
+                    self.fail_write(token);
                     return;
                 }
             }
         }
+    }
+
+    /// Write failed (reset, broken pipe, or a zero-length write): record
+    /// it — as a mid-stream disconnect too, if a replay was live — and
+    /// drop the connection.
+    fn fail_write(&mut self, token: u64) {
+        if self.conns.get(&token).is_some_and(|c| c.streaming()) {
+            self.shared.metrics.add("serve.replay.disconnects", 1);
+        }
+        self.shared.metrics.add("serve.io_errors", 1);
+        self.drop_conn(token);
     }
 
     /// Response fully flushed: either loop back to `Reading` (keep-alive,
@@ -489,6 +617,7 @@ impl EventLoop {
             };
             conn.write_buf = Vec::new();
             conn.write_pos = 0;
+            conn.replay = None;
             conn.served += 1;
             conn.last_activity = Instant::now();
             conn.close_after_write

@@ -188,15 +188,46 @@ pub fn parse_request(buf: &[u8]) -> Result<Option<ParsedRequest>, HttpError> {
     }))
 }
 
-/// A response ready to serialize: status, optional Retry-After, JSON body.
+/// The body of a chunked streaming response: newline-delimited JSON
+/// events, each with a virtual-time due offset the event loop paces
+/// delivery against.
+#[derive(Debug, Clone, Default)]
+pub struct StreamBody {
+    /// `(due_ms, payload)` in non-decreasing `due_ms` order. `due_ms` is
+    /// wall milliseconds after the response head is written; the payload
+    /// is one NDJSON line (trailing `\n` included) sent as one
+    /// chunked-transfer chunk. At speed 0 every `due_ms` is 0.
+    pub chunks: Vec<(u64, String)>,
+}
+
+/// Encodes one chunked-transfer chunk: hex size, CRLF, data, CRLF.
+pub fn encode_chunk(payload: &[u8]) -> Vec<u8> {
+    let mut out = format!("{:x}\r\n", payload.len()).into_bytes();
+    out.extend_from_slice(payload);
+    out.extend_from_slice(b"\r\n");
+    out
+}
+
+/// The terminal zero-length chunk ending a chunked response.
+pub const LAST_CHUNK: &[u8] = b"0\r\n\r\n";
+
+/// A response ready to serialize: status, optional Retry-After /
+/// Location headers, and either a JSON body (content-length framing) or
+/// a paced chunked stream.
 #[derive(Debug, Clone)]
 pub struct Response {
     /// HTTP status code.
     pub status: u16,
     /// `Retry-After` seconds, sent on overload responses.
     pub retry_after: Option<u32>,
-    /// JSON body.
+    /// `Location` header, sent on redirects.
+    pub location: Option<String>,
+    /// JSON body (ignored for streaming responses).
     pub body: String,
+    /// Chunked streaming body; `Some` makes this a
+    /// `Transfer-Encoding: chunked` NDJSON response paced by the event
+    /// loop, and `body` is not sent.
+    pub stream: Option<StreamBody>,
 }
 
 impl Response {
@@ -205,7 +236,9 @@ impl Response {
         Self {
             status: 200,
             retry_after: None,
+            location: None,
             body,
+            stream: None,
         }
     }
 
@@ -217,7 +250,9 @@ impl Response {
         Self {
             status,
             retry_after: None,
+            location: None,
             body,
+            stream: None,
         }
     }
 
@@ -228,33 +263,87 @@ impl Response {
         r
     }
 
-    /// Serializes the full response. `keep_alive` selects the
-    /// `connection` header: `keep-alive` leaves the connection open for
-    /// the next pipelined request, `close` announces the server will
-    /// half-close after the body.
-    pub fn serialize(&self, keep_alive: bool) -> Vec<u8> {
-        let reason = match self.status {
+    /// A `308 Permanent Redirect` to `location` — method and body are
+    /// preserved by compliant clients, so it works for `POST /simulate`
+    /// as well as the `GET` routes.
+    pub fn redirect(location: &str) -> Self {
+        let mut body = String::from("{\"moved_permanently\":");
+        dcf_obs::json::write_string(&mut body, location);
+        body.push('}');
+        Self {
+            status: 308,
+            retry_after: None,
+            location: Some(location.to_string()),
+            body,
+            stream: None,
+        }
+    }
+
+    /// A `200 OK` chunked NDJSON stream.
+    pub fn stream(stream: StreamBody) -> Self {
+        Self {
+            status: 200,
+            retry_after: None,
+            location: None,
+            body: String::new(),
+            stream: Some(stream),
+        }
+    }
+
+    fn reason(&self) -> &'static str {
+        match self.status {
             200 => "OK",
+            308 => "Permanent Redirect",
             400 => "Bad Request",
             404 => "Not Found",
             405 => "Method Not Allowed",
             500 => "Internal Server Error",
             503 => "Service Unavailable",
             _ => "Response",
-        };
-        let mut head = format!(
-            "HTTP/1.1 {} {reason}\r\ncontent-type: application/json\r\ncontent-length: {}\r\nconnection: {}\r\n",
-            self.status,
-            self.body.len(),
-            if keep_alive { "keep-alive" } else { "close" },
-        );
+        }
+    }
+
+    fn extra_headers(&self, head: &mut String) {
         if let Some(secs) = self.retry_after {
             head.push_str(&format!("retry-after: {secs}\r\n"));
         }
+        if let Some(location) = &self.location {
+            head.push_str(&format!("location: {location}\r\n"));
+        }
+    }
+
+    /// Serializes the full content-length-framed response. `keep_alive`
+    /// selects the `connection` header: `keep-alive` leaves the
+    /// connection open for the next pipelined request, `close` announces
+    /// the server will half-close after the body.
+    pub fn serialize(&self, keep_alive: bool) -> Vec<u8> {
+        let mut head = format!(
+            "HTTP/1.1 {} {}\r\ncontent-type: application/json\r\ncontent-length: {}\r\nconnection: {}\r\n",
+            self.status,
+            self.reason(),
+            self.body.len(),
+            if keep_alive { "keep-alive" } else { "close" },
+        );
+        self.extra_headers(&mut head);
         head.push_str("\r\n");
         let mut out = head.into_bytes();
         out.extend_from_slice(self.body.as_bytes());
         out
+    }
+
+    /// Serializes the head of a chunked streaming response; the event
+    /// loop follows with [`encode_chunk`]-framed payloads as they come
+    /// due and [`LAST_CHUNK`] at end of stream.
+    pub fn serialize_stream_head(&self, keep_alive: bool) -> Vec<u8> {
+        let mut head = format!(
+            "HTTP/1.1 {} {}\r\ncontent-type: application/x-ndjson\r\ntransfer-encoding: chunked\r\nconnection: {}\r\n",
+            self.status,
+            self.reason(),
+            if keep_alive { "keep-alive" } else { "close" },
+        );
+        self.extra_headers(&mut head);
+        head.push_str("\r\n");
+        head.into_bytes()
     }
 }
 

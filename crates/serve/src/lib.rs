@@ -2,19 +2,31 @@
 //! simulation + study pipeline.
 //!
 //! The service turns the batch pipeline (`dcf-sim` → `dcf-core`) into an
-//! interactive one: clients `POST /simulate` a `(scenario, seed, threads)`
-//! triple and then read study sections and paged tickets back without
-//! recomputing anything. Endpoints:
+//! interactive one: clients `POST /v1/simulate` a `(scenario, seed,
+//! threads)` triple and then read study sections and paged tickets back
+//! without recomputing anything. The API lives under `/v1/`; the
+//! pre-versioning paths answer `308 Permanent Redirect` to their `/v1`
+//! home (method and body preserved, query string carried along).
+//! Endpoints:
 //!
 //! | Endpoint | Meaning |
 //! |---|---|
-//! | `POST /simulate` | Run (or fetch cached) scenario → trace digest + summary |
-//! | `GET /report/{section}` | One of the six study sections over the cached trace |
-//! | `GET /trace/{digest}/fots?offset&limit` | Paged ticket reads |
-//! | `GET /catalog` | List the pinned snapshot catalog entries |
-//! | `POST /catalog/reload` | Rescan the catalog directory (also SIGHUP) |
-//! | `GET /healthz` | Liveness probe |
-//! | `GET /metrics` | `dcf-obs` run-report snapshot |
+//! | `POST /v1/simulate` | Run (or fetch cached) scenario → trace digest + summary |
+//! | `GET /v1/report/{section}` | One of the six study sections over the cached trace |
+//! | `GET /v1/trace/{digest}/fots?offset&limit` | Paged ticket reads |
+//! | `GET /v1/replay/{scenario}?speed=N` | Chunked NDJSON replay stream with online detections |
+//! | `GET /v1/catalog` | List the pinned snapshot catalog entries |
+//! | `POST /v1/catalog/reload` | Rescan the catalog directory (also SIGHUP) |
+//! | `GET /healthz` | Liveness probe (unversioned) |
+//! | `GET /metrics` | `dcf-obs` run-report snapshot (unversioned) |
+//!
+//! `/v1/replay` is the service's one streaming endpoint: the response is
+//! `Transfer-Encoding: chunked`, one NDJSON line per chunk — every FOT
+//! of the replayed trace in virtual-time order, detection events from
+//! the three online detectors inline, and a final summary line with the
+//! event digest and precision/recall scores. `speed` is simulated days
+//! per wall second (`0` = no pacing); pacing happens on the event loop,
+//! so a paced stream never holds a worker thread.
 //!
 //! Architecture (documented in depth in the repository's `SERVING.md`):
 //! one event-loop thread owns every socket on a raw-syscall epoll
@@ -50,7 +62,7 @@ pub mod signal;
 
 pub use cache::{CacheKey, ResponseCache};
 pub use catalog::{Catalog, CatalogEntryInfo, ReloadSummary};
-pub use http::{Request, Response};
+pub use http::{Request, Response, StreamBody};
 pub use poller::{Interest, Poller, Waker};
 pub use queue::BoundedQueue;
 pub use sections::SECTIONS;

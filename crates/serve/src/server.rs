@@ -28,7 +28,7 @@ use dcf_sim::{RunOptions, Scenario};
 use crate::cache::{scenario_hash, CacheKey, ResponseCache, RunArtifacts, RunEntry};
 use crate::catalog::{Catalog, ReloadSummary};
 use crate::event_loop::EventLoop;
-use crate::http::{Request, Response};
+use crate::http::{Request, Response, StreamBody};
 use crate::poller::{Poller, Waker};
 use crate::queue::BoundedQueue;
 use crate::sections::{self, Obj, RunIdentity};
@@ -397,6 +397,8 @@ fn worker_loop(shared: &Shared, queue: &BoundedQueue<Job>) {
 fn dispatch(shared: &Shared, request: &Request) -> Response {
     let segments: Vec<&str> = request.path.split('/').filter(|s| !s.is_empty()).collect();
     match (request.method.as_str(), segments.as_slice()) {
+        // Liveness and metrics stay unversioned: they describe the
+        // process, not the API.
         ("GET", ["healthz"]) => {
             let mut obj = Obj::new();
             obj.str("status", "ok");
@@ -406,14 +408,44 @@ fn dispatch(shared: &Shared, request: &Request) -> Response {
             let _span = shared.metrics.worker_phase("serve.report.metrics");
             Response::ok(shared.metrics.report("dcf-serve").to_json())
         }
-        ("GET", ["catalog"]) => handle_catalog(shared),
-        ("POST", ["catalog", "reload"]) => handle_catalog_reload(shared),
-        ("POST", ["simulate"]) => handle_simulate(shared, request),
-        ("GET", ["report", section]) => handle_report(shared, request, section),
-        ("GET", ["trace", digest, "fots"]) => handle_fots(shared, request, digest),
+        ("GET", ["v1", "catalog"]) => handle_catalog(shared),
+        ("POST", ["v1", "catalog", "reload"]) => handle_catalog_reload(shared),
+        ("POST", ["v1", "simulate"]) => handle_simulate(shared, request),
+        ("GET", ["v1", "report", section]) => handle_report(shared, request, section),
+        ("GET", ["v1", "trace", digest, "fots"]) => handle_fots(shared, request, digest),
+        ("GET", ["v1", "replay", scenario]) => handle_replay(shared, request, scenario),
+        // Pre-versioning paths moved under `/v1` wholesale; `308` (unlike
+        // `301`) obliges clients to preserve the method and body, so it
+        // covers `POST /simulate` too. The query string rides along.
+        (
+            "GET" | "POST",
+            ["catalog"]
+            | ["catalog", "reload"]
+            | ["simulate"]
+            | ["report", _]
+            | ["trace", _, "fots"]
+            | ["replay", _],
+        ) => {
+            shared.metrics.add("serve.redirects", 1);
+            Response::redirect(&versioned_location(request))
+        }
         ("GET", _) | ("POST", _) => Response::error(404, "unknown endpoint"),
         _ => Response::error(405, "unsupported method"),
     }
+}
+
+/// The `/v1` home of a pre-versioning path, query string preserved
+/// (query pairs are kept verbatim by the parser, so reassembly is
+/// lossless).
+fn versioned_location(request: &Request) -> String {
+    let mut location = format!("/v1{}", request.path);
+    for (i, (key, value)) in request.query.iter().enumerate() {
+        location.push(if i == 0 { '?' } else { '&' });
+        location.push_str(key);
+        location.push('=');
+        location.push_str(value);
+    }
+    location
 }
 
 fn handle_catalog(shared: &Shared) -> Response {
@@ -680,7 +712,7 @@ fn handle_report(shared: &Shared, request: &Request, section: &str) -> Response 
 
 fn handle_fots(shared: &Shared, request: &Request, digest: &str) -> Response {
     let Some(entry) = shared.cache.lookup_digest(digest) else {
-        return Response::error(404, "unknown trace digest (run /simulate first)");
+        return Response::error(404, "unknown trace digest (run /v1/simulate first)");
     };
     let artifacts = match entry.run.get() {
         Some(Ok(a)) => Arc::clone(a),
@@ -767,4 +799,60 @@ fn handle_fots(shared: &Shared, request: &Request, digest: &str) -> Response {
     }
     body.push_str("]}");
     Response::ok(body)
+}
+
+/// `GET /v1/replay/{scenario}?speed=N[&seed=..&threads=..]` — streams
+/// the run's replay feed (FOT tickets, inline online detections, final
+/// summary) as chunked NDJSON. `speed` is simulated days per wall
+/// second; `0` (the default) streams with no pacing. The event sequence
+/// is precomputed and cached per run, so the bytes on the wire are
+/// identical at every speed.
+fn handle_replay(shared: &Shared, request: &Request, scenario: &str) -> Response {
+    let speed = match request.query_value("speed") {
+        None => 0.0,
+        Some(raw) => match raw.parse::<f64>() {
+            Ok(s) if s.is_finite() && s >= 0.0 => s,
+            _ => {
+                return Response::error(
+                    400,
+                    "speed must be a finite non-negative number (simulated days per wall second; 0 = no pacing)",
+                )
+            }
+        },
+    };
+    let mut raw = match RawParams::from_query(request) {
+        Ok(p) => p,
+        Err(resp) => return resp,
+    };
+    raw.scenario = scenario.to_string();
+    let (entry, _hit) = match run_entry_for(shared, &raw) {
+        Ok(pair) => pair,
+        Err(resp) => return resp,
+    };
+    let artifacts = match entry.run.get() {
+        Some(Ok(a)) => Arc::clone(a),
+        _ => return Response::error(500, "run entry lost"),
+    };
+    let outcome = artifacts.replay(|| {
+        let _span = shared.metrics.worker_phase("serve.replay.build");
+        dcf_core::replay::replay(&artifacts.trace, &dcf_core::replay::ReplayConfig::default())
+    });
+    shared.metrics.add("serve.replay.streams", 1);
+    shared
+        .metrics
+        .add("serve.replay.events", outcome.events.len() as u64 + 1);
+    let ms_per_sim_sec = if speed > 0.0 {
+        1000.0 / (speed * dcf_trace::SECS_PER_DAY as f64)
+    } else {
+        0.0
+    };
+    let mut chunks = Vec::with_capacity(outcome.events.len() + 1);
+    let mut last_due = 0u64;
+    for event in &outcome.events {
+        let due = (event.offset_secs as f64 * ms_per_sim_sec) as u64;
+        last_due = due;
+        chunks.push((due, format!("{}\n", event.line)));
+    }
+    chunks.push((last_due, format!("{}\n", outcome.summary_line)));
+    Response::stream(StreamBody { chunks })
 }

@@ -73,18 +73,66 @@ impl Client {
             .expect("UTF-8 body");
         self.buf.drain(..head_len + content_length);
 
-        let mut lines = head.lines();
-        let status_line = lines.next().expect("status line");
-        let status: u16 = status_line
-            .split(' ')
-            .nth(1)
-            .expect("status code")
-            .parse()
-            .expect("numeric status");
-        let headers = lines
-            .filter_map(|l| l.split_once(':'))
-            .map(|(k, v)| (k.trim().to_ascii_lowercase(), v.trim().to_string()))
-            .collect();
+        let (status, headers) = parse_head(&head);
+        Reply {
+            status,
+            headers,
+            body,
+        }
+    }
+
+    /// Reads one `Transfer-Encoding: chunked` response off the
+    /// connection, decoding the chunk framing; the returned body is the
+    /// reassembled payload bytes.
+    fn read_chunked_reply(&mut self) -> Reply {
+        let head_len = loop {
+            if let Some(pos) = self.buf.windows(4).position(|w| w == b"\r\n\r\n") {
+                break pos + 4;
+            }
+            self.fill("response head");
+        };
+        let head = String::from_utf8(self.buf[..head_len].to_vec()).expect("UTF-8 head");
+        self.buf.drain(..head_len);
+        let (status, headers) = parse_head(&head);
+        assert_eq!(
+            headers
+                .iter()
+                .find(|(k, _)| k == "transfer-encoding")
+                .map(|(_, v)| v.as_str()),
+            Some("chunked"),
+            "streaming response must be chunked: {head}"
+        );
+        let mut body = String::new();
+        loop {
+            let size_end = loop {
+                if let Some(i) = self.buf.windows(2).position(|w| w == b"\r\n") {
+                    break i;
+                }
+                self.fill("chunk size line");
+            };
+            let size = usize::from_str_radix(
+                std::str::from_utf8(&self.buf[..size_end])
+                    .expect("UTF-8 size")
+                    .trim(),
+                16,
+            )
+            .expect("hex chunk size");
+            let frame_len = size_end + 2 + size + 2;
+            while self.buf.len() < frame_len {
+                self.fill("chunk payload");
+            }
+            assert_eq!(
+                &self.buf[size_end + 2 + size..frame_len],
+                b"\r\n",
+                "chunk payload must end with CRLF"
+            );
+            let payload = self.buf[size_end + 2..size_end + 2 + size].to_vec();
+            self.buf.drain(..frame_len);
+            if size == 0 {
+                break;
+            }
+            body.push_str(std::str::from_utf8(&payload).expect("UTF-8 chunk"));
+        }
         Reply {
             status,
             headers,
@@ -106,6 +154,23 @@ impl Client {
         let mut chunk = [0u8; 64];
         matches!(self.stream.read(&mut chunk), Ok(0))
     }
+}
+
+/// Splits a response head into (status, lowercase header pairs).
+fn parse_head(head: &str) -> (u16, Vec<(String, String)>) {
+    let mut lines = head.lines();
+    let status_line = lines.next().expect("status line");
+    let status: u16 = status_line
+        .split(' ')
+        .nth(1)
+        .expect("status code")
+        .parse()
+        .expect("numeric status");
+    let headers = lines
+        .filter_map(|l| l.split_once(':'))
+        .map(|(k, v)| (k.trim().to_ascii_lowercase(), v.trim().to_string()))
+        .collect();
+    (status, headers)
 }
 
 /// One-shot exchange with `Connection: close` (read to EOF).
@@ -188,11 +253,11 @@ fn concurrent_clients_get_byte_identical_cached_sections() {
     let addr = server.local_addr();
 
     // Prime the run, then hit the same section from several threads at once.
-    let primed = post(addr, "/simulate", r#"{"scenario":"small","seed":5}"#);
+    let primed = post(addr, "/v1/simulate", r#"{"scenario":"small","seed":5}"#);
     assert_eq!(primed.status, 200, "simulate failed: {}", primed.body);
     assert!(primed.body.contains("\"cache\":\"miss\""));
 
-    let path = "/report/overview?scenario=small&seed=5";
+    let path = "/v1/report/overview?scenario=small&seed=5";
     let bodies: Vec<String> = std::thread::scope(|s| {
         let handles: Vec<_> = (0..4)
             .map(|_| {
@@ -220,13 +285,13 @@ fn concurrent_clients_get_byte_identical_cached_sections() {
     );
 
     // Re-running /simulate for the same triple is now a cache hit.
-    let again = post(addr, "/simulate", r#"{"scenario":"small","seed":5}"#);
+    let again = post(addr, "/v1/simulate", r#"{"scenario":"small","seed":5}"#);
     assert!(again.body.contains("\"cache\":\"hit\""));
     assert_eq!(again.body, primed.body.replace("miss", "hit"));
 
     // Paged ticket reads work against the reported digest.
     let digest = sim.get("digest").and_then(|v| v.as_str()).unwrap();
-    let page = get(addr, &format!("/trace/{digest}/fots?offset=0&limit=3"));
+    let page = get(addr, &format!("/v1/trace/{digest}/fots?offset=0&limit=3"));
     assert_eq!(page.status, 200);
     let parsed = dcf_obs::json::parse(&page.body).expect("page is valid JSON");
     assert_eq!(
@@ -255,15 +320,15 @@ fn keep_alive_pipelining_yields_byte_identical_sections() {
     let addr = server.local_addr();
 
     // Prime the run so the pipelined reads are all cache hits.
-    let primed = post(addr, "/simulate", r#"{"scenario":"small","seed":9}"#);
+    let primed = post(addr, "/v1/simulate", r#"{"scenario":"small","seed":9}"#);
     assert_eq!(primed.status, 200, "simulate failed: {}", primed.body);
-    let reference = get(addr, "/report/overview?scenario=small&seed=9").body;
+    let reference = get(addr, "/v1/report/overview?scenario=small&seed=9").body;
 
     // One connection, four pipelined requests written back-to-back in a
     // single burst; responses must come back in order, each keep-alive.
     const PIPELINED: usize = 4;
     let mut client = Client::connect(addr);
-    let burst = get_keep_alive("/report/overview?scenario=small&seed=9").repeat(PIPELINED);
+    let burst = get_keep_alive("/v1/report/overview?scenario=small&seed=9").repeat(PIPELINED);
     client.send(&burst);
     let mut bodies = Vec::new();
     for i in 0..PIPELINED {
@@ -318,42 +383,42 @@ fn catalog_serves_reloads_and_404s() {
     let addr = server.local_addr();
 
     // The listing names the entry with its digest.
-    let listing = get(addr, "/catalog");
+    let listing = get(addr, "/v1/catalog");
     assert_eq!(listing.status, 200, "listing failed: {}", listing.body);
     assert!(listing.body.contains("\"alpha\""), "{}", listing.body);
     assert!(listing.body.contains(&alpha_digest));
     assert!(listing.body.contains("\"total\":1"));
 
     // Catalog entries are scenarios: always cache hits, correct digest.
-    let sim = post(addr, "/simulate", r#"{"scenario":"alpha"}"#);
+    let sim = post(addr, "/v1/simulate", r#"{"scenario":"alpha"}"#);
     assert_eq!(sim.status, 200, "simulate failed: {}", sim.body);
     assert!(sim.body.contains("\"cache\":\"hit\""));
     assert!(sim.body.contains(&alpha_digest));
 
     // Unknown names 404/400 rather than silently simulating.
-    let missing = post(addr, "/simulate", r#"{"scenario":"snapshot"}"#);
+    let missing = post(addr, "/v1/simulate", r#"{"scenario":"snapshot"}"#);
     assert_eq!(missing.status, 404, "expected 404: {}", missing.body);
     assert!(missing.body.contains("no snapshot preloaded"));
-    let unknown = post(addr, "/simulate", r#"{"scenario":"beta"}"#);
+    let unknown = post(addr, "/v1/simulate", r#"{"scenario":"beta"}"#);
     assert_eq!(unknown.status, 400, "expected 400: {}", unknown.body);
     assert!(unknown.body.contains("catalog snapshot name"));
 
     // Drop a new snapshot in and reload through the admin endpoint.
     let beta_digest = write_snapshot(&dir.join("beta.dcfsnap"), 22);
-    let reload = post(addr, "/catalog/reload", "");
+    let reload = post(addr, "/v1/catalog/reload", "");
     assert_eq!(reload.status, 200, "reload failed: {}", reload.body);
     assert!(reload.body.contains("\"added\":1"), "{}", reload.body);
     assert!(reload.body.contains("\"total\":2"), "{}", reload.body);
-    let beta = get(addr, "/report/overview?scenario=beta");
+    let beta = get(addr, "/v1/report/overview?scenario=beta");
     assert_eq!(beta.status, 200, "beta section failed: {}", beta.body);
     assert!(beta.body.contains(&beta_digest));
 
     // Removing the file unpins it on the next reload: name and digest 404.
     std::fs::remove_file(dir.join("alpha.dcfsnap")).unwrap();
-    let reload = post(addr, "/catalog/reload", "");
+    let reload = post(addr, "/v1/catalog/reload", "");
     assert_eq!(reload.status, 200, "reload failed: {}", reload.body);
     assert!(reload.body.contains("\"removed\":1"), "{}", reload.body);
-    let gone = get(addr, &format!("/trace/{alpha_digest}/fots"));
+    let gone = get(addr, &format!("/v1/trace/{alpha_digest}/fots"));
     assert_eq!(gone.status, 404, "expected 404: {}", gone.body);
 
     server.shutdown();
@@ -414,7 +479,7 @@ fn saturated_queue_sheds_load_with_retry_after() {
                 s.spawn(move || {
                     post(
                         addr,
-                        "/simulate",
+                        "/v1/simulate",
                         &format!("{{\"scenario\":\"small\",\"seed\":{seed}}}"),
                     )
                 })
@@ -462,13 +527,13 @@ fn shed_on_a_pipelined_connection_closes_instead_of_dangling() {
     // Saturate: one request computing (popped immediately), one queued.
     let mut busy = Client::connect(addr);
     busy.send(&post_keep_alive(
-        "/simulate",
+        "/v1/simulate",
         r#"{"scenario":"small","seed":100}"#,
     ));
     std::thread::sleep(Duration::from_millis(150));
     let mut queued = Client::connect(addr);
     queued.send(&post_keep_alive(
-        "/simulate",
+        "/v1/simulate",
         r#"{"scenario":"small","seed":101}"#,
     ));
     std::thread::sleep(Duration::from_millis(150));
@@ -481,7 +546,7 @@ fn shed_on_a_pipelined_connection_closes_instead_of_dangling() {
     let burst: String = (102..105)
         .map(|seed| {
             post_keep_alive(
-                "/simulate",
+                "/v1/simulate",
                 &format!("{{\"scenario\":\"small\",\"seed\":{seed}}}"),
             )
         })
@@ -533,7 +598,7 @@ fn preloaded_snapshot_serves_without_simulating() {
     let addr = server.local_addr();
 
     // The snapshot pseudo-scenario never simulates: always a cache hit.
-    let sim = post(addr, "/simulate", r#"{"scenario":"snapshot"}"#);
+    let sim = post(addr, "/v1/simulate", r#"{"scenario":"snapshot"}"#);
     assert_eq!(sim.status, 200, "simulate failed: {}", sim.body);
     assert!(sim.body.contains("\"cache\":\"hit\""));
     assert!(
@@ -543,12 +608,12 @@ fn preloaded_snapshot_serves_without_simulating() {
     );
 
     // `--snapshot` is a one-entry catalog: the listing shows it.
-    let listing = get(addr, "/catalog");
+    let listing = get(addr, "/v1/catalog");
     assert_eq!(listing.status, 200);
     assert!(listing.body.contains("\"snapshot\""));
 
     // Sections render from the preloaded trace under the same digest.
-    let section = get(addr, "/report/overview?scenario=snapshot");
+    let section = get(addr, "/v1/report/overview?scenario=snapshot");
     assert_eq!(section.status, 200, "section failed: {}", section.body);
     assert!(section.body.contains(&expected_digest));
 
@@ -556,7 +621,7 @@ fn preloaded_snapshot_serves_without_simulating() {
     // against the locally held trace.
     let page = get(
         addr,
-        &format!("/trace/{expected_digest}/fots?offset=2&limit=3"),
+        &format!("/v1/trace/{expected_digest}/fots?offset=2&limit=3"),
     );
     assert_eq!(page.status, 200, "fots page failed: {}", page.body);
     let parsed = dcf_obs::json::parse(&page.body).expect("page is valid JSON");
@@ -605,7 +670,11 @@ fn preloaded_snapshot_serves_without_simulating() {
             .metrics(&bare_metrics),
     )
     .expect("bare server starts");
-    let missing = post(bare.local_addr(), "/simulate", r#"{"scenario":"snapshot"}"#);
+    let missing = post(
+        bare.local_addr(),
+        "/v1/simulate",
+        r#"{"scenario":"snapshot"}"#,
+    );
     assert_eq!(missing.status, 404, "expected 404: {}", missing.body);
     assert!(missing.body.contains("no snapshot preloaded"));
     bare.shutdown();
@@ -616,6 +685,177 @@ fn preloaded_snapshot_serves_without_simulating() {
         "snapshot load must be instrumented"
     );
     let _ = std::fs::remove_file(&path);
+}
+
+#[test]
+fn legacy_paths_redirect_permanently_to_v1() {
+    let metrics = MetricsRegistry::new();
+    let server = Server::start(
+        ServeConfig::default()
+            .addr("127.0.0.1:0")
+            .workers(2)
+            .metrics(&metrics),
+    )
+    .expect("server starts");
+    let addr = server.local_addr();
+
+    // GET with a query string: the Location preserves it.
+    let moved = get(addr, "/report/overview?scenario=small&seed=3");
+    assert_eq!(moved.status, 308, "expected a redirect: {}", moved.body);
+    assert_eq!(
+        moved.header("location"),
+        Some("/v1/report/overview?scenario=small&seed=3")
+    );
+
+    // POST /simulate redirects too — 308 obliges the client to repeat
+    // the POST (method + body) at the new location.
+    let moved_post = post(addr, "/simulate", r#"{"scenario":"small","seed":3}"#);
+    assert_eq!(moved_post.status, 308, "{}", moved_post.body);
+    assert_eq!(moved_post.header("location"), Some("/v1/simulate"));
+
+    // Following the redirect by hand serves the real response.
+    let followed = post(
+        addr,
+        moved_post.header("location").unwrap(),
+        r#"{"scenario":"small","seed":3}"#,
+    );
+    assert_eq!(followed.status, 200, "{}", followed.body);
+    assert!(followed.body.contains("\"digest\""));
+
+    // Unversioned paths that never existed still 404.
+    let missing = get(addr, "/nope");
+    assert_eq!(missing.status, 404);
+    let missing_v1 = get(addr, "/v1/nope");
+    assert_eq!(missing_v1.status, 404);
+
+    let report = server.shutdown();
+    assert!(report.counter("serve.redirects").unwrap_or(0) >= 2);
+}
+
+#[test]
+fn replay_streams_chunked_ndjson_and_keeps_the_connection_alive() {
+    let metrics = MetricsRegistry::new();
+    let server = Server::start(
+        ServeConfig::default()
+            .addr("127.0.0.1:0")
+            .workers(2)
+            .metrics(&metrics),
+    )
+    .expect("server starts");
+    let addr = server.local_addr();
+
+    // Prime the run so the stream is served from cache.
+    let primed = post(addr, "/v1/simulate", r#"{"scenario":"small","seed":4}"#);
+    assert_eq!(primed.status, 200, "simulate failed: {}", primed.body);
+    let sim = dcf_obs::json::parse(&primed.body).expect("simulate is valid JSON");
+    let total_fots = sim.get("total_fots").and_then(|v| v.as_u64()).unwrap();
+
+    // Unpaced stream on a keep-alive connection.
+    let mut client = Client::connect(addr);
+    client.send(&get_keep_alive("/v1/replay/small?speed=0&seed=4"));
+    let reply = client.read_chunked_reply();
+    assert_eq!(reply.status, 200);
+    assert_eq!(
+        reply.header("content-type"),
+        Some("application/x-ndjson"),
+        "stream must be NDJSON"
+    );
+    assert_eq!(reply.header("connection"), Some("keep-alive"));
+    let lines: Vec<&str> = reply.body.lines().collect();
+    assert!(
+        lines.len() as u64 > total_fots,
+        "tickets + detections + summary"
+    );
+    for line in &lines {
+        dcf_obs::json::parse(line).expect("every stream line is one JSON object");
+    }
+    let tickets = lines.iter().filter(|l| l.contains("\"t\":\"fot\"")).count();
+    assert_eq!(tickets as u64, total_fots, "one line per trace ticket");
+    let summary = lines.last().expect("stream ends with a summary");
+    assert!(summary.contains("\"t\":\"summary\""), "{summary}");
+    assert!(summary.contains("\"digest\""), "{summary}");
+
+    // The connection survives the stream: a content-length request on
+    // the same socket still works.
+    client.send(&get_keep_alive("/healthz"));
+    let health = client.read_reply();
+    assert_eq!(health.status, 200, "keep-alive after a stream");
+
+    // A fast-but-paced replay emits the identical byte sequence — speed
+    // changes pacing, never content.
+    let mut paced = Client::connect(addr);
+    paced.send(&get_keep_alive("/v1/replay/small?speed=100000&seed=4"));
+    let paced_reply = paced.read_chunked_reply();
+    assert_eq!(paced_reply.status, 200);
+    assert_eq!(
+        paced_reply.body, reply.body,
+        "event stream must be byte-identical at every speed"
+    );
+
+    // Bad speeds are rejected before any stream starts.
+    let bad = get(addr, "/v1/replay/small?speed=fast");
+    assert_eq!(bad.status, 400, "{}", bad.body);
+    let negative = get(addr, "/v1/replay/small?speed=-1");
+    assert_eq!(negative.status, 400, "{}", negative.body);
+    let unknown = get(addr, "/v1/replay/nope?speed=0");
+    assert_eq!(unknown.status, 400, "{}", unknown.body);
+
+    let report = server.shutdown();
+    assert_eq!(report.counter("serve.replay.streams"), Some(2));
+    assert!(report.counter("serve.replay.events").unwrap_or(0) >= 2 * total_fots);
+    assert!(report.phase_ms("serve.replay.build").is_some());
+}
+
+#[test]
+fn mid_stream_client_disconnect_is_reaped_and_counted() {
+    let metrics = MetricsRegistry::new();
+    let server = Server::start(
+        ServeConfig::default()
+            .addr("127.0.0.1:0")
+            .workers(2)
+            .metrics(&metrics),
+    )
+    .expect("server starts");
+    let addr = server.local_addr();
+
+    // Slow stream: at 40 simulated days per wall second the small
+    // scenario's window takes several seconds to play back.
+    let mut client = Client::connect(addr);
+    client.send(&get_keep_alive("/v1/replay/small?speed=40"));
+    let head_ok = loop {
+        if client.buf.windows(4).any(|w| w == b"\r\n\r\n") {
+            break true;
+        }
+        client.fill("stream head");
+    };
+    assert!(head_ok);
+
+    // Hang up mid-stream; the event loop must notice (peer EOF or write
+    // failure), drop the connection, and count the disconnect — without
+    // waiting for the remaining chunks to come due.
+    drop(client);
+    let deadline = std::time::Instant::now() + Duration::from_secs(5);
+    loop {
+        let disconnects = metrics
+            .report("probe")
+            .counter("serve.replay.disconnects")
+            .unwrap_or(0);
+        if disconnects >= 1 {
+            break;
+        }
+        assert!(
+            std::time::Instant::now() < deadline,
+            "mid-stream disconnect was never detected"
+        );
+        std::thread::sleep(Duration::from_millis(50));
+    }
+
+    // The server is still healthy for other clients.
+    let health = get(addr, "/healthz");
+    assert_eq!(health.status, 200);
+
+    let report = server.shutdown();
+    assert!(report.counter("serve.replay.disconnects").unwrap_or(0) >= 1);
 }
 
 #[test]
@@ -630,7 +870,7 @@ fn graceful_shutdown_completes_in_flight_requests() {
     let addr = server.local_addr();
 
     // Start a slow request, then shut the server down while it is in flight.
-    let client = std::thread::spawn(move || post(addr, "/simulate", r#"{"seed":77}"#));
+    let client = std::thread::spawn(move || post(addr, "/v1/simulate", r#"{"seed":77}"#));
     std::thread::sleep(Duration::from_millis(100));
     let report = server.shutdown();
 

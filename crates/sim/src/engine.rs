@@ -212,12 +212,16 @@ pub(crate) fn resolve_engine_threads(requested: usize) -> usize {
 }
 
 /// Runs the simulation — the single entry point, with every execution knob
-/// (metrics registry, thread override) consolidated in [`RunOptions`].
+/// (metrics registry, thread override, sharding) consolidated in
+/// [`RunOptions`].
 ///
 /// Instrumentation is observational only: counters tally events the engine
-/// already produces and never consume RNG draws, and the thread override is
-/// purely an execution knob — so the returned trace is a byte-identical
-/// pure function of `(config, config.seed)` for every [`RunOptions`] value.
+/// already produces and never consume RNG draws; the thread override and
+/// the shard knobs are purely execution strategies — so the returned trace
+/// is a byte-identical pure function of `(config, config.seed)` for every
+/// [`RunOptions`] value. With [`RunOptions::shards`] ≥ 2 the run goes
+/// through the sharded bounded-memory driver (spill + k-way merge,
+/// SCALING.md) and assembles the merged trace.
 ///
 /// # Examples
 ///
@@ -236,6 +240,10 @@ pub(crate) fn resolve_engine_threads(requested: usize) -> usize {
 /// [`SimError::Trace`] if assembly invariants fail (a bug, not a user
 /// error — surfaced rather than panicking).
 pub fn simulate(config: &SimConfig, options: &RunOptions) -> Result<Trace, SimError> {
+    if options.is_sharded() {
+        let (_, trace) = crate::shard::sharded_run(config, options, true)?;
+        return Ok(trace.expect("materialization was requested"));
+    }
     let metrics = &options.metrics;
     // Wall-clock for the whole run, fleet build included; benchmarks
     // read this span for throughput so sharded and unsharded runs (whose
@@ -266,6 +274,10 @@ pub fn simulate_on_fleet(
     fleet: &Fleet,
     options: &RunOptions,
 ) -> Result<Trace, SimError> {
+    if options.is_sharded() {
+        let (_, trace) = crate::shard::sharded_run_on_fleet(config, fleet, options, true)?;
+        return Ok(trace.expect("materialization was requested"));
+    }
     match options.threads {
         Some(threads) if threads != config.engine_threads => {
             let mut config = config.clone();
@@ -274,46 +286,6 @@ pub fn simulate_on_fleet(
         }
         _ => engine_on_fleet(config, fleet, &options.metrics),
     }
-}
-
-/// Runs the simulation with default options.
-#[deprecated(
-    since = "0.1.0",
-    note = "use `simulate(config, &RunOptions::default())`"
-)]
-pub fn run(config: &SimConfig) -> Result<Trace, SimError> {
-    simulate(config, &RunOptions::default())
-}
-
-/// Runs the simulation with an attached metrics registry.
-#[deprecated(
-    since = "0.1.0",
-    note = "use `simulate(config, &RunOptions::new().metrics(metrics))`"
-)]
-pub fn run_with_metrics(config: &SimConfig, metrics: &MetricsRegistry) -> Result<Trace, SimError> {
-    simulate(config, &RunOptions::new().metrics(metrics))
-}
-
-/// Runs the simulation on an already-built fleet with default options.
-#[deprecated(
-    since = "0.1.0",
-    note = "use `simulate_on_fleet(config, fleet, &RunOptions::default())`"
-)]
-pub fn run_on_fleet(config: &SimConfig, fleet: &Fleet) -> Result<Trace, SimError> {
-    simulate_on_fleet(config, fleet, &RunOptions::default())
-}
-
-/// Runs the simulation on an already-built fleet with a metrics registry.
-#[deprecated(
-    since = "0.1.0",
-    note = "use `simulate_on_fleet(config, fleet, &RunOptions::new().metrics(metrics))`"
-)]
-pub fn run_on_fleet_with_metrics(
-    config: &SimConfig,
-    fleet: &Fleet,
-    metrics: &MetricsRegistry,
-) -> Result<Trace, SimError> {
-    simulate_on_fleet(config, fleet, &RunOptions::new().metrics(metrics))
 }
 
 /// Everything the global phase produces that the per-server phase needs:

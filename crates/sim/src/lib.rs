@@ -28,12 +28,10 @@ mod shard;
 
 pub use config::SimConfig;
 pub use engine::{expected_background_failures, simulate, simulate_on_fleet};
-#[allow(deprecated)]
-pub use engine::{run, run_on_fleet, run_on_fleet_with_metrics, run_with_metrics};
 pub use error::SimError;
 pub use options::RunOptions;
 pub use scenario::Scenario;
-pub use shard::{simulate_sharded, simulate_sharded_on_fleet, ShardOptions, ShardPlan, ShardedRun};
+pub use shard::{simulate_sharded, simulate_sharded_on_fleet, ShardPlan, ShardedRun};
 
 #[cfg(test)]
 mod tests {
@@ -176,22 +174,6 @@ mod tests {
         ] {
             assert!(report.phase_ms(phase).is_some(), "missing span {phase}");
         }
-    }
-
-    #[test]
-    #[allow(deprecated)]
-    fn deprecated_shims_match_the_consolidated_entry_point() {
-        let scenario = Scenario::small().seed(11);
-        let new_api = scenario.simulate(&RunOptions::default()).unwrap();
-        assert_eq!(new_api.fots(), scenario.run().unwrap().fots());
-        assert_eq!(new_api.fots(), run(&scenario.config).unwrap().fots());
-        let registry = dcf_obs::MetricsRegistry::new();
-        assert_eq!(
-            new_api.fots(),
-            run_with_metrics(&scenario.config, &registry)
-                .unwrap()
-                .fots()
-        );
     }
 
     #[test]

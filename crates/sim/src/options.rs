@@ -1,14 +1,23 @@
 //! [`RunOptions`]: the consolidated knob struct for simulation entry points.
 
+use std::path::PathBuf;
+
 use dcf_obs::MetricsRegistry;
+use dcf_trace::io::spill::SpillCodec;
 
 /// Execution options for [`crate::simulate`] / [`crate::Scenario::simulate`].
 ///
 /// One struct gathers every run-time knob that is *not* part of the
-/// simulated world: the metrics registry and the engine worker-thread
-/// override today, future knobs (tracing sinks, memory budgets, …) without
-/// another `run_with_*` variant each. None of the fields affect the
-/// generated trace — a run is a pure function of `(SimConfig, seed)`.
+/// simulated world: the metrics registry, the engine worker-thread
+/// override, and the sharded-execution knobs (shard count, shard worker
+/// pool, spill codec/dir). None of the fields affect the generated trace —
+/// a run is a pure function of `(SimConfig, seed)`.
+///
+/// With [`RunOptions::shards`] ≥ 2, [`crate::simulate`] routes through the
+/// sharded bounded-memory driver (SCALING.md) and assembles the merged
+/// trace; the result is byte-identical to an unsharded run. For streaming
+/// digest-only runs that never materialize a trace, use
+/// [`crate::simulate_sharded`].
 ///
 /// # Examples
 ///
@@ -16,7 +25,7 @@ use dcf_obs::MetricsRegistry;
 /// use dcf_obs::MetricsRegistry;
 /// use dcf_sim::{RunOptions, Scenario};
 ///
-/// // The default is uninstrumented, with threads from the config.
+/// // The default is uninstrumented, unsharded, with threads from the config.
 /// let trace = Scenario::small().seed(3).simulate(&RunOptions::default()).unwrap();
 ///
 /// // Instrumented run on two engine workers: byte-identical trace.
@@ -24,6 +33,13 @@ use dcf_obs::MetricsRegistry;
 /// let options = RunOptions::new().metrics(&metrics).threads(2);
 /// let same = Scenario::small().seed(3).simulate(&options).unwrap();
 /// assert_eq!(trace.fots(), same.fots());
+///
+/// // Sharded execution is a pure strategy: still byte-identical.
+/// let sharded = Scenario::small()
+///     .seed(3)
+///     .simulate(&RunOptions::new().shards(4))
+///     .unwrap();
+/// assert_eq!(trace.fots(), sharded.fots());
 /// ```
 #[derive(Debug, Clone, Default)]
 pub struct RunOptions {
@@ -37,10 +53,32 @@ pub struct RunOptions {
     /// `[1, 16]`), `None` leaves the config's setting in charge. Purely an
     /// execution knob — the trace is byte-identical at any value.
     pub threads: Option<usize>,
+    /// Shard count for the bounded-memory driver. `0` or `1` (the
+    /// default) runs the in-memory engine; ≥ 2 partitions the fleet into
+    /// contiguous server-id ranges, spills each shard to disk, and k-way
+    /// merges ([`crate::ShardPlan`]). Clamped to the fleet size. The trace
+    /// is byte-identical at any shard count.
+    pub shards: u32,
+    /// Worker threads simulating shards concurrently (sharded runs only).
+    /// `0` resolves to the machine's available parallelism (capped at 16);
+    /// any value is clamped to the shard count. Peak memory grows by one
+    /// in-flight shard's tickets per extra worker; the digest never moves.
+    pub shard_workers: u32,
+    /// On-disk encoding for the shard spill files.
+    /// [`SpillCodec::Delta`] (default) writes `DCFSPIL1` delta-varint
+    /// blocks at ~10–13 bytes per record; [`SpillCodec::Raw`] writes
+    /// 27-byte `DCFSPIL0` rows.
+    pub spill_codec: SpillCodec,
+    /// Directory for the per-shard spill files. `None` uses a
+    /// process-unique directory under the system temp dir.
+    pub spill_dir: Option<PathBuf>,
+    /// Keep the spill files after the merge instead of deleting them.
+    pub keep_spills: bool,
 }
 
 impl RunOptions {
-    /// Default options: no instrumentation, threads from the config.
+    /// Default options: no instrumentation, unsharded, threads from the
+    /// config.
     pub fn new() -> Self {
         Self::default()
     }
@@ -56,6 +94,41 @@ impl RunOptions {
         self.threads = Some(threads);
         self
     }
+
+    /// Sets the shard count (`0`/`1` = unsharded in-memory engine).
+    pub fn shards(mut self, shards: u32) -> Self {
+        self.shards = shards;
+        self
+    }
+
+    /// Sets the shard-worker pool size (`0` = auto).
+    pub fn shard_workers(mut self, workers: u32) -> Self {
+        self.shard_workers = workers;
+        self
+    }
+
+    /// Sets the spill encoding for sharded runs.
+    pub fn spill_codec(mut self, codec: SpillCodec) -> Self {
+        self.spill_codec = codec;
+        self
+    }
+
+    /// Sets the spill directory for sharded runs.
+    pub fn spill_dir(mut self, dir: impl Into<PathBuf>) -> Self {
+        self.spill_dir = Some(dir.into());
+        self
+    }
+
+    /// Keeps spill files after the merge.
+    pub fn keep_spills(mut self, keep: bool) -> Self {
+        self.keep_spills = keep;
+        self
+    }
+
+    /// Whether the options request the sharded bounded-memory driver.
+    pub fn is_sharded(&self) -> bool {
+        self.shards >= 2
+    }
 }
 
 #[cfg(test)]
@@ -67,13 +140,33 @@ mod tests {
         let options = RunOptions::default();
         assert!(!options.metrics.is_enabled());
         assert_eq!(options.threads, None);
+        assert_eq!(options.shards, 0);
+        assert!(!options.is_sharded());
+        assert_eq!(options.spill_dir, None);
+        assert!(!options.keep_spills);
     }
 
     #[test]
     fn builders_set_fields() {
         let metrics = MetricsRegistry::new();
-        let options = RunOptions::new().metrics(&metrics).threads(4);
+        let options = RunOptions::new()
+            .metrics(&metrics)
+            .threads(4)
+            .shards(8)
+            .shard_workers(2)
+            .spill_codec(SpillCodec::Raw)
+            .spill_dir("/tmp/spills")
+            .keep_spills(true);
         assert!(options.metrics.is_enabled());
         assert_eq!(options.threads, Some(4));
+        assert_eq!(options.shards, 8);
+        assert!(options.is_sharded());
+        assert_eq!(options.shard_workers, 2);
+        assert_eq!(options.spill_codec, SpillCodec::Raw);
+        assert_eq!(
+            options.spill_dir.as_deref(),
+            Some(std::path::Path::new("/tmp/spills"))
+        );
+        assert!(options.keep_spills);
     }
 }

@@ -3,7 +3,6 @@
 
 use dcf_failmodel::{BatchModel, DetectionModel, RepeatModel, SyncRepeatModel};
 use dcf_fleet::FleetConfig;
-use dcf_obs::MetricsRegistry;
 use dcf_trace::Trace;
 
 use crate::config::SimConfig;
@@ -124,34 +123,6 @@ impl Scenario {
     /// Propagates configuration and assembly errors from the engine.
     pub fn simulate(&self, options: &RunOptions) -> Result<Trace, SimError> {
         engine::simulate(&self.config, options)
-    }
-
-    /// Runs the scenario.
-    ///
-    /// # Errors
-    ///
-    /// Propagates configuration and assembly errors from the engine.
-    #[deprecated(
-        since = "0.1.0",
-        note = "use `Scenario::simulate(&RunOptions::default())`"
-    )]
-    pub fn run(&self) -> Result<Trace, SimError> {
-        self.simulate(&RunOptions::default())
-    }
-
-    /// Runs the scenario with instrumentation: phase timings and event
-    /// counters accumulate into `metrics`. The trace is identical to an
-    /// uninstrumented run at the same seed.
-    ///
-    /// # Errors
-    ///
-    /// Propagates configuration and assembly errors from the engine.
-    #[deprecated(
-        since = "0.1.0",
-        note = "use `Scenario::simulate(&RunOptions::new().metrics(..))`"
-    )]
-    pub fn run_with_metrics(&self, metrics: &MetricsRegistry) -> Result<Trace, SimError> {
-        self.simulate(&RunOptions::new().metrics(metrics))
     }
 }
 

@@ -2,7 +2,7 @@
 //!
 //! [`simulate_sharded`] partitions the fleet into contiguous server-id
 //! ranges (a [`ShardPlan`]) and hands them to a pool of up to
-//! [`ShardOptions::shard_workers`] worker threads — each reusing the
+//! [`RunOptions::shard_workers`] worker threads — each reusing the
 //! unsharded engine's per-server workers verbatim — which stream every
 //! shard's sorted ticket records into a [`dcf_trace::io::spill`] file
 //! instead of holding a global ticket vector. The coordinating thread
@@ -120,75 +120,9 @@ impl ShardPlan {
     }
 }
 
-/// Knobs specific to the sharded driver (everything else comes from
-/// [`RunOptions`] and [`SimConfig`]).
-#[derive(Debug, Clone, Default)]
-pub struct ShardOptions {
-    /// Shard count (`0` or `1` = a single shard; clamped to the fleet
-    /// size). More shards lower the per-shard ticket high-water mark.
-    pub shards: u32,
-    /// Worker threads simulating shards concurrently. `0` resolves to
-    /// the machine's available parallelism (capped at 16); any value is
-    /// clamped to the shard count. Peak memory grows by one in-flight
-    /// shard's tickets per extra worker; the digest does not change.
-    pub shard_workers: u32,
-    /// On-disk encoding for the spill files. [`SpillCodec::Delta`]
-    /// (default) writes `DCFSPIL1` delta-varint blocks at ~10–13 bytes
-    /// per record; [`SpillCodec::Raw`] writes 27-byte `DCFSPIL0` rows.
-    pub spill_codec: SpillCodec,
-    /// Directory for the per-shard spill files. `None` uses a
-    /// process-unique directory under the system temp dir.
-    pub spill_dir: Option<PathBuf>,
-    /// Keep the spill files after the merge instead of deleting them.
-    pub keep_spills: bool,
-    /// Assemble a full [`Trace`] from the merged stream. Leave `false` for
-    /// fleets too large to hold a ticket vector in memory: the run then
-    /// reports only the digest and streamed tallies.
-    pub materialize_trace: bool,
-}
-
-impl ShardOptions {
-    /// Default options with `shards` shards.
-    pub fn new(shards: u32) -> Self {
-        Self {
-            shards,
-            ..Self::default()
-        }
-    }
-
-    /// Sets the shard-worker count (`0` = auto).
-    pub fn shard_workers(mut self, workers: u32) -> Self {
-        self.shard_workers = workers;
-        self
-    }
-
-    /// Sets the spill encoding.
-    pub fn spill_codec(mut self, codec: SpillCodec) -> Self {
-        self.spill_codec = codec;
-        self
-    }
-
-    /// Sets the spill directory.
-    pub fn spill_dir(mut self, dir: impl Into<PathBuf>) -> Self {
-        self.spill_dir = Some(dir.into());
-        self
-    }
-
-    /// Keeps spill files after the merge.
-    pub fn keep_spills(mut self, keep: bool) -> Self {
-        self.keep_spills = keep;
-        self
-    }
-
-    /// Requests full trace assembly after the merge.
-    pub fn materialize_trace(mut self, materialize: bool) -> Self {
-        self.materialize_trace = materialize;
-        self
-    }
-}
-
-/// What a sharded run produces: streamed aggregates always, the full trace
-/// only when [`ShardOptions::materialize_trace`] asked for it.
+/// What a sharded run produces: streamed aggregates, never a materialized
+/// trace (for an assembled, byte-identical trace run [`crate::simulate`]
+/// with [`RunOptions::shards`] ≥ 2).
 #[derive(Debug)]
 #[non_exhaustive]
 pub struct ShardedRun {
@@ -204,31 +138,29 @@ pub struct ShardedRun {
     pub shards: u32,
     /// Bytes written across all spill files.
     pub bytes_spilled: u64,
-    /// The assembled trace, if requested.
-    pub trace: Option<Trace>,
 }
 
-/// Runs the simulation sharded: builds the fleet, then
-/// [`simulate_sharded_on_fleet`].
+/// Runs the simulation sharded and **streams** the merged ticket sequence
+/// straight into the digest and tallies, without ever materializing a
+/// ticket vector — how multi-million-server fleets fit in bounded memory.
+/// The shard knobs ([`RunOptions::shards`], [`RunOptions::shard_workers`],
+/// spill codec/dir) all come from `options`; `shards` ≤ 1 still runs the
+/// sharded driver with a single shard.
 ///
-/// With `shards <= 1` and `materialize_trace`, the result's trace is
-/// byte-identical to [`crate::simulate`]'s — the sharded driver is a pure
-/// execution strategy, never a different simulation.
+/// For a materialized trace use [`crate::simulate`], which routes through
+/// this same driver when `options.shards` ≥ 2 and assembles the merge —
+/// the sharded driver is a pure execution strategy, never a different
+/// simulation.
 ///
 /// # Examples
 ///
 /// ```
-/// use dcf_sim::{simulate, RunOptions, Scenario, ShardOptions};
+/// use dcf_sim::{simulate, simulate_sharded, RunOptions, Scenario};
 /// use dcf_trace::io::fots_digest;
 ///
 /// let scenario = Scenario::small().seed(9);
 /// let unsharded = simulate(&scenario.config, &RunOptions::default()).unwrap();
-/// let sharded = dcf_sim::simulate_sharded(
-///     &scenario.config,
-///     &RunOptions::default(),
-///     &ShardOptions::new(4),
-/// )
-/// .unwrap();
+/// let sharded = simulate_sharded(&scenario.config, &RunOptions::new().shards(4)).unwrap();
 /// assert_eq!(sharded.digest, fots_digest(unsharded.fots()));
 /// assert_eq!(sharded.tickets, unsharded.len() as u64);
 /// ```
@@ -236,26 +168,9 @@ pub struct ShardedRun {
 /// # Errors
 ///
 /// [`SimError::Fleet`] for invalid fleet configurations, [`SimError::Trace`]
-/// for spill IO failures or (with `materialize_trace`) assembly failures.
-pub fn simulate_sharded(
-    config: &SimConfig,
-    options: &RunOptions,
-    shard_options: &ShardOptions,
-) -> Result<ShardedRun, SimError> {
-    let metrics = &options.metrics;
-    // Wall-clock for the whole run: with concurrent shard workers the
-    // per-phase spans overlap and their sum exceeds elapsed time, so
-    // benchmarks read this span for throughput.
-    let total_span = metrics.phase("engine.total");
-    let span = metrics.phase("engine.fleet_build");
-    let fleet = FleetBuilder::new(config.fleet.clone())
-        .seed(config.seed)
-        .metrics(metrics.clone())
-        .build()?;
-    drop(span);
-    let run = simulate_sharded_on_fleet(config, &fleet, options, shard_options);
-    drop(total_span);
-    run
+/// for spill IO failures.
+pub fn simulate_sharded(config: &SimConfig, options: &RunOptions) -> Result<ShardedRun, SimError> {
+    sharded_run(config, options, false).map(|(run, _)| run)
 }
 
 /// [`simulate_sharded`] on an already-built fleet.
@@ -267,15 +182,48 @@ pub fn simulate_sharded_on_fleet(
     config: &SimConfig,
     fleet: &Fleet,
     options: &RunOptions,
-    shard_options: &ShardOptions,
 ) -> Result<ShardedRun, SimError> {
+    sharded_run_on_fleet(config, fleet, options, false).map(|(run, _)| run)
+}
+
+/// The sharded driver proper: builds the fleet, then
+/// [`sharded_run_on_fleet`]. `materialize` asks for an assembled [`Trace`]
+/// alongside the streamed aggregates.
+pub(crate) fn sharded_run(
+    config: &SimConfig,
+    options: &RunOptions,
+    materialize: bool,
+) -> Result<(ShardedRun, Option<Trace>), SimError> {
+    let metrics = &options.metrics;
+    // Wall-clock for the whole run: with concurrent shard workers the
+    // per-phase spans overlap and their sum exceeds elapsed time, so
+    // benchmarks read this span for throughput.
+    let total_span = metrics.phase("engine.total");
+    let span = metrics.phase("engine.fleet_build");
+    let fleet = FleetBuilder::new(config.fleet.clone())
+        .seed(config.seed)
+        .metrics(metrics.clone())
+        .build()?;
+    drop(span);
+    let run = sharded_run_on_fleet(config, &fleet, options, materialize);
+    drop(total_span);
+    run
+}
+
+/// [`sharded_run`] on an already-built fleet.
+pub(crate) fn sharded_run_on_fleet(
+    config: &SimConfig,
+    fleet: &Fleet,
+    options: &RunOptions,
+    materialize: bool,
+) -> Result<(ShardedRun, Option<Trace>), SimError> {
     match options.threads {
         Some(threads) if threads != config.engine_threads => {
             let mut config = config.clone();
             config.engine_threads = threads;
-            sharded_engine(&config, fleet, options, shard_options)
+            sharded_engine(&config, fleet, options, materialize)
         }
-        _ => sharded_engine(config, fleet, options, shard_options),
+        _ => sharded_engine(config, fleet, options, materialize),
     }
 }
 
@@ -350,13 +298,13 @@ fn sharded_engine(
     config: &SimConfig,
     fleet: &Fleet,
     options: &RunOptions,
-    shard_options: &ShardOptions,
-) -> Result<ShardedRun, SimError> {
+    materialize: bool,
+) -> Result<(ShardedRun, Option<Trace>), SimError> {
     let metrics = &options.metrics;
     let fms = FmsMetrics::from_registry(metrics);
     let n_threads = resolve_engine_threads(config.engine_threads);
-    let plan = ShardPlan::new(fleet.servers().len() as u32, shard_options.shards);
-    let workers = resolve_shard_workers(shard_options.shard_workers, plan.shards());
+    let plan = ShardPlan::new(fleet.servers().len() as u32, options.shards);
+    let workers = resolve_shard_workers(options.shard_workers, plan.shards());
     // Split the engine's thread budget across concurrent workers so the
     // total stays near n_threads whatever the worker count.
     let threads_per_worker = (n_threads / workers as usize).max(1);
@@ -369,7 +317,7 @@ fn sharded_engine(
     // depend on the shard count.
     let global = run_global_phase(config, fleet, metrics);
 
-    let spill_dir = match &shard_options.spill_dir {
+    let spill_dir = match &options.spill_dir {
         Some(dir) => dir.clone(),
         None => std::env::temp_dir().join(format!("dcf-spill-{}", std::process::id())),
     };
@@ -383,7 +331,7 @@ fn sharded_engine(
     // first chunk's decode with the shards still simulating. Tally
     // merging is commutative, and the k-way merge re-orders by key, so
     // completion order never reaches the output.
-    let codec = shard_options.spill_codec;
+    let codec = options.spill_codec;
     let next_shard = AtomicU32::new(0);
     let abort = AtomicBool::new(false);
     let (tx, rx) = mpsc::channel::<Result<ShardDone, SimError>>();
@@ -465,7 +413,7 @@ fn sharded_engine(
     let mut factory = TicketFactory::new();
     let mut digester = FotsDigester::new();
     let mut category_counts = [0u64; 3];
-    let mut fots: Option<Vec<Fot>> = shard_options.materialize_trace.then(Vec::new);
+    let mut fots: Option<Vec<Fot>> = materialize.then(Vec::new);
     let total = if let Some(v) = {
         // Split borrows: the closure captures `v` while `factory` and
         // `digester` stay separately borrowed.
@@ -530,11 +478,11 @@ fn sharded_engine(
     fms.tickets_issued.add(total);
     drop(merge_span);
 
-    if !shard_options.keep_spills {
+    if !options.keep_spills {
         for p in &paths {
             std::fs::remove_file(p).ok();
         }
-        if shard_options.spill_dir.is_none() {
+        if options.spill_dir.is_none() {
             std::fs::remove_dir(&spill_dir).ok();
         }
     }
@@ -552,14 +500,16 @@ fn sharded_engine(
         }
         None => None,
     };
-    Ok(ShardedRun {
-        digest: digester.digest(),
-        tickets: total,
-        category_counts,
-        shards: plan.shards(),
-        bytes_spilled,
+    Ok((
+        ShardedRun {
+            digest: digester.digest(),
+            tickets: total,
+            category_counts,
+            shards: plan.shards(),
+            bytes_spilled,
+        },
         trace,
-    })
+    ))
 }
 
 #[cfg(test)]
@@ -595,34 +545,23 @@ mod tests {
         let unsharded = crate::simulate(&scenario.config, &RunOptions::default()).unwrap();
         let expect = fots_digest(unsharded.fots());
         for shards in [1u32, 3] {
-            let run = simulate_sharded(
-                &scenario.config,
-                &RunOptions::default(),
-                &ShardOptions::new(shards),
-            )
-            .unwrap();
+            let run =
+                simulate_sharded(&scenario.config, &RunOptions::new().shards(shards)).unwrap();
             assert_eq!(run.digest, expect, "{shards} shards");
             assert_eq!(run.tickets, unsharded.len() as u64);
             assert_eq!(
                 run.category_counts,
                 unsharded.category_counts().map(|c| c as u64)
             );
-            assert!(run.trace.is_none(), "not materialized by default");
             assert!(run.bytes_spilled > 0);
         }
     }
 
     #[test]
-    fn materialized_sharded_trace_is_byte_identical() {
+    fn sharded_simulate_is_byte_identical() {
         let scenario = Scenario::small().seed(5);
         let unsharded = crate::simulate(&scenario.config, &RunOptions::default()).unwrap();
-        let run = simulate_sharded(
-            &scenario.config,
-            &RunOptions::default(),
-            &ShardOptions::new(4).materialize_trace(true),
-        )
-        .unwrap();
-        let trace = run.trace.expect("materialization requested");
+        let trace = crate::simulate(&scenario.config, &RunOptions::new().shards(4)).unwrap();
         assert_eq!(trace.fots(), unsharded.fots());
         assert_eq!(trace.info(), unsharded.info());
     }
@@ -633,8 +572,7 @@ mod tests {
         let scenario = Scenario::small().seed(2);
         let run = simulate_sharded(
             &scenario.config,
-            &RunOptions::new().metrics(&registry),
-            &ShardOptions::new(2),
+            &RunOptions::new().metrics(&registry).shards(2),
         )
         .unwrap();
         let report = registry.report("shard-test");
@@ -670,8 +608,10 @@ mod tests {
         let scenario = Scenario::small().seed(13);
         let run = simulate_sharded(
             &scenario.config,
-            &RunOptions::default(),
-            &ShardOptions::new(2).spill_dir(&dir).keep_spills(true),
+            &RunOptions::new()
+                .shards(2)
+                .spill_dir(&dir)
+                .keep_spills(true),
         )
         .unwrap();
         let mut rows = 0;

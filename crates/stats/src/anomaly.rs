@@ -90,7 +90,30 @@ mod tests {
 
     #[test]
     fn short_input_rejected() {
-        assert!(sigma_outliers(&[1.0, 2.0], 2.0).is_err());
+        assert!(matches!(
+            sigma_outliers(&[1.0, 2.0], 2.0),
+            Err(StatsError::EmptySample)
+        ));
+    }
+
+    #[test]
+    fn empty_input_is_a_typed_error() {
+        assert!(matches!(
+            sigma_outliers(&[], 2.0),
+            Err(StatsError::EmptySample)
+        ));
+        assert!(matches!(
+            sigma_outliers(&[1.0], 2.0),
+            Err(StatsError::EmptySample)
+        ));
+    }
+
+    #[test]
+    fn non_finite_input_is_a_typed_error() {
+        assert!(matches!(
+            sigma_outliers(&[1.0, f64::NAN, 3.0], 2.0),
+            Err(StatsError::NonFiniteSample { .. })
+        ));
     }
 
     #[test]

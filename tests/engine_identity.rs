@@ -2,7 +2,7 @@
 //! counts.
 //!
 //! The contract under test: `SimConfig::engine_threads` and
-//! `ShardOptions::shards` are purely execution knobs. Workers own disjoint
+//! `RunOptions::shards` are purely execution knobs. Workers own disjoint
 //! server chunks, every server draws from its own RNG stream, and both the
 //! pre-sorted assembly and the spill-file merge reproduce the sequential
 //! stable sort exactly — so the trace (every ticket field, in order) must
@@ -11,7 +11,7 @@
 //! and auto, and between `--shards 1` and `--shards 4`.
 
 use dcfail::obs::MetricsRegistry;
-use dcfail::sim::{simulate_sharded, RunOptions, Scenario, ShardOptions};
+use dcfail::sim::{simulate, simulate_sharded, RunOptions, Scenario};
 use dcfail::trace::{io, Trace};
 
 const SEEDS: [u64; 3] = [1, 7, 42];
@@ -57,12 +57,8 @@ fn sharded_digests_match_the_unsharded_trace() {
         for shards in [1u32, 2, 8] {
             for threads in [1usize, 4] {
                 let scenario = Scenario::small().seed(seed).engine_threads(threads);
-                let run = simulate_sharded(
-                    &scenario.config,
-                    &RunOptions::default(),
-                    &ShardOptions::new(shards),
-                )
-                .expect("sharded simulation runs");
+                let run = simulate_sharded(&scenario.config, &RunOptions::new().shards(shards))
+                    .expect("sharded simulation runs");
                 assert_eq!(
                     run.digest, reference_digest,
                     "seed {seed}: digest diverged at {shards} shards, {threads} threads"
@@ -95,8 +91,8 @@ fn parallel_shard_workers_preserve_the_digest() {
                     let scenario = Scenario::small().seed(seed).engine_threads(1);
                     let run = simulate_sharded(
                         &scenario.config,
-                        &RunOptions::default(),
-                        &ShardOptions::new(shards)
+                        &RunOptions::new()
+                            .shards(shards)
                             .shard_workers(workers)
                             .spill_codec(codec),
                     )
@@ -124,13 +120,8 @@ fn parallel_shard_workers_preserve_the_digest() {
 fn materialized_sharded_trace_matches_unsharded_fots() {
     let reference = small_trace(7, 2);
     let scenario = Scenario::small().seed(7).engine_threads(2);
-    let run = simulate_sharded(
-        &scenario.config,
-        &RunOptions::default(),
-        &ShardOptions::new(3).materialize_trace(true),
-    )
-    .expect("sharded simulation runs");
-    let trace = run.trace.expect("trace was requested");
+    let trace =
+        simulate(&scenario.config, &RunOptions::new().shards(3)).expect("sharded simulation runs");
     assert_eq!(trace.fots(), reference.fots());
 }
 
