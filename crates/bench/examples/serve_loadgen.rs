@@ -8,17 +8,22 @@
 //! measured client-side (first request byte written → last response byte
 //! read) and summarized as p50/p99/max together with the shed rate and
 //! sustained requests/s — the `"serve"` block of the `BENCH_*.json`
-//! schema (see SERVING.md).
+//! schema (see SERVING.md). The accounting itself (response framing,
+//! shed-vs-error classification, quantiles) lives in
+//! [`dcf_bench::loadgen`] where it is unit-tested.
 //!
 //! ```text
 //! # self-contained: starts an in-process server, light defaults
 //! cargo run --release -p dcf-bench --example serve_loadgen
 //!
+//! # multi-loop in-process target with per-loop balance reporting
+//! cargo run --release -p dcf-bench --example serve_loadgen -- --loops 2
+//!
 //! # flagship: 10k keep-alive connections against an external server
-//! target/release/reproduce serve --addr 127.0.0.1:8620 &
+//! target/release/reproduce serve --addr 127.0.0.1:8620 --loops 0 &
 //! cargo run --release -p dcf-bench --example serve_loadgen -- \
 //!     --addr 127.0.0.1:8620 --connections 10000 --requests-per-conn 4 \
-//!     --window 256 --bench-json BENCH_PR7.json
+//!     --window 256 --bench-json BENCH_PR10.json
 //! ```
 //!
 //! Requests that are shed (`503` + `Retry-After`) are counted separately
@@ -32,7 +37,8 @@ use std::net::{SocketAddr, TcpStream, ToSocketAddrs};
 use std::process::ExitCode;
 use std::time::{Duration, Instant};
 
-use dcf_obs::{BenchSummary, MetricsRegistry, RunReport, ServeBench};
+use dcf_bench::loadgen::{parse_response, LoadStats};
+use dcf_obs::{BenchSummary, MetricsRegistry, RunReport};
 use dcf_serve::{poller::raw_fd, Interest, Poller, ServeConfig, Server};
 
 /// Parked interest: the connection stays registered (so peer hang-ups
@@ -54,6 +60,10 @@ struct Options {
     window: usize,
     /// Worker threads for the in-process server.
     workers: usize,
+    /// Event loops for the in-process server (`0` = one per core).
+    loops: usize,
+    /// Force the handoff accept path even where `SO_REUSEPORT` works.
+    no_reuseport: bool,
     scenario: String,
     seed: u64,
     bench_json: Option<String>,
@@ -66,6 +76,8 @@ fn parse_options() -> Result<Options, String> {
         requests_per_conn: 4,
         window: 64,
         workers: 4,
+        loops: 1,
+        no_reuseport: false,
         scenario: "small".into(),
         seed: 1,
         bench_json: None,
@@ -95,6 +107,12 @@ fn parse_options() -> Result<Options, String> {
                     .parse()
                     .map_err(|e| format!("bad --workers: {e}"))?;
             }
+            "--loops" => {
+                opts.loops = value("--loops")?
+                    .parse()
+                    .map_err(|e| format!("bad --loops: {e}"))?;
+            }
+            "--no-reuseport" => opts.no_reuseport = true,
             "--scenario" => opts.scenario = value("--scenario")?,
             "--seed" => {
                 opts.seed = value("--seed")?
@@ -105,6 +123,7 @@ fn parse_options() -> Result<Options, String> {
             "--help" | "-h" => {
                 return Err("usage: serve_loadgen [--addr HOST:PORT] [--connections N] \
                      [--requests-per-conn N] [--window N] [--workers N] \
+                     [--loops N (0 = one per core)] [--no-reuseport] \
                      [--scenario NAME] [--seed N] [--bench-json PATH]"
                     .into());
             }
@@ -148,89 +167,6 @@ enum ConnState {
     Dead,
 }
 
-/// Client-side measurements of one load run.
-struct LoadStats {
-    connections: u64,
-    ok: u64,
-    shed: u64,
-    errors: u64,
-    reused: u64,
-    duration: Duration,
-    /// Sorted 200-response latencies in milliseconds.
-    latencies_ms: Vec<f64>,
-}
-
-impl LoadStats {
-    fn percentile(&self, q: f64) -> f64 {
-        if self.latencies_ms.is_empty() {
-            return 0.0;
-        }
-        let rank = ((self.latencies_ms.len() - 1) as f64 * q).round() as usize;
-        self.latencies_ms[rank]
-    }
-
-    fn to_bench(&self) -> ServeBench {
-        let completed = self.ok + self.shed;
-        let secs = self.duration.as_secs_f64();
-        ServeBench {
-            connections: self.connections,
-            requests: self.ok,
-            shed: self.shed,
-            errors: self.errors,
-            keepalive_reused: self.reused,
-            duration_ms: secs * 1e3,
-            requests_per_sec: if secs > 0.0 {
-                completed as f64 / secs
-            } else {
-                0.0
-            },
-            shed_rate: if completed > 0 {
-                self.shed as f64 / completed as f64
-            } else {
-                0.0
-            },
-            latency_p50_ms: self.percentile(0.50),
-            latency_p99_ms: self.percentile(0.99),
-            latency_max_ms: self.latencies_ms.last().copied().unwrap_or(0.0),
-        }
-    }
-}
-
-/// A complete HTTP response pulled off a connection buffer, or `None`
-/// while more bytes are needed.
-fn parse_response(buf: &[u8]) -> Result<Option<(u16, bool, usize)>, String> {
-    let Some(head_end) = buf.windows(4).position(|w| w == b"\r\n\r\n") else {
-        return Ok(None);
-    };
-    let head =
-        std::str::from_utf8(&buf[..head_end]).map_err(|_| "non-UTF-8 response head".to_string())?;
-    let mut content_length = 0usize;
-    let mut close = false;
-    for line in head.lines().skip(1) {
-        let Some((name, value)) = line.split_once(':') else {
-            continue;
-        };
-        if name.eq_ignore_ascii_case("content-length") {
-            content_length = value
-                .trim()
-                .parse()
-                .map_err(|e| format!("bad content-length: {e}"))?;
-        } else if name.eq_ignore_ascii_case("connection") {
-            close = value.trim().eq_ignore_ascii_case("close");
-        }
-    }
-    let total = head_end + 4 + content_length;
-    if buf.len() < total {
-        return Ok(None);
-    }
-    let status: u16 = head
-        .split(' ')
-        .nth(1)
-        .and_then(|s| s.parse().ok())
-        .ok_or_else(|| format!("bad status line: {head}"))?;
-    Ok(Some((status, close, total)))
-}
-
 /// Opens the fleet, runs every connection through its rounds under the
 /// in-flight window, and returns the client-side measurements.
 fn run_load(addr: SocketAddr, opts: &Options) -> Result<LoadStats, String> {
@@ -272,15 +208,7 @@ fn run_load(addr: SocketAddr, opts: &Options) -> Result<LoadStats, String> {
     eprintln!("ramp complete in {:?}", ramp0.elapsed());
 
     let mut ready: VecDeque<usize> = (0..opts.connections).collect();
-    let mut stats = LoadStats {
-        connections: opts.connections as u64,
-        ok: 0,
-        shed: 0,
-        errors: 0,
-        reused: 0,
-        duration: Duration::ZERO,
-        latencies_ms: Vec::new(),
-    };
+    let mut stats = LoadStats::new(opts.connections as u64);
     let mut in_flight = 0usize;
     let mut finished = 0usize; // Done + Dead connections
     let mut events = Vec::new();
@@ -336,8 +264,7 @@ fn run_load(addr: SocketAddr, opts: &Options) -> Result<LoadStats, String> {
             }
         }
     }
-    stats.duration = started.elapsed();
-    stats.latencies_ms.sort_by(f64::total_cmp);
+    stats.finish(started.elapsed());
     for conn in &conns {
         if conn.state != ConnState::Dead {
             poller.deregister(raw_fd(&conn.stream));
@@ -370,7 +297,7 @@ fn advance_write(conn: &mut Conn, token: usize, poller: &mut Poller) -> Result<(
 }
 
 /// Reads whatever the socket has; on a complete response records the
-/// latency and either schedules the next round or retires the connection.
+/// outcome and either schedules the next round or retires the connection.
 #[allow(clippy::too_many_arguments)]
 fn advance_read(
     conn: &mut Conn,
@@ -400,16 +327,7 @@ fn advance_read(
             if conn.served > 1 {
                 stats.reused += 1;
             }
-            match status {
-                200 => {
-                    stats.ok += 1;
-                    stats
-                        .latencies_ms
-                        .push(conn.sent_at.elapsed().as_secs_f64() * 1e3);
-                }
-                503 => stats.shed += 1,
-                _ => stats.errors += 1,
-            }
+            stats.record(status, conn.sent_at.elapsed().as_secs_f64() * 1e3);
             if was_in_flight {
                 *in_flight -= 1;
             }
@@ -436,7 +354,7 @@ fn advance_read(
             // Dropped without (or mid-) response.
             if conn.state == ConnState::Sending || conn.state == ConnState::Receiving {
                 *in_flight -= 1;
-                stats.errors += 1;
+                stats.record_drop();
             }
             retire(conn, token, poller, ConnState::Dead);
             *finished += 1;
@@ -492,6 +410,8 @@ fn main() -> ExitCode {
             ServeConfig::default()
                 .addr("127.0.0.1:0")
                 .workers(opts.workers)
+                .loops(opts.loops)
+                .reuseport(!opts.no_reuseport)
                 .max_connections(opts.connections + 64)
                 .metrics(&metrics),
         ) {
@@ -548,13 +468,52 @@ fn main() -> ExitCode {
         }
     }
 
-    let stats = match run_load(addr, &opts) {
+    let mut stats = match run_load(addr, &opts) {
         Ok(s) => s,
         Err(msg) => {
             eprintln!("load run failed: {msg}");
             return ExitCode::FAILURE;
         }
     };
+
+    // Server-side view: the drained metrics report (in-process only),
+    // including the per-loop accept balance of a multi-loop run.
+    let report = match server {
+        Some(server) => {
+            let report = server.shutdown();
+            println!(
+                "server drained: {} requests, {} reuses, {} rejected, {} idle-closed",
+                report.counter("serve.requests").unwrap_or(0),
+                report.counter("serve.keepalive.reused").unwrap_or(0),
+                report.counter("serve.rejected").unwrap_or(0),
+                report.counter("serve.idle_closed").unwrap_or(0),
+            );
+            stats.loops = report.gauge("serve.loops").unwrap_or(1.0) as u64;
+            if stats.loops > 1 {
+                stats.loop_requests = (0..stats.loops)
+                    .map(|i| {
+                        report
+                            .counter(&format!("serve.loop.{i}.requests"))
+                            .unwrap_or(0)
+                    })
+                    .collect();
+                let balance: Vec<String> = stats.loop_requests.iter().map(u64::to_string).collect();
+                println!(
+                    "per-loop requests across {} event loops: [{}]",
+                    stats.loops,
+                    balance.join(", ")
+                );
+            }
+            report
+        }
+        None => RunReport {
+            label: "serve_loadgen --addr (client-side measurements only)".into(),
+            phases: vec![],
+            counters: vec![],
+            gauges: vec![],
+        },
+    };
+
     let bench = stats.to_bench();
     println!(
         "\n{} connections, {} ok, {} shed ({:.2} %), {} errors, {} keep-alive reuses",
@@ -573,27 +532,6 @@ fn main() -> ExitCode {
         bench.latency_p99_ms,
         bench.latency_max_ms,
     );
-
-    // Server-side view: the drained metrics report (in-process only).
-    let report = match server {
-        Some(server) => {
-            let report = server.shutdown();
-            println!(
-                "server drained: {} requests, {} reuses, {} rejected, {} idle-closed",
-                report.counter("serve.requests").unwrap_or(0),
-                report.counter("serve.keepalive.reused").unwrap_or(0),
-                report.counter("serve.rejected").unwrap_or(0),
-                report.counter("serve.idle_closed").unwrap_or(0),
-            );
-            report
-        }
-        None => RunReport {
-            label: "serve_loadgen --addr (client-side measurements only)".into(),
-            phases: vec![],
-            counters: vec![],
-            gauges: vec![],
-        },
-    };
 
     if bench.errors > 0 {
         eprintln!("{} request(s) failed outright", bench.errors);

@@ -426,6 +426,8 @@ fn serve_main(mut it: impl Iterator<Item = String>) -> ExitCode {
     let mut max_conns: Option<usize> = None;
     let mut idle_timeout_ms: Option<u64> = None;
     let mut poller: Option<String> = None;
+    let mut loops = 1usize;
+    let mut no_reuseport = false;
     while let Some(flag) = it.next() {
         let parsed = match flag.as_str() {
             "--addr" => it.next().map(|v| {
@@ -462,9 +464,16 @@ fn serve_main(mut it: impl Iterator<Item = String>) -> ExitCode {
                     .map(|n| idle_timeout_ms = Some(n))
                     .map_err(|_| flag.clone())
             }),
+            "--loops" => it
+                .next()
+                .map(|v| v.parse().map(|n| loops = n).map_err(|_| flag.clone())),
+            "--no-reuseport" => {
+                no_reuseport = true;
+                Some(Ok(()))
+            }
             "--help" | "-h" => {
                 eprintln!(
-                    "usage: reproduce serve [--addr HOST:PORT] [--workers N] [--cache-entries N] [--snapshot PATH | --catalog DIR] [--max-conns N] [--idle-timeout-ms N] [--poller epoll|poll|scan]"
+                    "usage: reproduce serve [--addr HOST:PORT] [--workers N] [--loops N (0 = one per core)] [--no-reuseport] [--cache-entries N] [--snapshot PATH | --catalog DIR] [--max-conns N] [--idle-timeout-ms N] [--poller epoll|poll|scan]"
                 );
                 return ExitCode::FAILURE;
             }
@@ -521,6 +530,11 @@ fn serve_main(mut it: impl Iterator<Item = String>) -> ExitCode {
     if let Some(backend) = &poller {
         config = config.poller_backend(backend);
     }
+    config = config.loops(loops).reuseport(!no_reuseport);
+    let effective_loops = match loops {
+        0 => std::thread::available_parallelism().map_or(1, |n| n.get()),
+        n => n,
+    };
     let server = match dcf_serve::Server::start(config) {
         Ok(s) => s,
         Err(e) => {
@@ -529,8 +543,10 @@ fn serve_main(mut it: impl Iterator<Item = String>) -> ExitCode {
         }
     };
     eprintln!(
-        "dcf-serve listening on http://{} ({} workers, {}-entry cache, {} readiness backend)",
+        "dcf-serve listening on http://{} ({} event loop{}, {} workers, {}-entry cache, {} readiness backend)",
         server.local_addr(),
+        effective_loops,
+        if effective_loops == 1 { "" } else { "s" },
         workers.max(1),
         cache_entries.max(1),
         server.poller_backend(),

@@ -15,6 +15,8 @@
 
 #![warn(missing_docs)]
 
+pub mod loadgen;
+
 use std::sync::OnceLock;
 
 use dcf_sim::{RunOptions, Scenario};

@@ -50,6 +50,15 @@ pub struct ServeBench {
     /// Responses served on a reused (keep-alive) connection — every
     /// response after the first on each connection.
     pub keepalive_reused: u64,
+    /// Server event-loop count (the `serve.loops` gauge; `1` for
+    /// single-loop servers and external targets that predate the gauge).
+    pub loops: u64,
+    /// Requests served per event loop (`serve.loop.{i}.requests`), in
+    /// loop order — the accept-balance record of a multi-loop run.
+    /// Empty when the target ran a single loop or the counters are
+    /// unavailable (external target); the JSON field is then absent,
+    /// mirroring `peak_rss_bytes`.
+    pub loop_requests: Vec<u64>,
     /// Wall-clock of the measurement window in milliseconds (ramp
     /// excluded).
     pub duration_ms: f64,
@@ -69,9 +78,16 @@ impl ServeBench {
     /// Serializes the object carried under the summary's `"serve"` key.
     fn write_json(&self, out: &mut String) {
         out.push_str(&format!(
-            "{{\n    \"connections\": {},\n    \"requests\": {},\n    \"shed\": {},\n    \"errors\": {},\n    \"keepalive_reused\": {}",
-            self.connections, self.requests, self.shed, self.errors, self.keepalive_reused
+            "{{\n    \"connections\": {},\n    \"requests\": {},\n    \"shed\": {},\n    \"errors\": {},\n    \"keepalive_reused\": {},\n    \"loops\": {}",
+            self.connections, self.requests, self.shed, self.errors, self.keepalive_reused, self.loops
         ));
+        if !self.loop_requests.is_empty() {
+            let counts: Vec<String> = self.loop_requests.iter().map(u64::to_string).collect();
+            out.push_str(&format!(
+                ",\n    \"loop_requests\": [{}]",
+                counts.join(", ")
+            ));
+        }
         for (key, value) in [
             ("duration_ms", self.duration_ms),
             ("requests_per_sec", self.requests_per_sec),
@@ -623,6 +639,8 @@ mod tests {
             shed: 50,
             errors: 0,
             keepalive_reused: 30_000,
+            loops: 2,
+            loop_requests: vec![20_100, 19_900],
             duration_ms: 4_000.0,
             requests_per_sec: 10_000.0,
             shed_rate: 0.00125,
@@ -638,6 +656,8 @@ mod tests {
             "\"shed\": 50",
             "\"errors\": 0",
             "\"keepalive_reused\": 30000",
+            "\"loops\": 2",
+            "\"loop_requests\": [20100, 19900]",
             "\"duration_ms\": 4000",
             "\"requests_per_sec\": 10000",
             "\"shed_rate\": 0.00125",
@@ -651,6 +671,33 @@ mod tests {
             json::parse(&json).is_ok(),
             "serve block must keep the file valid JSON"
         );
+    }
+
+    #[test]
+    fn serve_loop_requests_are_absent_for_single_loop_runs() {
+        let s = BenchSummary::from_report(&report("run", 6_000, 2_500), "small", 1, 100, 360, 400);
+        let serve = ServeBench {
+            connections: 8,
+            requests: 800,
+            shed: 0,
+            errors: 0,
+            keepalive_reused: 792,
+            loops: 1,
+            loop_requests: Vec::new(),
+            duration_ms: 100.0,
+            requests_per_sec: 8_000.0,
+            shed_rate: 0.0,
+            latency_p50_ms: 0.4,
+            latency_p99_ms: 1.1,
+            latency_max_ms: 2.0,
+        };
+        let json = s.with_serve(serve).to_json();
+        assert!(json.contains("\"loops\": 1"), "loop count missing");
+        assert!(
+            !json.contains("loop_requests"),
+            "empty balance vector leaked into {json}"
+        );
+        assert!(json::parse(&json).is_ok());
     }
 
     #[test]

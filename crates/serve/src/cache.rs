@@ -102,6 +102,11 @@ pub struct RunEntry {
     /// Rendered section bodies, cached verbatim so every cache hit is
     /// byte-identical to the first computation.
     pub sections: Mutex<HashMap<&'static str, Arc<str>>>,
+    /// Gzip-compressed renders of the same section bodies, cached on
+    /// first `Accept-Encoding: gzip` request. The encoder is
+    /// deterministic, so these too are byte-identical across hits (and
+    /// across event loops sharing the entry).
+    pub gzip_sections: Mutex<HashMap<&'static str, Arc<[u8]>>>,
 }
 
 impl RunEntry {
@@ -112,6 +117,7 @@ impl RunEntry {
             threads: key.threads,
             run: OnceLock::new(),
             sections: Mutex::new(HashMap::new()),
+            gzip_sections: Mutex::new(HashMap::new()),
         }
     }
 

@@ -1,11 +1,16 @@
-//! The readiness-driven connection engine: one thread, all sockets.
+//! The readiness-driven connection engine: one thread per loop, each
+//! owning its own sockets.
 //!
-//! This is the epoll core the service runs on. A single event-loop
-//! thread owns the listener, the [`Waker`] receive half, and every live
-//! connection; it never blocks on any one socket. Workers never touch
-//! sockets at all — they pop [`Job`]s from the bounded queue, compute a
-//! [`Response`], push it onto the completion list, and ring the waker so
-//! the loop wakes up and writes the bytes out.
+//! This is the epoll core the service runs on. Each event-loop thread
+//! owns its listener (its `SO_REUSEPORT` share of the address, or — in
+//! handoff mode — only loop 0 has one), the [`Waker`] receive half, and
+//! every connection it accepted or adopted; it never blocks on any one
+//! socket. Workers never touch sockets at all — they pop [`Job`]s from
+//! the bounded queue, compute a [`Response`], push it onto the owning
+//! loop's completion list, and ring that loop's waker so it wakes up
+//! and writes the bytes out. In handoff mode loop 0 additionally
+//! round-robins accepted sockets to its peers through per-loop inboxes,
+//! using the same waker.
 //!
 //! Each connection is a small state machine:
 //!
@@ -49,7 +54,7 @@ use std::sync::atomic::Ordering;
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
-use crate::http::{self, Response};
+use crate::http::{self, Response, StreamBody};
 use crate::poller::{raw_fd, Event, Interest, Poller, RawFd, Waker};
 use crate::queue::{BoundedQueue, PushError};
 use crate::server::{Job, Shared, RETRY_AFTER_SECS};
@@ -74,10 +79,12 @@ const READ_CHUNK: usize = 8 * 1024;
 /// Hard cap on buffered request bytes per connection (one max-size
 /// request plus pipelined slack).
 const MAX_BUFFERED: usize = http::MAX_HEAD_BYTES + http::MAX_BODY_BYTES + 4096;
-/// A paced stream stops framing new chunks while this many response
-/// bytes are still unflushed — a slow reader rebuffers in the stream's
-/// chunk list, not in the socket write buffer.
+/// A stream stops framing new chunks while this many response bytes are
+/// still unflushed — a slow reader rebuffers in the stream's source
+/// (chunk list or bulk body), not in the socket write buffer.
 const STREAM_BACKPRESSURE_BYTES: usize = 64 * 1024;
+/// Chunk size a spilled bulk body is sliced into.
+const BULK_CHUNK: usize = 16 * 1024;
 
 /// No read or write interest: parked while a worker computes (the poller
 /// still reports hang-ups, which carry no interest bit).
@@ -106,12 +113,14 @@ enum ConnState {
 
 /// An in-progress chunked streaming response. The connection stays in
 /// `Writing` for the stream's whole lifetime; the per-iteration pump
-/// appends each chunk's frame to `write_buf` once its virtual-time due
-/// offset has elapsed, and the terminal chunk once all are sent.
+/// appends paced chunks once their virtual-time due offset has elapsed
+/// (or bulk-body slices as fast as backpressure allows), and the
+/// terminal chunk once all are sent.
 struct StreamState {
-    /// `(due_ms, payload)` in non-decreasing due order.
-    chunks: Vec<(u64, String)>,
-    /// Index of the next chunk not yet framed into the write buffer.
+    /// What's left to frame: paced `(due_ms, payload)` chunks in
+    /// non-decreasing due order, or one spilled bulk body.
+    source: StreamBody,
+    /// Next paced chunk index / next bulk byte offset not yet framed.
     next: usize,
     /// When the stream head was queued; due offsets are relative to this.
     started: Instant,
@@ -135,7 +144,7 @@ struct Connection {
     last_activity: Instant,
     drain_deadline: Option<Instant>,
     interest: Interest,
-    /// Active chunked stream, if the current response is a paced replay.
+    /// Active chunked stream: a paced replay or a spilled bulk body.
     replay: Option<StreamState>,
 }
 
@@ -161,12 +170,34 @@ impl Connection {
     fn streaming(&self) -> bool {
         self.replay.as_ref().is_some_and(|s| !s.finished)
     }
+
+    /// True while a *paced* stream is live — mid-stream client
+    /// disconnects count as replay disconnects only for paced replays,
+    /// not for bulk body spills.
+    fn streaming_paced(&self) -> bool {
+        self.replay
+            .as_ref()
+            .is_some_and(|s| !s.finished && matches!(s.source, StreamBody::Paced(_)))
+    }
 }
 
-/// The event loop itself; built by [`crate::server::Server::start`] and
-/// run to completion on the supervisor thread.
+/// One event loop; built by [`crate::server::Server::start`] and run to
+/// completion on the supervisor thread (loop 0) or a scoped peer thread.
 pub(crate) struct EventLoop {
+    /// Index into `shared.loops`: which completion list, waker, and
+    /// inbox are this loop's.
+    loop_id: usize,
+    /// Handoff round-robin width: `0` when every accepted socket is
+    /// served locally (single loop, or per-loop `SO_REUSEPORT`
+    /// listeners); `> 0` when loop 0's accepts are spread across this
+    /// many loops through their inboxes.
+    fanout: usize,
+    /// Next round-robin handoff target.
+    next_loop: usize,
     poller: Poller,
+    /// This loop's listener: its `SO_REUSEPORT` share, the sole
+    /// listener (single loop / handoff loop 0), or `None` for handoff
+    /// peers, which only adopt from their inbox.
     listener: Option<TcpListener>,
     waker_rx: TcpStream,
     conns: HashMap<u64, Connection>,
@@ -178,25 +209,38 @@ pub(crate) struct EventLoop {
     /// Set once the stop flag is observed: listener gone, every response
     /// goes out `Connection: close`, loop exits when the map empties.
     draining: bool,
+    /// Pre-formatted per-loop metric names, so hot paths don't format.
+    metric_accepted: String,
+    metric_requests: String,
+    metric_conns: String,
 }
 
 impl EventLoop {
-    /// Builds the loop and registers the listener + waker, so
-    /// registration failures surface to the caller synchronously.
+    /// Builds the loop and registers the listener (when this loop has
+    /// one) + waker, so registration failures surface to the caller
+    /// synchronously.
+    #[allow(clippy::too_many_arguments)]
     pub(crate) fn new(
+        loop_id: usize,
+        fanout: usize,
         mut poller: Poller,
-        listener: TcpListener,
+        listener: Option<TcpListener>,
         waker_rx: TcpStream,
         queue: Arc<BoundedQueue<Job>>,
         shared: Arc<Shared>,
         max_connections: usize,
         idle_timeout: Duration,
     ) -> std::io::Result<EventLoop> {
-        poller.register(raw_fd(&listener), LISTENER_TOKEN, Interest::READ)?;
+        if let Some(listener) = &listener {
+            poller.register(raw_fd(listener), LISTENER_TOKEN, Interest::READ)?;
+        }
         poller.register(raw_fd(&waker_rx), WAKER_TOKEN, Interest::READ)?;
         Ok(EventLoop {
+            loop_id,
+            fanout,
+            next_loop: 0,
             poller,
-            listener: Some(listener),
+            listener,
             waker_rx,
             conns: HashMap::new(),
             next_token: FIRST_CONN_TOKEN,
@@ -205,6 +249,9 @@ impl EventLoop {
             max_connections,
             idle_timeout,
             draining: false,
+            metric_accepted: format!("serve.loop.{loop_id}.accepted"),
+            metric_requests: format!("serve.loop.{loop_id}.requests"),
+            metric_conns: format!("serve.loop.{loop_id}.conns"),
         })
     }
 
@@ -230,9 +277,11 @@ impl EventLoop {
                 }
             }
             events = batch;
-            // Completions are checked every iteration: the waker byte may
-            // have been consumed by an earlier drain in the same batch.
+            // Completions and inbox handoffs are checked every iteration:
+            // the waker byte may have been consumed by an earlier drain in
+            // the same batch.
             self.deliver_completions();
+            self.adopt_inbox();
             // Paced streams ride the poll cadence: every iteration, frame
             // whatever chunks have come due.
             self.pump_streams();
@@ -276,6 +325,9 @@ impl EventLoop {
     fn drop_conn(&mut self, token: u64) {
         if let Some(conn) = self.conns.remove(&token) {
             self.poller.deregister(conn.fd);
+            self.shared
+                .metrics
+                .set_gauge(&self.metric_conns, self.conns.len() as f64);
         }
     }
 
@@ -289,8 +341,9 @@ impl EventLoop {
     }
 
     /// Accepts every pending connection (level-triggered: stop at
-    /// `WouldBlock`). Beyond `max_connections` the connection is answered
-    /// `503` + `Retry-After` and closed rather than left unserved.
+    /// `WouldBlock`). In handoff mode the accepted socket is round-robined
+    /// across all loops: peers get it through their inbox + waker, the
+    /// local share is adopted directly.
     fn accept_ready(&mut self) {
         loop {
             let Some(listener) = &self.listener else {
@@ -298,34 +351,17 @@ impl EventLoop {
             };
             match listener.accept() {
                 Ok((stream, _peer)) => {
-                    let _ = stream.set_nonblocking(true);
-                    let _ = stream.set_nodelay(true);
-                    let fd = raw_fd(&stream);
-                    let token = self.next_token;
-                    self.next_token += 1;
-                    let over_capacity = self.conns.len() >= self.max_connections;
-                    let mut conn = Connection::new(stream, fd);
-                    let interest = if over_capacity {
-                        self.shared.metrics.add("serve.rejected", 1);
-                        let resp =
-                            Response::overloaded("connection limit reached", RETRY_AFTER_SECS);
-                        conn.write_buf = resp.serialize(false);
-                        conn.state = ConnState::Writing;
-                        conn.close_after_write = true;
-                        WRITE_ONLY
-                    } else {
-                        self.shared.metrics.add("serve.accepted", 1);
-                        Interest::READ
-                    };
-                    conn.interest = interest;
-                    if self.poller.register(fd, token, interest).is_ok() {
-                        self.conns.insert(token, conn);
-                        if over_capacity {
-                            self.flush(token);
+                    if self.fanout > 1 {
+                        let target = self.next_loop;
+                        self.next_loop = (self.next_loop + 1) % self.fanout;
+                        if target != self.loop_id {
+                            let lane = &self.shared.loops[target];
+                            lane.inbox.lock().expect("inbox poisoned").push(stream);
+                            lane.waker.wake();
+                            continue;
                         }
-                    } else {
-                        self.shared.metrics.add("serve.io_errors", 1);
                     }
+                    self.adopt_stream(stream);
                 }
                 Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => return,
                 Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
@@ -334,6 +370,68 @@ impl EventLoop {
                     return;
                 }
             }
+        }
+    }
+
+    /// Registers one accepted (or handed-off) socket as a connection.
+    /// Beyond `max_connections` — this loop's share of the budget — the
+    /// connection is answered `503` + `Retry-After` and closed rather
+    /// than left unserved.
+    fn adopt_stream(&mut self, stream: TcpStream) {
+        let _ = stream.set_nonblocking(true);
+        let _ = stream.set_nodelay(true);
+        let fd = raw_fd(&stream);
+        let token = self.next_token;
+        self.next_token += 1;
+        let over_capacity = self.conns.len() >= self.max_connections;
+        let mut conn = Connection::new(stream, fd);
+        let interest = if over_capacity {
+            self.shared.metrics.add("serve.rejected", 1);
+            let resp = Response::overloaded("connection limit reached", RETRY_AFTER_SECS);
+            conn.write_buf = resp.serialize(false);
+            conn.state = ConnState::Writing;
+            conn.close_after_write = true;
+            WRITE_ONLY
+        } else {
+            self.shared.metrics.add("serve.accepted", 1);
+            self.shared.metrics.add(&self.metric_accepted, 1);
+            Interest::READ
+        };
+        conn.interest = interest;
+        if self.poller.register(fd, token, interest).is_ok() {
+            self.conns.insert(token, conn);
+            self.shared
+                .metrics
+                .set_gauge(&self.metric_conns, self.conns.len() as f64);
+            if over_capacity {
+                self.flush(token);
+            }
+        } else {
+            self.shared.metrics.add("serve.io_errors", 1);
+        }
+    }
+
+    /// Adopts sockets the accepting loop handed to this loop's inbox
+    /// (handoff mode only). During drain handed-off sockets are simply
+    /// closed — the peer sees a connection reset instead of waiting on a
+    /// loop that will never serve it.
+    fn adopt_inbox(&mut self) {
+        if self.fanout == 0 {
+            return;
+        }
+        let handed: Vec<TcpStream> = {
+            let mut inbox = self.shared.loops[self.loop_id]
+                .inbox
+                .lock()
+                .expect("inbox poisoned");
+            std::mem::take(&mut *inbox)
+        };
+        for stream in handed {
+            if self.draining {
+                drop(stream);
+                continue;
+            }
+            self.adopt_stream(stream);
         }
     }
 
@@ -366,7 +464,9 @@ impl EventLoop {
                     match conn.state {
                         ConnState::Reading | ConnState::Draining => self.drop_conn(token),
                         ConnState::Writing if conn.streaming() => {
-                            self.shared.metrics.add("serve.replay.disconnects", 1);
+                            if conn.streaming_paced() {
+                                self.shared.metrics.add("serve.replay.disconnects", 1);
+                            }
                             self.drop_conn(token);
                         }
                         ConnState::InFlight | ConnState::Writing => {
@@ -384,7 +484,7 @@ impl EventLoop {
                     if conn.read_buf.len() > MAX_BUFFERED {
                         self.respond(
                             token,
-                            Response::error(400, "request exceeds size limits"),
+                            Response::error(413, "request exceeds size limits"),
                             false,
                         );
                         return;
@@ -417,17 +517,26 @@ impl EventLoop {
         match http::parse_request(&conn.read_buf) {
             Ok(None) => {}
             Err(err) => {
+                // `413` for size-limit violations, `400` for everything
+                // else — both framed with a correct `content-length`, so
+                // a keep-alive client that sent garbage never desyncs.
+                let status = match err {
+                    http::HttpError::TooLarge => 413,
+                    http::HttpError::Malformed(_) => 400,
+                };
                 let message = err.to_string();
-                self.respond(token, Response::error(400, &message), false);
+                self.respond(token, Response::error(status, &message), false);
             }
             Ok(Some(parsed)) => {
                 conn.read_buf.drain(..parsed.consumed);
                 self.shared.metrics.add("serve.requests", 1);
+                self.shared.metrics.add(&self.metric_requests, 1);
                 if conn.served > 0 {
                     self.shared.metrics.add("serve.keepalive.reused", 1);
                 }
                 let keep_alive = parsed.keep_alive && !self.draining;
                 let job = Job {
+                    loop_id: self.loop_id,
                     token,
                     request: parsed.request,
                     received_at: Instant::now(),
@@ -465,26 +574,33 @@ impl EventLoop {
 
     /// Queues response bytes on the connection and starts flushing. A
     /// streaming response queues only the chunked head; its body frames
-    /// are appended by [`EventLoop::pump_streams`] as they come due.
+    /// are appended by [`EventLoop::pump_streams`] as they come due. A
+    /// plain response whose body exceeds the spill threshold is moved
+    /// onto the same chunked path first, so a slow client backpressures
+    /// against the stream pump instead of pinning the whole body in the
+    /// write buffer.
     fn respond(&mut self, token: u64, mut response: Response, keep_alive: bool) {
+        if response.stream.is_none() && response.payload().len() > self.shared.spill_threshold {
+            self.shared.metrics.add("serve.spilled", 1);
+            response.spill_to_stream();
+        }
         let Some(conn) = self.conns.get_mut(&token) else {
             return;
         };
         let keep_alive = keep_alive && !conn.close_after_write;
-        match response.stream.take() {
-            Some(body) => {
-                conn.write_buf = response.serialize_stream_head(keep_alive);
-                conn.replay = Some(StreamState {
-                    chunks: body.chunks,
-                    next: 0,
-                    started: Instant::now(),
-                    finished: false,
-                });
-            }
-            None => {
-                conn.write_buf = response.serialize(keep_alive);
-                conn.replay = None;
-            }
+        if response.stream.is_some() {
+            // Head first: content-type and content-encoding are derived
+            // from the stream body, so serialize before taking it.
+            conn.write_buf = response.serialize_stream_head(keep_alive);
+            conn.replay = Some(StreamState {
+                source: response.stream.take().expect("stream checked above"),
+                next: 0,
+                started: Instant::now(),
+                finished: false,
+            });
+        } else {
+            conn.write_buf = response.serialize(keep_alive);
+            conn.replay = None;
         }
         conn.write_pos = 0;
         conn.close_after_write = !keep_alive;
@@ -496,8 +612,10 @@ impl EventLoop {
 
     /// Frames every due chunk of every live stream into its connection's
     /// write buffer, plus the terminal chunk once a stream is exhausted.
-    /// At speed 0 all offsets are 0 and the whole body is framed on the
-    /// first visit.
+    /// Paced chunks come due on their virtual-time offsets (at speed 0
+    /// all offsets are 0 and the whole body is framed on the first
+    /// visit); bulk bodies are always due and are sliced off only up to
+    /// the backpressure cap.
     fn pump_streams(&mut self) {
         let streaming: Vec<u64> = self
             .conns
@@ -524,21 +642,39 @@ impl EventLoop {
                     conn.write_buf.clear();
                     conn.write_pos = 0;
                 }
-                let elapsed_ms = now.duration_since(stream.started).as_millis() as u64;
                 let mut appended = false;
-                while stream.next < stream.chunks.len()
-                    && stream.chunks[stream.next].0 <= elapsed_ms
-                {
-                    let (_, payload) = &stream.chunks[stream.next];
-                    conn.write_buf
-                        .extend_from_slice(&http::encode_chunk(payload.as_bytes()));
-                    stream.next += 1;
-                    appended = true;
-                }
-                if stream.next >= stream.chunks.len() {
-                    conn.write_buf.extend_from_slice(http::LAST_CHUNK);
-                    stream.finished = true;
-                    appended = true;
+                match &stream.source {
+                    StreamBody::Paced(chunks) => {
+                        let elapsed_ms = now.duration_since(stream.started).as_millis() as u64;
+                        while stream.next < chunks.len() && chunks[stream.next].0 <= elapsed_ms {
+                            let (_, payload) = &chunks[stream.next];
+                            conn.write_buf
+                                .extend_from_slice(&http::encode_chunk(payload.as_bytes()));
+                            stream.next += 1;
+                            appended = true;
+                        }
+                        if stream.next >= chunks.len() {
+                            conn.write_buf.extend_from_slice(http::LAST_CHUNK);
+                            stream.finished = true;
+                            appended = true;
+                        }
+                    }
+                    StreamBody::Bulk { bytes, .. } => {
+                        while stream.next < bytes.len()
+                            && conn.write_buf.len() - conn.write_pos < STREAM_BACKPRESSURE_BYTES
+                        {
+                            let end = (stream.next + BULK_CHUNK).min(bytes.len());
+                            conn.write_buf
+                                .extend_from_slice(&http::encode_chunk(&bytes[stream.next..end]));
+                            stream.next = end;
+                            appended = true;
+                        }
+                        if stream.next >= bytes.len() {
+                            conn.write_buf.extend_from_slice(http::LAST_CHUNK);
+                            stream.finished = true;
+                            appended = true;
+                        }
+                    }
                 }
                 if !appended && conn.write_pos >= conn.write_buf.len() {
                     // Idle between due chunks is pacing, not a stalled
@@ -600,7 +736,7 @@ impl EventLoop {
     /// it — as a mid-stream disconnect too, if a replay was live — and
     /// drop the connection.
     fn fail_write(&mut self, token: u64) {
-        if self.conns.get(&token).is_some_and(|c| c.streaming()) {
+        if self.conns.get(&token).is_some_and(|c| c.streaming_paced()) {
             self.shared.metrics.add("serve.replay.disconnects", 1);
         }
         self.shared.metrics.add("serve.io_errors", 1);
@@ -650,8 +786,7 @@ impl EventLoop {
     /// for connections that died while the worker computed are discarded.
     fn deliver_completions(&mut self) {
         let completions = {
-            let mut guard = self
-                .shared
+            let mut guard = self.shared.loops[self.loop_id]
                 .completions
                 .lock()
                 .expect("completions poisoned");

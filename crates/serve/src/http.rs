@@ -27,6 +27,10 @@ pub struct Request {
     pub query: Vec<(String, String)>,
     /// Raw request body (empty when absent).
     pub body: Vec<u8>,
+    /// Whether the client's `Accept-Encoding` admits gzip (a `gzip` or
+    /// `*` token without `q=0`). Handlers may then answer with a
+    /// gzip-encoded body; identity stays the default.
+    pub accept_gzip: bool,
 }
 
 impl Request {
@@ -130,6 +134,7 @@ pub fn parse_request(buf: &[u8]) -> Result<Option<ParsedRequest>, HttpError> {
 
     let mut content_length = 0usize;
     let mut keep_alive = !http_10;
+    let mut accept_gzip = false;
     for line in lines {
         if line.is_empty() {
             continue;
@@ -150,6 +155,25 @@ pub fn parse_request(buf: &[u8]) -> Result<Option<ParsedRequest>, HttpError> {
                     keep_alive = false;
                 } else if token.eq_ignore_ascii_case("keep-alive") {
                     keep_alive = true;
+                }
+            }
+        } else if name.eq_ignore_ascii_case("accept-encoding") {
+            // Coding list with optional q-values; gzip is acceptable
+            // when named (or wildcarded) with a non-zero weight.
+            for coding in value.split(',') {
+                let mut parts = coding.split(';');
+                let token = parts.next().unwrap_or_default().trim();
+                if !token.eq_ignore_ascii_case("gzip") && token != "*" {
+                    continue;
+                }
+                let refused = parts.any(|p| {
+                    let p = p.trim();
+                    p.strip_prefix("q=")
+                        .or_else(|| p.strip_prefix("Q="))
+                        .is_some_and(|q| q.trim().parse::<f64>() == Ok(0.0))
+                });
+                if !refused {
+                    accept_gzip = true;
                 }
             }
         }
@@ -182,22 +206,40 @@ pub fn parse_request(buf: &[u8]) -> Result<Option<ParsedRequest>, HttpError> {
             path: path.to_string(),
             query,
             body,
+            accept_gzip,
         },
         consumed: total,
         keep_alive,
     }))
 }
 
-/// The body of a chunked streaming response: newline-delimited JSON
-/// events, each with a virtual-time due offset the event loop paces
-/// delivery against.
-#[derive(Debug, Clone, Default)]
-pub struct StreamBody {
-    /// `(due_ms, payload)` in non-decreasing `due_ms` order. `due_ms` is
-    /// wall milliseconds after the response head is written; the payload
-    /// is one NDJSON line (trailing `\n` included) sent as one
-    /// chunked-transfer chunk. At speed 0 every `due_ms` is 0.
-    pub chunks: Vec<(u64, String)>,
+/// The body of a chunked streaming response, pumped by the event loop
+/// under the per-connection backpressure cap.
+#[derive(Debug, Clone)]
+pub enum StreamBody {
+    /// Newline-delimited JSON events as `(due_ms, payload)` in
+    /// non-decreasing `due_ms` order. `due_ms` is wall milliseconds
+    /// after the response head is written; the payload is one NDJSON
+    /// line (trailing `\n` included) sent as one chunked-transfer
+    /// chunk. At speed 0 every `due_ms` is 0.
+    Paced(Vec<(u64, String)>),
+    /// One large pre-rendered body, spilled onto the chunked path so a
+    /// slow client never pins a multi-MB write buffer: the loop slices
+    /// off chunks only as the socket drains them. `gzip` records whether
+    /// the bytes are gzip-encoded (the head still needs its
+    /// `content-encoding` header after the payload moved here).
+    Bulk {
+        /// The complete body bytes, sliced into chunks by the pump.
+        bytes: Vec<u8>,
+        /// Whether `bytes` are gzip-encoded.
+        gzip: bool,
+    },
+}
+
+impl Default for StreamBody {
+    fn default() -> Self {
+        StreamBody::Paced(Vec::new())
+    }
 }
 
 /// Encodes one chunked-transfer chunk: hex size, CRLF, data, CRLF.
@@ -211,9 +253,32 @@ pub fn encode_chunk(payload: &[u8]) -> Vec<u8> {
 /// The terminal zero-length chunk ending a chunked response.
 pub const LAST_CHUNK: &[u8] = b"0\r\n\r\n";
 
+/// Writes one complete response head: status line, the caller's framing
+/// and identity headers, and the `connection` decision, ending with the
+/// blank line. Every head the server emits — content-length responses,
+/// chunked streams, error paths that used to be hand-built — goes
+/// through here, so framing headers can't drift apart per call site and
+/// keep-alive clients always see a correctly framed body.
+///
+/// `headers` are `(name, value)` pairs appended verbatim (lowercase
+/// names by convention).
+pub fn write_head(status: u16, reason: &str, keep_alive: bool, headers: &[(&str, &str)]) -> String {
+    let mut head = format!("HTTP/1.1 {status} {reason}\r\n");
+    for (name, value) in headers {
+        head.push_str(name);
+        head.push_str(": ");
+        head.push_str(value);
+        head.push_str("\r\n");
+    }
+    head.push_str("connection: ");
+    head.push_str(if keep_alive { "keep-alive" } else { "close" });
+    head.push_str("\r\n\r\n");
+    head
+}
+
 /// A response ready to serialize: status, optional Retry-After /
-/// Location headers, and either a JSON body (content-length framing) or
-/// a paced chunked stream.
+/// Location headers, and either a JSON body (content-length framing,
+/// optionally gzip-encoded) or a chunked stream.
 #[derive(Debug, Clone)]
 pub struct Response {
     /// HTTP status code.
@@ -222,11 +287,14 @@ pub struct Response {
     pub retry_after: Option<u32>,
     /// `Location` header, sent on redirects.
     pub location: Option<String>,
-    /// JSON body (ignored for streaming responses).
+    /// JSON body (ignored for streaming or encoded responses).
     pub body: String,
+    /// Gzip-encoded body; `Some` sends these bytes with
+    /// `content-encoding: gzip` instead of `body`.
+    pub encoded: Option<Vec<u8>>,
     /// Chunked streaming body; `Some` makes this a
-    /// `Transfer-Encoding: chunked` NDJSON response paced by the event
-    /// loop, and `body` is not sent.
+    /// `Transfer-Encoding: chunked` response driven by the event loop,
+    /// and `body` is not sent.
     pub stream: Option<StreamBody>,
 }
 
@@ -238,6 +306,20 @@ impl Response {
             retry_after: None,
             location: None,
             body,
+            encoded: None,
+            stream: None,
+        }
+    }
+
+    /// A `200 OK` response whose body is already gzip-encoded; sent
+    /// with `content-encoding: gzip`.
+    pub fn ok_gzip(encoded: Vec<u8>) -> Self {
+        Self {
+            status: 200,
+            retry_after: None,
+            location: None,
+            body: String::new(),
+            encoded: Some(encoded),
             stream: None,
         }
     }
@@ -252,6 +334,7 @@ impl Response {
             retry_after: None,
             location: None,
             body,
+            encoded: None,
             stream: None,
         }
     }
@@ -275,17 +358,19 @@ impl Response {
             retry_after: None,
             location: Some(location.to_string()),
             body,
+            encoded: None,
             stream: None,
         }
     }
 
-    /// A `200 OK` chunked NDJSON stream.
+    /// A `200 OK` chunked stream.
     pub fn stream(stream: StreamBody) -> Self {
         Self {
             status: 200,
             retry_after: None,
             location: None,
             body: String::new(),
+            encoded: None,
             stream: Some(stream),
         }
     }
@@ -297,19 +382,35 @@ impl Response {
             400 => "Bad Request",
             404 => "Not Found",
             405 => "Method Not Allowed",
+            413 => "Content Too Large",
             500 => "Internal Server Error",
             503 => "Service Unavailable",
             _ => "Response",
         }
     }
 
-    fn extra_headers(&self, head: &mut String) {
-        if let Some(secs) = self.retry_after {
-            head.push_str(&format!("retry-after: {secs}\r\n"));
+    /// The bytes the content-length framing will send: the encoded body
+    /// when present, the JSON text otherwise.
+    pub fn payload(&self) -> &[u8] {
+        match &self.encoded {
+            Some(bytes) => bytes,
+            None => self.body.as_bytes(),
         }
-        if let Some(location) = &self.location {
-            head.push_str(&format!("location: {location}\r\n"));
-        }
+    }
+
+    /// Moves an oversized content-length payload onto the chunked path:
+    /// the body becomes a [`StreamBody::Bulk`] and the response
+    /// serializes with `transfer-encoding: chunked` instead of an
+    /// enormous `content-length`. Gzip payloads keep their
+    /// `content-encoding` header. No-op semantics are the caller's
+    /// concern: only call on a response without a stream.
+    pub fn spill_to_stream(&mut self) {
+        debug_assert!(self.stream.is_none(), "response already streams");
+        let (bytes, gzip) = match self.encoded.take() {
+            Some(bytes) => (bytes, true),
+            None => (std::mem::take(&mut self.body).into_bytes(), false),
+        };
+        self.stream = Some(StreamBody::Bulk { bytes, gzip });
     }
 
     /// Serializes the full content-length-framed response. `keep_alive`
@@ -317,33 +418,57 @@ impl Response {
     /// connection open for the next pipelined request, `close` announces
     /// the server will half-close after the body.
     pub fn serialize(&self, keep_alive: bool) -> Vec<u8> {
-        let mut head = format!(
-            "HTTP/1.1 {} {}\r\ncontent-type: application/json\r\ncontent-length: {}\r\nconnection: {}\r\n",
-            self.status,
-            self.reason(),
-            self.body.len(),
-            if keep_alive { "keep-alive" } else { "close" },
-        );
-        self.extra_headers(&mut head);
-        head.push_str("\r\n");
-        let mut out = head.into_bytes();
-        out.extend_from_slice(self.body.as_bytes());
+        let length = self.payload().len().to_string();
+        let retry = self.retry_after.map(|secs| secs.to_string());
+        let mut headers: Vec<(&str, &str)> = vec![
+            ("content-type", "application/json"),
+            ("content-length", &length),
+        ];
+        if self.encoded.is_some() {
+            headers.push(("content-encoding", "gzip"));
+        }
+        if let Some(retry) = &retry {
+            headers.push(("retry-after", retry));
+        }
+        if let Some(location) = &self.location {
+            headers.push(("location", location));
+        }
+        let mut out = write_head(self.status, self.reason(), keep_alive, &headers).into_bytes();
+        out.extend_from_slice(self.payload());
         out
     }
 
     /// Serializes the head of a chunked streaming response; the event
-    /// loop follows with [`encode_chunk`]-framed payloads as they come
-    /// due and [`LAST_CHUNK`] at end of stream.
+    /// loop follows with [`encode_chunk`]-framed payloads —
+    /// virtual-time-paced NDJSON lines for [`StreamBody::Paced`],
+    /// backpressured body slices for [`StreamBody::Bulk`] — and
+    /// [`LAST_CHUNK`] at end of stream.
     pub fn serialize_stream_head(&self, keep_alive: bool) -> Vec<u8> {
-        let mut head = format!(
-            "HTTP/1.1 {} {}\r\ncontent-type: application/x-ndjson\r\ntransfer-encoding: chunked\r\nconnection: {}\r\n",
-            self.status,
-            self.reason(),
-            if keep_alive { "keep-alive" } else { "close" },
-        );
-        self.extra_headers(&mut head);
-        head.push_str("\r\n");
-        head.into_bytes()
+        let paced = matches!(self.stream, Some(StreamBody::Paced(_)));
+        let gzip = self.encoded.is_some()
+            || matches!(self.stream, Some(StreamBody::Bulk { gzip: true, .. }));
+        let retry = self.retry_after.map(|secs| secs.to_string());
+        let mut headers: Vec<(&str, &str)> = vec![
+            (
+                "content-type",
+                if paced {
+                    "application/x-ndjson"
+                } else {
+                    "application/json"
+                },
+            ),
+            ("transfer-encoding", "chunked"),
+        ];
+        if gzip {
+            headers.push(("content-encoding", "gzip"));
+        }
+        if let Some(retry) = &retry {
+            headers.push(("retry-after", retry));
+        }
+        if let Some(location) = &self.location {
+            headers.push(("location", location));
+        }
+        write_head(self.status, self.reason(), keep_alive, &headers).into_bytes()
     }
 }
 

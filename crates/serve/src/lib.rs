@@ -29,14 +29,22 @@
 //! so a paced stream never holds a worker thread.
 //!
 //! Architecture (documented in depth in the repository's `SERVING.md`):
-//! one event-loop thread owns every socket on a raw-syscall epoll
-//! [`poller`] (with `poll(2)` and portable scan fallbacks) and speaks
-//! pipelined HTTP/1.1 keep-alive with per-connection buffers and idle
-//! timeouts; a bounded queue feeds a worker pool that computes responses
-//! and hands them back through a completion list + [`poller::Waker`].
-//! Snapshots are served from a [`catalog`] of mmap-backed `.dcfsnap`
-//! files, pinned and reloadable at runtime (SIGHUP or
-//! `POST /catalog/reload`).
+//! `--loops L` sharded event-loop threads each own a disjoint slice of
+//! the sockets on their own raw-syscall epoll [`poller`] instance (with
+//! `poll(2)` and portable scan fallbacks) and speak pipelined HTTP/1.1
+//! keep-alive with per-connection buffers and idle timeouts. Accepts
+//! spread over the loops via a group of `SO_REUSEPORT` listeners where
+//! the platform supports it, or a round-robin handoff from loop 0
+//! otherwise; a connection never migrates after adoption. A bounded
+//! queue feeds a shared worker pool that computes responses and hands
+//! them back through per-loop completion lists + [`poller::Waker`]s.
+//! The run cache, gzip section cache, and snapshot [`catalog`] are
+//! shared behind `Arc`, so responses are byte-identical whichever loop
+//! serves them. Large bodies spill onto the chunked-transfer path and
+//! `Accept-Encoding: gzip` is honored on report/fots routes with an
+//! in-crate DEFLATE encoder ([`gzip`]). Snapshots are served from a
+//! [`catalog`] of mmap-backed `.dcfsnap` files, pinned and reloadable
+//! at runtime (SIGHUP or `POST /catalog/reload`).
 //!
 //! Design constraints carried over from the rest of the workspace: no
 //! heavyweight dependencies (std sockets + raw syscalls + `crossbeam`
@@ -52,6 +60,7 @@
 pub mod cache;
 pub mod catalog;
 mod event_loop;
+pub mod gzip;
 pub mod http;
 pub mod mmap;
 pub mod poller;

@@ -1,22 +1,28 @@
 //! The service itself: configuration, worker pool, endpoint dispatch,
 //! and lifecycle around the event loop.
 //!
-//! Threading model: [`Server::start`] binds the listener, opens the
-//! [`Poller`], loads the snapshot catalog, and
-//! spawns one supervisor thread that owns a `crossbeam::thread::scope`.
-//! Inside the scope, `workers` scoped threads pop jobs from a
-//! [`BoundedQueue`] and compute responses (simulate, render, page),
-//! while the supervisor thread itself runs the readiness event loop that
-//! owns every socket. A full queue is the load-shed signal: the event
-//! loop answers `503` + `Retry-After` with `Connection: close` instead
-//! of queueing unboundedly.
+//! Threading model: [`Server::start`] binds the listeners, opens one
+//! [`Poller`] per event loop, loads the snapshot catalog, and spawns one
+//! supervisor thread that owns a `crossbeam::thread::scope`. Inside the
+//! scope, `workers` scoped threads pop jobs from a [`BoundedQueue`] and
+//! compute responses (simulate, render, page), while `loops` scoped
+//! threads each run an independent readiness event loop with its own
+//! poller and connection table (the supervisor thread runs loop 0
+//! itself). With `SO_REUSEPORT` support every loop accepts from its own
+//! kernel-balanced listener on the shared address; otherwise loop 0 owns
+//! the sole listener and round-robins accepted sockets to its peers
+//! through per-loop inboxes. The run cache, single-flight map, and
+//! snapshot catalog are shared behind one `Arc`, so cached bodies are
+//! byte-identical regardless of which loop serves them. A full queue is
+//! the load-shed signal: the event loop answers `503` + `Retry-After`
+//! with `Connection: close` instead of queueing unboundedly.
 //!
-//! Shutdown flips the shared stop flag and rings the waker: the event
-//! loop stops accepting, flushes every in-flight response
+//! Shutdown flips the shared stop flag and rings every loop's waker:
+//! each loop stops accepting, flushes every in-flight response
 //! (`Connection: close`), and exits; the queue is closed, workers drain,
 //! the scope joins, and the final metrics report is returned.
 
-use std::net::{SocketAddr, TcpListener};
+use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
@@ -28,8 +34,9 @@ use dcf_sim::{RunOptions, Scenario};
 use crate::cache::{scenario_hash, CacheKey, ResponseCache, RunArtifacts, RunEntry};
 use crate::catalog::{Catalog, ReloadSummary};
 use crate::event_loop::EventLoop;
+use crate::gzip;
 use crate::http::{Request, Response, StreamBody};
-use crate::poller::{Poller, Waker};
+use crate::poller::{self, Poller, Waker};
 use crate::queue::BoundedQueue;
 use crate::sections::{self, Obj, RunIdentity};
 
@@ -76,6 +83,16 @@ pub struct ServeConfig {
     /// Poller backend preference (`"epoll"`, `"poll"`, `"scan"`); `None`
     /// picks the best supported backend.
     pub poller_backend: Option<String>,
+    /// Event-loop (poller thread) count; `0` = one per available core.
+    pub loops: usize,
+    /// Whether a multi-loop server may use `SO_REUSEPORT` listeners.
+    /// `false` forces the portable handoff path (loop 0 accepts and
+    /// round-robins), which tests use for deterministic placement.
+    pub reuseport: bool,
+    /// Bodies larger than this many bytes are spilled onto the chunked
+    /// transfer path instead of being framed with `content-length`, so a
+    /// slow client backpressures instead of pinning a multi-MB buffer.
+    pub spill_threshold: usize,
 }
 
 impl Default for ServeConfig {
@@ -93,6 +110,9 @@ impl Default for ServeConfig {
             max_connections: 12_000,
             idle_timeout: Duration::from_secs(10),
             poller_backend: None,
+            loops: 1,
+            reuseport: true,
+            spill_threshold: 256 * 1024,
         }
     }
 }
@@ -176,11 +196,38 @@ impl ServeConfig {
         self.poller_backend = Some(backend.to_string());
         self
     }
+
+    /// Sets the event-loop count (`0` = one per available core).
+    #[must_use]
+    pub fn loops(mut self, loops: usize) -> Self {
+        self.loops = loops;
+        self
+    }
+
+    /// Allows or forbids `SO_REUSEPORT` accept sharding (forbidding it
+    /// selects the portable handoff path even when the kernel supports
+    /// shared listeners).
+    #[must_use]
+    pub fn reuseport(mut self, allowed: bool) -> Self {
+        self.reuseport = allowed;
+        self
+    }
+
+    /// Sets the body size above which responses spill onto the chunked
+    /// transfer path.
+    #[must_use]
+    pub fn spill_threshold(mut self, bytes: usize) -> Self {
+        self.spill_threshold = bytes;
+        self
+    }
 }
 
-/// One parsed request handed from the event loop to the worker pool.
+/// One parsed request handed from an event loop to the worker pool.
 #[derive(Debug)]
 pub(crate) struct Job {
+    /// Event loop owning the connection; the completion routes back to
+    /// this loop's completion list and waker.
+    pub(crate) loop_id: usize,
     /// Connection token the response routes back to.
     pub(crate) token: u64,
     /// The parsed request.
@@ -199,19 +246,33 @@ pub(crate) struct Completion {
     pub(crate) keep_alive: bool,
 }
 
-/// State shared between the event loop, the worker pool, and the
+/// Per-event-loop mailboxes: the lanes through which workers (and, in
+/// handoff mode, the accepting loop) reach one specific loop.
+pub(crate) struct LoopShared {
+    /// Responses computed by workers, drained by this loop.
+    pub(crate) completions: Mutex<Vec<Completion>>,
+    /// Rings this loop out of its wait (completion ready, inbox handoff,
+    /// shutdown).
+    pub(crate) waker: Waker,
+    /// Accepted sockets handed off by the fallback acceptor (loop 0)
+    /// when `SO_REUSEPORT` isn't in play; the loop adopts them on wake.
+    pub(crate) inbox: Mutex<Vec<TcpStream>>,
+}
+
+/// State shared between the event loops, the worker pool, and the
 /// [`Server`] handle.
 pub(crate) struct Shared {
     pub(crate) cache: ResponseCache,
     pub(crate) metrics: MetricsRegistry,
     pub(crate) deadline: Duration,
     pub(crate) compute_delay: Duration,
+    /// Bodies above this many bytes go out chunked instead of
+    /// content-length framed.
+    pub(crate) spill_threshold: usize,
     /// Name-addressed pinned snapshot entries (`--catalog` / `--snapshot`).
     pub(crate) catalog: Option<Catalog>,
-    /// Responses computed by workers, drained by the event loop.
-    pub(crate) completions: Mutex<Vec<Completion>>,
-    /// Rings the event loop out of its wait (completion ready, shutdown).
-    pub(crate) waker: Waker,
+    /// One mailbox set per event loop, indexed by `Job::loop_id`.
+    pub(crate) loops: Vec<LoopShared>,
     /// Graceful-shutdown flag.
     pub(crate) stop: AtomicBool,
 }
@@ -246,14 +307,35 @@ impl Server {
     /// failures (a corrupt snapshot fails startup; see
     /// [`Catalog::open`]).
     pub fn start(config: ServeConfig) -> std::io::Result<Server> {
-        let listener = TcpListener::bind(&config.addr)?;
-        listener.set_nonblocking(true)?;
-        let addr = listener.local_addr()?;
+        let loops = match config.loops {
+            0 => std::thread::available_parallelism().map_or(1, |n| n.get()),
+            n => n,
+        };
         let metrics = config.metrics.clone();
 
-        let poller = Poller::new(config.poller_backend.as_deref())?;
-        let backend = poller.backend_name();
-        let (waker, waker_rx) = Waker::pair()?;
+        // Listener plan: a single loop keeps the classic one-listener
+        // setup; multiple loops prefer a SO_REUSEPORT group (each loop
+        // accepts its own kernel-balanced share of the address) and fall
+        // back to loop 0 owning the sole listener and handing accepted
+        // sockets to its peers round-robin.
+        let mut listeners: Vec<Option<TcpListener>> = Vec::new();
+        let mut accept_mode = "reuseport";
+        if loops > 1 && config.reuseport && poller::REUSEPORT_SUPPORTED {
+            if let Some(group) = reuseport_group(&config.addr, loops) {
+                listeners = group.into_iter().map(Some).collect();
+            }
+        }
+        if listeners.is_empty() {
+            accept_mode = if loops > 1 { "handoff" } else { "single" };
+            let listener = TcpListener::bind(&config.addr)?;
+            listener.set_nonblocking(true)?;
+            listeners.push(Some(listener));
+            listeners.resize_with(loops, || None);
+        }
+        let addr = listeners[0]
+            .as_ref()
+            .expect("loop 0 always has a listener")
+            .local_addr()?;
 
         let cache = ResponseCache::new(config.cache_entries);
         let catalog = match (&config.catalog, &config.snapshot) {
@@ -262,30 +344,57 @@ impl Server {
             (None, None) => None,
         };
 
+        let mut backend = "";
+        let mut lanes = Vec::with_capacity(loops);
+        let mut loop_parts = Vec::with_capacity(loops);
+        for _ in 0..loops {
+            let poller = Poller::new(config.poller_backend.as_deref())?;
+            backend = poller.backend_name();
+            let (waker, waker_rx) = Waker::pair()?;
+            lanes.push(LoopShared {
+                completions: Mutex::new(Vec::new()),
+                waker,
+                inbox: Mutex::new(Vec::new()),
+            });
+            loop_parts.push((poller, waker_rx));
+        }
+
         let shared = Arc::new(Shared {
             cache,
             metrics: config.metrics.clone(),
             deadline: config.request_deadline,
             compute_delay: config.compute_delay,
+            spill_threshold: config.spill_threshold,
             catalog,
-            completions: Mutex::new(Vec::new()),
-            waker,
+            loops: lanes,
             stop: AtomicBool::new(false),
         });
+        metrics.set_gauge("serve.loops", loops as f64);
         let queue = Arc::new(BoundedQueue::<Job>::new(config.queue_depth));
         let workers = config.workers.max(1);
-        let max_connections = config.max_connections.max(8);
+        // Each loop polices its share of the connection budget.
+        let per_loop_conns = config.max_connections.max(8).div_ceil(loops);
         let idle_timeout = config.idle_timeout;
+        // Round-robin fanout is only live in handoff mode; REUSEPORT
+        // loops (and a single loop) serve everything they accept.
+        let fanout = if accept_mode == "handoff" { loops } else { 0 };
 
-        let event_loop = EventLoop::new(
-            poller,
-            listener,
-            waker_rx,
-            Arc::clone(&queue),
-            Arc::clone(&shared),
-            max_connections,
-            idle_timeout,
-        )?;
+        let mut event_loops = Vec::with_capacity(loops);
+        for (loop_id, ((poller, waker_rx), listener)) in
+            loop_parts.into_iter().zip(listeners).enumerate()
+        {
+            event_loops.push(EventLoop::new(
+                loop_id,
+                fanout,
+                poller,
+                listener,
+                waker_rx,
+                Arc::clone(&queue),
+                Arc::clone(&shared),
+                per_loop_conns,
+                idle_timeout,
+            )?);
+        }
 
         let loop_shared = Arc::clone(&shared);
         let handle = std::thread::Builder::new()
@@ -297,8 +406,17 @@ impl Server {
                         let shared = Arc::clone(&loop_shared);
                         s.spawn(move |_| worker_loop(&shared, &queue));
                     }
-                    event_loop.run();
-                    // Event loop exited with every accepted request
+                    let mut event_loops = event_loops;
+                    let first = event_loops.remove(0);
+                    let peers: Vec<_> = event_loops
+                        .into_iter()
+                        .map(|event_loop| s.spawn(move |_| event_loop.run()))
+                        .collect();
+                    first.run();
+                    for peer in peers {
+                        let _ = peer.join();
+                    }
+                    // Every loop exited with every accepted request
                     // answered; close the queue so workers drain and join.
                     queue.close();
                 })
@@ -345,7 +463,9 @@ impl Server {
     /// response, join all threads, and return the final metrics snapshot.
     pub fn shutdown(mut self) -> RunReport {
         self.shared.stop.store(true, Ordering::SeqCst);
-        self.shared.waker.wake();
+        for lane in &self.shared.loops {
+            lane.waker.wake();
+        }
         if let Some(handle) = self.handle.take() {
             let _ = handle.join();
         }
@@ -356,15 +476,33 @@ impl Server {
 impl Drop for Server {
     fn drop(&mut self) {
         self.shared.stop.store(true, Ordering::SeqCst);
-        self.shared.waker.wake();
+        for lane in &self.shared.loops {
+            lane.waker.wake();
+        }
         if let Some(handle) = self.handle.take() {
             let _ = handle.join();
         }
     }
 }
 
+/// Binds `count` `SO_REUSEPORT` listeners on `addr` — the first bind
+/// resolves a `:0` port so the rest share it. `None` when the address
+/// doesn't resolve to IPv4 or any bind fails; the caller falls back to
+/// the single-listener handoff plan.
+fn reuseport_group(addr: &str, count: usize) -> Option<Vec<TcpListener>> {
+    use std::net::ToSocketAddrs;
+    let target = addr.to_socket_addrs().ok()?.find(SocketAddr::is_ipv4)?;
+    let first = poller::reuseport_listener(target).ok()?;
+    let resolved = first.local_addr().ok()?;
+    let mut group = vec![first];
+    for _ in 1..count {
+        group.push(poller::reuseport_listener(resolved).ok()?);
+    }
+    Some(group)
+}
+
 /// Worker thread body: pop, enforce the queued-time deadline, dispatch,
-/// hand the completion back, ring the waker.
+/// hand the completion back to the owning loop, ring that loop's waker.
 fn worker_loop(shared: &Shared, queue: &BoundedQueue<Job>) {
     while let Some(job) = queue.pop() {
         let _span = shared.metrics.worker_phase("serve.request");
@@ -381,8 +519,8 @@ fn worker_loop(shared: &Shared, queue: &BoundedQueue<Job>) {
             }
             (response, job.keep_alive)
         };
-        shared
-            .completions
+        let lane = &shared.loops[job.loop_id];
+        lane.completions
             .lock()
             .expect("completions poisoned")
             .push(Completion {
@@ -390,7 +528,7 @@ fn worker_loop(shared: &Shared, queue: &BoundedQueue<Job>) {
                 response,
                 keep_alive,
             });
-        shared.waker.wake();
+        lane.waker.wake();
     }
 }
 
@@ -676,14 +814,15 @@ fn handle_report(shared: &Shared, request: &Request, section: &str) -> Response 
         Ok(pair) => pair,
         Err(resp) => return resp,
     };
-    if let Some(body) = entry
+    let cached_body = entry
         .sections
         .lock()
         .expect("sections poisoned")
         .get(section)
-    {
+        .cloned();
+    if let Some(body) = cached_body {
         shared.metrics.add("serve.section.cached", 1);
-        return Response::ok(body.to_string());
+        return section_response(shared, &entry, section, &body, request.accept_gzip);
     }
     let artifacts = match entry.run.get() {
         Some(Ok(a)) => Arc::clone(a),
@@ -702,12 +841,56 @@ fn handle_report(shared: &Shared, request: &Request, section: &str) -> Response 
         digest: &artifacts.digest,
     };
     let body = sections::render(section, id, report).expect("section name pre-validated");
-    let mut cached = entry.sections.lock().expect("sections poisoned");
-    let body: Arc<str> = cached
+    let body: Arc<str> = entry
+        .sections
+        .lock()
+        .expect("sections poisoned")
         .entry(section)
         .or_insert_with(|| Arc::from(body.as_str()))
         .clone();
-    Response::ok(body.to_string())
+    section_response(shared, &entry, section, &body, request.accept_gzip)
+}
+
+/// Wraps a rendered section body for the wire: identity by default, the
+/// entry's cached gzip render when the client accepts it (compressed
+/// once per section per run, then shared by every loop).
+fn section_response(
+    shared: &Shared,
+    entry: &RunEntry,
+    section: &'static str,
+    body: &str,
+    accept_gzip: bool,
+) -> Response {
+    if !accept_gzip {
+        return Response::ok(body.to_string());
+    }
+    let cached = entry
+        .gzip_sections
+        .lock()
+        .expect("gzip sections poisoned")
+        .get(section)
+        .cloned();
+    let bytes = match cached {
+        Some(bytes) => bytes,
+        None => {
+            let _span = shared.metrics.worker_phase("serve.gzip.encode");
+            let encoded: Arc<[u8]> = gzip::gzip(body.as_bytes()).into();
+            entry
+                .gzip_sections
+                .lock()
+                .expect("gzip sections poisoned")
+                .entry(section)
+                .or_insert_with(|| Arc::clone(&encoded))
+                .clone()
+        }
+    };
+    if bytes.len() >= body.len() {
+        // Tiny aggregates can come out larger framed than plain; the
+        // cache still remembers the render so the size check is cheap.
+        return Response::ok(body.to_string());
+    }
+    shared.metrics.add("serve.gzip.responses", 1);
+    Response::ok_gzip(bytes.to_vec())
 }
 
 fn handle_fots(shared: &Shared, request: &Request, digest: &str) -> Response {
@@ -798,6 +981,16 @@ fn handle_fots(shared: &Shared, request: &Request, digest: &str) -> Response {
         }
     }
     body.push_str("]}");
+    if request.accept_gzip {
+        // Pages are query-dependent, so they compress per request
+        // instead of landing in the per-section cache.
+        let _span = shared.metrics.worker_phase("serve.gzip.encode");
+        let encoded = gzip::gzip(body.as_bytes());
+        if encoded.len() < body.len() {
+            shared.metrics.add("serve.gzip.responses", 1);
+            return Response::ok_gzip(encoded);
+        }
+    }
     Response::ok(body)
 }
 
@@ -854,5 +1047,5 @@ fn handle_replay(shared: &Shared, request: &Request, scenario: &str) -> Response
         chunks.push((due, format!("{}\n", event.line)));
     }
     chunks.push((last_due, format!("{}\n", outcome.summary_line)));
-    Response::stream(StreamBody { chunks })
+    Response::stream(StreamBody::Paced(chunks))
 }

@@ -53,6 +53,17 @@ impl Client {
     /// Reads exactly one response off the connection (more may follow —
     /// that is pipelining).
     fn read_reply(&mut self) -> Reply {
+        let (status, headers, body) = self.read_reply_raw();
+        Reply {
+            status,
+            headers,
+            body: String::from_utf8(body).expect("UTF-8 body"),
+        }
+    }
+
+    /// Like [`Self::read_reply`] but keeps the body as raw bytes —
+    /// required for `Content-Encoding: gzip` responses.
+    fn read_reply_raw(&mut self) -> (u16, Vec<(String, String)>, Vec<u8>) {
         let head_len = loop {
             if let Some(pos) = self.buf.windows(4).position(|w| w == b"\r\n\r\n") {
                 break pos + 4;
@@ -69,22 +80,29 @@ impl Client {
         while self.buf.len() < head_len + content_length {
             self.fill("response body");
         }
-        let body = String::from_utf8(self.buf[head_len..head_len + content_length].to_vec())
-            .expect("UTF-8 body");
+        let body = self.buf[head_len..head_len + content_length].to_vec();
         self.buf.drain(..head_len + content_length);
 
         let (status, headers) = parse_head(&head);
-        Reply {
-            status,
-            headers,
-            body,
-        }
+        (status, headers, body)
     }
 
     /// Reads one `Transfer-Encoding: chunked` response off the
     /// connection, decoding the chunk framing; the returned body is the
     /// reassembled payload bytes.
     fn read_chunked_reply(&mut self) -> Reply {
+        let (status, headers, body) = self.read_chunked_raw();
+        Reply {
+            status,
+            headers,
+            body: String::from_utf8(body).expect("UTF-8 body"),
+        }
+    }
+
+    /// Like [`Self::read_chunked_reply`] but keeps the reassembled
+    /// payload as raw bytes — required for gzip bodies spilled onto the
+    /// chunked path.
+    fn read_chunked_raw(&mut self) -> (u16, Vec<(String, String)>, Vec<u8>) {
         let head_len = loop {
             if let Some(pos) = self.buf.windows(4).position(|w| w == b"\r\n\r\n") {
                 break pos + 4;
@@ -102,7 +120,7 @@ impl Client {
             Some("chunked"),
             "streaming response must be chunked: {head}"
         );
-        let mut body = String::new();
+        let mut body = Vec::new();
         loop {
             let size_end = loop {
                 if let Some(i) = self.buf.windows(2).position(|w| w == b"\r\n") {
@@ -126,18 +144,13 @@ impl Client {
                 b"\r\n",
                 "chunk payload must end with CRLF"
             );
-            let payload = self.buf[size_end + 2..size_end + 2 + size].to_vec();
+            body.extend_from_slice(&self.buf[size_end + 2..size_end + 2 + size]);
             self.buf.drain(..frame_len);
             if size == 0 {
                 break;
             }
-            body.push_str(std::str::from_utf8(&payload).expect("UTF-8 chunk"));
         }
-        Reply {
-            status,
-            headers,
-            body,
-        }
+        (status, headers, body)
     }
 
     fn fill(&mut self, what: &str) {
@@ -885,4 +898,279 @@ fn graceful_shutdown_completes_in_flight_requests() {
 
     // The listener is gone: new connections are refused.
     assert!(TcpStream::connect(addr).is_err());
+}
+
+fn get_gzip_keep_alive(path: &str) -> String {
+    format!("GET {path} HTTP/1.1\r\nhost: t\r\naccept-encoding: gzip\r\n\r\n")
+}
+
+#[test]
+fn gzip_sections_decode_byte_identical_across_two_loops() {
+    // Two event loops in deterministic handoff mode: loop 0 accepts and
+    // round-robins connections, so consecutive one-shot clients land on
+    // alternating loops.
+    let metrics = MetricsRegistry::new();
+    let server = Server::start(
+        ServeConfig::default()
+            .addr("127.0.0.1:0")
+            .workers(2)
+            .loops(2)
+            .reuseport(false)
+            .metrics(&metrics),
+    )
+    .expect("two-loop server starts");
+    let addr = server.local_addr();
+
+    let primed = post(addr, "/v1/simulate", r#"{"scenario":"small","seed":7}"#);
+    assert_eq!(primed.status, 200, "simulate failed: {}", primed.body);
+    let path = "/v1/report/overview?scenario=small&seed=7";
+    let identity = get(addr, path);
+    assert_eq!(identity.status, 200);
+    assert_eq!(identity.header("content-encoding"), None);
+
+    // Four fresh connections — two per loop under round-robin handoff —
+    // each asking for gzip. Every compressed body must be byte-identical
+    // (the encode is cached once per section, shared across loops) and
+    // must inflate to exactly the identity body.
+    let mut compressed: Vec<Vec<u8>> = Vec::new();
+    for i in 0..4 {
+        let mut client = Client::connect(addr);
+        client.send(&get_gzip_keep_alive(path));
+        let (status, headers, body) = client.read_reply_raw();
+        assert_eq!(status, 200, "gzip request {i}");
+        assert_eq!(
+            headers
+                .iter()
+                .find(|(k, _)| k == "content-encoding")
+                .map(|(_, v)| v.as_str()),
+            Some("gzip"),
+            "request {i} negotiated gzip"
+        );
+        compressed.push(body);
+    }
+    for body in &compressed[1..] {
+        assert_eq!(
+            body, &compressed[0],
+            "gzip bodies must be byte-identical across loops"
+        );
+    }
+    // The small-scenario overview is tiny (~850 bytes); the big ratio
+    // wins are measured on paper-scale bodies in BENCH_PR10.json. Here
+    // gzip just has to shrink the payload.
+    assert!(
+        compressed[0].len() < identity.body.len(),
+        "gzip must shrink the JSON section ({} vs {})",
+        compressed[0].len(),
+        identity.body.len()
+    );
+    let inflated = dcf_serve::gzip::gunzip(&compressed[0]).expect("server gzip inflates");
+    assert_eq!(
+        String::from_utf8(inflated).expect("UTF-8 section"),
+        identity.body,
+        "gzip and identity responses must carry the same payload"
+    );
+
+    // A single-loop server produces the very same bytes for both
+    // encodings: loop count must never leak into payloads.
+    let single_metrics = MetricsRegistry::new();
+    let single = Server::start(
+        ServeConfig::default()
+            .addr("127.0.0.1:0")
+            .workers(2)
+            .metrics(&single_metrics),
+    )
+    .expect("single-loop server starts");
+    let single_addr = single.local_addr();
+    assert_eq!(
+        post(
+            single_addr,
+            "/v1/simulate",
+            r#"{"scenario":"small","seed":7}"#
+        )
+        .status,
+        200
+    );
+    assert_eq!(
+        get(single_addr, path).body,
+        identity.body,
+        "identity payload must match across loop counts"
+    );
+    let mut client = Client::connect(single_addr);
+    client.send(&get_gzip_keep_alive(path));
+    let (_, _, single_gzip) = client.read_reply_raw();
+    assert_eq!(
+        single_gzip, compressed[0],
+        "gzip payload must match across loop counts"
+    );
+    single.shutdown();
+
+    let report = server.shutdown();
+    assert!(report.counter("serve.gzip.responses").unwrap_or(0) >= 4);
+    // The encode phase ran (at least once; later hits reuse the bytes).
+    assert!(report.phase_ms("serve.gzip.encode").is_some());
+    // Round-robin handoff spread the connections over both loops.
+    for lp in 0..2 {
+        assert!(
+            report
+                .counter(&format!("serve.loop.{lp}.requests"))
+                .unwrap_or(0)
+                >= 1,
+            "loop {lp} served no requests"
+        );
+    }
+}
+
+#[test]
+fn oversized_bodies_spill_onto_the_chunked_path() {
+    // A 300-byte spill threshold forces every report section — identity
+    // (~850 bytes) and gzip (~450) alike — onto the chunked-transfer
+    // path while /healthz stays content-length framed. Spill is decided
+    // on the encoded payload, so the threshold must sit below the
+    // compressed size for gzip responses to stream.
+    let metrics = MetricsRegistry::new();
+    let server = Server::start(
+        ServeConfig::default()
+            .addr("127.0.0.1:0")
+            .workers(2)
+            .spill_threshold(300)
+            .metrics(&metrics),
+    )
+    .expect("server starts");
+    let addr = server.local_addr();
+
+    assert_eq!(
+        post(addr, "/v1/simulate", r#"{"scenario":"small","seed":11}"#).status,
+        200
+    );
+
+    // Small responses keep content-length framing.
+    let health = get(addr, "/healthz");
+    assert_eq!(health.status, 200);
+    assert!(health.header("content-length").is_some());
+
+    // Reference body from an unspilled server.
+    let plain_metrics = MetricsRegistry::new();
+    let plain = Server::start(
+        ServeConfig::default()
+            .addr("127.0.0.1:0")
+            .workers(2)
+            .metrics(&plain_metrics),
+    )
+    .expect("reference server starts");
+    assert_eq!(
+        post(
+            plain.local_addr(),
+            "/v1/simulate",
+            r#"{"scenario":"small","seed":11}"#
+        )
+        .status,
+        200
+    );
+    let path = "/v1/report/overview?scenario=small&seed=11";
+    let reference = get(plain.local_addr(), path);
+    assert_eq!(reference.status, 200);
+    plain.shutdown();
+    assert!(
+        reference.body.len() > 300,
+        "overview must exceed the spill threshold"
+    );
+
+    // The spilled section arrives chunked, on a keep-alive connection,
+    // and reassembles to the identical payload.
+    let mut client = Client::connect(addr);
+    client.send(&get_keep_alive(path));
+    let spilled = client.read_chunked_reply();
+    assert_eq!(spilled.status, 200);
+    assert_eq!(spilled.header("content-type"), Some("application/json"));
+    assert_eq!(spilled.header("connection"), Some("keep-alive"));
+    assert_eq!(
+        spilled.body, reference.body,
+        "spilling must not change payload bytes"
+    );
+
+    // The connection survives: a small request still works on it.
+    client.send(&get_keep_alive("/healthz"));
+    assert_eq!(client.read_reply().status, 200);
+
+    // Gzip composes with spill: chunked framing + content-encoding, and
+    // the reassembled bytes inflate to the same payload.
+    client.send(&get_gzip_keep_alive(path));
+    let (status, headers, zipped) = client.read_chunked_raw();
+    assert_eq!(status, 200);
+    assert_eq!(
+        headers
+            .iter()
+            .find(|(k, _)| k == "content-encoding")
+            .map(|(_, v)| v.as_str()),
+        Some("gzip"),
+        "spilled gzip response must keep its content-encoding"
+    );
+    let inflated = dcf_serve::gzip::gunzip(&zipped).expect("spilled gzip inflates");
+    assert_eq!(String::from_utf8(inflated).unwrap(), reference.body);
+
+    let report = server.shutdown();
+    assert!(
+        report.counter("serve.spilled").unwrap_or(0) >= 2,
+        "both large responses must count as spilled"
+    );
+}
+
+#[test]
+fn two_loop_server_balances_accepts_and_drains_gracefully() {
+    let metrics = MetricsRegistry::new();
+    let mut config = ServeConfig::default()
+        .addr("127.0.0.1:0")
+        .workers(2)
+        .loops(2)
+        .reuseport(false)
+        .metrics(&metrics);
+    config.compute_delay = Duration::from_millis(200);
+    let server = Server::start(config).expect("two-loop server starts");
+    let addr = server.local_addr();
+
+    // Six one-shot connections round-robin across the loops; a handed-off
+    // connection must also sustain keep-alive exchanges.
+    for _ in 0..6 {
+        assert_eq!(get(addr, "/healthz").status, 200);
+    }
+    let mut keep = Client::connect(addr);
+    for _ in 0..3 {
+        keep.send(&get_keep_alive("/healthz"));
+        let reply = keep.read_reply();
+        assert_eq!(reply.status, 200);
+        assert_eq!(reply.header("connection"), Some("keep-alive"));
+    }
+
+    // Shut down while a slow request is in flight: the drain must finish
+    // it regardless of which loop owns the connection.
+    let client = std::thread::spawn(move || post(addr, "/v1/simulate", r#"{"seed":78}"#));
+    std::thread::sleep(Duration::from_millis(80));
+    let report = server.shutdown();
+    let reply = client.join().expect("client thread");
+    assert_eq!(
+        reply.status, 200,
+        "in-flight request must survive a multi-loop drain: {}",
+        reply.body
+    );
+
+    assert_eq!(report.gauge("serve.loops"), Some(2.0));
+    let accepted: Vec<u64> = (0..2)
+        .map(|lp| {
+            report
+                .counter(&format!("serve.loop.{lp}.accepted"))
+                .unwrap_or(0)
+        })
+        .collect();
+    assert!(
+        accepted.iter().all(|&n| n >= 1),
+        "round-robin handoff must feed both loops: {accepted:?}"
+    );
+    let per_loop_requests: u64 = (0..2)
+        .filter_map(|lp| report.counter(&format!("serve.loop.{lp}.requests")))
+        .sum();
+    assert_eq!(
+        Some(per_loop_requests),
+        report.counter("serve.requests"),
+        "per-loop request counters must sum to the global counter"
+    );
 }

@@ -87,6 +87,47 @@ fn spec_key(s: &TicketSpec) -> (SimTime, u32, usize, u8) {
     (s.error_time, s.server.raw(), s.class.index(), s.slot)
 }
 
+/// Packs [`spec_key`] into one `u64` so the per-chunk pre-sort compares
+/// a single integer instead of a four-field tuple.
+///
+/// Bit layout, most-significant first: `time | server | class(4) |
+/// slot(8)`. The server field is sized to the run's highest server id
+/// and the time field takes the remainder, so the packing is injective
+/// over every in-range key and `u64` order equals tuple order exactly.
+/// `new` returns `None` when the run's bounds don't fit (callers keep
+/// the tuple sort), which at a 2M-server fleet still leaves 31 time
+/// bits ≈ 68 years of seconds — far past any scenario window.
+pub(crate) struct SpecKeyPacker {
+    server_bits: u32,
+}
+
+impl SpecKeyPacker {
+    /// Builds a packer for keys bounded by `max_server` (inclusive) and
+    /// `max_time_secs` (inclusive), or `None` if 64 bits can't hold them.
+    pub(crate) fn new(max_server: u32, max_time_secs: u64) -> Option<Self> {
+        const _: () = assert!(
+            dcf_trace::ComponentClass::ALL.len() <= 16,
+            "class field is 4 bits"
+        );
+        let server_bits = (32 - max_server.leading_zeros()).max(1);
+        let time_bits = 64 - 8 - 4 - server_bits;
+        if time_bits >= 64 || max_time_secs >> time_bits != 0 {
+            return None;
+        }
+        Some(Self { server_bits })
+    }
+
+    /// The packed key for `s`; caller guarantees `s` is within the
+    /// bounds `new` was given.
+    pub(crate) fn pack(&self, s: &TicketSpec) -> u64 {
+        debug_assert_eq!(s.server.raw() >> self.server_bits, 0);
+        (s.error_time.as_secs() << (self.server_bits + 12))
+            | (u64::from(s.server.raw()) << 12)
+            | ((s.class.index() as u64) << 8)
+            | u64::from(s.slot)
+    }
+}
+
 /// A failure occurrence on one server, before categorization.
 #[derive(Debug, Clone, Copy)]
 struct Occurrence {
@@ -366,6 +407,13 @@ pub(crate) fn per_server_specs(
     let operator_ref = &global.operator;
     let hazards_ref = &global.hazards;
     let (start, end) = (global.start, global.end);
+    // Windowing guarantees every spec's `error_time` is below `end`
+    // (see the retain in `simulate_server`), so the packed key covers
+    // every spec this run can produce; the tuple sort stays as the
+    // out-of-range fallback.
+    let max_server = servers.iter().map(|s| s.id.raw()).max().unwrap_or(0);
+    let packer = SpecKeyPacker::new(max_server, end.as_secs());
+    let packer_ref = packer.as_ref();
     let mut spec_chunks: Vec<Vec<TicketSpec>> = Vec::new();
     let mut counts = ServerCounts::default();
 
@@ -393,8 +441,14 @@ pub(crate) fn per_server_specs(
                         );
                     }
                     // Pre-sort this chunk in parallel; assembly then only
-                    // has to merge.
-                    specs.sort_by_key(spec_key);
+                    // has to merge. The packed key is injective over the
+                    // tuple key, so the unstable sort cannot reorder
+                    // distinct keys — and equal keys denote tickets the
+                    // merge tie-break already treats as interchangeable.
+                    match packer_ref {
+                        Some(p) => specs.sort_unstable_by_key(|s| p.pack(s)),
+                        None => specs.sort_by_key(spec_key),
+                    }
                     (specs, counts)
                 })
             })

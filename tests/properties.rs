@@ -513,3 +513,48 @@ proptest! {
         prop_assert!(drained.is_err(), "single-byte corruption went undetected");
     }
 }
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Arbitrary bytes — mostly incompressible, exercising the stored-
+    /// block fallback — must round-trip through the serve gzip encoder
+    /// and its in-crate inflater, and the container framing (magic,
+    /// CRC32, ISIZE) must be self-consistent.
+    #[test]
+    fn gzip_roundtrips_arbitrary_bytes(data in proptest::collection::vec(any::<u8>(), 0..4096)) {
+        use dcf_serve::gzip::{crc32, gunzip, gzip};
+        let compressed = gzip(&data);
+        prop_assert_eq!(&compressed[..3], &[0x1f, 0x8b, 0x08][..], "gzip magic + deflate method");
+        let n = compressed.len();
+        let trailer_crc = u32::from_le_bytes(compressed[n - 8..n - 4].try_into().unwrap());
+        let trailer_len = u32::from_le_bytes(compressed[n - 4..].try_into().unwrap());
+        prop_assert_eq!(trailer_crc, crc32(&data));
+        prop_assert_eq!(trailer_len, data.len() as u32);
+        let inflated = gunzip(&compressed).expect("own output inflates");
+        prop_assert_eq!(&inflated, &data);
+        // The encoder is deterministic: cached section bytes are identical
+        // across event loops because re-encoding cannot diverge.
+        prop_assert_eq!(gzip(&data), compressed);
+    }
+
+    /// Repetitive payloads — the shape of rendered report sections —
+    /// must take the fixed-Huffman match path and actually shrink, while
+    /// still round-tripping exactly.
+    #[test]
+    fn gzip_compresses_repetitive_payloads(
+        pattern in proptest::collection::vec(any::<u8>(), 1..24),
+        repeats in 64usize..512,
+    ) {
+        use dcf_serve::gzip::{gunzip, gzip};
+        let data: Vec<u8> = pattern.iter().copied().cycle().take(pattern.len() * repeats).collect();
+        let compressed = gzip(&data);
+        prop_assert!(
+            compressed.len() < data.len() / 2,
+            "repetitive {} bytes only reached {}",
+            data.len(),
+            compressed.len()
+        );
+        prop_assert_eq!(gunzip(&compressed).expect("inflates"), data);
+    }
+}
